@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the non-LP stages of the tool pipeline
+//! (Fig. 7): Markov composition, SR extraction from traces, and the
+//! slotted simulator's throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpm_sim::{SimConfig, Simulator, StochasticPolicyManager};
+use dpm_systems::{disk, toy};
+use dpm_core::PolicyOptimizer;
+use dpm_trace::generators::BurstyTraceGenerator;
+use dpm_trace::SrExtractor;
+
+fn bench_composer(c: &mut Criterion) {
+    c.bench_function("compose_disk_66_states", |b| {
+        b.iter(|| disk::system().expect("composes"))
+    });
+    c.bench_function("compose_toy_8_states", |b| {
+        b.iter(|| toy::example_system().expect("composes"))
+    });
+}
+
+fn bench_sr_extractor(c: &mut Criterion) {
+    let trace = BurstyTraceGenerator::new(0.02, 0.9).seed(3).generate(1_000_000);
+    let mut group = c.benchmark_group("sr_extractor");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for k in [1u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("memory", k), &trace, |b, trace| {
+            b.iter(|| SrExtractor::new(k).extract(trace).expect("long enough"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let system = toy::example_system().expect("composes");
+    let solution = PolicyOptimizer::new(&system)
+        .discount(0.99999)
+        .max_performance_penalty(0.5)
+        .max_request_loss_rate(0.2)
+        .solve()
+        .expect("feasible");
+    let slices = 100_000u64;
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(slices));
+    group.bench_function("model_driven_100k_slices", |b| {
+        b.iter(|| {
+            let mut manager = StochasticPolicyManager::new(solution.policy().clone());
+            Simulator::new(&system, SimConfig::new(slices).seed(1))
+                .run(&mut manager)
+                .expect("runs")
+        })
+    });
+    let trace = BurstyTraceGenerator::new(0.05, 0.85).seed(2).generate(slices as usize);
+    group.bench_function("trace_driven_100k_slices", |b| {
+        b.iter(|| {
+            let mut manager = StochasticPolicyManager::new(solution.policy().clone());
+            let mut tracker = dpm_sim::binary_tracker();
+            Simulator::new(&system, SimConfig::new(slices).seed(1))
+                .run_trace(&mut manager, &trace, &mut tracker)
+                .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_composer, bench_sr_extractor, bench_simulator);
+criterion_main!(benches);

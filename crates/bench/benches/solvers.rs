@@ -1,0 +1,124 @@
+//! Criterion benchmarks for the LP engines — the paper's runtime claim is
+//! that the whole disk Pareto curve "took less than 1 min on a SUN
+//! UltraSPARC workstation" (Section VI-A); these benches measure single
+//! solves of the same LPs, plus an ablation of simplex vs interior point
+//! (the PCx-style engine) across problem sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpm_core::{OptimizationGoal, PolicyOptimizer, SolverKind};
+use dpm_lp::{ConstraintOp, InteriorPoint, LinearProgram, LpSolver, Simplex};
+use dpm_systems::{appendix_b, disk, toy};
+use dpm_trace::generators::BurstyTraceGenerator;
+use dpm_trace::SrExtractor;
+
+/// A mid-size random-but-feasible LP, as a solver microbenchmark.
+fn random_lp(n: usize, m: usize) -> LinearProgram {
+    let mut seed = 0xA5A5_5A5A_1234_5678u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed % 2000) as f64 / 1000.0 - 1.0
+    };
+    let c: Vec<f64> = (0..n).map(|_| next()).collect();
+    let mut lp = LinearProgram::minimize(&c);
+    for _ in 0..m {
+        let row: Vec<f64> = (0..n).map(|_| next()).collect();
+        let rhs = row.iter().sum::<f64>() + 1.0;
+        lp.add_constraint(&row, ConstraintOp::Le, rhs).expect("valid row");
+    }
+    for j in 0..n {
+        let mut row = vec![0.0; n];
+        row[j] = 1.0;
+        lp.add_constraint(&row, ConstraintOp::Le, 10.0).expect("valid bound");
+    }
+    lp
+}
+
+fn bench_lp_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_engines");
+    for &(n, m) in &[(20usize, 10usize), (60, 30), (120, 60)] {
+        let lp = random_lp(n, m);
+        group.bench_with_input(BenchmarkId::new("simplex", n), &lp, |b, lp| {
+            b.iter(|| Simplex::new().solve(lp).expect("solvable"))
+        });
+        group.bench_with_input(BenchmarkId::new("interior_point", n), &lp, |b, lp| {
+            b.iter(|| InteriorPoint::new().solve(lp).expect("solvable"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_disk_policy_optimization(c: &mut Criterion) {
+    // The paper's 66-state, 5-command disk LP (330 state-action vars).
+    let system = disk::system().expect("disk model composes");
+    let mut group = c.benchmark_group("disk_policy_optimization");
+    group.sample_size(10);
+    for kind in [SolverKind::Simplex, SolverKind::InteriorPoint] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| {
+                PolicyOptimizer::new(&system)
+                    .horizon(1_000_000.0)
+                    .goal(OptimizationGoal::MinimizePower)
+                    .max_performance_penalty(0.5)
+                    .max_request_loss_rate(0.05)
+                    .solver(kind)
+                    .solve()
+                    .expect("feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_toy_policy_optimization(c: &mut Criterion) {
+    let system = toy::example_system().expect("toy model composes");
+    c.bench_function("toy_example_a2_lp4", |b| {
+        b.iter(|| {
+            PolicyOptimizer::new(&system)
+                .discount(0.99999)
+                .max_performance_penalty(0.5)
+                .max_request_loss_rate(0.2)
+                .solve()
+                .expect("feasible")
+        })
+    });
+}
+
+fn bench_state_space_scaling(c: &mut Criterion) {
+    // Fig. 13(b)'s scaling axis: SR memory k doubles the state count each
+    // step; this is the polynomial-growth claim made concrete.
+    let trace = BurstyTraceGenerator::new(0.02, 0.9).seed(1).generate(100_000);
+    let mut group = c.benchmark_group("state_space_scaling");
+    group.sample_size(10);
+    for k in [1u32, 2, 3, 4] {
+        let sr = SrExtractor::new(k).extract(&trace).expect("trace long enough");
+        let system = appendix_b::Config::baseline()
+            .system_with_requester(sr)
+            .expect("composes");
+        group.bench_with_input(
+            BenchmarkId::new("optimize", system.num_states()),
+            &system,
+            |b, system| {
+                b.iter(|| {
+                    PolicyOptimizer::new(system)
+                        .horizon(100_000.0)
+                        .max_performance_penalty(0.5)
+                        .max_request_loss_rate(0.05)
+                        .solve()
+                        .expect("feasible")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lp_engines,
+    bench_disk_policy_optimization,
+    bench_toy_policy_optimization,
+    bench_state_space_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! **Fig. 13(b)** — optimal power vs service-requester memory `k` (the
+//! fitted model has `2^k` states), for three performance constraints and
+//! two provider structures.
+//!
+//! One bursty trace is generated once; k-memory SR models are extracted
+//! from it for k = 1..5 and plugged into the same provider/queue.
+//! Expected shape: longer memory (better workload knowledge) weakly
+//! improves power, more so when several sleep states are available.
+
+use dpm_bench::{fmt_or_infeasible, section, table};
+use dpm_core::{DpmError, PolicyOptimizer, ServiceRequester};
+use dpm_systems::appendix_b::{Config, SLEEP_STATES};
+use dpm_trace::generators::BurstyTraceGenerator;
+use dpm_trace::SrExtractor;
+
+const HORIZON: f64 = 100_000.0;
+
+fn solve(cfg: &Config, sr: &ServiceRequester, perf_bound: f64) -> Result<Option<f64>, DpmError> {
+    let system = cfg.system_with_requester(sr.clone())?;
+    match PolicyOptimizer::new(&system)
+        .horizon(HORIZON)
+        .use_expected_loss()
+        .max_performance_penalty(perf_bound)
+        .max_request_loss_rate(0.05)
+        .solve()
+    {
+        Ok(s) => Ok(Some(s.power_per_slice())),
+        Err(DpmError::Infeasible) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One trace, fitted at increasing memory. The workload has structure
+    // beyond first order: service bursts during which requests arrive
+    // every third slice (a DMA-like cadence). A 1-memory model sees only
+    // "mostly idle"; k ≥ 3 learns the cadence and can nap between
+    // requests — the extra knowledge the paper's Fig. 13(b) exploits.
+    let outer = BurstyTraceGenerator::new(0.005, 0.995).seed(32).generate(400_000);
+    let trace: Vec<u32> = outer
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| if b > 0 && i % 3 == 0 { 1 } else { 0 })
+        .collect();
+
+    let baseline_sp = Config::baseline();
+    let two_sleep =
+        Config::baseline().with_sleep_states(vec![SLEEP_STATES[0], SLEEP_STATES[1]]);
+
+    section("Fig. 13(b): power vs SR memory k (2^k states)");
+    let mut rows = Vec::new();
+    for k in 1..=5u32 {
+        let sr = SrExtractor::new(k).extract(&trace)?;
+        rows.push(vec![
+            format!("{k}"),
+            format!("{}", sr.num_states()),
+            fmt_or_infeasible(solve(&baseline_sp, &sr, 0.3)?, 4),
+            fmt_or_infeasible(solve(&baseline_sp, &sr, 0.5)?, 4),
+            fmt_or_infeasible(solve(&baseline_sp, &sr, 0.8)?, 4),
+            fmt_or_infeasible(solve(&two_sleep, &sr, 0.5)?, 4),
+        ]);
+    }
+    table(
+        &[
+            "k",
+            "SR states",
+            "1 sleep, perf≤0.3",
+            "1 sleep, perf≤0.5",
+            "1 sleep, perf≤0.8",
+            "2 sleeps, perf≤0.5",
+        ],
+        &rows,
+    );
+    println!("\n  expected: power weakly decreases with k; the multi-sleep column gains more.");
+    Ok(())
+}

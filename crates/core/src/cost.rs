@@ -1,0 +1,175 @@
+use dpm_linalg::Matrix;
+
+use crate::SystemModel;
+
+/// The cost metrics of Section III-B, evaluated on a composed system.
+///
+/// Each metric turns into a `num_states × num_commands` matrix over the
+/// composite chain, ready to be used as an objective or constraint in the
+/// occupation-measure LP:
+///
+/// * [`CostMetric::Power`] — the paper's `c(s, δ)`: the SP's power table
+///   lifted to the composite space (`p(s_SP, a)`);
+/// * [`CostMetric::QueueOccupancy`] — the default performance penalty
+///   `d(s) = q` ("the number of requests in the queue"), which by Little's
+///   law stands in for waiting time;
+/// * [`CostMetric::RequestLossIndicator`] — the indicator of "SR issues a
+///   request while the queue is full", the quantity the paper bounds when
+///   it constrains request loss;
+/// * [`CostMetric::ExpectedRequestLoss`] — the exact expected number of
+///   requests lost per slice (a refinement: it accounts for service races
+///   and multi-request bursts).
+///
+/// # Example
+///
+/// ```
+/// use dpm_core::{CostMetric, ServiceProvider, ServiceQueue, ServiceRequester, SystemModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ServiceProvider::builder();
+/// let on = b.add_state_with_power("on", 2.0);
+/// let cmd = b.add_command("work");
+/// b.service_rate(on, cmd, 0.5)?;
+/// let system = SystemModel::compose(
+///     b.build()?,
+///     ServiceRequester::two_state(0.5, 0.5)?,
+///     ServiceQueue::with_capacity(2),
+/// )?;
+/// let power = CostMetric::Power.matrix(&system);
+/// assert_eq!(power[(0, 0)], 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CostMetric {
+    /// Power drawn by the service provider, `p(s_SP, a)`.
+    Power,
+    /// Queue backlog `q` (performance penalty of Section III-B).
+    QueueOccupancy,
+    /// 1 when the SR is issuing requests and the queue is full, else 0
+    /// (the paper's request-loss constraint quantity).
+    RequestLossIndicator,
+    /// Exact expected requests lost per slice (computed during
+    /// composition).
+    ExpectedRequestLoss,
+}
+
+impl CostMetric {
+    /// Materializes the metric as a `states × commands` matrix on the
+    /// given system.
+    pub fn matrix(self, system: &SystemModel) -> Matrix {
+        match self {
+            CostMetric::Power => system.custom_cost(|s, a| system.provider().power(s.sp, a)),
+            CostMetric::QueueOccupancy => system.custom_cost(|s, _| s.queue as f64),
+            CostMetric::RequestLossIndicator => system.custom_cost(|s, _| {
+                let issuing = system.requester().requests(s.sr) > 0;
+                let full = s.queue == system.queue().capacity();
+                if issuing && full {
+                    1.0
+                } else {
+                    0.0
+                }
+            }),
+            CostMetric::ExpectedRequestLoss => system.expected_loss_matrix().clone(),
+        }
+    }
+
+    /// Short name used in reports and benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostMetric::Power => "power",
+            CostMetric::QueueOccupancy => "queue occupancy",
+            CostMetric::RequestLossIndicator => "request-loss indicator",
+            CostMetric::ExpectedRequestLoss => "expected request loss",
+        }
+    }
+}
+
+impl std::fmt::Display for CostMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServiceProvider, ServiceQueue, ServiceRequester, SystemState};
+
+    fn small_system() -> SystemModel {
+        let mut b = ServiceProvider::builder();
+        let on = b.add_state_with_power("on", 2.0);
+        let off = b.add_state_with_power("off", 0.0);
+        let s_on = b.add_command("s_on");
+        let s_off = b.add_command("s_off");
+        b.transition(on, off, s_off, 1.0).unwrap();
+        b.transition(off, on, s_on, 0.5).unwrap();
+        b.service_rate(on, s_on, 0.9).unwrap();
+        b.power(off, s_on, 3.0).unwrap();
+        let sp = b.build().unwrap();
+        let sr = ServiceRequester::two_state(0.3, 0.7).unwrap();
+        SystemModel::compose(sp, sr, ServiceQueue::with_capacity(1)).unwrap()
+    }
+
+    #[test]
+    fn power_lifts_provider_table() {
+        let system = small_system();
+        let m = CostMetric::Power.matrix(&system);
+        for s in 0..system.num_states() {
+            let st = system.state_of(s);
+            assert_eq!(m[(s, 0)], system.provider().power(st.sp, 0));
+            assert_eq!(m[(s, 1)], system.provider().power(st.sp, 1));
+        }
+        // The off-state wake power override survives lifting.
+        let off_idx = system
+            .state_index(SystemState { sp: 1, sr: 0, queue: 0 })
+            .unwrap();
+        assert_eq!(m[(off_idx, 0)], 3.0);
+    }
+
+    #[test]
+    fn queue_occupancy_counts_backlog() {
+        let system = small_system();
+        let m = CostMetric::QueueOccupancy.matrix(&system);
+        for s in 0..system.num_states() {
+            assert_eq!(m[(s, 0)], system.state_of(s).queue as f64);
+        }
+    }
+
+    #[test]
+    fn loss_indicator_matches_definition() {
+        let system = small_system();
+        let m = CostMetric::RequestLossIndicator.matrix(&system);
+        for s in 0..system.num_states() {
+            let st = system.state_of(s);
+            let expect = if st.sr == 1 && st.queue == 1 { 1.0 } else { 0.0 };
+            assert_eq!(m[(s, 0)], expect, "state {}", system.state_label(s));
+        }
+    }
+
+    #[test]
+    fn expected_loss_is_bounded_by_indicator_rate() {
+        // Expected loss can only occur when the indicator allows it, and is
+        // at most the arrival count.
+        let system = small_system();
+        let exact = CostMetric::ExpectedRequestLoss.matrix(&system);
+        for s in 0..system.num_states() {
+            let st = system.state_of(s);
+            for a in 0..system.num_commands() {
+                let v = exact[(s, a)];
+                assert!(v >= 0.0);
+                if st.queue < system.queue().capacity() {
+                    // Queue not full: a single-request SR cannot lose.
+                    assert!(v < 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(CostMetric::Power.to_string(), "power");
+        assert_eq!(CostMetric::QueueOccupancy.name(), "queue occupancy");
+    }
+}

@@ -1,0 +1,136 @@
+use std::error::Error;
+use std::fmt;
+
+use dpm_markov::MarkovError;
+use dpm_mdp::MdpError;
+
+/// Errors produced while building system models or optimizing policies.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DpmError {
+    /// A model component referenced a state or command that does not exist.
+    UnknownIndex {
+        /// What kind of entity ("SP state", "command", ...).
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The valid range's exclusive upper bound.
+        limit: usize,
+    },
+    /// A probability (transition, service rate) was outside `[0, 1]`.
+    InvalidProbability {
+        /// Where the probability was supplied.
+        context: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// The outgoing transition probabilities of a state exceed one.
+    TransitionMassExceeded {
+        /// SP state whose row overflows.
+        state: usize,
+        /// Command under which it overflows.
+        command: usize,
+        /// The row total.
+        total: f64,
+    },
+    /// A component was built without the minimum structure (no states, no
+    /// commands, empty request table, ...).
+    IncompleteModel {
+        /// Description of what is missing.
+        reason: String,
+    },
+    /// The optimizer was configured inconsistently (no horizon, conflicting
+    /// goal/constraints, bad initial state, ...).
+    BadConfiguration {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// The requested constraint combination admits no policy — the paper's
+    /// `g(C) = +∞` (infeasible region of Fig. 6).
+    Infeasible,
+    /// An underlying MDP/LP failure.
+    Mdp(MdpError),
+    /// An underlying Markov-chain failure.
+    Markov(MarkovError),
+}
+
+impl fmt::Display for DpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpmError::UnknownIndex { kind, index, limit } => {
+                write!(f, "{kind} index {index} out of range (limit {limit})")
+            }
+            DpmError::InvalidProbability { context, value } => {
+                write!(f, "{context}: {value} is not a probability")
+            }
+            DpmError::TransitionMassExceeded {
+                state,
+                command,
+                total,
+            } => write!(
+                f,
+                "outgoing transition probabilities of state {state} under command {command} sum to {total} > 1"
+            ),
+            DpmError::IncompleteModel { reason } => write!(f, "incomplete model: {reason}"),
+            DpmError::BadConfiguration { reason } => write!(f, "bad configuration: {reason}"),
+            DpmError::Infeasible => write!(
+                f,
+                "policy optimization is infeasible under the given constraints"
+            ),
+            DpmError::Mdp(e) => write!(f, "mdp: {e}"),
+            DpmError::Markov(e) => write!(f, "markov: {e}"),
+        }
+    }
+}
+
+impl Error for DpmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DpmError::Mdp(e) => Some(e),
+            DpmError::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MdpError> for DpmError {
+    fn from(e: MdpError) -> Self {
+        match e {
+            MdpError::Infeasible => DpmError::Infeasible,
+            other => DpmError::Mdp(other),
+        }
+    }
+}
+
+impl From<MarkovError> for DpmError {
+    fn from(e: MarkovError) -> Self {
+        DpmError::Markov(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infeasible_maps_through() {
+        assert_eq!(DpmError::from(MdpError::Infeasible), DpmError::Infeasible);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = DpmError::TransitionMassExceeded {
+            state: 1,
+            command: 2,
+            total: 1.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("state 1") && s.contains("command 2") && s.contains("1.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DpmError>();
+    }
+}

@@ -1,0 +1,84 @@
+//! The core system model and policy optimizer of
+//! *Benini, Bogliolo, Paleologo, De Micheli — "Policy Optimization for
+//! Dynamic Power Management"* (DAC'98 / IEEE TCAD 18(6), 1999).
+//!
+//! The paper abstracts a power-managed system (Fig. 1) into three
+//! finite-state stochastic components:
+//!
+//! * [`ServiceProvider`] (Definition 3.1) — the resource under power
+//!   management: a controlled Markov chain with a service rate `σ(s, a)`
+//!   and a power consumption `p(s, a)` per state–command pair;
+//! * [`ServiceRequester`] (Definition 3.2) — the workload: an autonomous
+//!   Markov chain issuing `r(s)` requests per slice;
+//! * [`ServiceQueue`] (Definition 3.3) — a bounded buffer whose kernel
+//!   (equation (3)) is fully determined by the other two.
+//!
+//! [`SystemModel::compose`] merges them into one controlled Markov chain
+//! over `S_SP × S_SR × S_SQ` (equation (4), including the queue-full /
+//! queue-empty corner cases), attaches the paper's cost metrics (power,
+//! queue-length performance penalty, request-loss indicators) and hands the
+//! result to [`PolicyOptimizer`], which solves the constrained policy
+//! optimization problems PO1/PO2 exactly by linear programming and
+//! extracts the optimal — generally randomized — power-management policy.
+//! [`ParetoExplorer`] sweeps a constraint to map the power–performance
+//! tradeoff curve (Fig. 6 / 8(b) / 9 of the paper).
+//!
+//! # Example
+//!
+//! Build a two-state provider and a bursty requester, compose, and find
+//! the minimum-power policy with a performance bound:
+//!
+//! ```
+//! use dpm_core::{
+//!     OptimizationGoal, PolicyOptimizer, ServiceProvider, ServiceRequester,
+//!     ServiceQueue, SystemModel,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sp = ServiceProvider::builder();
+//! let on = sp.add_state("on");
+//! let off = sp.add_state("off");
+//! let s_on = sp.add_command("s_on");
+//! let s_off = sp.add_command("s_off");
+//! sp.transition(on, off, s_off, 0.8)?;
+//! sp.transition(off, on, s_on, 0.1)?;
+//! sp.service_rate(on, s_on, 0.8)?;
+//! sp.power(on, s_on, 3.0)?;
+//! sp.power(on, s_off, 4.0)?;
+//! sp.power(off, s_on, 4.0)?;
+//! let sp = sp.build()?;
+//!
+//! let sr = ServiceRequester::two_state(0.05, 0.85)?;
+//! let system = SystemModel::compose(sp, sr, ServiceQueue::with_capacity(1))?;
+//!
+//! let solution = PolicyOptimizer::new(&system)
+//!     .horizon(100_000.0)
+//!     .goal(OptimizationGoal::MinimizePower)
+//!     .max_performance_penalty(0.5)
+//!     .max_request_loss_rate(0.2)
+//!     .solve()?;
+//! assert!(solution.power_per_slice() <= 3.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod cost;
+mod error;
+mod optimizer;
+mod pareto;
+mod provider;
+mod queue;
+mod requester;
+mod system;
+
+pub use cost::CostMetric;
+pub use error::DpmError;
+pub use optimizer::{OptimizationGoal, PolicyOptimizer, PolicySolution, SolverKind};
+pub use pareto::{ParetoCurve, ParetoExplorer, ParetoPoint};
+pub use provider::{ServiceProvider, ServiceProviderBuilder};
+pub use queue::ServiceQueue;
+pub use requester::ServiceRequester;
+pub use system::{SystemModel, SystemState};

@@ -1,0 +1,276 @@
+use crate::{DpmError, PolicyOptimizer, PolicySolution};
+
+/// One point of a power–performance tradeoff curve.
+///
+/// Infeasible sweep values (the paper's `g(C) = +∞`, e.g. the shaded
+/// region of Fig. 6) are kept in the curve with `solution = None` so the
+/// feasible-region boundary is visible in reports.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// The sweep value the constraint was set to.
+    pub bound: f64,
+    /// The solved problem, or `None` when infeasible.
+    pub solution: Option<PolicySolution>,
+}
+
+impl ParetoPoint {
+    /// `true` when this sweep value admitted a policy.
+    pub fn is_feasible(&self) -> bool {
+        self.solution.is_some()
+    }
+
+    /// Objective per slice, or `None` when infeasible.
+    pub fn objective(&self) -> Option<f64> {
+        self.solution.as_ref().map(|s| s.objective_per_slice())
+    }
+}
+
+/// A solved tradeoff curve: the paper's Pareto curves (Figs. 6, 8(b),
+/// 9(a), 9(b)) are produced "by repeatedly solving the LP with different
+/// performance constraints" — exactly what [`ParetoExplorer`] automates.
+#[derive(Debug, Clone)]
+pub struct ParetoCurve {
+    points: Vec<ParetoPoint>,
+}
+
+impl ParetoCurve {
+    /// All sweep points, in sweep order.
+    pub fn points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// Only the feasible points, as `(bound, objective per slice)` pairs.
+    pub fn feasible(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .filter_map(|p| p.objective().map(|o| (p.bound, o)))
+            .collect()
+    }
+
+    /// Number of infeasible sweep values (the infeasible region of
+    /// Fig. 6).
+    pub fn num_infeasible(&self) -> usize {
+        self.points.iter().filter(|p| !p.is_feasible()).count()
+    }
+
+    /// Checks the convexity of the efficient-allocation set (Theorem 4.1):
+    /// on the sorted feasible points, the objective must be a convex,
+    /// non-increasing function of the relaxing bound. Returns `true` when
+    /// every discrete second difference is ≥ `−tol`.
+    pub fn is_convex(&self, tol: f64) -> bool {
+        let mut pts = self.feasible();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite bounds"));
+        if pts.len() < 3 {
+            return true;
+        }
+        for w in pts.windows(3) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let (x2, y2) = w[2];
+            let d10 = x1 - x0;
+            let d21 = x2 - x1;
+            if d10 <= 0.0 || d21 <= 0.0 {
+                continue; // duplicate bounds
+            }
+            let slope_left = (y1 - y0) / d10;
+            let slope_right = (y2 - y1) / d21;
+            // Convex in the bound: slopes non-decreasing.
+            if slope_right < slope_left - tol {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Display for ParetoCurve {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:>12} {:>14} {:>12}", "bound", "objective", "status")?;
+        for p in &self.points {
+            match p.objective() {
+                Some(o) => writeln!(f, "{:>12.4} {:>14.6} {:>12}", p.bound, o, "ok")?,
+                None => writeln!(f, "{:>12.4} {:>14} {:>12}", p.bound, "-", "infeasible")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps one constraint of a [`PolicyOptimizer`] configuration across a
+/// range of bounds, producing a [`ParetoCurve`].
+///
+/// # Example
+///
+/// ```no_run
+/// use dpm_core::{ParetoExplorer, PolicyOptimizer, SystemModel};
+///
+/// # fn run(system: &SystemModel) -> Result<(), dpm_core::DpmError> {
+/// let base = PolicyOptimizer::new(system).horizon(100_000.0);
+/// let curve = ParetoExplorer::sweep_performance(base, &[1.0, 0.8, 0.6, 0.4, 0.2])?;
+/// for (bound, power) in curve.feasible() {
+///     println!("queue ≤ {bound:.2} → {power:.3} W");
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ParetoExplorer;
+
+impl ParetoExplorer {
+    /// Sweeps the performance bound (PO2/LP4 family: the paper's usual
+    /// x-axis).
+    ///
+    /// # Errors
+    ///
+    /// Propagates every failure except [`DpmError::Infeasible`], which is
+    /// recorded as an infeasible point.
+    pub fn sweep_performance(
+        base: PolicyOptimizer<'_>,
+        bounds: &[f64],
+    ) -> Result<ParetoCurve, DpmError> {
+        Self::sweep_with(base, bounds, |optimizer, bound| {
+            optimizer.max_performance_penalty(bound)
+        })
+    }
+
+    /// Sweeps the power bound (PO1/LP3 family).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::sweep_performance`].
+    pub fn sweep_power(base: PolicyOptimizer<'_>, bounds: &[f64]) -> Result<ParetoCurve, DpmError> {
+        Self::sweep_with(base, bounds, |optimizer, bound| optimizer.max_power(bound))
+    }
+
+    /// Sweeps the request-loss bound.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::sweep_performance`].
+    pub fn sweep_request_loss(
+        base: PolicyOptimizer<'_>,
+        bounds: &[f64],
+    ) -> Result<ParetoCurve, DpmError> {
+        Self::sweep_with(base, bounds, |optimizer, bound| {
+            optimizer.max_request_loss_rate(bound)
+        })
+    }
+
+    /// Generic sweep: `apply` installs the swept bound on a clone of the
+    /// base configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every failure except [`DpmError::Infeasible`].
+    pub fn sweep_with<'a>(
+        base: PolicyOptimizer<'a>,
+        bounds: &[f64],
+        apply: impl Fn(PolicyOptimizer<'a>, f64) -> PolicyOptimizer<'a>,
+    ) -> Result<ParetoCurve, DpmError> {
+        let mut points = Vec::with_capacity(bounds.len());
+        for &bound in bounds {
+            let optimizer = apply(base.clone(), bound);
+            match optimizer.solve() {
+                Ok(solution) => points.push(ParetoPoint {
+                    bound,
+                    solution: Some(solution),
+                }),
+                Err(DpmError::Infeasible) => points.push(ParetoPoint {
+                    bound,
+                    solution: None,
+                }),
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(ParetoCurve { points })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServiceProvider, ServiceQueue, ServiceRequester, SystemModel};
+
+    fn example_system() -> SystemModel {
+        let mut b = ServiceProvider::builder();
+        let on = b.add_state("on");
+        let off = b.add_state("off");
+        let s_on = b.add_command("s_on");
+        let s_off = b.add_command("s_off");
+        b.transition(off, on, s_on, 0.1).unwrap();
+        b.transition(on, off, s_off, 0.8).unwrap();
+        b.service_rate(on, s_on, 0.8).unwrap();
+        b.power(on, s_on, 3.0).unwrap();
+        b.power(on, s_off, 4.0).unwrap();
+        b.power(off, s_on, 4.0).unwrap();
+        let sp = b.build().unwrap();
+        let sr = ServiceRequester::two_state(0.05, 0.85).unwrap();
+        SystemModel::compose(sp, sr, ServiceQueue::with_capacity(1)).unwrap()
+    }
+
+    #[test]
+    fn performance_sweep_traces_fig6_shape() {
+        let system = example_system();
+        let base = PolicyOptimizer::new(&system).horizon(100_000.0);
+        let bounds = [0.9, 0.7, 0.5, 0.3, 0.2, 0.1, 0.05];
+        let curve = ParetoExplorer::sweep_performance(base, &bounds).unwrap();
+        assert_eq!(curve.points().len(), bounds.len());
+        // Tighter bounds cost (weakly) more power.
+        let feasible = curve.feasible();
+        for w in feasible.windows(2) {
+            let (b0, p0) = w[0];
+            let (b1, p1) = w[1];
+            assert!(b1 < b0);
+            assert!(p1 >= p0 - 1e-7, "power fell while bound tightened");
+        }
+        // Theorem 4.1: the efficient-allocation set is convex.
+        assert!(curve.is_convex(1e-6));
+    }
+
+    #[test]
+    fn infeasible_region_is_detected() {
+        // Below the workload's queue floor (≈ 0.163 for this system) no
+        // policy exists — Fig. 6's infeasible region.
+        let system = example_system();
+        let base = PolicyOptimizer::new(&system)
+            .horizon(100_000.0)
+            .max_request_loss_rate(0.3);
+        let curve =
+            ParetoExplorer::sweep_performance(base, &[0.9, 0.5, 0.2, 0.1, 0.05]).unwrap();
+        assert!(curve.num_infeasible() >= 1);
+        assert!(curve.points().last().map(|p| !p.is_feasible()).unwrap());
+        // The display renders both kinds of rows.
+        let text = curve.to_string();
+        assert!(text.contains("infeasible"));
+        assert!(text.contains("ok"));
+    }
+
+    #[test]
+    fn power_sweep_works_for_po1() {
+        let system = example_system();
+        let base = PolicyOptimizer::new(&system)
+            .horizon(10_000.0)
+            .goal(crate::OptimizationGoal::MinimizePerformancePenalty);
+        let curve = ParetoExplorer::sweep_power(base, &[3.0, 2.0, 1.0, 0.5]).unwrap();
+        let feasible = curve.feasible();
+        assert!(feasible.len() >= 3);
+        // Less power allowed → more queueing.
+        for w in feasible.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-7);
+        }
+    }
+
+    #[test]
+    fn loss_sweep_is_monotone() {
+        let system = example_system();
+        let base = PolicyOptimizer::new(&system)
+            .horizon(10_000.0)
+            .max_performance_penalty(0.8);
+        let curve =
+            ParetoExplorer::sweep_request_loss(base, &[0.5, 0.2, 0.1, 0.05]).unwrap();
+        let feasible = curve.feasible();
+        for w in feasible.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-7);
+        }
+    }
+}

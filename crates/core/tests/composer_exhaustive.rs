@@ -1,0 +1,148 @@
+//! Exhaustive verification of the Markov composer (equation (4)) against
+//! a brute-force enumeration of the joint transition semantics, on small
+//! systems where every path can be checked by hand-rolled code.
+
+use dpm_core::{ServiceProvider, ServiceQueue, ServiceRequester, SystemModel, SystemState};
+use dpm_markov::StochasticMatrix;
+
+/// Builds a small fully-parameterized provider.
+fn provider(p_wake: f64, p_sleep: f64, sigma: f64) -> ServiceProvider {
+    let mut b = ServiceProvider::builder();
+    let on = b.add_state_with_power("on", 2.0);
+    let off = b.add_state_with_power("off", 0.0);
+    let go_on = b.add_command("go_on");
+    let go_off = b.add_command("go_off");
+    b.transition(off, on, go_on, p_wake).expect("valid");
+    b.transition(on, off, go_off, p_sleep).expect("valid");
+    b.service_rate(on, go_on, sigma).expect("valid");
+    b.build().expect("complete")
+}
+
+/// Brute-force joint transition probability implementing the composition
+/// semantics independently of the production code: SP and SR move, then
+/// the queue absorbs arrivals from the *destination* SR state and serves
+/// with the *current* SP state's rate.
+#[allow(clippy::too_many_arguments)]
+fn brute_force_prob(
+    sp_kernel: &StochasticMatrix,
+    sr_kernel: &StochasticMatrix,
+    requests: &[u32],
+    sigma_of: impl Fn(usize) -> f64,
+    capacity: usize,
+    from: SystemState,
+    to: SystemState,
+) -> f64 {
+    let p_sp = sp_kernel.prob(from.sp, to.sp);
+    let p_sr = sr_kernel.prob(from.sr, to.sr);
+    if p_sp == 0.0 || p_sr == 0.0 {
+        return 0.0;
+    }
+    let arrivals = requests[to.sr] as usize;
+    let sigma = sigma_of(from.sp);
+    let total = from.queue + arrivals;
+    let mut p_queue = 0.0;
+    if total == 0 {
+        if to.queue == 0 {
+            p_queue = 1.0;
+        }
+    } else {
+        // Serve one with probability sigma.
+        let served_next = (total - 1).min(capacity);
+        let unserved_next = total.min(capacity);
+        if to.queue == served_next {
+            p_queue += sigma;
+        }
+        if to.queue == unserved_next {
+            p_queue += 1.0 - sigma;
+        }
+    }
+    p_sp * p_sr * p_queue
+}
+
+#[test]
+fn composed_kernel_matches_brute_force_everywhere() {
+    for &sigma in &[0.0, 0.35, 1.0] {
+        for &capacity in &[0usize, 1, 2, 3] {
+            let sp = provider(0.3, 0.7, sigma);
+            let sr = ServiceRequester::two_state(0.2, 0.6).expect("valid");
+            let sp_kernels: Vec<StochasticMatrix> =
+                (0..2).map(|a| sp.chain().kernel(a).clone()).collect();
+            let sr_kernel = sr.chain().transition_matrix().clone();
+            let requests = [sr.requests(0), sr.requests(1)];
+            let system = SystemModel::compose(sp, sr, ServiceQueue::with_capacity(capacity))
+                .expect("composes");
+            for a in 0..2 {
+                for from_idx in 0..system.num_states() {
+                    for to_idx in 0..system.num_states() {
+                        let from = system.state_of(from_idx);
+                        let to = system.state_of(to_idx);
+                        let expected = brute_force_prob(
+                            &sp_kernels[a],
+                            &sr_kernel,
+                            &requests,
+                            |sp_state| if sp_state == 0 && a == 0 { sigma } else { 0.0 },
+                            capacity,
+                            from,
+                            to,
+                        );
+                        let actual = system.chain().prob(from_idx, to_idx, a);
+                        assert!(
+                            (actual - expected).abs() < 1e-12,
+                            "σ={sigma} cap={capacity} cmd={a} {} → {}: {actual} vs {expected}",
+                            system.state_label(from_idx),
+                            system.state_label(to_idx),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn expected_loss_matches_brute_force() {
+    // Multi-request bursts against small capacities.
+    let mut b = ServiceProvider::builder();
+    let on = b.add_state("on");
+    let cmd = b.add_command("serve");
+    b.service_rate(on, cmd, 0.5).expect("valid");
+    let sp = b.build().expect("complete");
+    let t = StochasticMatrix::from_rows(&[&[0.4, 0.6], &[0.3, 0.7]]).expect("valid");
+    let sr = ServiceRequester::new(t.clone(), vec![0, 3]).expect("valid");
+    let capacity = 1;
+    let system =
+        SystemModel::compose(sp, sr, ServiceQueue::with_capacity(capacity)).expect("composes");
+    for from_idx in 0..system.num_states() {
+        let from = system.state_of(from_idx);
+        let mut expected = 0.0;
+        for sr_next in 0..2 {
+            let p_sr = t.prob(from.sr, sr_next);
+            let arrivals = if sr_next == 1 { 3usize } else { 0 };
+            let total = from.queue + arrivals;
+            if total == 0 {
+                continue;
+            }
+            let sigma = if from.sp == 0 { 0.5 } else { 0.0 };
+            let loss_served = (total - 1).saturating_sub(capacity);
+            let loss_unserved = total.saturating_sub(capacity);
+            expected += p_sr * (sigma * loss_served as f64 + (1.0 - sigma) * loss_unserved as f64);
+        }
+        let actual = system.expected_loss(from_idx, 0);
+        assert!(
+            (actual - expected).abs() < 1e-12,
+            "{}: {actual} vs {expected}",
+            system.state_label(from_idx)
+        );
+    }
+}
+
+#[test]
+fn zero_capacity_composition_has_single_queue_state() {
+    let sp = provider(0.5, 0.5, 0.9);
+    let sr = ServiceRequester::two_state(0.1, 0.9).expect("valid");
+    let system = SystemModel::compose(sp, sr, ServiceQueue::with_capacity(0)).expect("composes");
+    assert_eq!(system.num_states(), 4); // 2 SP × 2 SR × 1 SQ
+    for i in 0..system.num_states() {
+        assert_eq!(system.state_of(i).queue, 0);
+    }
+}

@@ -1,0 +1,210 @@
+use crate::{LinalgError, Matrix};
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
+///
+/// The interior-point LP solver in `dpm-lp` forms the normal equations
+/// `(A D² Aᵀ) Δy = r` at every iteration; those systems are SPD by
+/// construction and Cholesky is the standard (and fastest) way to solve
+/// them — this mirrors the structure of PCx, the solver used by the paper.
+///
+/// # Example
+///
+/// ```
+/// use dpm_linalg::{Matrix, Cholesky};
+///
+/// # fn main() -> Result<(), dpm_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = Cholesky::new(&a)?;
+/// let x = chol.solve(&[2.0, 1.0])?;
+/// let b = a.matvec(&x)?;
+/// assert!((b[0] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored densely (upper part zero).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Minimum pivot value before the matrix is declared not positive
+    /// definite.
+    const MIN_PIVOT: f64 = 1e-13;
+
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; the caller is responsible
+    /// for `a` being symmetric.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a diagonal pivot is not
+    ///   sufficiently positive.
+    /// * [`LinalgError::NonFiniteEntry`] if `a` contains NaN/∞.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                found: a.shape(),
+                expected: (a.rows(), a.rows()),
+            });
+        }
+        a.validate_finite()?;
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                let ljk = l[(j, k)];
+                d -= ljk * ljk;
+            }
+            if d <= Self::MIN_PIVOT {
+                return Err(LinalgError::NotPositiveDefinite { index: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factorizes `a + shift·I`; used by the interior-point solver to
+    /// regularize nearly-singular normal equations near convergence.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::new`].
+    pub fn new_regularized(a: &Matrix, shift: f64) -> Result<Self, LinalgError> {
+        let mut shifted = a.clone();
+        for i in 0..a.rows() {
+            shifted[(i, i)] += shift;
+        }
+        Self::new(&shifted)
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via the two triangular solves `L z = b`, `Lᵀ x = z`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                found: (b.len(), 1),
+                expected: (n, 1),
+            });
+        }
+        let mut x = b.to_vec();
+        // Forward: L z = b.
+        for i in 0..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * x[j];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = z.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.l[(j, i)] * x[j];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::approx_eq;
+
+    /// Builds the SPD matrix M·Mᵀ + I from a deterministic pseudo-random M.
+    fn spd_matrix(n: usize, seed: u64) -> Matrix {
+        let mut s = seed.max(1);
+        let m = Matrix::from_fn(n, n, |_, _| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 1000) as f64 / 500.0 - 1.0
+        });
+        let mut a = m.matmul(&m.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd_matrix(6, 11);
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.factor();
+        let back = l.matmul(&l.transpose()).unwrap();
+        assert!((&back - &a).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_round_trips() {
+        let a = spd_matrix(8, 23);
+        let chol = Cholesky::new(&a).unwrap();
+        let b: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+        let x = chol.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        assert!(approx_eq(&back, &b, 1e-9));
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Cholesky::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn regularization_rescues_semidefinite_matrix() {
+        // Rank-one PSD matrix: not PD, but PD after a diagonal shift.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(Cholesky::new(&a).is_err());
+        assert!(Cholesky::new_regularized(&a, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let chol = Cholesky::new(&Matrix::identity(4)).unwrap();
+        let b = vec![1.0, -2.0, 3.0, -4.0];
+        assert!(approx_eq(&chol.solve(&b).unwrap(), &b, 1e-15));
+    }
+
+    #[test]
+    fn mismatched_rhs_is_rejected() {
+        let chol = Cholesky::new(&Matrix::identity(3)).unwrap();
+        assert!(chol.solve(&[1.0]).is_err());
+    }
+}

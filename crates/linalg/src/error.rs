@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the dense linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// A matrix was constructed or used with inconsistent dimensions.
+    DimensionMismatch {
+        /// What the caller supplied.
+        found: (usize, usize),
+        /// What the operation required.
+        expected: (usize, usize),
+    },
+    /// A factorization met a pivot smaller than its tolerance, i.e. the
+    /// matrix is singular to working precision.
+    SingularMatrix {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// A Cholesky factorization met a non-positive diagonal, i.e. the matrix
+    /// is not positive definite to working precision.
+    NotPositiveDefinite {
+        /// Index of the failing diagonal entry.
+        index: usize,
+    },
+    /// A matrix constructor was given rows of unequal length.
+    RaggedRows {
+        /// Index of the first row whose length disagrees with row 0.
+        row: usize,
+    },
+    /// An operation that requires a non-empty matrix received an empty one.
+    Empty,
+    /// A matrix entry was NaN or infinite where a finite value is required.
+    NonFiniteEntry {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { found, expected } => write!(
+                f,
+                "dimension mismatch: found {}x{}, expected {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+            LinalgError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular to working precision at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite at diagonal index {index}")
+            }
+            LinalgError::RaggedRows { row } => {
+                write!(f, "row {row} has a different length than row 0")
+            }
+            LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
+            LinalgError::NonFiniteEntry { row, col } => {
+                write!(f, "non-finite entry at ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::SingularMatrix { pivot: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains("pivot 3"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

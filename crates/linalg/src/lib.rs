@@ -1,0 +1,48 @@
+//! Dense linear-algebra substrate for the `markov-dpm` workspace.
+//!
+//! This crate provides exactly the numerical kernels the rest of the
+//! reproduction needs — no more, no less:
+//!
+//! * [`Matrix`] — a dense, row-major `f64` matrix with the usual algebra,
+//! * [`LuDecomposition`] — LU factorization with partial pivoting, used to
+//!   solve the square linear systems arising in exact policy evaluation
+//!   (`(I − αPᵨ)v = cᵨ`) and in the simplex basis solves,
+//! * [`Cholesky`] — symmetric positive-definite factorization, used by the
+//!   interior-point LP solver's normal equations,
+//! * [`vector`] — small helpers (dot products, norms, `axpy`) on `&[f64]`.
+//!
+//! Everything is implemented from scratch on `f64`; there are no external
+//! numerical dependencies. The factorizations return errors (never panic)
+//! on singular or non-SPD inputs so callers can degrade gracefully.
+//!
+//! # Example
+//!
+//! ```
+//! use dpm_linalg::{Matrix, LuDecomposition};
+//!
+//! # fn main() -> Result<(), dpm_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = LuDecomposition::new(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + 1.0 * x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod cholesky;
+mod error;
+mod lu;
+mod matrix;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use lu::LuDecomposition;
+pub use matrix::Matrix;
+
+/// Default absolute tolerance used by the factorizations to declare a pivot
+/// numerically zero.
+pub const DEFAULT_PIVOT_TOLERANCE: f64 = 1e-12;

@@ -1,0 +1,343 @@
+use crate::{LinalgError, Matrix, DEFAULT_PIVOT_TOLERANCE};
+
+/// LU factorization with partial (row) pivoting: `P·A = L·U`.
+///
+/// The factorization is computed once and can then solve any number of
+/// right-hand sides in `O(n²)` each. This is how the workspace solves the
+/// policy-evaluation systems `(I − αPᵨ)v = cᵨ` and the stationary-
+/// distribution systems of `dpm-markov`.
+///
+/// # Example
+///
+/// ```
+/// use dpm_linalg::{Matrix, LuDecomposition};
+///
+/// # fn main() -> Result<(), dpm_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = LuDecomposition::new(&a)?;
+/// let x = lu.solve(&[3.0, 5.0])?;
+/// // verify A x = b
+/// let b = a.matvec(&x)?;
+/// assert!((b[0] - 3.0).abs() < 1e-12 && (b[1] - 5.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Packed LU factors: strictly-lower part stores L (unit diagonal
+    /// implied), upper triangle stores U.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used by [`Self::determinant`].
+    perm_sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factorizes a square matrix with the default pivot tolerance.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `a` is not square.
+    /// * [`LinalgError::SingularMatrix`] if a pivot column has no entry
+    ///   larger than the tolerance.
+    /// * [`LinalgError::NonFiniteEntry`] if `a` contains NaN/∞.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        Self::with_tolerance(a, DEFAULT_PIVOT_TOLERANCE)
+    }
+
+    /// Factorizes with an explicit pivot tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::new`].
+    pub fn with_tolerance(a: &Matrix, tol: f64) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                found: a.shape(),
+                expected: (a.rows(), a.rows()),
+            });
+        }
+        a.validate_finite()?;
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest entry in column k at or
+            // below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= tol {
+                return Err(LinalgError::SingularMatrix { pivot: k });
+            }
+            if pivot_row != k {
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                found: (b.len(), 1),
+                expected: (n, 1),
+            });
+        }
+        // Apply permutation: y = P b.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `Aᵀ x = b`, reusing the same factors (`Aᵀ = Uᵀ Lᵀ P`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != self.dim()`.
+    pub fn solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                found: (b.len(), 1),
+                expected: (n, 1),
+            });
+        }
+        let mut y = b.to_vec();
+        // Solve Uᵀ z = b (forward substitution on the transpose of U).
+        for i in 0..n {
+            let mut s = y[i];
+            for j in 0..i {
+                s -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = s / self.lu[(i, i)];
+        }
+        // Solve Lᵀ w = z (backward substitution, unit diagonal).
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = s;
+        }
+        // x = Pᵀ w: undo the row permutation.
+        let mut x = vec![0.0; n];
+        for (i, &p) in self.perm.iter().enumerate() {
+            x[p] = y[i];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column-by-column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `B.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                found: b.shape(),
+                expected: (n, b.cols()),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `A⁻¹` explicitly. Prefer [`Self::solve`] when possible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the per-column solves (none expected once the
+    /// factorization has succeeded).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factored matrix (product of pivots times the
+    /// permutation sign).
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::approx_eq;
+
+    fn random_like_matrix(n: usize, seed: u64) -> Matrix {
+        // Deterministic pseudo-random fill (xorshift) — keeps the test
+        // self-contained without pulling rand into this crate.
+        let mut s = seed.max(1);
+        Matrix::from_fn(n, n, |i, j| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let v = (s % 1000) as f64 / 500.0 - 1.0;
+            // Diagonal boost keeps the matrix comfortably non-singular.
+            if i == j {
+                v + (n as f64)
+            } else {
+                v
+            }
+        })
+    }
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
+            .unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&[8.0, -11.0, -3.0]).unwrap();
+        assert!(approx_eq(&x, &[2.0, 3.0, -1.0], 1e-10));
+    }
+
+    #[test]
+    fn solve_transposed_is_consistent() {
+        let a = random_like_matrix(6, 42);
+        let lu = LuDecomposition::new(&a).unwrap();
+        let b: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let x = lu.solve_transposed(&b).unwrap();
+        let back = a.transpose().matvec(&x).unwrap();
+        assert!(approx_eq(&back, &b, 1e-9));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = random_like_matrix(5, 7);
+        let lu = LuDecomposition::new(&a).unwrap();
+        let inv = lu.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let id = Matrix::identity(5);
+        assert!((&prod - &id).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        match LuDecomposition::new(&a) {
+            Err(LinalgError::SingularMatrix { .. }) => {}
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_input() {
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::NAN;
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::NonFiniteEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_matches_known_value() {
+        let a = Matrix::from_rows(&[&[3.0, 8.0], &[4.0, 6.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.determinant() - (-14.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&[5.0, 6.0]).unwrap();
+        assert!(approx_eq(&x, &[6.0, 5.0], 1e-12));
+    }
+
+    #[test]
+    fn solve_matrix_solves_all_columns() {
+        let a = random_like_matrix(4, 99);
+        let lu = LuDecomposition::new(&a).unwrap();
+        let b = random_like_matrix(4, 123);
+        let x = lu.solve_matrix(&b).unwrap();
+        let back = a.matmul(&x).unwrap();
+        assert!((&back - &b).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_rhs_is_rejected() {
+        let a = Matrix::identity(3);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+        assert!(lu.solve_transposed(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Small vector helpers on `&[f64]` slices.
+//!
+//! The workspace deliberately represents vectors as plain `Vec<f64>` /
+//! `&[f64]` — probability distributions, cost vectors and LP iterates all
+//! flow through standard containers so callers can use the full iterator
+//! toolbox — and this module supplies the handful of BLAS-1 style kernels
+//! they need.
+
+/// Dot product of two equally-long slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// In-place `y ← y + alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean (ℓ²) norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Maximum absolute value (ℓ∞ norm); zero for an empty slice.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// Sum of all entries (ℓ¹ "norm" for non-negative vectors).
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Scales every entry in place.
+pub fn scale(a: &mut [f64], factor: f64) {
+    for v in a.iter_mut() {
+        *v *= factor;
+    }
+}
+
+/// Maximum absolute difference between two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// `true` when two slices agree entrywise within `tol`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    max_abs_diff(a, b) <= tol
+}
+
+/// Normalizes a non-negative slice in place so it sums to one, returning the
+/// original sum. Leaves an all-zero slice untouched and returns 0.
+pub fn normalize_l1(a: &mut [f64]) -> f64 {
+    let s = sum(a);
+    if s > 0.0 {
+        scale(a, 1.0 / s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn norms_match_hand_values() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+        assert_eq!(sum(&[1.5, 2.5]), 4.0);
+    }
+
+    #[test]
+    fn normalize_l1_makes_distribution() {
+        let mut a = vec![1.0, 3.0];
+        let s = normalize_l1(&mut a);
+        assert_eq!(s, 4.0);
+        assert!(approx_eq(&a, &[0.25, 0.75], 1e-15));
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize_l1(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_symmetric() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[2.0, 3.0]), 2.0);
+        assert!(approx_eq(&[1.0], &[1.0 + 1e-12], 1e-9));
+    }
+}

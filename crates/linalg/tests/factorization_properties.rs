@@ -1,0 +1,111 @@
+//! Property-based tests of the factorizations on randomly generated
+//! matrices: LU solves must reproduce right-hand sides, Cholesky must
+//! round-trip SPD matrices, and both must reject the inputs they cannot
+//! handle.
+
+use dpm_linalg::{vector, Cholesky, LuDecomposition, Matrix};
+use proptest::prelude::*;
+
+/// A random well-conditioned square matrix (diagonally dominant).
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-100i32..=100, n * n).prop_map(move |cells| {
+        let mut m = Matrix::from_vec(
+            n,
+            n,
+            cells.iter().map(|&v| v as f64 / 50.0).collect(),
+        )
+        .expect("length matches");
+        for i in 0..n {
+            let row_sum: f64 = m.row(i).iter().map(|v| v.abs()).sum();
+            m[(i, i)] += row_sum + 1.0;
+        }
+        m
+    })
+}
+
+/// A random right-hand side.
+fn rhs(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100i32..=100, n).prop_map(|v| {
+        v.into_iter().map(|x| x as f64 / 10.0).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lu_solve_reproduces_rhs(a in dominant_matrix(5), b in rhs(5)) {
+        let lu = LuDecomposition::new(&a).expect("diagonally dominant");
+        let x = lu.solve(&b).expect("dimensions match");
+        let back = a.matvec(&x).expect("dimensions match");
+        prop_assert!(vector::max_abs_diff(&back, &b) < 1e-8);
+    }
+
+    #[test]
+    fn lu_transposed_solve_matches_explicit_transpose(a in dominant_matrix(4), b in rhs(4)) {
+        let lu = LuDecomposition::new(&a).expect("dominant");
+        let x1 = lu.solve_transposed(&b).expect("dims");
+        let lu_t = LuDecomposition::new(&a.transpose()).expect("dominant transpose");
+        let x2 = lu_t.solve(&b).expect("dims");
+        prop_assert!(vector::max_abs_diff(&x1, &x2) < 1e-8);
+    }
+
+    #[test]
+    fn determinant_of_product_multiplies(a in dominant_matrix(3), b in dominant_matrix(3)) {
+        let det_a = LuDecomposition::new(&a).expect("dominant").determinant();
+        let det_b = LuDecomposition::new(&b).expect("dominant").determinant();
+        let ab = a.matmul(&b).expect("square");
+        let det_ab = LuDecomposition::new(&ab).expect("product nonsingular").determinant();
+        prop_assert!((det_ab - det_a * det_b).abs() < 1e-6 * (1.0 + det_ab.abs()));
+    }
+
+    #[test]
+    fn cholesky_round_trips_spd(a in dominant_matrix(5), b in rhs(5)) {
+        // Symmetrize a diagonally dominant matrix: still SPD.
+        let spd = {
+            let at = a.transpose();
+            (&a + &at).scaled(0.5)
+        };
+        let chol = Cholesky::new(&spd).expect("SPD by construction");
+        let x = chol.solve(&b).expect("dims");
+        let back = spd.matvec(&x).expect("dims");
+        prop_assert!(vector::max_abs_diff(&back, &b) < 1e-8);
+        // L·Lᵀ reproduces the input.
+        let l = chol.factor();
+        let llt = l.matmul(&l.transpose()).expect("square");
+        prop_assert!((&llt - &spd).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_inverts(a in dominant_matrix(4)) {
+        let lu = LuDecomposition::new(&a).expect("dominant");
+        let inv = lu.inverse().expect("nonsingular");
+        let prod = a.matmul(&inv).expect("square");
+        prop_assert!((&prod - &Matrix::identity(4)).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        a in dominant_matrix(3),
+        b in dominant_matrix(3),
+        c in dominant_matrix(3),
+    ) {
+        let left = a.matmul(&b).expect("sq").matmul(&c).expect("sq");
+        let right = a.matmul(&b.matmul(&c).expect("sq")).expect("sq");
+        prop_assert!((&left - &right).max_abs() < 1e-6 * (1.0 + left.max_abs()));
+    }
+
+    #[test]
+    fn vecmat_is_transpose_matvec(a in dominant_matrix(4), x in rhs(4)) {
+        let left = a.vecmat(&x).expect("dims");
+        let right = a.transpose().matvec(&x).expect("dims");
+        prop_assert!(vector::max_abs_diff(&left, &right) < 1e-10);
+    }
+}
+
+#[test]
+fn singular_matrix_is_rejected_not_panicked() {
+    let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0], &[0.0, 1.0, 1.0]])
+        .expect("shape");
+    assert!(LuDecomposition::new(&a).is_err());
+}

@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+use dpm_linalg::LinalgError;
+
+/// Errors produced while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// The feasible region is empty. For the policy optimizer this is the
+    /// paper's `g(C) = +∞` case: the requested constraint combination is
+    /// outside the feasible allocation set.
+    Infeasible,
+    /// The objective is unbounded on the feasible region.
+    Unbounded,
+    /// The solver hit its iteration limit before converging.
+    IterationLimit {
+        /// The limit that was exhausted.
+        limit: usize,
+    },
+    /// A numerical failure (singular basis, non-PD normal equations, ...).
+    Numerical {
+        /// Human-readable description of what failed.
+        reason: String,
+    },
+    /// A constraint row length does not match the number of variables.
+    BadConstraint {
+        /// What the caller supplied.
+        found: usize,
+        /// The number of variables of the program.
+        expected: usize,
+    },
+    /// The program has no variables.
+    EmptyProblem,
+    /// A coefficient, bound or objective entry was NaN or infinite.
+    NonFiniteInput,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit { limit } => {
+                write!(f, "solver reached its iteration limit of {limit}")
+            }
+            LpError::Numerical { reason } => write!(f, "numerical failure: {reason}"),
+            LpError::BadConstraint { found, expected } => write!(
+                f,
+                "constraint has {found} coefficients but the program has {expected} variables"
+            ),
+            LpError::EmptyProblem => write!(f, "linear program has no variables"),
+            LpError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+impl From<LinalgError> for LpError {
+    fn from(e: LinalgError) -> Self {
+        LpError::Numerical {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        assert!(LpError::IterationLimit { limit: 10 }
+            .to_string()
+            .contains("10"));
+    }
+
+    #[test]
+    fn converts_from_linalg_error() {
+        let e: LpError = LinalgError::SingularMatrix { pivot: 2 }.into();
+        assert!(matches!(e, LpError::Numerical { .. }));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+}

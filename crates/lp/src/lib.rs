@@ -1,0 +1,88 @@
+//! Linear programming solvers for the `markov-dpm` workspace.
+//!
+//! The central result of Benini et al. (DAC'98/TCAD'99) is that optimal
+//! power-management policies are solutions of a linear program over
+//! discounted state–action frequencies (problems LP2/LP3/LP4 of the paper's
+//! Appendix A). The paper's tool was built around **PCx**, an interior-point
+//! LP code; this crate reproduces that capability from scratch with two
+//! independent solvers:
+//!
+//! * [`Simplex`] — a two-phase primal simplex method on a dense tableau,
+//!   with Dantzig pricing and automatic fallback to Bland's rule for
+//!   anti-cycling. It detects infeasibility and unboundedness exactly,
+//!   which the policy optimizer uses to map the *feasible allocation set*
+//!   (Section IV-A of the paper).
+//! * [`InteriorPoint`] — a Mehrotra predictor–corrector primal–dual
+//!   interior-point method solving the same standard-form problems via
+//!   Cholesky-factored normal equations, in the spirit of PCx [27].
+//!
+//! Both implement the [`LpSolver`] trait and are cross-checked against each
+//! other in the test suites. Problems are described with the
+//! [`LinearProgram`] builder:
+//!
+//! ```
+//! use dpm_lp::{ConstraintOp, LinearProgram, LpSolver, Simplex};
+//!
+//! # fn main() -> Result<(), dpm_lp::LpError> {
+//! // minimize  -x0 - 2 x1
+//! // subject to x0 + x1 <= 4,  x1 <= 2,  x >= 0
+//! let mut lp = LinearProgram::minimize(&[-1.0, -2.0]);
+//! lp.add_constraint(&[1.0, 1.0], ConstraintOp::Le, 4.0)?;
+//! lp.add_constraint(&[0.0, 1.0], ConstraintOp::Le, 2.0)?;
+//! let solution = Simplex::new().solve(&lp)?;
+//! assert!((solution.objective() - (-6.0)).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod error;
+mod interior_point;
+mod presolve;
+mod problem;
+mod simplex;
+mod solution;
+
+pub use error::LpError;
+pub use interior_point::InteriorPoint;
+pub use presolve::{presolve, PresolveReport};
+pub use problem::{ConstraintOp, LinearProgram, StandardForm};
+pub use simplex::{PivotRule, Simplex};
+pub use solution::LpSolution;
+
+/// A linear-programming algorithm that can solve a [`LinearProgram`].
+///
+/// Implemented by [`Simplex`] and [`InteriorPoint`]. The trait is object
+/// safe so callers can select a solver at run time:
+///
+/// ```
+/// use dpm_lp::{InteriorPoint, LinearProgram, LpSolver, Simplex};
+///
+/// # fn main() -> Result<(), dpm_lp::LpError> {
+/// let solvers: Vec<Box<dyn LpSolver>> =
+///     vec![Box::new(Simplex::new()), Box::new(InteriorPoint::new())];
+/// let lp = LinearProgram::minimize(&[1.0]);
+/// for solver in &solvers {
+///     assert!(solver.solve(&lp)?.objective().abs() < 1e-7);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub trait LpSolver: std::fmt::Debug {
+    /// Solves the program to optimality.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] when no point satisfies the constraints.
+    /// * [`LpError::Unbounded`] when the objective is unbounded below
+    ///   (above, for maximization) on the feasible set.
+    /// * [`LpError::IterationLimit`] / [`LpError::Numerical`] on
+    ///   algorithmic failure.
+    fn solve(&self, lp: &LinearProgram) -> Result<LpSolution, LpError>;
+
+    /// Short human-readable name of the algorithm ("simplex",
+    /// "interior-point"), used in logs and benchmark tables.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,173 @@
+//! A small presolver in the spirit of the preprocessing stage of PCx.
+//!
+//! Interior-point codes are routinely fronted by a presolver that removes
+//! redundancies before factorization; the paper highlights this
+//! ("Interior point algorithms, augmented with presolvers, can efficiently
+//! solve very large LP instances"). The transformations implemented here
+//! are the ones that actually fire on occupation-measure LPs:
+//!
+//! * **empty rows** — `0 ≤ b` rows are dropped (or declared infeasible),
+//! * **fixed-by-bounds columns** — a variable appearing in no constraint is
+//!   fixed to 0 when its cost is non-negative (and proves unboundedness
+//!   when its cost is negative),
+//! * **row scaling** — equilibrates constraint rows to unit ∞-norm.
+
+use crate::problem::ConstraintOp;
+use crate::{LinearProgram, LpError};
+
+/// Summary of what [`presolve`] did to a program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PresolveReport {
+    /// Constraints removed because they had no nonzero coefficients.
+    pub empty_rows_removed: usize,
+    /// Variables fixed to zero because they appear in no constraint and
+    /// have non-negative cost.
+    pub columns_fixed: usize,
+    /// Rows rescaled to unit ∞-norm.
+    pub rows_scaled: usize,
+}
+
+/// Simplifies a program in place.
+///
+/// The returned report says what changed. Fixed columns keep their index
+/// (so solutions remain aligned); they are fixed by adding the explicit
+/// equality `xⱼ = 0`, which both solvers eliminate cheaply.
+///
+/// # Errors
+///
+/// * [`LpError::Infeasible`] if an empty row demands a nonzero value.
+/// * [`LpError::Unbounded`] if an unconstrained column has negative cost
+///   (positive for maximization).
+pub fn presolve(lp: &mut LinearProgram) -> Result<PresolveReport, LpError> {
+    lp.validate()?;
+    let n = lp.num_vars();
+    let mut report = PresolveReport::default();
+
+    // Pass 1: collect constraints, dropping empty rows.
+    let mut kept: Vec<(Vec<f64>, ConstraintOp, f64)> = Vec::new();
+    let mut column_used = vec![false; n];
+    for i in 0..lp.num_constraints() {
+        let (row, op, rhs) = lp.constraint(i);
+        let max_coeff = row.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        if max_coeff == 0.0 {
+            let violated = match op {
+                ConstraintOp::Le => rhs < 0.0,
+                ConstraintOp::Ge => rhs > 0.0,
+                ConstraintOp::Eq => rhs != 0.0,
+            };
+            if violated {
+                return Err(LpError::Infeasible);
+            }
+            report.empty_rows_removed += 1;
+            continue;
+        }
+        for (j, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                column_used[j] = true;
+            }
+        }
+        // Row scaling to unit infinity norm.
+        let (row, rhs) = if max_coeff != 1.0 {
+            report.rows_scaled += 1;
+            (
+                row.iter().map(|v| v / max_coeff).collect::<Vec<_>>(),
+                rhs / max_coeff,
+            )
+        } else {
+            (row.to_vec(), rhs)
+        };
+        kept.push((row, op, rhs));
+    }
+
+    // Pass 2: unconstrained columns.
+    let sign = if lp.is_maximize() { -1.0 } else { 1.0 };
+    let mut fix_rows: Vec<usize> = Vec::new();
+    for (j, used) in column_used.iter().enumerate() {
+        if !used {
+            let cost = sign * lp.objective_coefficients()[j];
+            if cost < 0.0 {
+                return Err(LpError::Unbounded);
+            }
+            if cost > 0.0 {
+                // Harmless to leave free when cost is exactly 0; fixing
+                // only when the objective would otherwise pull it up.
+                report.columns_fixed += 1;
+                fix_rows.push(j);
+            }
+        }
+    }
+
+    // Rebuild the program.
+    let objective = lp.objective_coefficients().to_vec();
+    let mut rebuilt = if lp.is_maximize() {
+        LinearProgram::maximize(&objective)
+    } else {
+        LinearProgram::minimize(&objective)
+    };
+    for (row, op, rhs) in kept {
+        rebuilt.add_constraint(&row, op, rhs)?;
+    }
+    for j in fix_rows {
+        rebuilt.add_sparse_constraint(&[(j, 1.0)], ConstraintOp::Eq, 0.0)?;
+    }
+    *lp = rebuilt;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LpSolver, Simplex};
+
+    #[test]
+    fn removes_empty_rows() {
+        let mut lp = LinearProgram::minimize(&[1.0]);
+        lp.add_constraint(&[0.0], ConstraintOp::Le, 5.0).unwrap();
+        lp.add_constraint(&[1.0], ConstraintOp::Ge, 1.0).unwrap();
+        let report = presolve(&mut lp).unwrap();
+        assert_eq!(report.empty_rows_removed, 1);
+        assert_eq!(lp.num_constraints(), 1);
+    }
+
+    #[test]
+    fn detects_infeasible_empty_row() {
+        let mut lp = LinearProgram::minimize(&[1.0]);
+        lp.add_constraint(&[0.0], ConstraintOp::Ge, 1.0).unwrap();
+        assert_eq!(presolve(&mut lp).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded_free_column() {
+        let lp_vars = [-1.0, 1.0];
+        let mut lp = LinearProgram::minimize(&lp_vars);
+        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Le, 1.0).unwrap();
+        assert_eq!(presolve(&mut lp).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn fixes_costly_free_column() {
+        let mut lp = LinearProgram::minimize(&[1.0, 1.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Ge, 1.0).unwrap();
+        let report = presolve(&mut lp).unwrap();
+        // x1 appears nowhere but has positive cost: it is *minimized* to 0
+        // anyway, so fixing is cosmetic — but only fires for positive cost.
+        assert_eq!(report.columns_fixed, 1);
+        let s = Simplex::new().solve(&lp).unwrap();
+        assert!((s.objective() - 1.0).abs() < 1e-9);
+        assert!(s.x()[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_preserves_optimum() {
+        let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+        lp.add_constraint(&[100.0, 0.0], ConstraintOp::Le, 400.0).unwrap();
+        lp.add_constraint(&[0.0, 2000.0], ConstraintOp::Le, 12000.0)
+            .unwrap();
+        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0).unwrap();
+        let before = Simplex::new().solve(&lp).unwrap().objective();
+        let report = presolve(&mut lp).unwrap();
+        assert!(report.rows_scaled >= 2);
+        let after = Simplex::new().solve(&lp).unwrap().objective();
+        assert!((before - after).abs() < 1e-9);
+    }
+}

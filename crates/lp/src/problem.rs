@@ -1,0 +1,401 @@
+use dpm_linalg::Matrix;
+
+use crate::LpError;
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintOp {
+    /// `aᵀx ≤ b`
+    Le,
+    /// `aᵀx ≥ b`
+    Ge,
+    /// `aᵀx = b`
+    Eq,
+}
+
+impl std::fmt::Display for ConstraintOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstraintOp::Le => write!(f, "<="),
+            ConstraintOp::Ge => write!(f, ">="),
+            ConstraintOp::Eq => write!(f, "="),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub(crate) coefficients: Vec<f64>,
+    pub(crate) op: ConstraintOp,
+    pub(crate) rhs: f64,
+}
+
+/// A linear program over non-negative variables.
+///
+/// The canonical problem is
+///
+/// ```text
+/// minimize (or maximize)   cᵀ x
+/// subject to               aᵢᵀ x {≤, ≥, =} bᵢ   for every constraint i
+///                          x ≥ 0
+/// ```
+///
+/// Non-negativity is exactly what the occupation-measure LPs of the paper
+/// require (state–action frequencies are expected visit counts), so no
+/// general bound handling is included.
+///
+/// # Example
+///
+/// ```
+/// use dpm_lp::{ConstraintOp, LinearProgram};
+///
+/// # fn main() -> Result<(), dpm_lp::LpError> {
+/// let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+/// lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)?;
+/// lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)?;
+/// lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)?;
+/// assert_eq!(lp.num_vars(), 2);
+/// assert_eq!(lp.num_constraints(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    maximize: bool,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates a minimization problem with objective coefficients `c`.
+    pub fn minimize(c: &[f64]) -> Self {
+        LinearProgram {
+            objective: c.to_vec(),
+            maximize: false,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Creates a maximization problem with objective coefficients `c`.
+    pub fn maximize(c: &[f64]) -> Self {
+        LinearProgram {
+            objective: c.to_vec(),
+            maximize: true,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds the constraint `coefficients · x op rhs`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::BadConstraint`] when `coefficients.len()` differs from
+    ///   the number of variables.
+    /// * [`LpError::NonFiniteInput`] when any coefficient or the rhs is
+    ///   NaN/∞.
+    pub fn add_constraint(
+        &mut self,
+        coefficients: &[f64],
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> Result<&mut Self, LpError> {
+        if coefficients.len() != self.objective.len() {
+            return Err(LpError::BadConstraint {
+                found: coefficients.len(),
+                expected: self.objective.len(),
+            });
+        }
+        if !rhs.is_finite() || coefficients.iter().any(|v| !v.is_finite()) {
+            return Err(LpError::NonFiniteInput);
+        }
+        self.constraints.push(Constraint {
+            coefficients: coefficients.to_vec(),
+            op,
+            rhs,
+        });
+        Ok(self)
+    }
+
+    /// Adds a sparse constraint given as `(variable index, coefficient)`
+    /// pairs. Unmentioned variables get coefficient zero.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::add_constraint`]; additionally an index
+    /// `>= num_vars()` yields [`LpError::BadConstraint`].
+    pub fn add_sparse_constraint(
+        &mut self,
+        entries: &[(usize, f64)],
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> Result<&mut Self, LpError> {
+        let n = self.objective.len();
+        let mut row = vec![0.0; n];
+        for &(j, v) in entries {
+            if j >= n {
+                return Err(LpError::BadConstraint {
+                    found: j + 1,
+                    expected: n,
+                });
+            }
+            row[j] += v;
+        }
+        self.add_constraint(&row, op, rhs)
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// `true` for maximization problems.
+    pub fn is_maximize(&self) -> bool {
+        self.maximize
+    }
+
+    /// Objective coefficient vector.
+    pub fn objective_coefficients(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The `i`-th constraint as `(coefficients, op, rhs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_constraints()`.
+    pub fn constraint(&self, i: usize) -> (&[f64], ConstraintOp, f64) {
+        let c = &self.constraints[i];
+        (&c.coefficients, c.op, c.rhs)
+    }
+
+    /// Validates the program as a whole.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::EmptyProblem`] when there are no variables.
+    /// * [`LpError::NonFiniteInput`] when the objective contains NaN/∞.
+    pub fn validate(&self) -> Result<(), LpError> {
+        if self.objective.is_empty() {
+            return Err(LpError::EmptyProblem);
+        }
+        if self.objective.iter().any(|v| !v.is_finite()) {
+            return Err(LpError::NonFiniteInput);
+        }
+        Ok(())
+    }
+
+    /// Evaluates the objective at a point (always in the user's orientation:
+    /// larger is better for maximization problems).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        dpm_linalg::vector::dot(&self.objective, x)
+    }
+
+    /// Maximum constraint violation at a point (0 for feasible points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut worst = x.iter().fold(0.0_f64, |w, &v| w.max(-v));
+        for c in &self.constraints {
+            let lhs = dpm_linalg::vector::dot(&c.coefficients, x);
+            let viol = match c.op {
+                ConstraintOp::Le => lhs - c.rhs,
+                ConstraintOp::Ge => c.rhs - lhs,
+                ConstraintOp::Eq => (lhs - c.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst
+    }
+
+    /// Converts the program to equality standard form
+    /// `min c̃ᵀ x̃, Ã x̃ = b, x̃ ≥ 0` by adding one slack/surplus variable per
+    /// inequality and negating the objective of maximization problems.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::validate`] failures.
+    pub fn to_standard_form(&self) -> Result<StandardForm, LpError> {
+        self.validate()?;
+        let n = self.num_vars();
+        let m = self.num_constraints();
+        let num_slacks = self
+            .constraints
+            .iter()
+            .filter(|c| c.op != ConstraintOp::Eq)
+            .count();
+        let total = n + num_slacks;
+
+        let mut a = Matrix::zeros(m, total);
+        let mut b = vec![0.0; m];
+        let mut c = vec![0.0; total];
+        let sign = if self.maximize { -1.0 } else { 1.0 };
+        for (j, &cj) in self.objective.iter().enumerate() {
+            c[j] = sign * cj;
+        }
+
+        let mut slack = n;
+        for (i, con) in self.constraints.iter().enumerate() {
+            for (j, &v) in con.coefficients.iter().enumerate() {
+                a[(i, j)] = v;
+            }
+            b[i] = con.rhs;
+            match con.op {
+                ConstraintOp::Le => {
+                    a[(i, slack)] = 1.0;
+                    slack += 1;
+                }
+                ConstraintOp::Ge => {
+                    a[(i, slack)] = -1.0;
+                    slack += 1;
+                }
+                ConstraintOp::Eq => {}
+            }
+        }
+
+        Ok(StandardForm {
+            a,
+            b,
+            c,
+            num_original_vars: n,
+            objective_sign: sign,
+        })
+    }
+}
+
+/// Equality standard form `min cᵀx, Ax = b, x ≥ 0` of a [`LinearProgram`],
+/// produced by [`LinearProgram::to_standard_form`].
+///
+/// The first [`Self::num_original_vars`] variables are the user's; the
+/// remainder are slacks/surpluses appended in constraint order.
+#[derive(Debug, Clone)]
+pub struct StandardForm {
+    /// Equality constraint matrix.
+    pub a: Matrix,
+    /// Right-hand side.
+    pub b: Vec<f64>,
+    /// Minimization objective (already negated for maximization problems).
+    pub c: Vec<f64>,
+    /// How many leading variables belong to the original problem.
+    pub num_original_vars: usize,
+    /// `+1` for minimization, `−1` for maximization: multiply a standard
+    /// form objective value by this to recover the user's orientation.
+    pub objective_sign: f64,
+}
+
+impl StandardForm {
+    /// Extracts the original variables from a standard-form point.
+    pub fn original_solution(&self, x: &[f64]) -> Vec<f64> {
+        x[..self.num_original_vars].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_counts_and_accessors() {
+        let mut lp = LinearProgram::minimize(&[1.0, 2.0, 3.0]);
+        lp.add_constraint(&[1.0, 1.0, 1.0], ConstraintOp::Eq, 1.0)
+            .unwrap();
+        lp.add_constraint(&[1.0, 0.0, 0.0], ConstraintOp::Le, 0.5)
+            .unwrap();
+        assert_eq!(lp.num_vars(), 3);
+        assert_eq!(lp.num_constraints(), 2);
+        assert!(!lp.is_maximize());
+        let (row, op, rhs) = lp.constraint(1);
+        assert_eq!(row, &[1.0, 0.0, 0.0]);
+        assert_eq!(op, ConstraintOp::Le);
+        assert_eq!(rhs, 0.5);
+    }
+
+    #[test]
+    fn rejects_wrong_length_constraint() {
+        let mut lp = LinearProgram::minimize(&[1.0, 2.0]);
+        let err = lp
+            .add_constraint(&[1.0], ConstraintOp::Le, 1.0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LpError::BadConstraint {
+                found: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut lp = LinearProgram::minimize(&[1.0]);
+        assert_eq!(
+            lp.add_constraint(&[f64::NAN], ConstraintOp::Le, 1.0)
+                .unwrap_err(),
+            LpError::NonFiniteInput
+        );
+        assert_eq!(
+            lp.add_constraint(&[1.0], ConstraintOp::Le, f64::INFINITY)
+                .unwrap_err(),
+            LpError::NonFiniteInput
+        );
+    }
+
+    #[test]
+    fn sparse_constraint_accumulates_duplicates() {
+        let mut lp = LinearProgram::minimize(&[0.0; 4]);
+        lp.add_sparse_constraint(&[(1, 2.0), (3, 1.0), (1, 0.5)], ConstraintOp::Ge, 1.0)
+            .unwrap();
+        let (row, _, _) = lp.constraint(0);
+        assert_eq!(row, &[0.0, 2.5, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sparse_constraint_rejects_bad_index() {
+        let mut lp = LinearProgram::minimize(&[0.0; 2]);
+        assert!(lp
+            .add_sparse_constraint(&[(5, 1.0)], ConstraintOp::Le, 1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn standard_form_adds_slack_and_surplus() {
+        let mut lp = LinearProgram::maximize(&[1.0, 1.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 2.0).unwrap();
+        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Ge, 1.0).unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Eq, 3.0).unwrap();
+        let sf = lp.to_standard_form().unwrap();
+        assert_eq!(sf.a.shape(), (3, 4)); // 2 original + 1 slack + 1 surplus
+        assert_eq!(sf.a[(0, 2)], 1.0); // slack on the Le row
+        assert_eq!(sf.a[(1, 3)], -1.0); // surplus on the Ge row
+        assert_eq!(sf.c, vec![-1.0, -1.0, 0.0, 0.0]); // negated for max
+        assert_eq!(sf.objective_sign, -1.0);
+        assert_eq!(sf.original_solution(&[1.0, 2.0, 9.0, 9.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn violation_measures_worst_constraint() {
+        let mut lp = LinearProgram::minimize(&[0.0, 0.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 1.0).unwrap();
+        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Ge, 2.0).unwrap();
+        assert_eq!(lp.max_violation(&[0.5, 2.5]), 0.0);
+        assert_eq!(lp.max_violation(&[3.0, 2.0]), 2.0);
+        assert_eq!(lp.max_violation(&[0.0, 0.0]), 2.0);
+        assert_eq!(lp.max_violation(&[-1.0, 2.0]), 1.0); // x >= 0 violated
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let lp = LinearProgram::minimize(&[]);
+        assert_eq!(lp.validate().unwrap_err(), LpError::EmptyProblem);
+    }
+}

@@ -1,0 +1,700 @@
+use dpm_linalg::{LuDecomposition, Matrix};
+
+use crate::problem::ConstraintOp;
+use crate::{LinearProgram, LpError, LpSolution, LpSolver};
+
+/// Pivot-column selection rule for the simplex method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PivotRule {
+    /// Choose the most negative reduced cost (fast in practice), falling
+    /// back to Bland's rule automatically when the iteration count
+    /// suggests cycling. This is the default.
+    #[default]
+    DantzigWithBlandFallback,
+    /// Always use Bland's rule (smallest index with negative reduced
+    /// cost). Guaranteed to terminate, but slower.
+    Bland,
+}
+
+/// Two-phase primal simplex method on a dense tableau.
+///
+/// Phase 1 minimizes the sum of artificial variables to find a basic
+/// feasible solution (detecting infeasibility exactly); phase 2 optimizes
+/// the real objective (detecting unboundedness exactly). Degeneracy — which
+/// the occupation-measure LPs of the policy optimizer exhibit routinely —
+/// is handled by the Bland fallback.
+///
+/// # Example
+///
+/// ```
+/// use dpm_lp::{ConstraintOp, LinearProgram, LpSolver, Simplex};
+///
+/// # fn main() -> Result<(), dpm_lp::LpError> {
+/// // The classic "furniture factory": maximize 3x + 5y.
+/// let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+/// lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)?;
+/// lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)?;
+/// lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)?;
+/// let s = Simplex::new().solve(&lp)?;
+/// assert!((s.objective() - 36.0).abs() < 1e-9);
+/// assert!((s.x()[0] - 2.0).abs() < 1e-9);
+/// assert!((s.x()[1] - 6.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simplex {
+    pivot_rule: PivotRule,
+    max_iterations: usize,
+    tolerance: f64,
+}
+
+impl Default for Simplex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simplex {
+    /// Creates a solver with default settings (Dantzig pricing with Bland
+    /// fallback, tolerance `1e-9`, generous iteration limit).
+    pub fn new() -> Self {
+        Simplex {
+            pivot_rule: PivotRule::default(),
+            max_iterations: 50_000,
+            tolerance: 1e-9,
+        }
+    }
+
+    /// Sets the pivot rule.
+    pub fn pivot_rule(mut self, rule: PivotRule) -> Self {
+        self.pivot_rule = rule;
+        self
+    }
+
+    /// Sets the iteration limit (per phase).
+    pub fn max_iterations(mut self, limit: usize) -> Self {
+        self.max_iterations = limit;
+        self
+    }
+
+    /// Sets the numerical tolerance used for pricing and ratio tests.
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+}
+
+impl LpSolver for Simplex {
+    fn solve(&self, lp: &LinearProgram) -> Result<LpSolution, LpError> {
+        lp.validate()?;
+        let mut t = Tableau::build(lp, self.tolerance)?;
+        let mut iterations = 0;
+
+        if t.needs_phase1() {
+            iterations += t.optimize_phase1(self.pivot_rule, self.max_iterations)?;
+            if t.phase1_objective() > self.tolerance.max(1e-7) {
+                return Err(LpError::Infeasible);
+            }
+            t.drop_artificials()?;
+        }
+        iterations += t.optimize_phase2(self.pivot_rule, self.max_iterations)?;
+
+        // Long pivot sequences on ill-conditioned bases (the occupation
+        // LPs have condition ~ horizon) accumulate roundoff in the dense
+        // tableau. Re-solve the final basis system from the original data
+        // to recover full accuracy.
+        let x_full = t.refined_primal().unwrap_or_else(|| t.primal_solution());
+        let x: Vec<f64> = x_full[..lp.num_vars()].to_vec();
+        let objective = lp.objective_value(&x);
+        let dual = t.dual_solution();
+        Ok(LpSolution::new(x, objective, iterations, Some(dual)))
+    }
+
+    fn name(&self) -> &'static str {
+        "simplex"
+    }
+}
+
+/// Dense simplex tableau.
+///
+/// Layout: `rows` = one per constraint plus the objective row (last).
+/// Columns: structural variables (original + slack/surplus), then artificial
+/// variables, then the right-hand side (last column).
+struct Tableau {
+    /// (m+1) x (total_cols+1) dense tableau.
+    data: Vec<Vec<f64>>,
+    /// Index of the basic variable of each constraint row.
+    basis: Vec<usize>,
+    /// Number of structural (non-artificial) columns.
+    num_structural: usize,
+    /// Number of artificial columns (0 after `drop_artificials`).
+    num_artificial: usize,
+    /// Phase-2 objective coefficients for all structural columns
+    /// (minimization orientation).
+    cost: Vec<f64>,
+    /// Number of constraint rows.
+    m: usize,
+    tol: f64,
+    /// Which rows were negated to make the rhs non-negative; used to
+    /// recover duals with the right orientation.
+    row_flipped: Vec<bool>,
+    /// Original constraint senses, in row order.
+    ops: Vec<ConstraintOp>,
+    /// Number of variables belonging to the caller (before slacks).
+    num_user_vars: usize,
+    /// Pristine copy of the (sign-normalized) constraint rows, including
+    /// artificial columns, used for end-of-solve iterative refinement.
+    orig_rows: Vec<Vec<f64>>,
+    /// Pristine right-hand side matching `orig_rows`.
+    orig_b: Vec<f64>,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram, tol: f64) -> Result<Self, LpError> {
+        let sf = lp.to_standard_form()?;
+        let m = sf.b.len();
+        let n = sf.c.len();
+
+        // Rows with negative rhs are negated so b >= 0 (required for the
+        // artificial-variable construction).
+        let mut a_rows: Vec<Vec<f64>> = (0..m).map(|i| sf.a.row(i).to_vec()).collect();
+        let mut b = sf.b.clone();
+        let mut row_flipped = vec![false; m];
+        for i in 0..m {
+            if b[i] < 0.0 {
+                for v in a_rows[i].iter_mut() {
+                    *v = -*v;
+                }
+                b[i] = -b[i];
+                row_flipped[i] = true;
+            }
+        }
+
+        // A slack column with +1 in a b>=0 row can serve directly as the
+        // initial basic variable for that row; all other rows need an
+        // artificial variable.
+        let mut basis = vec![usize::MAX; m];
+        for j in 0..n {
+            // Find unit columns among slacks (columns past the originals).
+            if j < sf.num_original_vars {
+                continue;
+            }
+            let mut unit_row = None;
+            let mut ok = true;
+            for (i, row) in a_rows.iter().enumerate() {
+                let v = row[j];
+                if v == 1.0 {
+                    if unit_row.is_some() {
+                        ok = false;
+                        break;
+                    }
+                    unit_row = Some(i);
+                } else if v != 0.0 {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                if let Some(i) = unit_row {
+                    if basis[i] == usize::MAX {
+                        basis[i] = j;
+                    }
+                }
+            }
+        }
+
+        let rows_needing_artificial: Vec<usize> =
+            (0..m).filter(|&i| basis[i] == usize::MAX).collect();
+        let num_artificial = rows_needing_artificial.len();
+        let total = n + num_artificial;
+
+        // data[i] has total+1 entries; last is rhs.
+        let mut data: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        for i in 0..m {
+            let mut row = vec![0.0; total + 1];
+            row[..n].copy_from_slice(&a_rows[i]);
+            row[total] = b[i];
+            data.push(row);
+        }
+        for (k, &i) in rows_needing_artificial.iter().enumerate() {
+            data[i][n + k] = 1.0;
+            basis[i] = n + k;
+        }
+        // Objective row (filled by the phase initializers).
+        data.push(vec![0.0; total + 1]);
+
+        let ops = (0..m).map(|i| lp.constraint(i).1).collect();
+        let orig_rows: Vec<Vec<f64>> = data[..m].iter().map(|r| r[..total].to_vec()).collect();
+        let orig_b = b.clone();
+        Ok(Tableau {
+            data,
+            basis,
+            num_structural: n,
+            num_artificial,
+            cost: sf.c,
+            m,
+            tol,
+            row_flipped,
+            ops,
+            num_user_vars: sf.num_original_vars,
+            orig_rows,
+            orig_b,
+        })
+    }
+
+    fn needs_phase1(&self) -> bool {
+        self.num_artificial > 0
+    }
+
+    fn total_cols(&self) -> usize {
+        self.num_structural + self.num_artificial
+    }
+
+    /// Sets the objective row to the phase-1 objective (sum of artificials)
+    /// expressed in terms of the current basis, then optimizes.
+    fn optimize_phase1(
+        &mut self,
+        rule: PivotRule,
+        max_iter: usize,
+    ) -> Result<usize, LpError> {
+        let total = self.total_cols();
+        let obj_row = self.m;
+        // Phase-1 cost: 1 on artificials, 0 elsewhere. Reduced costs start
+        // as -(sum of artificial rows).
+        for j in 0..=total {
+            let mut v = 0.0;
+            for i in 0..self.m {
+                if self.basis[i] >= self.num_structural {
+                    v -= self.data[i][j];
+                }
+            }
+            self.data[obj_row][j] = v;
+        }
+        for j in self.num_structural..total {
+            self.data[obj_row][j] += 1.0;
+        }
+        self.run(rule, max_iter, total)
+    }
+
+    fn phase1_objective(&self) -> f64 {
+        -self.data[self.m][self.total_cols()]
+    }
+
+    /// Removes artificial columns after a successful phase 1. Artificials
+    /// still basic (at value 0, by feasibility) are pivoted out when
+    /// possible; rows that cannot be pivoted are redundant and are cleared.
+    fn drop_artificials(&mut self) -> Result<(), LpError> {
+        let n = self.num_structural;
+        for i in 0..self.m {
+            if self.basis[i] >= n {
+                // Try to pivot in any structural column with a nonzero
+                // entry in this row.
+                let mut pivot_col = None;
+                for j in 0..n {
+                    if self.data[i][j].abs() > self.tol {
+                        pivot_col = Some(j);
+                        break;
+                    }
+                }
+                match pivot_col {
+                    Some(j) => self.pivot(i, j),
+                    None => {
+                        // Redundant row: every structural coefficient is 0
+                        // and the artificial basic variable is 0. Leave the
+                        // basis marker pointing at the artificial; the row
+                        // is inert for phase 2.
+                    }
+                }
+            }
+        }
+        // Truncate artificial columns (keep rhs as the new last column).
+        let total_old = self.total_cols();
+        for row in self.data.iter_mut() {
+            let rhs = row[total_old];
+            row.truncate(n);
+            row.push(rhs);
+        }
+        self.num_artificial = 0;
+        Ok(())
+    }
+
+    /// Sets the phase-2 objective row from the stored costs and optimizes.
+    fn optimize_phase2(&mut self, rule: PivotRule, max_iter: usize) -> Result<usize, LpError> {
+        let n = self.num_structural;
+        debug_assert_eq!(self.num_artificial, 0);
+        let obj_row = self.m;
+        // Reduced costs c_j − c_B B⁻¹ A_j for every column, and −c_B·x_B in
+        // the rhs position (the tableau stores −objective there).
+        for j in 0..=n {
+            let cj = if j < n { self.cost[j] } else { 0.0 };
+            let mut v = cj;
+            for i in 0..self.m {
+                let bi = self.basis[i];
+                if bi < n {
+                    v -= self.cost[bi] * self.data[i][j];
+                }
+            }
+            self.data[obj_row][j] = v;
+        }
+        self.run(rule, max_iter, n)
+    }
+
+    /// Core simplex loop over the first `num_cols` columns.
+    fn run(&mut self, rule: PivotRule, max_iter: usize, num_cols: usize) -> Result<usize, LpError> {
+        let obj_row = self.m;
+        let rhs_col = self.total_cols();
+        let mut use_bland = rule == PivotRule::Bland;
+        // Switch to Bland if objective fails to improve for this many pivots.
+        let stall_limit = 4 * (self.m + num_cols).max(64);
+        let mut stall = 0usize;
+        // The tableau stores −objective in the rhs cell of the objective
+        // row, so progress (for minimization) shows as an *increase*.
+        let mut last_obj = f64::NEG_INFINITY;
+
+        for iter in 0..max_iter {
+            // Pricing: pick the entering column.
+            let mut entering = None;
+            if use_bland {
+                for j in 0..num_cols {
+                    if self.data[obj_row][j] < -self.tol {
+                        entering = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = -self.tol;
+                for j in 0..num_cols {
+                    let rc = self.data[obj_row][j];
+                    if rc < best {
+                        best = rc;
+                        entering = Some(j);
+                    }
+                }
+            }
+            let Some(col) = entering else {
+                return Ok(iter);
+            };
+
+            // Ratio test: pick the leaving row. Ties are broken by the
+            // smallest basis index (lexicographic Bland tie-break), which
+            // combined with Bland pricing guarantees termination.
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.m {
+                let aij = self.data[i][col];
+                if aij > self.tol {
+                    let ratio = self.data[i][rhs_col] / aij;
+                    match leaving {
+                        None => {
+                            leaving = Some(i);
+                            best_ratio = ratio;
+                        }
+                        Some(l) => {
+                            if ratio < best_ratio - self.tol {
+                                leaving = Some(i);
+                                best_ratio = ratio;
+                            } else if (ratio - best_ratio).abs() <= self.tol
+                                && self.basis[i] < self.basis[l]
+                            {
+                                leaving = Some(i);
+                                best_ratio = best_ratio.min(ratio);
+                            }
+                        }
+                    }
+                }
+            }
+            let Some(row) = leaving else {
+                return Err(LpError::Unbounded);
+            };
+
+            self.pivot(row, col);
+
+            // Stall detection for the Dantzig rule.
+            let obj = self.data[obj_row][rhs_col];
+            if obj > last_obj + self.tol {
+                stall = 0;
+                last_obj = obj;
+            } else {
+                stall += 1;
+                if stall > stall_limit && !use_bland {
+                    use_bland = true;
+                    stall = 0;
+                }
+            }
+        }
+        Err(LpError::IterationLimit {
+            limit: max_iter,
+        })
+    }
+
+    /// Gauss–Jordan pivot on (row, col).
+    fn pivot(&mut self, row: usize, col: usize) {
+        let width = self.total_cols() + 1;
+        let pivot_val = self.data[row][col];
+        debug_assert!(pivot_val.abs() > 0.0);
+        let inv = 1.0 / pivot_val;
+        for j in 0..width {
+            self.data[row][j] *= inv;
+        }
+        self.data[row][col] = 1.0; // kill roundoff on the pivot itself
+        for i in 0..=self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.data[i][col];
+            if factor == 0.0 {
+                continue;
+            }
+            // Manual split to satisfy the borrow checker without cloning.
+            let (pivot_row, target_row) = if i < row {
+                let (a, b) = self.data.split_at_mut(row);
+                (&b[0], &mut a[i])
+            } else {
+                let (a, b) = self.data.split_at_mut(i);
+                (&a[row], &mut b[0])
+            };
+            for j in 0..width {
+                target_row[j] -= factor * pivot_row[j];
+            }
+            target_row[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Re-solves `B x_B = b` for the final basis against the pristine
+    /// constraint data, eliminating accumulated tableau roundoff. Returns
+    /// `None` when the basis matrix is singular (redundant rows) or the
+    /// refined solution is not acceptably non-negative — callers then fall
+    /// back to the tableau values.
+    fn refined_primal(&self) -> Option<Vec<f64>> {
+        let m = self.m;
+        let mut basis_matrix = Matrix::zeros(m, m);
+        for (k, &col) in self.basis.iter().enumerate() {
+            for (r, row) in self.orig_rows.iter().enumerate() {
+                basis_matrix[(r, k)] = row.get(col).copied().unwrap_or(0.0);
+            }
+        }
+        let lu = LuDecomposition::new(&basis_matrix).ok()?;
+        let xb = lu.solve(&self.orig_b).ok()?;
+        let mut x = vec![0.0; self.num_structural];
+        for (k, &col) in self.basis.iter().enumerate() {
+            if col < self.num_structural {
+                if xb[k] < -1e-7 {
+                    return None;
+                }
+                x[col] = xb[k].max(0.0);
+            } else if xb[k].abs() > 1e-7 {
+                // A basic artificial with nonzero value: refinement cannot
+                // certify feasibility.
+                return None;
+            }
+        }
+        Some(x)
+    }
+
+    fn primal_solution(&self) -> Vec<f64> {
+        let rhs_col = self.total_cols();
+        let mut x = vec![0.0; self.num_structural];
+        for i in 0..self.m {
+            let b = self.basis[i];
+            if b < self.num_structural {
+                x[b] = self.data[i][rhs_col];
+            }
+        }
+        x
+    }
+
+    /// Reads the duals off the final objective row.
+    ///
+    /// The reduced cost of the slack column of constraint `i` equals `−yᵢ`
+    /// (or `+yᵢ` for a surplus column), so inequality duals are available
+    /// for free. Equality constraints have no slack column; their entry is
+    /// reported as 0.0 — the policy optimizer only inspects inequality
+    /// duals (the constraint "prices" of Theorem 4.1).
+    fn dual_solution(&self) -> Vec<f64> {
+        let mut duals = vec![0.0; self.m];
+        let mut slack_col = self.num_user_vars;
+        for i in 0..self.m {
+            match self.ops[i] {
+                ConstraintOp::Eq => {}
+                op => {
+                    let rc = self.data[self.m][slack_col];
+                    let op_sign = if op == ConstraintOp::Ge { 1.0 } else { -1.0 };
+                    let flip = if self.row_flipped[i] { -1.0 } else { 1.0 };
+                    duals[i] = flip * op_sign * rc;
+                    slack_col += 1;
+                }
+            }
+        }
+        duals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstraintOp;
+
+    fn solve(lp: &LinearProgram) -> Result<LpSolution, LpError> {
+        Simplex::new().solve(lp)
+    }
+
+    #[test]
+    fn solves_textbook_max_problem() {
+        let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0).unwrap();
+        lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0).unwrap();
+        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0).unwrap();
+        let s = solve(&lp).unwrap();
+        assert!((s.objective() - 36.0).abs() < 1e-9);
+        assert!((s.x()[0] - 2.0).abs() < 1e-9);
+        assert!((s.x()[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solves_min_problem_with_ge_constraints() {
+        // minimize 2x + 3y s.t. x + y >= 4, x >= 1  → x=3? No: cheapest is
+        // x=4,y=0 (cost 8) vs x=1,y=3 (cost 11) → x=4.
+        let mut lp = LinearProgram::minimize(&[2.0, 3.0]);
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Ge, 4.0).unwrap();
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Ge, 1.0).unwrap();
+        let s = solve(&lp).unwrap();
+        assert!((s.objective() - 8.0).abs() < 1e-9);
+        assert!((s.x()[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solves_equality_constrained_problem() {
+        // minimize x + 2y + 3z s.t. x+y+z = 1 → all mass on x.
+        let mut lp = LinearProgram::minimize(&[1.0, 2.0, 3.0]);
+        lp.add_constraint(&[1.0, 1.0, 1.0], ConstraintOp::Eq, 1.0)
+            .unwrap();
+        let s = solve(&lp).unwrap();
+        assert!((s.objective() - 1.0).abs() < 1e-9);
+        assert!((s.x()[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut lp = LinearProgram::minimize(&[1.0]);
+        lp.add_constraint(&[1.0], ConstraintOp::Le, 1.0).unwrap();
+        lp.add_constraint(&[1.0], ConstraintOp::Ge, 2.0).unwrap();
+        assert_eq!(solve(&lp).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let lp = LinearProgram::minimize(&[-1.0]);
+        assert_eq!(solve(&lp).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn detects_unboundedness_with_constraints() {
+        let mut lp = LinearProgram::maximize(&[1.0, 1.0]);
+        lp.add_constraint(&[1.0, -1.0], ConstraintOp::Le, 1.0).unwrap();
+        assert_eq!(solve(&lp).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn handles_negative_rhs() {
+        // x - y <= -1 with min x+y → x=0, y=1.
+        let mut lp = LinearProgram::minimize(&[1.0, 1.0]);
+        lp.add_constraint(&[1.0, -1.0], ConstraintOp::Le, -1.0).unwrap();
+        let s = solve(&lp).unwrap();
+        assert!((s.objective() - 1.0).abs() < 1e-9);
+        assert!((s.x()[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_degenerate_problem() {
+        // Degenerate vertex: three constraints meet at (0, 0).
+        let mut lp = LinearProgram::maximize(&[1.0, 1.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 0.0).unwrap();
+        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Le, 0.0).unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Le, 0.0).unwrap();
+        let s = solve(&lp).unwrap();
+        assert!(s.objective().abs() < 1e-9);
+    }
+
+    #[test]
+    fn bland_rule_terminates_on_cycling_prone_problem() {
+        // Beale's classic cycling example (cycles under naive Dantzig).
+        let mut lp = LinearProgram::minimize(&[-0.75, 150.0, -0.02, 6.0]);
+        lp.add_constraint(&[0.25, -60.0, -0.04, 9.0], ConstraintOp::Le, 0.0)
+            .unwrap();
+        lp.add_constraint(&[0.5, -90.0, -0.02, 3.0], ConstraintOp::Le, 0.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 0.0, 1.0, 0.0], ConstraintOp::Le, 1.0)
+            .unwrap();
+        for rule in [PivotRule::Bland, PivotRule::DantzigWithBlandFallback] {
+            let s = Simplex::new().pivot_rule(rule).solve(&lp).unwrap();
+            assert!((s.objective() - (-0.05)).abs() < 1e-9, "rule {rule:?}");
+        }
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_tolerated() {
+        // Same constraint twice: phase 1 leaves a redundant artificial row.
+        let mut lp = LinearProgram::minimize(&[1.0, 1.0]);
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Eq, 1.0).unwrap();
+        lp.add_constraint(&[2.0, 2.0], ConstraintOp::Eq, 2.0).unwrap();
+        let s = solve(&lp).unwrap();
+        assert!((s.objective() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_random_like_problems() {
+        // A fixed battery of pseudo-random feasible LPs: x = e is feasible
+        // by construction (b = A·e + margin).
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 2000) as f64 / 1000.0 - 1.0
+        };
+        for trial in 0..25 {
+            let n = 3 + trial % 5;
+            let m = 2 + trial % 4;
+            let c: Vec<f64> = (0..n).map(|_| next()).collect();
+            let mut lp = LinearProgram::minimize(&c);
+            for _ in 0..m {
+                let row: Vec<f64> = (0..n).map(|_| next()).collect();
+                let rhs: f64 = row.iter().sum::<f64>() + 0.5;
+                lp.add_constraint(&row, ConstraintOp::Le, rhs).unwrap();
+            }
+            // Bound the feasible region so the problem cannot be unbounded.
+            for j in 0..n {
+                let mut row = vec![0.0; n];
+                row[j] = 1.0;
+                lp.add_constraint(&row, ConstraintOp::Le, 10.0).unwrap();
+            }
+            let s = solve(&lp).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            assert!(
+                lp.max_violation(s.x()) < 1e-7,
+                "trial {trial}: violation {}",
+                lp.max_violation(s.x())
+            );
+            // Optimal must be at least as good as the known feasible x = e.
+            let ones = vec![1.0; n];
+            assert!(s.objective() <= lp.objective_value(&ones) + 1e-7);
+        }
+    }
+
+    #[test]
+    fn reports_iterations() {
+        let mut lp = LinearProgram::maximize(&[1.0]);
+        lp.add_constraint(&[1.0], ConstraintOp::Le, 1.0).unwrap();
+        let s = solve(&lp).unwrap();
+        assert!(s.iterations() >= 1);
+    }
+
+    #[test]
+    fn zero_iteration_limit_errors() {
+        let mut lp = LinearProgram::maximize(&[1.0]);
+        lp.add_constraint(&[1.0], ConstraintOp::Le, 1.0).unwrap();
+        let err = Simplex::new().max_iterations(0).solve(&lp).unwrap_err();
+        assert!(matches!(err, LpError::IterationLimit { .. }));
+    }
+}

@@ -1,0 +1,72 @@
+/// An optimal solution to a [`LinearProgram`](crate::LinearProgram).
+///
+/// Returned by [`LpSolver::solve`](crate::LpSolver::solve). Objective values
+/// are always reported in the user's orientation (larger is better for
+/// maximization problems), regardless of the internal standard form.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    x: Vec<f64>,
+    objective: f64,
+    iterations: usize,
+    dual: Option<Vec<f64>>,
+}
+
+impl LpSolution {
+    pub(crate) fn new(
+        x: Vec<f64>,
+        objective: f64,
+        iterations: usize,
+        dual: Option<Vec<f64>>,
+    ) -> Self {
+        LpSolution {
+            x,
+            objective,
+            iterations,
+            dual,
+        }
+    }
+
+    /// The optimal point (original variables only; slacks are stripped).
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// The optimal objective value in the user's orientation.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Number of iterations (simplex pivots or interior-point steps).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Dual values (one per constraint), when the solver computed them.
+    ///
+    /// Simplex reports the duals of the final basis; interior point reports
+    /// the converged dual iterate. Sign convention: duals are for the
+    /// *minimization* standard form.
+    pub fn dual(&self) -> Option<&[f64]> {
+        self.dual.as_deref()
+    }
+
+    /// Consumes the solution and returns the optimal point.
+    pub fn into_x(self) -> Vec<f64> {
+        self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        let s = LpSolution::new(vec![1.0, 2.0], 3.5, 7, Some(vec![0.5]));
+        assert_eq!(s.x(), &[1.0, 2.0]);
+        assert_eq!(s.objective(), 3.5);
+        assert_eq!(s.iterations(), 7);
+        assert_eq!(s.dual(), Some(&[0.5][..]));
+        assert_eq!(s.into_x(), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Geometric-distribution helpers for transition times.
+//!
+//! State-transition times in a stationary Markov chain are geometrically
+//! distributed (equation (1) of the paper):
+//! `Prob(T = t) = p (1 − p)^{t−1}`, with expected value `1/p`
+//! (equation (2)). The service-provider models are *calibrated* through
+//! these helpers: data sheets give expected transition times (Table I), and
+//! [`prob_from_mean_time`] converts them into per-slice transition
+//! probabilities.
+
+/// Expected transition time `1/p` (in slices) for per-slice success
+/// probability `p` — equation (2).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// // The off→on transition of Example 3.1: p = 0.1 ⇒ 10 slices.
+/// assert_eq!(dpm_markov::geometric::mean_time(0.1), 10.0);
+/// ```
+pub fn mean_time(p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "probability {p} not in (0, 1]");
+    1.0 / p
+}
+
+/// Per-slice transition probability that yields an expected transition
+/// time of `mean` slices — the inverse of [`mean_time`], used to build SP
+/// kernels from data-sheet transition times.
+///
+/// # Panics
+///
+/// Panics if `mean < 1` (a geometric transition cannot be faster than one
+/// slice).
+pub fn prob_from_mean_time(mean: f64) -> f64 {
+    assert!(mean >= 1.0, "mean transition time {mean} must be >= 1 slice");
+    1.0 / mean
+}
+
+/// Probability mass `Prob(T = t) = p (1 − p)^{t−1}` — equation (1).
+///
+/// Returns 0 for `t = 0` (a geometric transition takes at least one slice).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]`.
+pub fn pmf(p: f64, t: u64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "probability {p} not in (0, 1]");
+    if t == 0 {
+        return 0.0;
+    }
+    p * (1.0 - p).powi((t - 1) as i32)
+}
+
+/// Cumulative probability `Prob(T ≤ t) = 1 − (1 − p)^t`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]`.
+pub fn cdf(p: f64, t: u64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "probability {p} not in (0, 1]");
+    1.0 - (1.0 - p).powi(t as i32)
+}
+
+/// Variance of the geometric transition time, `(1 − p) / p²`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]`.
+pub fn variance(p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "probability {p} not in (0, 1]");
+    (1.0 - p) / (p * p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_prob_are_inverse() {
+        for p in [0.001, 0.1, 0.5, 1.0] {
+            let m = mean_time(p);
+            assert!((prob_from_mean_time(m) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let p = 0.3;
+        let total: f64 = (0..500).map(|t| pmf(p, t)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_mean_matches_mean_time() {
+        let p = 0.25;
+        let mean: f64 = (0..2000).map(|t| t as f64 * pmf(p, t)).sum();
+        assert!((mean - mean_time(p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_partial_sums() {
+        let p = 0.4;
+        let mut acc = 0.0;
+        for t in 1..20 {
+            acc += pmf(p, t);
+            assert!((cdf(p, t) - acc).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_transition_is_one_slice() {
+        assert_eq!(mean_time(1.0), 1.0);
+        assert_eq!(pmf(1.0, 1), 1.0);
+        assert_eq!(pmf(1.0, 2), 0.0);
+        assert_eq!(variance(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in (0, 1]")]
+    fn zero_probability_panics() {
+        mean_time(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn submean_panics() {
+        prob_from_mean_time(0.5);
+    }
+}

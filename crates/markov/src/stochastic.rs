@@ -1,0 +1,330 @@
+use dpm_linalg::Matrix;
+
+use crate::{MarkovError, ROW_SUM_TOLERANCE};
+
+/// A validated row-stochastic matrix: square, entries in `[0, 1]`, every
+/// row summing to one.
+///
+/// Every transition kernel in the paper — the service provider's
+/// conditional matrices `P(a)`, the service requester's matrix, the queue
+/// kernel of equation (3) and the composed system kernel of equation (4) —
+/// is a `StochasticMatrix`. Validation happens once at the boundary
+/// ([`Self::from_matrix`] / [`Self::from_rows`]); afterwards the invariant
+/// is carried by the type.
+///
+/// # Example
+///
+/// ```
+/// use dpm_markov::StochasticMatrix;
+///
+/// # fn main() -> Result<(), dpm_markov::MarkovError> {
+/// let p = StochasticMatrix::from_rows(&[&[0.9, 0.1], &[0.5, 0.5]])?;
+/// let next = p.step(&[1.0, 0.0])?; // distribution after one slice
+/// assert!((next[0] - 0.9).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StochasticMatrix {
+    inner: Matrix,
+}
+
+#[cfg(feature = "serde")]
+mod serde_impl {
+    //! Serde support serializes the matrix as `(n, row-major data)` and
+    //! re-validates on deserialization, so deserialized values uphold the
+    //! stochasticity invariant.
+    use super::StochasticMatrix;
+    use dpm_linalg::Matrix;
+    use serde::de::Error as _;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    impl Serialize for StochasticMatrix {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (self.num_states(), self.inner.as_slice()).serialize(s)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for StochasticMatrix {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let (n, data): (usize, Vec<f64>) = Deserialize::deserialize(d)?;
+            let m = Matrix::from_vec(n, n, data).map_err(D::Error::custom)?;
+            StochasticMatrix::from_matrix(m).map_err(D::Error::custom)
+        }
+    }
+}
+
+impl StochasticMatrix {
+    /// Validates and wraps a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::NotSquare`] for non-square input.
+    /// * [`MarkovError::InvalidProbability`] for entries outside `[0, 1]`
+    ///   or non-finite entries.
+    /// * [`MarkovError::RowNotStochastic`] for rows not summing to one
+    ///   within [`ROW_SUM_TOLERANCE`].
+    pub fn from_matrix(m: Matrix) -> Result<Self, MarkovError> {
+        if !m.is_square() {
+            return Err(MarkovError::NotSquare { shape: m.shape() });
+        }
+        for i in 0..m.rows() {
+            let mut sum = 0.0;
+            for j in 0..m.cols() {
+                let v = m[(i, j)];
+                if !v.is_finite() || !(0.0..=1.0 + ROW_SUM_TOLERANCE).contains(&v) {
+                    return Err(MarkovError::InvalidProbability {
+                        row: i,
+                        col: j,
+                        value: v,
+                    });
+                }
+                sum += v;
+            }
+            if (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
+                return Err(MarkovError::RowNotStochastic { row: i, sum });
+            }
+        }
+        Ok(StochasticMatrix { inner: m })
+    }
+
+    /// Builds directly from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::from_matrix`], plus the construction errors of
+    /// [`Matrix::from_rows`] mapped to [`MarkovError::NotSquare`].
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, MarkovError> {
+        let m = Matrix::from_rows(rows).map_err(|_| MarkovError::NotSquare {
+            shape: (rows.len(), rows.first().map_or(0, |r| r.len())),
+        })?;
+        Self::from_matrix(m)
+    }
+
+    /// The `n × n` identity: a chain that never moves.
+    pub fn identity(n: usize) -> Self {
+        StochasticMatrix {
+            inner: Matrix::identity(n),
+        }
+    }
+
+    /// The chain that jumps to a uniformly random state each slice.
+    pub fn uniform(n: usize) -> Self {
+        StochasticMatrix {
+            inner: Matrix::filled(n, n, 1.0 / n as f64),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.inner.rows()
+    }
+
+    /// Transition probability from `i` to `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.inner[(i, j)]
+    }
+
+    /// Row `i` as a probability distribution over successor states.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        self.inner.row(i)
+    }
+
+    /// Borrows the underlying matrix.
+    pub fn as_matrix(&self) -> &Matrix {
+        &self.inner
+    }
+
+    /// Consumes the wrapper and returns the underlying matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.inner
+    }
+
+    /// Propagates a state distribution one slice: `p' = p P`.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::DimensionMismatch`] when `dist.len()` differs from
+    /// the number of states.
+    pub fn step(&self, dist: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        if dist.len() != self.num_states() {
+            return Err(MarkovError::DimensionMismatch {
+                found: dist.len(),
+                expected: self.num_states(),
+            });
+        }
+        Ok(self
+            .inner
+            .vecmat(dist)
+            .expect("dimension already validated"))
+    }
+
+    /// The `k`-step kernel `Pᵏ`.
+    pub fn n_step(&self, k: usize) -> StochasticMatrix {
+        let mut acc = Matrix::identity(self.num_states());
+        for _ in 0..k {
+            acc = acc
+                .matmul(&self.inner)
+                .expect("square matrices of equal dimension");
+        }
+        // Renormalize rows to absorb roundoff drift before re-validating.
+        StochasticMatrix::from_matrix(renormalize_rows(acc))
+            .expect("product of stochastic matrices is stochastic")
+    }
+
+    /// Convex mixture `Σ wᵢ Pᵢ` of stochastic matrices — equation (5) of
+    /// the paper (the kernel under a randomized decision).
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::NoActions`] for empty input.
+    /// * [`MarkovError::InvalidDecision`] when weights are negative or do
+    ///   not sum to one, or matrices disagree in size.
+    pub fn mixture(parts: &[(f64, &StochasticMatrix)]) -> Result<Self, MarkovError> {
+        if parts.is_empty() {
+            return Err(MarkovError::NoActions);
+        }
+        let n = parts[0].1.num_states();
+        let mut wsum = 0.0;
+        for &(w, m) in parts {
+            if !(0.0..=1.0 + ROW_SUM_TOLERANCE).contains(&w) || !w.is_finite() {
+                return Err(MarkovError::InvalidDecision {
+                    reason: format!("weight {w} is not a probability"),
+                });
+            }
+            if m.num_states() != n {
+                return Err(MarkovError::InvalidDecision {
+                    reason: "mixture components differ in dimension".to_string(),
+                });
+            }
+            wsum += w;
+        }
+        if (wsum - 1.0).abs() > ROW_SUM_TOLERANCE {
+            return Err(MarkovError::InvalidDecision {
+                reason: format!("weights sum to {wsum}, expected 1"),
+            });
+        }
+        let mut acc = Matrix::zeros(n, n);
+        for &(w, m) in parts {
+            for i in 0..n {
+                for j in 0..n {
+                    acc[(i, j)] += w * m.inner[(i, j)];
+                }
+            }
+        }
+        StochasticMatrix::from_matrix(renormalize_rows(acc))
+    }
+}
+
+/// Scales each row to sum exactly to one (guarding against f64 drift in
+/// long products); rows summing to zero are left alone.
+fn renormalize_rows(mut m: Matrix) -> Matrix {
+    for i in 0..m.rows() {
+        let s: f64 = m.row(i).iter().sum();
+        if s > 0.0 && (s - 1.0).abs() < 1e-6 {
+            let inv = 1.0 / s;
+            for v in m.row_mut(i) {
+                *v *= inv;
+            }
+        }
+    }
+    m
+}
+
+impl std::fmt::Display for StochasticMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_good_matrix() {
+        assert!(StochasticMatrix::from_rows(&[&[0.5, 0.5], &[1.0, 0.0]]).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_row_sum() {
+        let err = StochasticMatrix::from_rows(&[&[0.5, 0.4], &[1.0, 0.0]]).unwrap_err();
+        assert!(matches!(err, MarkovError::RowNotStochastic { row: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_negative_probability() {
+        let err = StochasticMatrix::from_rows(&[&[1.2, -0.2], &[1.0, 0.0]]).unwrap_err();
+        assert!(matches!(err, MarkovError::InvalidProbability { .. }));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let m = Matrix::from_rows(&[&[0.5, 0.5]]).unwrap();
+        assert!(matches!(
+            StochasticMatrix::from_matrix(m),
+            Err(MarkovError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn step_propagates_distribution() {
+        let p = StochasticMatrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8]]).unwrap();
+        let d = p.step(&[0.5, 0.5]).unwrap();
+        assert!((d[0] - 0.55).abs() < 1e-12);
+        assert!((d[1] - 0.45).abs() < 1e-12);
+        assert!(p.step(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn n_step_matches_repeated_step() {
+        let p = StochasticMatrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8]]).unwrap();
+        let p3 = p.n_step(3);
+        let mut d = vec![1.0, 0.0];
+        for _ in 0..3 {
+            d = p.step(&d).unwrap();
+        }
+        let d3 = p3.step(&[1.0, 0.0]).unwrap();
+        assert!((d[0] - d3[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_step_is_identity() {
+        let p = StochasticMatrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8]]).unwrap();
+        assert_eq!(p.n_step(0), StochasticMatrix::identity(2));
+    }
+
+    #[test]
+    fn mixture_implements_equation_5() {
+        let on = StochasticMatrix::from_rows(&[&[1.0, 0.0], &[0.1, 0.9]]).unwrap();
+        let off = StochasticMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 1.0]]).unwrap();
+        // Example 3.6: 80% s_on, 20% s_off.
+        let mixed = StochasticMatrix::mixture(&[(0.8, &on), (0.2, &off)]).unwrap();
+        assert!((mixed.prob(0, 0) - 0.8).abs() < 1e-12);
+        assert!((mixed.prob(1, 0) - 0.08).abs() < 1e-12);
+        assert!((mixed.prob(1, 1) - 0.92).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_rejects_bad_weights() {
+        let p = StochasticMatrix::identity(2);
+        assert!(StochasticMatrix::mixture(&[(0.5, &p), (0.4, &p)]).is_err());
+        assert!(StochasticMatrix::mixture(&[]).is_err());
+        assert!(StochasticMatrix::mixture(&[(-0.5, &p), (1.5, &p)]).is_err());
+    }
+
+    #[test]
+    fn uniform_and_identity_shapes() {
+        assert_eq!(StochasticMatrix::uniform(4).num_states(), 4);
+        assert_eq!(StochasticMatrix::uniform(4).prob(2, 3), 0.25);
+        assert_eq!(StochasticMatrix::identity(3).prob(1, 1), 1.0);
+    }
+}

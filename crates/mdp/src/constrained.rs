@@ -1,0 +1,428 @@
+use dpm_linalg::Matrix;
+use dpm_lp::LpSolver;
+
+use crate::mdp::validate_distribution;
+use crate::{DiscountedMdp, MdpError, OccupationLp, RandomizedPolicy};
+
+/// A bound on the total expected discounted value of a secondary cost —
+/// one row of the paper's LP3/LP4 beyond the balance equations.
+///
+/// The paper's instances:
+/// * **power bound** (LP3): `Σ p(s,a) x_{s,a} ≤ P`,
+/// * **performance bound** (LP4): `Σ d(s,a) x_{s,a} ≤ D`,
+/// * **request-loss bound**: indicator cost of "SR issues a request while
+///   the queue is full", bounded by `L`.
+///
+/// Bounds are on *total discounted* values; use
+/// [`Self::per_slice`] to specify the per-slice bound the paper's prose
+/// uses (e.g. "average queue length ≤ 0.5" becomes `0.5 / (1 − α)`).
+#[derive(Debug, Clone)]
+pub struct CostConstraint {
+    name: String,
+    cost: Matrix,
+    bound: f64,
+}
+
+impl CostConstraint {
+    /// A bound on the total discounted cost.
+    pub fn new(name: impl Into<String>, cost: Matrix, bound: f64) -> Self {
+        CostConstraint {
+            name: name.into(),
+            cost,
+            bound,
+        }
+    }
+
+    /// A bound expressed per slice (the paper's convention): internally
+    /// multiplied by the horizon `1/(1−α)`.
+    pub fn per_slice(
+        name: impl Into<String>,
+        cost: Matrix,
+        bound_per_slice: f64,
+        discount: f64,
+    ) -> Self {
+        Self::new(name, cost, bound_per_slice / (1.0 - discount))
+    }
+
+    /// The constraint's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The secondary cost matrix.
+    pub fn cost(&self) -> &Matrix {
+        &self.cost
+    }
+
+    /// The bound on the total discounted cost.
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+}
+
+/// A discounted MDP with secondary-cost constraints — the paper's
+/// constrained policy-optimization problems **PO1/PO2** in their LP form
+/// **LP3/LP4**.
+///
+/// Solving yields a randomized stationary Markov policy; by Theorem A.2 it
+/// is deterministic exactly when no constraint is active at the optimum.
+///
+/// # Example
+///
+/// ```
+/// use dpm_linalg::Matrix;
+/// use dpm_lp::Simplex;
+/// use dpm_markov::{ControlledMarkovChain, StochasticMatrix};
+/// use dpm_mdp::{ConstrainedMdp, CostConstraint, DiscountedMdp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Minimize power subject to a performance bound.
+/// let sleep = StochasticMatrix::from_rows(&[&[0.2, 0.8], &[0.0, 1.0]])?;
+/// let wake = StochasticMatrix::from_rows(&[&[1.0, 0.0], &[0.5, 0.5]])?;
+/// let chain = ControlledMarkovChain::new(vec![wake, sleep])?;
+/// let power = Matrix::from_rows(&[&[2.0, 2.5], &[2.5, 0.0]])?;
+/// let penalty = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]])?;
+/// let mdp = DiscountedMdp::new(chain, power, 0.95)?;
+/// let solution = ConstrainedMdp::new(mdp)
+///     .with_constraint(CostConstraint::per_slice("penalty", penalty, 0.4, 0.95))
+///     .solve(&[1.0, 0.0], &Simplex::new())?;
+/// assert!(solution.constraint_value_per_slice(0) <= 0.4 + 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ConstrainedMdp {
+    mdp: DiscountedMdp,
+    constraints: Vec<CostConstraint>,
+}
+
+impl ConstrainedMdp {
+    /// Wraps an MDP with no constraints yet.
+    pub fn new(mdp: DiscountedMdp) -> Self {
+        ConstrainedMdp {
+            mdp,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a secondary-cost bound (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the constraint's cost matrix shape differs from the
+    /// MDP's `(states, actions)` — a programming error, caught eagerly.
+    pub fn with_constraint(mut self, constraint: CostConstraint) -> Self {
+        assert_eq!(
+            constraint.cost.shape(),
+            (self.mdp.num_states(), self.mdp.num_actions()),
+            "constraint `{}` cost matrix shape mismatch",
+            constraint.name
+        );
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// The wrapped MDP.
+    pub fn mdp(&self) -> &DiscountedMdp {
+        &self.mdp
+    }
+
+    /// The registered constraints.
+    pub fn constraints(&self) -> &[CostConstraint] {
+        &self.constraints
+    }
+
+    /// Solves LP3/LP4 from the given initial distribution.
+    ///
+    /// # Errors
+    ///
+    /// * [`MdpError::Infeasible`] when no policy meets all bounds — the
+    ///   paper's `g(C) = +∞`.
+    /// * Propagated LP/linalg failures.
+    pub fn solve(
+        &self,
+        initial: &[f64],
+        solver: &dyn LpSolver,
+    ) -> Result<ConstrainedSolution, MdpError> {
+        validate_distribution(initial, self.mdp.num_states())?;
+        let lp = OccupationLp::new(&self.mdp, initial)?;
+        let bounds: Vec<(&Matrix, f64)> = self
+            .constraints
+            .iter()
+            .map(|c| (&c.cost, c.bound))
+            .collect();
+        let occ = lp.solve_with_bounds(solver, &bounds)?;
+        let constraint_values = self
+            .constraints
+            .iter()
+            .map(|c| occ.expected_cost(&c.cost))
+            .collect();
+        let policy = occ.policy();
+        Ok(ConstrainedSolution {
+            policy,
+            objective: occ.objective(),
+            constraint_values,
+            bounds: self.constraints.iter().map(|c| c.bound).collect(),
+            names: self
+                .constraints
+                .iter()
+                .map(|c| c.name.clone())
+                .collect(),
+            discount: self.mdp.discount(),
+            occupation: occ,
+        })
+    }
+}
+
+/// A solved constrained policy-optimization problem.
+#[derive(Debug, Clone)]
+pub struct ConstrainedSolution {
+    policy: RandomizedPolicy,
+    objective: f64,
+    constraint_values: Vec<f64>,
+    bounds: Vec<f64>,
+    names: Vec<String>,
+    discount: f64,
+    occupation: crate::OccupationSolution,
+}
+
+impl ConstrainedSolution {
+    /// The optimal (possibly randomized) policy — equation (16).
+    pub fn policy(&self) -> &RandomizedPolicy {
+        &self.policy
+    }
+
+    /// Optimal total expected discounted objective cost.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Optimal objective per slice (the paper's plotted quantity).
+    pub fn objective_per_slice(&self) -> f64 {
+        self.objective * (1.0 - self.discount)
+    }
+
+    /// Achieved total discounted value of constraint `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    pub fn constraint_value(&self, k: usize) -> f64 {
+        self.constraint_values[k]
+    }
+
+    /// Achieved per-slice value of constraint `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    pub fn constraint_value_per_slice(&self, k: usize) -> f64 {
+        self.constraint_values[k] * (1.0 - self.discount)
+    }
+
+    /// `true` when constraint `k` is tight at the optimum (within `tol`,
+    /// relative to the bound's magnitude). Active constraints are what make
+    /// optimal policies randomized (Theorem A.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    pub fn is_constraint_active(&self, k: usize, tol: f64) -> bool {
+        let scale = self.bounds[k].abs().max(1.0);
+        (self.bounds[k] - self.constraint_values[k]).abs() <= tol * scale
+    }
+
+    /// Name of constraint `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    pub fn constraint_name(&self, k: usize) -> &str {
+        &self.names[k]
+    }
+
+    /// Number of constraints in the solved problem.
+    pub fn num_constraints(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The underlying occupation-measure solution (state–action
+    /// frequencies and derived quantities).
+    pub fn occupation(&self) -> &crate::OccupationSolution {
+        &self.occupation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_lp::{InteriorPoint, Simplex};
+    use dpm_markov::{ControlledMarkovChain, StochasticMatrix};
+
+    /// A power-managed resource in miniature: state 0 = on (costly),
+    /// state 1 = sleeping (free but penalized). Action 0 keeps/wakes,
+    /// action 1 puts/keeps asleep.
+    fn mini_dpm(discount: f64) -> DiscountedMdp {
+        let wake = StochasticMatrix::from_rows(&[&[1.0, 0.0], &[0.5, 0.5]]).unwrap();
+        let sleep = StochasticMatrix::from_rows(&[&[0.2, 0.8], &[0.0, 1.0]]).unwrap();
+        let chain = ControlledMarkovChain::new(vec![wake, sleep]).unwrap();
+        let power = Matrix::from_rows(&[&[2.0, 2.5], &[2.5, 0.0]]).unwrap();
+        DiscountedMdp::new(chain, power, discount).unwrap()
+    }
+
+    fn penalty_matrix() -> Matrix {
+        // Penalize being asleep (performance loss proxy).
+        Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]).unwrap()
+    }
+
+    #[test]
+    fn unconstrained_is_deterministic() {
+        let solution = ConstrainedMdp::new(mini_dpm(0.95))
+            .solve(&[1.0, 0.0], &Simplex::new())
+            .unwrap();
+        assert!(solution.policy().is_deterministic());
+        assert_eq!(solution.num_constraints(), 0);
+        // Unconstrained optimum: sleep forever (power → small).
+        assert!(solution.objective_per_slice() < 1.0);
+    }
+
+    #[test]
+    fn active_constraint_makes_policy_randomized() {
+        let discount = 0.95;
+        // Bound the sleep fraction to 40% per slice: forces a mix.
+        let solution = ConstrainedMdp::new(mini_dpm(discount))
+            .with_constraint(CostConstraint::per_slice(
+                "sleep fraction",
+                penalty_matrix(),
+                0.4,
+                discount,
+            ))
+            .solve(&[1.0, 0.0], &Simplex::new())
+            .unwrap();
+        assert!(solution.is_constraint_active(0, 1e-6));
+        assert!(!solution.policy().is_deterministic());
+        assert!(!solution.policy().randomized_states().is_empty());
+        assert!((solution.constraint_value_per_slice(0) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inactive_constraint_changes_nothing() {
+        let discount = 0.95;
+        let unconstrained = ConstrainedMdp::new(mini_dpm(discount))
+            .solve(&[1.0, 0.0], &Simplex::new())
+            .unwrap();
+        let loose = ConstrainedMdp::new(mini_dpm(discount))
+            .with_constraint(CostConstraint::per_slice(
+                "loose",
+                penalty_matrix(),
+                2.0, // sleep fraction can never exceed 1
+                discount,
+            ))
+            .solve(&[1.0, 0.0], &Simplex::new())
+            .unwrap();
+        assert!(!loose.is_constraint_active(0, 1e-6));
+        assert!((loose.objective() - unconstrained.objective()).abs() < 1e-6);
+        assert!(loose.policy().is_deterministic());
+    }
+
+    #[test]
+    fn infeasible_bounds_are_reported() {
+        let discount = 0.9;
+        let err = ConstrainedMdp::new(mini_dpm(discount))
+            .with_constraint(CostConstraint::new(
+                "impossible",
+                Matrix::filled(2, 2, 1.0), // every slice costs 1 → total = horizon
+                1.0,                       // but bound is 1 < 10
+            ))
+            .solve(&[1.0, 0.0], &Simplex::new())
+            .unwrap_err();
+        assert_eq!(err, MdpError::Infeasible);
+    }
+
+    #[test]
+    fn tightening_the_bound_weakly_increases_power() {
+        // Theorem 4.1 (convexity) implies monotonicity of the optimum in
+        // the bound; check the monotone part on a sweep.
+        let discount = 0.95;
+        let mut last = f64::NEG_INFINITY;
+        for bound in [0.8, 0.6, 0.4, 0.2, 0.1] {
+            let solution = ConstrainedMdp::new(mini_dpm(discount))
+                .with_constraint(CostConstraint::per_slice(
+                    "sleep fraction",
+                    penalty_matrix(),
+                    bound,
+                    discount,
+                ))
+                .solve(&[1.0, 0.0], &Simplex::new())
+                .unwrap();
+            let power = solution.objective_per_slice();
+            assert!(
+                power >= last - 1e-7,
+                "power must not decrease as the bound tightens"
+            );
+            last = power;
+        }
+    }
+
+    #[test]
+    fn solvers_agree_on_constrained_problem() {
+        let discount = 0.9;
+        let build = || {
+            ConstrainedMdp::new(mini_dpm(discount)).with_constraint(CostConstraint::per_slice(
+                "sleep fraction",
+                penalty_matrix(),
+                0.3,
+                discount,
+            ))
+        };
+        let s1 = build().solve(&[1.0, 0.0], &Simplex::new()).unwrap();
+        let s2 = build().solve(&[1.0, 0.0], &InteriorPoint::new()).unwrap();
+        assert!((s1.objective() - s2.objective()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn extracted_policy_meets_constraint_exactly() {
+        // Evaluate the extracted randomized policy with the exact
+        // policy-evaluation machinery and confirm the LP's promised
+        // constraint value — the paper's consistency check between
+        // optimizer and model.
+        let discount = 0.95;
+        let mdp = mini_dpm(discount);
+        let penalty = penalty_matrix();
+        let solution = ConstrainedMdp::new(mini_dpm(discount))
+            .with_constraint(CostConstraint::per_slice(
+                "sleep fraction",
+                penalty.clone(),
+                0.4,
+                discount,
+            ))
+            .solve(&[1.0, 0.0], &Simplex::new())
+            .unwrap();
+        // Build an MDP whose "cost" is the penalty, evaluate the policy.
+        let penalty_mdp = DiscountedMdp::new(mdp.chain().clone(), penalty, discount).unwrap();
+        let achieved = penalty_mdp
+            .policy_value(solution.policy(), &[1.0, 0.0])
+            .unwrap();
+        assert!((achieved - solution.constraint_value(0)).abs() < 1e-5);
+        // And the power objective agrees too.
+        let power_value = mdp.policy_value(solution.policy(), &[1.0, 0.0]).unwrap();
+        assert!((power_value - solution.objective()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constraint_metadata_is_exposed() {
+        let discount = 0.9;
+        let solution = ConstrainedMdp::new(mini_dpm(discount))
+            .with_constraint(CostConstraint::per_slice(
+                "sleepiness",
+                penalty_matrix(),
+                0.5,
+                discount,
+            ))
+            .solve(&[1.0, 0.0], &Simplex::new())
+            .unwrap();
+        assert_eq!(solution.constraint_name(0), "sleepiness");
+        assert_eq!(solution.num_constraints(), 1);
+        assert!(solution.occupation().total_visits() > 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+use std::error::Error;
+use std::fmt;
+
+use dpm_linalg::LinalgError;
+use dpm_lp::LpError;
+use dpm_markov::MarkovError;
+
+/// Errors produced while constructing or solving Markov decision processes.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MdpError {
+    /// The cost matrix shape does not match `(num_states, num_actions)`.
+    CostShapeMismatch {
+        /// What the caller supplied.
+        found: (usize, usize),
+        /// What the MDP requires.
+        expected: (usize, usize),
+    },
+    /// The discount factor is outside `(0, 1)`.
+    InvalidDiscount {
+        /// The offending value.
+        value: f64,
+    },
+    /// The initial state distribution is invalid (wrong length, negative
+    /// mass, or does not sum to one).
+    InvalidInitialDistribution {
+        /// Why the distribution was rejected.
+        reason: String,
+    },
+    /// The constrained problem is infeasible: no policy satisfies all
+    /// bounds. This is the paper's `g(C) = +∞` case.
+    Infeasible,
+    /// An iterative solver failed to converge.
+    NoConvergence {
+        /// Which algorithm failed.
+        algorithm: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// The underlying LP solver failed for a reason other than
+    /// infeasibility.
+    Lp(LpError),
+    /// A Markov-chain operation failed.
+    Markov(MarkovError),
+    /// A linear-algebra kernel failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for MdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdpError::CostShapeMismatch { found, expected } => write!(
+                f,
+                "cost matrix is {}x{}, expected {}x{} (states x actions)",
+                found.0, found.1, expected.0, expected.1
+            ),
+            MdpError::InvalidDiscount { value } => {
+                write!(f, "discount factor {value} not in (0, 1)")
+            }
+            MdpError::InvalidInitialDistribution { reason } => {
+                write!(f, "invalid initial distribution: {reason}")
+            }
+            MdpError::Infeasible => {
+                write!(f, "constrained policy optimization is infeasible")
+            }
+            MdpError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} failed to converge in {iterations} iterations"),
+            MdpError::Lp(e) => write!(f, "lp solver: {e}"),
+            MdpError::Markov(e) => write!(f, "markov chain: {e}"),
+            MdpError::Linalg(e) => write!(f, "linear algebra: {e}"),
+        }
+    }
+}
+
+impl Error for MdpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MdpError::Lp(e) => Some(e),
+            MdpError::Markov(e) => Some(e),
+            MdpError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for MdpError {
+    fn from(e: LpError) -> Self {
+        match e {
+            LpError::Infeasible => MdpError::Infeasible,
+            other => MdpError::Lp(other),
+        }
+    }
+}
+
+impl From<MarkovError> for MdpError {
+    fn from(e: MarkovError) -> Self {
+        MdpError::Markov(e)
+    }
+}
+
+impl From<LinalgError> for MdpError {
+    fn from(e: LinalgError) -> Self {
+        MdpError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_infeasible_maps_to_mdp_infeasible() {
+        assert_eq!(MdpError::from(LpError::Infeasible), MdpError::Infeasible);
+        assert!(matches!(
+            MdpError::from(LpError::Unbounded),
+            MdpError::Lp(LpError::Unbounded)
+        ));
+    }
+
+    #[test]
+    fn source_chains_to_inner_error() {
+        let e = MdpError::Lp(LpError::Unbounded);
+        assert!(e.source().is_some());
+        assert!(MdpError::Infeasible.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MdpError>();
+    }
+}

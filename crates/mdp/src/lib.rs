@@ -1,0 +1,55 @@
+//! Discounted and constrained Markov decision processes.
+//!
+//! Appendix A of Benini et al. solves policy optimization through the
+//! classical machinery of discounted MDPs; this crate implements that
+//! machinery in full, with three independent solution paths used to
+//! cross-check each other:
+//!
+//! * [`DiscountedMdp::value_iteration`] — successive approximations of the
+//!   optimality equations (12);
+//! * [`DiscountedMdp::policy_iteration`] — Howard's policy improvement,
+//!   with exact policy evaluation by LU solve;
+//! * [`OccupationLp`] — the linear program LP2 over state–action
+//!   frequencies `x_{s,a}` with the balance constraints of Fig. 11.
+//!
+//! Constrained problems (the paper's LP3/LP4: power or performance bounds,
+//! request-loss bounds) are handled by [`ConstrainedMdp`], whose solutions
+//! are *randomized* stationary Markov policies exactly when a constraint is
+//! active (Theorem A.2) — extracted from the LP solution by equation (16).
+//!
+//! # Example
+//!
+//! ```
+//! use dpm_linalg::Matrix;
+//! use dpm_markov::{ControlledMarkovChain, StochasticMatrix};
+//! use dpm_mdp::DiscountedMdp;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two states, two actions: action 1 jumps to state 1 (cheap), action 0
+//! // stays put. State 0 costs 1 per slice, state 1 costs 0.
+//! let stay = StochasticMatrix::identity(2);
+//! let jump = StochasticMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 1.0]])?;
+//! let chain = ControlledMarkovChain::new(vec![stay, jump])?;
+//! let cost = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]])?;
+//! let mdp = DiscountedMdp::new(chain, cost, 0.9)?;
+//! let (values, policy) = mdp.policy_iteration()?;
+//! assert_eq!(policy.action(0), 1); // escape the expensive state
+//! assert!((values[1] - 0.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod constrained;
+mod error;
+mod mdp;
+mod occupation;
+mod policy;
+
+pub use constrained::{ConstrainedMdp, ConstrainedSolution, CostConstraint};
+pub use error::MdpError;
+pub use mdp::DiscountedMdp;
+pub use occupation::{OccupationLp, OccupationSolution};
+pub use policy::{DeterministicPolicy, RandomizedPolicy};

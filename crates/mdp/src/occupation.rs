@@ -1,0 +1,452 @@
+use dpm_linalg::Matrix;
+use dpm_lp::{ConstraintOp, LinearProgram, LpSolver};
+
+use crate::mdp::validate_distribution;
+use crate::{DiscountedMdp, MdpError, RandomizedPolicy};
+
+/// The occupation-measure linear program **LP2** of the paper's Appendix A.
+///
+/// Unknowns are the *state–action frequencies* `x_{s,a}` — the expected
+/// discounted number of slices in which the system is in state `s` and
+/// command `a` is issued. The program is
+///
+/// ```text
+/// minimize    Σ_{s,a} c(s,a) · x_{s,a}
+/// subject to  Σ_a x_{j,a} − α Σ_s Σ_a P(s→j|a) x_{s,a} = q_j   ∀j
+///             x ≥ 0
+/// ```
+///
+/// where `q` is the initial state distribution. The equality rows are the
+/// "balance equations" of Fig. 11: expected visits to `j` equal the initial
+/// mass at `j` plus discounted expected inflow. Extra linear cost bounds
+/// (the paper's LP3/LP4) are added by
+/// [`ConstrainedMdp`](crate::ConstrainedMdp), which builds on this type.
+///
+/// # Example
+///
+/// ```
+/// use dpm_linalg::Matrix;
+/// use dpm_lp::Simplex;
+/// use dpm_markov::{ControlledMarkovChain, StochasticMatrix};
+/// use dpm_mdp::{DiscountedMdp, OccupationLp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stay = StochasticMatrix::identity(2);
+/// let jump = StochasticMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 1.0]])?;
+/// let chain = ControlledMarkovChain::new(vec![stay, jump])?;
+/// let cost = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]])?;
+/// let mdp = DiscountedMdp::new(chain, cost, 0.9)?;
+/// let solution = OccupationLp::new(&mdp, &[1.0, 0.0])?.solve(&Simplex::new())?;
+/// assert!((solution.objective() - 1.0).abs() < 1e-6); // pay once, escape
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct OccupationLp<'a> {
+    mdp: &'a DiscountedMdp,
+    initial: Vec<f64>,
+}
+
+impl<'a> OccupationLp<'a> {
+    /// Prepares the LP for an MDP and an initial state distribution `q`.
+    ///
+    /// # Errors
+    ///
+    /// [`MdpError::InvalidInitialDistribution`] when `initial` is not a
+    /// distribution over the MDP's states.
+    pub fn new(mdp: &'a DiscountedMdp, initial: &[f64]) -> Result<Self, MdpError> {
+        validate_distribution(initial, mdp.num_states())?;
+        Ok(OccupationLp {
+            mdp,
+            initial: initial.to_vec(),
+        })
+    }
+
+    /// Index of variable `x_{s,a}` in the flat LP variable vector.
+    pub fn var_index(&self, state: usize, action: usize) -> usize {
+        state * self.mdp.num_actions() + action
+    }
+
+    /// Builds the LP2 program, optionally with extra total-discounted-cost
+    /// bounds `Σ d_k(s,a) x_{s,a} ≤ bound_k` (turning it into LP3/LP4).
+    ///
+    /// The program is posed over the **normalized** occupation measure
+    /// `y = (1−α)·x`, which sums to one; for the near-unity discounts the
+    /// paper uses (e.g. α = 0.999999 for a 10⁶-slice horizon) the raw
+    /// frequencies span five or six orders of magnitude and wreck the
+    /// solver's pivot tolerances, while `y` stays perfectly scaled. The
+    /// solution is rescaled back to `x` transparently in
+    /// [`Self::solve_with_bounds`].
+    ///
+    /// # Errors
+    ///
+    /// [`MdpError::CostShapeMismatch`] when an extra cost matrix has the
+    /// wrong shape; LP build errors are mapped through.
+    pub fn build(&self, extra_bounds: &[(&Matrix, f64)]) -> Result<LinearProgram, MdpError> {
+        let n = self.mdp.num_states();
+        let m = self.mdp.num_actions();
+        let alpha = self.mdp.discount();
+        let scale = 1.0 - alpha;
+
+        let mut c = vec![0.0; n * m];
+        for s in 0..n {
+            for a in 0..m {
+                c[self.var_index(s, a)] = self.mdp.cost(s, a);
+            }
+        }
+        let mut lp = LinearProgram::minimize(&c);
+
+        // Balance equations, one per state j, with the rhs scaled to the
+        // normalized measure. The rows sum to `(1−α)·Σy = (1−α)`, i.e.
+        // they *imply* the normalization `Σy = 1` — but only with a
+        // coefficient of (1−α), so for long horizons tiny per-row
+        // residuals can hide O(1) mass loss. We therefore replace the
+        // first balance row with the explicit normalization row (the same
+        // trick used to solve stationary-distribution systems), which
+        // keeps the constraint set equivalent in exact arithmetic and
+        // well-conditioned in floating point.
+        let norm_row = vec![1.0; n * m];
+        for j in 0..n {
+            if j == 0 {
+                continue;
+            }
+            let mut row = vec![0.0; n * m];
+            for a in 0..m {
+                row[self.var_index(j, a)] += 1.0;
+            }
+            for s in 0..n {
+                for a in 0..m {
+                    let p = self.mdp.chain().prob(s, j, a);
+                    if p != 0.0 {
+                        row[self.var_index(s, a)] -= alpha * p;
+                    }
+                }
+            }
+            lp.add_constraint(&row, ConstraintOp::Eq, scale * self.initial[j])?;
+        }
+        lp.add_constraint(&norm_row, ConstraintOp::Eq, 1.0)?;
+
+        // Extra discounted-cost bounds, scaled likewise.
+        for &(d, bound) in extra_bounds {
+            if d.shape() != (n, m) {
+                return Err(MdpError::CostShapeMismatch {
+                    found: d.shape(),
+                    expected: (n, m),
+                });
+            }
+            let mut row = vec![0.0; n * m];
+            for s in 0..n {
+                for a in 0..m {
+                    row[self.var_index(s, a)] = d[(s, a)];
+                }
+            }
+            lp.add_constraint(&row, ConstraintOp::Le, scale * bound)?;
+        }
+        Ok(lp)
+    }
+
+    /// Solves the unconstrained LP2 with the given solver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures ([`MdpError::Infeasible`] cannot occur for
+    /// LP2 itself: the feasible set always contains the frequencies of any
+    /// stationary policy).
+    pub fn solve(&self, solver: &dyn LpSolver) -> Result<OccupationSolution, MdpError> {
+        self.solve_with_bounds(solver, &[])
+    }
+
+    /// Solves with extra discounted-cost bounds (LP3/LP4).
+    ///
+    /// # Errors
+    ///
+    /// [`MdpError::Infeasible`] when the bounds cut off the whole feasible
+    /// set; other LP failures are mapped through.
+    pub fn solve_with_bounds(
+        &self,
+        solver: &dyn LpSolver,
+        extra_bounds: &[(&Matrix, f64)],
+    ) -> Result<OccupationSolution, MdpError> {
+        let lp = self.build(extra_bounds)?;
+        // Primary solve, with a cross-algorithm rescue: if the chosen
+        // engine fails numerically (iteration limit, singular basis), the
+        // other engine gets a chance before the error surfaces.
+        // Infeasibility and unboundedness are exact verdicts and are not
+        // second-guessed.
+        let mut lp_solution = match solver.solve(&lp) {
+            Ok(s) => s,
+            Err(e @ (dpm_lp::LpError::Infeasible | dpm_lp::LpError::Unbounded)) => {
+                return Err(e.into())
+            }
+            Err(_) => {
+                if solver.name() == "interior-point" {
+                    dpm_lp::Simplex::new().solve(&lp)?
+                } else {
+                    dpm_lp::InteriorPoint::new().solve(&lp)?
+                }
+            }
+        };
+        // Guard against solver drift on ill-conditioned instances: the
+        // returned point must actually satisfy the balance equations. If
+        // it does not, rescue with the interior-point method (whose
+        // regularized normal equations tolerate the conditioning), keeping
+        // whichever point is cleaner.
+        let violation = lp.max_violation(lp_solution.x());
+        if violation > 1e-6 {
+            if let Ok(rescue) = dpm_lp::InteriorPoint::new().solve(&lp) {
+                if lp.max_violation(rescue.x()) < violation {
+                    lp_solution = rescue;
+                }
+            }
+            if lp.max_violation(lp_solution.x()) > 1e-4 {
+                return Err(MdpError::Lp(dpm_lp::LpError::Numerical {
+                    reason: format!(
+                        "occupation LP solution violates constraints by {violation:.2e}"
+                    ),
+                }));
+            }
+        }
+        let n = self.mdp.num_states();
+        let m = self.mdp.num_actions();
+        // The LP is posed over y = (1−α)x (see `build`); scale back.
+        let horizon = self.mdp.horizon();
+        let mut frequencies = Matrix::zeros(n, m);
+        for s in 0..n {
+            for a in 0..m {
+                // Interior-point iterates can carry tiny negative dust.
+                frequencies[(s, a)] = horizon * lp_solution.x()[self.var_index(s, a)].max(0.0);
+            }
+        }
+        Ok(OccupationSolution {
+            frequencies,
+            objective: horizon * lp_solution.objective(),
+            iterations: lp_solution.iterations(),
+            discount: self.mdp.discount(),
+            cost: self.mdp.cost_matrix().clone(),
+        })
+    }
+}
+
+/// A solved occupation-measure program: the state–action frequencies and
+/// everything derivable from them.
+#[derive(Debug, Clone)]
+pub struct OccupationSolution {
+    frequencies: Matrix,
+    objective: f64,
+    iterations: usize,
+    discount: f64,
+    cost: Matrix,
+}
+
+impl OccupationSolution {
+    /// The state–action frequency matrix `x_{s,a}`.
+    pub fn frequencies(&self) -> &Matrix {
+        &self.frequencies
+    }
+
+    /// Optimal total expected discounted cost.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Optimal cost normalized per slice: `objective × (1 − α)`. This is
+    /// the quantity the paper plots (e.g. Watts).
+    pub fn objective_per_slice(&self) -> f64 {
+        self.objective * (1.0 - self.discount)
+    }
+
+    /// LP iterations used.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Total discounted visits `Σ_{s,a} x_{s,a}`; equals the horizon
+    /// `1/(1−α)` for any feasible solution (sum of the balance equations).
+    pub fn total_visits(&self) -> f64 {
+        self.frequencies.as_slice().iter().sum()
+    }
+
+    /// Discounted state-visit frequencies `Σ_a x_{s,a}`.
+    pub fn state_frequencies(&self) -> Vec<f64> {
+        (0..self.frequencies.rows())
+            .map(|s| self.frequencies.row(s).iter().sum())
+            .collect()
+    }
+
+    /// Expected total discounted value of an arbitrary `states × actions`
+    /// cost under the solved frequencies: `Σ d(s,a) x_{s,a}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d` has the wrong shape.
+    pub fn expected_cost(&self, d: &Matrix) -> f64 {
+        assert_eq!(d.shape(), self.frequencies.shape(), "cost shape mismatch");
+        dpm_linalg::vector::dot(d.as_slice(), self.frequencies.as_slice())
+    }
+
+    /// Per-slice version of [`Self::expected_cost`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d` has the wrong shape.
+    pub fn expected_cost_per_slice(&self, d: &Matrix) -> f64 {
+        self.expected_cost(d) * (1.0 - self.discount)
+    }
+
+    /// Extracts the optimal randomized Markov stationary policy by
+    /// equation (16): `π(a|s) = x_{s,a} / Σ_a x_{s,a}`.
+    ///
+    /// States never visited under the optimal occupation measure
+    /// (`Σ_a x_{s,a} = 0`) get the action with the smallest immediate
+    /// cost — any choice there leaves the LP objective unchanged; the
+    /// cheapest-cost tie-break keeps simulated trajectories sensible if
+    /// sampling noise ever reaches such a state.
+    pub fn policy(&self) -> RandomizedPolicy {
+        let n = self.frequencies.rows();
+        let m = self.frequencies.cols();
+        let mut rows = Vec::with_capacity(n);
+        for s in 0..n {
+            let total: f64 = self.frequencies.row(s).iter().sum();
+            if total > 1e-12 {
+                let mut row: Vec<f64> = self
+                    .frequencies
+                    .row(s)
+                    .iter()
+                    .map(|&v| v / total)
+                    .collect();
+                // Exact renormalization against division drift.
+                let sum: f64 = row.iter().sum();
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+                rows.push(row);
+            } else {
+                let best = (0..m)
+                    .min_by(|&a, &b| {
+                        self.cost[(s, a)]
+                            .partial_cmp(&self.cost[(s, b)])
+                            .expect("finite costs")
+                    })
+                    .expect("at least one action");
+                let mut row = vec![0.0; m];
+                row[best] = 1.0;
+                rows.push(row);
+            }
+        }
+        RandomizedPolicy::new(rows).expect("rows normalized by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_lp::{InteriorPoint, Simplex};
+    use dpm_markov::{ControlledMarkovChain, StochasticMatrix};
+
+    fn escape_mdp(discount: f64) -> DiscountedMdp {
+        let stay = StochasticMatrix::identity(2);
+        let jump = StochasticMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let chain = ControlledMarkovChain::new(vec![stay, jump]).unwrap();
+        let cost = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]).unwrap();
+        DiscountedMdp::new(chain, cost, discount).unwrap()
+    }
+
+    #[test]
+    fn lp_matches_value_iteration() {
+        let mdp = escape_mdp(0.9);
+        let (v, _) = mdp.value_iteration(1e-12, 100_000).unwrap();
+        let q = [0.7, 0.3];
+        let expected = 0.7 * v[0] + 0.3 * v[1];
+        let sol = OccupationLp::new(&mdp, &q)
+            .unwrap()
+            .solve(&Simplex::new())
+            .unwrap();
+        assert!((sol.objective() - expected).abs() < 1e-7);
+    }
+
+    #[test]
+    fn interior_point_agrees_with_simplex() {
+        let mdp = escape_mdp(0.95);
+        let lp = OccupationLp::new(&mdp, &[0.5, 0.5]).unwrap();
+        let s1 = lp.solve(&Simplex::new()).unwrap();
+        let s2 = lp.solve(&InteriorPoint::new()).unwrap();
+        assert!((s1.objective() - s2.objective()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn total_visits_equals_horizon() {
+        let mdp = escape_mdp(0.9);
+        let sol = OccupationLp::new(&mdp, &[1.0, 0.0])
+            .unwrap()
+            .solve(&Simplex::new())
+            .unwrap();
+        assert!((sol.total_visits() - mdp.horizon()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extracted_policy_is_optimal_escape() {
+        let mdp = escape_mdp(0.9);
+        let sol = OccupationLp::new(&mdp, &[1.0, 0.0])
+            .unwrap()
+            .solve(&Simplex::new())
+            .unwrap();
+        let policy = sol.policy();
+        // State 0 must jump (action 1). State 1 is visited with both
+        // actions equivalent; mode is well-defined either way.
+        assert!((policy.prob(0, 1) - 1.0).abs() < 1e-7);
+        // Evaluating the extracted policy reproduces the LP objective.
+        let value = mdp.policy_value(&policy, &[1.0, 0.0]).unwrap();
+        assert!((value - sol.objective()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_slice_normalization() {
+        let mdp = escape_mdp(0.9);
+        let sol = OccupationLp::new(&mdp, &[1.0, 0.0])
+            .unwrap()
+            .solve(&Simplex::new())
+            .unwrap();
+        assert!((sol.objective_per_slice() - sol.objective() * 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_cost_of_indicator_counts_visits() {
+        let mdp = escape_mdp(0.5);
+        let sol = OccupationLp::new(&mdp, &[1.0, 0.0])
+            .unwrap()
+            .solve(&Simplex::new())
+            .unwrap();
+        // Indicator of state 0 (both actions): discounted visits to s0.
+        let ind = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]).unwrap();
+        // Optimal escapes immediately: exactly 1 visit to s0 (the first
+        // slice), so discounted count = 1.
+        assert!((sol.expected_cost(&ind) - 1.0).abs() < 1e-7);
+        let states = sol.state_frequencies();
+        assert!((states[0] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn rejects_bad_initial_distribution() {
+        let mdp = escape_mdp(0.9);
+        assert!(OccupationLp::new(&mdp, &[0.5]).is_err());
+        assert!(OccupationLp::new(&mdp, &[0.9, 0.3]).is_err());
+        assert!(OccupationLp::new(&mdp, &[-0.5, 1.5]).is_err());
+    }
+
+    #[test]
+    fn unvisited_state_gets_cheapest_action() {
+        // Start fully in state 1 (absorbing under both actions); state 0
+        // never visited. Its fallback action must be the cheaper one.
+        let stay = StochasticMatrix::identity(2);
+        let jump = StochasticMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let chain = ControlledMarkovChain::new(vec![stay, jump]).unwrap();
+        let cost = Matrix::from_rows(&[&[5.0, 2.0], &[0.0, 0.0]]).unwrap();
+        let mdp = DiscountedMdp::new(chain, cost, 0.9).unwrap();
+        let sol = OccupationLp::new(&mdp, &[0.0, 1.0])
+            .unwrap()
+            .solve(&Simplex::new())
+            .unwrap();
+        let policy = sol.policy();
+        assert_eq!(policy.decision(0), &[0.0, 1.0]);
+    }
+}

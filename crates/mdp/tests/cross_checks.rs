@@ -1,0 +1,167 @@
+//! Cross-validation of the three independent MDP solution paths on
+//! randomly generated decision processes: value iteration, policy
+//! iteration and the occupation-measure LP must agree, and constrained
+//! solutions must satisfy the Lagrangian sanity conditions of Appendix A.
+
+use dpm_linalg::Matrix;
+use dpm_lp::{InteriorPoint, Simplex};
+use dpm_markov::{ControlledMarkovChain, StochasticMatrix};
+use dpm_mdp::{ConstrainedMdp, CostConstraint, DiscountedMdp, OccupationLp};
+use proptest::prelude::*;
+
+fn stochastic_row(width: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1u32..=100, width).prop_map(|w| {
+        let total: u32 = w.iter().sum();
+        w.iter().map(|&x| x as f64 / total as f64).collect()
+    })
+}
+
+fn stochastic(n: usize) -> impl Strategy<Value = StochasticMatrix> {
+    proptest::collection::vec(stochastic_row(n), n).prop_map(|rows| {
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        StochasticMatrix::from_rows(&refs).expect("valid")
+    })
+}
+
+fn mdp(n: usize, m: usize) -> impl Strategy<Value = DiscountedMdp> {
+    (
+        proptest::collection::vec(stochastic(n), m),
+        proptest::collection::vec(0u32..=400, n * m),
+        2u32..=9,
+    )
+        .prop_map(move |(kernels, costs, d)| {
+            let chain = ControlledMarkovChain::new(kernels).expect("same dims");
+            let cost = Matrix::from_vec(
+                n,
+                m,
+                costs.iter().map(|&c| c as f64 / 100.0).collect(),
+            )
+            .expect("shape");
+            DiscountedMdp::new(chain, cost, d as f64 / 10.0).expect("valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn all_three_paths_agree(mdp in mdp(4, 3)) {
+        let (vi_values, vi_policy) = mdp.value_iteration(1e-11, 500_000).expect("converges");
+        let (pi_values, pi_policy) = mdp.policy_iteration().expect("converges");
+        // Policies can differ on ties; the values cannot.
+        prop_assert!(dpm_linalg::vector::max_abs_diff(&vi_values, &pi_values)
+            < 1e-5 * (1.0 + dpm_linalg::vector::norm_inf(&pi_values)));
+        // Evaluating either policy reproduces the optimal values.
+        let eval = mdp.evaluate_deterministic(&pi_policy).expect("evaluates");
+        prop_assert!(dpm_linalg::vector::max_abs_diff(&eval, &pi_values) < 1e-7
+            * (1.0 + dpm_linalg::vector::norm_inf(&pi_values)));
+        let _ = vi_policy;
+
+        // LP path: for a uniform initial distribution.
+        let n = mdp.num_states();
+        let initial = vec![1.0 / n as f64; n];
+        let lp = OccupationLp::new(&mdp, &initial).expect("valid");
+        let solution = lp.solve(&Simplex::new()).expect("feasible");
+        let expected: f64 = initial.iter().zip(&pi_values).map(|(q, v)| q * v).sum();
+        prop_assert!(
+            (solution.objective() - expected).abs() < 1e-5 * (1.0 + expected.abs()),
+            "lp {} vs dp {expected}", solution.objective()
+        );
+        // The extracted policy evaluates to the same value.
+        let policy_value = mdp.policy_value(&solution.policy(), &initial).expect("evaluates");
+        prop_assert!((policy_value - expected).abs() < 1e-5 * (1.0 + expected.abs()));
+    }
+
+    #[test]
+    fn constrained_solution_satisfies_bound_and_dominates_nothing_cheaper(
+        mdp in mdp(3, 2),
+        bound_step in 1u32..10,
+    ) {
+        // Secondary cost: indicator of action 1.
+        let n = mdp.num_states();
+        let m = mdp.num_actions();
+        let secondary = Matrix::from_fn(n, m, |_, a| if a == 1 { 1.0 } else { 0.0 });
+        let horizon = mdp.horizon();
+        // Bound: a fraction of the horizon (always feasible: action 0 only).
+        let bound = horizon * bound_step as f64 / 10.0;
+        let initial = {
+            let mut q = vec![0.0; n];
+            q[0] = 1.0;
+            q
+        };
+        let unconstrained = OccupationLp::new(&mdp, &initial)
+            .expect("valid")
+            .solve(&Simplex::new())
+            .expect("feasible")
+            .objective();
+        let constrained = ConstrainedMdp::new(mdp.clone())
+            .with_constraint(CostConstraint::new("action-1 budget", secondary, bound))
+            .solve(&initial, &Simplex::new())
+            .expect("always feasible: action 0 satisfies any nonnegative bound");
+        // The bound holds and the constrained optimum is no better than
+        // the unconstrained one.
+        prop_assert!(constrained.constraint_value(0) <= bound + 1e-6 * (1.0 + bound));
+        prop_assert!(constrained.objective() >= unconstrained - 1e-6 * (1.0 + unconstrained.abs()));
+    }
+
+    #[test]
+    fn solvers_agree_on_random_constrained_mdps(mdp in mdp(3, 2)) {
+        let n = mdp.num_states();
+        let secondary = Matrix::from_fn(n, 2, |_, a| a as f64);
+        let bound = mdp.horizon() * 0.4;
+        let initial = vec![1.0 / n as f64; n];
+        let build = |m: DiscountedMdp| {
+            ConstrainedMdp::new(m).with_constraint(CostConstraint::new(
+                "budget",
+                secondary.clone(),
+                bound,
+            ))
+        };
+        let simplex = build(mdp.clone()).solve(&initial, &Simplex::new()).expect("feasible");
+        let interior = build(mdp).solve(&initial, &InteriorPoint::new()).expect("feasible");
+        prop_assert!(
+            (simplex.objective() - interior.objective()).abs()
+                < 1e-4 * (1.0 + simplex.objective().abs()),
+            "simplex {} vs interior {}", simplex.objective(), interior.objective()
+        );
+    }
+
+    #[test]
+    fn occupation_state_frequencies_match_policy_evaluation(mdp in mdp(3, 2)) {
+        // The discounted state frequencies of the extracted policy's
+        // closed-loop chain must equal the LP's state frequencies.
+        let n = mdp.num_states();
+        let initial = {
+            let mut q = vec![0.0; n];
+            q[0] = 1.0;
+            q
+        };
+        let solution = OccupationLp::new(&mdp, &initial)
+            .expect("valid")
+            .solve(&Simplex::new())
+            .expect("feasible");
+        let policy = solution.policy();
+        let closed = mdp.chain().under_state_decisions(policy.decisions()).expect("valid");
+        // Discounted visit counts: x = q Σ_t (αP)^t  = q (I − αP)⁻¹.
+        let alpha = mdp.discount();
+        let mut dist = initial.clone();
+        let mut visits = vec![0.0; n];
+        for _ in 0..4_000 {
+            for (v, d) in visits.iter_mut().zip(&dist) {
+                *v += d;
+            }
+            dist = closed.transition_matrix().step(&dist).expect("dims");
+            dpm_linalg::vector::scale(&mut dist, alpha);
+            if dpm_linalg::vector::norm_inf(&dist) < 1e-14 {
+                break;
+            }
+        }
+        let lp_freqs = solution.state_frequencies();
+        for s in 0..n {
+            prop_assert!(
+                (visits[s] - lp_freqs[s]).abs() < 1e-4 * (1.0 + lp_freqs[s]),
+                "state {s}: chain {} vs lp {}", visits[s], lp_freqs[s]
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+use dpm_core::SystemModel;
+use dpm_sim::{Observation, PowerManager};
+
+/// The **eager** policy of the paper's introduction: "turns off every
+/// system component as soon as it becomes idle", waking it the moment a
+/// request needs service.
+///
+/// Parameterized by which sleep command to use — running one `EagerPolicy`
+/// per available sleep state produces the family of greedy points
+/// (upward triangles) in Fig. 8(b).
+#[derive(Debug, Clone)]
+pub struct EagerPolicy {
+    wake_command: usize,
+    sleep_command: usize,
+    /// Per composite state: is the system idle (no pending or arriving
+    /// work)?
+    idle: Vec<bool>,
+    label: String,
+}
+
+impl EagerPolicy {
+    /// Builds the policy for a composed system: `wake_command` is issued
+    /// whenever work is pending, `sleep_command` whenever the system is
+    /// idle (queue empty and the workload issuing nothing).
+    pub fn new(system: &SystemModel, wake_command: usize, sleep_command: usize) -> Self {
+        let idle = (0..system.num_states())
+            .map(|i| {
+                let s = system.state_of(i);
+                system.requester().requests(s.sr) == 0 && s.queue == 0
+            })
+            .collect();
+        EagerPolicy {
+            wake_command,
+            sleep_command,
+            idle,
+            label: format!("eager(sleep cmd {sleep_command})"),
+        }
+    }
+
+    /// Overrides the display name.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl PowerManager for EagerPolicy {
+    fn decide(&mut self, observation: &Observation, _rng: &mut dyn rand::RngCore) -> usize {
+        if self.idle[observation.state_index] {
+            self.sleep_command
+        } else {
+            self.wake_command
+        }
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_core::{ServiceProvider, ServiceQueue, ServiceRequester, SystemState};
+    use dpm_sim::{SimConfig, Simulator};
+
+    fn toy_system() -> SystemModel {
+        let mut b = ServiceProvider::builder();
+        let on = b.add_state("on");
+        let off = b.add_state("off");
+        let s_on = b.add_command("s_on");
+        let s_off = b.add_command("s_off");
+        b.transition(off, on, s_on, 0.1).unwrap();
+        b.transition(on, off, s_off, 0.8).unwrap();
+        b.service_rate(on, s_on, 0.8).unwrap();
+        b.power(on, s_on, 3.0).unwrap();
+        b.power(on, s_off, 4.0).unwrap();
+        b.power(off, s_on, 4.0).unwrap();
+        let sp = b.build().unwrap();
+        let sr = ServiceRequester::two_state(0.05, 0.85).unwrap();
+        SystemModel::compose(sp, sr, ServiceQueue::with_capacity(1)).unwrap()
+    }
+
+    #[test]
+    fn sleeps_exactly_when_idle() {
+        let system = toy_system();
+        let mut policy = EagerPolicy::new(&system, 0, 1);
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        for i in 0..system.num_states() {
+            let s = system.state_of(i);
+            let obs = Observation {
+                state: s,
+                state_index: i,
+                slice: 0,
+                idle_slices: 0,
+            };
+            let cmd = policy.decide(&obs, &mut rng);
+            let idle = s.sr == 0 && s.queue == 0;
+            assert_eq!(cmd, if idle { 1 } else { 0 }, "state {}", system.state_label(i));
+        }
+    }
+
+    #[test]
+    fn eager_saves_power_but_costs_performance_vs_always_on() {
+        let system = toy_system();
+        let sim = Simulator::new(
+            &system,
+            SimConfig::new(100_000).seed(5).initial(SystemState {
+                sp: 0,
+                sr: 0,
+                queue: 0,
+            }),
+        );
+        let eager_stats = sim.run(&mut EagerPolicy::new(&system, 0, 1)).unwrap();
+        let on_stats = sim.run(&mut crate::always_on(0)).unwrap();
+        assert!(eager_stats.average_power() < on_stats.average_power());
+        assert!(eager_stats.average_queue() > on_stats.average_queue());
+        assert!(eager_stats.average_waiting() > on_stats.average_waiting());
+    }
+
+    #[test]
+    fn label_is_customizable() {
+        let system = toy_system();
+        let policy = EagerPolicy::new(&system, 0, 1).with_label("greedy-sleep1");
+        assert_eq!(policy.name(), "greedy-sleep1");
+    }
+}

@@ -1,0 +1,45 @@
+//! Heuristic power-management policies — the baselines the paper compares
+//! its optimal stochastic policies against.
+//!
+//! * [`EagerPolicy`] — the "eager" / greedy policy of the introduction and
+//!   Fig. 8(b)'s upward triangles: shut down (to a chosen sleep command)
+//!   the moment the system goes idle; wake the moment work appears.
+//! * [`TimeoutPolicy`] — the classical disk spin-down heuristic ([12],
+//!   Fig. 8(b)'s downward triangles, the dashed curves of Figs. 9(b)/10):
+//!   shut down after the idle clock exceeds a threshold; wake on work.
+//! * [`RandomizedTimeoutPolicy`] — Fig. 8(b)'s boxes: "the timeout value
+//!   and the inactive state are chosen randomly with a given probability
+//!   distribution" at the start of each idle period.
+//! * [`always_on`] — the trivial constant policy (Example 3.4) that never
+//!   sleeps; re-exported from `dpm-sim`'s [`ConstantCommandManager`].
+//!
+//! All of them implement [`PowerManager`] and run on the same simulator as
+//! the optimal policies, so like is compared with like.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dpm_policies::TimeoutPolicy;
+//! use dpm_sim::{SimConfig, Simulator};
+//! # fn run(system: &dpm_core::SystemModel) -> Result<(), dpm_core::DpmError> {
+//! let mut policy = TimeoutPolicy::new(system, 0, 1, 100); // wake cmd 0, sleep cmd 1
+//! let stats = Simulator::new(system, SimConfig::new(100_000)).run(&mut policy)?;
+//! println!("timeout-100 power: {:.3} W", stats.average_power());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod eager;
+mod timeout;
+
+pub use dpm_sim::{ConstantCommandManager, Observation, PowerManager};
+pub use eager::EagerPolicy;
+pub use timeout::{RandomizedTimeoutPolicy, TimeoutPolicy};
+
+/// The always-on baseline: constantly issue the "stay active" command.
+pub fn always_on(active_command: usize) -> ConstantCommandManager {
+    ConstantCommandManager::new(active_command)
+}

@@ -1,0 +1,261 @@
+use dpm_core::SystemModel;
+use dpm_sim::{Observation, PowerManager};
+use rand::Rng;
+
+/// The classical **timeout** (spin-down) policy: wake whenever work is
+/// pending; once idle for `timeout` consecutive slices, issue the sleep
+/// command.
+///
+/// "Timeout-based policies are widely used for disk power management.
+/// They shut down the disk when the user has been inactive for a time
+/// longer than the timeout period" (Section VI-A). The paper's point —
+/// visible when this policy is swept against the optimal curve — is that
+/// the timeout *wastes power while waiting for the timeout to expire*.
+#[derive(Debug, Clone)]
+pub struct TimeoutPolicy {
+    wake_command: usize,
+    sleep_command: usize,
+    timeout: u64,
+    idle: Vec<bool>,
+    label: String,
+}
+
+impl TimeoutPolicy {
+    /// Builds the policy: after `timeout` idle slices, issue
+    /// `sleep_command`; while work is pending, issue `wake_command`.
+    /// `timeout = 0` degenerates to the eager policy.
+    pub fn new(
+        system: &SystemModel,
+        wake_command: usize,
+        sleep_command: usize,
+        timeout: u64,
+    ) -> Self {
+        TimeoutPolicy {
+            wake_command,
+            sleep_command,
+            timeout,
+            idle: idle_mask(system),
+            label: format!("timeout({timeout}, sleep cmd {sleep_command})"),
+        }
+    }
+
+    /// The configured timeout in slices.
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+
+    /// Overrides the display name.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl PowerManager for TimeoutPolicy {
+    fn decide(&mut self, observation: &Observation, _rng: &mut dyn rand::RngCore) -> usize {
+        if !self.idle[observation.state_index] {
+            self.wake_command
+        } else if observation.idle_slices >= self.timeout {
+            self.sleep_command
+        } else {
+            self.wake_command
+        }
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Fig. 8(b)'s boxed points: a timeout policy whose `(timeout, sleep
+/// command)` pair is re-drawn from a given distribution at the start of
+/// every idle period — "randomized policies where the timeout value and
+/// the inactive state are chosen randomly with a given probability
+/// distribution ... the heuristic version of the optimal policies
+/// computed by our tool".
+#[derive(Debug, Clone)]
+pub struct RandomizedTimeoutPolicy {
+    wake_command: usize,
+    /// `(probability, timeout, sleep command)` triples; probabilities sum
+    /// to one.
+    choices: Vec<(f64, u64, usize)>,
+    idle: Vec<bool>,
+    current: (u64, usize),
+    label: String,
+}
+
+impl RandomizedTimeoutPolicy {
+    /// Builds the policy from `(probability, timeout, sleep_command)`
+    /// choices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `choices` is empty or the probabilities do not sum to
+    /// one (within 1e−9).
+    pub fn new(
+        system: &SystemModel,
+        wake_command: usize,
+        choices: Vec<(f64, u64, usize)>,
+    ) -> Self {
+        assert!(!choices.is_empty(), "need at least one (timeout, sleep) choice");
+        let total: f64 = choices.iter().map(|c| c.0).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "choice probabilities sum to {total}, expected 1"
+        );
+        let current = (choices[0].1, choices[0].2);
+        RandomizedTimeoutPolicy {
+            wake_command,
+            choices,
+            idle: idle_mask(system),
+            current,
+            label: "randomized timeout".to_string(),
+        }
+    }
+
+    /// Overrides the display name.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    fn redraw(&mut self, rng: &mut dyn rand::RngCore) {
+        let draw: f64 = rng.gen();
+        let mut acc = 0.0;
+        for &(p, timeout, sleep) in &self.choices {
+            acc += p;
+            if draw < acc {
+                self.current = (timeout, sleep);
+                return;
+            }
+        }
+        let last = self.choices.last().expect("non-empty choices");
+        self.current = (last.1, last.2);
+    }
+}
+
+impl PowerManager for RandomizedTimeoutPolicy {
+    fn decide(&mut self, observation: &Observation, rng: &mut dyn rand::RngCore) -> usize {
+        if !self.idle[observation.state_index] {
+            return self.wake_command;
+        }
+        if observation.idle_slices == 0 {
+            // A fresh idle period: re-draw the (timeout, sleep) pair.
+            self.redraw(rng);
+        }
+        if observation.idle_slices >= self.current.0 {
+            self.current.1
+        } else {
+            self.wake_command
+        }
+    }
+
+    fn reset(&mut self) {
+        self.current = (self.choices[0].1, self.choices[0].2);
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Per composite state: is the system idle (no arrivals, empty queue)?
+fn idle_mask(system: &SystemModel) -> Vec<bool> {
+    (0..system.num_states())
+        .map(|i| {
+            let s = system.state_of(i);
+            system.requester().requests(s.sr) == 0 && s.queue == 0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EagerPolicy;
+    use dpm_core::{ServiceProvider, ServiceQueue, ServiceRequester};
+    use dpm_sim::{SimConfig, Simulator};
+
+    fn toy_system() -> SystemModel {
+        let mut b = ServiceProvider::builder();
+        let on = b.add_state("on");
+        let off = b.add_state("off");
+        let s_on = b.add_command("s_on");
+        let s_off = b.add_command("s_off");
+        b.transition(off, on, s_on, 0.1).unwrap();
+        b.transition(on, off, s_off, 0.8).unwrap();
+        b.service_rate(on, s_on, 0.8).unwrap();
+        b.power(on, s_on, 3.0).unwrap();
+        b.power(on, s_off, 4.0).unwrap();
+        b.power(off, s_on, 4.0).unwrap();
+        let sp = b.build().unwrap();
+        let sr = ServiceRequester::two_state(0.05, 0.85).unwrap();
+        SystemModel::compose(sp, sr, ServiceQueue::with_capacity(1)).unwrap()
+    }
+
+    #[test]
+    fn timeout_zero_equals_eager() {
+        let system = toy_system();
+        let sim = Simulator::new(&system, SimConfig::new(50_000).seed(3));
+        let t0 = sim.run(&mut TimeoutPolicy::new(&system, 0, 1, 0)).unwrap();
+        let eager = sim.run(&mut EagerPolicy::new(&system, 0, 1)).unwrap();
+        assert_eq!(t0, eager);
+    }
+
+    #[test]
+    fn longer_timeouts_spend_more_power_and_wait_less() {
+        let system = toy_system();
+        let sim = Simulator::new(&system, SimConfig::new(200_000).seed(7));
+        let mut last_power = 0.0;
+        let mut powers = Vec::new();
+        for timeout in [0, 5, 20, 100, 100_000] {
+            let stats = sim
+                .run(&mut TimeoutPolicy::new(&system, 0, 1, timeout))
+                .unwrap();
+            powers.push(stats.average_power());
+            assert!(
+                stats.average_power() >= last_power - 0.05,
+                "timeout {timeout}: power fell"
+            );
+            last_power = stats.average_power();
+        }
+        // An effectively infinite timeout behaves like always-on.
+        assert!((powers.last().unwrap() - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn randomized_timeout_interpolates_its_components() {
+        let system = toy_system();
+        let sim = Simulator::new(&system, SimConfig::new(200_000).seed(11));
+        let p_short = sim.run(&mut TimeoutPolicy::new(&system, 0, 1, 2)).unwrap();
+        let p_long = sim.run(&mut TimeoutPolicy::new(&system, 0, 1, 50)).unwrap();
+        let mixed = sim
+            .run(&mut RandomizedTimeoutPolicy::new(
+                &system,
+                0,
+                vec![(0.5, 2, 1), (0.5, 50, 1)],
+            ))
+            .unwrap();
+        let lo = p_short.average_power().min(p_long.average_power()) - 0.05;
+        let hi = p_short.average_power().max(p_long.average_power()) + 0.05;
+        assert!(
+            (lo..=hi).contains(&mixed.average_power()),
+            "mixed power {} outside [{lo}, {hi}]",
+            mixed.average_power()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn bad_choice_distribution_panics() {
+        let system = toy_system();
+        RandomizedTimeoutPolicy::new(&system, 0, vec![(0.4, 1, 1), (0.4, 2, 1)]);
+    }
+
+    #[test]
+    fn names_include_parameters() {
+        let system = toy_system();
+        assert!(TimeoutPolicy::new(&system, 0, 1, 42).name().contains("42"));
+        assert_eq!(TimeoutPolicy::new(&system, 0, 1, 42).timeout(), 42);
+    }
+}

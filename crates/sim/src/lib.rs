@@ -1,0 +1,52 @@
+//! Slotted-time stochastic simulator for power-managed systems.
+//!
+//! This is the *simulation engine* of the paper's tool (Fig. 7). It drives
+//! a composed [`SystemModel`](dpm_core::SystemModel) slice by slice under
+//! any [`PowerManager`] — the optimizer's stochastic policies via
+//! [`StochasticPolicyManager`], or the heuristic baselines from
+//! `dpm-policies` — and gathers the statistics the paper reports: average
+//! power, average queue length, request-loss rate and request latency.
+//!
+//! Two modes, as in the paper:
+//!
+//! * **model-driven** ([`Simulator::run`]): the service requester is
+//!   simulated from its Markov chain. Agreement with the optimizer's
+//!   expected values checks the *optimizer* (the circles on the Pareto
+//!   curves of Figs. 8(b)/9(a));
+//! * **trace-driven** ([`Simulator::run_trace`]): arrivals come from a
+//!   recorded or synthetic trace. Disagreement with the optimizer's
+//!   expected values measures *modeling error* — "if the arrival of
+//!   service requests is poorly modeled by a Markov process, the
+//!   performance and power values returned by this simulation do not
+//!   match" (Section V, and the non-stationary study of Fig. 10).
+//!
+//! # Example
+//!
+//! ```
+//! use dpm_sim::{ConstantCommandManager, SimConfig, Simulator};
+//! use dpm_core::{ServiceProvider, ServiceQueue, ServiceRequester, SystemModel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let mut b = ServiceProvider::builder();
+//! # let on = b.add_state_with_power("on", 2.0);
+//! # let cmd = b.add_command("work");
+//! # b.service_rate(on, cmd, 0.9)?;
+//! # let system = SystemModel::compose(
+//! #     b.build()?, ServiceRequester::two_state(0.3, 0.7)?, ServiceQueue::with_capacity(1))?;
+//! let simulator = Simulator::new(&system, SimConfig::new(10_000).seed(7));
+//! let stats = simulator.run(&mut ConstantCommandManager::new(0))?;
+//! assert!((stats.average_power() - 2.0).abs() < 1e-9); // always 2 W
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod manager;
+mod simulator;
+mod stats;
+
+pub use manager::{ConstantCommandManager, Observation, PowerManager, StochasticPolicyManager};
+pub use simulator::{binary_tracker, SimConfig, Simulator};
+pub use stats::SimStats;

@@ -1,0 +1,174 @@
+/// Statistics gathered over one simulation run.
+///
+/// All per-slice averages divide by the number of simulated slices, so
+/// they are directly comparable with the optimizer's per-slice expected
+/// values (the paper's methodology for validating optimal policies by
+/// simulation, Section V).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Slices simulated.
+    pub slices: u64,
+    /// Total energy: Σ over slices of `p(s, a)` (Watt·slices).
+    pub energy: f64,
+    /// Σ over slices of the queue backlog at the start of the slice.
+    pub queue_slices: f64,
+    /// Requests that arrived.
+    pub arrived: u64,
+    /// Requests completed.
+    pub served: u64,
+    /// Requests lost to queue overflow.
+    pub lost: u64,
+    /// Σ over served requests of (service slice − arrival slice).
+    pub waiting_slices: f64,
+    /// Σ over slices of the loss-indicator condition (SR issuing, queue
+    /// full) — the quantity the paper's loss constraint bounds.
+    pub loss_indicator_slices: u64,
+    /// Slices spent in each service-provider state.
+    pub sp_state_slices: Vec<u64>,
+    /// Commands issued, by command index.
+    pub commands_issued: Vec<u64>,
+}
+
+impl SimStats {
+    /// Average power per slice (W).
+    pub fn average_power(&self) -> f64 {
+        if self.slices == 0 {
+            0.0
+        } else {
+            self.energy / self.slices as f64
+        }
+    }
+
+    /// Average queue backlog per slice — the paper's default performance
+    /// penalty.
+    pub fn average_queue(&self) -> f64 {
+        if self.slices == 0 {
+            0.0
+        } else {
+            self.queue_slices / self.slices as f64
+        }
+    }
+
+    /// Fraction of slices in the paper's loss-indicator condition.
+    pub fn loss_indicator_rate(&self) -> f64 {
+        if self.slices == 0 {
+            0.0
+        } else {
+            self.loss_indicator_slices as f64 / self.slices as f64
+        }
+    }
+
+    /// Requests lost per slice.
+    pub fn loss_rate_per_slice(&self) -> f64 {
+        if self.slices == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.slices as f64
+        }
+    }
+
+    /// Fraction of arrived requests that were lost.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.arrived == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.arrived as f64
+        }
+    }
+
+    /// Mean waiting time of served requests, in slices (arrival to service
+    /// completion).
+    pub fn average_waiting(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.waiting_slices / self.served as f64
+        }
+    }
+
+    /// Served requests per slice (throughput).
+    pub fn throughput(&self) -> f64 {
+        if self.slices == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.slices as f64
+        }
+    }
+
+    /// Fraction of slices spent in SP state `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    pub fn sp_state_fraction(&self, s: usize) -> f64 {
+        if self.slices == 0 {
+            0.0
+        } else {
+            self.sp_state_slices[s] as f64 / self.slices as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SimStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "simulated {} slices:", self.slices)?;
+        writeln!(f, "  avg power    = {:.4} W", self.average_power())?;
+        writeln!(f, "  avg queue    = {:.4}", self.average_queue())?;
+        writeln!(
+            f,
+            "  requests     = {} arrived / {} served / {} lost",
+            self.arrived, self.served, self.lost
+        )?;
+        writeln!(f, "  avg waiting  = {:.2} slices", self.average_waiting())?;
+        writeln!(f, "  loss rate    = {:.5} /slice", self.loss_rate_per_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_divide_by_slices() {
+        let stats = SimStats {
+            slices: 10,
+            energy: 25.0,
+            queue_slices: 5.0,
+            arrived: 8,
+            served: 6,
+            lost: 2,
+            waiting_slices: 12.0,
+            loss_indicator_slices: 3,
+            sp_state_slices: vec![7, 3],
+            commands_issued: vec![10, 0],
+        };
+        assert_eq!(stats.average_power(), 2.5);
+        assert_eq!(stats.average_queue(), 0.5);
+        assert_eq!(stats.loss_rate_per_slice(), 0.2);
+        assert_eq!(stats.loss_fraction(), 0.25);
+        assert_eq!(stats.average_waiting(), 2.0);
+        assert_eq!(stats.throughput(), 0.6);
+        assert_eq!(stats.loss_indicator_rate(), 0.3);
+        assert_eq!(stats.sp_state_fraction(0), 0.7);
+    }
+
+    #[test]
+    fn empty_run_yields_zeros() {
+        let stats = SimStats::default();
+        assert_eq!(stats.average_power(), 0.0);
+        assert_eq!(stats.average_waiting(), 0.0);
+        assert_eq!(stats.loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_reports_key_lines() {
+        let stats = SimStats {
+            slices: 5,
+            energy: 10.0,
+            ..Default::default()
+        };
+        let text = stats.to_string();
+        assert!(text.contains("avg power"));
+        assert!(text.contains("2.0000 W"));
+    }
+}

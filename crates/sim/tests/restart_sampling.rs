@@ -1,0 +1,109 @@
+//! Tests of session-restart simulation: restart-sampled time averages
+//! must converge to the optimizer's *discounted* expectations even when
+//! the optimal constrained policy is not ergodic.
+
+use dpm_core::{
+    OptimizationGoal, PolicyOptimizer, ServiceProvider, ServiceQueue, ServiceRequester,
+    SystemModel, SystemState,
+};
+use dpm_sim::{SimConfig, Simulator, StochasticPolicyManager};
+
+fn toy_system() -> SystemModel {
+    let mut b = ServiceProvider::builder();
+    let on = b.add_state("on");
+    let off = b.add_state("off");
+    let s_on = b.add_command("s_on");
+    let s_off = b.add_command("s_off");
+    b.transition(off, on, s_on, 0.1).expect("valid");
+    b.transition(on, off, s_off, 0.8).expect("valid");
+    b.service_rate(on, s_on, 0.8).expect("valid");
+    b.power(on, s_on, 3.0).expect("valid");
+    b.power(on, s_off, 4.0).expect("valid");
+    b.power(off, s_on, 4.0).expect("valid");
+    let sp = b.build().expect("complete");
+    let sr = ServiceRequester::two_state(0.05, 0.85).expect("valid");
+    SystemModel::compose(sp, sr, ServiceQueue::with_capacity(1)).expect("composes")
+}
+
+#[test]
+fn restart_sampling_matches_discounted_expectations() {
+    let system = toy_system();
+    let horizon = 2_000.0;
+    let solution = PolicyOptimizer::new(&system)
+        .horizon(horizon)
+        .goal(OptimizationGoal::MinimizePower)
+        .max_performance_penalty(0.5)
+        .max_request_loss_rate(0.2)
+        .solve()
+        .expect("feasible");
+    let mut manager = StochasticPolicyManager::new(solution.policy().clone());
+    // ~400 expected sessions: enough to average over session boundaries.
+    let stats = Simulator::new(
+        &system,
+        SimConfig::new(800_000)
+            .seed(21)
+            .restart_probability(1.0 / horizon),
+    )
+    .run(&mut manager)
+    .expect("simulates");
+    assert!(
+        (stats.average_power() - solution.power_per_slice()).abs() < 0.08,
+        "power: sim {} vs lp {}",
+        stats.average_power(),
+        solution.power_per_slice()
+    );
+    assert!(
+        (stats.average_queue() - solution.performance_per_slice()).abs() < 0.05,
+        "queue: sim {} vs lp {}",
+        stats.average_queue(),
+        solution.performance_per_slice()
+    );
+}
+
+#[test]
+fn restarts_reset_the_composite_state() {
+    // With restart probability 1 the system is pinned to the initial
+    // state every slice: the SP never leaves its starting state even
+    // under a "sleep forever" policy.
+    let system = toy_system();
+    let mut sleepy = dpm_sim::ConstantCommandManager::new(1);
+    let stats = Simulator::new(
+        &system,
+        SimConfig::new(20_000)
+            .seed(5)
+            .initial(SystemState { sp: 0, sr: 0, queue: 0 })
+            .restart_probability(1.0),
+    )
+    .run(&mut sleepy)
+    .expect("simulates");
+    assert_eq!(stats.sp_state_fraction(0), 1.0);
+    // Every slice issues the sleep command from the (reset) on-state:
+    // power is the constant switching power.
+    assert!((stats.average_power() - 4.0).abs() < 1e-9);
+}
+
+#[test]
+fn zero_restart_probability_equals_plain_run() {
+    let system = toy_system();
+    let run = |config: SimConfig| {
+        let mut pm = dpm_sim::ConstantCommandManager::new(0);
+        Simulator::new(&system, config).run(&mut pm).expect("simulates")
+    };
+    let plain = run(SimConfig::new(30_000).seed(9));
+    let restart_never = run(SimConfig::new(30_000).seed(9).restart_probability(0.0));
+    // Identical dynamics... up to RNG draws consumed by the restart check.
+    // The *statistics* must match within tolerance rather than exactly.
+    assert!((plain.average_power() - restart_never.average_power()).abs() < 1e-9);
+    assert!(
+        (plain.average_queue() - restart_never.average_queue()).abs() < 0.05,
+        "plain {} vs restart-never {}",
+        plain.average_queue(),
+        restart_never.average_queue()
+    );
+}
+
+#[test]
+#[should_panic(expected = "not in [0, 1]")]
+fn invalid_restart_probability_panics() {
+    SimConfig::new(10).restart_probability(1.5);
+}

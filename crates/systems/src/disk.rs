@@ -1,0 +1,285 @@
+//! The IBM Travelstar VP hard-disk drive of Section VI-A.
+//!
+//! Table I of the paper (all values straight from the data sheet):
+//!
+//! | state   | transition time to active | power  |
+//! |---------|---------------------------|--------|
+//! | active  | —                         | 2.5 W  |
+//! | idle    | 1.0 ms                    | 1.0 W  |
+//! | LPidle  | 40 ms                     | 0.8 W  |
+//! | standby | 2.2 s                     | 0.3 W  |
+//! | sleep   | 6.0 s                     | 0.1 W  |
+//!
+//! Time resolution Δt = 1 ms (the fastest transition). The provider has
+//! **11 states**: the five operational ones plus six transient states
+//! modeling the non-unit-time, uninterruptible transitions (Fig. 8(a));
+//! transient states have zero service rate and high power (2.5 W).
+//! Composed with a two-state workload and a queue of length 2 the system
+//! has 11 × 2 × 3 = 66 states, and the policy is a 66 × 5 matrix with 330
+//! entries — the numbers the paper quotes.
+//!
+//! Reconstructed values (not in the surviving text):
+//! * service rate of the active disk: 0.8 per 1 ms slice;
+//! * spin-down (entry) times for LPidle/standby/sleep: taken as half the
+//!   corresponding wake time — data sheets of that generation quote only
+//!   wake times; halving is the conventional assumption;
+//! * the workload: the Auspex traces are no longer distributed, so the
+//!   default workload is a bursty two-state chain (see
+//!   [`default_workload`]); the benchmark harness regenerates it from a
+//!   synthetic trace with the same burst statistics via the SR extractor.
+
+use dpm_core::{
+    DpmError, ServiceProvider, ServiceQueue, ServiceRequester, SystemModel, SystemState,
+};
+
+/// Disk states in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum DiskState {
+    Active = 0,
+    Idle = 1,
+    LpIdle = 2,
+    Standby = 3,
+    Sleep = 4,
+    WakeLpIdle = 5,
+    WakeStandby = 6,
+    WakeSleep = 7,
+    DownLpIdle = 8,
+    DownStandby = 9,
+    DownSleep = 10,
+}
+
+/// Commands in declaration order (one per target operational state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum DiskCommand {
+    GoActive = 0,
+    GoIdle = 1,
+    GoLpIdle = 2,
+    GoStandby = 3,
+    GoSleep = 4,
+}
+
+/// Time resolution in milliseconds (the paper's Δt).
+pub const TIME_RESOLUTION_MS: f64 = 1.0;
+
+/// `(name, wake time to active in slices, power in W)` for the five
+/// operational states — Table I at Δt = 1 ms.
+pub const TABLE_I: [(&str, f64, f64); 5] = [
+    ("active", 0.0, 2.5),
+    ("idle", 1.0, 1.0),
+    ("LPidle", 40.0, 0.8),
+    ("standby", 2200.0, 0.3),
+    ("sleep", 6000.0, 0.1),
+];
+
+/// Power drawn in every transient state (the paper: "the SP has zero
+/// service rate but its power consumption is high: 2.5 W").
+pub const TRANSIENT_POWER: f64 = 2.5;
+
+/// Reconstructed service rate of the active disk per 1 ms slice.
+pub const SERVICE_RATE: f64 = 0.8;
+
+/// Builds the 11-state Travelstar service provider.
+///
+/// # Errors
+///
+/// Propagates builder validation (never fails for the constants above).
+pub fn service_provider() -> Result<ServiceProvider, DpmError> {
+    let mut b = ServiceProvider::builder();
+    // Operational states.
+    let active = b.add_state_with_power("active", TABLE_I[0].2);
+    let idle = b.add_state_with_power("idle", TABLE_I[1].2);
+    let lpidle = b.add_state_with_power("LPidle", TABLE_I[2].2);
+    let standby = b.add_state_with_power("standby", TABLE_I[3].2);
+    let sleep = b.add_state_with_power("sleep", TABLE_I[4].2);
+    // Transient states: wake_* toward active, down_* away from it.
+    let wake_lpidle = b.add_state_with_power("wake_LPidle", TRANSIENT_POWER);
+    let wake_standby = b.add_state_with_power("wake_standby", TRANSIENT_POWER);
+    let wake_sleep = b.add_state_with_power("wake_sleep", TRANSIENT_POWER);
+    let down_lpidle = b.add_state_with_power("down_LPidle", TRANSIENT_POWER);
+    let down_standby = b.add_state_with_power("down_standby", TRANSIENT_POWER);
+    let down_sleep = b.add_state_with_power("down_sleep", TRANSIENT_POWER);
+
+    let go_active = b.add_command("go_active");
+    let go_idle = b.add_command("go_idle");
+    let go_lpidle = b.add_command("go_LPidle");
+    let go_standby = b.add_command("go_standby");
+    let go_sleep = b.add_command("go_sleep");
+    let commands = [go_active, go_idle, go_lpidle, go_standby, go_sleep];
+
+    // Wake transitions (Table I): idle → active is one slice (direct);
+    // deeper states route through their wake transient. Expected total
+    // time = 1 slice to enter the transient + (T − 1) geometric slices.
+    b.transition(idle, active, go_active, 1.0)?;
+    b.transition(lpidle, wake_lpidle, go_active, 1.0)?;
+    b.transition(standby, wake_standby, go_active, 1.0)?;
+    b.transition(sleep, wake_sleep, go_active, 1.0)?;
+
+    // Down transitions: active→idle is one slice (Table I: idle↔active is
+    // the fast pair); deeper targets route through down transients from
+    // any shallower operational state.
+    b.transition(active, idle, go_idle, 1.0)?;
+    for &src in &[active, idle] {
+        b.transition(src, down_lpidle, go_lpidle, 1.0)?;
+    }
+    for &src in &[active, idle, lpidle] {
+        b.transition(src, down_standby, go_standby, 1.0)?;
+    }
+    for &src in &[active, idle, lpidle, standby] {
+        b.transition(src, down_sleep, go_sleep, 1.0)?;
+    }
+
+    // Transient dynamics are command-insensitive ("when in transient
+    // states, the behavior of the SP is insensitive to the PM"): identical
+    // rows under every command. Geometric rates chosen so the expected
+    // command-to-completion times equal Table I.
+    let wake_rate = |t: f64| 1.0 / (t - 1.0);
+    let down_rate = |t: f64| 1.0 / ((t / 2.0 - 1.0).max(1.0));
+    for &cmd in &commands {
+        b.transition(wake_lpidle, active, cmd, wake_rate(TABLE_I[2].1))?;
+        b.transition(wake_standby, active, cmd, wake_rate(TABLE_I[3].1))?;
+        b.transition(wake_sleep, active, cmd, wake_rate(TABLE_I[4].1))?;
+        b.transition(down_lpidle, lpidle, cmd, down_rate(TABLE_I[2].1))?;
+        b.transition(down_standby, standby, cmd, down_rate(TABLE_I[3].1))?;
+        b.transition(down_sleep, sleep, cmd, down_rate(TABLE_I[4].1))?;
+    }
+
+    // Only the active disk serves, and only while told to stay active.
+    b.service_rate(active, go_active, SERVICE_RATE)?;
+
+    b.build()
+}
+
+/// The default bursty workload standing in for the Auspex traces: short
+/// request clusters (mean 1.4 slices) separated by pauses of mean 200 ms —
+/// roughly 7 requests/s at the 1 ms resolution, a plausible file-server
+/// rate. Note that at Δt = 1 ms a workload issuing a request *every*
+/// busy slice would exceed the disk's service rate and saturate the queue
+/// under every policy; real traces are sparse at this resolution.
+///
+/// # Errors
+///
+/// Never fails in practice; propagates validation.
+pub fn default_workload() -> Result<ServiceRequester, DpmError> {
+    ServiceRequester::two_state(0.005, 0.3)
+}
+
+/// The composed 66-state disk system with the default workload.
+///
+/// # Errors
+///
+/// Propagates component validation failures.
+pub fn system() -> Result<SystemModel, DpmError> {
+    system_with_workload(default_workload()?)
+}
+
+/// The composed disk system against an arbitrary workload (e.g. one
+/// extracted from a trace).
+///
+/// # Errors
+///
+/// Propagates component validation failures.
+pub fn system_with_workload(workload: ServiceRequester) -> Result<SystemModel, DpmError> {
+    SystemModel::compose(service_provider()?, workload, ServiceQueue::with_capacity(2))
+}
+
+/// Canonical initial state: disk active, workload idle, queue empty.
+pub fn initial_state() -> SystemState {
+    SystemState {
+        sp: DiskState::Active as usize,
+        sr: 0,
+        queue: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_core::PolicyOptimizer;
+
+    #[test]
+    fn composed_system_has_66_states_and_5_commands() {
+        let system = system().unwrap();
+        assert_eq!(system.num_states(), 66);
+        assert_eq!(system.num_commands(), 5);
+    }
+
+    #[test]
+    fn wake_times_match_table_i() {
+        // The calibration target: expected transition time (under a held
+        // go_active) from each inactive state to active equals Table I.
+        let sp = service_provider().unwrap();
+        let cases = [
+            (DiskState::Idle as usize, 1.0),
+            (DiskState::LpIdle as usize, 40.0),
+            (DiskState::Standby as usize, 2200.0),
+            (DiskState::Sleep as usize, 6000.0),
+        ];
+        for (state, expected) in cases {
+            let t = sp
+                .expected_transition_time(state, DiskState::Active as usize, DiskCommand::GoActive as usize)
+                .unwrap();
+            assert!(
+                (t - expected).abs() / expected < 1e-9,
+                "state {state}: got {t}, want {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn powers_match_table_i() {
+        let sp = service_provider().unwrap();
+        for (i, &(_, _, power)) in TABLE_I.iter().enumerate() {
+            assert_eq!(sp.power(i, DiskCommand::GoActive as usize), power);
+        }
+        assert_eq!(
+            sp.power(DiskState::WakeSleep as usize, DiskCommand::GoSleep as usize),
+            TRANSIENT_POWER
+        );
+    }
+
+    #[test]
+    fn only_active_state_serves() {
+        let sp = service_provider().unwrap();
+        for s in 0..sp.num_states() {
+            for a in 0..sp.num_commands() {
+                let rate = sp.service_rate(s, a);
+                if s == DiskState::Active as usize && a == DiskCommand::GoActive as usize {
+                    assert_eq!(rate, SERVICE_RATE);
+                } else {
+                    assert_eq!(rate, 0.0, "state {s} cmd {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transients_are_command_insensitive() {
+        let sp = service_provider().unwrap();
+        for s in (DiskState::WakeLpIdle as usize)..=(DiskState::DownSleep as usize) {
+            let base: Vec<f64> = (0..sp.num_states()).map(|t| sp.chain().prob(s, t, 0)).collect();
+            for a in 1..sp.num_commands() {
+                for t in 0..sp.num_states() {
+                    assert_eq!(sp.chain().prob(s, t, a), base[t], "state {s} cmd {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_sleep_saves_power_when_idle_long() {
+        // A quick end-to-end sanity check on the 66-state model: with a
+        // loose performance constraint, optimal power must undercut the
+        // always-active floor of ~2.5 W substantially.
+        let system = system().unwrap();
+        let solution = PolicyOptimizer::new(&system)
+            .horizon(100_000.0)
+            .max_performance_penalty(1.0)
+            .initial_state(initial_state())
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!(solution.power_per_slice() < 2.0);
+    }
+}

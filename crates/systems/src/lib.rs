@@ -1,0 +1,41 @@
+//! The case-study system models of Benini et al. (Section VI and
+//! Appendix B), ready to compose and optimize.
+//!
+//! * [`toy`] — the running example of Sections III–IV (Examples 3.1–3.5,
+//!   A.1, A.2): a two-state provider with a bursty two-state workload;
+//! * [`disk`] — the IBM Travelstar VP hard-disk drive of Section VI-A:
+//!   five operational states (Table I) plus six transient states, queue of
+//!   length 2, 66 composite states;
+//! * [`web_server`] — the dual-processor HTTP server of Section VI-B:
+//!   four provider states (one per active/sleeping processor subset),
+//!   heterogeneous speeds and powers;
+//! * [`cpu`] — the ARM SA-1100 processor of Section VI-C: two operational
+//!   states with 100 ms transitions at a 20 ms time resolution, no queue;
+//! * [`appendix_b`] — the baseline system of the sensitivity study in
+//!   Appendix B, with its configurable families of sleep states, workload
+//!   burstiness and queue capacities (Figs. 12–14).
+//!
+//! Every module documents which numbers come straight from the paper and
+//! which had to be reconstructed (the paper's figures did not survive into
+//! the machine-readable text; see `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use dpm_systems::disk;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = disk::system()?;
+//! assert_eq!(system.num_states(), 66); // 11 SP × 2 SR × 3 SQ
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod appendix_b;
+pub mod cpu;
+pub mod disk;
+pub mod toy;
+pub mod web_server;

@@ -1,0 +1,161 @@
+//! The running example system of Sections III–IV (Examples 3.1–3.5) and
+//! Appendix A (Examples A.1, A.2).
+//!
+//! # What comes from the paper, what is reconstructed
+//!
+//! Stated in the surviving text:
+//! * SP states `{on, off}`, commands `{s_on, s_off}` (Example 3.1);
+//! * `P(off → on | s_on) = 0.1` — "the transition time from off to on when
+//!   the on command has been issued is ... 1/0.1 = 10 periods";
+//! * service rate `σ(on, s_on) = 0.8` (Example 3.3);
+//! * powers: 3 W serving, 4 W switching (either direction), 0 W off
+//!   (Example A.2);
+//! * SR: two states, `r ∈ {0, 1}`, `P(busy → busy) = 0.85` — "mean
+//!   duration of a stream of requests ... 1/0.15 = 6.67 periods"
+//!   (Example 3.2);
+//! * queue of length 1 ⇒ 8 composite states (Examples 3.3, 3.5).
+//!
+//! Reconstructed (the numbers lived in Figs. 2–4, which are images):
+//! * `P(on → off | s_off) = 0.8` — a fast but not instant shut-down,
+//!   consistent with Example 3.1's "power consumption during the switching
+//!   times is higher than the active state";
+//! * `P(idle → busy) = 0.05` — calibrated so the feasibility floor of the
+//!   average queue length lands at ≈ 0.163, matching Fig. 6's reported
+//!   infeasible region below ≈ 0.175. With this value the Example A.2
+//!   configuration (α = 0.99999, queue ≤ 0.5, loss ≤ 0.2) yields a
+//!   minimum power of ≈ 1.74 W against the paper's 1.798 W, with the same
+//!   qualitative structure (randomized policy, ≈ 2× below always-on).
+
+use dpm_core::{
+    DpmError, ServiceProvider, ServiceQueue, ServiceRequester, SystemModel, SystemState,
+};
+
+/// Index of the `on` SP state.
+pub const SP_ON: usize = 0;
+/// Index of the `off` SP state.
+pub const SP_OFF: usize = 1;
+/// Index of the `s_on` command.
+pub const CMD_ON: usize = 0;
+/// Index of the `s_off` command.
+pub const CMD_OFF: usize = 1;
+
+/// Power drawn while serving (on, `s_on`), Watts (Example A.2).
+pub const POWER_ON: f64 = 3.0;
+/// Power drawn while switching in either direction, Watts (Example A.2).
+pub const POWER_SWITCHING: f64 = 4.0;
+
+/// Builds the two-state service provider of Example 3.1.
+///
+/// # Errors
+///
+/// Never fails in practice; propagates builder validation.
+pub fn service_provider() -> Result<ServiceProvider, DpmError> {
+    let mut b = ServiceProvider::builder();
+    let on = b.add_state("on");
+    let off = b.add_state("off");
+    let s_on = b.add_command("s_on");
+    let s_off = b.add_command("s_off");
+    b.transition(off, on, s_on, 0.1)?; // 10-slice expected wake (Ex. 3.1)
+    b.transition(on, off, s_off, 0.8)?; // reconstructed fast shut-down
+    b.service_rate(on, s_on, 0.8)?; // Example 3.3
+    b.power(on, s_on, POWER_ON)?;
+    b.power(on, s_off, POWER_SWITCHING)?;
+    b.power(off, s_on, POWER_SWITCHING)?;
+    b.power(off, s_off, 0.0)?;
+    b.build()
+}
+
+/// The bursty workload of Example 3.2 with the calibrated idle→busy rate.
+///
+/// # Errors
+///
+/// Never fails in practice; propagates validation.
+pub fn service_requester() -> Result<ServiceRequester, DpmError> {
+    ServiceRequester::two_state(0.05, 0.85)
+}
+
+/// The full 8-state composed system of Example 3.5.
+///
+/// # Errors
+///
+/// Propagates component validation failures.
+pub fn example_system() -> Result<SystemModel, DpmError> {
+    SystemModel::compose(
+        service_provider()?,
+        service_requester()?,
+        ServiceQueue::with_capacity(1),
+    )
+}
+
+/// The initial state used throughout Appendix A: provider on, no request,
+/// empty queue.
+pub fn initial_state() -> SystemState {
+    SystemState {
+        sp: SP_ON,
+        sr: 0,
+        queue: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_core::{OptimizationGoal, PolicyOptimizer};
+
+    #[test]
+    fn has_eight_states_like_example_3_5() {
+        let system = example_system().unwrap();
+        assert_eq!(system.num_states(), 8);
+        assert_eq!(system.num_commands(), 2);
+    }
+
+    #[test]
+    fn wake_time_matches_example_3_1() {
+        let sp = service_provider().unwrap();
+        let t = sp.expected_transition_time(SP_OFF, SP_ON, CMD_ON).unwrap();
+        assert!((t - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_length_matches_example_3_2() {
+        let sr = service_requester().unwrap();
+        let p = sr.chain().transition_matrix();
+        // Mean burst = 1 / (1 − 0.85) = 6.67 slices.
+        assert!((1.0 / (1.0 - p.prob(1, 1)) - 6.666_666_666_666_667).abs() < 1e-9);
+    }
+
+    #[test]
+    fn example_a2_reproduction() {
+        // α = 0.99999, min power s.t. queue ≤ 0.5 and loss ≤ 0.2: the
+        // paper reports 1.798 W and a randomized policy with
+        // P(s_off | on, idle, empty) = 0.226. Our reconstruction gives
+        // ≈ 1.74 W; the policy randomizes in the same region.
+        let system = example_system().unwrap();
+        let solution = PolicyOptimizer::new(&system)
+            .discount(0.99999)
+            .goal(OptimizationGoal::MinimizePower)
+            .max_performance_penalty(0.5)
+            .max_request_loss_rate(0.2)
+            .initial_state(initial_state())
+            .unwrap()
+            .solve()
+            .unwrap();
+        let power = solution.power_per_slice();
+        assert!(
+            (1.5..2.1).contains(&power),
+            "expected ≈1.74 W (paper: 1.798 W), got {power}"
+        );
+        assert!(solution.is_randomized());
+        // The optimum must beat always-on (3 W) by roughly 2× ("reduces
+        // power consumption of almost a factor of two").
+        assert!(power < 0.67 * POWER_ON);
+    }
+
+    #[test]
+    fn initial_state_is_on_idle_empty() {
+        let system = example_system().unwrap();
+        let idx = system.state_index(initial_state()).unwrap();
+        let label = system.state_label(idx);
+        assert!(label.contains("on") && label.contains("idle") && label.contains("q=0"));
+    }
+}

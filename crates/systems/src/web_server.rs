@@ -1,0 +1,311 @@
+//! The dual-processor web server of Section VI-B.
+//!
+//! From the paper (all stated in the text):
+//! * time resolution Δt = 30 s, horizon one day ⇒ 2880 slices;
+//! * two heterogeneous processors: processor 2 has 1.5× the performance
+//!   and 2× the power of processor 1;
+//! * four SP states — one per subset of awake processors — with
+//!   throughputs `{both: 1.0, only 1: 0.4, only 2: 0.6, none: 0.0}`;
+//! * powers 1 W (processor 1) and 2 W (processor 2) when active;
+//!   turn-on transitions draw active + 0.5 W, shut-downs active − 0.5 W;
+//! * expected turn-on time 2 slices, expected shut-down time 1 slice;
+//! * 4 × 2 = 8 composite states (no queue);
+//! * headline finding: *the faster processor is never used alone* — its
+//!   power/performance ratio (2 W / 0.6) is worse than both the slow
+//!   processor's (1 W / 0.4) and the pair's (3 W / 1.0).
+//!
+//! Modeled here with four commands (one per target configuration); each
+//! slice, every processor moves independently toward the commanded state
+//! (on with probability 1/2 ⇒ mean 2 slices; off with probability 1 ⇒ one
+//! slice). The workload stands in for the Internet Traffic Archive trace
+//! as a bursty two-state chain (see [`default_workload`]).
+
+use dpm_core::{
+    DpmError, ServiceProvider, ServiceQueue, ServiceRequester, SystemModel, SystemState,
+};
+use dpm_linalg::Matrix;
+
+/// SP states: which processors are awake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ServerState {
+    BothActive = 0,
+    OnlyProc1 = 1,
+    OnlyProc2 = 2,
+    BothSleep = 3,
+}
+
+/// Throughput of each configuration (fraction of full service).
+pub const THROUGHPUT: [f64; 4] = [1.0, 0.4, 0.6, 0.0];
+
+/// Active power of processor 1 (W).
+pub const P1_POWER: f64 = 1.0;
+/// Active power of processor 2 (W).
+pub const P2_POWER: f64 = 2.0;
+/// Extra power drawn while a processor turns on (over active power).
+pub const TURN_ON_EXTRA: f64 = 0.5;
+/// Power saved while a processor shuts down (below active power).
+pub const SHUT_DOWN_SAVE: f64 = 0.5;
+/// Per-slice probability of completing a turn-on (mean 2 slices).
+pub const TURN_ON_RATE: f64 = 0.5;
+/// Per-slice probability of completing a shut-down (mean 1 slice).
+pub const SHUT_DOWN_RATE: f64 = 1.0;
+/// Slices in the paper's one-day horizon at Δt = 30 s.
+pub const HORIZON_SLICES: f64 = 2880.0;
+
+/// Which processors are awake in a configuration, as `(p1, p2)`.
+fn awake(state: usize) -> (bool, bool) {
+    match state {
+        0 => (true, true),
+        1 => (true, false),
+        2 => (false, true),
+        _ => (false, false),
+    }
+}
+
+/// Builds the four-state dual-processor provider. Command `a` targets
+/// configuration `a` (same indexing as [`ServerState`]).
+///
+/// # Errors
+///
+/// Propagates builder validation.
+pub fn service_provider() -> Result<ServiceProvider, DpmError> {
+    let mut b = ServiceProvider::builder();
+    let names = ["both_active", "only_proc1", "only_proc2", "both_sleep"];
+    for name in names {
+        b.add_state(name);
+    }
+    for name in ["cmd_both", "cmd_proc1", "cmd_proc2", "cmd_sleep"] {
+        b.add_command(name);
+    }
+
+    // Independent per-processor moves toward the commanded configuration.
+    for cmd in 0..4 {
+        let (t1, t2) = awake(cmd);
+        for from in 0..4 {
+            let (f1, f2) = awake(from);
+            // Per-processor one-slice move probabilities.
+            let move_prob = |on_now: bool, on_target: bool| -> (f64, f64) {
+                // (P(ends up on), P(ends up off)) after one slice.
+                match (on_now, on_target) {
+                    (true, true) => (1.0, 0.0),
+                    (false, false) => (0.0, 1.0),
+                    (false, true) => (TURN_ON_RATE, 1.0 - TURN_ON_RATE),
+                    (true, false) => (1.0 - SHUT_DOWN_RATE, SHUT_DOWN_RATE),
+                }
+            };
+            let (p1_on, p1_off) = move_prob(f1, t1);
+            let (p2_on, p2_off) = move_prob(f2, t2);
+            for to in 0..4 {
+                if to == from {
+                    continue; // self-loop gets the residual automatically
+                }
+                let (g1, g2) = awake(to);
+                let p = (if g1 { p1_on } else { p1_off }) * (if g2 { p2_on } else { p2_off });
+                if p > 0.0 {
+                    b.transition(from, to, cmd, p)?;
+                }
+            }
+        }
+    }
+
+    // Service rate = configuration throughput while the command maintains
+    // it; a configuration being dismantled no longer serves at full rate,
+    // approximated by the *target* configuration's floor.
+    for s in 0..4 {
+        for cmd in 0..4 {
+            let rate = if s == cmd {
+                THROUGHPUT[s]
+            } else {
+                THROUGHPUT[s].min(THROUGHPUT[cmd])
+            };
+            if rate > 0.0 {
+                b.service_rate(s, cmd, rate)?;
+            }
+        }
+    }
+
+    // Power: awake processors draw their active power; processors in
+    // transition draw ±0.5 W around it.
+    for s in 0..4 {
+        let (f1, f2) = awake(s);
+        for cmd in 0..4 {
+            let (t1, t2) = awake(cmd);
+            let proc_power = |on_now: bool, on_target: bool, active: f64| -> f64 {
+                match (on_now, on_target) {
+                    (true, true) => active,
+                    (true, false) => active - SHUT_DOWN_SAVE,
+                    (false, true) => active + TURN_ON_EXTRA,
+                    (false, false) => 0.0,
+                }
+            };
+            let p = proc_power(f1, t1, P1_POWER) + proc_power(f2, t2, P2_POWER);
+            b.power(s, cmd, p)?;
+        }
+    }
+
+    b.build()
+}
+
+/// Bursty HTTP workload standing in for the Internet Traffic Archive
+/// trace: request bursts of mean 5 minutes separated by mean 20-minute
+/// lulls (at Δt = 30 s).
+///
+/// # Errors
+///
+/// Never fails in practice; propagates validation.
+pub fn default_workload() -> Result<ServiceRequester, DpmError> {
+    ServiceRequester::two_state(0.025, 0.9)
+}
+
+/// The composed 8-state web-server system (no queue, as in the paper).
+///
+/// # Errors
+///
+/// Propagates component validation failures.
+pub fn system() -> Result<SystemModel, DpmError> {
+    system_with_workload(default_workload()?)
+}
+
+/// The composed system against an arbitrary workload.
+///
+/// # Errors
+///
+/// Propagates component validation failures.
+pub fn system_with_workload(workload: ServiceRequester) -> Result<SystemModel, DpmError> {
+    SystemModel::compose(service_provider()?, workload, ServiceQueue::with_capacity(0))
+}
+
+/// Initial state: both processors on, workload idle.
+pub fn initial_state() -> SystemState {
+    SystemState {
+        sp: ServerState::BothActive as usize,
+        sr: 0,
+        queue: 0,
+    }
+}
+
+/// The throughput metric as a `states × commands` cost matrix (positive =
+/// good). Constrain with a *negated* bound: expected throughput ≥ T is
+/// `custom_constraint("-throughput", -matrix, -T)`.
+pub fn throughput_matrix(system: &SystemModel) -> Matrix {
+    system.custom_cost(|s, a| {
+        let rate = if s.sp == a {
+            THROUGHPUT[s.sp]
+        } else {
+            THROUGHPUT[s.sp].min(THROUGHPUT[a])
+        };
+        rate
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_core::PolicyOptimizer;
+
+    #[test]
+    fn eight_composite_states() {
+        let system = system().unwrap();
+        assert_eq!(system.num_states(), 8);
+        assert_eq!(system.num_commands(), 4);
+    }
+
+    #[test]
+    fn power_accounting_per_processor() {
+        let sp = service_provider().unwrap();
+        // Both active, staying: 1 + 2 = 3 W.
+        assert_eq!(sp.power(0, 0), 3.0);
+        // Both active, shutting both down: (1−0.5) + (2−0.5) = 2 W.
+        assert_eq!(sp.power(0, 3), 2.0);
+        // Both asleep, waking both: (1+0.5) + (2+0.5) = 4 W.
+        assert_eq!(sp.power(3, 0), 4.0);
+        // Only proc1 active and maintained: 1 W.
+        assert_eq!(sp.power(1, 1), 1.0);
+        // Asleep and left asleep: 0 W.
+        assert_eq!(sp.power(3, 3), 0.0);
+    }
+
+    #[test]
+    fn turn_on_takes_two_slices_on_average() {
+        let sp = service_provider().unwrap();
+        // both_sleep → only_proc1 under cmd_proc1: mean 2 slices.
+        let t = sp
+            .expected_transition_time(
+                ServerState::BothSleep as usize,
+                ServerState::OnlyProc1 as usize,
+                ServerState::OnlyProc1 as usize,
+            )
+            .unwrap();
+        assert!((t - 2.0).abs() < 1e-9);
+        // Shut-down is immediate (one slice).
+        let t = sp
+            .expected_transition_time(
+                ServerState::BothActive as usize,
+                ServerState::BothSleep as usize,
+                ServerState::BothSleep as usize,
+            )
+            .unwrap();
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernels_factor_over_processors() {
+        let sp = service_provider().unwrap();
+        // From both_sleep under cmd_both: each proc wakes w.p. 0.5
+        // independently → both awake 0.25, exactly one 0.25 each, none 0.25.
+        let from = ServerState::BothSleep as usize;
+        assert!((sp.chain().prob(from, 0, 0) - 0.25).abs() < 1e-12);
+        assert!((sp.chain().prob(from, 1, 0) - 0.25).abs() < 1e-12);
+        assert!((sp.chain().prob(from, 2, 0) - 0.25).abs() < 1e-12);
+        assert!((sp.chain().prob(from, 3, 0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_processor_never_used_alone() {
+        // The paper's headline observation: in the optimal policies the
+        // higher-performance processor is never used alone. Check that the
+        // occupation measure puts (essentially) no mass on only_proc2
+        // across a throughput sweep.
+        let system = system().unwrap();
+        let throughput = throughput_matrix(&system);
+        for min_throughput in [0.2, 0.35, 0.5] {
+            let solution = PolicyOptimizer::new(&system)
+                .horizon(HORIZON_SLICES)
+                .custom_constraint("-throughput", &throughput * -1.0, -min_throughput)
+                .initial_state(initial_state())
+                .unwrap()
+                .solve()
+                .unwrap();
+            let occupation = solution.constrained().occupation();
+            let states = occupation.state_frequencies();
+            let only2_mass: f64 = (0..system.num_states())
+                .filter(|&i| system.state_of(i).sp == ServerState::OnlyProc2 as usize)
+                .map(|i| states[i])
+                .sum();
+            let total: f64 = states.iter().sum();
+            assert!(
+                only2_mass / total < 0.02,
+                "min_throughput {min_throughput}: only_proc2 mass {}",
+                only2_mass / total
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_throughput_costs_more_power() {
+        let system = system().unwrap();
+        let throughput = throughput_matrix(&system);
+        let mut last = 0.0;
+        for min_throughput in [0.1, 0.3, 0.5, 0.7] {
+            let solution = PolicyOptimizer::new(&system)
+                .horizon(HORIZON_SLICES)
+                .custom_constraint("-throughput", &throughput * -1.0, -min_throughput)
+                .solve()
+                .unwrap();
+            let power = solution.power_per_slice();
+            assert!(power >= last - 1e-7);
+            last = power;
+        }
+    }
+}

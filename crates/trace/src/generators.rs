@@ -1,0 +1,255 @@
+//! Synthetic workload generators.
+//!
+//! These replace the paper's unavailable measured traces (Auspex file
+//! system, Internet Traffic Archive, CPU monitor of [28]) with generators
+//! whose statistics are controlled — see the substitution table in
+//! `DESIGN.md`. All generators are deterministic given their seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Markov-modulated Bernoulli arrivals: the two-state bursty source of
+/// Example 3.2. In the busy state one request arrives per slice; busy and
+/// idle sojourns are geometric.
+///
+/// # Example
+///
+/// ```
+/// use dpm_trace::generators::BurstyTraceGenerator;
+///
+/// let stream = BurstyTraceGenerator::new(0.05, 0.85).seed(1).generate(10_000);
+/// let load = stream.iter().filter(|&&c| c > 0).count() as f64 / 10_000.0;
+/// assert!((load - 0.25).abs() < 0.05); // stationary busy fraction 0.25
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstyTraceGenerator {
+    p_idle_to_busy: f64,
+    p_busy_to_busy: f64,
+    seed: u64,
+}
+
+impl BurstyTraceGenerator {
+    /// A generator matching `ServiceRequester::two_state` parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either probability is outside `[0, 1]`.
+    pub fn new(p_idle_to_busy: f64, p_busy_to_busy: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_idle_to_busy), "bad p_idle_to_busy");
+        assert!((0.0..=1.0).contains(&p_busy_to_busy), "bad p_busy_to_busy");
+        BurstyTraceGenerator {
+            p_idle_to_busy,
+            p_busy_to_busy,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates `slices` arrival counts.
+    pub fn generate(&self, slices: usize) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut busy = false;
+        (0..slices)
+            .map(|_| {
+                let p = if busy {
+                    self.p_busy_to_busy
+                } else {
+                    self.p_idle_to_busy
+                };
+                busy = rng.gen::<f64>() < p;
+                u32::from(busy)
+            })
+            .collect()
+    }
+}
+
+/// Independent Bernoulli arrivals (the memoryless workload): one request
+/// per slice with fixed probability. The limiting non-bursty case of
+/// Fig. 13(a).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BernoulliTraceGenerator {
+    rate: f64,
+    seed: u64,
+}
+
+impl BernoulliTraceGenerator {
+    /// Arrival probability per slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is outside `[0, 1]`.
+    pub fn new(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "bad rate {rate}");
+        BernoulliTraceGenerator { rate, seed: 0 }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates `slices` arrival counts.
+    pub fn generate(&self, slices: usize) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..slices)
+            .map(|_| u32::from(rng.gen::<f64>() < self.rate))
+            .collect()
+    }
+}
+
+/// Bursts with **heavy-tailed** (discrete-Pareto) idle gaps: deliberately
+/// violates the geometric/memoryless interarrival assumption of the
+/// Markov SR model (Section VII's critique) while keeping geometric busy
+/// periods. Used to stress the model-mismatch experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeavyTailTraceGenerator {
+    /// Pareto shape of the idle-gap distribution (smaller = heavier tail).
+    shape: f64,
+    /// Minimum idle gap in slices.
+    min_gap: u32,
+    /// Probability of continuing a busy burst each slice.
+    p_busy_to_busy: f64,
+    seed: u64,
+}
+
+impl HeavyTailTraceGenerator {
+    /// A heavy-tail generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `shape ≤ 0`, `min_gap = 0`, or `p_busy_to_busy ∉ [0, 1]`.
+    pub fn new(shape: f64, min_gap: u32, p_busy_to_busy: f64) -> Self {
+        assert!(shape > 0.0, "shape must be positive");
+        assert!(min_gap > 0, "min_gap must be positive");
+        assert!((0.0..=1.0).contains(&p_busy_to_busy), "bad p_busy_to_busy");
+        HeavyTailTraceGenerator {
+            shape,
+            min_gap,
+            p_busy_to_busy,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates `slices` arrival counts.
+    pub fn generate(&self, slices: usize) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut stream = Vec::with_capacity(slices);
+        while stream.len() < slices {
+            // Idle gap ~ discrete Pareto: ⌈min_gap · U^(−1/shape)⌉.
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            let gap = (self.min_gap as f64 * u.powf(-1.0 / self.shape)).ceil() as usize;
+            for _ in 0..gap.min(slices - stream.len()) {
+                stream.push(0);
+            }
+            // Busy burst ~ geometric.
+            while stream.len() < slices {
+                stream.push(1);
+                if rng.gen::<f64>() >= self.p_busy_to_busy {
+                    break;
+                }
+            }
+        }
+        stream
+    }
+}
+
+/// Concatenates regime traces into one non-stationary workload — the
+/// construction of Example 7.1 ("merging two real-world traces with
+/// completely different statistics": an alternating editing workload
+/// followed by a long compile burst).
+pub fn concatenate(parts: &[&[u32]]) -> Vec<u32> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for part in parts {
+        out.extend_from_slice(part);
+    }
+    out
+}
+
+/// The two-regime CPU workload of Example 7.1: `slices/2` of interactive
+/// editing (short bursts, long idles) followed by `slices/2` of
+/// compilation (one long activity burst with rare pauses).
+pub fn example_7_1_workload(slices: usize, seed: u64) -> Vec<u32> {
+    let half = slices / 2;
+    let editing = BurstyTraceGenerator::new(0.01, 0.7)
+        .seed(seed)
+        .generate(half);
+    let compiling = BurstyTraceGenerator::new(0.5, 0.995)
+        .seed(seed.wrapping_add(1))
+        .generate(slices - half);
+    concatenate(&[&editing, &compiling])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceStats;
+
+    #[test]
+    fn bursty_generator_matches_target_statistics() {
+        let stream = BurstyTraceGenerator::new(0.05, 0.85).seed(7).generate(200_000);
+        let stats = TraceStats::from_stream(&stream);
+        assert!((stats.load() - 0.25).abs() < 0.02);
+        // Mean busy burst ≈ 1 / (1 − 0.85) ≈ 6.67.
+        assert!((stats.mean_busy_length() - 6.67).abs() < 0.5);
+        // Mean idle gap ≈ 1 / 0.05 = 20.
+        assert!((stats.mean_idle_length() - 20.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn bernoulli_generator_hits_rate() {
+        let stream = BernoulliTraceGenerator::new(0.3).seed(5).generate(100_000);
+        let stats = TraceStats::from_stream(&stream);
+        assert!((stats.load() - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn generators_are_reproducible() {
+        let a = BurstyTraceGenerator::new(0.1, 0.8).seed(1).generate(1000);
+        let b = BurstyTraceGenerator::new(0.1, 0.8).seed(1).generate(1000);
+        assert_eq!(a, b);
+        let c = BurstyTraceGenerator::new(0.1, 0.8).seed(2).generate(1000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn heavy_tail_has_large_gap_dispersion() {
+        // A geometric distribution has σ/μ ≲ 1; the Pareto gaps should
+        // show substantially more dispersion.
+        let stream = HeavyTailTraceGenerator::new(1.2, 5, 0.8)
+            .seed(3)
+            .generate(300_000);
+        let stats = TraceStats::from_stream(&stream);
+        let cv = stats.idle_length_std() / stats.mean_idle_length();
+        assert!(cv > 1.2, "coefficient of variation {cv}");
+    }
+
+    #[test]
+    fn concatenate_preserves_order_and_length() {
+        let merged = concatenate(&[&[0, 1], &[1, 1, 0]]);
+        assert_eq!(merged, vec![0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn example_7_1_has_two_distinct_regimes() {
+        let stream = example_7_1_workload(100_000, 11);
+        assert_eq!(stream.len(), 100_000);
+        let first = TraceStats::from_stream(&stream[..50_000]);
+        let second = TraceStats::from_stream(&stream[50_000..]);
+        // Editing is light, compiling is near-saturated.
+        assert!(first.load() < 0.1, "editing load {}", first.load());
+        assert!(second.load() > 0.9, "compile load {}", second.load());
+    }
+}

@@ -1,0 +1,160 @@
+/// A time-stamped request trace — the input format of the paper's tool
+/// ("a request trace consisting of time-stamped request records, obtained
+/// from measurements on a real system").
+///
+/// Times are in arbitrary units (typically milliseconds); only their
+/// ratios to the discretization resolution matter.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Sorted arrival times.
+    times: Vec<f64>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from arrival times (sorted internally; non-finite entries
+    /// are dropped).
+    pub fn from_arrival_times(times: &[f64]) -> Self {
+        let mut times: Vec<f64> = times.iter().copied().filter(|t| t.is_finite()).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        Trace { times }
+    }
+
+    /// Appends an arrival (must not precede the last one; out-of-order
+    /// times are re-sorted lazily by [`Self::discretize`]).
+    pub fn push(&mut self, time: f64) {
+        if time.is_finite() {
+            self.times.push(time);
+        }
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when no requests were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The raw arrival times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Total span from time zero to the last arrival.
+    pub fn duration(&self) -> f64 {
+        self.times.last().copied().unwrap_or(0.0)
+    }
+
+    /// Discretizes into per-slice arrival counts at the given resolution —
+    /// Example 5.1: a request at time `t` lands in slice `⌊t/Δt⌋`, so the
+    /// trace `[2, 5, 6, 7, 12]` at Δt = 1 becomes
+    /// `[0, 0, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1]` (13 slices).
+    ///
+    /// Requests sharing a slice accumulate, so the stream is a `u32`
+    /// count stream, which degenerates to the paper's binary stream when
+    /// at most one request falls in each slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is not positive and finite.
+    pub fn discretize(&self, resolution: f64) -> Vec<u32> {
+        assert!(
+            resolution.is_finite() && resolution > 0.0,
+            "resolution must be positive, got {resolution}"
+        );
+        let mut times = self.times.clone();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let Some(&last) = times.last() else {
+            return Vec::new();
+        };
+        let slices = (last / resolution).floor() as usize + 1;
+        let mut stream = vec![0u32; slices];
+        for &t in &times {
+            let idx = (t / resolution).floor() as usize;
+            stream[idx.min(slices - 1)] += 1;
+        }
+        stream
+    }
+}
+
+impl FromIterator<f64> for Trace {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let times: Vec<f64> = iter.into_iter().collect();
+        Trace::from_arrival_times(&times)
+    }
+}
+
+impl Extend<f64> for Trace {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for t in iter {
+            self.push(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_5_1_discretization() {
+        // "[2, 5, 6, 7, 12] ... the discretized trace becomes
+        //  [0, 0, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1]".
+        let trace = Trace::from_arrival_times(&[2.0, 5.0, 6.0, 7.0, 12.0]);
+        assert_eq!(
+            trace.discretize(1.0),
+            vec![0, 0, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1]
+        );
+    }
+
+    #[test]
+    fn coarser_resolution_merges_requests() {
+        let trace = Trace::from_arrival_times(&[2.0, 5.0, 6.0, 7.0, 12.0]);
+        let stream = trace.discretize(4.0);
+        // Slices cover [0,4), [4,8), [8,12), [12,16): 1, 3, 0, 1 requests.
+        assert_eq!(stream, vec![1, 3, 0, 1]);
+    }
+
+    #[test]
+    fn empty_trace_discretizes_to_nothing() {
+        assert!(Trace::new().discretize(1.0).is_empty());
+        assert!(Trace::new().is_empty());
+        assert_eq!(Trace::new().duration(), 0.0);
+    }
+
+    #[test]
+    fn unsorted_and_nan_inputs_are_cleaned() {
+        let trace = Trace::from_arrival_times(&[5.0, f64::NAN, 2.0]);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.times(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn push_and_extend_accumulate() {
+        let mut trace = Trace::new();
+        trace.push(1.0);
+        trace.extend([3.0, 2.0]);
+        assert_eq!(trace.len(), 3);
+        // Discretize sorts lazily; times 1, 2, 3 land in slices 1, 2, 3.
+        assert_eq!(trace.discretize(1.0), vec![0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let trace: Trace = [1.0, 2.0].into_iter().collect();
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn zero_resolution_panics() {
+        Trace::from_arrival_times(&[1.0]).discretize(0.0);
+    }
+}

@@ -1,0 +1,268 @@
+use dpm_core::{DpmError, ServiceRequester};
+use dpm_markov::StochasticMatrix;
+
+/// The **SR extractor** of Section V: fits a k-memory Markov model to a
+/// discretized request stream.
+///
+/// "The k-memory Markov model has 2^k states, one for each possible
+/// sequence of k consecutive bits. The conditional transition
+/// probabilities are computed by counting the occurrences of state
+/// transitions, and dividing the count by the total number of times the
+/// start state of the transition is visited."
+///
+/// A state encodes the last `k` bits of the arrival stream, most recent
+/// bit in the least-significant position; its request count `r(s)` is that
+/// most recent bit — consistent with the composer's convention that the
+/// arrivals of a slice are read off the SR's destination state.
+///
+/// States never visited in the stream keep a self-loop (they are
+/// unreachable in the fitted chain anyway); optional Laplace smoothing
+/// ([`Self::with_smoothing`]) regularizes rare transitions instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SrExtractor {
+    memory: u32,
+    smoothing: f64,
+}
+
+impl SrExtractor {
+    /// An extractor with memory `k ≥ 1` (the model has `2^k` states) and
+    /// no smoothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `k = 0` or `k > 16` (65 536 states is already far past
+    /// what the LP can digest; the paper's Fig. 13(b) stops at small k).
+    pub fn new(memory: u32) -> Self {
+        assert!(
+            (1..=16).contains(&memory),
+            "memory must be in 1..=16, got {memory}"
+        );
+        SrExtractor {
+            memory,
+            smoothing: 0.0,
+        }
+    }
+
+    /// Adds Laplace smoothing: every transition count starts at `alpha`
+    /// instead of zero.
+    pub fn with_smoothing(mut self, alpha: f64) -> Self {
+        self.smoothing = alpha.max(0.0);
+        self
+    }
+
+    /// The configured memory `k`.
+    pub fn memory(&self) -> u32 {
+        self.memory
+    }
+
+    /// Number of states of the fitted model.
+    pub fn num_states(&self) -> usize {
+        1usize << self.memory
+    }
+
+    /// Fits the model to a discretized stream (counts are binarized:
+    /// a slice "issues a request" when its count is nonzero).
+    ///
+    /// # Errors
+    ///
+    /// [`DpmError::IncompleteModel`] when the stream is shorter than
+    /// `k + 1` slices (no transition can be counted).
+    pub fn extract(&self, stream: &[u32]) -> Result<ServiceRequester, DpmError> {
+        let k = self.memory as usize;
+        if stream.len() < k + 1 {
+            return Err(DpmError::IncompleteModel {
+                reason: format!(
+                    "stream of {} slices cannot fit a {k}-memory model",
+                    stream.len()
+                ),
+            });
+        }
+        let n = self.num_states();
+        let mask = n - 1;
+        let mut counts = vec![vec![self.smoothing; 2]; n];
+
+        // Seed the history with the first k bits, then count transitions.
+        let mut state = 0usize;
+        for &c in &stream[..k] {
+            state = ((state << 1) | usize::from(c > 0)) & mask;
+        }
+        for &c in &stream[k..] {
+            let bit = usize::from(c > 0);
+            counts[state][bit] += 1.0;
+            state = ((state << 1) | bit) & mask;
+        }
+
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut row = vec![0.0; n];
+            let total = counts[s][0] + counts[s][1];
+            if total > 0.0 {
+                for bit in 0..2 {
+                    let next = ((s << 1) | bit) & mask;
+                    row[next] += counts[s][bit] / total;
+                }
+            } else {
+                // Unvisited history: inert self-loop.
+                row[s] = 1.0;
+            }
+            rows.push(row);
+        }
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let transition = StochasticMatrix::from_rows(&row_refs)?;
+        let requests: Vec<u32> = (0..n).map(|s| (s & 1) as u32).collect();
+        let names: Vec<String> = (0..n)
+            .map(|s| format!("h{:0width$b}", s, width = k))
+            .collect();
+        ServiceRequester::with_names(transition, requests, names)
+    }
+}
+
+/// Online companion of [`SrExtractor`] for trace-driven simulation: feeds
+/// each slice's arrival count and yields the k-memory SR state the
+/// extracted model would be in — pass its [`KMemoryTracker::tracker`]
+/// closure to `Simulator::run_trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KMemoryTracker {
+    memory: u32,
+    state: usize,
+}
+
+impl KMemoryTracker {
+    /// A tracker matching an extractor of the same memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `memory = 0` or `memory > 16`.
+    pub fn new(memory: u32) -> Self {
+        assert!(
+            (1..=16).contains(&memory),
+            "memory must be in 1..=16, got {memory}"
+        );
+        KMemoryTracker { memory, state: 0 }
+    }
+
+    /// Feeds one slice's arrival count; returns the new state.
+    pub fn observe(&mut self, arrivals: u32) -> usize {
+        let mask = (1usize << self.memory) - 1;
+        self.state = ((self.state << 1) | usize::from(arrivals > 0)) & mask;
+        self.state
+    }
+
+    /// The current state (the last `k` observed bits).
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Adapts the tracker into the closure form `Simulator::run_trace`
+    /// expects.
+    pub fn tracker(mut self) -> impl FnMut(u32) -> usize {
+        move |arrivals| self.observe(arrivals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_5_1_probabilities() {
+        let stream = [0, 0, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1];
+        let sr = SrExtractor::new(1).extract(&stream).unwrap();
+        let p = sr.chain().transition_matrix();
+        // "there are three 01-sequences, and eight occurrences of zero
+        // [among transition starts]. Hence 3/8."
+        assert!((p.prob(0, 1) - 3.0 / 8.0).abs() < 1e-12);
+        assert!((p.prob(0, 0) - 5.0 / 8.0).abs() < 1e-12);
+        // Ones among starts: positions of 1 in the first 12 bits = 4; the
+        // 1→1 pairs: (5,6), (6,7) = 2. So P(1→1) = 2/4.
+        assert!((p.prob(1, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(sr.requests(0), 0);
+        assert_eq!(sr.requests(1), 1);
+    }
+
+    #[test]
+    fn memory_two_has_four_states() {
+        let extractor = SrExtractor::new(2);
+        assert_eq!(extractor.num_states(), 4);
+        // Alternating stream: histories 01 and 10 dominate.
+        let stream: Vec<u32> = (0..100).map(|i| (i % 2) as u32).collect();
+        let sr = extractor.extract(&stream).unwrap();
+        let p = sr.chain().transition_matrix();
+        // From history 01 (state 0b01 = 1) the next bit is always 0 →
+        // state 0b10 = 2.
+        assert!((p.prob(1, 2) - 1.0).abs() < 1e-12);
+        // From history 10 (state 2) the next bit is always 1 → state 1.
+        assert!((p.prob(2, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_periodic_stream_is_deterministic_at_memory_matching_period() {
+        let stream: Vec<u32> = (0..300).map(|i| u32::from(i % 3 == 0)).collect();
+        let sr = SrExtractor::new(3).extract(&stream).unwrap();
+        // Every visited state should have a deterministic successor.
+        let p = sr.chain().transition_matrix();
+        for s in 0..sr.num_states() {
+            let max = (0..sr.num_states())
+                .map(|t| p.prob(s, t))
+                .fold(0.0f64, f64::max);
+            assert!((max - 1.0).abs() < 1e-12, "state {s} not deterministic");
+        }
+    }
+
+    #[test]
+    fn unvisited_states_self_loop() {
+        let stream = [0, 0, 0, 0, 0];
+        let sr = SrExtractor::new(2).extract(&stream).unwrap();
+        let p = sr.chain().transition_matrix();
+        // History 11 (state 3) never occurs.
+        assert_eq!(p.prob(3, 3), 1.0);
+    }
+
+    #[test]
+    fn smoothing_spreads_mass() {
+        let stream = [0, 0, 0, 0, 0, 0];
+        let sr = SrExtractor::new(1)
+            .with_smoothing(1.0)
+            .extract(&stream)
+            .unwrap();
+        let p = sr.chain().transition_matrix();
+        // counts: 0→0 five times (+1 smooth), 0→1 zero (+1 smooth) ⇒ 1/7.
+        assert!((p.prob(0, 1) - 1.0 / 7.0).abs() < 1e-12);
+        // Unvisited state 1 got smoothed counts too: uniform.
+        assert!((p.prob(1, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_short_stream_is_rejected() {
+        assert!(SrExtractor::new(3).extract(&[1, 0, 1]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "memory must be in 1..=16")]
+    fn zero_memory_panics() {
+        SrExtractor::new(0);
+    }
+
+    #[test]
+    fn tracker_follows_extractor_indexing() {
+        let mut tracker = KMemoryTracker::new(2);
+        assert_eq!(tracker.observe(1), 0b01);
+        assert_eq!(tracker.observe(1), 0b11);
+        assert_eq!(tracker.observe(0), 0b10);
+        assert_eq!(tracker.state(), 0b10);
+        // Closure adapter.
+        let mut f = KMemoryTracker::new(1).tracker();
+        assert_eq!(f(5), 1);
+        assert_eq!(f(0), 0);
+    }
+
+    #[test]
+    fn extracted_load_matches_stream_density() {
+        // A stream with 30% ones: the stationary request rate of the
+        // fitted 1-memory model reproduces the empirical density.
+        let stream: Vec<u32> = (0..5000).map(|i| u32::from(i % 10 < 3)).collect();
+        let sr = SrExtractor::new(1).extract(&stream).unwrap();
+        let rate = sr.request_rate().unwrap();
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+}

@@ -1,0 +1,173 @@
+/// Descriptive statistics of a discretized request stream: load, burst
+/// and idle-gap structure. Used to validate generators against the
+/// statistics the paper quotes and to characterize extracted models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    slices: usize,
+    requests: u64,
+    busy_slices: usize,
+    busy_lengths: Vec<usize>,
+    idle_lengths: Vec<usize>,
+}
+
+impl TraceStats {
+    /// Computes statistics over a per-slice arrival-count stream.
+    pub fn from_stream(stream: &[u32]) -> Self {
+        let mut busy_lengths = Vec::new();
+        let mut idle_lengths = Vec::new();
+        let mut run_busy = 0usize;
+        let mut run_idle = 0usize;
+        let mut requests = 0u64;
+        let mut busy_slices = 0usize;
+        for &c in stream {
+            requests += c as u64;
+            if c > 0 {
+                busy_slices += 1;
+                run_busy += 1;
+                if run_idle > 0 {
+                    idle_lengths.push(run_idle);
+                    run_idle = 0;
+                }
+            } else {
+                run_idle += 1;
+                if run_busy > 0 {
+                    busy_lengths.push(run_busy);
+                    run_busy = 0;
+                }
+            }
+        }
+        if run_busy > 0 {
+            busy_lengths.push(run_busy);
+        }
+        if run_idle > 0 {
+            idle_lengths.push(run_idle);
+        }
+        TraceStats {
+            slices: stream.len(),
+            requests,
+            busy_slices,
+            busy_lengths,
+            idle_lengths,
+        }
+    }
+
+    /// Number of slices observed.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// Total requests (counting multi-request slices fully).
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Fraction of slices with at least one arrival.
+    pub fn load(&self) -> f64 {
+        if self.slices == 0 {
+            0.0
+        } else {
+            self.busy_slices as f64 / self.slices as f64
+        }
+    }
+
+    /// Average requests per slice (≥ [`Self::load`] when slices carry
+    /// multiple requests).
+    pub fn request_rate(&self) -> f64 {
+        if self.slices == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.slices as f64
+        }
+    }
+
+    /// Mean length of maximal busy runs, in slices (0 when none).
+    pub fn mean_busy_length(&self) -> f64 {
+        mean(&self.busy_lengths)
+    }
+
+    /// Mean length of maximal idle runs, in slices (0 when none).
+    pub fn mean_idle_length(&self) -> f64 {
+        mean(&self.idle_lengths)
+    }
+
+    /// Standard deviation of idle-run lengths; large values relative to
+    /// the mean signal non-geometric (e.g. heavy-tailed) gaps.
+    pub fn idle_length_std(&self) -> f64 {
+        std_dev(&self.idle_lengths)
+    }
+
+    /// Standard deviation of busy-run lengths.
+    pub fn busy_length_std(&self) -> f64 {
+        std_dev(&self.busy_lengths)
+    }
+
+    /// Number of distinct busy runs.
+    pub fn num_bursts(&self) -> usize {
+        self.busy_lengths.len()
+    }
+}
+
+fn mean(values: &[usize]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<usize>() as f64 / values.len() as f64
+    }
+}
+
+fn std_dev(values: &[usize]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - m;
+            d * d
+        })
+        .sum::<f64>()
+        / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_runs_correctly() {
+        let stats = TraceStats::from_stream(&[0, 1, 1, 0, 0, 0, 1, 0]);
+        assert_eq!(stats.slices(), 8);
+        assert_eq!(stats.requests(), 3);
+        assert_eq!(stats.num_bursts(), 2);
+        assert_eq!(stats.mean_busy_length(), 1.5); // runs of 2 and 1
+        assert_eq!(stats.mean_idle_length(), 5.0 / 3.0); // runs of 1, 3, 1
+        assert_eq!(stats.load(), 3.0 / 8.0);
+    }
+
+    #[test]
+    fn multi_request_slices_count_in_rate_not_load() {
+        let stats = TraceStats::from_stream(&[0, 3, 0, 0]);
+        assert_eq!(stats.load(), 0.25);
+        assert_eq!(stats.request_rate(), 0.75);
+    }
+
+    #[test]
+    fn empty_and_uniform_streams() {
+        let empty = TraceStats::from_stream(&[]);
+        assert_eq!(empty.load(), 0.0);
+        assert_eq!(empty.mean_busy_length(), 0.0);
+        let all_busy = TraceStats::from_stream(&[1, 1, 1]);
+        assert_eq!(all_busy.load(), 1.0);
+        assert_eq!(all_busy.num_bursts(), 1);
+        assert_eq!(all_busy.mean_busy_length(), 3.0);
+        assert_eq!(all_busy.idle_length_std(), 0.0);
+    }
+
+    #[test]
+    fn std_dev_of_constant_runs_is_zero() {
+        let stats = TraceStats::from_stream(&[1, 0, 1, 0, 1, 0]);
+        assert_eq!(stats.busy_length_std(), 0.0);
+    }
+}

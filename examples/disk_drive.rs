@@ -1,0 +1,75 @@
+//! The disk-drive scenario of Section VI-A: optimize the spin-down policy
+//! of an IBM Travelstar VP model and compare against the classical
+//! heuristics an operating system would use.
+//!
+//! ```text
+//! cargo run --release --example disk_drive
+//! ```
+
+use dpm::core::{OptimizationGoal, PolicyOptimizer};
+use dpm::policies::{EagerPolicy, TimeoutPolicy};
+use dpm::sim::{SimConfig, Simulator, StochasticPolicyManager};
+use dpm::systems::disk::{self, DiskCommand};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = disk::system()?;
+    println!(
+        "disk model: {} composite states, {} commands",
+        system.num_states(),
+        system.num_commands()
+    );
+
+    // Optimal policy for a mid-range latency constraint.
+    let solution = PolicyOptimizer::new(&system)
+        .horizon(100_000.0) // 100 s of operation at 1 ms slices
+        .goal(OptimizationGoal::MinimizePower)
+        .max_performance_penalty(0.05) // avg backlog <= 0.05 requests
+        .max_request_loss_rate(0.01)
+        .initial_state(disk::initial_state())?
+        .solve()?;
+    println!("\noptimal policy ({} states randomize):", solution.policy().randomized_states().len());
+    println!("{solution}");
+
+    // How do the usual suspects compare on the same workload?
+    let sim = Simulator::new(
+        &system,
+        SimConfig::new(1_000_000).seed(11).initial(disk::initial_state()),
+    );
+    let wake = DiskCommand::GoActive as usize;
+
+    println!("policy comparison (1e6 simulated ms):");
+    println!("  {:<28} {:>9} {:>11}", "policy", "power (W)", "avg queue");
+    let mut optimal = StochasticPolicyManager::new(solution.policy().clone());
+    let stats = sim.run(&mut optimal)?;
+    println!(
+        "  {:<28} {:>9.4} {:>11.4}",
+        "optimal stochastic",
+        stats.average_power(),
+        stats.average_queue()
+    );
+    for (label, cmd) in [
+        ("eager -> idle", DiskCommand::GoIdle as usize),
+        ("eager -> LPidle", DiskCommand::GoLpIdle as usize),
+        ("eager -> standby", DiskCommand::GoStandby as usize),
+    ] {
+        let stats = sim.run(&mut EagerPolicy::new(&system, wake, cmd))?;
+        println!(
+            "  {:<28} {:>9.4} {:>11.4}",
+            label,
+            stats.average_power(),
+            stats.average_queue()
+        );
+    }
+    for timeout in [50u64, 500, 5000] {
+        let mut policy = TimeoutPolicy::new(&system, wake, DiskCommand::GoLpIdle as usize, timeout);
+        let stats = sim.run(&mut policy)?;
+        println!(
+            "  {:<28} {:>9.4} {:>11.4}",
+            format!("timeout {timeout} -> LPidle"),
+            stats.average_power(),
+            stats.average_queue()
+        );
+    }
+    println!("\n(the optimal policy should draw the least power at comparable queues)");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a power-managed system from scratch, optimize its
+//! policy exactly, and validate the result by simulation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The system is the running example of the paper (Sections III–IV): a
+//! two-state service provider (on/off), a bursty workload, and a
+//! single-slot queue. We ask for the minimum-power policy that keeps the
+//! average backlog at or below half a request and loses at most 20% of
+//! slices to congestion — the configuration of the paper's Example A.2.
+
+use dpm::core::{OptimizationGoal, PolicyOptimizer};
+use dpm::sim::{SimConfig, Simulator, StochasticPolicyManager};
+use dpm::systems::toy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the composed system model (SP x SR x queue).
+    let system = toy::example_system()?;
+    println!(
+        "system: {} states x {} commands ({} SP x {} SR x {} queue)",
+        system.num_states(),
+        system.num_commands(),
+        system.provider().num_states(),
+        system.requester().num_states(),
+        system.queue().num_states(),
+    );
+
+    // 2. Solve the constrained policy optimization exactly (LP4).
+    let solution = PolicyOptimizer::new(&system)
+        .discount(0.99999) // expected session: 100,000 slices
+        .goal(OptimizationGoal::MinimizePower)
+        .max_performance_penalty(0.5)
+        .max_request_loss_rate(0.2)
+        .initial_state(toy::initial_state())?
+        .solve()?;
+    println!("\noptimizer says:\n{solution}");
+    println!("optimal policy:\n{}", solution.policy());
+
+    // 3. Validate by simulation: run the policy for 400k slices and
+    //    compare the measured averages with the LP's expectations.
+    let mut manager = StochasticPolicyManager::new(solution.policy().clone());
+    let stats = Simulator::new(&system, SimConfig::new(400_000).seed(1)).run(&mut manager)?;
+    println!("simulation says:\n{stats}");
+    println!(
+        "agreement: power {:.3} vs {:.3} W, queue {:.3} vs {:.3}",
+        solution.power_per_slice(),
+        stats.average_power(),
+        solution.performance_per_slice(),
+        stats.average_queue(),
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! The dual-processor web-server scenario of Section VI-B: choose which
+//! processors to keep awake as traffic varies, under a throughput floor.
+//!
+//! ```text
+//! cargo run --release --example web_server
+//! ```
+
+use dpm::core::PolicyOptimizer;
+use dpm::systems::web_server::{self, ServerState, HORIZON_SLICES};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = web_server::system()?;
+    let throughput = web_server::throughput_matrix(&system);
+
+    println!("server configurations (throughput / power when held):");
+    for s in 0..4 {
+        println!(
+            "  {:<12} throughput {:.1}, power {:.1} W",
+            system.provider().state_name(s),
+            web_server::THROUGHPUT[s],
+            system.provider().power(s, s),
+        );
+    }
+
+    println!("\nmin power under throughput floors (one day at 30 s slices):");
+    println!(
+        "  {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "floor", "power", "P(both)", "P(proc1)", "P(proc2)", "P(sleep)"
+    );
+    for floor in [0.2, 0.4, 0.6, 0.8] {
+        let solution = PolicyOptimizer::new(&system)
+            .horizon(HORIZON_SLICES)
+            .custom_constraint("-throughput", &throughput * -1.0, -floor)
+            .initial_state(web_server::initial_state())?
+            .solve()?;
+        let occupation = solution.constrained().occupation();
+        let freqs = occupation.state_frequencies();
+        let total = occupation.total_visits();
+        let mass = |config: ServerState| -> f64 {
+            (0..system.num_states())
+                .filter(|&i| system.state_of(i).sp == config as usize)
+                .map(|i| freqs[i])
+                .sum::<f64>()
+                / total
+        };
+        println!(
+            "  {:>10.1} {:>10.4} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            floor,
+            solution.power_per_slice(),
+            mass(ServerState::BothActive),
+            mass(ServerState::OnlyProc1),
+            mass(ServerState::OnlyProc2),
+            mass(ServerState::BothSleep),
+        );
+    }
+    println!("\n(P(proc2) stays at ~0: the fast processor is never worth running alone —");
+    println!(" its 2 W / 0.6 throughput ratio loses to both 1 W / 0.4 and 3 W / 1.0)");
+    Ok(())
+}

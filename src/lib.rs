@@ -1,0 +1,55 @@
+//! # markov-dpm — policy optimization for dynamic power management
+//!
+//! A complete Rust reproduction of L. Benini, A. Bogliolo, G. A. Paleologo
+//! and G. De Micheli, *"Policy Optimization for Dynamic Power Management"*
+//! (DAC 1998 / IEEE TCAD 18(6), 1999).
+//!
+//! The paper models a power-managed system as the composition of three
+//! finite Markov chains — a *service provider* (the resource being power
+//! managed), a *service requester* (the workload) and a *service queue* —
+//! and shows that the policy that optimally trades power for performance is
+//! the exact solution of a linear program over discounted state–action
+//! frequencies. This crate is a facade that re-exports the whole workspace:
+//!
+//! * [`linalg`] — dense matrices, LU and Cholesky factorizations,
+//! * [`lp`] — two-phase simplex and PCx-style interior-point LP solvers,
+//! * [`markov`] — stochastic matrices and controlled Markov chains,
+//! * [`mdp`] — discounted and constrained Markov decision processes,
+//! * [`core`] — the paper's system model and the policy optimizer,
+//! * [`sim`] — a slotted-time stochastic simulator (model- and trace-driven),
+//! * [`trace`] — workload traces, the k-memory SR extractor, generators,
+//! * [`policies`] — heuristic baselines (eager, timeout, randomized),
+//! * [`systems`] — the paper's case studies (disk, web server, CPU, toy).
+//!
+//! # Quickstart
+//!
+//! Optimize the paper's running example system for minimum power under a
+//! performance constraint and print the resulting randomized policy:
+//!
+//! ```
+//! use dpm::core::{OptimizationGoal, PolicyOptimizer};
+//! use dpm::systems::toy;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = toy::example_system()?;
+//! let solution = PolicyOptimizer::new(&system)
+//!     .discount(0.999)
+//!     .goal(OptimizationGoal::MinimizePower)
+//!     .max_performance_penalty(0.5)
+//!     .max_request_loss_rate(0.2)
+//!     .solve()?;
+//! println!("expected power: {:.3} W", solution.power_per_slice());
+//! println!("{}", solution.policy());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use dpm_core as core;
+pub use dpm_linalg as linalg;
+pub use dpm_lp as lp;
+pub use dpm_markov as markov;
+pub use dpm_mdp as mdp;
+pub use dpm_policies as policies;
+pub use dpm_sim as sim;
+pub use dpm_systems as systems;
+pub use dpm_trace as trace;

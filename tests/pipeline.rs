@@ -1,0 +1,234 @@
+//! End-to-end integration tests across the whole workspace: build system
+//! models, optimize them exactly, and validate against simulation — the
+//! paper's own consistency methodology (Section V).
+
+use dpm::core::{OptimizationGoal, ParetoExplorer, PolicyOptimizer, SolverKind};
+use dpm::sim::{SimConfig, Simulator, StochasticPolicyManager};
+use dpm::systems::{appendix_b, cpu, disk, toy, web_server};
+
+#[test]
+fn example_a2_full_reproduction() {
+    let system = toy::example_system().expect("toy system composes");
+    let solution = PolicyOptimizer::new(&system)
+        .discount(0.99999)
+        .goal(OptimizationGoal::MinimizePower)
+        .max_performance_penalty(0.5)
+        .max_request_loss_rate(0.2)
+        .initial_state(toy::initial_state())
+        .expect("valid initial state")
+        .solve()
+        .expect("feasible");
+    // Paper: 1.798 W, randomized, ~2x below always-on. Reconstruction:
+    // ~1.74 W with identical structure.
+    assert!((solution.power_per_slice() - 1.738).abs() < 0.05);
+    assert!(solution.is_randomized());
+    assert!(solution.power_per_slice() < 0.67 * toy::POWER_ON);
+    assert!(solution.performance_per_slice() <= 0.5 + 1e-6);
+    assert!(solution.loss_per_slice() <= 0.2 + 1e-6);
+}
+
+#[test]
+fn optimizer_and_simulator_agree_on_toy_system() {
+    let system = toy::example_system().expect("composes");
+    let solution = PolicyOptimizer::new(&system)
+        .discount(0.99999)
+        .max_performance_penalty(0.5)
+        .max_request_loss_rate(0.2)
+        .solve()
+        .expect("feasible");
+    let mut manager = StochasticPolicyManager::new(solution.policy().clone());
+    let stats = Simulator::new(&system, SimConfig::new(500_000).seed(42))
+        .run(&mut manager)
+        .expect("simulates");
+    assert!(
+        (stats.average_power() - solution.power_per_slice()).abs() < 0.06,
+        "power: sim {} vs lp {}",
+        stats.average_power(),
+        solution.power_per_slice()
+    );
+    assert!(
+        (stats.average_queue() - solution.performance_per_slice()).abs() < 0.04,
+        "queue: sim {} vs lp {}",
+        stats.average_queue(),
+        solution.performance_per_slice()
+    );
+}
+
+#[test]
+fn disk_calibration_matches_table_i() {
+    let sp = disk::service_provider().expect("builds");
+    for (i, &(_, wake, _)) in disk::TABLE_I.iter().enumerate().skip(1) {
+        let t = sp
+            .expected_transition_time(i, 0, 0)
+            .expect("active reachable");
+        assert!((t - wake).abs() / wake < 1e-9, "state {i}: {t} vs {wake}");
+    }
+    let system = disk::system().expect("composes");
+    assert_eq!(system.num_states(), 66);
+    assert_eq!(system.num_commands(), 5);
+}
+
+#[test]
+fn disk_optimal_dominates_heuristics_at_matched_performance() {
+    use dpm::policies::EagerPolicy;
+    let system = disk::system().expect("composes");
+    // Simulate the eager->idle heuristic, read its achieved queue, then
+    // ask the optimizer for the same performance; its power must not be
+    // worse (up to sampling noise).
+    let sim = Simulator::new(
+        &system,
+        SimConfig::new(500_000).seed(3).initial(disk::initial_state()),
+    );
+    let eager_stats = sim
+        .run(&mut EagerPolicy::new(&system, 0, 1))
+        .expect("simulates");
+    let solution = PolicyOptimizer::new(&system)
+        .horizon(100_000.0)
+        .max_performance_penalty(eager_stats.average_queue())
+        .initial_state(disk::initial_state())
+        .expect("valid")
+        .solve()
+        .expect("feasible");
+    assert!(
+        solution.power_per_slice() <= eager_stats.average_power() + 0.02,
+        "optimal {} vs eager {}",
+        solution.power_per_slice(),
+        eager_stats.average_power()
+    );
+}
+
+#[test]
+fn web_server_never_runs_fast_processor_alone() {
+    let system = web_server::system().expect("composes");
+    let throughput = web_server::throughput_matrix(&system);
+    for floor in [0.25, 0.45, 0.65] {
+        let solution = PolicyOptimizer::new(&system)
+            .horizon(web_server::HORIZON_SLICES)
+            .custom_constraint("-throughput", &throughput * -1.0, -floor)
+            .solve()
+            .expect("feasible");
+        let occupation = solution.constrained().occupation();
+        let freqs = occupation.state_frequencies();
+        let only2: f64 = (0..system.num_states())
+            .filter(|&i| system.state_of(i).sp == web_server::ServerState::OnlyProc2 as usize)
+            .map(|i| freqs[i])
+            .sum();
+        assert!(
+            only2 / occupation.total_visits() < 0.02,
+            "floor {floor}: proc2-alone fraction {}",
+            only2 / occupation.total_visits()
+        );
+    }
+}
+
+#[test]
+fn cpu_policy_only_controls_shutdown_from_active_idle() {
+    // The paper: "only when the SP is active and the SR is idle the PM can
+    // control the evolution of the system". Check that the optimal policy
+    // wakes under load and that its only genuine degree of freedom is the
+    // shutdown probability in (active, idle).
+    let system = cpu::system().expect("composes");
+    let penalty = cpu::latency_penalty(&system);
+    let solution = PolicyOptimizer::new(&system)
+        .horizon(500_000.0)
+        .performance_cost(penalty)
+        .max_performance_penalty(0.004)
+        .initial_state(cpu::initial_state())
+        .expect("valid")
+        .solve()
+        .expect("feasible");
+    let policy = solution.policy();
+    let sleep_busy = system
+        .state_index(dpm::core::SystemState {
+            sp: cpu::CpuState::Sleep as usize,
+            sr: 1,
+            queue: 0,
+        })
+        .expect("in range");
+    assert!(policy.prob(sleep_busy, cpu::CpuCommand::Run as usize) > 0.95);
+}
+
+#[test]
+fn both_solvers_agree_across_case_studies() {
+    let toy = toy::example_system().expect("composes");
+    let appendix = appendix_b::Config::baseline().system().expect("composes");
+    for system in [&toy, &appendix] {
+        let solve = |kind| {
+            PolicyOptimizer::new(system)
+                .horizon(50_000.0)
+                .max_performance_penalty(0.6)
+                .solver(kind)
+                .solve()
+                .expect("feasible")
+                .power_per_slice()
+        };
+        let simplex = solve(SolverKind::Simplex);
+        let interior = solve(SolverKind::InteriorPoint);
+        assert!(
+            (simplex - interior).abs() < 1e-4,
+            "simplex {simplex} vs interior {interior}"
+        );
+    }
+}
+
+#[test]
+fn pareto_curves_are_convex_and_monotone() {
+    let system = toy::example_system().expect("composes");
+    let base = PolicyOptimizer::new(&system)
+        .discount(0.99999)
+        .max_request_loss_rate(0.25);
+    let bounds = [0.9, 0.7, 0.5, 0.4, 0.3, 0.25, 0.2];
+    let curve = ParetoExplorer::sweep_performance(base, &bounds).expect("sweeps");
+    assert!(curve.is_convex(1e-6), "Theorem 4.1 violated");
+    let feasible = curve.feasible();
+    for pair in feasible.windows(2) {
+        assert!(pair[1].1 >= pair[0].1 - 1e-7, "power fell while tightening");
+    }
+}
+
+#[test]
+fn appendix_b_sensitivity_directions() {
+    // The four headline directions of the sensitivity study, end to end.
+    let horizon = 50_000.0;
+    let power_of = |cfg: &appendix_b::Config, perf: f64| {
+        PolicyOptimizer::new(&cfg.system().expect("composes"))
+            .horizon(horizon)
+            .max_performance_penalty(perf)
+            .solve()
+            .expect("feasible")
+            .power_per_slice()
+    };
+    // (1) More sleep states help.
+    let one = power_of(&appendix_b::Config::baseline(), 0.8);
+    let two = power_of(
+        &appendix_b::Config::baseline().with_sleep_states(vec![
+            appendix_b::SLEEP_STATES[0],
+            appendix_b::SLEEP_STATES[1],
+        ]),
+        0.8,
+    );
+    assert!(two < one);
+    // (2) Tighter performance costs more power.
+    let loose = power_of(&appendix_b::Config::baseline(), 0.9);
+    let tight = power_of(&appendix_b::Config::baseline(), 0.3);
+    assert!(tight >= loose - 1e-9);
+    // (3) Burstier workloads allow more savings.
+    let bursty = power_of(&appendix_b::Config::baseline().with_sr_switch(0.004), 0.5);
+    let smooth = power_of(&appendix_b::Config::baseline().with_sr_switch(0.1), 0.5);
+    assert!(bursty < smooth);
+    // (4) Queue capacity trades loss for waiting (feasibility widens).
+    let small = appendix_b::Config::baseline().with_queue_capacity(1);
+    let large = appendix_b::Config::baseline().with_queue_capacity(4);
+    let solve_loss = |cfg: &appendix_b::Config| {
+        PolicyOptimizer::new(&cfg.system().expect("composes"))
+            .horizon(horizon)
+            .use_expected_loss()
+            .max_performance_penalty(1.5)
+            .max_request_loss_rate(0.002)
+            .solve()
+            .map(|s| s.power_per_slice())
+    };
+    let p_small = solve_loss(&small).expect("feasible");
+    let p_large = solve_loss(&large).expect("feasible");
+    assert!(p_large <= p_small + 1e-6, "larger queue should help tight loss");
+}

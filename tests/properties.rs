@@ -1,0 +1,216 @@
+//! Property-based tests over the core invariants, with `proptest`
+//! generating random-but-valid system models and decision processes.
+
+use dpm::core::{
+    CostMetric, PolicyOptimizer, ServiceProvider, ServiceQueue, ServiceRequester, SystemModel,
+};
+use dpm::linalg::Matrix;
+use dpm::lp::{ConstraintOp, InteriorPoint, LinearProgram, LpSolver, Simplex};
+use dpm::markov::{ControlledMarkovChain, StochasticMatrix};
+use dpm::mdp::{DiscountedMdp, OccupationLp};
+use proptest::prelude::*;
+
+/// A random probability in [lo, hi].
+fn prob(lo: f64, hi: f64) -> impl Strategy<Value = f64> {
+    (0u32..=1000).prop_map(move |i| lo + (hi - lo) * i as f64 / 1000.0)
+}
+
+/// A random stochastic row of the given width.
+fn stochastic_row(width: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1u32..=100, width).prop_map(|weights| {
+        let total: u32 = weights.iter().sum();
+        weights.iter().map(|&w| w as f64 / total as f64).collect()
+    })
+}
+
+/// A random stochastic matrix.
+fn stochastic_matrix(n: usize) -> impl Strategy<Value = StochasticMatrix> {
+    proptest::collection::vec(stochastic_row(n), n).prop_map(|rows| {
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        StochasticMatrix::from_rows(&refs).expect("rows sum to one by construction")
+    })
+}
+
+/// A random small service provider with `n` states and `m` commands.
+fn service_provider(n: usize, m: usize) -> impl Strategy<Value = ServiceProvider> {
+    let edges = proptest::collection::vec(
+        (0..n, 0..n, 0..m, prob(0.0, 1.0)),
+        0..(n * m).min(12),
+    );
+    let rates = proptest::collection::vec(prob(0.0, 1.0), n * m);
+    let powers = proptest::collection::vec(prob(0.0, 5.0), n * m);
+    (edges, rates, powers).prop_map(move |(edges, rates, powers)| {
+        let mut b = ServiceProvider::builder();
+        for s in 0..n {
+            b.add_state(format!("s{s}"));
+        }
+        for c in 0..m {
+            b.add_command(format!("c{c}"));
+        }
+        // Scale edge probabilities per (state, command) so rows stay valid.
+        let mut mass = vec![0.0f64; n * m];
+        for &(from, to, cmd, p) in &edges {
+            if from == to {
+                continue;
+            }
+            let key = from * m + cmd;
+            let allowed = (1.0 - mass[key]).max(0.0);
+            let p = p.min(allowed);
+            if p > 0.0 {
+                b.transition(from, to, cmd, p).expect("validated");
+                mass[key] += p;
+            }
+        }
+        for s in 0..n {
+            for c in 0..m {
+                b.service_rate(s, c, rates[s * m + c]).expect("validated");
+                b.power(s, c, powers[s * m + c]).expect("validated");
+            }
+        }
+        b.build().expect("valid by construction")
+    })
+}
+
+/// A random two-state requester.
+fn requester() -> impl Strategy<Value = ServiceRequester> {
+    (prob(0.01, 0.99), prob(0.01, 0.99)).prop_map(|(p01, p11)| {
+        ServiceRequester::two_state(p01, p11).expect("probabilities in range")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The composed system kernel is row-stochastic for every command,
+    /// whatever the components look like (equation (4) + corner cases).
+    #[test]
+    fn composer_produces_stochastic_kernels(
+        sp in service_provider(3, 2),
+        sr in requester(),
+        capacity in 0usize..4,
+    ) {
+        let system = SystemModel::compose(sp, sr, ServiceQueue::with_capacity(capacity))
+            .expect("composes");
+        for a in 0..system.num_commands() {
+            let kernel = system.chain().kernel(a);
+            for s in 0..system.num_states() {
+                let sum: f64 = kernel.row(s).iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+            }
+        }
+        // Expected losses are non-negative and bounded by the max arrival.
+        for s in 0..system.num_states() {
+            for a in 0..system.num_commands() {
+                let loss = system.expected_loss(s, a);
+                prop_assert!(loss >= 0.0);
+                prop_assert!(loss <= system.requester().max_requests() as f64 + 1e-12);
+            }
+        }
+    }
+
+    /// Occupation-measure LP total visits always equal the horizon, and
+    /// the extracted policy is a valid distribution per state.
+    #[test]
+    fn occupation_lp_invariants(
+        sp in service_provider(2, 2),
+        sr in requester(),
+        discount_step in 1u32..40,
+    ) {
+        let discount = 1.0 - 1.0 / (10.0 + discount_step as f64 * 25.0);
+        let system = SystemModel::compose(sp, sr, ServiceQueue::with_capacity(1))
+            .expect("composes");
+        let cost = CostMetric::Power.matrix(&system);
+        let mdp = DiscountedMdp::new(system.chain().clone(), cost, discount).expect("valid");
+        let mut initial = vec![0.0; system.num_states()];
+        initial[0] = 1.0;
+        let solution = OccupationLp::new(&mdp, &initial)
+            .expect("valid initial")
+            .solve(&Simplex::new())
+            .expect("LP2 always feasible");
+        prop_assert!((solution.total_visits() - mdp.horizon()).abs() / mdp.horizon() < 1e-6);
+        let policy = solution.policy();
+        for s in 0..system.num_states() {
+            let total: f64 = policy.decision(s).iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-7);
+        }
+    }
+
+    /// The LP optimum matches value iteration on random MDPs
+    /// (Theorem A.1 + the LP2 equivalence).
+    #[test]
+    fn lp_matches_value_iteration(
+        kernels in proptest::collection::vec(stochastic_matrix(3), 2),
+        costs in proptest::collection::vec(prob(0.0, 4.0), 6),
+        discount_step in 1u32..9,
+    ) {
+        let discount = 0.1 * discount_step as f64;
+        let chain = ControlledMarkovChain::new(kernels).expect("same size");
+        let cost = Matrix::from_vec(3, 2, costs).expect("shape");
+        let mdp = DiscountedMdp::new(chain, cost, discount).expect("valid");
+        let (values, _) = mdp.value_iteration(1e-11, 200_000).expect("converges");
+        let initial = [1.0 / 3.0; 3];
+        let lp_value = OccupationLp::new(&mdp, &initial)
+            .expect("valid")
+            .solve(&Simplex::new())
+            .expect("feasible")
+            .objective();
+        let vi_value: f64 = initial.iter().zip(&values).map(|(q, v)| q * v).sum();
+        prop_assert!(
+            (lp_value - vi_value).abs() < 1e-5 * (1.0 + vi_value.abs()),
+            "lp {lp_value} vs vi {vi_value}"
+        );
+    }
+
+    /// Simplex and interior point agree on random feasible LPs.
+    #[test]
+    fn lp_solvers_agree(
+        c in proptest::collection::vec(prob(-1.0, 1.0), 4),
+        rows in proptest::collection::vec(proptest::collection::vec(prob(-1.0, 1.0), 4), 3),
+    ) {
+        let mut lp = LinearProgram::minimize(&c);
+        for row in &rows {
+            // b = A·1 + 1 keeps x = 1 feasible.
+            let rhs: f64 = row.iter().sum::<f64>() + 1.0;
+            lp.add_constraint(row, ConstraintOp::Le, rhs).expect("valid");
+        }
+        for j in 0..4 {
+            let mut bound = vec![0.0; 4];
+            bound[j] = 1.0;
+            lp.add_constraint(&bound, ConstraintOp::Le, 5.0).expect("valid");
+        }
+        let s = Simplex::new().solve(&lp).expect("feasible bounded");
+        let ip = InteriorPoint::new().solve(&lp).expect("feasible bounded");
+        prop_assert!((s.objective() - ip.objective()).abs() < 1e-4);
+        prop_assert!(lp.max_violation(s.x()) < 1e-7);
+        prop_assert!(lp.max_violation(ip.x()) < 1e-5);
+    }
+
+    /// Tightening a performance constraint never reduces optimal power
+    /// (monotonicity, implied by Theorem 4.1's convex feasible set).
+    #[test]
+    fn optimal_power_is_monotone_in_the_bound(
+        sp in service_provider(2, 2),
+        sr in requester(),
+    ) {
+        let system = SystemModel::compose(sp, sr, ServiceQueue::with_capacity(1))
+            .expect("composes");
+        let mut last = f64::NEG_INFINITY;
+        for bound in [1.0, 0.7, 0.4] {
+            let result = PolicyOptimizer::new(&system)
+                .horizon(5_000.0)
+                .max_performance_penalty(bound)
+                .solve();
+            match result {
+                Ok(solution) => {
+                    prop_assert!(solution.power_per_slice() >= last - 1e-6);
+                    last = solution.power_per_slice();
+                }
+                Err(dpm::core::DpmError::Infeasible) => {
+                    // Once infeasible, stays infeasible as bounds tighten.
+                    last = f64::INFINITY;
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            }
+        }
+    }
+}

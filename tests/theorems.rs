@@ -1,0 +1,128 @@
+//! Tests pinned to the paper's formal results: Theorem 4.1 (convexity of
+//! the efficient allocation set), Theorem A.1 (optimal deterministic
+//! stationary Markov policies for the unconstrained problem) and
+//! Theorem A.2 (randomization appears exactly when constraints are
+//! active).
+
+use dpm::core::{OptimizationGoal, ParetoExplorer, PolicyOptimizer};
+use dpm::mdp::{ConstrainedMdp, CostConstraint, DiscountedMdp};
+use dpm::lp::Simplex;
+use dpm::systems::{appendix_b, toy};
+
+#[test]
+fn theorem_a1_unconstrained_optimum_is_deterministic_and_bellman_optimal() {
+    let system = toy::example_system().expect("composes");
+    let solution = PolicyOptimizer::new(&system)
+        .horizon(10_000.0)
+        .goal(OptimizationGoal::MinimizePower)
+        .solve()
+        .expect("feasible");
+    // Unconstrained: deterministic (Theorem A.1).
+    assert!(!solution.is_randomized());
+
+    // The policy's exact value satisfies the optimality equations: verify
+    // via the three independent solution paths.
+    let power = dpm::core::CostMetric::Power.matrix(&system);
+    let mdp = DiscountedMdp::new(system.chain().clone(), power, 1.0 - 1.0 / 10_000.0)
+        .expect("valid");
+    let (vi_values, vi_policy) = mdp.value_iteration(1e-10, 2_000_000).expect("converges");
+    let (pi_values, pi_policy) = mdp.policy_iteration().expect("converges");
+    assert_eq!(vi_policy, pi_policy, "VI and PI must find the same policy");
+    for (a, b) in vi_values.iter().zip(&pi_values) {
+        assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()));
+    }
+    assert!(mdp.bellman_residual(&pi_values) < 1e-6);
+}
+
+#[test]
+fn theorem_a2_randomization_iff_active_constraint() {
+    let system = toy::example_system().expect("composes");
+    let discount = 0.9999;
+    let power = dpm::core::CostMetric::Power.matrix(&system);
+    let queue = dpm::core::CostMetric::QueueOccupancy.matrix(&system);
+    let mdp = || DiscountedMdp::new(system.chain().clone(), power.clone(), discount).expect("valid");
+    let mut initial = vec![0.0; system.num_states()];
+    initial[0] = 1.0;
+
+    // Loose bound: constraint inactive, optimal deterministic.
+    let loose = ConstrainedMdp::new(mdp())
+        .with_constraint(CostConstraint::per_slice("queue", queue.clone(), 5.0, discount))
+        .solve(&initial, &Simplex::new())
+        .expect("feasible");
+    assert!(!loose.is_constraint_active(0, 1e-6));
+    assert!(loose.policy().is_deterministic());
+
+    // Binding bound: constraint active, optimal randomized.
+    let tight = ConstrainedMdp::new(mdp())
+        .with_constraint(CostConstraint::per_slice("queue", queue, 0.45, discount))
+        .solve(&initial, &Simplex::new())
+        .expect("feasible");
+    assert!(tight.is_constraint_active(0, 1e-6));
+    assert!(!tight.policy().is_deterministic());
+    // The paper: the policy randomizes in few states (one extra active
+    // constraint ⇒ at most one extra basic variable ⇒ randomization in at
+    // most one state, up to degeneracy).
+    assert!(tight.policy().randomized_states().len() <= 2);
+}
+
+#[test]
+fn theorem_4_1_efficient_allocation_set_is_convex() {
+    // Convexity on two different systems and constraint kinds.
+    let toy_system = toy::example_system().expect("composes");
+    let base = PolicyOptimizer::new(&toy_system).discount(0.9999);
+    let bounds: Vec<f64> = (2..14).map(|i| i as f64 * 0.07).rev().collect();
+    let curve = ParetoExplorer::sweep_performance(base, &bounds).expect("sweeps");
+    assert!(curve.is_convex(1e-6));
+
+    let appendix = appendix_b::Config::baseline().system().expect("composes");
+    let base = PolicyOptimizer::new(&appendix).horizon(10_000.0);
+    let curve = ParetoExplorer::sweep_performance(base, &bounds).expect("sweeps");
+    assert!(curve.is_convex(1e-6));
+}
+
+#[test]
+fn po1_and_po2_are_inverse_problems() {
+    // Appendix A: "the minimum power obtained by solving LP4 for a given
+    // performance constraint D is equal to the value we should assign to
+    // the power constraint if we want a solution of LP3 with minimum
+    // performance penalty D."
+    let system = toy::example_system().expect("composes");
+    let perf_bound = 0.5;
+    let po2 = PolicyOptimizer::new(&system)
+        .discount(0.9999)
+        .goal(OptimizationGoal::MinimizePower)
+        .max_performance_penalty(perf_bound)
+        .solve()
+        .expect("feasible");
+    let power_budget = po2.power_per_slice();
+    let po1 = PolicyOptimizer::new(&system)
+        .discount(0.9999)
+        .goal(OptimizationGoal::MinimizePerformancePenalty)
+        .max_power(power_budget + 1e-9)
+        .solve()
+        .expect("feasible");
+    assert!(
+        (po1.performance_per_slice() - perf_bound).abs() < 1e-4,
+        "PO1 perf {} vs PO2 bound {perf_bound}",
+        po1.performance_per_slice()
+    );
+}
+
+#[test]
+fn infeasible_region_boundary_is_sharp() {
+    // Fig. 6's infeasible region: just above the queue floor is feasible,
+    // just below is not.
+    let system = toy::example_system().expect("composes");
+    let optimize = |bound: f64| {
+        PolicyOptimizer::new(&system)
+            .discount(0.9999)
+            .max_performance_penalty(bound)
+            .solve()
+    };
+    // The floor is ~0.163 for the calibrated workload.
+    assert!(optimize(0.2).is_ok());
+    assert!(matches!(
+        optimize(0.1),
+        Err(dpm::core::DpmError::Infeasible)
+    ));
+}

@@ -1,0 +1,119 @@
+//! Integration tests of the trace toolchain against the rest of the
+//! stack: extraction fidelity, tracker/extractor consistency, and the
+//! model-mismatch experiment in miniature.
+
+use dpm::core::{PolicyOptimizer, ServiceQueue, SystemModel};
+use dpm::sim::{binary_tracker, SimConfig, Simulator, StochasticPolicyManager};
+use dpm::systems::toy;
+use dpm::trace::generators::{BurstyTraceGenerator, HeavyTailTraceGenerator};
+use dpm::trace::{KMemoryTracker, SrExtractor, TraceStats};
+
+#[test]
+fn extractor_recovers_generator_parameters() {
+    // Generate from known two-state parameters, extract with k = 1, and
+    // compare the fitted transition probabilities.
+    let (p01, p11) = (0.05, 0.85);
+    let stream = BurstyTraceGenerator::new(p01, p11).seed(7).generate(500_000);
+    let sr = SrExtractor::new(1).extract(&stream).expect("long enough");
+    let fitted = sr.chain().transition_matrix();
+    assert!((fitted.prob(0, 1) - p01).abs() < 0.005, "p01: {}", fitted.prob(0, 1));
+    assert!((fitted.prob(1, 1) - p11).abs() < 0.01, "p11: {}", fitted.prob(1, 1));
+}
+
+#[test]
+fn tracker_state_sequence_matches_extractor_statistics() {
+    // Feed a stream through the k-memory tracker and check the empirical
+    // state-visit distribution matches the extracted chain's stationary
+    // distribution.
+    let stream = BurstyTraceGenerator::new(0.1, 0.7).seed(3).generate(300_000);
+    let k = 2;
+    let sr = SrExtractor::new(k).extract(&stream).expect("long enough");
+    let mut tracker = KMemoryTracker::new(k);
+    let mut counts = vec![0u64; sr.num_states()];
+    for &c in &stream {
+        counts[tracker.observe(c)] += 1;
+    }
+    let pi = sr.chain().stationary_distribution().expect("irreducible");
+    for (s, &count) in counts.iter().enumerate() {
+        let empirical = count as f64 / stream.len() as f64;
+        assert!(
+            (empirical - pi[s]).abs() < 0.01,
+            "state {s}: empirical {empirical} vs stationary {}",
+            pi[s]
+        );
+    }
+}
+
+#[test]
+fn markov_workload_trace_validates_optimizer() {
+    // For a workload that *is* Markovian, trace-driven simulation of the
+    // optimal policy must land near the LP expectations (the paper's
+    // fidelity test for the SR model).
+    let stream = BurstyTraceGenerator::new(0.05, 0.85).seed(11).generate(400_000);
+    let workload = SrExtractor::new(1).extract(&stream).expect("long enough");
+    let system = SystemModel::compose(
+        toy::service_provider().expect("builds"),
+        workload,
+        ServiceQueue::with_capacity(1),
+    )
+    .expect("composes");
+    let solution = PolicyOptimizer::new(&system)
+        .discount(0.99999)
+        .max_performance_penalty(0.5)
+        .max_request_loss_rate(0.2)
+        .solve()
+        .expect("feasible");
+    let mut manager = StochasticPolicyManager::new(solution.policy().clone());
+    let mut tracker = binary_tracker();
+    let stats = Simulator::new(&system, SimConfig::new(400_000).seed(13))
+        .run_trace(&mut manager, &stream, &mut tracker)
+        .expect("simulates");
+    assert!(
+        (stats.average_power() - solution.power_per_slice()).abs() < 0.1,
+        "power: sim {} vs lp {}",
+        stats.average_power(),
+        solution.power_per_slice()
+    );
+}
+
+#[test]
+fn heavy_tail_workload_breaks_model_fidelity() {
+    // For a workload violating the geometric-gap assumption, the fitted
+    // 1-memory model misestimates at least one long-run metric — the
+    // mechanism behind Section VII's critique and Fig. 10.
+    let stream = HeavyTailTraceGenerator::new(1.1, 3, 0.85)
+        .seed(5)
+        .generate(400_000);
+    let stats = TraceStats::from_stream(&stream);
+    // The stream really is heavy-tailed:
+    assert!(stats.idle_length_std() / stats.mean_idle_length() > 1.2);
+
+    let workload = SrExtractor::new(1).extract(&stream).expect("long enough");
+    // The fitted model reproduces the *load* (a first-order quantity) ...
+    let fitted_rate = workload.request_rate().expect("irreducible");
+    assert!((fitted_rate - stats.load()).abs() < 0.02);
+    // ... but not the gap-length distribution: the model's geometric gaps
+    // have CV ≈ 1, the trace's are much wilder.
+    let p01 = workload.chain().transition_matrix().prob(0, 1);
+    let model_cv = (1.0 - p01).sqrt(); // geometric CV = sqrt(1-p)
+    assert!(
+        stats.idle_length_std() / stats.mean_idle_length() > model_cv + 0.2,
+        "trace CV {} vs model CV {model_cv}",
+        stats.idle_length_std() / stats.mean_idle_length()
+    );
+}
+
+#[test]
+fn discretization_round_trips_through_stats() {
+    use dpm::trace::Trace;
+    // Build a trace from arrival times, discretize, and confirm counts.
+    let times: Vec<f64> = (0..1000).map(|i| i as f64 * 3.0 + 1.0).collect();
+    let trace = Trace::from_arrival_times(&times);
+    let stream = trace.discretize(1.0);
+    let stats = TraceStats::from_stream(&stream);
+    assert_eq!(stats.requests(), 1000);
+    // Arrivals every 3 slices: load 1/3, unit bursts, gaps of 2.
+    assert!((stats.load() - 1.0 / 3.0).abs() < 0.01);
+    assert_eq!(stats.mean_busy_length(), 1.0);
+    assert!((stats.mean_idle_length() - 2.0).abs() < 0.01);
+}
