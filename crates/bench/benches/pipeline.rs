@@ -3,9 +3,9 @@
 //! slotted simulator's throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpm_core::PolicyOptimizer;
 use dpm_sim::{SimConfig, Simulator, StochasticPolicyManager};
 use dpm_systems::{disk, toy};
-use dpm_core::PolicyOptimizer;
 use dpm_trace::generators::BurstyTraceGenerator;
 use dpm_trace::SrExtractor;
 
@@ -19,7 +19,9 @@ fn bench_composer(c: &mut Criterion) {
 }
 
 fn bench_sr_extractor(c: &mut Criterion) {
-    let trace = BurstyTraceGenerator::new(0.02, 0.9).seed(3).generate(1_000_000);
+    let trace = BurstyTraceGenerator::new(0.02, 0.9)
+        .seed(3)
+        .generate(1_000_000);
     let mut group = c.benchmark_group("sr_extractor");
     group.throughput(Throughput::Elements(trace.len() as u64));
     for k in [1u32, 4, 8] {
@@ -49,7 +51,9 @@ fn bench_simulator(c: &mut Criterion) {
                 .expect("runs")
         })
     });
-    let trace = BurstyTraceGenerator::new(0.05, 0.85).seed(2).generate(slices as usize);
+    let trace = BurstyTraceGenerator::new(0.05, 0.85)
+        .seed(2)
+        .generate(slices as usize);
     group.bench_function("trace_driven_100k_slices", |b| {
         b.iter(|| {
             let mut manager = StochasticPolicyManager::new(solution.policy().clone());

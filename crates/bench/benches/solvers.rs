@@ -25,12 +25,14 @@ fn random_lp(n: usize, m: usize) -> LinearProgram {
     for _ in 0..m {
         let row: Vec<f64> = (0..n).map(|_| next()).collect();
         let rhs = row.iter().sum::<f64>() + 1.0;
-        lp.add_constraint(&row, ConstraintOp::Le, rhs).expect("valid row");
+        lp.add_constraint(&row, ConstraintOp::Le, rhs)
+            .expect("valid row");
     }
     for j in 0..n {
         let mut row = vec![0.0; n];
         row[j] = 1.0;
-        lp.add_constraint(&row, ConstraintOp::Le, 10.0).expect("valid bound");
+        lp.add_constraint(&row, ConstraintOp::Le, 10.0)
+            .expect("valid bound");
     }
     lp
 }
@@ -88,11 +90,15 @@ fn bench_toy_policy_optimization(c: &mut Criterion) {
 fn bench_state_space_scaling(c: &mut Criterion) {
     // Fig. 13(b)'s scaling axis: SR memory k doubles the state count each
     // step; this is the polynomial-growth claim made concrete.
-    let trace = BurstyTraceGenerator::new(0.02, 0.9).seed(1).generate(100_000);
+    let trace = BurstyTraceGenerator::new(0.02, 0.9)
+        .seed(1)
+        .generate(100_000);
     let mut group = c.benchmark_group("state_space_scaling");
     group.sample_size(10);
     for k in [1u32, 2, 3, 4] {
-        let sr = SrExtractor::new(k).extract(&trace).expect("trace long enough");
+        let sr = SrExtractor::new(k)
+            .extract(&trace)
+            .expect("trace long enough");
         let system = appendix_b::Config::baseline()
             .system_with_requester(sr)
             .expect("composes");

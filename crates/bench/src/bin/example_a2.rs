@@ -25,14 +25,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .solve()?;
 
     section("Example A.2: constrained minimum-power policy");
-    println!("  expected power:   {:.4} W   (paper: 1.798 W)", solution.power_per_slice());
+    println!(
+        "  expected power:   {:.4} W   (paper: 1.798 W)",
+        solution.power_per_slice()
+    );
     println!("  always-on power:  {:.4} W", toy::POWER_ON);
     println!(
         "  savings factor:   {:.2}x     (paper: ~2x)",
         toy::POWER_ON / solution.power_per_slice()
     );
-    println!("  avg queue:        {:.4}    (bound 0.5)", solution.performance_per_slice());
-    println!("  loss rate:        {:.4}    (bound 0.2)", solution.loss_per_slice());
+    println!(
+        "  avg queue:        {:.4}    (bound 0.5)",
+        solution.performance_per_slice()
+    );
+    println!(
+        "  loss rate:        {:.4}    (bound 0.2)",
+        solution.loss_per_slice()
+    );
     println!(
         "  policy class:     {}",
         if solution.is_randomized() {

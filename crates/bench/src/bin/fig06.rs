@@ -19,10 +19,16 @@ use dpm_systems::toy;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = toy::example_system()?;
     let discount = 0.99999;
-    let queue_bounds: Vec<f64> = vec![0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.25, 0.2, 0.17, 0.15, 0.1];
+    let queue_bounds: Vec<f64> = vec![
+        0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.25, 0.2, 0.17, 0.15, 0.1,
+    ];
     // Loss-rate settings: loose (never active), intermediate, tight
     // (dominates everywhere feasible).
-    let loss_settings = [("loose (0.50)", 0.5), ("mid (0.20)", 0.2), ("tight (0.16)", 0.16)];
+    let loss_settings = [
+        ("loose (0.50)", 0.5),
+        ("mid (0.20)", 0.2),
+        ("tight (0.16)", 0.16),
+    ];
 
     section("Fig. 6: Pareto curves, example system (power vs avg queue bound)");
     let mut curves = Vec::new();
@@ -45,7 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     table(
-        &["queue bound", loss_settings[0].0, loss_settings[1].0, loss_settings[2].0],
+        &[
+            "queue bound",
+            loss_settings[0].0,
+            loss_settings[1].0,
+            loss_settings[2].0,
+        ],
         &rows,
     );
 

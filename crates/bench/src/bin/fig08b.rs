@@ -26,7 +26,9 @@ const LOSS_BOUND: f64 = 0.05;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The workload: a synthetic Auspex-like trace, with the SR model
     // extracted from it exactly as the paper's tool does (Fig. 7).
-    let trace = BurstyTraceGenerator::new(0.005, 0.3).seed(42).generate(SIM_SLICES as usize);
+    let trace = BurstyTraceGenerator::new(0.005, 0.3)
+        .seed(42)
+        .generate(SIM_SLICES as usize);
     let workload = SrExtractor::new(1).extract(&trace)?;
     let system = disk::system_with_workload(workload)?;
 
@@ -50,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         rows.push(vec![format!("{:.3}", p.bound), perf, power]);
     }
-    table(&["queue bound", "achieved queue", "optimal power (W)"], &rows);
+    table(
+        &["queue bound", "achieved queue", "optimal power (W)"],
+        &rows,
+    );
 
     // --- Trace-driven simulation of the optimal policies (circles) ---
     section("Fig. 8(b), circles: trace-driven simulation of optimal policies");
@@ -79,7 +84,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     table(
-        &["queue bound", "LP power", "sim power", "LP queue", "sim queue"],
+        &[
+            "queue bound",
+            "LP power",
+            "sim power",
+            "LP queue",
+            "sim queue",
+        ],
         &rows,
     );
 
@@ -109,7 +120,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     section("Fig. 8(b), down-triangles: timeout policies (sleep state = standby)");
     let mut rows = Vec::new();
     for timeout in [0u64, 10, 50, 200, 1000, 5000] {
-        let mut policy = TimeoutPolicy::new(&system, wake, DiskCommand::GoStandby as usize, timeout);
+        let mut policy =
+            TimeoutPolicy::new(&system, wake, DiskCommand::GoStandby as usize, timeout);
         let mut tracker = dpm_sim::binary_tracker();
         let stats = sim.run_trace(&mut policy, &trace, &mut tracker)?;
         rows.push(vec![
@@ -123,8 +135,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     section("Fig. 8(b), boxes: randomized timeout policies");
     let mut rows = Vec::new();
     let choices = [
-        vec![(0.5, 10, DiskCommand::GoLpIdle as usize), (0.5, 500, DiskCommand::GoStandby as usize)],
-        vec![(0.3, 0, DiskCommand::GoLpIdle as usize), (0.7, 1000, DiskCommand::GoSleep as usize)],
+        vec![
+            (0.5, 10, DiskCommand::GoLpIdle as usize),
+            (0.5, 500, DiskCommand::GoStandby as usize),
+        ],
+        vec![
+            (0.3, 0, DiskCommand::GoLpIdle as usize),
+            (0.7, 1000, DiskCommand::GoSleep as usize),
+        ],
         vec![
             (0.4, 50, DiskCommand::GoIdle as usize),
             (0.4, 200, DiskCommand::GoStandby as usize),
@@ -144,7 +162,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     table(&["policy", "avg queue", "power (W)"], &rows);
 
     section("shape check");
-    let best_heuristic_note = "heuristic points must lie on or above the optimal curve at equal performance";
+    let best_heuristic_note =
+        "heuristic points must lie on or above the optimal curve at equal performance";
     println!("  {best_heuristic_note}");
     println!(
         "  optimal curve convex: {} (Theorem 4.1); infeasible points: {}",

@@ -13,7 +13,9 @@ use dpm_trace::SrExtractor;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Synthetic ITA-like workload trace and its extracted 2-state model.
     let slices = 2_000_000usize;
-    let trace = BurstyTraceGenerator::new(0.025, 0.9).seed(5).generate(slices);
+    let trace = BurstyTraceGenerator::new(0.025, 0.9)
+        .seed(5)
+        .generate(slices);
     let workload = SrExtractor::new(1).extract(&trace)?;
     let system = web_server::system_with_workload(workload)?;
     let throughput = web_server::throughput_matrix(&system);
@@ -57,7 +59,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     table(
-        &["min throughput", "LP power (W)", "sim power (W)", "P(only proc2)"],
+        &[
+            "min throughput",
+            "LP power (W)",
+            "sim power (W)",
+            "P(only proc2)",
+        ],
         &rows,
     );
 

@@ -19,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let penalty = cpu::latency_penalty(&system);
     let sim = Simulator::new(
         &system,
-        SimConfig::new(SIM_SLICES).seed(13).initial(cpu::initial_state()),
+        SimConfig::new(SIM_SLICES)
+            .seed(13)
+            .initial(cpu::initial_state()),
     );
 
     section("Fig. 9(b), solid line: optimal stochastic control");
@@ -41,7 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     table(
-        &["penalty bound", "LP penalty", "LP power (W)", "sim power (W)"],
+        &[
+            "penalty bound",
+            "LP penalty",
+            "LP power (W)",
+            "sim power (W)",
+        ],
         &rows,
     );
 
@@ -67,8 +74,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     table(&["policy", "penalty rate", "power (W)"], &rows);
 
-    println!(
-        "\n  shape: at equal penalty the optimal curve must lie below the timeout curve"
-    );
+    println!("\n  shape: at equal penalty the optimal curve must lie below the timeout curve");
     Ok(())
 }

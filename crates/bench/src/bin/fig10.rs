@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats_b.load(),
         stats_b.mean_busy_length()
     );
-    println!("  whole trace load: {:.3} (a single 2-state SR is fitted to this)", stats_all.load());
+    println!(
+        "  whole trace load: {:.3} (a single 2-state SR is fitted to this)",
+        stats_all.load()
+    );
 
     // A single stationary 2-state model characterized on the entire trace.
     let workload = SrExtractor::new(1).extract(&trace)?;
@@ -38,7 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let penalty = cpu::latency_penalty(&system);
     let sim = Simulator::new(
         &system,
-        SimConfig::new(slices as u64).seed(17).initial(cpu::initial_state()),
+        SimConfig::new(slices as u64)
+            .seed(17)
+            .initial(cpu::initial_state()),
     );
 
     section("Fig. 10: stochastic policies (fitted model) simulated on the real trace");

@@ -38,8 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     section("Fig. 12(a): power vs available sleep states (horizon 1e5)");
     let mut rows = Vec::new();
     for (name, idxs) in &structures {
-        let cfg = Config::baseline()
-            .with_sleep_states(idxs.iter().map(|&i| SLEEP_STATES[i]).collect());
+        let cfg =
+            Config::baseline().with_sleep_states(idxs.iter().map(|&i| SLEEP_STATES[i]).collect());
         let tight = solve(&cfg, 0.2)?;
         let loose = solve(&cfg, 0.8)?;
         rows.push(vec![
@@ -53,7 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &rows,
     );
 
-    println!("\n  expected: {{s1,s2}} ≈ {{s1,s2,s3}} ≈ {{s1..s4}} < {{s1}}; {{s4}} alone < {{s1}};");
+    println!(
+        "\n  expected: {{s1,s2}} ≈ {{s1,s2,s3}} ≈ {{s1..s4}} < {{s1}}; {{s4}} alone < {{s1}};"
+    );
     println!("  tight-constraint savings smaller than loose-constraint savings.");
     Ok(())
 }

@@ -27,7 +27,9 @@ fn solve(sleep_power: f64, exit_probability: f64, regime: Regime) -> Result<Opti
         exit_probability,
     }]);
     let system = cfg.system()?;
-    let optimizer = PolicyOptimizer::new(&system).horizon(HORIZON).use_expected_loss();
+    let optimizer = PolicyOptimizer::new(&system)
+        .horizon(HORIZON)
+        .use_expected_loss();
     let optimizer = match regime {
         Regime::LossDominated => optimizer
             .max_request_loss_rate(0.01)

@@ -42,7 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     table(
-        &["switch prob", "mean burst", "tight perf ≤0.5 (W)", "loose perf ≤0.9 (W)"],
+        &[
+            "switch prob",
+            "mean burst",
+            "tight perf ≤0.5 (W)",
+            "loose perf ≤0.9 (W)",
+        ],
         &rows,
     );
     println!("\n  expected: power increases to the right (less bursty ⇒ less to exploit).");

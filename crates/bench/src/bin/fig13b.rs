@@ -36,7 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // every third slice (a DMA-like cadence). A 1-memory model sees only
     // "mostly idle"; k ≥ 3 learns the cadence and can nap between
     // requests — the extra knowledge the paper's Fig. 13(b) exploits.
-    let outer = BurstyTraceGenerator::new(0.005, 0.995).seed(32).generate(400_000);
+    let outer = BurstyTraceGenerator::new(0.005, 0.995)
+        .seed(32)
+        .generate(400_000);
     let trace: Vec<u32> = outer
         .iter()
         .enumerate()
@@ -44,8 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let baseline_sp = Config::baseline();
-    let two_sleep =
-        Config::baseline().with_sleep_states(vec![SLEEP_STATES[0], SLEEP_STATES[1]]);
+    let two_sleep = Config::baseline().with_sleep_states(vec![SLEEP_STATES[0], SLEEP_STATES[1]]);
 
     section("Fig. 13(b): power vs SR memory k (2^k states)");
     let mut rows = Vec::new();

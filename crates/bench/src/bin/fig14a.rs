@@ -54,9 +54,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     table(
-        &["1 − α", "horizon (slices)", "tight loss ≤0.01 (W)", "loose loss ≤0.1 (W)"],
+        &[
+            "1 − α",
+            "horizon (slices)",
+            "tight loss ≤0.01 (W)",
+            "loose loss ≤0.1 (W)",
+        ],
         &rows,
     );
-    println!("\n  expected: power decreases down the table (longer horizons amortize transitions).");
+    println!(
+        "\n  expected: power decreases down the table (longer horizons amortize transitions)."
+    );
     Ok(())
 }

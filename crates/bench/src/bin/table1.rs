@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "-".to_string()
         } else {
             let t = sp
-                .expected_transition_time(i, DiskState::Active as usize, DiskCommand::GoActive as usize)
+                .expected_transition_time(
+                    i,
+                    DiskState::Active as usize,
+                    DiskCommand::GoActive as usize,
+                )
                 .expect("active reachable from every operational state");
             format!("{:.1} ms", t * disk::TIME_RESOLUTION_MS)
         };

@@ -40,12 +40,7 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) {
         println!("  {}", line.join("  "));
     };
     print_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    print_row(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    print_row(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         print_row(row);
     }
@@ -71,10 +66,7 @@ mod tests {
 
     #[test]
     fn table_prints_without_panicking() {
-        table(
-            &["a", "bb"],
-            &[vec!["1".to_string(), "2".to_string()]],
-        );
+        table(&["a", "bb"], &[vec!["1".to_string(), "2".to_string()]]);
     }
 
     #[test]

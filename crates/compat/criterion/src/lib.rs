@@ -1,0 +1,257 @@
+//! In-workspace stand-in for the crates.io [`criterion`] crate.
+//!
+//! The build environment for this repository is fully offline, so the
+//! workspace cannot pull `criterion` from a registry. This crate
+//! implements the slice of the criterion API the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — so the bench files compile unchanged (with `harness = false`)
+//! and produce simple wall-clock timings when run.
+//!
+//! Compared to real criterion there is no statistical analysis, warm-up
+//! tuning, plotting or CLI filtering: each benchmark is run for a fixed
+//! time budget and the mean iteration time is printed. That is enough for
+//! CI's build-only smoke (`cargo bench --no-run`) and for coarse local
+//! comparisons; swap the real crate back in for publication-grade numbers.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget each benchmark's measurement loop aims for.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// Times a closure over repeated iterations, mirroring
+/// `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Runs `f` repeatedly inside the timing budget, recording the mean
+    /// wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed call to warm caches and get a per-iteration estimate.
+        let warm_start = Instant::now();
+        black_box(f());
+        let estimate = warm_start.elapsed().max(Duration::from_nanos(1));
+        let budget_iters = (MEASURE_BUDGET.as_nanos() / estimate.as_nanos()).max(1);
+        let iters = budget_iters.min(10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// A benchmark identifier with an optional parameter, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Throughput annotation for a benchmark group, mirroring
+/// `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// The top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts and ignores CLI configuration, for `criterion_group!`
+    /// compatibility (`cargo bench -- <filter>` flags are not supported).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().id, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks in the group with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepts and ignores criterion's statistical sample-size hint; this
+    /// shim sizes its measurement loop from a wall-clock budget instead.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_one(&id, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        run_one(&id, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher::new();
+    f(&mut bencher);
+    let mean_ns = if bencher.iters == 0 {
+        0.0
+    } else {
+        bencher.total.as_nanos() as f64 / bencher.iters as f64
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            format!("  ({:.3} Melem/s)", n as f64 * 1e3 / mean_ns)
+        }
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            format!(
+                "  ({:.3} MiB/s)",
+                n as f64 * 1e9 / mean_ns / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench: {id:<50} {:>12.1} ns/iter  x{}{}",
+        mean_ns, bencher.iters, rate
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+/// The bench target must set `harness = false` in its manifest.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::new();
+        b.iter(|| 21 * 2);
+        assert!(b.iters >= 1);
+        assert!(b.total > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        let id = BenchmarkId::new("simplex", 120);
+        assert_eq!(id.id, "simplex/120");
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4][..], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -123,7 +123,11 @@ mod tests {
         }
         // The off-state wake power override survives lifting.
         let off_idx = system
-            .state_index(SystemState { sp: 1, sr: 0, queue: 0 })
+            .state_index(SystemState {
+                sp: 1,
+                sr: 0,
+                queue: 0,
+            })
             .unwrap();
         assert_eq!(m[(off_idx, 0)], 3.0);
     }
@@ -143,7 +147,11 @@ mod tests {
         let m = CostMetric::RequestLossIndicator.matrix(&system);
         for s in 0..system.num_states() {
             let st = system.state_of(s);
-            let expect = if st.sr == 1 && st.queue == 1 { 1.0 } else { 0.0 };
+            let expect = if st.sr == 1 && st.queue == 1 {
+                1.0
+            } else {
+                0.0
+            };
             assert_eq!(m[(s, 0)], expect, "state {}", system.state_label(s));
         }
     }

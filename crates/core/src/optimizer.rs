@@ -1,6 +1,8 @@
 use dpm_linalg::Matrix;
 use dpm_lp::{InteriorPoint, LpSolver, Simplex};
-use dpm_mdp::{ConstrainedMdp, ConstrainedSolution, CostConstraint, DiscountedMdp, RandomizedPolicy};
+use dpm_mdp::{
+    ConstrainedMdp, ConstrainedSolution, CostConstraint, DiscountedMdp, RandomizedPolicy,
+};
 
 use crate::{CostMetric, DpmError, SystemModel, SystemState};
 
@@ -156,7 +158,8 @@ impl<'a> PolicyOptimizer<'a> {
         cost: Matrix,
         bound_per_slice: f64,
     ) -> Self {
-        self.custom_constraints.push((name.into(), cost, bound_per_slice));
+        self.custom_constraints
+            .push((name.into(), cost, bound_per_slice));
         self
     }
 
@@ -287,7 +290,7 @@ pub struct PolicySolution {
 impl PolicySolution {
     /// The optimal randomized Markov stationary policy (equation (16)).
     pub fn policy(&self) -> &RandomizedPolicy {
-        &self.solution.policy()
+        self.solution.policy()
     }
 
     /// The goal that was optimized.
@@ -307,7 +310,9 @@ impl PolicySolution {
 
     /// Expected power per slice (Watts) under the optimal policy.
     pub fn power_per_slice(&self) -> f64 {
-        self.solution.occupation().expected_cost_per_slice(&self.power)
+        self.solution
+            .occupation()
+            .expected_cost_per_slice(&self.power)
     }
 
     /// Expected performance penalty per slice (average queue occupancy,
@@ -320,7 +325,9 @@ impl PolicySolution {
 
     /// Expected request-loss rate per slice.
     pub fn loss_per_slice(&self) -> f64 {
-        self.solution.occupation().expected_cost_per_slice(&self.loss)
+        self.solution
+            .occupation()
+            .expected_cost_per_slice(&self.loss)
     }
 
     /// Objective value per slice (power or performance depending on the
@@ -404,7 +411,10 @@ mod tests {
         let system = example_system();
         let err = PolicyOptimizer::new(&system).solve().unwrap_err();
         assert!(matches!(err, DpmError::BadConfiguration { .. }));
-        let err = PolicyOptimizer::new(&system).discount(1.5).solve().unwrap_err();
+        let err = PolicyOptimizer::new(&system)
+            .discount(1.5)
+            .solve()
+            .unwrap_err();
         assert!(matches!(err, DpmError::BadConfiguration { .. }));
     }
 
@@ -513,7 +523,11 @@ mod tests {
         let system = example_system();
         let solution = PolicyOptimizer::new(&system)
             .horizon(1_000.0)
-            .initial_state(SystemState { sp: 1, sr: 0, queue: 0 })
+            .initial_state(SystemState {
+                sp: 1,
+                sr: 0,
+                queue: 0,
+            })
             .unwrap()
             .solve()
             .unwrap();

@@ -235,8 +235,7 @@ mod tests {
         let base = PolicyOptimizer::new(&system)
             .horizon(100_000.0)
             .max_request_loss_rate(0.3);
-        let curve =
-            ParetoExplorer::sweep_performance(base, &[0.9, 0.5, 0.2, 0.1, 0.05]).unwrap();
+        let curve = ParetoExplorer::sweep_performance(base, &[0.9, 0.5, 0.2, 0.1, 0.05]).unwrap();
         assert!(curve.num_infeasible() >= 1);
         assert!(curve.points().last().map(|p| !p.is_feasible()).unwrap());
         // The display renders both kinds of rows.
@@ -266,8 +265,7 @@ mod tests {
         let base = PolicyOptimizer::new(&system)
             .horizon(10_000.0)
             .max_performance_penalty(0.8);
-        let curve =
-            ParetoExplorer::sweep_request_loss(base, &[0.5, 0.2, 0.1, 0.05]).unwrap();
+        let curve = ParetoExplorer::sweep_request_loss(base, &[0.5, 0.2, 0.1, 0.05]).unwrap();
         let feasible = curve.feasible();
         for w in feasible.windows(2) {
             assert!(w[1].1 >= w[0].1 - 1e-7);

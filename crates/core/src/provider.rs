@@ -114,12 +114,7 @@ impl ServiceProvider {
     /// # Panics
     ///
     /// Panics on out-of-range indices.
-    pub fn expected_transition_time(
-        &self,
-        from: usize,
-        to: usize,
-        command: usize,
-    ) -> Option<f64> {
+    pub fn expected_transition_time(&self, from: usize, to: usize, command: usize) -> Option<f64> {
         self.chain.expected_transition_time(from, to, command)
     }
 }

@@ -72,11 +72,7 @@ impl ServiceRequester {
     ) -> Result<Self, DpmError> {
         if names.len() != requests.len() {
             return Err(DpmError::IncompleteModel {
-                reason: format!(
-                    "{} names for {} SR states",
-                    names.len(),
-                    requests.len()
-                ),
+                reason: format!("{} names for {} SR states", names.len(), requests.len()),
             });
         }
         let mut sr = Self::new(transition, requests)?;

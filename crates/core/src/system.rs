@@ -283,10 +283,18 @@ mod tests {
         //   = 0.15 · 0.8 · 1.0 = 0.12
         let system = example_system();
         let from = system
-            .state_index(SystemState { sp: 0, sr: 0, queue: 0 })
+            .state_index(SystemState {
+                sp: 0,
+                sr: 0,
+                queue: 0,
+            })
             .unwrap();
         let to = system
-            .state_index(SystemState { sp: 0, sr: 1, queue: 0 })
+            .state_index(SystemState {
+                sp: 0,
+                sr: 1,
+                queue: 0,
+            })
             .unwrap();
         let p = system.chain().prob(from, to, 0);
         assert!((p - 0.12).abs() < 1e-12, "got {p}");
@@ -304,10 +312,18 @@ mod tests {
         // SP stays off (1.0), queue gains the arrival (σ=0 ⇒ w.p. 1).
         let system = example_system();
         let from = system
-            .state_index(SystemState { sp: 1, sr: 1, queue: 0 })
+            .state_index(SystemState {
+                sp: 1,
+                sr: 1,
+                queue: 0,
+            })
             .unwrap();
         let to = system
-            .state_index(SystemState { sp: 1, sr: 1, queue: 1 })
+            .state_index(SystemState {
+                sp: 1,
+                sr: 1,
+                queue: 1,
+            })
             .unwrap();
         let p = system.chain().prob(from, to, 1);
         assert!((p - 0.85).abs() < 1e-12);
@@ -319,18 +335,30 @@ mod tests {
         // Full queue, busy SR, SP off: an arrival (p 0.85) is lost with
         // certainty since σ = 0.
         let full_off = system
-            .state_index(SystemState { sp: 1, sr: 1, queue: 1 })
+            .state_index(SystemState {
+                sp: 1,
+                sr: 1,
+                queue: 1,
+            })
             .unwrap();
         let loss = system.expected_loss(full_off, 1);
         assert!((loss - 0.85).abs() < 1e-12);
         // Empty queue, idle SR: nothing can be lost.
         let empty = system
-            .state_index(SystemState { sp: 0, sr: 0, queue: 0 })
+            .state_index(SystemState {
+                sp: 0,
+                sr: 0,
+                queue: 0,
+            })
             .unwrap();
         assert_eq!(system.expected_loss(empty, 0), 0.0);
         // Full queue but SP serving: loss drops to (1 − σ) · p_busy.
         let full_on = system
-            .state_index(SystemState { sp: 0, sr: 1, queue: 1 })
+            .state_index(SystemState {
+                sp: 0,
+                sr: 1,
+                queue: 1,
+            })
             .unwrap();
         assert!((system.expected_loss(full_on, 0) - 0.85 * 0.2).abs() < 1e-12);
     }
@@ -345,7 +373,11 @@ mod tests {
         let label = system.state_label(0);
         assert!(label.contains("on") && label.contains("q=0"));
         assert!(matches!(
-            system.state_index(SystemState { sp: 9, sr: 0, queue: 0 }),
+            system.state_index(SystemState {
+                sp: 9,
+                sr: 0,
+                queue: 0
+            }),
             Err(DpmError::UnknownIndex { .. })
         ));
     }
@@ -354,7 +386,11 @@ mod tests {
     fn point_distribution_is_one_hot() {
         let system = example_system();
         let q = system
-            .point_distribution(SystemState { sp: 0, sr: 0, queue: 0 })
+            .point_distribution(SystemState {
+                sp: 0,
+                sr: 0,
+                queue: 0,
+            })
             .unwrap();
         assert_eq!(q.iter().filter(|&&v| v == 1.0).count(), 1);
         assert_eq!(q.iter().sum::<f64>(), 1.0);
@@ -364,19 +400,21 @@ mod tests {
     fn custom_cost_sees_composite_state() {
         let system = example_system();
         // Penalize being off while the SR is busy — the CPU-style penalty.
-        let cost = system.custom_cost(|s, _| {
-            if s.sp == 1 && s.sr == 1 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let cost = system.custom_cost(|s, _| if s.sp == 1 && s.sr == 1 { 1.0 } else { 0.0 });
         let idx = system
-            .state_index(SystemState { sp: 1, sr: 1, queue: 0 })
+            .state_index(SystemState {
+                sp: 1,
+                sr: 1,
+                queue: 0,
+            })
             .unwrap();
         assert_eq!(cost[(idx, 0)], 1.0);
         let idx2 = system
-            .state_index(SystemState { sp: 0, sr: 1, queue: 0 })
+            .state_index(SystemState {
+                sp: 0,
+                sr: 1,
+                queue: 0,
+            })
             .unwrap();
         assert_eq!(cost[(idx2, 0)], 0.0);
     }
@@ -396,11 +434,19 @@ mod tests {
         // From (on, r0, empty): SR surely moves to the 3-request state, one
         // is served (σ=1), one enqueued, one lost.
         let from = system
-            .state_index(SystemState { sp: 0, sr: 0, queue: 0 })
+            .state_index(SystemState {
+                sp: 0,
+                sr: 0,
+                queue: 0,
+            })
             .unwrap();
         assert!((system.expected_loss(from, 0) - 1.0).abs() < 1e-12);
         let to_full = system
-            .state_index(SystemState { sp: 0, sr: 1, queue: 1 })
+            .state_index(SystemState {
+                sp: 0,
+                sr: 1,
+                queue: 1,
+            })
             .unwrap();
         assert!((system.chain().prob(from, to_full, 0) - 1.0).abs() < 1e-12);
     }

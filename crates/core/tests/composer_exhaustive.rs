@@ -71,13 +71,13 @@ fn composed_kernel_matches_brute_force_everywhere() {
             let requests = [sr.requests(0), sr.requests(1)];
             let system = SystemModel::compose(sp, sr, ServiceQueue::with_capacity(capacity))
                 .expect("composes");
-            for a in 0..2 {
+            for (a, sp_kernel) in sp_kernels.iter().enumerate() {
                 for from_idx in 0..system.num_states() {
                     for to_idx in 0..system.num_states() {
                         let from = system.state_of(from_idx);
                         let to = system.state_of(to_idx);
                         let expected = brute_force_prob(
-                            &sp_kernels[a],
+                            sp_kernel,
                             &sr_kernel,
                             &requests,
                             |sp_state| if sp_state == 0 && a == 0 { sigma } else { 0.0 },

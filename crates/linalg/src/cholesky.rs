@@ -116,16 +116,16 @@ impl Cholesky {
         // Forward: L z = b.
         for i in 0..n {
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.l[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.l[(i, j)] * xj;
             }
             x[i] = s / self.l[(i, i)];
         }
         // Backward: Lᵀ x = z.
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.l[(j, i)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(j, i)] * xj;
             }
             x[i] = s / self.l[(i, i)];
         }

@@ -49,10 +49,16 @@ impl fmt::Display for LinalgError {
                 found.0, found.1, expected.0, expected.1
             ),
             LinalgError::SingularMatrix { pivot } => {
-                write!(f, "matrix is singular to working precision at pivot {pivot}")
+                write!(
+                    f,
+                    "matrix is singular to working precision at pivot {pivot}"
+                )
             }
             LinalgError::NotPositiveDefinite { index } => {
-                write!(f, "matrix is not positive definite at diagonal index {index}")
+                write!(
+                    f,
+                    "matrix is not positive definite at diagonal index {index}"
+                )
             }
             LinalgError::RaggedRows { row } => {
                 write!(f, "row {row} has a different length than row 0")

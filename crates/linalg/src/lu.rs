@@ -129,16 +129,16 @@ impl LuDecomposition {
         // Forward substitution with unit-diagonal L.
         for i in 1..n {
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s;
         }
         // Backward substitution with U.
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s / self.lu[(i, i)];
         }
@@ -162,16 +162,16 @@ impl LuDecomposition {
         // Solve Uᵀ z = b (forward substitution on the transpose of U).
         for i in 0..n {
             let mut s = y[i];
-            for j in 0..i {
-                s -= self.lu[(j, i)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                s -= self.lu[(j, i)] * yj;
             }
             y[i] = s / self.lu[(i, i)];
         }
         // Solve Lᵀ w = z (backward substitution, unit diagonal).
         for i in (0..n).rev() {
             let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(j, i)] * y[j];
+            for (j, &yj) in y.iter().enumerate().skip(i + 1) {
+                s -= self.lu[(j, i)] * yj;
             }
             y[i] = s;
         }
@@ -253,8 +253,8 @@ mod tests {
 
     #[test]
     fn solves_known_system() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let lu = LuDecomposition::new(&a).unwrap();
         let x = lu.solve(&[8.0, -11.0, -3.0]).unwrap();
         assert!(approx_eq(&x, &[2.0, 3.0, -1.0], 1e-10));

@@ -134,7 +134,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row(&self, i: usize) -> &[f64] {
-        assert!(i < self.rows, "row index {i} out of bounds ({} rows)", self.rows);
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds ({} rows)",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -144,7 +148,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        assert!(i < self.rows, "row index {i} out of bounds ({} rows)", self.rows);
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds ({} rows)",
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -154,7 +162,11 @@ impl Matrix {
     ///
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "column index {j} out of bounds ({} cols)", self.cols);
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({} cols)",
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -357,7 +369,11 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,

@@ -9,12 +9,8 @@ use proptest::prelude::*;
 /// A random well-conditioned square matrix (diagonally dominant).
 fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-100i32..=100, n * n).prop_map(move |cells| {
-        let mut m = Matrix::from_vec(
-            n,
-            n,
-            cells.iter().map(|&v| v as f64 / 50.0).collect(),
-        )
-        .expect("length matches");
+        let mut m = Matrix::from_vec(n, n, cells.iter().map(|&v| v as f64 / 50.0).collect())
+            .expect("length matches");
         for i in 0..n {
             let row_sum: f64 = m.row(i).iter().map(|v| v.abs()).sum();
             m[(i, i)] += row_sum + 1.0;
@@ -25,9 +21,8 @@ fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
 
 /// A random right-hand side.
 fn rhs(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-100i32..=100, n).prop_map(|v| {
-        v.into_iter().map(|x| x as f64 / 10.0).collect()
-    })
+    proptest::collection::vec(-100i32..=100, n)
+        .prop_map(|v| v.into_iter().map(|x| x as f64 / 10.0).collect())
 }
 
 proptest! {
@@ -105,7 +100,7 @@ proptest! {
 
 #[test]
 fn singular_matrix_is_rejected_not_panicked() {
-    let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0], &[0.0, 1.0, 1.0]])
-        .expect("shape");
+    let a =
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0], &[0.0, 1.0, 1.0]]).expect("shape");
     assert!(LuDecomposition::new(&a).is_err());
 }

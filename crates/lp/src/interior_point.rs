@@ -227,6 +227,9 @@ impl InteriorPoint {
     }
 }
 
+/// A Newton step direction `(dx, dy, ds)` in primal, dual and slack space.
+type NewtonDirection = (Vec<f64>, Vec<f64>, Vec<f64>);
+
 /// Solves one Newton system of the predictor–corrector method via the
 /// pre-factored normal equations.
 ///
@@ -247,12 +250,10 @@ fn solve_newton(
     rb: &[f64],
     rc: &[f64],
     rxs: &[f64],
-) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>), LpError> {
+) -> Result<NewtonDirection, LpError> {
     let n = x.len();
     // rhs = rb + A D² (rc − X⁻¹ rxs)
-    let tmp: Vec<f64> = (0..n)
-        .map(|k| d2[k] * (rc[k] - rxs[k] / x[k]))
-        .collect();
+    let tmp: Vec<f64> = (0..n).map(|k| d2[k] * (rc[k] - rxs[k] / x[k])).collect();
     let atmp = a.matvec(&tmp)?;
     let rhs: Vec<f64> = rb.iter().zip(&atmp).map(|(l, r)| l + r).collect();
     let dy = chol.solve(&rhs)?;
@@ -302,9 +303,12 @@ mod tests {
     #[test]
     fn matches_simplex_on_textbook_problem() {
         let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
-        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0).unwrap();
-        lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0).unwrap();
-        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0).unwrap();
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)
+            .unwrap();
+        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)
+            .unwrap();
         let si = Simplex::new().solve(&lp).unwrap();
         let s = ip().solve(&lp).unwrap();
         assert!((s.objective() - si.objective()).abs() < 1e-6);
@@ -345,7 +349,9 @@ mod tests {
                 lp.add_constraint(&row, ConstraintOp::Le, 10.0).unwrap();
             }
             let si = Simplex::new().solve(&lp).unwrap();
-            let s = ip().solve(&lp).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            let s = ip()
+                .solve(&lp)
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
             assert!(
                 (s.objective() - si.objective()).abs() < 1e-5,
                 "trial {trial}: ip {} vs simplex {}",
@@ -371,7 +377,8 @@ mod tests {
     #[test]
     fn reports_iteration_count() {
         let mut lp = LinearProgram::minimize(&[1.0, 1.0]);
-        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Ge, 1.0).unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Ge, 1.0)
+            .unwrap();
         let s = ip().solve(&lp).unwrap();
         assert!(s.iterations() > 0 && s.iterations() < 100);
     }

@@ -140,14 +140,16 @@ mod tests {
     fn detects_unbounded_free_column() {
         let lp_vars = [-1.0, 1.0];
         let mut lp = LinearProgram::minimize(&lp_vars);
-        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Le, 1.0).unwrap();
+        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Le, 1.0)
+            .unwrap();
         assert_eq!(presolve(&mut lp).unwrap_err(), LpError::Unbounded);
     }
 
     #[test]
     fn fixes_costly_free_column() {
         let mut lp = LinearProgram::minimize(&[1.0, 1.0]);
-        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Ge, 1.0).unwrap();
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Ge, 1.0)
+            .unwrap();
         let report = presolve(&mut lp).unwrap();
         // x1 appears nowhere but has positive cost: it is *minimized* to 0
         // anyway, so fixing is cosmetic — but only fires for positive cost.
@@ -160,10 +162,12 @@ mod tests {
     #[test]
     fn scaling_preserves_optimum() {
         let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
-        lp.add_constraint(&[100.0, 0.0], ConstraintOp::Le, 400.0).unwrap();
+        lp.add_constraint(&[100.0, 0.0], ConstraintOp::Le, 400.0)
+            .unwrap();
         lp.add_constraint(&[0.0, 2000.0], ConstraintOp::Le, 12000.0)
             .unwrap();
-        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0).unwrap();
+        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)
+            .unwrap();
         let before = Simplex::new().solve(&lp).unwrap().objective();
         let report = presolve(&mut lp).unwrap();
         assert!(report.rows_scaled >= 2);

@@ -370,9 +370,12 @@ mod tests {
     #[test]
     fn standard_form_adds_slack_and_surplus() {
         let mut lp = LinearProgram::maximize(&[1.0, 1.0]);
-        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 2.0).unwrap();
-        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Ge, 1.0).unwrap();
-        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Eq, 3.0).unwrap();
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 2.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Ge, 1.0)
+            .unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Eq, 3.0)
+            .unwrap();
         let sf = lp.to_standard_form().unwrap();
         assert_eq!(sf.a.shape(), (3, 4)); // 2 original + 1 slack + 1 surplus
         assert_eq!(sf.a[(0, 2)], 1.0); // slack on the Le row
@@ -385,8 +388,10 @@ mod tests {
     #[test]
     fn violation_measures_worst_constraint() {
         let mut lp = LinearProgram::minimize(&[0.0, 0.0]);
-        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 1.0).unwrap();
-        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Ge, 2.0).unwrap();
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 1.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Ge, 2.0)
+            .unwrap();
         assert_eq!(lp.max_violation(&[0.5, 2.5]), 0.0);
         assert_eq!(lp.max_violation(&[3.0, 2.0]), 2.0);
         assert_eq!(lp.max_violation(&[0.0, 0.0]), 2.0);

@@ -253,11 +253,7 @@ impl Tableau {
 
     /// Sets the objective row to the phase-1 objective (sum of artificials)
     /// expressed in terms of the current basis, then optimizes.
-    fn optimize_phase1(
-        &mut self,
-        rule: PivotRule,
-        max_iter: usize,
-    ) -> Result<usize, LpError> {
+    fn optimize_phase1(&mut self, rule: PivotRule, max_iter: usize) -> Result<usize, LpError> {
         let total = self.total_cols();
         let obj_row = self.m;
         // Phase-1 cost: 1 on artificials, 0 elsewhere. Reduced costs start
@@ -423,9 +419,7 @@ impl Tableau {
                 }
             }
         }
-        Err(LpError::IterationLimit {
-            limit: max_iter,
-        })
+        Err(LpError::IterationLimit { limit: max_iter })
     }
 
     /// Gauss–Jordan pivot on (row, col).
@@ -515,14 +509,14 @@ impl Tableau {
     fn dual_solution(&self) -> Vec<f64> {
         let mut duals = vec![0.0; self.m];
         let mut slack_col = self.num_user_vars;
-        for i in 0..self.m {
+        for (i, dual) in duals.iter_mut().enumerate() {
             match self.ops[i] {
                 ConstraintOp::Eq => {}
                 op => {
                     let rc = self.data[self.m][slack_col];
                     let op_sign = if op == ConstraintOp::Ge { 1.0 } else { -1.0 };
                     let flip = if self.row_flipped[i] { -1.0 } else { 1.0 };
-                    duals[i] = flip * op_sign * rc;
+                    *dual = flip * op_sign * rc;
                     slack_col += 1;
                 }
             }
@@ -543,9 +537,12 @@ mod tests {
     #[test]
     fn solves_textbook_max_problem() {
         let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
-        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0).unwrap();
-        lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0).unwrap();
-        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0).unwrap();
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)
+            .unwrap();
+        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)
+            .unwrap();
         let s = solve(&lp).unwrap();
         assert!((s.objective() - 36.0).abs() < 1e-9);
         assert!((s.x()[0] - 2.0).abs() < 1e-9);
@@ -557,8 +554,10 @@ mod tests {
         // minimize 2x + 3y s.t. x + y >= 4, x >= 1  → x=3? No: cheapest is
         // x=4,y=0 (cost 8) vs x=1,y=3 (cost 11) → x=4.
         let mut lp = LinearProgram::minimize(&[2.0, 3.0]);
-        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Ge, 4.0).unwrap();
-        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Ge, 1.0).unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Ge, 4.0)
+            .unwrap();
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Ge, 1.0)
+            .unwrap();
         let s = solve(&lp).unwrap();
         assert!((s.objective() - 8.0).abs() < 1e-9);
         assert!((s.x()[0] - 4.0).abs() < 1e-9);
@@ -592,7 +591,8 @@ mod tests {
     #[test]
     fn detects_unboundedness_with_constraints() {
         let mut lp = LinearProgram::maximize(&[1.0, 1.0]);
-        lp.add_constraint(&[1.0, -1.0], ConstraintOp::Le, 1.0).unwrap();
+        lp.add_constraint(&[1.0, -1.0], ConstraintOp::Le, 1.0)
+            .unwrap();
         assert_eq!(solve(&lp).unwrap_err(), LpError::Unbounded);
     }
 
@@ -600,7 +600,8 @@ mod tests {
     fn handles_negative_rhs() {
         // x - y <= -1 with min x+y → x=0, y=1.
         let mut lp = LinearProgram::minimize(&[1.0, 1.0]);
-        lp.add_constraint(&[1.0, -1.0], ConstraintOp::Le, -1.0).unwrap();
+        lp.add_constraint(&[1.0, -1.0], ConstraintOp::Le, -1.0)
+            .unwrap();
         let s = solve(&lp).unwrap();
         assert!((s.objective() - 1.0).abs() < 1e-9);
         assert!((s.x()[1] - 1.0).abs() < 1e-9);
@@ -610,9 +611,12 @@ mod tests {
     fn handles_degenerate_problem() {
         // Degenerate vertex: three constraints meet at (0, 0).
         let mut lp = LinearProgram::maximize(&[1.0, 1.0]);
-        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 0.0).unwrap();
-        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Le, 0.0).unwrap();
-        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Le, 0.0).unwrap();
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 0.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Le, 0.0)
+            .unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Le, 0.0)
+            .unwrap();
         let s = solve(&lp).unwrap();
         assert!(s.objective().abs() < 1e-9);
     }
@@ -637,8 +641,10 @@ mod tests {
     fn redundant_equality_rows_are_tolerated() {
         // Same constraint twice: phase 1 leaves a redundant artificial row.
         let mut lp = LinearProgram::minimize(&[1.0, 1.0]);
-        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Eq, 1.0).unwrap();
-        lp.add_constraint(&[2.0, 2.0], ConstraintOp::Eq, 2.0).unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Eq, 1.0)
+            .unwrap();
+        lp.add_constraint(&[2.0, 2.0], ConstraintOp::Eq, 2.0)
+            .unwrap();
         let s = solve(&lp).unwrap();
         assert!((s.objective() - 1.0).abs() < 1e-9);
     }

@@ -102,11 +102,8 @@ impl ControlledMarkovChain {
                 ),
             });
         }
-        let parts: Vec<(f64, &StochasticMatrix)> = decision
-            .iter()
-            .copied()
-            .zip(self.kernels.iter())
-            .collect();
+        let parts: Vec<(f64, &StochasticMatrix)> =
+            decision.iter().copied().zip(self.kernels.iter()).collect();
         StochasticMatrix::mixture(&parts)
     }
 
@@ -118,7 +115,10 @@ impl ControlledMarkovChain {
     ///
     /// [`MarkovError::InvalidDecision`] when `decisions` has the wrong
     /// shape or any row is not a distribution over actions.
-    pub fn under_state_decisions(&self, decisions: &[Vec<f64>]) -> Result<MarkovChain, MarkovError> {
+    pub fn under_state_decisions(
+        &self,
+        decisions: &[Vec<f64>],
+    ) -> Result<MarkovChain, MarkovError> {
         let n = self.num_states();
         let na = self.num_actions();
         if decisions.len() != n {

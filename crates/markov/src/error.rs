@@ -67,7 +67,11 @@ impl fmt::Display for MarkovError {
                 write!(f, "entry ({row}, {col}) = {value} is not a probability")
             }
             MarkovError::NotSquare { shape } => {
-                write!(f, "transition matrix is {}x{}, expected square", shape.0, shape.1)
+                write!(
+                    f,
+                    "transition matrix is {}x{}, expected square",
+                    shape.0, shape.1
+                )
             }
             MarkovError::DimensionMismatch { found, expected } => {
                 write!(f, "dimension mismatch: found {found}, expected {expected}")
@@ -78,7 +82,10 @@ impl fmt::Display for MarkovError {
                 write!(f, "stationary distribution failure: {reason}")
             }
             MarkovError::StateOutOfRange { index, num_states } => {
-                write!(f, "state {index} out of range (chain has {num_states} states)")
+                write!(
+                    f,
+                    "state {index} out of range (chain has {num_states} states)"
+                )
             }
         }
     }

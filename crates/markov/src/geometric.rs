@@ -35,7 +35,10 @@ pub fn mean_time(p: f64) -> f64 {
 /// Panics if `mean < 1` (a geometric transition cannot be faster than one
 /// slice).
 pub fn prob_from_mean_time(mean: f64) -> f64 {
-    assert!(mean >= 1.0, "mean transition time {mean} must be >= 1 slice");
+    assert!(
+        mean >= 1.0,
+        "mean transition time {mean} must be >= 1 slice"
+    );
     1.0 / mean
 }
 

@@ -102,10 +102,10 @@ proptest! {
     ) {
         let chain = ControlledMarkovChain::new(kernels.clone()).expect("same dims");
         let closed = chain.under_state_decisions(&decisions).expect("valid");
-        for i in 0..3 {
+        for (i, decision) in decisions.iter().enumerate() {
             for j in 0..3 {
-                let expect = decisions[i][0] * kernels[0].prob(i, j)
-                    + decisions[i][1] * kernels[1].prob(i, j);
+                let expect = decision[0] * kernels[0].prob(i, j)
+                    + decision[1] * kernels[1].prob(i, j);
                 prop_assert!((closed.transition_matrix().prob(i, j) - expect).abs() < 1e-9);
             }
         }

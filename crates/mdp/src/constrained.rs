@@ -163,11 +163,7 @@ impl ConstrainedMdp {
             objective: occ.objective(),
             constraint_values,
             bounds: self.constraints.iter().map(|c| c.bound).collect(),
-            names: self
-                .constraints
-                .iter()
-                .map(|c| c.name.clone())
-                .collect(),
+            names: self.constraints.iter().map(|c| c.name.clone()).collect(),
             discount: self.mdp.discount(),
             occupation: occ,
         })

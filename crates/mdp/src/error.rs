@@ -66,7 +66,10 @@ impl fmt::Display for MdpError {
             MdpError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} failed to converge in {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} failed to converge in {iterations} iterations"
+            ),
             MdpError::Lp(e) => write!(f, "lp solver: {e}"),
             MdpError::Markov(e) => write!(f, "markov chain: {e}"),
             MdpError::Linalg(e) => write!(f, "linear algebra: {e}"),

@@ -42,7 +42,7 @@ impl DiscountedMdp {
                 expected,
             });
         }
-        if !(discount > 0.0 && discount < 1.0) || !discount.is_finite() {
+        if !(discount > 0.0 && discount < 1.0 && discount.is_finite()) {
             return Err(MdpError::InvalidDiscount { value: discount });
         }
         Ok(DiscountedMdp {
@@ -111,8 +111,8 @@ impl DiscountedMdp {
         let mut v = vec![0.0; n];
         let mut next = vec![0.0; n];
         for _iter in 0..max_iterations {
-            for s in 0..n {
-                next[s] = self.bellman_min(s, &v).0;
+            for (s, slot) in next.iter_mut().enumerate() {
+                *slot = self.bellman_min(s, &v).0;
             }
             let diff = dpm_linalg::vector::max_abs_diff(&v, &next);
             std::mem::swap(&mut v, &mut next);
@@ -186,8 +186,7 @@ impl DiscountedMdp {
         let mut a = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..n {
-                a[(i, j)] =
-                    if i == j { 1.0 } else { 0.0 } - self.discount * p.prob(i, j);
+                a[(i, j)] = if i == j { 1.0 } else { 0.0 } - self.discount * p.prob(i, j);
             }
         }
         let c_pi: Vec<f64> = (0..n)
@@ -353,8 +352,7 @@ mod tests {
         // In state 0, stay w.p. β, jump w.p. 1−β:
         // v0 = 1 + α β v0 ⇒ v0 = 1 / (1 − αβ).
         let beta = 0.5;
-        let policy =
-            RandomizedPolicy::new(vec![vec![beta, 1.0 - beta], vec![1.0, 0.0]]).unwrap();
+        let policy = RandomizedPolicy::new(vec![vec![beta, 1.0 - beta], vec![1.0, 0.0]]).unwrap();
         let v = mdp.evaluate_randomized(&policy).unwrap();
         assert!((v[0] - 1.0 / (1.0 - 0.9 * beta)).abs() < 1e-9);
     }

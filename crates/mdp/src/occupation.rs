@@ -308,12 +308,8 @@ impl OccupationSolution {
         for s in 0..n {
             let total: f64 = self.frequencies.row(s).iter().sum();
             if total > 1e-12 {
-                let mut row: Vec<f64> = self
-                    .frequencies
-                    .row(s)
-                    .iter()
-                    .map(|&v| v / total)
-                    .collect();
+                let mut row: Vec<f64> =
+                    self.frequencies.row(s).iter().map(|&v| v / total).collect();
                 // Exact renormalization against division drift.
                 let sum: f64 = row.iter().sum();
                 for v in row.iter_mut() {

@@ -120,7 +120,10 @@ impl RandomizedPolicy {
             if row.len() != first_len {
                 return Err(err(format!("row {s} length differs")));
             }
-            if row.iter().any(|&v| !(0.0..=1.0 + Self::TOL).contains(&v) || !v.is_finite()) {
+            if row
+                .iter()
+                .any(|&v| !(0.0..=1.0 + Self::TOL).contains(&v) || !v.is_finite())
+            {
                 return Err(err(format!("row {s} has an invalid probability")));
             }
             let sum: f64 = row.iter().sum();
@@ -177,11 +180,7 @@ impl RandomizedPolicy {
     /// probability ≥ `1 − tol`).
     pub fn randomized_states(&self) -> Vec<usize> {
         (0..self.num_states())
-            .filter(|&s| {
-                !self.rows[s]
-                    .iter()
-                    .any(|&v| (v - 1.0).abs() <= Self::TOL)
-            })
+            .filter(|&s| !self.rows[s].iter().any(|&v| (v - 1.0).abs() <= Self::TOL))
             .collect()
     }
 
@@ -205,7 +204,12 @@ impl RandomizedPolicy {
 
 impl fmt::Display for RandomizedPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "policy ({} states x {} actions):", self.num_states(), self.num_actions())?;
+        writeln!(
+            f,
+            "policy ({} states x {} actions):",
+            self.num_states(),
+            self.num_actions()
+        )?;
         for (s, row) in self.rows.iter().enumerate() {
             write!(f, "  s{s:<3} [")?;
             for (a, p) in row.iter().enumerate() {

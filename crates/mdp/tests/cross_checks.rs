@@ -31,12 +31,8 @@ fn mdp(n: usize, m: usize) -> impl Strategy<Value = DiscountedMdp> {
     )
         .prop_map(move |(kernels, costs, d)| {
             let chain = ControlledMarkovChain::new(kernels).expect("same dims");
-            let cost = Matrix::from_vec(
-                n,
-                m,
-                costs.iter().map(|&c| c as f64 / 100.0).collect(),
-            )
-            .expect("shape");
+            let cost = Matrix::from_vec(n, m, costs.iter().map(|&c| c as f64 / 100.0).collect())
+                .expect("shape");
             DiscountedMdp::new(chain, cost, d as f64 / 10.0).expect("valid")
         })
 }

@@ -96,7 +96,12 @@ mod tests {
             };
             let cmd = policy.decide(&obs, &mut rng);
             let idle = s.sr == 0 && s.queue == 0;
-            assert_eq!(cmd, if idle { 1 } else { 0 }, "state {}", system.state_label(i));
+            assert_eq!(
+                cmd,
+                if idle { 1 } else { 0 },
+                "state {}",
+                system.state_label(i)
+            );
         }
     }
 

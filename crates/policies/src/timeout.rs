@@ -92,12 +92,11 @@ impl RandomizedTimeoutPolicy {
     ///
     /// Panics when `choices` is empty or the probabilities do not sum to
     /// one (within 1e−9).
-    pub fn new(
-        system: &SystemModel,
-        wake_command: usize,
-        choices: Vec<(f64, u64, usize)>,
-    ) -> Self {
-        assert!(!choices.is_empty(), "need at least one (timeout, sleep) choice");
+    pub fn new(system: &SystemModel, wake_command: usize, choices: Vec<(f64, u64, usize)>) -> Self {
+        assert!(
+            !choices.is_empty(),
+            "need at least one (timeout, sleep) choice"
+        );
         let total: f64 = choices.iter().map(|c| c.0).sum();
         assert!(
             (total - 1.0).abs() < 1e-9,

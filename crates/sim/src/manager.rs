@@ -138,14 +138,11 @@ mod tests {
 
     #[test]
     fn stochastic_manager_samples_the_decision() {
-        let policy =
-            RandomizedPolicy::new(vec![vec![0.25, 0.75], vec![1.0, 0.0]]).unwrap();
+        let policy = RandomizedPolicy::new(vec![vec![0.25, 0.75], vec![1.0, 0.0]]).unwrap();
         let mut pm = StochasticPolicyManager::new(policy);
         let mut rng = StdRng::seed_from_u64(42);
         let n = 20_000;
-        let ones = (0..n)
-            .filter(|_| pm.decide(&obs(0), &mut rng) == 1)
-            .count();
+        let ones = (0..n).filter(|_| pm.decide(&obs(0), &mut rng) == 1).count();
         let frac = ones as f64 / n as f64;
         assert!((frac - 0.75).abs() < 0.02, "sampled {frac}");
         // Deterministic row always returns its command.

@@ -182,10 +182,7 @@ impl<'a> Simulator<'a> {
             // from the *destination* SR state (Example 3.5's convention).
             let (next_sr, arrivals) = match &mut trace {
                 None => {
-                    let next = sample_row(
-                        sr.chain().transition_matrix().row(state.sr),
-                        &mut rng,
-                    );
+                    let next = sample_row(sr.chain().transition_matrix().row(state.sr), &mut rng);
                     (next, sr.requests(next))
                 }
                 Some((trace_arrivals, tracker)) => {
@@ -327,11 +324,26 @@ mod tests {
         let stats = sim.run(&mut manager).unwrap();
         let dp = (stats.average_power() - solution.power_per_slice()).abs();
         let dq = (stats.average_queue() - solution.performance_per_slice()).abs();
-        assert!(dp < 0.08, "power: sim {} vs lp {}", stats.average_power(), solution.power_per_slice());
-        assert!(dq < 0.05, "queue: sim {} vs lp {}", stats.average_queue(), solution.performance_per_slice());
+        assert!(
+            dp < 0.08,
+            "power: sim {} vs lp {}",
+            stats.average_power(),
+            solution.power_per_slice()
+        );
+        assert!(
+            dq < 0.05,
+            "queue: sim {} vs lp {}",
+            stats.average_queue(),
+            solution.performance_per_slice()
+        );
         // Loss indicator rate also agrees.
         let dl = (stats.loss_indicator_rate() - solution.loss_per_slice()).abs();
-        assert!(dl < 0.03, "loss: sim {} vs lp {}", stats.loss_indicator_rate(), solution.loss_per_slice());
+        assert!(
+            dl < 0.03,
+            "loss: sim {} vs lp {}",
+            stats.loss_indicator_rate(),
+            solution.loss_per_slice()
+        );
     }
 
     #[test]

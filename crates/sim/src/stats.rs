@@ -120,7 +120,11 @@ impl std::fmt::Display for SimStats {
             self.arrived, self.served, self.lost
         )?;
         writeln!(f, "  avg waiting  = {:.2} slices", self.average_waiting())?;
-        writeln!(f, "  loss rate    = {:.5} /slice", self.loss_rate_per_slice())
+        writeln!(
+            f,
+            "  loss rate    = {:.5} /slice",
+            self.loss_rate_per_slice()
+        )
     }
 }
 

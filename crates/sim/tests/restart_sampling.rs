@@ -71,7 +71,11 @@ fn restarts_reset_the_composite_state() {
         &system,
         SimConfig::new(20_000)
             .seed(5)
-            .initial(SystemState { sp: 0, sr: 0, queue: 0 })
+            .initial(SystemState {
+                sp: 0,
+                sr: 0,
+                queue: 0,
+            })
             .restart_probability(1.0),
     )
     .run(&mut sleepy)
@@ -87,7 +91,9 @@ fn zero_restart_probability_equals_plain_run() {
     let system = toy_system();
     let run = |config: SimConfig| {
         let mut pm = dpm_sim::ConstantCommandManager::new(0);
-        Simulator::new(&system, config).run(&mut pm).expect("simulates")
+        Simulator::new(&system, config)
+            .run(&mut pm)
+            .expect("simulates")
     };
     let plain = run(SimConfig::new(30_000).seed(9));
     let restart_never = run(SimConfig::new(30_000).seed(9).restart_probability(0.0));

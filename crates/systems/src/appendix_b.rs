@@ -153,10 +153,7 @@ impl Config {
     ///
     /// Propagates validation (switch probability outside `[0, 1]`).
     pub fn service_requester(&self) -> Result<ServiceRequester, DpmError> {
-        ServiceRequester::two_state(
-            self.sr_switch_probability,
-            1.0 - self.sr_switch_probability,
-        )
+        ServiceRequester::two_state(self.sr_switch_probability, 1.0 - self.sr_switch_probability)
     }
 
     /// Composes the full system.
@@ -267,9 +264,8 @@ mod tests {
                 .power_per_slice()
         };
         let baseline = solve(&Config::baseline());
-        let with_sleep2 = solve(
-            &Config::baseline().with_sleep_states(vec![SLEEP_STATES[0], SLEEP_STATES[1]]),
-        );
+        let with_sleep2 =
+            solve(&Config::baseline().with_sleep_states(vec![SLEEP_STATES[0], SLEEP_STATES[1]]));
         assert!(
             with_sleep2 < baseline - 0.1,
             "sleep2 should save ≥0.1 W: {baseline} → {with_sleep2}"

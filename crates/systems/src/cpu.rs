@@ -115,7 +115,11 @@ pub fn system() -> Result<SystemModel, DpmError> {
 ///
 /// Propagates component validation failures.
 pub fn system_with_workload(workload: ServiceRequester) -> Result<SystemModel, DpmError> {
-    SystemModel::compose(service_provider()?, workload, ServiceQueue::with_capacity(0))
+    SystemModel::compose(
+        service_provider()?,
+        workload,
+        ServiceQueue::with_capacity(0),
+    )
 }
 
 /// Initial state: CPU active, workload idle.

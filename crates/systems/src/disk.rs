@@ -181,7 +181,11 @@ pub fn system() -> Result<SystemModel, DpmError> {
 ///
 /// Propagates component validation failures.
 pub fn system_with_workload(workload: ServiceRequester) -> Result<SystemModel, DpmError> {
-    SystemModel::compose(service_provider()?, workload, ServiceQueue::with_capacity(2))
+    SystemModel::compose(
+        service_provider()?,
+        workload,
+        ServiceQueue::with_capacity(2),
+    )
 }
 
 /// Canonical initial state: disk active, workload idle, queue empty.
@@ -218,7 +222,11 @@ mod tests {
         ];
         for (state, expected) in cases {
             let t = sp
-                .expected_transition_time(state, DiskState::Active as usize, DiskCommand::GoActive as usize)
+                .expected_transition_time(
+                    state,
+                    DiskState::Active as usize,
+                    DiskCommand::GoActive as usize,
+                )
                 .unwrap();
             assert!(
                 (t - expected).abs() / expected < 1e-9,
@@ -258,10 +266,12 @@ mod tests {
     fn transients_are_command_insensitive() {
         let sp = service_provider().unwrap();
         for s in (DiskState::WakeLpIdle as usize)..=(DiskState::DownSleep as usize) {
-            let base: Vec<f64> = (0..sp.num_states()).map(|t| sp.chain().prob(s, t, 0)).collect();
+            let base: Vec<f64> = (0..sp.num_states())
+                .map(|t| sp.chain().prob(s, t, 0))
+                .collect();
             for a in 1..sp.num_commands() {
-                for t in 0..sp.num_states() {
-                    assert_eq!(sp.chain().prob(s, t, a), base[t], "state {s} cmd {a}");
+                for (t, &expected) in base.iter().enumerate() {
+                    assert_eq!(sp.chain().prob(s, t, a), expected, "state {s} cmd {a}");
                 }
             }
         }

@@ -112,12 +112,12 @@ pub fn service_provider() -> Result<ServiceProvider, DpmError> {
     // Service rate = configuration throughput while the command maintains
     // it; a configuration being dismantled no longer serves at full rate,
     // approximated by the *target* configuration's floor.
-    for s in 0..4 {
-        for cmd in 0..4 {
+    for (s, &rate_s) in THROUGHPUT.iter().enumerate() {
+        for (cmd, &rate_cmd) in THROUGHPUT.iter().enumerate() {
             let rate = if s == cmd {
-                THROUGHPUT[s]
+                rate_s
             } else {
-                THROUGHPUT[s].min(THROUGHPUT[cmd])
+                rate_s.min(rate_cmd)
             };
             if rate > 0.0 {
                 b.service_rate(s, cmd, rate)?;
@@ -173,7 +173,11 @@ pub fn system() -> Result<SystemModel, DpmError> {
 ///
 /// Propagates component validation failures.
 pub fn system_with_workload(workload: ServiceRequester) -> Result<SystemModel, DpmError> {
-    SystemModel::compose(service_provider()?, workload, ServiceQueue::with_capacity(0))
+    SystemModel::compose(
+        service_provider()?,
+        workload,
+        ServiceQueue::with_capacity(0),
+    )
 }
 
 /// Initial state: both processors on, workload idle.
@@ -190,12 +194,11 @@ pub fn initial_state() -> SystemState {
 /// `custom_constraint("-throughput", -matrix, -T)`.
 pub fn throughput_matrix(system: &SystemModel) -> Matrix {
     system.custom_cost(|s, a| {
-        let rate = if s.sp == a {
+        if s.sp == a {
             THROUGHPUT[s.sp]
         } else {
             THROUGHPUT[s.sp].min(THROUGHPUT[a])
-        };
-        rate
+        }
     })
 }
 

@@ -150,9 +150,8 @@ impl HeavyTailTraceGenerator {
             // Idle gap ~ discrete Pareto: ⌈min_gap · U^(−1/shape)⌉.
             let u: f64 = rng.gen::<f64>().max(1e-12);
             let gap = (self.min_gap as f64 * u.powf(-1.0 / self.shape)).ceil() as usize;
-            for _ in 0..gap.min(slices - stream.len()) {
-                stream.push(0);
-            }
+            let zeros = gap.min(slices - stream.len());
+            stream.resize(stream.len() + zeros, 0);
             // Busy burst ~ geometric.
             while stream.len() < slices {
                 stream.push(1);
@@ -199,7 +198,9 @@ mod tests {
 
     #[test]
     fn bursty_generator_matches_target_statistics() {
-        let stream = BurstyTraceGenerator::new(0.05, 0.85).seed(7).generate(200_000);
+        let stream = BurstyTraceGenerator::new(0.05, 0.85)
+            .seed(7)
+            .generate(200_000);
         let stats = TraceStats::from_stream(&stream);
         assert!((stats.load() - 0.25).abs() < 0.02);
         // Mean busy burst ≈ 1 / (1 − 0.85) ≈ 6.67.

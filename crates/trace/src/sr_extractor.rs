@@ -97,9 +97,9 @@ impl SrExtractor {
             let mut row = vec![0.0; n];
             let total = counts[s][0] + counts[s][1];
             if total > 0.0 {
-                for bit in 0..2 {
+                for (bit, &count) in counts[s].iter().enumerate() {
                     let next = ((s << 1) | bit) & mask;
-                    row[next] += counts[s][bit] / total;
+                    row[next] += count / total;
                 }
             } else {
                 // Unvisited history: inert self-loop.

@@ -20,7 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let penalty = cpu::latency_penalty(&system);
     let sim = Simulator::new(
         &system,
-        SimConfig::new(1_000_000).seed(3).initial(cpu::initial_state()),
+        SimConfig::new(1_000_000)
+            .seed(3)
+            .initial(cpu::initial_state()),
     );
 
     println!("stationary workload (model assumptions hold):");
@@ -64,7 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .solve()?;
     let sim = Simulator::new(
         &mismatched,
-        SimConfig::new(1_000_000).seed(5).initial(cpu::initial_state()),
+        SimConfig::new(1_000_000)
+            .seed(5)
+            .initial(cpu::initial_state()),
     );
     let mut optimal = StochasticPolicyManager::new(solution.policy().clone());
     let mut tracker = binary_tracker();

@@ -27,13 +27,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max_request_loss_rate(0.01)
         .initial_state(disk::initial_state())?
         .solve()?;
-    println!("\noptimal policy ({} states randomize):", solution.policy().randomized_states().len());
+    println!(
+        "\noptimal policy ({} states randomize):",
+        solution.policy().randomized_states().len()
+    );
     println!("{solution}");
 
     // How do the usual suspects compare on the same workload?
     let sim = Simulator::new(
         &system,
-        SimConfig::new(1_000_000).seed(11).initial(disk::initial_state()),
+        SimConfig::new(1_000_000)
+            .seed(11)
+            .initial(disk::initial_state()),
     );
     let wake = DiskCommand::GoActive as usize;
 

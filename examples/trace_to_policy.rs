@@ -16,14 +16,20 @@ use dpm::trace::{KMemoryTracker, SrExtractor, Trace, TraceStats};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A "measured" trace. Here: synthetic arrival times with bursty
     //    structure, stamped in milliseconds.
-    let stream = BurstyTraceGenerator::new(0.05, 0.85).seed(2024).generate(300_000);
+    let stream = BurstyTraceGenerator::new(0.05, 0.85)
+        .seed(2024)
+        .generate(300_000);
     let mut trace = Trace::new();
     for (slice, &count) in stream.iter().enumerate() {
         for _ in 0..count {
             trace.push(slice as f64 + 0.5);
         }
     }
-    println!("trace: {} requests over {:.0} ms", trace.len(), trace.duration());
+    println!(
+        "trace: {} requests over {:.0} ms",
+        trace.len(),
+        trace.duration()
+    );
 
     // 2. Discretize and characterize (the SR extractor block).
     let discretized = trace.discretize(1.0);
@@ -36,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let memory = 2;
     let workload = SrExtractor::new(memory).extract(&discretized)?;
-    println!("extracted {}-memory SR model: {} states", memory, workload.num_states());
+    println!(
+        "extracted {}-memory SR model: {} states",
+        memory,
+        workload.num_states()
+    );
 
     // 3. Compose with the toy provider and optimize.
     let system = dpm::core::SystemModel::compose(

@@ -21,6 +21,22 @@
 //! * [`policies`] — heuristic baselines (eager, timeout, randomized),
 //! * [`systems`] — the paper's case studies (disk, web server, CPU, toy).
 //!
+//! # Building and testing
+//!
+//! The workspace builds with stable Rust (≥ 1.85; CI pins 1.95.0):
+//!
+//! ```text
+//! cargo build --release          # optimized build (lto, codegen-units=1)
+//! cargo test -q --workspace      # unit + integration + property + doc tests
+//! cargo bench --workspace        # microbenchmarks (offline criterion shim)
+//! cargo run --release -p dpm-bench --bin table1   # reproduce a paper table
+//! ```
+//!
+//! The build is fully offline: third-party crates (`rand`, `proptest`,
+//! `criterion`) are shadowed by in-workspace stand-ins under
+//! `crates/compat/` that implement the API slice this workspace uses.
+//! See `ROADMAP.md` for the crate dependency diagram.
+//!
 //! # Quickstart
 //!
 //! Optimize the paper's running example system for minimum power under a

@@ -71,29 +71,66 @@ fn disk_calibration_matches_table_i() {
 #[test]
 fn disk_optimal_dominates_heuristics_at_matched_performance() {
     use dpm::policies::EagerPolicy;
+    use dpm::sim::{Observation, PowerManager};
     let system = disk::system().expect("composes");
-    // Simulate the eager->idle heuristic, read its achieved queue, then
-    // ask the optimizer for the same performance; its power must not be
-    // worse (up to sampling noise).
-    let sim = Simulator::new(
-        &system,
-        SimConfig::new(500_000).seed(3).initial(disk::initial_state()),
-    );
-    let eager_stats = sim
-        .run(&mut EagerPolicy::new(&system, 0, 1))
-        .expect("simulates");
+    // Evaluate the eager->idle heuristic *under the model* (stationary
+    // distribution of the chain it induces), then ask the optimizer for
+    // the same expected performance; its power must not be worse. The
+    // comparison must use expected values, not simulated ones: the disk
+    // Pareto curve is so steep near the eager operating point that the
+    // sampling error of a 500k-slice run on the constraint side moves
+    // the optimal power by far more than any sensible power tolerance.
+    let n = system.num_states();
+    let m = system.num_commands();
+    let mut eager = EagerPolicy::new(&system, 0, 1);
+    let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+    let observe = |i: usize| Observation {
+        state: system.state_of(i),
+        state_index: i,
+        slice: 0,
+        idle_slices: 0,
+    };
+    let decisions: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let mut row = vec![0.0; m];
+            row[eager.decide(&observe(i), &mut rng)] = 1.0;
+            row
+        })
+        .collect();
+    let chain = system
+        .chain()
+        .under_state_decisions(&decisions)
+        .expect("valid decision rows");
+    let pi = chain.stationary_distribution().expect("ergodic");
+    let (mut eager_power, mut eager_queue) = (0.0, 0.0);
+    for (i, &weight) in pi.iter().enumerate() {
+        let s = system.state_of(i);
+        let cmd = eager.decide(&observe(i), &mut rng);
+        eager_power += weight * system.provider().power(s.sp, cmd);
+        eager_queue += weight * s.queue as f64;
+    }
     let solution = PolicyOptimizer::new(&system)
         .horizon(100_000.0)
-        .max_performance_penalty(eager_stats.average_queue())
+        .max_performance_penalty(eager_queue)
         .initial_state(disk::initial_state())
         .expect("valid")
         .solve()
         .expect("feasible");
+    // 1e-3 absorbs LP tolerance and the finite-horizon discounting gap
+    // between the optimizer's objective and the stationary average.
     assert!(
-        solution.power_per_slice() <= eager_stats.average_power() + 0.02,
+        solution.power_per_slice() <= eager_power + 1e-3,
         "optimal {} vs eager {}",
         solution.power_per_slice(),
-        eager_stats.average_power()
+        eager_power
+    );
+    // The eager point should be essentially *on* the curve here (waking
+    // eagerly is forced by the tight queue bound), not far above it.
+    assert!(
+        solution.power_per_slice() >= eager_power - 0.05,
+        "optimal {} implausibly far below eager {}",
+        solution.power_per_slice(),
+        eager_power
     );
 }
 
@@ -230,5 +267,8 @@ fn appendix_b_sensitivity_directions() {
     };
     let p_small = solve_loss(&small).expect("feasible");
     let p_large = solve_loss(&large).expect("feasible");
-    assert!(p_large <= p_small + 1e-6, "larger queue should help tight loss");
+    assert!(
+        p_large <= p_small + 1e-6,
+        "larger queue should help tight loss"
+    );
 }

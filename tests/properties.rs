@@ -33,10 +33,7 @@ fn stochastic_matrix(n: usize) -> impl Strategy<Value = StochasticMatrix> {
 
 /// A random small service provider with `n` states and `m` commands.
 fn service_provider(n: usize, m: usize) -> impl Strategy<Value = ServiceProvider> {
-    let edges = proptest::collection::vec(
-        (0..n, 0..n, 0..m, prob(0.0, 1.0)),
-        0..(n * m).min(12),
-    );
+    let edges = proptest::collection::vec((0..n, 0..n, 0..m, prob(0.0, 1.0)), 0..(n * m).min(12));
     let rates = proptest::collection::vec(prob(0.0, 1.0), n * m);
     let powers = proptest::collection::vec(prob(0.0, 5.0), n * m);
     (edges, rates, powers).prop_map(move |(edges, rates, powers)| {

@@ -1,0 +1,83 @@
+//! Workspace smoke test: the README/quickstart path, end-to-end, under
+//! both LP engines.
+//!
+//! This is the one test a fresh checkout must pass for the workspace to
+//! be considered alive: compose the paper's running-example system
+//! (Examples 3.1–3.5 / A.2), optimize it with the simplex *and* the
+//! interior-point engine, and check the optimal policy's power and
+//! performance against the paper's running-example numbers.
+
+use dpm::core::{OptimizationGoal, PolicyOptimizer, SolverKind};
+use dpm::sim::{SimConfig, Simulator, StochasticPolicyManager};
+use dpm::systems::toy;
+
+/// The paper reports 1.798 W for the running example; this reconstruction
+/// of the system (the figures did not survive into the machine-readable
+/// paper) lands at ~1.74 W with the same policy structure.
+const EXPECTED_POWER: f64 = 1.738;
+const PERFORMANCE_BOUND: f64 = 0.5;
+const LOSS_BOUND: f64 = 0.2;
+
+fn optimize(kind: SolverKind) -> dpm::core::PolicySolution {
+    let system = toy::example_system().expect("toy system composes");
+    PolicyOptimizer::new(&system)
+        .discount(0.99999)
+        .goal(OptimizationGoal::MinimizePower)
+        .max_performance_penalty(PERFORMANCE_BOUND)
+        .max_request_loss_rate(LOSS_BOUND)
+        .initial_state(toy::initial_state())
+        .expect("valid initial state")
+        .solver(kind)
+        .solve()
+        .expect("feasible")
+}
+
+#[test]
+fn quickstart_end_to_end_with_both_lp_engines() {
+    let simplex = optimize(SolverKind::Simplex);
+    let interior = optimize(SolverKind::InteriorPoint);
+
+    for (name, solution) in [("simplex", &simplex), ("interior-point", &interior)] {
+        assert!(
+            (solution.power_per_slice() - EXPECTED_POWER).abs() < 0.05,
+            "{name}: power {} vs expected ~{EXPECTED_POWER}",
+            solution.power_per_slice()
+        );
+        assert!(
+            solution.performance_per_slice() <= PERFORMANCE_BOUND + 1e-6,
+            "{name}: performance {} exceeds bound {PERFORMANCE_BOUND}",
+            solution.performance_per_slice()
+        );
+        assert!(
+            solution.loss_per_slice() <= LOSS_BOUND + 1e-6,
+            "{name}: loss {} exceeds bound {LOSS_BOUND}",
+            solution.loss_per_slice()
+        );
+        assert!(
+            solution.is_randomized(),
+            "{name}: the constrained optimum must be a randomized policy"
+        );
+    }
+
+    // Both engines must land on the same optimum (the LP has a unique
+    // optimal value even when optimal policies are degenerate).
+    assert!(
+        (simplex.power_per_slice() - interior.power_per_slice()).abs() < 1e-4,
+        "engines disagree: simplex {} vs interior-point {}",
+        simplex.power_per_slice(),
+        interior.power_per_slice()
+    );
+
+    // And the policy must behave as predicted when actually executed.
+    let system = toy::example_system().expect("composes");
+    let mut manager = StochasticPolicyManager::new(simplex.policy().clone());
+    let stats = Simulator::new(&system, SimConfig::new(300_000).seed(2024))
+        .run(&mut manager)
+        .expect("simulates");
+    assert!(
+        (stats.average_power() - simplex.power_per_slice()).abs() < 0.06,
+        "simulated power {} vs predicted {}",
+        stats.average_power(),
+        simplex.power_per_slice()
+    );
+}

@@ -5,8 +5,8 @@
 //! active).
 
 use dpm::core::{OptimizationGoal, ParetoExplorer, PolicyOptimizer};
-use dpm::mdp::{ConstrainedMdp, CostConstraint, DiscountedMdp};
 use dpm::lp::Simplex;
+use dpm::mdp::{ConstrainedMdp, CostConstraint, DiscountedMdp};
 use dpm::systems::{appendix_b, toy};
 
 #[test]
@@ -23,8 +23,8 @@ fn theorem_a1_unconstrained_optimum_is_deterministic_and_bellman_optimal() {
     // The policy's exact value satisfies the optimality equations: verify
     // via the three independent solution paths.
     let power = dpm::core::CostMetric::Power.matrix(&system);
-    let mdp = DiscountedMdp::new(system.chain().clone(), power, 1.0 - 1.0 / 10_000.0)
-        .expect("valid");
+    let mdp =
+        DiscountedMdp::new(system.chain().clone(), power, 1.0 - 1.0 / 10_000.0).expect("valid");
     let (vi_values, vi_policy) = mdp.value_iteration(1e-10, 2_000_000).expect("converges");
     let (pi_values, pi_policy) = mdp.policy_iteration().expect("converges");
     assert_eq!(vi_policy, pi_policy, "VI and PI must find the same policy");
@@ -40,13 +40,19 @@ fn theorem_a2_randomization_iff_active_constraint() {
     let discount = 0.9999;
     let power = dpm::core::CostMetric::Power.matrix(&system);
     let queue = dpm::core::CostMetric::QueueOccupancy.matrix(&system);
-    let mdp = || DiscountedMdp::new(system.chain().clone(), power.clone(), discount).expect("valid");
+    let mdp =
+        || DiscountedMdp::new(system.chain().clone(), power.clone(), discount).expect("valid");
     let mut initial = vec![0.0; system.num_states()];
     initial[0] = 1.0;
 
     // Loose bound: constraint inactive, optimal deterministic.
     let loose = ConstrainedMdp::new(mdp())
-        .with_constraint(CostConstraint::per_slice("queue", queue.clone(), 5.0, discount))
+        .with_constraint(CostConstraint::per_slice(
+            "queue",
+            queue.clone(),
+            5.0,
+            discount,
+        ))
         .solve(&initial, &Simplex::new())
         .expect("feasible");
     assert!(!loose.is_constraint_active(0, 1e-6));

@@ -13,11 +13,21 @@ fn extractor_recovers_generator_parameters() {
     // Generate from known two-state parameters, extract with k = 1, and
     // compare the fitted transition probabilities.
     let (p01, p11) = (0.05, 0.85);
-    let stream = BurstyTraceGenerator::new(p01, p11).seed(7).generate(500_000);
+    let stream = BurstyTraceGenerator::new(p01, p11)
+        .seed(7)
+        .generate(500_000);
     let sr = SrExtractor::new(1).extract(&stream).expect("long enough");
     let fitted = sr.chain().transition_matrix();
-    assert!((fitted.prob(0, 1) - p01).abs() < 0.005, "p01: {}", fitted.prob(0, 1));
-    assert!((fitted.prob(1, 1) - p11).abs() < 0.01, "p11: {}", fitted.prob(1, 1));
+    assert!(
+        (fitted.prob(0, 1) - p01).abs() < 0.005,
+        "p01: {}",
+        fitted.prob(0, 1)
+    );
+    assert!(
+        (fitted.prob(1, 1) - p11).abs() < 0.01,
+        "p11: {}",
+        fitted.prob(1, 1)
+    );
 }
 
 #[test]
@@ -25,7 +35,9 @@ fn tracker_state_sequence_matches_extractor_statistics() {
     // Feed a stream through the k-memory tracker and check the empirical
     // state-visit distribution matches the extracted chain's stationary
     // distribution.
-    let stream = BurstyTraceGenerator::new(0.1, 0.7).seed(3).generate(300_000);
+    let stream = BurstyTraceGenerator::new(0.1, 0.7)
+        .seed(3)
+        .generate(300_000);
     let k = 2;
     let sr = SrExtractor::new(k).extract(&stream).expect("long enough");
     let mut tracker = KMemoryTracker::new(k);
@@ -49,7 +61,9 @@ fn markov_workload_trace_validates_optimizer() {
     // For a workload that *is* Markovian, trace-driven simulation of the
     // optimal policy must land near the LP expectations (the paper's
     // fidelity test for the SR model).
-    let stream = BurstyTraceGenerator::new(0.05, 0.85).seed(11).generate(400_000);
+    let stream = BurstyTraceGenerator::new(0.05, 0.85)
+        .seed(11)
+        .generate(400_000);
     let workload = SrExtractor::new(1).extract(&stream).expect("long enough");
     let system = SystemModel::compose(
         toy::service_provider().expect("builds"),
