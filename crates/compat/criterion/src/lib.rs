@@ -14,9 +14,22 @@
 //! CI's build-only smoke (`cargo bench --no-run`) and for coarse local
 //! comparisons; swap the real crate back in for publication-grade numbers.
 //!
+//! # Machine-readable results
+//!
+//! In addition to the console line, every benchmark writes a one-object
+//! JSON record `{"name", "mean_ns", "iterations"}` to
+//! `target/bench/BENCH_<name>.json` (slashes in the benchmark id become
+//! underscores). CI uploads these files as artifacts, so the perf
+//! trajectory of the solvers is tracked run over run instead of
+//! scrolling away in a log. The target directory is found from
+//! `CARGO_TARGET_DIR` or by walking up from the bench executable's path;
+//! if neither works (or the filesystem is read-only) the record is
+//! silently skipped — benchmarks never fail because of bookkeeping.
+//!
 //! [`criterion`]: https://crates.io/crates/criterion
 
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -200,6 +213,46 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut
         "bench: {id:<50} {:>12.1} ns/iter  x{}{}",
         mean_ns, bencher.iters, rate
     );
+    if let Some(dir) = bench_output_dir() {
+        write_record(&dir, id, mean_ns, bencher.iters);
+    }
+}
+
+/// Locates `<target>/bench` for the running bench executable:
+/// `CARGO_TARGET_DIR` when set, else the nearest `target` ancestor of the
+/// executable path (benches live in `target/<profile>/deps/`).
+fn bench_output_dir() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return Some(PathBuf::from(dir).join("bench"));
+    }
+    let exe = std::env::current_exe().ok()?;
+    exe.ancestors()
+        .find(|p| p.file_name().is_some_and(|n| n == "target"))
+        .map(|p| p.join("bench"))
+}
+
+/// Writes `BENCH_<name>.json` into `dir`, best-effort: result files are
+/// bookkeeping, so IO failures are swallowed rather than surfaced.
+fn write_record(dir: &std::path::Path, id: &str, mean_ns: f64, iterations: u64) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let safe: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let escaped: String = id
+        .chars()
+        .filter(|c| !c.is_control())
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let json = format!(
+        "{{\"name\":\"{escaped}\",\"mean_ns\":{mean_ns:.1},\"iterations\":{iterations}}}\n"
+    );
+    let _ = std::fs::write(dir.join(format!("BENCH_{safe}.json")), json);
 }
 
 /// Declares a group of benchmark functions, mirroring
@@ -241,6 +294,28 @@ mod tests {
     fn benchmark_id_formats_name_and_parameter() {
         let id = BenchmarkId::new("simplex", 120);
         assert_eq!(id.id, "simplex/120");
+    }
+
+    #[test]
+    fn records_are_written_as_json() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-test-{}", std::process::id()));
+        write_record(&dir, "lp_engines/simplex/120", 1234.56, 42);
+        let path = dir.join("BENCH_lp_engines_simplex_120.json");
+        let body = std::fs::read_to_string(&path).expect("record written");
+        assert_eq!(
+            body,
+            "{\"name\":\"lp_engines/simplex/120\",\"mean_ns\":1234.6,\"iterations\":42}\n"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn output_dir_is_resolved_relative_to_a_target_ancestor() {
+        // Unit tests run from target/<profile>/deps, so the walk-up must
+        // find the workspace target directory (unless CARGO_TARGET_DIR
+        // redirects it, in which case that wins by construction).
+        let dir = bench_output_dir().expect("resolvable in cargo test");
+        assert!(dir.ends_with("bench"));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use dpm_linalg::Matrix;
-use dpm_lp::{InteriorPoint, LpSolver, Simplex};
+use dpm_lp::{InteriorPoint, LpSolver, RevisedSimplex, Simplex};
 use dpm_mdp::{
     ConstrainedMdp, ConstrainedSolution, CostConstraint, DiscountedMdp, RandomizedPolicy,
 };
@@ -22,8 +22,16 @@ pub enum OptimizationGoal {
 /// Which LP algorithm the optimizer uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SolverKind {
-    /// Two-phase primal simplex (exact infeasibility detection). Default.
+    /// Revised simplex over the sparse occupation LP, with an
+    /// LU-factorized basis. The default: balance rows carry only a
+    /// handful of nonzeros per state, which this engine exploits while
+    /// the dense tableau pays for the full `rows × cols` product on
+    /// every pivot.
     #[default]
+    RevisedSimplex,
+    /// Two-phase primal simplex on a dense tableau (exact infeasibility
+    /// detection); kept as the independent cross-check of the sparse
+    /// path.
     Simplex,
     /// Mehrotra predictor–corrector interior point (the PCx-style engine
     /// of the paper's tool).
@@ -33,6 +41,7 @@ pub enum SolverKind {
 impl SolverKind {
     fn instantiate(self) -> Box<dyn LpSolver> {
         match self {
+            SolverKind::RevisedSimplex => Box::new(RevisedSimplex::new()),
             SolverKind::Simplex => Box::new(Simplex::new()),
             SolverKind::InteriorPoint => Box::new(InteriorPoint::new()),
         }
@@ -499,9 +508,33 @@ mod tests {
                 .solve()
                 .unwrap()
         };
+        let revised = configure(SolverKind::RevisedSimplex);
         let simplex = configure(SolverKind::Simplex);
         let ip = configure(SolverKind::InteriorPoint);
         assert!((simplex.power_per_slice() - ip.power_per_slice()).abs() < 1e-4);
+        assert!((revised.power_per_slice() - simplex.power_per_slice()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_solver_is_the_sparse_path() {
+        assert_eq!(SolverKind::default(), SolverKind::RevisedSimplex);
+        // The default configuration must reproduce the dense tableau's
+        // Example A.2 numbers exactly (within LP tolerance).
+        let system = example_system();
+        let default = PolicyOptimizer::new(&system)
+            .discount(0.99999)
+            .max_performance_penalty(0.5)
+            .max_request_loss_rate(0.2)
+            .solve()
+            .unwrap();
+        let dense = PolicyOptimizer::new(&system)
+            .discount(0.99999)
+            .max_performance_penalty(0.5)
+            .max_request_loss_rate(0.2)
+            .solver(SolverKind::Simplex)
+            .solve()
+            .unwrap();
+        assert!((default.power_per_slice() - dense.power_per_slice()).abs() < 1e-6);
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!   (`(I − αPᵨ)v = cᵨ`) and in the simplex basis solves,
 //! * [`Cholesky`] — symmetric positive-definite factorization, used by the
 //!   interior-point LP solver's normal equations,
+//! * [`sparse`] — [`CsrMatrix`]/[`CscMatrix`] compressed storage with a
+//!   [`TripletMatrix`] builder and sparse·dense kernels, feeding the
+//!   revised simplex method's sparse LP pipeline,
 //! * [`vector`] — small helpers (dot products, norms, `axpy`) on `&[f64]`.
 //!
 //! Everything is implemented from scratch on `f64`; there are no external
@@ -36,12 +39,14 @@ mod cholesky;
 mod error;
 mod lu;
 mod matrix;
+pub mod sparse;
 pub mod vector;
 
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
+pub use sparse::{CscMatrix, CsrMatrix, TripletMatrix};
 
 /// Default absolute tolerance used by the factorizations to declare a pivot
 /// numerically zero.

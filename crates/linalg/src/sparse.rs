@@ -1,0 +1,650 @@
+//! Compressed sparse matrices for the LP pipeline.
+//!
+//! The occupation-measure LPs of the policy optimizer (LP2–LP4) have
+//! balance rows with only a handful of nonzeros per state: `+1` on the
+//! state's own action variables and `−α·p` on each in-flowing transition.
+//! Even modest models are >95% sparse, and the scaled Appendix-B systems
+//! exceed 99%. This module provides the three standard storage layouts —
+//! [`TripletMatrix`] (a coordinate-format builder), [`CsrMatrix`]
+//! (compressed sparse row, fast row access and `A·x`) and [`CscMatrix`]
+//! (compressed sparse column, fast column access, the natural layout for a
+//! revised simplex method that prices and pivots by column) — plus the
+//! sparse·dense kernels the solvers need.
+//!
+//! Construction always goes through [`TripletMatrix`] or a conversion;
+//! duplicate coordinates are **summed** on compression, matching the
+//! LP-builder convention, and entries that cancel to exactly `0.0` are
+//! dropped.
+//!
+//! # Example
+//!
+//! ```
+//! use dpm_linalg::{CsrMatrix, TripletMatrix};
+//!
+//! # fn main() -> Result<(), dpm_linalg::LinalgError> {
+//! let mut t = TripletMatrix::new(2, 3);
+//! t.push(0, 0, 1.0)?;
+//! t.push(1, 2, 2.0)?;
+//! t.push(1, 2, 0.5)?; // duplicates are summed
+//! let a: CsrMatrix = t.to_csr();
+//! assert_eq!(a.nnz(), 2);
+//! assert_eq!(a.matvec(&[1.0, 0.0, 2.0])?, vec![1.0, 5.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{LinalgError, Matrix};
+
+/// Coordinate-format (`(row, col, value)`) sparse-matrix builder.
+///
+/// Entries may be pushed in any order; duplicates are summed when the
+/// triplets are compressed into a [`CsrMatrix`] or [`CscMatrix`]. This is
+/// the only mutable sparse type — the compressed forms are immutable once
+/// built, which keeps their invariants trivial.
+#[derive(Debug, Clone)]
+pub struct TripletMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty `rows × cols` builder.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with room for `capacity` entries.
+    pub fn with_capacity(rows: usize, cols: usize, capacity: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Records `a[(row, col)] += value`. Exact zeros are accepted (and
+    /// dropped on compression).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] when the coordinate is out of
+    ///   bounds.
+    /// * [`LinalgError::NonFiniteEntry`] when `value` is NaN or infinite.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), LinalgError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                found: (row, col),
+                expected: (self.rows, self.cols),
+            });
+        }
+        if !value.is_finite() {
+            return Err(LinalgError::NonFiniteEntry { row, col });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Number of recorded triplets (before duplicate summation).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `(rows, cols)` of the matrix being built.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Compresses into row-major form, summing duplicates and dropping
+    /// entries that cancel to exactly `0.0`.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let compressed = compress(&self.entries, self.rows, |&(r, c, v)| (r, c, v));
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            major_ptr: compressed.0,
+            minor_idx: compressed.1,
+            values: compressed.2,
+        }
+    }
+
+    /// Compresses into column-major form, summing duplicates and dropping
+    /// entries that cancel to exactly `0.0`.
+    pub fn to_csc(&self) -> CscMatrix {
+        let compressed = compress(&self.entries, self.cols, |&(r, c, v)| (c, r, v));
+        CscMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            major_ptr: compressed.0,
+            minor_idx: compressed.1,
+            values: compressed.2,
+        }
+    }
+}
+
+/// Shared compression kernel: counting-sorts `entries` by the major index
+/// produced by `key`, then sums duplicates within each major slice.
+fn compress<T>(
+    entries: &[T],
+    num_major: usize,
+    key: impl Fn(&T) -> (usize, usize, f64),
+) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    // Counting pass: how many raw entries land in each major index.
+    let mut counts = vec![0usize; num_major + 1];
+    for e in entries {
+        counts[key(e).0 + 1] += 1;
+    }
+    for i in 0..num_major {
+        counts[i + 1] += counts[i];
+    }
+    // Scatter pass into per-major buckets.
+    let mut minor = vec![0usize; entries.len()];
+    let mut vals = vec![0.0f64; entries.len()];
+    let mut cursor = counts.clone();
+    for e in entries {
+        let (maj, min, v) = key(e);
+        let at = cursor[maj];
+        minor[at] = min;
+        vals[at] = v;
+        cursor[maj] += 1;
+    }
+    // Per-major sort + duplicate summation, compacting in place.
+    let mut major_ptr = vec![0usize; num_major + 1];
+    let mut out_minor = Vec::with_capacity(entries.len());
+    let mut out_vals = Vec::with_capacity(entries.len());
+    for maj in 0..num_major {
+        let (lo, hi) = (counts[maj], counts[maj + 1]);
+        let mut slice: Vec<(usize, f64)> = minor[lo..hi]
+            .iter()
+            .copied()
+            .zip(vals[lo..hi].iter().copied())
+            .collect();
+        slice.sort_unstable_by_key(|&(m, _)| m);
+        let mut k = 0;
+        while k < slice.len() {
+            let (m, mut v) = slice[k];
+            let mut j = k + 1;
+            while j < slice.len() && slice[j].0 == m {
+                v += slice[j].1;
+                j += 1;
+            }
+            if v != 0.0 {
+                out_minor.push(m);
+                out_vals.push(v);
+            }
+            k = j;
+        }
+        major_ptr[maj + 1] = out_minor.len();
+    }
+    (major_ptr, out_minor, out_vals)
+}
+
+/// Compressed sparse row storage: fast row slices and `A·x`.
+///
+/// Invariants (maintained by construction, relied on by the kernels):
+/// column indices within each row are strictly increasing, and no stored
+/// value is exactly `0.0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `major_ptr[i]..major_ptr[i+1]` spans row `i` in the index/value
+    /// arrays.
+    major_ptr: Vec<usize>,
+    minor_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds from a dense matrix, dropping exact zeros.
+    pub fn from_dense(dense: &Matrix) -> Self {
+        let mut t = TripletMatrix::new(dense.rows(), dense.cols());
+        for (i, j, v) in dense.iter() {
+            if v != 0.0 {
+                t.entries.push((i, j, v));
+            }
+        }
+        t.to_csr()
+    }
+
+    /// Expands back to a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries stored: `nnz / (rows·cols)`, 0 for empty shapes.
+    pub fn density(&self) -> f64 {
+        let cells = self.rows * self.cols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
+    }
+
+    /// Row `i` as parallel `(column indices, values)` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
+        let span = self.major_ptr[i]..self.major_ptr[i + 1];
+        (&self.minor_idx[span.clone()], &self.values[span])
+    }
+
+    /// Iterates over `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals).map(move |(&j, &v)| (i, j, v))
+        })
+    }
+
+    /// Sparse·dense product `self · x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                found: (x.len(), 1),
+                expected: (self.cols, 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            let mut acc = 0.0;
+            for (&j, &v) in cols.iter().zip(vals) {
+                acc += v * x[j];
+            }
+            *o = acc;
+        }
+        Ok(out)
+    }
+
+    /// Transposed sparse·dense product `selfᵀ · x` without materializing
+    /// the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != self.rows()`.
+    pub fn matvec_transposed(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                found: (x.len(), 1),
+                expected: (self.rows, 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                out[j] += v * xi;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sparse·dense matrix product `self · rhs` (dense result).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn matmul_dense(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows() {
+            return Err(LinalgError::DimensionMismatch {
+                found: rhs.shape(),
+                expected: (self.cols, rhs.cols()),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols());
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let orow = out.row_mut(i);
+            for (&k, &v) in cols.iter().zip(vals) {
+                for (o, r) in orow.iter_mut().zip(rhs.row(k)) {
+                    *o += v * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Re-compresses in column-major order.
+    pub fn to_csc(&self) -> CscMatrix {
+        let triples: Vec<(usize, usize, f64)> = self.iter().collect();
+        let compressed = compress(&triples, self.cols, |&(r, c, v)| (c, r, v));
+        CscMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            major_ptr: compressed.0,
+            minor_idx: compressed.1,
+            values: compressed.2,
+        }
+    }
+}
+
+/// Compressed sparse column storage: fast column slices, the layout the
+/// revised simplex method prices and pivots from.
+///
+/// Same invariants as [`CsrMatrix`], per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    /// `major_ptr[j]..major_ptr[j+1]` spans column `j`.
+    major_ptr: Vec<usize>,
+    minor_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds from a dense matrix, dropping exact zeros.
+    pub fn from_dense(dense: &Matrix) -> Self {
+        let mut t = TripletMatrix::new(dense.rows(), dense.cols());
+        for (i, j, v) in dense.iter() {
+            if v != 0.0 {
+                t.entries.push((i, j, v));
+            }
+        }
+        t.to_csc()
+    }
+
+    /// Expands back to a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries stored: `nnz / (rows·cols)`, 0 for empty shapes.
+    pub fn density(&self) -> f64 {
+        let cells = self.rows * self.cols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
+    }
+
+    /// Column `j` as parallel `(row indices, values)` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        assert!(j < self.cols, "col {j} out of bounds ({} cols)", self.cols);
+        let span = self.major_ptr[j]..self.major_ptr[j + 1];
+        (&self.minor_idx[span.clone()], &self.values[span])
+    }
+
+    /// Iterates over `(row, col, value)` triples in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.cols).flat_map(move |j| {
+            let (rows, vals) = self.col(j);
+            rows.iter().zip(vals).map(move |(&i, &v)| (i, j, v))
+        })
+    }
+
+    /// Sparse·dense product `self · x` (column-scatter form).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                found: (x.len(), 1),
+                expected: (self.cols, 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                out[i] += v * xj;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed sparse·dense product `selfᵀ · x`: one sparse dot product
+    /// per column, the revised simplex pricing kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != self.rows()`.
+    pub fn matvec_transposed(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                found: (x.len(), 1),
+                expected: (self.rows, 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (j, o) in out.iter_mut().enumerate() {
+            let (rows, vals) = self.col(j);
+            let mut acc = 0.0;
+            for (&i, &v) in rows.iter().zip(vals) {
+                acc += v * x[i];
+            }
+            *o = acc;
+        }
+        Ok(out)
+    }
+
+    /// Re-compresses in row-major order.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let triples: Vec<(usize, usize, f64)> = self.iter().collect();
+        let compressed = compress(&triples, self.rows, |&(r, c, v)| (r, c, v));
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            major_ptr: compressed.0,
+            minor_idx: compressed.1,
+            values: compressed.2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_dense() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0, 0.0],
+            &[0.0, 0.0, 0.0, 0.0],
+            &[3.0, 0.0, 0.0, -4.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn triplet_sums_duplicates_and_drops_cancellations() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 2.0).unwrap();
+        t.push(0, 1, 0.5).unwrap();
+        t.push(1, 0, 1.0).unwrap();
+        t.push(1, 0, -1.0).unwrap();
+        let csr = t.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.to_dense()[(0, 1)], 2.5);
+        let csc = t.to_csc();
+        assert_eq!(csc.nnz(), 1);
+        assert_eq!(csc.to_dense()[(0, 1)], 2.5);
+    }
+
+    #[test]
+    fn triplet_rejects_out_of_bounds_and_non_finite() {
+        let mut t = TripletMatrix::new(2, 2);
+        assert!(matches!(
+            t.push(2, 0, 1.0),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            t.push(0, 0, f64::NAN),
+            Err(LinalgError::NonFiniteEntry { .. })
+        ));
+        assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    fn csr_round_trips_dense() {
+        let dense = example_dense();
+        let csr = CsrMatrix::from_dense(&dense);
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.to_dense(), dense);
+        assert_eq!(csr.shape(), (3, 4));
+        assert!((csr.density() - 4.0 / 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn csc_round_trips_dense() {
+        let dense = example_dense();
+        let csc = CscMatrix::from_dense(&dense);
+        assert_eq!(csc.nnz(), 4);
+        assert_eq!(csc.to_dense(), dense);
+        let (rows, vals) = csc.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn csr_csc_conversions_agree() {
+        let dense = example_dense();
+        let csr = CsrMatrix::from_dense(&dense);
+        let csc = csr.to_csc();
+        assert_eq!(csc, CscMatrix::from_dense(&dense));
+        assert_eq!(csc.to_csr(), csr);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let dense = example_dense();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let expect = dense.matvec(&x).unwrap();
+        assert_eq!(CsrMatrix::from_dense(&dense).matvec(&x).unwrap(), expect);
+        assert_eq!(CscMatrix::from_dense(&dense).matvec(&x).unwrap(), expect);
+    }
+
+    #[test]
+    fn matvec_transposed_matches_dense() {
+        let dense = example_dense();
+        let x = [1.0, -1.0, 2.0];
+        let expect = dense.transpose().matvec(&x).unwrap();
+        assert_eq!(
+            CsrMatrix::from_dense(&dense).matvec_transposed(&x).unwrap(),
+            expect
+        );
+        assert_eq!(
+            CscMatrix::from_dense(&dense).matvec_transposed(&x).unwrap(),
+            expect
+        );
+    }
+
+    #[test]
+    fn matmul_dense_matches_dense() {
+        let a = example_dense();
+        let b = Matrix::from_fn(4, 2, |i, j| (i + 2 * j) as f64 - 1.5);
+        let expect = a.matmul(&b).unwrap();
+        let got = CsrMatrix::from_dense(&a).matmul_dense(&b).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn kernels_reject_mismatched_shapes() {
+        let csr = CsrMatrix::from_dense(&example_dense());
+        let csc = csr.to_csc();
+        assert!(csr.matvec(&[1.0]).is_err());
+        assert!(csr.matvec_transposed(&[1.0]).is_err());
+        assert!(csc.matvec(&[1.0]).is_err());
+        assert!(csc.matvec_transposed(&[1.0]).is_err());
+        assert!(csr.matmul_dense(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn iter_yields_sorted_triples() {
+        let csr = CsrMatrix::from_dense(&example_dense());
+        let triples: Vec<_> = csr.iter().collect();
+        assert_eq!(
+            triples,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 3, -4.0)]
+        );
+    }
+
+    #[test]
+    fn empty_shapes_are_fine() {
+        let t = TripletMatrix::new(0, 5);
+        let csr = t.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.density(), 0.0);
+        assert_eq!(csr.matvec(&[0.0; 5]).unwrap(), Vec::<f64>::new());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the sparse storage layouts: compressed forms must be
+//! exact re-encodings of the dense data, and the sparse·dense kernels must
+//! agree with their dense counterparts bit-for-bit (same per-entry
+//! summation order, no tolerance needed).
+
+use dpm_linalg::{CscMatrix, CsrMatrix, Matrix, TripletMatrix};
+use proptest::prelude::*;
+
+/// Deterministically builds a sparse-ish dense matrix from a seed: about
+/// one in four entries is nonzero, with values in `[-1, 1]`.
+fn seeded_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut s = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        if s % 4 == 0 {
+            (s % 2000) as f64 / 1000.0 - 1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+fn seeded_vector(len: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 2000) as f64 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_dense_round_trip(rows in 1usize..12, cols in 1usize..12, seed in 0u64..1000) {
+        let dense = seeded_matrix(rows, cols, seed);
+        let csr = CsrMatrix::from_dense(&dense);
+        prop_assert_eq!(csr.to_dense(), dense.clone());
+        // And through the other layout.
+        prop_assert_eq!(csr.to_csc().to_dense(), dense.clone());
+        prop_assert_eq!(CscMatrix::from_dense(&dense).to_csr(), csr);
+    }
+
+    #[test]
+    fn sparse_matvec_matches_dense(rows in 1usize..12, cols in 1usize..12, seed in 0u64..1000) {
+        let dense = seeded_matrix(rows, cols, seed);
+        let x = seeded_vector(cols, seed.wrapping_mul(7).wrapping_add(3));
+        let expect = dense.matvec(&x).unwrap();
+        let via_csr = CsrMatrix::from_dense(&dense).matvec(&x).unwrap();
+        for (a, b) in via_csr.iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-12, "csr {a} vs dense {b}");
+        }
+        let via_csc = CscMatrix::from_dense(&dense).matvec(&x).unwrap();
+        for (a, b) in via_csc.iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-12, "csc {a} vs dense {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_transposed_matvec_matches_dense(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let dense = seeded_matrix(rows, cols, seed);
+        let x = seeded_vector(rows, seed.wrapping_mul(31).wrapping_add(5));
+        let expect = dense.transpose().matvec(&x).unwrap();
+        for m in [
+            CsrMatrix::from_dense(&dense).matvec_transposed(&x).unwrap(),
+            CscMatrix::from_dense(&dense).matvec_transposed(&x).unwrap(),
+        ] {
+            for (a, b) in m.iter().zip(&expect) {
+                prop_assert!((a - b).abs() < 1e-12, "{a} vs dense {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn triplet_duplicate_order_is_irrelevant(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        // Push the same logical matrix as (a) whole entries and (b) split
+        // duplicate halves in reversed order; compressed forms must agree.
+        let dense = seeded_matrix(rows, cols, seed);
+        let mut whole = TripletMatrix::new(rows, cols);
+        let mut halves = TripletMatrix::new(rows, cols);
+        let mut reversed: Vec<(usize, usize, f64)> = dense.iter().collect();
+        reversed.reverse();
+        for (i, j, v) in dense.iter().filter(|&(_, _, v)| v != 0.0) {
+            whole.push(i, j, v).unwrap();
+        }
+        for (i, j, v) in reversed.into_iter().filter(|&(_, _, v)| v != 0.0) {
+            halves.push(i, j, v / 2.0).unwrap();
+            halves.push(i, j, v / 2.0).unwrap();
+        }
+        prop_assert_eq!(whole.to_csr(), halves.to_csr());
+        prop_assert_eq!(whole.to_csc(), halves.to_csc());
+    }
+}

@@ -43,12 +43,13 @@ pub fn presolve(lp: &mut LinearProgram) -> Result<PresolveReport, LpError> {
     let n = lp.num_vars();
     let mut report = PresolveReport::default();
 
-    // Pass 1: collect constraints, dropping empty rows.
-    let mut kept: Vec<(Vec<f64>, ConstraintOp, f64)> = Vec::new();
+    // Pass 1: collect constraints sparsely, dropping empty rows.
+    type SparseRow = Vec<(usize, f64)>;
+    let mut kept: Vec<(SparseRow, ConstraintOp, f64)> = Vec::new();
     let mut column_used = vec![false; n];
     for i in 0..lp.num_constraints() {
-        let (row, op, rhs) = lp.constraint(i);
-        let max_coeff = row.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let (entries, op, rhs) = lp.constraint_entries(i);
+        let max_coeff = entries.iter().fold(0.0_f64, |m, &(_, v)| m.max(v.abs()));
         if max_coeff == 0.0 {
             let violated = match op {
                 ConstraintOp::Le => rhs < 0.0,
@@ -61,22 +62,23 @@ pub fn presolve(lp: &mut LinearProgram) -> Result<PresolveReport, LpError> {
             report.empty_rows_removed += 1;
             continue;
         }
-        for (j, &v) in row.iter().enumerate() {
-            if v != 0.0 {
-                column_used[j] = true;
-            }
+        for &(j, _) in entries {
+            column_used[j] = true;
         }
         // Row scaling to unit infinity norm.
-        let (row, rhs) = if max_coeff != 1.0 {
+        let (entries, rhs) = if max_coeff != 1.0 {
             report.rows_scaled += 1;
             (
-                row.iter().map(|v| v / max_coeff).collect::<Vec<_>>(),
+                entries
+                    .iter()
+                    .map(|&(j, v)| (j, v / max_coeff))
+                    .collect::<Vec<_>>(),
                 rhs / max_coeff,
             )
         } else {
-            (row.to_vec(), rhs)
+            (entries.to_vec(), rhs)
         };
-        kept.push((row, op, rhs));
+        kept.push((entries, op, rhs));
     }
 
     // Pass 2: unconstrained columns.
@@ -104,8 +106,8 @@ pub fn presolve(lp: &mut LinearProgram) -> Result<PresolveReport, LpError> {
     } else {
         LinearProgram::minimize(&objective)
     };
-    for (row, op, rhs) in kept {
-        rebuilt.add_constraint(&row, op, rhs)?;
+    for (entries, op, rhs) in kept {
+        rebuilt.add_sparse_constraint(&entries, op, rhs)?;
     }
     for j in fix_rows {
         rebuilt.add_sparse_constraint(&[(j, 1.0)], ConstraintOp::Eq, 0.0)?;

@@ -1,4 +1,4 @@
-use dpm_linalg::Matrix;
+use dpm_linalg::{CscMatrix, Matrix, TripletMatrix};
 
 use crate::LpError;
 
@@ -23,9 +23,12 @@ impl std::fmt::Display for ConstraintOp {
     }
 }
 
+/// One constraint row, stored sparsely: `entries` is sorted by variable
+/// index, duplicate indices have been summed, and no stored coefficient is
+/// exactly `0.0`.
 #[derive(Debug, Clone)]
 pub(crate) struct Constraint {
-    pub(crate) coefficients: Vec<f64>,
+    pub(crate) entries: Vec<(usize, f64)>,
     pub(crate) op: ConstraintOp,
     pub(crate) rhs: f64,
 }
@@ -44,6 +47,14 @@ pub(crate) struct Constraint {
 /// require (state–action frequencies are expected visit counts), so no
 /// general bound handling is included.
 ///
+/// Constraints are stored **sparsely** — each row keeps only its nonzero
+/// `(variable, coefficient)` pairs — because the balance equations of the
+/// occupation LPs have a handful of nonzeros per row regardless of model
+/// size. Rows can be added densely ([`Self::add_constraint`]) or sparsely
+/// ([`Self::add_sparse_constraint`]); either way, **duplicate
+/// coefficients for the same variable within a row are summed**, which is
+/// the natural convention for accumulating balance equations term by term.
+///
 /// # Example
 ///
 /// ```
@@ -56,6 +67,7 @@ pub(crate) struct Constraint {
 /// lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)?;
 /// assert_eq!(lp.num_vars(), 2);
 /// assert_eq!(lp.num_constraints(), 3);
+/// assert_eq!(lp.nnz(), 4); // zeros are not stored
 /// # Ok(())
 /// # }
 /// ```
@@ -85,7 +97,8 @@ impl LinearProgram {
         }
     }
 
-    /// Adds the constraint `coefficients · x op rhs`.
+    /// Adds the constraint `coefficients · x op rhs` from a dense row.
+    /// Zero coefficients are not stored.
     ///
     /// # Errors
     ///
@@ -108,16 +121,21 @@ impl LinearProgram {
         if !rhs.is_finite() || coefficients.iter().any(|v| !v.is_finite()) {
             return Err(LpError::NonFiniteInput);
         }
-        self.constraints.push(Constraint {
-            coefficients: coefficients.to_vec(),
-            op,
-            rhs,
-        });
+        let entries: Vec<(usize, f64)> = coefficients
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0.0)
+            .map(|(j, &v)| (j, v))
+            .collect();
+        self.constraints.push(Constraint { entries, op, rhs });
         Ok(self)
     }
 
     /// Adds a sparse constraint given as `(variable index, coefficient)`
-    /// pairs. Unmentioned variables get coefficient zero.
+    /// pairs, in any order. Unmentioned variables get coefficient zero;
+    /// **repeated indices are summed** (and dropped if the sum is exactly
+    /// zero) — the same duplicate policy as the dense builder, where a
+    /// variable's coefficient appears exactly once by construction.
     ///
     /// # Errors
     ///
@@ -130,17 +148,37 @@ impl LinearProgram {
         rhs: f64,
     ) -> Result<&mut Self, LpError> {
         let n = self.objective.len();
-        let mut row = vec![0.0; n];
-        for &(j, v) in entries {
-            if j >= n {
-                return Err(LpError::BadConstraint {
-                    found: j + 1,
-                    expected: n,
-                });
-            }
-            row[j] += v;
+        if !rhs.is_finite() || entries.iter().any(|&(_, v)| !v.is_finite()) {
+            return Err(LpError::NonFiniteInput);
         }
-        self.add_constraint(&row, op, rhs)
+        if let Some(&(j, _)) = entries.iter().find(|&&(j, _)| j >= n) {
+            return Err(LpError::BadConstraint {
+                found: j + 1,
+                expected: n,
+            });
+        }
+        let mut sorted = entries.to_vec();
+        sorted.sort_unstable_by_key(|&(j, _)| j);
+        let mut compacted: Vec<(usize, f64)> = Vec::with_capacity(sorted.len());
+        let mut k = 0;
+        while k < sorted.len() {
+            let (j, mut v) = sorted[k];
+            let mut next = k + 1;
+            while next < sorted.len() && sorted[next].0 == j {
+                v += sorted[next].1;
+                next += 1;
+            }
+            if v != 0.0 {
+                compacted.push((j, v));
+            }
+            k = next;
+        }
+        self.constraints.push(Constraint {
+            entries: compacted,
+            op,
+            rhs,
+        });
+        Ok(self)
     }
 
     /// Number of decision variables.
@@ -153,6 +191,11 @@ impl LinearProgram {
         self.constraints.len()
     }
 
+    /// Total number of stored (nonzero) constraint coefficients.
+    pub fn nnz(&self) -> usize {
+        self.constraints.iter().map(|c| c.entries.len()).sum()
+    }
+
     /// `true` for maximization problems.
     pub fn is_maximize(&self) -> bool {
         self.maximize
@@ -163,14 +206,32 @@ impl LinearProgram {
         &self.objective
     }
 
-    /// The `i`-th constraint as `(coefficients, op, rhs)`.
+    /// The `i`-th constraint as a materialized dense row
+    /// `(coefficients, op, rhs)`. Prefer [`Self::constraint_entries`] on
+    /// hot paths — this allocates.
     ///
     /// # Panics
     ///
     /// Panics if `i >= num_constraints()`.
-    pub fn constraint(&self, i: usize) -> (&[f64], ConstraintOp, f64) {
+    pub fn constraint(&self, i: usize) -> (Vec<f64>, ConstraintOp, f64) {
         let c = &self.constraints[i];
-        (&c.coefficients, c.op, c.rhs)
+        let mut row = vec![0.0; self.objective.len()];
+        for &(j, v) in &c.entries {
+            row[j] = v;
+        }
+        (row, c.op, c.rhs)
+    }
+
+    /// The `i`-th constraint in sparse form: `(entries, op, rhs)` where
+    /// `entries` are `(variable, coefficient)` pairs sorted by variable
+    /// with no zeros and no duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_constraints()`.
+    pub fn constraint_entries(&self, i: usize) -> (&[(usize, f64)], ConstraintOp, f64) {
+        let c = &self.constraints[i];
+        (&c.entries, c.op, c.rhs)
     }
 
     /// Validates the program as a whole.
@@ -205,9 +266,10 @@ impl LinearProgram {
     ///
     /// Panics if `x.len() != num_vars()`.
     pub fn max_violation(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars(), "point has wrong dimension");
         let mut worst = x.iter().fold(0.0_f64, |w, &v| w.max(-v));
         for c in &self.constraints {
-            let lhs = dpm_linalg::vector::dot(&c.coefficients, x);
+            let lhs: f64 = c.entries.iter().map(|&(j, v)| v * x[j]).sum();
             let viol = match c.op {
                 ConstraintOp::Le => lhs - c.rhs,
                 ConstraintOp::Ge => c.rhs - lhs,
@@ -220,36 +282,23 @@ impl LinearProgram {
 
     /// Converts the program to equality standard form
     /// `min c̃ᵀ x̃, Ã x̃ = b, x̃ ≥ 0` by adding one slack/surplus variable per
-    /// inequality and negating the objective of maximization problems.
+    /// inequality and negating the objective of maximization problems,
+    /// with the constraint matrix materialized **densely** — the form the
+    /// tableau [`Simplex`](crate::Simplex) and
+    /// [`InteriorPoint`](crate::InteriorPoint) engines consume.
     ///
     /// # Errors
     ///
     /// Propagates [`Self::validate`] failures.
     pub fn to_standard_form(&self) -> Result<StandardForm, LpError> {
-        self.validate()?;
-        let n = self.num_vars();
-        let m = self.num_constraints();
-        let num_slacks = self
-            .constraints
-            .iter()
-            .filter(|c| c.op != ConstraintOp::Eq)
-            .count();
-        let total = n + num_slacks;
-
+        let (b, c, num_original_vars, objective_sign, total) = self.standard_form_scaffold()?;
+        let m = b.len();
         let mut a = Matrix::zeros(m, total);
-        let mut b = vec![0.0; m];
-        let mut c = vec![0.0; total];
-        let sign = if self.maximize { -1.0 } else { 1.0 };
-        for (j, &cj) in self.objective.iter().enumerate() {
-            c[j] = sign * cj;
-        }
-
-        let mut slack = n;
+        let mut slack = num_original_vars;
         for (i, con) in self.constraints.iter().enumerate() {
-            for (j, &v) in con.coefficients.iter().enumerate() {
+            for &(j, v) in &con.entries {
                 a[(i, j)] = v;
             }
-            b[i] = con.rhs;
             match con.op {
                 ConstraintOp::Le => {
                     a[(i, slack)] = 1.0;
@@ -262,14 +311,74 @@ impl LinearProgram {
                 ConstraintOp::Eq => {}
             }
         }
-
         Ok(StandardForm {
             a,
             b,
             c,
-            num_original_vars: n,
-            objective_sign: sign,
+            num_original_vars,
+            objective_sign,
         })
+    }
+
+    /// Converts to the same equality standard form as
+    /// [`Self::to_standard_form`], but with the constraint matrix kept
+    /// **sparse** in compressed-column form — the layout
+    /// [`RevisedSimplex`](crate::RevisedSimplex) prices and pivots from.
+    /// No dense `rows × cols` buffer is ever materialized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::validate`] failures.
+    pub fn to_sparse_standard_form(&self) -> Result<SparseStandardForm, LpError> {
+        let (b, c, num_original_vars, objective_sign, total) = self.standard_form_scaffold()?;
+        let m = b.len();
+        let nnz = self.nnz() + (total - num_original_vars);
+        let mut t = TripletMatrix::with_capacity(m, total, nnz);
+        let mut slack = num_original_vars;
+        for (i, con) in self.constraints.iter().enumerate() {
+            for &(j, v) in &con.entries {
+                t.push(i, j, v).expect("validated entries");
+            }
+            match con.op {
+                ConstraintOp::Le => {
+                    t.push(i, slack, 1.0).expect("slack in range");
+                    slack += 1;
+                }
+                ConstraintOp::Ge => {
+                    t.push(i, slack, -1.0).expect("surplus in range");
+                    slack += 1;
+                }
+                ConstraintOp::Eq => {}
+            }
+        }
+        Ok(SparseStandardForm {
+            a: t.to_csc(),
+            b,
+            c,
+            num_original_vars,
+            objective_sign,
+        })
+    }
+
+    /// Shared scaffolding of the two standard forms: rhs, minimization
+    /// objective over originals + slacks, sizes and orientation sign.
+    #[allow(clippy::type_complexity)]
+    fn standard_form_scaffold(&self) -> Result<(Vec<f64>, Vec<f64>, usize, f64, usize), LpError> {
+        self.validate()?;
+        let n = self.num_vars();
+        let num_slacks = self
+            .constraints
+            .iter()
+            .filter(|c| c.op != ConstraintOp::Eq)
+            .count();
+        let total = n + num_slacks;
+        let b: Vec<f64> = self.constraints.iter().map(|c| c.rhs).collect();
+        let sign = if self.maximize { -1.0 } else { 1.0 };
+        let mut c = vec![0.0; total];
+        for (j, &cj) in self.objective.iter().enumerate() {
+            c[j] = sign * cj;
+        }
+        Ok((b, c, n, sign, total))
     }
 }
 
@@ -300,6 +409,31 @@ impl StandardForm {
     }
 }
 
+/// Equality standard form with the constraint matrix in compressed-column
+/// storage, produced by [`LinearProgram::to_sparse_standard_form`].
+///
+/// Same variable layout and orientation conventions as [`StandardForm`].
+#[derive(Debug, Clone)]
+pub struct SparseStandardForm {
+    /// Equality constraint matrix, column-compressed.
+    pub a: CscMatrix,
+    /// Right-hand side.
+    pub b: Vec<f64>,
+    /// Minimization objective (already negated for maximization problems).
+    pub c: Vec<f64>,
+    /// How many leading variables belong to the original problem.
+    pub num_original_vars: usize,
+    /// `+1` for minimization, `−1` for maximization.
+    pub objective_sign: f64,
+}
+
+impl SparseStandardForm {
+    /// Extracts the original variables from a standard-form point.
+    pub fn original_solution(&self, x: &[f64]) -> Vec<f64> {
+        x[..self.num_original_vars].to_vec()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,9 +447,14 @@ mod tests {
             .unwrap();
         assert_eq!(lp.num_vars(), 3);
         assert_eq!(lp.num_constraints(), 2);
+        assert_eq!(lp.nnz(), 4);
         assert!(!lp.is_maximize());
         let (row, op, rhs) = lp.constraint(1);
         assert_eq!(row, &[1.0, 0.0, 0.0]);
+        assert_eq!(op, ConstraintOp::Le);
+        assert_eq!(rhs, 0.5);
+        let (entries, op, rhs) = lp.constraint_entries(1);
+        assert_eq!(entries, &[(0, 1.0)]);
         assert_eq!(op, ConstraintOp::Le);
         assert_eq!(rhs, 0.5);
     }
@@ -348,6 +487,11 @@ mod tests {
                 .unwrap_err(),
             LpError::NonFiniteInput
         );
+        assert_eq!(
+            lp.add_sparse_constraint(&[(0, f64::NAN)], ConstraintOp::Le, 1.0)
+                .unwrap_err(),
+            LpError::NonFiniteInput
+        );
     }
 
     #[test]
@@ -357,6 +501,40 @@ mod tests {
             .unwrap();
         let (row, _, _) = lp.constraint(0);
         assert_eq!(row, &[0.0, 2.5, 0.0, 1.0]);
+        // The stored form is sorted, summed and zero-free.
+        let (entries, _, _) = lp.constraint_entries(0);
+        assert_eq!(entries, &[(1, 2.5), (3, 1.0)]);
+    }
+
+    #[test]
+    fn duplicate_coefficients_cancelling_to_zero_are_dropped() {
+        let mut lp = LinearProgram::minimize(&[0.0; 3]);
+        lp.add_sparse_constraint(&[(0, 1.0), (2, 5.0), (2, -5.0)], ConstraintOp::Eq, 1.0)
+            .unwrap();
+        let (entries, _, _) = lp.constraint_entries(0);
+        assert_eq!(entries, &[(0, 1.0)]);
+        assert_eq!(lp.nnz(), 1);
+    }
+
+    #[test]
+    fn dense_and_sparse_builders_store_identically() {
+        // Regression for the duplicate-coefficient policy: the summed
+        // sparse row must be indistinguishable from the equivalent dense
+        // row, all the way down to the standard forms.
+        let mut dense = LinearProgram::minimize(&[1.0, 2.0, 3.0]);
+        dense
+            .add_constraint(&[2.5, 0.0, -1.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        let mut sparse = LinearProgram::minimize(&[1.0, 2.0, 3.0]);
+        sparse
+            .add_sparse_constraint(&[(2, -1.0), (0, 2.0), (0, 0.5)], ConstraintOp::Le, 4.0)
+            .unwrap();
+        assert_eq!(dense.constraint_entries(0), sparse.constraint_entries(0));
+        let (sf_d, sf_s) = (
+            dense.to_standard_form().unwrap(),
+            sparse.to_sparse_standard_form().unwrap(),
+        );
+        assert_eq!(sf_d.a, sf_s.a.to_dense());
     }
 
     #[test]
@@ -383,6 +561,28 @@ mod tests {
         assert_eq!(sf.c, vec![-1.0, -1.0, 0.0, 0.0]); // negated for max
         assert_eq!(sf.objective_sign, -1.0);
         assert_eq!(sf.original_solution(&[1.0, 2.0, 9.0, 9.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn sparse_standard_form_matches_dense() {
+        let mut lp = LinearProgram::maximize(&[1.0, 1.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 2.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 1.0], ConstraintOp::Ge, 1.0)
+            .unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Eq, 3.0)
+            .unwrap();
+        let dense = lp.to_standard_form().unwrap();
+        let sparse = lp.to_sparse_standard_form().unwrap();
+        assert_eq!(sparse.a.to_dense(), dense.a);
+        assert_eq!(sparse.b, dense.b);
+        assert_eq!(sparse.c, dense.c);
+        assert_eq!(sparse.num_original_vars, dense.num_original_vars);
+        assert_eq!(sparse.objective_sign, dense.objective_sign);
+        assert_eq!(
+            sparse.original_solution(&[1.0, 2.0, 9.0, 9.0]),
+            vec![1.0, 2.0]
+        );
     }
 
     #[test]

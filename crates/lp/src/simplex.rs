@@ -224,7 +224,7 @@ impl Tableau {
         // Objective row (filled by the phase initializers).
         data.push(vec![0.0; total + 1]);
 
-        let ops = (0..m).map(|i| lp.constraint(i).1).collect();
+        let ops = (0..m).map(|i| lp.constraint_entries(i).1).collect();
         let orig_rows: Vec<Vec<f64>> = data[..m].iter().map(|r| r[..total].to_vec()).collect();
         let orig_b = b.clone();
         Ok(Tableau {

@@ -1,0 +1,131 @@
+//! Cross-engine property tests: the revised simplex, the dense tableau
+//! simplex, and the interior-point method are three independent
+//! implementations of the same mathematics, so on any feasible bounded LP
+//! they must agree on the optimal objective value.
+//!
+//! Problems are generated feasible-by-construction (`x = e` satisfies
+//! every row by margin) and bounded-by-construction (box rows `xⱼ ≤ 10`),
+//! so every solver must return `Ok` — disagreement or failure is a bug,
+//! not a flaky instance.
+
+use dpm_lp::{ConstraintOp, InteriorPoint, LinearProgram, LpSolver, RevisedSimplex, Simplex};
+use proptest::prelude::*;
+
+/// Builds a feasible, bounded LP from a seed: `m` random rows with
+/// `b = A·e + margin`, box constraints, and a random objective. With
+/// `sparsify` set, roughly three quarters of the coefficients are zeroed,
+/// exercising the compressed storage the way occupation LPs do.
+fn seeded_lp(n: usize, m: usize, seed: u64, sparsify: bool) -> LinearProgram {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % 2000) as f64 / 1000.0 - 1.0
+    };
+    let c: Vec<f64> = (0..n).map(|_| next()).collect();
+    let mut lp = LinearProgram::minimize(&c);
+    for _ in 0..m {
+        let row: Vec<f64> = (0..n)
+            .map(|_| {
+                let v = next();
+                if sparsify && next() > -0.5 {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        let rhs: f64 = row.iter().sum::<f64>() + 0.5;
+        lp.add_constraint(&row, ConstraintOp::Le, rhs).unwrap();
+    }
+    // Box rows keep the problem bounded whatever the objective sign.
+    for j in 0..n {
+        lp.add_sparse_constraint(&[(j, 1.0)], ConstraintOp::Le, 10.0)
+            .unwrap();
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_engines_agree_on_feasible_lps(
+        n in 2usize..9,
+        m in 1usize..7,
+        seed in 0u64..10_000,
+    ) {
+        let lp = seeded_lp(n, m, seed, false);
+        check_agreement(&lp)?;
+    }
+
+    #[test]
+    fn all_engines_agree_on_sparse_lps(
+        n in 2usize..9,
+        m in 1usize..7,
+        seed in 0u64..10_000,
+    ) {
+        let lp = seeded_lp(n, m, seed, true);
+        check_agreement(&lp)?;
+    }
+}
+
+fn check_agreement(lp: &LinearProgram) -> Result<(), TestCaseError> {
+    let engines: [Box<dyn LpSolver>; 3] = [
+        Box::new(RevisedSimplex::new()),
+        Box::new(Simplex::new()),
+        Box::new(InteriorPoint::new()),
+    ];
+    let mut objectives = Vec::new();
+    for engine in &engines {
+        let s = engine
+            .solve(lp)
+            .map_err(|e| TestCaseError::fail(format!("{} failed: {e}", engine.name())))?;
+        prop_assert!(
+            lp.max_violation(s.x()) < 1e-6,
+            "{} returned infeasible point (violation {:.2e})",
+            engine.name(),
+            lp.max_violation(s.x())
+        );
+        objectives.push((engine.name(), s.objective()));
+    }
+    let (ref_name, ref_obj) = objectives[0];
+    // ±1e-6, relative to the objective's magnitude (the interior-point
+    // engine converges to a duality-gap tolerance, not exact arithmetic).
+    let tol = 1e-6 * ref_obj.abs().max(1.0);
+    for &(name, obj) in &objectives[1..] {
+        prop_assert!(
+            (obj - ref_obj).abs() < tol,
+            "{name} = {obj} disagrees with {ref_name} = {ref_obj}"
+        );
+    }
+    Ok(())
+}
+
+/// The duplicate-coefficient regression pinned as an end-to-end fact: a
+/// row assembled with duplicates must solve identically to its summed
+/// dense equivalent, under every engine.
+#[test]
+fn duplicate_coefficients_sum_in_both_builders() {
+    let mut sparse = LinearProgram::maximize(&[2.0, 1.0]);
+    sparse
+        .add_sparse_constraint(&[(0, 0.75), (1, 1.0), (0, 0.25)], ConstraintOp::Le, 4.0)
+        .unwrap();
+    let mut dense = LinearProgram::maximize(&[2.0, 1.0]);
+    dense
+        .add_constraint(&[1.0, 1.0], ConstraintOp::Le, 4.0)
+        .unwrap();
+    assert_eq!(sparse.constraint_entries(0), dense.constraint_entries(0));
+    let engines: [Box<dyn LpSolver>; 3] = [
+        Box::new(RevisedSimplex::new()),
+        Box::new(Simplex::new()),
+        Box::new(InteriorPoint::new()),
+    ];
+    for engine in &engines {
+        let a = engine.solve(&sparse).unwrap().objective();
+        let b = engine.solve(&dense).unwrap().objective();
+        assert!((a - 8.0).abs() < 1e-6, "{}: {a}", engine.name());
+        assert!((a - b).abs() < 1e-9, "{}: {a} vs {b}", engine.name());
+    }
+}

@@ -78,6 +78,12 @@ impl<'a> OccupationLp<'a> {
     /// solution is rescaled back to `x` transparently in
     /// [`Self::solve_with_bounds`].
     ///
+    /// Balance rows are emitted **sparsely** from the chain's transition
+    /// structure (a state's row holds its own `m` action variables plus
+    /// its actual in-flows), so the program's size scales with the number
+    /// of nonzero transition probabilities — the representation
+    /// `RevisedSimplex` exploits — rather than with `states²·actions`.
+    ///
     /// # Errors
     ///
     /// [`MdpError::CostShapeMismatch`] when an extra cost matrix has the
@@ -105,28 +111,37 @@ impl<'a> OccupationLp<'a> {
         // trick used to solve stationary-distribution systems), which
         // keeps the constraint set equivalent in exact arithmetic and
         // well-conditioned in floating point.
-        let norm_row = vec![1.0; n * m];
-        for j in 0..n {
-            if j == 0 {
-                continue;
-            }
-            let mut row = vec![0.0; n * m];
-            for a in 0..m {
-                row[self.var_index(j, a)] += 1.0;
-            }
+        //
+        // The rows are emitted *sparsely*, straight from the controlled
+        // chain's transition structure: one pass over the kernels buckets
+        // every nonzero transition probability by destination state, so
+        // row `j` carries exactly `m` diagonal entries plus `j`'s actual
+        // in-flows — never the dense `n·m` width. (Diagonal self-loops
+        // duplicate an index; the LP builder sums duplicates by contract.)
+        let mut inflows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for a in 0..m {
+            let kernel = self.mdp.chain().kernel(a);
             for s in 0..n {
-                for a in 0..m {
-                    let p = self.mdp.chain().prob(s, j, a);
+                for (j, &p) in kernel.row(s).iter().enumerate() {
                     if p != 0.0 {
-                        row[self.var_index(s, a)] -= alpha * p;
+                        inflows[j].push((self.var_index(s, a), -alpha * p));
                     }
                 }
             }
-            lp.add_constraint(&row, ConstraintOp::Eq, scale * self.initial[j])?;
         }
+        for (j, mut inflow) in inflows.into_iter().enumerate().skip(1) {
+            let mut row: Vec<(usize, f64)> = Vec::with_capacity(m + inflow.len());
+            for a in 0..m {
+                row.push((self.var_index(j, a), 1.0));
+            }
+            row.append(&mut inflow);
+            lp.add_sparse_constraint(&row, ConstraintOp::Eq, scale * self.initial[j])?;
+        }
+        let norm_row = vec![1.0; n * m];
         lp.add_constraint(&norm_row, ConstraintOp::Eq, 1.0)?;
 
-        // Extra discounted-cost bounds, scaled likewise.
+        // Extra discounted-cost bounds, scaled likewise; indicator-style
+        // cost matrices (the common case) are themselves sparse.
         for &(d, bound) in extra_bounds {
             if d.shape() != (n, m) {
                 return Err(MdpError::CostShapeMismatch {
@@ -134,13 +149,12 @@ impl<'a> OccupationLp<'a> {
                     expected: (n, m),
                 });
             }
-            let mut row = vec![0.0; n * m];
-            for s in 0..n {
-                for a in 0..m {
-                    row[self.var_index(s, a)] = d[(s, a)];
-                }
-            }
-            lp.add_constraint(&row, ConstraintOp::Le, scale * bound)?;
+            let row: Vec<(usize, f64)> = d
+                .iter()
+                .filter(|&(_, _, v)| v != 0.0)
+                .map(|(s, a, v)| (self.var_index(s, a), v))
+                .collect();
+            lp.add_sparse_constraint(&row, ConstraintOp::Le, scale * bound)?;
         }
         Ok(lp)
     }
@@ -336,7 +350,7 @@ impl OccupationSolution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpm_lp::{InteriorPoint, Simplex};
+    use dpm_lp::{InteriorPoint, RevisedSimplex, Simplex};
     use dpm_markov::{ControlledMarkovChain, StochasticMatrix};
 
     fn escape_mdp(discount: f64) -> DiscountedMdp {
@@ -367,6 +381,35 @@ mod tests {
         let s1 = lp.solve(&Simplex::new()).unwrap();
         let s2 = lp.solve(&InteriorPoint::new()).unwrap();
         assert!((s1.objective() - s2.objective()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn revised_simplex_agrees_with_dense_tableau() {
+        let mdp = escape_mdp(0.95);
+        let lp = OccupationLp::new(&mdp, &[0.5, 0.5]).unwrap();
+        let dense = lp.solve(&Simplex::new()).unwrap();
+        let revised = lp.solve(&RevisedSimplex::new()).unwrap();
+        assert!((dense.objective() - revised.objective()).abs() < 1e-6);
+        assert!((revised.total_visits() - mdp.horizon()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn balance_rows_are_emitted_sparsely() {
+        // The escape MDP transitions to at most 2 states per action, so
+        // every balance row must stay far below the dense n·m width; only
+        // the explicit normalization row is full.
+        let mdp = escape_mdp(0.9);
+        let lp = OccupationLp::new(&mdp, &[1.0, 0.0])
+            .unwrap()
+            .build(&[])
+            .unwrap();
+        let vars = lp.num_vars();
+        let (norm_entries, _, _) = lp.constraint_entries(lp.num_constraints() - 1);
+        assert_eq!(norm_entries.len(), vars);
+        for i in 0..lp.num_constraints() - 1 {
+            let (entries, _, _) = lp.constraint_entries(i);
+            assert!(entries.len() < vars, "row {i} is dense");
+        }
     }
 
     #[test]

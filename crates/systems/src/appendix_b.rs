@@ -68,6 +68,47 @@ pub const SLEEP_STATES: [SleepState; 4] = [
     },
 ];
 
+/// Names for generated sleep states, deepest-last ([`scaled_sleep_states`]).
+const SCALED_SLEEP_NAMES: [&str; 24] = [
+    "sleep1", "sleep2", "sleep3", "sleep4", "sleep5", "sleep6", "sleep7", "sleep8", "sleep9",
+    "sleep10", "sleep11", "sleep12", "sleep13", "sleep14", "sleep15", "sleep16", "sleep17",
+    "sleep18", "sleep19", "sleep20", "sleep21", "sleep22", "sleep23", "sleep24",
+];
+
+/// Generates a scaled family of `count` sleep states interpolating the
+/// canonical Appendix-B envelope: power falls linearly from 2 W to 0 W
+/// while the exit probability decays geometrically from 1 to 10⁻³
+/// (deeper ⇒ cheaper but slower, exactly the tradeoff of
+/// [`SLEEP_STATES`]). This is the state-space scaling axis for the sparse
+/// LP pipeline: with a dozen sleep states and a longer queue the composed
+/// system reaches hundreds of states, a size the dense-tableau simplex
+/// handles poorly.
+///
+/// # Panics
+///
+/// Panics when `count` is 0 or exceeds the 24 prenamed states.
+pub fn scaled_sleep_states(count: usize) -> Vec<SleepState> {
+    assert!(
+        (1..=SCALED_SLEEP_NAMES.len()).contains(&count),
+        "count {count} outside 1..={}",
+        SCALED_SLEEP_NAMES.len()
+    );
+    (0..count)
+        .map(|k| {
+            let depth = if count == 1 {
+                0.0
+            } else {
+                k as f64 / (count - 1) as f64
+            };
+            SleepState {
+                name: SCALED_SLEEP_NAMES[k],
+                power: 2.0 * (1.0 - depth),
+                exit_probability: 10f64.powf(-3.0 * depth),
+            }
+        })
+        .collect()
+}
+
 /// Configuration of one Appendix-B experiment: start from
 /// [`Config::baseline`] and override what the figure sweeps.
 #[derive(Debug, Clone)]
@@ -94,6 +135,25 @@ impl Config {
     pub fn with_sleep_states(mut self, states: Vec<SleepState>) -> Self {
         self.sleep_states = states;
         self
+    }
+
+    /// The scaled large-state-space configuration: `sleep_count`
+    /// interpolated sleep states ([`scaled_sleep_states`]) and a
+    /// `queue_capacity`-deep queue over the baseline SR. With
+    /// `scaled(12, 7)` the composed system has
+    /// `13 SP × 2 SR × 8 SQ = 208` states and 13 commands — 2704
+    /// state–action variables, the benchmark instance for the sparse LP
+    /// pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the [`scaled_sleep_states`] count bounds.
+    pub fn scaled(sleep_count: usize, queue_capacity: usize) -> Self {
+        Config {
+            sleep_states: scaled_sleep_states(sleep_count),
+            sr_switch_probability: BASELINE_SR_SWITCH,
+            queue_capacity,
+        }
     }
 
     /// Replaces the SR switch probability (Fig. 13(a): smaller = burstier).
@@ -246,6 +306,70 @@ mod tests {
         // steady states draw their base power.
         assert_eq!(sp.power(0, 0), ACTIVE_POWER);
         assert_eq!(sp.power(1, 1), SLEEP_STATES[0].power);
+    }
+
+    #[test]
+    fn scaled_family_interpolates_the_canonical_envelope() {
+        let states = scaled_sleep_states(12);
+        assert_eq!(states.len(), 12);
+        // Endpoints match the canonical family's shallowest and deepest.
+        assert_eq!(states[0].power, SLEEP_STATES[0].power);
+        assert_eq!(states[0].exit_probability, SLEEP_STATES[0].exit_probability);
+        assert!((states[11].power - SLEEP_STATES[3].power).abs() < 1e-12);
+        assert!((states[11].exit_probability - SLEEP_STATES[3].exit_probability).abs() < 1e-12);
+        // Deeper ⇒ strictly cheaper and strictly slower.
+        for w in states.windows(2) {
+            assert!(w[1].power < w[0].power);
+            assert!(w[1].exit_probability < w[0].exit_probability);
+        }
+        // Distinct names, so the provider builder gets unique labels.
+        for (i, a) in states.iter().enumerate() {
+            for b in &states[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_config_reaches_hundreds_of_states() {
+        let system = Config::scaled(12, 7).system().unwrap();
+        assert_eq!(system.num_states(), 208); // 13 SP × 2 SR × 8 SQ
+        assert_eq!(system.num_commands(), 13);
+    }
+
+    #[test]
+    fn scaled_system_solves_quickly_at_medium_size() {
+        // Debug-friendly slice of the scaling axis: 7 SP × 2 SR × 4 SQ =
+        // 56 states through the default sparse engine.
+        let system = Config::scaled(6, 3).system().unwrap();
+        let solution = PolicyOptimizer::new(&system)
+            .horizon(100_000.0)
+            .max_performance_penalty(0.8)
+            .max_request_loss_rate(0.05)
+            .solve()
+            .unwrap();
+        assert!(solution.power_per_slice() < ACTIVE_POWER);
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "release-only: the 208-state LP needs optimized code (run with --release or see the solvers bench)"
+    )]
+    fn scaled_system_solves_through_the_sparse_default_path() {
+        // The acceptance instance of the sparse LP pipeline: ≥200 states,
+        // solved by the default (revised simplex) engine. The optimum must
+        // beat always-on (3 W) while meeting the service constraints.
+        let system = Config::scaled(12, 7).system().unwrap();
+        let solution = PolicyOptimizer::new(&system)
+            .horizon(100_000.0)
+            .max_performance_penalty(0.8)
+            .max_request_loss_rate(0.05)
+            .solve()
+            .unwrap();
+        assert!(solution.power_per_slice() < ACTIVE_POWER);
+        assert!(solution.performance_per_slice() <= 0.8 + 1e-6);
+        assert!(solution.loss_per_slice() <= 0.05 + 1e-6);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Workspace smoke test: the README/quickstart path, end-to-end, under
-//! both LP engines.
+//! all three LP engines.
 //!
 //! This is the one test a fresh checkout must pass for the workspace to
 //! be considered alive: compose the paper's running-example system
-//! (Examples 3.1–3.5 / A.2), optimize it with the simplex *and* the
+//! (Examples 3.1–3.5 / A.2), optimize it with the revised simplex (the
+//! default sparse path), the dense-tableau simplex *and* the
 //! interior-point engine, and check the optimal policy's power and
 //! performance against the paper's running-example numbers.
 
@@ -33,11 +34,16 @@ fn optimize(kind: SolverKind) -> dpm::core::PolicySolution {
 }
 
 #[test]
-fn quickstart_end_to_end_with_both_lp_engines() {
+fn quickstart_end_to_end_with_all_lp_engines() {
+    let revised = optimize(SolverKind::RevisedSimplex);
     let simplex = optimize(SolverKind::Simplex);
     let interior = optimize(SolverKind::InteriorPoint);
 
-    for (name, solution) in [("simplex", &simplex), ("interior-point", &interior)] {
+    for (name, solution) in [
+        ("revised-simplex", &revised),
+        ("simplex", &simplex),
+        ("interior-point", &interior),
+    ] {
         assert!(
             (solution.power_per_slice() - EXPECTED_POWER).abs() < 0.05,
             "{name}: power {} vs expected ~{EXPECTED_POWER}",
@@ -59,13 +65,19 @@ fn quickstart_end_to_end_with_both_lp_engines() {
         );
     }
 
-    // Both engines must land on the same optimum (the LP has a unique
+    // All engines must land on the same optimum (the LP has a unique
     // optimal value even when optimal policies are degenerate).
     assert!(
         (simplex.power_per_slice() - interior.power_per_slice()).abs() < 1e-4,
         "engines disagree: simplex {} vs interior-point {}",
         simplex.power_per_slice(),
         interior.power_per_slice()
+    );
+    assert!(
+        (revised.power_per_slice() - simplex.power_per_slice()).abs() < 1e-6,
+        "engines disagree: revised {} vs simplex {}",
+        revised.power_per_slice(),
+        simplex.power_per_slice()
     );
 
     // And the policy must behave as predicted when actually executed.
