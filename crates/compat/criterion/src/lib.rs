@@ -26,6 +26,13 @@
 //! if neither works (or the filesystem is read-only) the record is
 //! silently skipped — benchmarks never fail because of bookkeeping.
 //!
+//! Benchmarks can attach **named counters** to their record via
+//! [`Bencher::counter`] — e.g. solver effort (`pivots`,
+//! `refactorizations`) next to wall-clock time. Counters become extra
+//! numeric fields of the JSON object. This is a shim extension (real
+//! criterion has no counter API); gate any use behind the shim if the
+//! real crate is ever swapped back in.
+//!
 //! [`criterion`]: https://crates.io/crates/criterion
 
 use std::fmt::Display;
@@ -43,6 +50,7 @@ const MEASURE_BUDGET: Duration = Duration::from_millis(300);
 pub struct Bencher {
     total: Duration,
     iters: u64,
+    counters: Vec<(String, f64)>,
 }
 
 impl Bencher {
@@ -50,6 +58,24 @@ impl Bencher {
         Bencher {
             total: Duration::ZERO,
             iters: 0,
+            counters: Vec::new(),
+        }
+    }
+
+    /// Attaches a named numeric counter to this benchmark's JSON record
+    /// (shim extension; see the module docs). Non-finite values and names
+    /// that are not `[A-Za-z0-9_]` are sanitized so the record stays
+    /// valid JSON. Re-using a name overwrites the earlier value.
+    pub fn counter(&mut self, name: &str, value: f64) {
+        let safe: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let value = if value.is_finite() { value } else { -1.0 };
+        if let Some(slot) = self.counters.iter_mut().find(|(n, _)| *n == safe) {
+            slot.1 = value;
+        } else {
+            self.counters.push((safe, value));
         }
     }
 
@@ -214,7 +240,7 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut
         mean_ns, bencher.iters, rate
     );
     if let Some(dir) = bench_output_dir() {
-        write_record(&dir, id, mean_ns, bencher.iters);
+        write_record(&dir, id, mean_ns, bencher.iters, &bencher.counters);
     }
 }
 
@@ -233,7 +259,13 @@ fn bench_output_dir() -> Option<PathBuf> {
 
 /// Writes `BENCH_<name>.json` into `dir`, best-effort: result files are
 /// bookkeeping, so IO failures are swallowed rather than surfaced.
-fn write_record(dir: &std::path::Path, id: &str, mean_ns: f64, iterations: u64) {
+fn write_record(
+    dir: &std::path::Path,
+    id: &str,
+    mean_ns: f64,
+    iterations: u64,
+    counters: &[(String, f64)],
+) {
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
@@ -249,8 +281,12 @@ fn write_record(dir: &std::path::Path, id: &str, mean_ns: f64, iterations: u64) 
             _ => vec![c],
         })
         .collect();
+    let extra: String = counters
+        .iter()
+        .map(|(name, value)| format!(",\"{name}\":{value}"))
+        .collect();
     let json = format!(
-        "{{\"name\":\"{escaped}\",\"mean_ns\":{mean_ns:.1},\"iterations\":{iterations}}}\n"
+        "{{\"name\":\"{escaped}\",\"mean_ns\":{mean_ns:.1},\"iterations\":{iterations}{extra}}}\n"
     );
     let _ = std::fs::write(dir.join(format!("BENCH_{safe}.json")), json);
 }
@@ -299,7 +335,7 @@ mod tests {
     #[test]
     fn records_are_written_as_json() {
         let dir = std::env::temp_dir().join(format!("criterion-shim-test-{}", std::process::id()));
-        write_record(&dir, "lp_engines/simplex/120", 1234.56, 42);
+        write_record(&dir, "lp_engines/simplex/120", 1234.56, 42, &[]);
         let path = dir.join("BENCH_lp_engines_simplex_120.json");
         let body = std::fs::read_to_string(&path).expect("record written");
         assert_eq!(
@@ -307,6 +343,34 @@ mod tests {
             "{\"name\":\"lp_engines/simplex/120\",\"mean_ns\":1234.6,\"iterations\":42}\n"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counters_become_extra_json_fields() {
+        let dir = std::env::temp_dir().join(format!(
+            "criterion-shim-counter-test-{}",
+            std::process::id()
+        ));
+        let counters = vec![
+            ("pivots".to_string(), 321.0),
+            ("speedup_x".to_string(), 4.5),
+        ];
+        write_record(&dir, "pareto_sweep", 99.9, 3, &counters);
+        let body =
+            std::fs::read_to_string(dir.join("BENCH_pareto_sweep.json")).expect("record written");
+        assert_eq!(
+            body,
+            "{\"name\":\"pareto_sweep\",\"mean_ns\":99.9,\"iterations\":3,\"pivots\":321,\"speedup_x\":4.5}\n"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counter_sanitizes_names_and_values_and_overwrites() {
+        let mut b = Bencher::new();
+        b.counter("warm pivots!", f64::NAN);
+        b.counter("warm_pivots_", 7.0);
+        assert_eq!(b.counters, vec![("warm_pivots_".to_string(), 7.0)]);
     }
 
     #[test]

@@ -76,8 +76,14 @@ mod system;
 
 pub use cost::CostMetric;
 pub use error::DpmError;
-pub use optimizer::{OptimizationGoal, PolicyOptimizer, PolicySolution, SolverKind};
+pub use optimizer::{
+    OptimizationGoal, PolicyOptimizer, PolicySolution, PreparedOptimization, SolverKind,
+    SweepTarget,
+};
 pub use pareto::{ParetoCurve, ParetoExplorer, ParetoPoint};
+// Solver-effort reporting types, re-exported so sweep consumers don't need
+// a direct dpm-lp dependency.
+pub use dpm_lp::{InfeasibilityCertificate, SolveReport};
 pub use provider::{ServiceProvider, ServiceProviderBuilder};
 pub use queue::ServiceQueue;
 pub use requester::ServiceRequester;

@@ -1,7 +1,10 @@
+use std::sync::Arc;
+
 use dpm_linalg::Matrix;
-use dpm_lp::{InteriorPoint, LpSolver, RevisedSimplex, Simplex};
+use dpm_lp::{InteriorPoint, LpSolver, RevisedSimplex, Simplex, SolveReport};
 use dpm_mdp::{
-    ConstrainedMdp, ConstrainedSolution, CostConstraint, DiscountedMdp, RandomizedPolicy,
+    ConstrainedMdp, ConstrainedSession, ConstrainedSolution, CostConstraint, DiscountedMdp,
+    RandomizedPolicy,
 };
 
 use crate::{CostMetric, DpmError, SystemModel, SystemState};
@@ -46,6 +49,45 @@ impl SolverKind {
             SolverKind::InteriorPoint => Box::new(InteriorPoint::new()),
         }
     }
+}
+
+/// Which bounded cost a [`PreparedOptimization`] re-solve (or a
+/// [`ParetoExplorer`](crate::ParetoExplorer) sweep) retargets.
+///
+/// Each variant names one of the optimizer's built-in constraints; the
+/// constraint must have been given an initial bound before
+/// [`PolicyOptimizer::prepare`] so its row exists in the loaded LP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepTarget {
+    /// The performance-penalty bound (PO2/LP4's constraint; the paper's
+    /// usual x-axis).
+    PerformancePenalty,
+    /// The power bound (PO1/LP3's constraint).
+    Power,
+    /// The request-loss bound.
+    RequestLoss,
+}
+
+impl SweepTarget {
+    /// The constraint name this target retargets — the same string the
+    /// builder methods register with the constrained MDP.
+    fn constraint_name(self) -> &'static str {
+        match self {
+            SweepTarget::PerformancePenalty => "performance",
+            SweepTarget::Power => "power",
+            SweepTarget::RequestLoss => "request loss",
+        }
+    }
+}
+
+/// The cost matrices of one prepared optimization, derived from the
+/// system **once** and shared (cheaply, by reference count) by every
+/// solution a sweep produces.
+#[derive(Debug)]
+struct CostBundle {
+    power: Matrix,
+    performance: Matrix,
+    loss: Matrix,
 }
 
 /// The policy-optimization tool of Section IV/V: configures and solves the
@@ -108,6 +150,7 @@ impl<'a> PolicyOptimizer<'a> {
     }
 
     /// Sets the discount factor `α ∈ (0, 1)` directly.
+    #[must_use = "builder methods return the configured optimizer; dropping it discards the configuration"]
     pub fn discount(mut self, alpha: f64) -> Self {
         self.discount = Some(alpha);
         self
@@ -115,12 +158,14 @@ impl<'a> PolicyOptimizer<'a> {
 
     /// Sets the expected session length in slices; the discount becomes
     /// `α = 1 − 1/horizon` (Section IV: `E[T] = 1/(1−α)`).
+    #[must_use = "builder methods return the configured optimizer; dropping it discards the configuration"]
     pub fn horizon(mut self, slices: f64) -> Self {
         self.discount = Some(1.0 - 1.0 / slices);
         self
     }
 
     /// Chooses the objective (PO1 vs PO2).
+    #[must_use = "builder methods return the configured optimizer; dropping it discards the configuration"]
     pub fn goal(mut self, goal: OptimizationGoal) -> Self {
         self.goal = goal;
         self
@@ -128,18 +173,21 @@ impl<'a> PolicyOptimizer<'a> {
 
     /// Bounds the per-slice performance penalty (by default the average
     /// queue occupancy).
+    #[must_use = "builder methods return the configured optimizer; dropping it discards the configuration"]
     pub fn max_performance_penalty(mut self, bound: f64) -> Self {
         self.max_performance = Some(bound);
         self
     }
 
     /// Bounds the per-slice power (Watts) — the constraint of PO1.
+    #[must_use = "builder methods return the configured optimizer; dropping it discards the configuration"]
     pub fn max_power(mut self, bound: f64) -> Self {
         self.max_power = Some(bound);
         self
     }
 
     /// Bounds the per-slice request-loss rate.
+    #[must_use = "builder methods return the configured optimizer; dropping it discards the configuration"]
     pub fn max_request_loss_rate(mut self, bound: f64) -> Self {
         self.max_loss = Some(bound);
         self
@@ -147,6 +195,7 @@ impl<'a> PolicyOptimizer<'a> {
 
     /// Uses the exact expected-loss metric instead of the paper's
     /// "request while queue full" indicator for the loss constraint.
+    #[must_use = "builder methods return the configured optimizer; dropping it discards the configuration"]
     pub fn use_expected_loss(mut self) -> Self {
         self.loss_metric = CostMetric::ExpectedRequestLoss;
         self
@@ -155,12 +204,14 @@ impl<'a> PolicyOptimizer<'a> {
     /// Replaces the performance-penalty cost (default: queue occupancy)
     /// with a custom `states × commands` matrix — e.g. the CPU case
     /// study's "SR busy while SP asleep" indicator.
+    #[must_use = "builder methods return the configured optimizer; dropping it discards the configuration"]
     pub fn performance_cost(mut self, matrix: Matrix) -> Self {
         self.performance_matrix = Some(matrix);
         self
     }
 
     /// Adds an arbitrary extra per-slice cost bound.
+    #[must_use = "builder methods return the configured optimizer; dropping it discards the configuration"]
     pub fn custom_constraint(
         mut self,
         name: impl Into<String>,
@@ -185,27 +236,34 @@ impl<'a> PolicyOptimizer<'a> {
     }
 
     /// Sets a full initial distribution.
+    #[must_use = "builder methods return the configured optimizer; dropping it discards the configuration"]
     pub fn initial_distribution(mut self, distribution: Vec<f64>) -> Self {
         self.initial = Some(distribution);
         self
     }
 
     /// Selects the LP engine.
+    #[must_use = "builder methods return the configured optimizer; dropping it discards the configuration"]
     pub fn solver(mut self, kind: SolverKind) -> Self {
         self.solver = kind;
         self
     }
 
-    /// Solves the configured problem.
+    /// Prepares the configured problem for (repeated) solving: composes
+    /// the cost matrices, registers the constraints, emits the occupation
+    /// LP **once**, and loads it into a solver session. The returned
+    /// [`PreparedOptimization`] solves under the configured bounds
+    /// ([`PreparedOptimization::solve`]) and re-solves cheaply — warm
+    /// started on the default engine — when a bound is retargeted
+    /// ([`PreparedOptimization::resolve_with_bound`]).
     ///
     /// # Errors
     ///
     /// * [`DpmError::BadConfiguration`] when no horizon/discount was set
     ///   or the discount is out of range.
-    /// * [`DpmError::Infeasible`] when the constraints admit no policy
-    ///   (the paper's `g(C) = +∞`).
-    /// * Propagated LP/MDP failures.
-    pub fn solve(&self) -> Result<PolicySolution, DpmError> {
+    /// * Propagated MDP/LP build failures. Infeasibility surfaces from
+    ///   the solve calls, not from preparation.
+    pub fn prepare(&self) -> Result<PreparedOptimization, DpmError> {
         let discount = self.discount.ok_or_else(|| DpmError::BadConfiguration {
             reason: "set a horizon or discount factor before solving".to_string(),
         })?;
@@ -215,16 +273,19 @@ impl<'a> PolicyOptimizer<'a> {
             });
         }
 
-        let power = CostMetric::Power.matrix(self.system);
-        let performance = self
-            .performance_matrix
-            .clone()
-            .unwrap_or_else(|| CostMetric::QueueOccupancy.matrix(self.system));
-        let loss = self.loss_metric.matrix(self.system);
+        // Derived once per preparation, shared by every solution.
+        let costs = Arc::new(CostBundle {
+            power: CostMetric::Power.matrix(self.system),
+            performance: self
+                .performance_matrix
+                .clone()
+                .unwrap_or_else(|| CostMetric::QueueOccupancy.matrix(self.system)),
+            loss: self.loss_metric.matrix(self.system),
+        });
 
         let objective = match self.goal {
-            OptimizationGoal::MinimizePower => power.clone(),
-            OptimizationGoal::MinimizePerformancePenalty => performance.clone(),
+            OptimizationGoal::MinimizePower => costs.power.clone(),
+            OptimizationGoal::MinimizePerformancePenalty => costs.performance.clone(),
         };
 
         let mdp = DiscountedMdp::new(self.system.chain().clone(), objective, discount)?;
@@ -232,7 +293,7 @@ impl<'a> PolicyOptimizer<'a> {
         if let Some(bound) = self.max_performance {
             constrained = constrained.with_constraint(CostConstraint::per_slice(
                 "performance",
-                performance.clone(),
+                costs.performance.clone(),
                 bound,
                 discount,
             ));
@@ -240,7 +301,7 @@ impl<'a> PolicyOptimizer<'a> {
         if let Some(bound) = self.max_power {
             constrained = constrained.with_constraint(CostConstraint::per_slice(
                 "power",
-                power.clone(),
+                costs.power.clone(),
                 bound,
                 discount,
             ));
@@ -248,7 +309,7 @@ impl<'a> PolicyOptimizer<'a> {
         if let Some(bound) = self.max_loss {
             constrained = constrained.with_constraint(CostConstraint::per_slice(
                 "request loss",
-                loss.clone(),
+                costs.loss.clone(),
                 bound,
                 discount,
             ));
@@ -271,16 +332,155 @@ impl<'a> PolicyOptimizer<'a> {
             })?,
         };
         let solver = self.solver.instantiate();
-        let solution = constrained.solve(&initial, solver.as_ref())?;
+        let session = constrained.into_session(&initial, solver.as_ref())?;
 
-        Ok(PolicySolution {
-            solution,
+        Ok(PreparedOptimization {
+            session,
             discount,
             goal: self.goal,
-            power,
-            performance,
-            loss,
+            costs,
         })
+    }
+
+    /// Solves the configured problem.
+    ///
+    /// One-shot convenience over [`Self::prepare`]: to solve the *same*
+    /// model under several bounds, prepare once and use
+    /// [`PreparedOptimization::resolve_with_bound`] (or a
+    /// [`ParetoExplorer`](crate::ParetoExplorer) sweep) so the LP build
+    /// and the solver basis are reused across points.
+    ///
+    /// # Errors
+    ///
+    /// * [`DpmError::BadConfiguration`] when no horizon/discount was set
+    ///   or the discount is out of range.
+    /// * [`DpmError::Infeasible`] when the constraints admit no policy
+    ///   (the paper's `g(C) = +∞`).
+    /// * Propagated LP/MDP failures.
+    pub fn solve(&self) -> Result<PolicySolution, DpmError> {
+        self.prepare()?.solve()
+    }
+}
+
+/// A policy optimization prepared for repeated parametric re-solves: the
+/// compose chain, cost matrices and occupation LP are built **once**, and
+/// each [`Self::resolve_with_bound`] call retargets a single LP row and
+/// re-solves — warm-started from the previous optimal basis on the
+/// default [`SolverKind::RevisedSimplex`] engine.
+///
+/// Created by [`PolicyOptimizer::prepare`]. This is what
+/// [`ParetoExplorer`](crate::ParetoExplorer) runs its sweeps through.
+///
+/// # Example
+///
+/// ```no_run
+/// use dpm_core::{PolicyOptimizer, SweepTarget, SystemModel};
+///
+/// # fn run(system: &SystemModel) -> Result<(), dpm_core::DpmError> {
+/// let mut prepared = PolicyOptimizer::new(system)
+///     .horizon(100_000.0)
+///     .max_performance_penalty(0.5)
+///     .prepare()?;
+/// for bound in [0.5, 0.4, 0.3, 0.2] {
+///     let solution =
+///         prepared.resolve_with_bound(SweepTarget::PerformancePenalty, bound)?;
+///     println!(
+///         "queue ≤ {bound}: {:.3} W ({})",
+///         solution.power_per_slice(),
+///         if solution.solve_report().warm_start { "warm" } else { "cold" },
+///     );
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PreparedOptimization {
+    session: ConstrainedSession,
+    discount: f64,
+    goal: OptimizationGoal,
+    costs: Arc<CostBundle>,
+}
+
+impl PreparedOptimization {
+    /// Solves under the currently configured bounds.
+    ///
+    /// # Errors
+    ///
+    /// * [`DpmError::Infeasible`] when the bounds admit no policy; the
+    ///   prepared state stays usable (retarget a bound and re-solve).
+    /// * Propagated LP/MDP failures.
+    pub fn solve(&mut self) -> Result<PolicySolution, DpmError> {
+        let (solution, report) = self.session.solve()?;
+        Ok(PolicySolution {
+            solution,
+            discount: self.discount,
+            goal: self.goal,
+            costs: Arc::clone(&self.costs),
+            report,
+        })
+    }
+
+    /// Retargets one built-in bound (per slice, the paper's convention)
+    /// and re-solves. Equivalent to rebuilding the optimizer with the new
+    /// bound and calling `solve`, but the LP is not re-emitted and the
+    /// solver warm-starts when it can.
+    ///
+    /// # Errors
+    ///
+    /// * [`DpmError::BadConfiguration`] when `target` names a constraint
+    ///   the preparation did not include (no initial bound was set), or
+    ///   when `bound_per_slice` is NaN/∞.
+    /// * Same solve-time contract as [`Self::solve`].
+    pub fn resolve_with_bound(
+        &mut self,
+        target: SweepTarget,
+        bound_per_slice: f64,
+    ) -> Result<PolicySolution, DpmError> {
+        self.resolve_with_named_bound(target.constraint_name(), bound_per_slice)
+    }
+
+    /// [`Self::resolve_with_bound`] for custom constraints, addressed by
+    /// the name they were registered under
+    /// ([`PolicyOptimizer::custom_constraint`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::resolve_with_bound`].
+    pub fn resolve_with_named_bound(
+        &mut self,
+        name: &str,
+        bound_per_slice: f64,
+    ) -> Result<PolicySolution, DpmError> {
+        if !bound_per_slice.is_finite() {
+            return Err(DpmError::BadConfiguration {
+                reason: format!("bound for `{name}` is not finite: {bound_per_slice}"),
+            });
+        }
+        let k = self
+            .session
+            .problem()
+            .constraints()
+            .iter()
+            .position(|c| c.name() == name)
+            .ok_or_else(|| DpmError::BadConfiguration {
+                reason: format!(
+                    "constraint `{name}` was not configured before prepare(); \
+                     set an initial bound so its LP row exists"
+                ),
+            })?;
+        self.session.set_bound_per_slice(k, bound_per_slice)?;
+        self.solve()
+    }
+
+    /// Report of the most recent solve attempt, successful or not —
+    /// how sweep drivers label infeasible points.
+    pub fn last_report(&self) -> &SolveReport {
+        self.session.last_report()
+    }
+
+    /// The discount factor the problem was prepared with.
+    pub fn discount(&self) -> f64 {
+        self.discount
     }
 }
 
@@ -291,9 +491,10 @@ pub struct PolicySolution {
     solution: ConstrainedSolution,
     discount: f64,
     goal: OptimizationGoal,
-    power: Matrix,
-    performance: Matrix,
-    loss: Matrix,
+    /// Shared with the prepared optimization that produced the solution —
+    /// sweep points no longer clone three cost matrices each.
+    costs: Arc<CostBundle>,
+    report: SolveReport,
 }
 
 impl PolicySolution {
@@ -321,7 +522,7 @@ impl PolicySolution {
     pub fn power_per_slice(&self) -> f64 {
         self.solution
             .occupation()
-            .expected_cost_per_slice(&self.power)
+            .expected_cost_per_slice(&self.costs.power)
     }
 
     /// Expected performance penalty per slice (average queue occupancy,
@@ -329,14 +530,20 @@ impl PolicySolution {
     pub fn performance_per_slice(&self) -> f64 {
         self.solution
             .occupation()
-            .expected_cost_per_slice(&self.performance)
+            .expected_cost_per_slice(&self.costs.performance)
     }
 
     /// Expected request-loss rate per slice.
     pub fn loss_per_slice(&self) -> f64 {
         self.solution
             .occupation()
-            .expected_cost_per_slice(&self.loss)
+            .expected_cost_per_slice(&self.costs.loss)
+    }
+
+    /// How the LP engine reached this solution: warm vs cold start,
+    /// pivots, refactorizations (see [`SolveReport`]).
+    pub fn solve_report(&self) -> &SolveReport {
+        &self.report
     }
 
     /// Objective value per slice (power or performance depending on the

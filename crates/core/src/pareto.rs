@@ -1,4 +1,6 @@
-use crate::{DpmError, PolicyOptimizer, PolicySolution};
+use dpm_lp::SolveReport;
+
+use crate::{DpmError, PolicyOptimizer, PolicySolution, SweepTarget};
 
 /// One point of a power–performance tradeoff curve.
 ///
@@ -11,6 +13,12 @@ pub struct ParetoPoint {
     pub bound: f64,
     /// The solved problem, or `None` when infeasible.
     pub solution: Option<PolicySolution>,
+    /// How the solver reached this point: warm vs cold start, pivots,
+    /// refactorizations, and — for infeasible points — the certificate
+    /// kind. `None` only on the legacy closure-based
+    /// [`ParetoExplorer::sweep_with`] path when the point is infeasible
+    /// (the per-point optimizer consumed its report with the error).
+    pub report: Option<SolveReport>,
 }
 
 impl ParetoPoint {
@@ -53,13 +61,37 @@ impl ParetoCurve {
         self.points.iter().filter(|p| !p.is_feasible()).count()
     }
 
+    /// Total solver effort across the sweep, as `(warm-started points,
+    /// cold-started points, pivots, refactorizations)` summed over the
+    /// points that carry a [`SolveReport`].
+    pub fn solver_effort(&self) -> (usize, usize, usize, usize) {
+        let mut warm = 0;
+        let mut cold = 0;
+        let mut pivots = 0;
+        let mut refactorizations = 0;
+        for report in self.points.iter().filter_map(|p| p.report.as_ref()) {
+            if report.warm_start {
+                warm += 1;
+            } else {
+                cold += 1;
+            }
+            pivots += report.iterations;
+            refactorizations += report.refactorizations;
+        }
+        (warm, cold, pivots, refactorizations)
+    }
+
     /// Checks the convexity of the efficient-allocation set (Theorem 4.1):
     /// on the sorted feasible points, the objective must be a convex,
     /// non-increasing function of the relaxing bound. Returns `true` when
     /// every discrete second difference is ≥ `−tol`.
     pub fn is_convex(&self, tol: f64) -> bool {
         let mut pts = self.feasible();
-        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite bounds"));
+        // Sweep bounds are validated finite at sweep time, but a curve
+        // could be assembled from hand-made points: order NaNs with
+        // total_cmp instead of panicking (they fall to the duplicate/
+        // non-increasing guard below).
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
         if pts.len() < 3 {
             return true;
         }
@@ -99,6 +131,14 @@ impl std::fmt::Display for ParetoCurve {
 /// Sweeps one constraint of a [`PolicyOptimizer`] configuration across a
 /// range of bounds, producing a [`ParetoCurve`].
 ///
+/// The named sweeps ([`Self::sweep`], [`Self::sweep_performance`], ...)
+/// run through **one** [`PreparedOptimization`]: the system is composed
+/// and the occupation LP emitted once, and every point after the first is
+/// a warm-started parametric re-solve on the default engine — one rhs
+/// write plus (typically) a handful of dual simplex pivots, instead of a
+/// full cold solve per point. Per-point solver effort lands in
+/// [`ParetoPoint::report`].
+///
 /// # Example
 ///
 /// ```no_run
@@ -110,6 +150,8 @@ impl std::fmt::Display for ParetoCurve {
 /// for (bound, power) in curve.feasible() {
 ///     println!("queue ≤ {bound:.2} → {power:.3} W");
 /// }
+/// let (warm, cold, pivots, _) = curve.solver_effort();
+/// println!("{warm} warm / {cold} cold starts, {pivots} pivots total");
 /// # Ok(())
 /// # }
 /// ```
@@ -123,14 +165,13 @@ impl ParetoExplorer {
     /// # Errors
     ///
     /// Propagates every failure except [`DpmError::Infeasible`], which is
-    /// recorded as an infeasible point.
+    /// recorded as an infeasible point; non-finite sweep bounds are
+    /// rejected with [`DpmError::BadConfiguration`].
     pub fn sweep_performance(
         base: PolicyOptimizer<'_>,
         bounds: &[f64],
     ) -> Result<ParetoCurve, DpmError> {
-        Self::sweep_with(base, bounds, |optimizer, bound| {
-            optimizer.max_performance_penalty(bound)
-        })
+        Self::sweep(base, SweepTarget::PerformancePenalty, bounds)
     }
 
     /// Sweeps the power bound (PO1/LP3 family).
@@ -139,7 +180,7 @@ impl ParetoExplorer {
     ///
     /// Same contract as [`Self::sweep_performance`].
     pub fn sweep_power(base: PolicyOptimizer<'_>, bounds: &[f64]) -> Result<ParetoCurve, DpmError> {
-        Self::sweep_with(base, bounds, |optimizer, bound| optimizer.max_power(bound))
+        Self::sweep(base, SweepTarget::Power, bounds)
     }
 
     /// Sweeps the request-loss bound.
@@ -151,33 +192,95 @@ impl ParetoExplorer {
         base: PolicyOptimizer<'_>,
         bounds: &[f64],
     ) -> Result<ParetoCurve, DpmError> {
-        Self::sweep_with(base, bounds, |optimizer, bound| {
-            optimizer.max_request_loss_rate(bound)
-        })
+        Self::sweep(base, SweepTarget::RequestLoss, bounds)
+    }
+
+    /// Sweeps `target` across `bounds` through one warm-started solve
+    /// session. Any bound already configured for `target` on `base` is
+    /// superseded by the sweep values.
+    ///
+    /// # Errors
+    ///
+    /// * [`DpmError::BadConfiguration`] when a sweep bound is NaN/∞.
+    /// * Propagates preparation and solve failures, except
+    ///   [`DpmError::Infeasible`] which becomes an infeasible point.
+    pub fn sweep(
+        base: PolicyOptimizer<'_>,
+        target: SweepTarget,
+        bounds: &[f64],
+    ) -> Result<ParetoCurve, DpmError> {
+        if let Some(&bad) = bounds.iter().find(|b| !b.is_finite()) {
+            return Err(DpmError::BadConfiguration {
+                reason: format!("sweep bound is not finite: {bad}"),
+            });
+        }
+        let Some(&first) = bounds.first() else {
+            return Ok(ParetoCurve { points: Vec::new() });
+        };
+        // Make sure the swept constraint exists in the emitted LP; the
+        // actual value is retargeted per point anyway.
+        let configured = match target {
+            SweepTarget::PerformancePenalty => base.max_performance_penalty(first),
+            SweepTarget::Power => base.max_power(first),
+            SweepTarget::RequestLoss => base.max_request_loss_rate(first),
+        };
+        let mut prepared = configured.prepare()?;
+        let mut points = Vec::with_capacity(bounds.len());
+        for &bound in bounds {
+            match prepared.resolve_with_bound(target, bound) {
+                Ok(solution) => points.push(ParetoPoint {
+                    bound,
+                    report: Some(solution.solve_report().clone()),
+                    solution: Some(solution),
+                }),
+                Err(DpmError::Infeasible) => points.push(ParetoPoint {
+                    bound,
+                    solution: None,
+                    report: Some(prepared.last_report().clone()),
+                }),
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(ParetoCurve { points })
     }
 
     /// Generic sweep: `apply` installs the swept bound on a clone of the
     /// base configuration.
     ///
+    /// This is the **cold** path — each point pays a full prepare + solve
+    /// because `apply` may change anything about the configuration. Use
+    /// it for sweeps the targeted [`Self::sweep`] cannot express (e.g.
+    /// sweeping the horizon); for plain bound sweeps prefer the named
+    /// methods, which reuse one warm session.
+    ///
     /// # Errors
     ///
-    /// Propagates every failure except [`DpmError::Infeasible`].
+    /// Propagates every failure except [`DpmError::Infeasible`];
+    /// non-finite bounds are rejected with
+    /// [`DpmError::BadConfiguration`].
     pub fn sweep_with<'a>(
         base: PolicyOptimizer<'a>,
         bounds: &[f64],
         apply: impl Fn(PolicyOptimizer<'a>, f64) -> PolicyOptimizer<'a>,
     ) -> Result<ParetoCurve, DpmError> {
+        if let Some(&bad) = bounds.iter().find(|b| !b.is_finite()) {
+            return Err(DpmError::BadConfiguration {
+                reason: format!("sweep bound is not finite: {bad}"),
+            });
+        }
         let mut points = Vec::with_capacity(bounds.len());
         for &bound in bounds {
             let optimizer = apply(base.clone(), bound);
             match optimizer.solve() {
                 Ok(solution) => points.push(ParetoPoint {
                     bound,
+                    report: Some(solution.solve_report().clone()),
                     solution: Some(solution),
                 }),
                 Err(DpmError::Infeasible) => points.push(ParetoPoint {
                     bound,
                     solution: None,
+                    report: None,
                 }),
                 Err(other) => return Err(other),
             }
@@ -257,6 +360,89 @@ mod tests {
         for w in feasible.windows(2) {
             assert!(w[1].1 >= w[0].1 - 1e-7);
         }
+    }
+
+    #[test]
+    fn sweeps_are_warm_after_the_first_point() {
+        let system = example_system();
+        let base = PolicyOptimizer::new(&system).horizon(100_000.0);
+        let bounds = [0.9, 0.7, 0.5, 0.3];
+        let curve = ParetoExplorer::sweep_performance(base, &bounds).unwrap();
+        let (warm, cold, pivots, _) = curve.solver_effort();
+        assert_eq!(cold, 1, "only the first point pays a cold solve");
+        assert_eq!(warm, bounds.len() - 1);
+        assert!(pivots > 0);
+        for (i, point) in curve.points().iter().enumerate() {
+            let report = point.report.as_ref().expect("session sweeps always report");
+            assert_eq!(report.warm_start, i > 0, "point {i}");
+            assert_eq!(report.engine, "revised-simplex");
+        }
+    }
+
+    #[test]
+    fn warm_sweep_matches_cold_per_point_solves() {
+        let system = example_system();
+        let bounds = [0.9, 0.6, 0.4, 0.25, 0.4, 0.9];
+        let warm = ParetoExplorer::sweep_performance(
+            PolicyOptimizer::new(&system).horizon(100_000.0),
+            &bounds,
+        )
+        .unwrap();
+        let cold = ParetoExplorer::sweep_with(
+            PolicyOptimizer::new(&system).horizon(100_000.0),
+            &bounds,
+            |optimizer, bound| optimizer.max_performance_penalty(bound),
+        )
+        .unwrap();
+        for (w, c) in warm.points().iter().zip(cold.points()) {
+            assert_eq!(w.is_feasible(), c.is_feasible(), "bound {}", w.bound);
+            if let (Some(wo), Some(co)) = (w.objective(), c.objective()) {
+                assert!((wo - co).abs() < 1e-6, "bound {}: {wo} vs {co}", w.bound);
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_sweep_bounds_are_bad_configuration() {
+        // Regression: NaN sweep values used to reach `is_convex`'s
+        // `partial_cmp(..).expect("finite bounds")` and panic; they are
+        // now rejected at the sweep boundary.
+        let system = example_system();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let base = PolicyOptimizer::new(&system).horizon(1_000.0);
+            let err = ParetoExplorer::sweep_performance(base, &[0.5, bad, 0.3]).unwrap_err();
+            assert!(
+                matches!(err, DpmError::BadConfiguration { .. }),
+                "{bad}: {err}"
+            );
+            let base = PolicyOptimizer::new(&system).horizon(1_000.0);
+            let err = ParetoExplorer::sweep_with(base, &[bad], |o, b| o.max_power(b)).unwrap_err();
+            assert!(matches!(err, DpmError::BadConfiguration { .. }));
+        }
+    }
+
+    #[test]
+    fn empty_and_duplicate_bound_sweeps() {
+        let system = example_system();
+        let empty =
+            ParetoExplorer::sweep_performance(PolicyOptimizer::new(&system).horizon(1_000.0), &[])
+                .unwrap();
+        assert!(empty.points().is_empty());
+        assert!(empty.is_convex(1e-9));
+
+        // Duplicate bounds: the warm path re-solves an unchanged model;
+        // the duplicated points must agree exactly and convexity must
+        // tolerate the zero-width interval.
+        let curve = ParetoExplorer::sweep_performance(
+            PolicyOptimizer::new(&system).horizon(100_000.0),
+            &[0.5, 0.5, 0.3, 0.3],
+        )
+        .unwrap();
+        let feasible = curve.feasible();
+        assert_eq!(feasible.len(), 4);
+        assert!((feasible[0].1 - feasible[1].1).abs() < 1e-9);
+        assert!((feasible[2].1 - feasible[3].1).abs() < 1e-9);
+        assert!(curve.is_convex(1e-6));
     }
 
     #[test]

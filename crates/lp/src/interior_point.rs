@@ -1,6 +1,7 @@
 use dpm_linalg::{vector, Cholesky, Matrix};
 
-use crate::{LinearProgram, LpError, LpSolution, LpSolver};
+use crate::session::{ColdSession, InfeasibilityCertificate};
+use crate::{LinearProgram, LpError, LpSolution, LpSolver, SolveSession};
 
 /// Mehrotra predictor–corrector primal–dual interior-point method.
 ///
@@ -277,6 +278,18 @@ fn max_step(v: &[f64], dv: &[f64]) -> f64 {
 }
 
 impl LpSolver for InteriorPoint {
+    fn start(&self, lp: &LinearProgram) -> Result<Box<dyn SolveSession>, LpError> {
+        // Central-path iterates from one solve are useless as a warm
+        // start for the next (warm-started IPMs need careful shifting);
+        // sessions are cold re-solves. Infeasibility is detected by the
+        // divergence heuristic, and the certificate kind says so.
+        Ok(Box::new(ColdSession::new(
+            self,
+            lp,
+            InfeasibilityCertificate::DivergingIterates,
+        )?))
+    }
+
     fn solve(&self, lp: &LinearProgram) -> Result<LpSolution, LpError> {
         lp.validate()?;
         let sf = lp.to_standard_form()?;

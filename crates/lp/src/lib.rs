@@ -50,10 +50,47 @@
 //! | small/dense problems, exact vertex + basis diagnostics | [`Simplex`] | simplest exact method; the dense tableau is competitive below ~100 variables and is the reference the other engines are checked against |
 //! | very degenerate or ill-conditioned instances | [`InteriorPoint`] | follows the central path instead of vertex-hopping, so degeneracy costs nothing; regularized normal equations tolerate bad conditioning |
 //! | don't know / don't care | [`RevisedSimplex`] | the default of `dpm_core::SolverKind`; the occupation-LP layer (`dpm_mdp::OccupationLp`) additionally rescues numerical failures by retrying with another engine — callers using this crate directly get no such net |
+//! | re-solving one model under a sweep of bounds | a [`SolveSession`] on [`RevisedSimplex`] | parametric right-hand-side changes re-solve by **dual simplex from the previous optimal basis** — typically a handful of pivots instead of a full two-phase cold solve |
 //!
 //! All engines accept the same [`LinearProgram`] and return the same
 //! [`LpSolution`], so switching is a one-line change (or a
 //! `Box<dyn LpSolver>` picked at run time).
+//!
+//! # Solve sessions and warm starts
+//!
+//! A one-shot [`LpSolver::solve`] rebuilds the standard form, finds a
+//! feasible basis and factorizes from scratch on every call. When the
+//! *same* model is re-solved under a sequence of slightly different
+//! right-hand sides or objectives — the paper's Pareto sweeps, or
+//! re-optimization as workload predictions drift — use
+//! [`LpSolver::start`] instead: it loads the program into a stateful
+//! [`SolveSession`] that owns the standard-form data and, for
+//! [`RevisedSimplex`], the factorized basis.
+//!
+//! * [`SolveSession::set_rhs`] / [`SolveSession::set_objective`] mutate
+//!   the loaded model in place; constraint rows keep their 0-based
+//!   insertion index as a stable handle.
+//! * [`SolveSession::solve`] re-optimizes. After an RHS change the
+//!   previous basis is still **dual feasible**, so [`RevisedSimplex`]
+//!   restores primal feasibility by dual simplex pivots on the existing
+//!   LU factorization; after an objective change it re-prices with primal
+//!   pivots from the still-primal-feasible basis. The dense [`Simplex`]
+//!   and [`InteriorPoint`] engines run correct cold re-solves.
+//! * Every solve returns a [`SolveReport`] — warm vs cold, pivot and
+//!   refactorization counts, and the [`InfeasibilityCertificate`] kind
+//!   when a solve ends infeasible (also kept in
+//!   [`SolveSession::last_report`]).
+//!
+//! ## Migration notes (pre-session `LpSolver`)
+//!
+//! `LpSolver::solve(&lp)` is still there and behaves exactly as before;
+//! existing call sites compile unchanged. What changed for *implementors*
+//! of the trait: the required method is now [`LpSolver::start`], and
+//! `solve` is a default method that runs one cold session. An engine
+//! without warm-start machinery can implement `start` in one line by
+//! delegating to an owned engine + cold re-solve (see the dense engines),
+//! or keep overriding `solve` for its hot path — the in-tree engines do
+//! both, so either entry point reaches the same code.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -63,6 +100,7 @@ mod interior_point;
 mod presolve;
 mod problem;
 mod revised_simplex;
+mod session;
 mod simplex;
 mod solution;
 
@@ -71,6 +109,7 @@ pub use interior_point::InteriorPoint;
 pub use presolve::{presolve, PresolveReport};
 pub use problem::{ConstraintOp, LinearProgram, SparseStandardForm, StandardForm};
 pub use revised_simplex::RevisedSimplex;
+pub use session::{InfeasibilityCertificate, SolveReport, SolveSession};
 pub use simplex::{PivotRule, Simplex};
 pub use solution::LpSolution;
 
@@ -96,7 +135,21 @@ pub use solution::LpSolution;
 /// # }
 /// ```
 pub trait LpSolver: std::fmt::Debug {
+    /// Loads `lp` into a stateful [`SolveSession`] for (possibly
+    /// repeated, possibly warm-started) solving. The session owns its
+    /// copy of the problem data; the borrow of `lp` ends here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinearProgram::validate`] failures; engine-specific
+    /// failures surface from [`SolveSession::solve`], not from `start`.
+    fn start(&self, lp: &LinearProgram) -> Result<Box<dyn SolveSession>, LpError>;
+
     /// Solves the program to optimality.
+    ///
+    /// The default implementation runs one cold session from
+    /// [`Self::start`]; the in-tree engines override it with their
+    /// direct paths (same results, no session bookkeeping).
     ///
     /// # Errors
     ///
@@ -105,7 +158,9 @@ pub trait LpSolver: std::fmt::Debug {
     ///   (above, for maximization) on the feasible set.
     /// * [`LpError::IterationLimit`] / [`LpError::Numerical`] on
     ///   algorithmic failure.
-    fn solve(&self, lp: &LinearProgram) -> Result<LpSolution, LpError>;
+    fn solve(&self, lp: &LinearProgram) -> Result<LpSolution, LpError> {
+        self.start(lp)?.solve().map(|(solution, _)| solution)
+    }
 
     /// Short human-readable name of the algorithm ("simplex",
     /// "interior-point"), used in logs and benchmark tables.

@@ -80,6 +80,7 @@ pub struct LinearProgram {
 
 impl LinearProgram {
     /// Creates a minimization problem with objective coefficients `c`.
+    #[must_use]
     pub fn minimize(c: &[f64]) -> Self {
         LinearProgram {
             objective: c.to_vec(),
@@ -89,6 +90,7 @@ impl LinearProgram {
     }
 
     /// Creates a maximization problem with objective coefficients `c`.
+    #[must_use]
     pub fn maximize(c: &[f64]) -> Self {
         LinearProgram {
             objective: c.to_vec(),
@@ -178,6 +180,52 @@ impl LinearProgram {
             op,
             rhs,
         });
+        Ok(self)
+    }
+
+    /// Replaces the right-hand side of constraint `row` (0-based, in the
+    /// order constraints were added), leaving its coefficients and
+    /// relation untouched — the parametric mutation behind
+    /// [`SolveSession::set_rhs`](crate::SolveSession::set_rhs).
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::BadConstraint`] when `row >= num_constraints()`.
+    /// * [`LpError::NonFiniteInput`] when `rhs` is NaN/∞.
+    pub fn set_rhs(&mut self, row: usize, rhs: f64) -> Result<&mut Self, LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::NonFiniteInput);
+        }
+        let limit = self.constraints.len();
+        let Some(constraint) = self.constraints.get_mut(row) else {
+            return Err(LpError::BadConstraint {
+                found: row,
+                expected: limit,
+            });
+        };
+        constraint.rhs = rhs;
+        Ok(self)
+    }
+
+    /// Replaces the objective coefficient vector, keeping the program's
+    /// orientation (minimize/maximize) and every constraint.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::BadConstraint`] when `c.len()` differs from
+    ///   `num_vars()` — the variable set of a loaded program is fixed.
+    /// * [`LpError::NonFiniteInput`] when any coefficient is NaN/∞.
+    pub fn set_objective(&mut self, c: &[f64]) -> Result<&mut Self, LpError> {
+        if c.len() != self.objective.len() {
+            return Err(LpError::BadConstraint {
+                found: c.len(),
+                expected: self.objective.len(),
+            });
+        }
+        if c.iter().any(|v| !v.is_finite()) {
+            return Err(LpError::NonFiniteInput);
+        }
+        self.objective.copy_from_slice(c);
         Ok(self)
     }
 
@@ -583,6 +631,47 @@ mod tests {
             sparse.original_solution(&[1.0, 2.0, 9.0, 9.0]),
             vec![1.0, 2.0]
         );
+    }
+
+    #[test]
+    fn set_rhs_retargets_one_row() {
+        let mut lp = LinearProgram::minimize(&[1.0, 2.0]);
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Ge, 4.0)
+            .unwrap();
+        lp.set_rhs(0, 6.0).unwrap();
+        let (entries, op, rhs) = lp.constraint_entries(0);
+        assert_eq!(entries, &[(0, 1.0), (1, 1.0)]);
+        assert_eq!(op, ConstraintOp::Ge);
+        assert_eq!(rhs, 6.0);
+        assert!(matches!(
+            lp.set_rhs(1, 0.0).unwrap_err(),
+            LpError::BadConstraint {
+                found: 1,
+                expected: 1
+            }
+        ));
+        assert_eq!(
+            lp.set_rhs(0, f64::NAN).unwrap_err(),
+            LpError::NonFiniteInput
+        );
+    }
+
+    #[test]
+    fn set_objective_replaces_costs_in_place() {
+        let mut lp = LinearProgram::maximize(&[1.0, 2.0]);
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Le, 1.0)
+            .unwrap();
+        lp.set_objective(&[5.0, -1.0]).unwrap();
+        assert_eq!(lp.objective_coefficients(), &[5.0, -1.0]);
+        assert!(lp.is_maximize());
+        assert!(lp.set_objective(&[1.0]).is_err());
+        assert_eq!(
+            lp.set_objective(&[1.0, f64::NEG_INFINITY]).unwrap_err(),
+            LpError::NonFiniteInput
+        );
+        // The standard form picks up the new costs (negated for max).
+        let sf = lp.to_standard_form().unwrap();
+        assert_eq!(sf.c, vec![-5.0, 1.0, 0.0]);
     }
 
     #[test]

@@ -33,8 +33,9 @@
 
 use dpm_linalg::{LuDecomposition, Matrix};
 
+use crate::session::{InfeasibilityCertificate, SolveReport};
 use crate::simplex::PivotRule;
-use crate::{LinearProgram, LpError, LpSolution, LpSolver};
+use crate::{LinearProgram, LpError, LpSolution, LpSolver, SolveSession};
 
 /// Revised simplex method with an LU-factorized basis and product-form
 /// eta updates, operating on sparse compressed columns.
@@ -112,8 +113,11 @@ impl RevisedSimplex {
     }
 }
 
-impl LpSolver for RevisedSimplex {
-    fn solve(&self, lp: &LinearProgram) -> Result<LpSolution, LpError> {
+impl RevisedSimplex {
+    /// The full cold pipeline — build, two phases, clean extraction —
+    /// returning the final [`Core`] so sessions can keep its factorized
+    /// basis for warm re-solves. [`LpSolver::solve`] discards the core.
+    fn solve_to_core(&self, lp: &LinearProgram) -> Result<(LpSolution, Core), LpError> {
         lp.validate()?;
         let mut core = Core::build(lp, self.tolerance, self.refactor_interval)?;
         let mut iterations = 0;
@@ -126,14 +130,27 @@ impl LpSolver for RevisedSimplex {
         }
         iterations += core.optimize(Phase::Two, self.pivot_rule, self.max_iterations)?;
 
-        // Fresh factorization of the final basis: basic values re-solved
-        // from the pristine column data, flushing any eta-file roundoff.
-        core.refactor()?;
-        let x_full = core.primal_solution()?;
-        let x: Vec<f64> = x_full[..lp.num_vars()].to_vec();
-        let objective = lp.objective_value(&x);
-        let dual = core.dual_solution()?;
-        Ok(LpSolution::new(x, objective, iterations, Some(dual)))
+        let solution = core.extract_solution(lp, iterations)?;
+        Ok((solution, core))
+    }
+}
+
+impl LpSolver for RevisedSimplex {
+    fn start(&self, lp: &LinearProgram) -> Result<Box<dyn SolveSession>, LpError> {
+        lp.validate()?;
+        Ok(Box::new(RevisedSession {
+            config: self.clone(),
+            lp: lp.clone(),
+            core: None,
+            warm: false,
+            rhs_dirty: false,
+            obj_dirty: false,
+            report: SolveReport::new("revised-simplex"),
+        }))
+    }
+
+    fn solve(&self, lp: &LinearProgram) -> Result<LpSolution, LpError> {
+        self.solve_to_core(lp).map(|(solution, _)| solution)
     }
 
     fn name(&self) -> &'static str {
@@ -149,24 +166,33 @@ enum Phase {
 
 /// One product-form basis update: replacing basis slot `slot` recorded the
 /// direction `d = B⁻¹ a_entering`.
+#[derive(Debug)]
 struct Eta {
     slot: usize,
     d: Vec<f64>,
 }
 
 /// Solver state over the (row-sign-normalized) sparse standard form.
+#[derive(Debug)]
 struct Core {
     m: usize,
     /// Structural columns: originals then slacks. Artificials follow.
     num_structural: usize,
+    /// How many leading structural columns are the user's variables.
+    num_original: usize,
     num_artificial: usize,
     /// Sparse columns of the standard form, artificials included, with
     /// negative-rhs rows already negated.
     cols: Vec<Vec<(usize, f64)>>,
     /// Phase-2 minimization costs for structural columns.
     cost: Vec<f64>,
-    /// Row-normalized rhs (`b ≥ 0`).
+    /// Row-normalized rhs (rows were flipped so the *initial* `b ≥ 0`;
+    /// parametric updates may later make entries negative, which the
+    /// dual-simplex warm path handles).
     b: Vec<f64>,
+    /// Per-row sign applied during normalization (`±1`), fixed for the
+    /// lifetime of the core so parametric rhs updates land consistently.
+    flip: Vec<f64>,
     /// `basis[slot]` = column currently basic in that slot.
     basis: Vec<usize>,
     is_basic: Vec<bool>,
@@ -178,6 +204,10 @@ struct Core {
     etas: Vec<Eta>,
     tol: f64,
     refactor_interval: usize,
+    /// Lifetime pivot count (primal + dual), for [`SolveReport`]s.
+    pivots: usize,
+    /// Lifetime refactorization count, for [`SolveReport`]s.
+    refactorizations: usize,
 }
 
 impl Core {
@@ -233,10 +263,12 @@ impl Core {
         let mut core = Core {
             m,
             num_structural: n,
+            num_original: sf.num_original_vars,
             num_artificial,
             cols,
             cost: sf.c,
             b,
+            flip,
             basis,
             is_basic,
             x_b: vec![0.0; m],
@@ -248,6 +280,8 @@ impl Core {
             etas: Vec::new(),
             tol,
             refactor_interval,
+            pivots: 0,
+            refactorizations: 0,
         };
         core.refactor()?;
         Ok(core)
@@ -257,6 +291,7 @@ impl Core {
     /// pristine sparse columns, clears the eta file, and re-solves the
     /// basic values.
     fn refactor(&mut self) -> Result<(), LpError> {
+        self.refactorizations += 1;
         if self.m == 0 {
             self.etas.clear();
             self.x_b.clear();
@@ -519,6 +554,7 @@ impl Core {
             self.is_basic[out] = false;
             self.is_basic[q] = true;
             self.basis[p] = q;
+            self.pivots += 1;
             if self.etas.len() + 1 >= self.refactor_interval {
                 self.refactor()?;
             } else {
@@ -582,6 +618,320 @@ impl Core {
     /// every row gets its true multiplier.
     fn dual_solution(&self) -> Result<Vec<f64>, LpError> {
         self.btran(&self.basic_costs(Phase::Two))
+    }
+
+    /// Clean extraction of the final solution: refactorize (flushing
+    /// eta-file roundoff and re-solving the basic values from pristine
+    /// data), then read the primal point, objective and duals.
+    fn extract_solution(
+        &mut self,
+        lp: &LinearProgram,
+        iterations: usize,
+    ) -> Result<LpSolution, LpError> {
+        self.refactor()?;
+        let x_full = self.primal_solution()?;
+        let x: Vec<f64> = x_full[..lp.num_vars()].to_vec();
+        let objective = lp.objective_value(&x);
+        let dual = self.dual_solution()?;
+        Ok(LpSolution::new(x, objective, iterations, Some(dual)))
+    }
+
+    /// Parametric rhs update: row `row` of the original program now has
+    /// right-hand side `rhs`. The row's normalization sign is fixed, so
+    /// the stored `b` entry may turn negative — exactly what the dual
+    /// simplex warm path repairs.
+    fn set_rhs_row(&mut self, row: usize, rhs: f64) {
+        self.b[row] = self.flip[row] * rhs;
+    }
+
+    /// Parametric objective update: new user-orientation costs `c`
+    /// (`sign` is `−1` for maximization). Slack and artificial costs stay
+    /// zero.
+    fn set_costs(&mut self, c: &[f64], sign: f64) {
+        for (cost, &cj) in self.cost.iter_mut().zip(c) {
+            *cost = sign * cj;
+        }
+        debug_assert!(c.len() == self.num_original);
+    }
+
+    /// Re-solves the basic values `x_B = B⁻¹ b` after a rhs change.
+    fn recompute_basics(&mut self) -> Result<(), LpError> {
+        self.x_b = self.ftran(&self.b)?;
+        Ok(())
+    }
+
+    /// Dual simplex: restores primal feasibility of a **dual-feasible**
+    /// basis after a right-hand-side change, pivoting on the existing LU
+    /// factorization — the textbook parametric re-solve, and the reason
+    /// warm-started sweeps cost a handful of pivots instead of a full
+    /// two-phase cold solve.
+    ///
+    /// Handles two kinds of violation: an ordinary basic variable gone
+    /// negative, and a basic **artificial** pushed away from zero by the
+    /// new rhs (its row's equality is no longer met); the ratio-test
+    /// direction flips accordingly. Artificial columns never enter.
+    ///
+    /// Returns the pivot count, [`LpError::Infeasible`] when a violated
+    /// row admits no entering column (a dual ray: the dual objective is
+    /// unbounded along it), or [`LpError::Numerical`] when only
+    /// degenerate pivots remain — the session falls back to a cold solve
+    /// in that case.
+    fn dual_simplex(&mut self, max_iter: usize) -> Result<usize, LpError> {
+        /// Basic values inside this band count as feasible; tighter than
+        /// the `primal_solution` guard (1e-7) so accepted points pass it.
+        const FEAS_TOL: f64 = 1e-8;
+        const PIVOT_MIN: f64 = 1e-7;
+        let mut pivots_done = 0usize;
+
+        for _ in 0..max_iter {
+            // Leaving slot: the worst violation. Artificials must sit at
+            // exactly zero, ordinary basics at ≥ 0.
+            let mut leaving: Option<usize> = None;
+            let mut worst = FEAS_TOL;
+            for (slot, &value) in self.x_b.iter().enumerate() {
+                let violation = if self.basis[slot] >= self.num_structural {
+                    value.abs()
+                } else {
+                    -value
+                };
+                if violation > worst {
+                    worst = violation;
+                    leaving = Some(slot);
+                }
+            }
+            let Some(p) = leaving else {
+                return Ok(pivots_done);
+            };
+            // An artificial *above* zero needs an entering column that
+            // grows through the row (`α > 0`); every other violation is a
+            // basic variable below its bound (`α < 0`).
+            let above = self.basis[p] >= self.num_structural && self.x_b[p] > 0.0;
+
+            // Row p of B⁻¹ (for the αs) and the duals (for reduced costs).
+            let mut e_p = vec![0.0; self.m];
+            e_p[p] = 1.0;
+            let rho = self.btran(&e_p)?;
+            let y = self.btran(&self.basic_costs(Phase::Two))?;
+
+            // Dual ratio test: among eligible columns, the smallest
+            // |reduced cost| / |α| keeps every reduced cost nonnegative
+            // after the pivot; ties break toward the larger |α| for
+            // numerical stability.
+            let mut entering: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_alpha = 0.0f64;
+            for j in 0..self.num_structural {
+                if self.is_basic[j] {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                let mut rc = self.phase_cost(Phase::Two, j);
+                for &(i, v) in &self.cols[j] {
+                    alpha += rho[i] * v;
+                    rc -= y[i] * v;
+                }
+                let eligible = if above {
+                    alpha > self.tol
+                } else {
+                    alpha < -self.tol
+                };
+                if !eligible {
+                    continue;
+                }
+                // rc ≥ 0 up to the optimality tolerance of the previous
+                // solve; clamp the dust so ratios stay nonnegative.
+                let ratio = rc.max(0.0) / alpha.abs();
+                let better = ratio < best_ratio - self.tol
+                    || ((ratio - best_ratio).abs() <= self.tol && alpha.abs() > best_alpha.abs());
+                if better {
+                    best_ratio = ratio;
+                    best_alpha = alpha;
+                    entering = Some(j);
+                }
+            }
+            let Some(q) = entering else {
+                // No column can repair the violated row: the duals move
+                // unboundedly along ρ — the primal is infeasible.
+                return Err(LpError::Infeasible);
+            };
+
+            // Pivot along d = B⁻¹ a_q (same bookkeeping as the primal
+            // loop; the step is x_b[p] / d[p] ≥ 0 by the sign analysis).
+            let mut aq = vec![0.0; self.m];
+            for &(i, v) in &self.cols[q] {
+                aq[i] = v;
+            }
+            let d = self.ftran(&aq)?;
+            if d[p].abs() < PIVOT_MIN {
+                if !self.etas.is_empty() {
+                    // Suspect eta-file roundoff first: refactorize (which
+                    // also re-solves x_B from b) and re-enter the loop.
+                    self.refactor()?;
+                    continue;
+                }
+                return Err(LpError::Numerical {
+                    reason: "dual simplex pivot is numerically degenerate".to_string(),
+                });
+            }
+            let step = self.x_b[p] / d[p];
+            for (xi, &di) in self.x_b.iter_mut().zip(&d) {
+                *xi -= di * step;
+            }
+            self.x_b[p] = step;
+            let out = self.basis[p];
+            self.is_basic[out] = false;
+            self.is_basic[q] = true;
+            self.basis[p] = q;
+            self.pivots += 1;
+            pivots_done += 1;
+            if self.etas.len() + 1 >= self.refactor_interval {
+                self.refactor()?;
+            } else {
+                self.etas.push(Eta { slot: p, d });
+            }
+        }
+        Err(LpError::IterationLimit { limit: max_iter })
+    }
+}
+
+/// A stateful [`SolveSession`] over the revised simplex: owns the mirror
+/// program, the standard-form columns and the factorized basis, and
+/// re-solves parametric mutations warm.
+///
+/// * **rhs change** → the previous optimal basis is still dual feasible;
+///   [`Core::dual_simplex`] restores primal feasibility in-place.
+/// * **objective change** → the basis is still primal feasible; primal
+///   phase-2 pivots re-optimize from it.
+/// * **both at once**, a failed warm attempt, or the very first solve →
+///   a cold two-phase solve (the session then becomes warm again).
+#[derive(Debug)]
+struct RevisedSession {
+    config: RevisedSimplex,
+    /// Mirror of the loaded program, kept in sync with every mutation —
+    /// the source of truth for cold rebuilds and objective evaluation.
+    lp: LinearProgram,
+    core: Option<Core>,
+    /// `true` when `core` holds an optimal (dual-feasible) basis usable
+    /// as a warm start.
+    warm: bool,
+    rhs_dirty: bool,
+    obj_dirty: bool,
+    report: SolveReport,
+}
+
+impl RevisedSession {
+    /// Warm re-solve on the retained core. Any error other than
+    /// `Infeasible`/`Unbounded` makes the caller fall back to cold.
+    fn try_warm(&mut self, report: &mut SolveReport) -> Result<LpSolution, LpError> {
+        let core = self.core.as_mut().expect("warm implies a retained core");
+        report.warm_start = true;
+        let pivots_before = core.pivots;
+        let refactors_before = core.refactorizations;
+        let result = (|| {
+            if self.rhs_dirty {
+                core.recompute_basics()?;
+                core.dual_simplex(self.config.max_iterations)?;
+            }
+            // Re-price (after an objective change) and clean up any
+            // tolerance-level dual infeasibility the dual loop left; at
+            // an already-optimal basis this prices once and pivots zero
+            // times.
+            core.optimize(
+                Phase::Two,
+                self.config.pivot_rule,
+                self.config.max_iterations,
+            )?;
+            core.extract_solution(&self.lp, core.pivots - pivots_before)
+        })();
+        report.iterations = core.pivots - pivots_before;
+        report.refactorizations = core.refactorizations - refactors_before;
+        result
+    }
+
+    fn solve_cold(&mut self, report: &mut SolveReport) -> Result<LpSolution, LpError> {
+        self.core = None;
+        self.warm = false;
+        report.warm_start = false;
+        match self.config.solve_to_core(&self.lp) {
+            Ok((solution, core)) => {
+                report.iterations = core.pivots;
+                report.refactorizations = core.refactorizations;
+                self.core = Some(core);
+                self.warm = true;
+                self.rhs_dirty = false;
+                self.obj_dirty = false;
+                Ok(solution)
+            }
+            Err(e) => {
+                if e == LpError::Infeasible {
+                    report.infeasibility = Some(InfeasibilityCertificate::Phase1PositiveOptimum);
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+impl SolveSession for RevisedSession {
+    fn set_rhs(&mut self, row: usize, rhs: f64) -> Result<(), LpError> {
+        self.lp.set_rhs(row, rhs)?;
+        if let Some(core) = &mut self.core {
+            core.set_rhs_row(row, rhs);
+        }
+        self.rhs_dirty = true;
+        Ok(())
+    }
+
+    fn set_objective(&mut self, c: &[f64]) -> Result<(), LpError> {
+        self.lp.set_objective(c)?;
+        let sign = if self.lp.is_maximize() { -1.0 } else { 1.0 };
+        if let Some(core) = &mut self.core {
+            core.set_costs(c, sign);
+        }
+        self.obj_dirty = true;
+        Ok(())
+    }
+
+    fn solve(&mut self) -> Result<(LpSolution, SolveReport), LpError> {
+        let mut report = SolveReport::new("revised-simplex");
+        // Simultaneous rhs + objective changes invalidate both primal and
+        // dual feasibility of the retained basis: go straight to cold.
+        if self.warm && !(self.rhs_dirty && self.obj_dirty) {
+            match self.try_warm(&mut report) {
+                Ok(solution) => {
+                    self.rhs_dirty = false;
+                    self.obj_dirty = false;
+                    self.report = report.clone();
+                    return Ok((solution, report));
+                }
+                Err(e @ (LpError::Infeasible | LpError::Unbounded)) => {
+                    // Exact verdicts. The basis is still dual feasible
+                    // (dual pivots preserve it), so the session stays
+                    // warm: a later bound relaxation re-solves cheaply.
+                    // Dirty flags stay set — the core's data still
+                    // reflects the mutations.
+                    if e == LpError::Infeasible {
+                        report.infeasibility = Some(InfeasibilityCertificate::DualRay);
+                    }
+                    self.report = report;
+                    return Err(e);
+                }
+                Err(_) => {
+                    // Numerical trouble on the warm path: retry cold.
+                }
+            }
+        }
+        let result = self.solve_cold(&mut report);
+        self.report = report.clone();
+        result.map(|solution| (solution, report))
+    }
+
+    fn last_report(&self) -> &SolveReport {
+        &self.report
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "revised-simplex"
     }
 }
 
@@ -781,6 +1131,128 @@ mod tests {
         let s = solve(&lp).unwrap();
         assert_eq!(s.x(), &[0.0, 0.0]);
         assert_eq!(s.objective(), 0.0);
+    }
+
+    #[test]
+    fn warm_rhs_resolve_matches_cold() {
+        // A parametric sweep over one bound: the warm session must track
+        // independent cold solves exactly, with warm starts after the
+        // first point.
+        let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)
+            .unwrap();
+        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)
+            .unwrap();
+        let mut session = RevisedSimplex::new().start(&lp).unwrap();
+        for (i, bound) in [18.0, 15.0, 12.0, 9.0, 13.5, 20.0].into_iter().enumerate() {
+            session.set_rhs(2, bound).unwrap();
+            let (warm, report) = session.solve().unwrap();
+            lp.set_rhs(2, bound).unwrap();
+            let cold = solve(&lp).unwrap();
+            assert!(
+                (warm.objective() - cold.objective()).abs() < 1e-9,
+                "bound {bound}: warm {} vs cold {}",
+                warm.objective(),
+                cold.objective()
+            );
+            assert!(lp.max_violation(warm.x()) < 1e-9, "bound {bound}");
+            assert_eq!(report.warm_start, i > 0, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn warm_objective_resolve_matches_cold() {
+        let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)
+            .unwrap();
+        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)
+            .unwrap();
+        let mut session = RevisedSimplex::new().start(&lp).unwrap();
+        session.solve().unwrap();
+        session.set_objective(&[5.0, 3.0]).unwrap();
+        let (warm, report) = session.solve().unwrap();
+        assert!(report.warm_start);
+        // max 5x + 3y: x = 4 (first bound), y = 3 (third bound).
+        assert!((warm.objective() - 29.0).abs() < 1e-9);
+        assert!((warm.x()[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_infeasible_then_feasible_again() {
+        // Drive the session into the infeasible region and back out; the
+        // dual-ray certificate must be reported and the warm basis must
+        // survive the round trip.
+        let mut lp = LinearProgram::minimize(&[2.0, 3.0]);
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Ge, 4.0)
+            .unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Le, 10.0)
+            .unwrap();
+        let mut session = RevisedSimplex::new().start(&lp).unwrap();
+        let (first, _) = session.solve().unwrap();
+        assert!((first.objective() - 8.0).abs() < 1e-9);
+        // Ge 4 with Le 2 is empty.
+        session.set_rhs(1, 2.0).unwrap();
+        assert_eq!(session.solve().unwrap_err(), LpError::Infeasible);
+        let report = session.last_report();
+        assert!(report.warm_start);
+        assert_eq!(
+            report.infeasibility,
+            Some(InfeasibilityCertificate::DualRay)
+        );
+        // Relax back: the session recovers without a cold restart.
+        session.set_rhs(1, 5.0).unwrap();
+        let (again, report) = session.solve().unwrap();
+        assert!(report.warm_start);
+        assert!((again.objective() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simultaneous_rhs_and_objective_change_solves_cold_and_correct() {
+        let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)
+            .unwrap();
+        let mut session = RevisedSimplex::new().start(&lp).unwrap();
+        session.solve().unwrap();
+        session.set_rhs(0, 2.0).unwrap();
+        session.set_objective(&[10.0, 1.0]).unwrap();
+        let (solution, report) = session.solve().unwrap();
+        assert!(!report.warm_start);
+        // max 10x + y: x = 2, y = 6.
+        assert!((solution.objective() - 26.0).abs() < 1e-9);
+        // And the session is warm again afterwards.
+        session.set_rhs(0, 3.0).unwrap();
+        let (next, report) = session.solve().unwrap();
+        assert!(report.warm_start);
+        assert!((next.objective() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn session_reports_count_refactorizations() {
+        let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)
+            .unwrap();
+        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)
+            .unwrap();
+        let mut session = RevisedSimplex::new()
+            .refactor_interval(1)
+            .start(&lp)
+            .unwrap();
+        let (_, cold_report) = session.solve().unwrap();
+        // refactor_interval(1) refactorizes on every pivot, plus the
+        // build-time and extraction-time factorizations.
+        assert!(cold_report.refactorizations > cold_report.iterations);
+        session.set_rhs(2, 15.0).unwrap();
+        let (_, warm_report) = session.solve().unwrap();
+        assert!(warm_report.warm_start);
+        assert!(warm_report.refactorizations >= 1); // extraction refactor
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! Stateful solve sessions: load a program once, mutate it parametrically,
+//! re-solve cheaply.
+//!
+//! The paper's tradeoff curves are produced "by repeatedly solving the LP
+//! with different performance constraints" — a sequence of problems that
+//! differ in a *single right-hand side*. A [`SolveSession`] makes that
+//! workflow first-class: [`LpSolver::start`](crate::LpSolver::start) loads
+//! the program into a session that owns the standard-form data, the
+//! session's [`set_rhs`](SolveSession::set_rhs) /
+//! [`set_objective`](SolveSession::set_objective) retarget the loaded
+//! model in place, and [`solve`](SolveSession::solve) re-optimizes —
+//! warm-starting from the previous optimal basis when the engine supports
+//! it ([`RevisedSimplex`](crate::RevisedSimplex) does; the dense engines
+//! fall back to correct cold re-solves). Every solve returns a
+//! [`SolveReport`] describing how the answer was reached.
+
+use crate::{LinearProgram, LpError, LpSolution, LpSolver};
+
+/// What kind of evidence backed an [`LpError::Infeasible`] verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum InfeasibilityCertificate {
+    /// A phase-1 simplex finished with a positive artificial-variable
+    /// optimum: an exact certificate (the final duals form a Farkas ray).
+    Phase1PositiveOptimum,
+    /// The dual simplex found a constraint row that no nonbasic column can
+    /// repair — a dual ray along which the dual objective is unbounded.
+    /// This is the warm-start path's certificate when a parametric
+    /// right-hand-side change leaves the feasible region.
+    DualRay,
+    /// An interior-point iterate diverged while primal infeasibility
+    /// refused to fall — a heuristic verdict, not an exact certificate
+    /// (see the [`InteriorPoint`](crate::InteriorPoint) docs).
+    DivergingIterates,
+}
+
+impl std::fmt::Display for InfeasibilityCertificate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InfeasibilityCertificate::Phase1PositiveOptimum => write!(f, "phase-1 optimum > 0"),
+            InfeasibilityCertificate::DualRay => write!(f, "dual ray"),
+            InfeasibilityCertificate::DivergingIterates => write!(f, "diverging iterates"),
+        }
+    }
+}
+
+/// How a [`SolveSession::solve`] call reached its answer.
+///
+/// Returned alongside every session solution and retained (including for
+/// *failed* solves) in [`SolveSession::last_report`], so sweep drivers can
+/// record per-point solver effort — the warm-vs-cold accounting the
+/// `pareto_sweep` benchmark tracks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Engine that produced the answer (`"revised-simplex"`, ...).
+    pub engine: &'static str,
+    /// `true` when the solve reused the previous optimal basis
+    /// (parametric warm start) instead of starting from scratch.
+    pub warm_start: bool,
+    /// Pivots (simplex family) or Newton steps (interior point) spent.
+    pub iterations: usize,
+    /// Basis refactorizations performed (0 for engines without a
+    /// factorized basis).
+    pub refactorizations: usize,
+    /// Set when the solve returned [`LpError::Infeasible`]: what kind of
+    /// certificate backed the verdict. `None` on success.
+    pub infeasibility: Option<InfeasibilityCertificate>,
+}
+
+impl SolveReport {
+    /// A fresh report for a solve about to run on `engine`.
+    pub(crate) fn new(engine: &'static str) -> Self {
+        SolveReport {
+            engine,
+            warm_start: false,
+            iterations: 0,
+            refactorizations: 0,
+            infeasibility: None,
+        }
+    }
+}
+
+/// A loaded linear program that can be mutated and re-solved.
+///
+/// Created by [`LpSolver::start`](crate::LpSolver::start). The session
+/// owns a copy of the program: mutations never touch the caller's
+/// [`LinearProgram`], and the session stays valid after the caller drops
+/// theirs. Row indices are the 0-based order in which constraints were
+/// added to the builder — a stable handle for parametric sweeps.
+///
+/// # Example
+///
+/// ```
+/// use dpm_lp::{ConstraintOp, LinearProgram, LpSolver, RevisedSimplex};
+///
+/// # fn main() -> Result<(), dpm_lp::LpError> {
+/// let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+/// lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)?;
+/// lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)?;
+/// lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)?;
+/// let mut session = RevisedSimplex::new().start(&lp)?;
+/// let (first, report) = session.solve()?;
+/// assert!((first.objective() - 36.0).abs() < 1e-9);
+/// assert!(!report.warm_start); // nothing to warm-start from yet
+///
+/// // Tighten one bound and re-solve from the previous basis.
+/// session.set_rhs(2, 15.0)?;
+/// let (second, report) = session.solve()?;
+/// assert!((second.objective() - 33.0).abs() < 1e-9);
+/// assert!(report.warm_start);
+/// # Ok(())
+/// # }
+/// ```
+pub trait SolveSession: std::fmt::Debug {
+    /// Replaces the right-hand side of constraint `row` (0-based, in the
+    /// order constraints were added).
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::BadConstraint`] when `row` is out of range.
+    /// * [`LpError::NonFiniteInput`] when `rhs` is NaN/∞.
+    fn set_rhs(&mut self, row: usize, rhs: f64) -> Result<(), LpError>;
+
+    /// Replaces the objective coefficient vector (same length and
+    /// orientation as the loaded program).
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::BadConstraint`] when the length differs from the
+    ///   program's variable count.
+    /// * [`LpError::NonFiniteInput`] when any coefficient is NaN/∞.
+    fn set_objective(&mut self, c: &[f64]) -> Result<(), LpError>;
+
+    /// Solves the currently loaded model, warm-starting when possible.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LpSolver::solve`](crate::LpSolver::solve); the
+    /// report of a failed solve (including the infeasibility certificate
+    /// kind) remains readable through [`Self::last_report`]. A session
+    /// stays usable after [`LpError::Infeasible`] — later mutations can
+    /// re-enter the feasible region.
+    fn solve(&mut self) -> Result<(LpSolution, SolveReport), LpError>;
+
+    /// Report of the most recent [`Self::solve`] call, successful or not.
+    /// Before the first solve this is an all-zero cold report.
+    fn last_report(&self) -> &SolveReport;
+
+    /// Name of the engine backing the session.
+    fn engine_name(&self) -> &'static str;
+}
+
+/// A correct-but-stateless session for engines without warm-start support:
+/// mutations are applied to the owned program and every [`solve`] is a
+/// fresh cold solve through the wrapped engine.
+///
+/// [`solve`]: SolveSession::solve
+#[derive(Debug)]
+pub(crate) struct ColdSession<S: LpSolver + Clone> {
+    engine: S,
+    lp: LinearProgram,
+    infeasibility_kind: InfeasibilityCertificate,
+    report: SolveReport,
+}
+
+impl<S: LpSolver + Clone> ColdSession<S> {
+    /// Wraps `engine` around its own copy of `lp`. `infeasibility_kind`
+    /// is the certificate this engine's `Infeasible` verdicts carry.
+    pub(crate) fn new(
+        engine: &S,
+        lp: &LinearProgram,
+        infeasibility_kind: InfeasibilityCertificate,
+    ) -> Result<Self, LpError> {
+        lp.validate()?;
+        Ok(ColdSession {
+            engine: engine.clone(),
+            lp: lp.clone(),
+            infeasibility_kind,
+            report: SolveReport::new(engine.name()),
+        })
+    }
+}
+
+impl<S: LpSolver + Clone> SolveSession for ColdSession<S> {
+    fn set_rhs(&mut self, row: usize, rhs: f64) -> Result<(), LpError> {
+        self.lp.set_rhs(row, rhs)?;
+        Ok(())
+    }
+
+    fn set_objective(&mut self, c: &[f64]) -> Result<(), LpError> {
+        self.lp.set_objective(c)?;
+        Ok(())
+    }
+
+    fn solve(&mut self) -> Result<(LpSolution, SolveReport), LpError> {
+        let mut report = SolveReport::new(self.engine.name());
+        match self.engine.solve(&self.lp) {
+            Ok(solution) => {
+                report.iterations = solution.iterations();
+                self.report = report.clone();
+                Ok((solution, report))
+            }
+            Err(e) => {
+                if e == LpError::Infeasible {
+                    report.infeasibility = Some(self.infeasibility_kind);
+                }
+                self.report = report;
+                Err(e)
+            }
+        }
+    }
+
+    fn last_report(&self) -> &SolveReport {
+        &self.report
+    }
+
+    fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstraintOp, InteriorPoint, Simplex};
+
+    fn furniture() -> LinearProgram {
+        let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)
+            .unwrap();
+        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)
+            .unwrap();
+        lp
+    }
+
+    #[test]
+    fn cold_sessions_track_rhs_mutations() {
+        let lp = furniture();
+        for solver in [
+            Box::new(Simplex::new()) as Box<dyn LpSolver>,
+            Box::new(InteriorPoint::new()),
+        ] {
+            let mut session = solver.start(&lp).unwrap();
+            let (first, report) = session.solve().unwrap();
+            assert!((first.objective() - 36.0).abs() < 1e-6, "{}", solver.name());
+            assert!(!report.warm_start);
+            assert!(report.iterations > 0);
+            session.set_rhs(2, 15.0).unwrap();
+            let (second, _) = session.solve().unwrap();
+            assert!(
+                (second.objective() - 33.0).abs() < 1e-6,
+                "{}: {}",
+                solver.name(),
+                second.objective()
+            );
+        }
+    }
+
+    #[test]
+    fn cold_session_objective_mutation() {
+        let mut session = Simplex::new().start(&furniture()).unwrap();
+        session.set_objective(&[5.0, 3.0]).unwrap();
+        let (solution, _) = session.solve().unwrap();
+        // max 5x + 3y under the same constraints: x = 4, y = 3.
+        assert!((solution.objective() - 29.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_session_reports_infeasibility_kind() {
+        let mut lp = LinearProgram::minimize(&[1.0]);
+        lp.add_constraint(&[1.0], ConstraintOp::Le, 1.0).unwrap();
+        lp.add_constraint(&[1.0], ConstraintOp::Ge, 2.0).unwrap();
+        let mut session = Simplex::new().start(&lp).unwrap();
+        assert_eq!(session.solve().unwrap_err(), LpError::Infeasible);
+        assert_eq!(
+            session.last_report().infeasibility,
+            Some(InfeasibilityCertificate::Phase1PositiveOptimum)
+        );
+        // The session survives: relaxing the bound makes it feasible.
+        session.set_rhs(1, 0.5).unwrap();
+        let (solution, report) = session.solve().unwrap();
+        assert!((solution.objective() - 0.5).abs() < 1e-9);
+        assert_eq!(report.infeasibility, None);
+    }
+
+    #[test]
+    fn session_mutation_validation() {
+        let mut session = Simplex::new().start(&furniture()).unwrap();
+        assert!(session.set_rhs(99, 1.0).is_err());
+        assert_eq!(
+            session.set_rhs(0, f64::NAN).unwrap_err(),
+            LpError::NonFiniteInput
+        );
+        assert!(session.set_objective(&[1.0]).is_err());
+        assert_eq!(
+            session.set_objective(&[1.0, f64::INFINITY]).unwrap_err(),
+            LpError::NonFiniteInput
+        );
+    }
+
+    #[test]
+    fn default_trait_solve_goes_through_a_session() {
+        // A custom LpSolver that only implements `start` gets `solve` for
+        // free through the default shim.
+        #[derive(Debug, Clone)]
+        struct Delegating;
+        impl LpSolver for Delegating {
+            fn start(&self, lp: &LinearProgram) -> Result<Box<dyn SolveSession>, LpError> {
+                Simplex::new().start(lp)
+            }
+            fn name(&self) -> &'static str {
+                "delegating"
+            }
+        }
+        let solution = Delegating.solve(&furniture()).unwrap();
+        assert!((solution.objective() - 36.0).abs() < 1e-9);
+    }
+}

@@ -1,7 +1,8 @@
 use dpm_linalg::{LuDecomposition, Matrix};
 
 use crate::problem::ConstraintOp;
-use crate::{LinearProgram, LpError, LpSolution, LpSolver};
+use crate::session::{ColdSession, InfeasibilityCertificate};
+use crate::{LinearProgram, LpError, LpSolution, LpSolver, SolveSession};
 
 /// Pivot-column selection rule for the simplex method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,6 +87,18 @@ impl Simplex {
 }
 
 impl LpSolver for Simplex {
+    fn start(&self, lp: &LinearProgram) -> Result<Box<dyn SolveSession>, LpError> {
+        // The dense tableau keeps no state worth warming: sessions are
+        // correct cold re-solves over an owned copy of the program.
+        // Phase-1 termination with a positive optimum is this engine's
+        // (exact) infeasibility certificate.
+        Ok(Box::new(ColdSession::new(
+            self,
+            lp,
+            InfeasibilityCertificate::Phase1PositiveOptimum,
+        )?))
+    }
+
     fn solve(&self, lp: &LinearProgram) -> Result<LpSolution, LpError> {
         lp.validate()?;
         let mut t = Tableau::build(lp, self.tolerance)?;

@@ -1,7 +1,8 @@
 use dpm_linalg::Matrix;
-use dpm_lp::LpSolver;
+use dpm_lp::{LinearProgram, LpError, LpSolver, SolveReport, SolveSession};
 
 use crate::mdp::validate_distribution;
+use crate::occupation::{guard_violations, rescue_engine};
 use crate::{DiscountedMdp, MdpError, OccupationLp, RandomizedPolicy};
 
 /// A bound on the total expected discounted value of a secondary cost —
@@ -132,6 +133,14 @@ impl ConstrainedMdp {
         &self.constraints
     }
 
+    /// Row index of constraint `k` in the occupation LP emitted for this
+    /// problem — the **stable row handle** a solve session retargets (see
+    /// [`OccupationLp::bound_row`]; constraints keep the order they were
+    /// registered with [`Self::with_constraint`]).
+    pub fn constraint_row(&self, k: usize) -> usize {
+        self.mdp.num_states() + k
+    }
+
     /// Solves LP3/LP4 from the given initial distribution.
     ///
     /// # Errors
@@ -152,21 +161,195 @@ impl ConstrainedMdp {
             .map(|c| (&c.cost, c.bound))
             .collect();
         let occ = lp.solve_with_bounds(solver, &bounds)?;
+        let bounds: Vec<f64> = self.constraints.iter().map(|c| c.bound).collect();
+        Ok(self.assemble(occ, &bounds))
+    }
+
+    /// Builds the occupation LP **once** and loads it into a solver
+    /// session for repeated parametric re-solves: the returned
+    /// [`ConstrainedSession`] owns this problem and can retarget any
+    /// registered bound ([`ConstrainedSession::set_bound`]) and re-solve
+    /// — warm-started when the engine supports it — without re-emitting
+    /// balance rows or cost rows.
+    ///
+    /// # Errors
+    ///
+    /// * [`MdpError::InvalidInitialDistribution`] for a bad `initial`.
+    /// * Propagated LP build/session failures. Note that *solving* errors
+    ///   (including infeasibility) surface from
+    ///   [`ConstrainedSession::solve`], not from here.
+    pub fn into_session(
+        self,
+        initial: &[f64],
+        solver: &dyn LpSolver,
+    ) -> Result<ConstrainedSession, MdpError> {
+        validate_distribution(initial, self.mdp.num_states())?;
+        let lp = {
+            let occupation = OccupationLp::new(&self.mdp, initial)?;
+            let bounds: Vec<(&Matrix, f64)> = self
+                .constraints
+                .iter()
+                .map(|c| (&c.cost, c.bound))
+                .collect();
+            occupation.build(&bounds)?
+        };
+        let session = solver.start(&lp)?;
+        Ok(ConstrainedSession {
+            bounds: self.constraints.iter().map(|c| c.bound).collect(),
+            problem: self,
+            initial: initial.to_vec(),
+            lp,
+            last: session.last_report().clone(),
+            session,
+            solver_name: solver.name(),
+        })
+    }
+
+    /// Assembles a [`ConstrainedSolution`] from a solved occupation
+    /// measure and the bounds that were in force for that solve.
+    fn assemble(&self, occ: crate::OccupationSolution, bounds: &[f64]) -> ConstrainedSolution {
         let constraint_values = self
             .constraints
             .iter()
             .map(|c| occ.expected_cost(&c.cost))
             .collect();
         let policy = occ.policy();
-        Ok(ConstrainedSolution {
+        ConstrainedSolution {
             policy,
             objective: occ.objective(),
             constraint_values,
-            bounds: self.constraints.iter().map(|c| c.bound).collect(),
+            bounds: bounds.to_vec(),
             names: self.constraints.iter().map(|c| c.name.clone()).collect(),
             discount: self.mdp.discount(),
             occupation: occ,
-        })
+        }
+    }
+}
+
+/// A constrained MDP loaded into a solver session: one LP emission, then
+/// arbitrarily many parametric re-solves.
+///
+/// Created by [`ConstrainedMdp::into_session`]. This is the engine room
+/// of Pareto sweeps: between sweep points only a single bound row's
+/// right-hand side changes, so a warm-capable engine
+/// ([`RevisedSimplex`](dpm_lp::RevisedSimplex)) re-solves by a handful of
+/// dual simplex pivots from the previous optimal basis instead of a full
+/// cold solve. Every solve also returns the engine's [`SolveReport`].
+///
+/// The session keeps the numerical safety nets of
+/// [`OccupationLp::solve_with_bounds`]: cross-engine rescue on numerical
+/// failure and the balance-equation violation guard.
+#[derive(Debug)]
+pub struct ConstrainedSession {
+    problem: ConstrainedMdp,
+    initial: Vec<f64>,
+    /// Mirror of the emitted LP, kept in sync with bound changes — used
+    /// for the violation guard and as the rescue engines' input.
+    lp: LinearProgram,
+    session: Box<dyn SolveSession>,
+    /// Current total-discounted bounds, one per registered constraint.
+    bounds: Vec<f64>,
+    solver_name: &'static str,
+    /// Report of the most recent solve attempt through *any* path —
+    /// including the cross-engine rescue, whose report the inner
+    /// session never sees.
+    last: SolveReport,
+}
+
+impl ConstrainedSession {
+    /// The wrapped constrained problem (cost matrices, names, the MDP).
+    pub fn problem(&self) -> &ConstrainedMdp {
+        &self.problem
+    }
+
+    /// The current total-discounted bound of constraint `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    pub fn bound(&self, k: usize) -> f64 {
+        self.bounds[k]
+    }
+
+    /// Retargets constraint `k` to a new **total discounted** bound,
+    /// updating the loaded LP in place (one rhs write, no re-emission).
+    ///
+    /// # Errors
+    ///
+    /// [`MdpError::CostShapeMismatch`]-style index errors surface as the
+    /// LP layer's `BadConstraint`; an out-of-range `k` is reported
+    /// directly.
+    pub fn set_bound(&mut self, k: usize, bound: f64) -> Result<(), MdpError> {
+        if k >= self.bounds.len() {
+            return Err(MdpError::Lp(LpError::BadConstraint {
+                found: k,
+                expected: self.bounds.len(),
+            }));
+        }
+        let row = self.problem.constraint_row(k);
+        let rhs = (1.0 - self.problem.mdp.discount()) * bound;
+        self.session.set_rhs(row, rhs)?;
+        self.lp.set_rhs(row, rhs)?;
+        self.bounds[k] = bound;
+        Ok(())
+    }
+
+    /// Retargets constraint `k` to a new **per-slice** bound (the paper's
+    /// convention): internally multiplied by the horizon `1/(1−α)`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::set_bound`].
+    pub fn set_bound_per_slice(&mut self, k: usize, bound_per_slice: f64) -> Result<(), MdpError> {
+        let discount = self.problem.mdp.discount();
+        self.set_bound(k, bound_per_slice / (1.0 - discount))
+    }
+
+    /// Re-solves the loaded problem under the current bounds, returning
+    /// the solution together with the engine's [`SolveReport`] (warm vs
+    /// cold, pivots, refactorizations).
+    ///
+    /// # Errors
+    ///
+    /// * [`MdpError::Infeasible`] when the current bounds admit no policy
+    ///   (the session stays usable; relax a bound and re-solve).
+    /// * Propagated LP failures after the rescue nets are exhausted.
+    pub fn solve(&mut self) -> Result<(ConstrainedSolution, SolveReport), MdpError> {
+        let (lp_solution, report) = match self.session.solve() {
+            Ok(solved) => solved,
+            Err(e @ (LpError::Infeasible | LpError::Unbounded)) => {
+                self.last = self.session.last_report().clone();
+                return Err(e.into());
+            }
+            Err(_) => {
+                // Same cross-engine rescue as the one-shot path; the
+                // rescue runs a cold session on the mirror LP so its
+                // outcome — including an infeasibility certificate —
+                // is reported faithfully.
+                let rescue = rescue_engine(self.solver_name);
+                let mut rescue_session = rescue.start(&self.lp)?;
+                match rescue_session.solve() {
+                    Ok(solved) => solved,
+                    Err(e) => {
+                        self.last = rescue_session.last_report().clone();
+                        return Err(e.into());
+                    }
+                }
+            }
+        };
+        self.last = report.clone();
+        let lp_solution = guard_violations(&self.lp, lp_solution)?;
+        let occ = OccupationLp::new(self.problem.mdp(), &self.initial)?.extract(&lp_solution);
+        Ok((self.problem.assemble(occ, &self.bounds), report))
+    }
+
+    /// Report of the most recent solve attempt (successful or not),
+    /// whichever engine made it — the loaded session's, or the rescue
+    /// engine's when the cross-engine net had to catch a numerical
+    /// failure. Infeasible sweep points carry their certificate kind
+    /// here.
+    pub fn last_report(&self) -> &SolveReport {
+        &self.last
     }
 }
 
@@ -403,6 +586,91 @@ mod tests {
         // And the power objective agrees too.
         let power_value = mdp.policy_value(solution.policy(), &[1.0, 0.0]).unwrap();
         assert!((power_value - solution.objective()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn session_sweep_matches_one_shot_solves() {
+        // A bound sweep through one warm session must reproduce the
+        // independent one-shot solves point for point.
+        let discount = 0.95;
+        let build = |bound: f64| {
+            ConstrainedMdp::new(mini_dpm(discount)).with_constraint(CostConstraint::per_slice(
+                "sleep fraction",
+                penalty_matrix(),
+                bound,
+                discount,
+            ))
+        };
+        let mut session = build(0.8)
+            .into_session(&[1.0, 0.0], &dpm_lp::RevisedSimplex::new())
+            .unwrap();
+        for (i, bound) in [0.8, 0.6, 0.4, 0.2, 0.6].into_iter().enumerate() {
+            session.set_bound_per_slice(0, bound).unwrap();
+            let (warm, report) = session.solve().unwrap();
+            let cold = build(bound).solve(&[1.0, 0.0], &Simplex::new()).unwrap();
+            assert!(
+                (warm.objective() - cold.objective()).abs() < 1e-6,
+                "bound {bound}: warm {} vs cold {}",
+                warm.objective(),
+                cold.objective()
+            );
+            assert_eq!(report.warm_start, i > 0, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn session_reports_infeasibility_and_recovers() {
+        let discount = 0.9;
+        let session_src = ConstrainedMdp::new(mini_dpm(discount)).with_constraint(
+            CostConstraint::new("impossible", Matrix::filled(2, 2, 1.0), 20.0),
+        );
+        let mut session = session_src
+            .into_session(&[1.0, 0.0], &dpm_lp::RevisedSimplex::new())
+            .unwrap();
+        // Every slice costs 1, so the total is exactly the horizon (10);
+        // bound 20 is slack, bound 1 is impossible.
+        let (ok, _) = session.solve().unwrap();
+        assert!((ok.occupation().total_visits() - 10.0).abs() < 1e-6);
+        session.set_bound(0, 1.0).unwrap();
+        assert_eq!(session.solve().unwrap_err(), MdpError::Infeasible);
+        assert!(session.last_report().infeasibility.is_some());
+        session.set_bound(0, 15.0).unwrap();
+        let (recovered, _) = session.solve().unwrap();
+        assert!((recovered.objective() - ok.objective()).abs() < 1e-6);
+        assert_eq!(session.bound(0), 15.0);
+    }
+
+    #[test]
+    fn constraint_rows_are_stable_handles() {
+        let discount = 0.9;
+        let cmdp = ConstrainedMdp::new(mini_dpm(discount))
+            .with_constraint(CostConstraint::per_slice(
+                "a",
+                penalty_matrix(),
+                0.5,
+                discount,
+            ))
+            .with_constraint(CostConstraint::per_slice(
+                "b",
+                penalty_matrix(),
+                0.7,
+                discount,
+            ));
+        // 2 states: 1 balance row + 1 normalization row, then the bounds.
+        assert_eq!(cmdp.constraint_row(0), 2);
+        assert_eq!(cmdp.constraint_row(1), 3);
+        // The handle agrees with the occupation layer's and with the
+        // actual emitted program.
+        let occupation = OccupationLp::new(cmdp.mdp(), &[1.0, 0.0]).unwrap();
+        assert_eq!(occupation.bound_row(0), cmdp.constraint_row(0));
+        let binding = penalty_matrix();
+        let lp = occupation
+            .build(&[(&binding, 5.0), (&binding, 7.0)])
+            .unwrap();
+        assert_eq!(lp.num_constraints(), 4);
+        let (_, op, rhs) = lp.constraint_entries(occupation.bound_row(1));
+        assert_eq!(op, dpm_lp::ConstraintOp::Le);
+        assert!((rhs - occupation.bound_rhs(7.0)).abs() < 1e-12);
     }
 
     #[test]

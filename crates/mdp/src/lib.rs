@@ -48,7 +48,7 @@ mod mdp;
 mod occupation;
 mod policy;
 
-pub use constrained::{ConstrainedMdp, ConstrainedSolution, CostConstraint};
+pub use constrained::{ConstrainedMdp, ConstrainedSession, ConstrainedSolution, CostConstraint};
 pub use error::MdpError;
 pub use mdp::DiscountedMdp;
 pub use occupation::{OccupationLp, OccupationSolution};

@@ -1,5 +1,5 @@
 use dpm_linalg::Matrix;
-use dpm_lp::{ConstraintOp, LinearProgram, LpSolver};
+use dpm_lp::{ConstraintOp, LinearProgram, LpSolution, LpSolver};
 
 use crate::mdp::validate_distribution;
 use crate::{DiscountedMdp, MdpError, RandomizedPolicy};
@@ -65,6 +65,24 @@ impl<'a> OccupationLp<'a> {
     /// Index of variable `x_{s,a}` in the flat LP variable vector.
     pub fn var_index(&self, state: usize, action: usize) -> usize {
         state * self.mdp.num_actions() + action
+    }
+
+    /// Row index of the `k`-th extra cost bound in the program built by
+    /// [`Self::build`] — a **stable handle** for retargeting that bound
+    /// through a [`SolveSession`](dpm_lp::SolveSession) without
+    /// re-emitting the LP. The layout is fixed: `num_states − 1` balance
+    /// rows, one normalization row, then the bound rows in the order the
+    /// bounds were passed to `build`.
+    pub fn bound_row(&self, k: usize) -> usize {
+        self.mdp.num_states() + k
+    }
+
+    /// The LP right-hand side encoding a *total discounted* bound for an
+    /// extra cost row: the program is posed over the normalized measure
+    /// `y = (1−α)·x` (see [`Self::build`]), so bounds scale by `1−α` too.
+    /// Pass the result to `SolveSession::set_rhs` at [`Self::bound_row`].
+    pub fn bound_rhs(&self, bound: f64) -> f64 {
+        (1.0 - self.mdp.discount()) * bound
     }
 
     /// Builds the LP2 program, optionally with extra total-discounted-cost
@@ -187,42 +205,25 @@ impl<'a> OccupationLp<'a> {
         // other engine gets a chance before the error surfaces.
         // Infeasibility and unboundedness are exact verdicts and are not
         // second-guessed.
-        let mut lp_solution = match solver.solve(&lp) {
+        let lp_solution = match solver.solve(&lp) {
             Ok(s) => s,
             Err(e @ (dpm_lp::LpError::Infeasible | dpm_lp::LpError::Unbounded)) => {
                 return Err(e.into())
             }
-            Err(_) => {
-                if solver.name() == "interior-point" {
-                    dpm_lp::Simplex::new().solve(&lp)?
-                } else {
-                    dpm_lp::InteriorPoint::new().solve(&lp)?
-                }
-            }
+            Err(_) => rescue_engine(solver.name()).solve(&lp)?,
         };
-        // Guard against solver drift on ill-conditioned instances: the
-        // returned point must actually satisfy the balance equations. If
-        // it does not, rescue with the interior-point method (whose
-        // regularized normal equations tolerate the conditioning), keeping
-        // whichever point is cleaner.
-        let violation = lp.max_violation(lp_solution.x());
-        if violation > 1e-6 {
-            if let Ok(rescue) = dpm_lp::InteriorPoint::new().solve(&lp) {
-                if lp.max_violation(rescue.x()) < violation {
-                    lp_solution = rescue;
-                }
-            }
-            if lp.max_violation(lp_solution.x()) > 1e-4 {
-                return Err(MdpError::Lp(dpm_lp::LpError::Numerical {
-                    reason: format!(
-                        "occupation LP solution violates constraints by {violation:.2e}"
-                    ),
-                }));
-            }
-        }
+        let lp_solution = guard_violations(&lp, lp_solution)?;
+        Ok(self.extract(&lp_solution))
+    }
+
+    /// Converts an optimal point of a program built by [`Self::build`]
+    /// into an [`OccupationSolution`], rescaling the normalized measure
+    /// `y = (1−α)·x` back to raw frequencies. Used by
+    /// [`Self::solve_with_bounds`] and by the session-based re-solve path
+    /// of [`ConstrainedMdp`](crate::ConstrainedMdp).
+    pub fn extract(&self, lp_solution: &LpSolution) -> OccupationSolution {
         let n = self.mdp.num_states();
         let m = self.mdp.num_actions();
-        // The LP is posed over y = (1−α)x (see `build`); scale back.
         let horizon = self.mdp.horizon();
         let mut frequencies = Matrix::zeros(n, m);
         for s in 0..n {
@@ -231,14 +232,49 @@ impl<'a> OccupationLp<'a> {
                 frequencies[(s, a)] = horizon * lp_solution.x()[self.var_index(s, a)].max(0.0);
             }
         }
-        Ok(OccupationSolution {
+        OccupationSolution {
             frequencies,
             objective: horizon * lp_solution.objective(),
             iterations: lp_solution.iterations(),
             discount: self.mdp.discount(),
             cost: self.mdp.cost_matrix().clone(),
-        })
+        }
     }
+}
+
+/// The engine tried when `failed` (by name) failed numerically: the two
+/// simplex flavors fall back to interior point and vice versa.
+pub(crate) fn rescue_engine(failed: &str) -> Box<dyn LpSolver> {
+    if failed == "interior-point" {
+        Box::new(dpm_lp::Simplex::new())
+    } else {
+        Box::new(dpm_lp::InteriorPoint::new())
+    }
+}
+
+/// Guard against solver drift on ill-conditioned instances: the returned
+/// point must actually satisfy the balance equations. If it does not,
+/// rescue with the interior-point method (whose regularized normal
+/// equations tolerate the conditioning), keeping whichever point is
+/// cleaner; beyond `1e-4` the solve is rejected outright.
+pub(crate) fn guard_violations(
+    lp: &LinearProgram,
+    mut lp_solution: LpSolution,
+) -> Result<LpSolution, MdpError> {
+    let violation = lp.max_violation(lp_solution.x());
+    if violation > 1e-6 {
+        if let Ok(rescue) = dpm_lp::InteriorPoint::new().solve(lp) {
+            if lp.max_violation(rescue.x()) < violation {
+                lp_solution = rescue;
+            }
+        }
+        if lp.max_violation(lp_solution.x()) > 1e-4 {
+            return Err(MdpError::Lp(dpm_lp::LpError::Numerical {
+                reason: format!("occupation LP solution violates constraints by {violation:.2e}"),
+            }));
+        }
+    }
+    Ok(lp_solution)
 }
 
 /// A solved occupation-measure program: the state–action frequencies and

@@ -42,5 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         curve.num_infeasible(),
         curve.is_convex(1e-6),
     );
+    // The whole sweep ran through one solve session: every point after
+    // the first re-solved warm from the previous optimal basis.
+    let (warm, cold, pivots, refactorizations) = curve.solver_effort();
+    eprintln!(
+        "solver effort: {warm} warm + {cold} cold starts, \
+         {pivots} pivots, {refactorizations} refactorizations",
+    );
     Ok(())
 }

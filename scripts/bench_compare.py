@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Warn-only bench comparison tables for CI.
+
+Reads the criterion-shim records (``BENCH_<name>.json``: ``{"name",
+"mean_ns", "iterations", ...optional counters...}``) from the current
+run and, when available, from a previous run's downloaded artifacts, and
+prints two tables:
+
+1. **warm vs cold** — pairs of ``<group>/warm/<case>`` and
+   ``<group>/cold/<case>`` records from the current run, with the
+   speedup and any solver counters (``pivots``, ``refactorizations``).
+2. **PR over PR** — every current record against its previous-run
+   counterpart, with the ratio.
+
+This script never fails the build: it exits 0 whatever it finds (and is
+additionally wrapped in ``continue-on-error`` in the workflow). It is a
+trend surface, not a gate.
+
+Usage: bench_compare.py <current-dir> [previous-dir]
+"""
+
+import json
+import pathlib
+import sys
+
+
+def load_records(directory):
+    records = {}
+    if directory is None or not directory.is_dir():
+        return records
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text())
+            records[record["name"]] = record
+        except (ValueError, KeyError, OSError) as exc:
+            print(f"  (skipping unreadable {path.name}: {exc})")
+    return records
+
+
+def fmt_ms(ns):
+    return f"{ns / 1e6:.3f} ms"
+
+
+def counters(record):
+    skip = {"name", "mean_ns", "iterations"}
+    extras = {k: v for k, v in record.items() if k not in skip}
+    if not extras:
+        return ""
+    return "  [" + ", ".join(f"{k}={v:g}" for k, v in sorted(extras.items())) + "]"
+
+
+def warm_vs_cold_table(current):
+    pairs = []
+    for name, record in current.items():
+        if "/warm/" in name:
+            cold_name = name.replace("/warm/", "/cold/")
+            if cold_name in current:
+                pairs.append((name, record, current[cold_name]))
+    print("== warm vs cold (current run) ==")
+    if not pairs:
+        print("  (no warm/cold record pairs found)")
+        return
+    for name, warm, cold in pairs:
+        ratio = cold["mean_ns"] / warm["mean_ns"] if warm["mean_ns"] else float("nan")
+        print(
+            f"  {name:<45} warm {fmt_ms(warm['mean_ns']):>12}  "
+            f"cold {fmt_ms(cold['mean_ns']):>12}  speedup {ratio:5.2f}x"
+            f"{counters(warm)}"
+        )
+
+
+def pr_over_pr_table(current, previous):
+    print("== PR over PR ==")
+    if not previous:
+        print("  (no previous-run artifacts; skipping)")
+        return
+    for name, record in sorted(current.items()):
+        prev = previous.get(name)
+        if prev is None or not prev.get("mean_ns"):
+            print(f"  {name:<55} {fmt_ms(record['mean_ns']):>12}  (new)")
+            continue
+        ratio = record["mean_ns"] / prev["mean_ns"]
+        marker = "" if 0.8 <= ratio <= 1.25 else "  <-- changed"
+        print(
+            f"  {name:<55} {fmt_ms(record['mean_ns']):>12}  "
+            f"prev {fmt_ms(prev['mean_ns']):>12}  x{ratio:5.2f}{marker}"
+        )
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 0
+    current = load_records(pathlib.Path(argv[1]))
+    previous = load_records(pathlib.Path(argv[2]) if len(argv) > 2 else None)
+    if not current:
+        print(f"no bench records under {argv[1]}; nothing to compare")
+        return 0
+    warm_vs_cold_table(current)
+    print()
+    pr_over_pr_table(current, previous)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
