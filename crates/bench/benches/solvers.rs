@@ -6,7 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpm_core::{CostMetric, OptimizationGoal, PolicyOptimizer, SolverKind};
-use dpm_lp::{ConstraintOp, InteriorPoint, LinearProgram, LpSolver, RevisedSimplex, Simplex};
+use dpm_lp::{
+    BasisUpdate, ConstraintOp, InteriorPoint, LinearProgram, LpSolver, RevisedSimplex, Simplex,
+};
 use dpm_mdp::{DiscountedMdp, OccupationLp};
 use dpm_systems::{appendix_b, disk, toy};
 use dpm_trace::generators::BurstyTraceGenerator;
@@ -147,6 +149,36 @@ fn scaled_occupation_lp(sleeps: usize, queue_capacity: usize) -> (usize, LinearP
     (system.num_states(), lp)
 }
 
+use dpm_bench::time_median_ns as time_median;
+
+/// Records one revised-simplex solve of `lp` under `update`, attaching
+/// the factorization counters from a session solve to the JSON record.
+fn bench_revised(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    states: usize,
+    lp: &LinearProgram,
+    update: BasisUpdate,
+) {
+    group.bench_with_input(BenchmarkId::new(name, states), lp, |b, lp| {
+        b.iter(|| {
+            RevisedSimplex::new()
+                .basis_update(update)
+                .solve(lp)
+                .expect("revised simplex solves the instance")
+        });
+        let mut session = RevisedSimplex::new()
+            .basis_update(update)
+            .start(lp)
+            .expect("valid program");
+        let (_, report) = session.solve().expect("feasible instance");
+        b.counter("pivots", report.iterations as f64);
+        b.counter("refactorizations", report.refactorizations as f64);
+        b.counter("basis_updates", report.basis_updates as f64);
+        b.counter("fill_in_nnz", report.fill_in_nnz as f64);
+    });
+}
+
 fn bench_sparse_occupation(c: &mut Criterion) {
     let mut group = c.benchmark_group("sparse_occupation");
     group.sample_size(10);
@@ -162,22 +194,51 @@ fn bench_sparse_occupation(c: &mut Criterion) {
         });
     }
 
-    // The scaled acceptance instance of the sparse LP pipeline:
-    // 13 SP × 2 SR × 8 SQ = 208 states and 13 commands — 2704
-    // state–action variables with >99% sparse balance rows. The revised
-    // simplex solves it in ~300 pivots; the dense tableau does not
-    // terminate within hundreds of thousands of pivots (degenerate
-    // vertex-crawling at O(rows·cols) each), so its record is the time to
-    // burn an explicit 10 000-pivot budget *without* solving — a hard
-    // lower bound on its true cost, labeled as such.
+    // The 208-state acceptance instance of the sparse LP pipeline:
+    // 13 SP × 2 SR × 8 SQ states, 13 commands — 2704 state–action
+    // variables with >99% sparse balance rows. Three records: the sparse
+    // Markowitz-LU engine with Forrest–Tomlin updates (the default,
+    // `revised-simplex`), the same pivots through the PR-3 dense-LU + eta
+    // basis path (`revised-simplex-dense-lu`), and the dense tableau's
+    // DNF record (it does not terminate within hundreds of thousands of
+    // pivots, so its record is the time to burn an explicit 10 000-pivot
+    // budget *without* solving — a hard lower bound, labeled as such).
     let (states, lp) = scaled_occupation_lp(12, 7);
-    group.bench_with_input(BenchmarkId::new("revised-simplex", states), &lp, |b, lp| {
-        b.iter(|| {
-            RevisedSimplex::new()
-                .solve(lp)
-                .expect("revised simplex solves the acceptance instance")
-        })
+    bench_revised(
+        &mut group,
+        "revised-simplex",
+        states,
+        &lp,
+        BasisUpdate::ForrestTomlin,
+    );
+    bench_revised(
+        &mut group,
+        "revised-simplex-dense-lu",
+        states,
+        &lp,
+        BasisUpdate::DenseEta,
+    );
+    let sparse_over_dense = time_median(|| {
+        RevisedSimplex::new()
+            .basis_update(BasisUpdate::DenseEta)
+            .solve(&lp)
+            .expect("dense-LU path still solves 208 states")
+    }) / time_median(|| {
+        RevisedSimplex::new()
+            .solve(&lp)
+            .expect("sparse path solves")
     });
+    println!(
+        "sparse_occupation: sparse-LU over dense-LU at {states} states: {sparse_over_dense:.2}x"
+    );
+    group.bench_with_input(
+        BenchmarkId::new("sparse-lu-speedup", states),
+        &lp,
+        |b, lp| {
+            b.iter(|| RevisedSimplex::new().solve(lp).expect("sparse path solves"));
+            b.counter("sparse_over_dense_lu_x", sparse_over_dense);
+        },
+    );
     group.bench_with_input(
         BenchmarkId::new("simplex-dnf-10k-pivot-budget", states),
         &lp,
@@ -185,6 +246,40 @@ fn bench_sparse_occupation(c: &mut Criterion) {
             b.iter(|| {
                 // IterationLimit is the expected outcome being measured.
                 let _ = Simplex::new().max_iterations(10_000).solve(lp);
+            })
+        },
+    );
+
+    // The ≥1000-state scale-up the sparse factorization unlocks:
+    // scaled(24, 20) composes 25 SP × 2 SR × 21 SQ = 1050 states and 25
+    // commands — 26 250 state–action variables over a ~1050-row basis.
+    // The sparse engine solves it outright; the dense-LU basis path
+    // cannot finish inside the bench budget (each refactorization alone
+    // is O(m³) ≈ 10⁹ flops), so its record is the time burned by an
+    // explicit 200-pivot budget — a small fraction of the pivots the
+    // solve needs — labeled as such.
+    let (states, lp) = scaled_occupation_lp(24, 20);
+    assert!(
+        states >= 1000,
+        "scale acceptance instance shrank to {states} states"
+    );
+    bench_revised(
+        &mut group,
+        "revised-simplex",
+        states,
+        &lp,
+        BasisUpdate::ForrestTomlin,
+    );
+    group.bench_with_input(
+        BenchmarkId::new("revised-dense-lu-dnf-200-pivot-budget", states),
+        &lp,
+        |b, lp| {
+            b.iter(|| {
+                // IterationLimit is the expected outcome being measured.
+                let _ = RevisedSimplex::new()
+                    .basis_update(BasisUpdate::DenseEta)
+                    .max_iterations(200)
+                    .solve(lp);
             })
         },
     );

@@ -54,6 +54,21 @@ pub fn fmt_or_infeasible(value: Option<f64>, precision: usize) -> String {
     }
 }
 
+/// Median of three timed runs of `f`, in nanoseconds — the shared
+/// methodology behind every speedup ratio the benches write into tracked
+/// JSON records (one sample is too exposed to scheduler noise).
+pub fn time_median_ns<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

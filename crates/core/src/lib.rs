@@ -80,7 +80,7 @@ pub use optimizer::{
     OptimizationGoal, PolicyOptimizer, PolicySolution, PreparedOptimization, SolverKind,
     SweepTarget,
 };
-pub use pareto::{ParetoCurve, ParetoExplorer, ParetoPoint};
+pub use pareto::{ParetoCurve, ParetoExplorer, ParetoPoint, SolverEffort};
 // Solver-effort reporting types, re-exported so sweep consumers don't need
 // a direct dpm-lp dependency.
 pub use dpm_lp::{InfeasibilityCertificate, SolveReport};

@@ -33,6 +33,30 @@ impl ParetoPoint {
     }
 }
 
+/// Aggregate solver effort behind a [`ParetoCurve`], summed over the
+/// sweep points that carry a [`SolveReport`] (see
+/// [`ParetoCurve::solver_effort`]). The counters attribute sweep time to
+/// its two cost centers: pivoting (`pivots`, with `basis_updates` of them
+/// absorbed in place) and factorization (`refactorizations`, with
+/// `peak_fill_in_nnz` gauging how sparse the factors stayed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SolverEffort {
+    /// Points re-solved from a retained basis.
+    pub warm_starts: usize,
+    /// Points that paid a full cold solve.
+    pub cold_starts: usize,
+    /// Simplex pivots (or interior-point Newton steps) across the sweep.
+    pub pivots: usize,
+    /// Basis refactorizations across the sweep.
+    pub refactorizations: usize,
+    /// In-place basis updates (Forrest–Tomlin or eta) across the sweep.
+    pub basis_updates: usize,
+    /// Largest per-point factorization fill-in observed (a gauge — fill
+    /// is a property of a factorization, not an accumulating total).
+    pub peak_fill_in_nnz: usize,
+}
+
 /// A solved tradeoff curve: the paper's Pareto curves (Figs. 6, 8(b),
 /// 9(a), 9(b)) are produced "by repeatedly solving the LP with different
 /// performance constraints" — exactly what [`ParetoExplorer`] automates.
@@ -61,24 +85,24 @@ impl ParetoCurve {
         self.points.iter().filter(|p| !p.is_feasible()).count()
     }
 
-    /// Total solver effort across the sweep, as `(warm-started points,
-    /// cold-started points, pivots, refactorizations)` summed over the
-    /// points that carry a [`SolveReport`].
-    pub fn solver_effort(&self) -> (usize, usize, usize, usize) {
-        let mut warm = 0;
-        let mut cold = 0;
-        let mut pivots = 0;
-        let mut refactorizations = 0;
+    /// Total solver effort across the sweep, summed (peak, for the fill
+    /// gauge) over the points that carry a [`SolveReport`] — how sweep
+    /// drivers attribute wall-clock time to pivoting vs factorization
+    /// work.
+    pub fn solver_effort(&self) -> SolverEffort {
+        let mut effort = SolverEffort::default();
         for report in self.points.iter().filter_map(|p| p.report.as_ref()) {
             if report.warm_start {
-                warm += 1;
+                effort.warm_starts += 1;
             } else {
-                cold += 1;
+                effort.cold_starts += 1;
             }
-            pivots += report.iterations;
-            refactorizations += report.refactorizations;
+            effort.pivots += report.iterations;
+            effort.refactorizations += report.refactorizations;
+            effort.basis_updates += report.basis_updates;
+            effort.peak_fill_in_nnz = effort.peak_fill_in_nnz.max(report.fill_in_nnz);
         }
-        (warm, cold, pivots, refactorizations)
+        effort
     }
 
     /// Checks the convexity of the efficient-allocation set (Theorem 4.1):
@@ -150,8 +174,11 @@ impl std::fmt::Display for ParetoCurve {
 /// for (bound, power) in curve.feasible() {
 ///     println!("queue ≤ {bound:.2} → {power:.3} W");
 /// }
-/// let (warm, cold, pivots, _) = curve.solver_effort();
-/// println!("{warm} warm / {cold} cold starts, {pivots} pivots total");
+/// let effort = curve.solver_effort();
+/// println!(
+///     "{} warm / {} cold starts, {} pivots total",
+///     effort.warm_starts, effort.cold_starts, effort.pivots
+/// );
 /// # Ok(())
 /// # }
 /// ```
@@ -368,10 +395,20 @@ mod tests {
         let base = PolicyOptimizer::new(&system).horizon(100_000.0);
         let bounds = [0.9, 0.7, 0.5, 0.3];
         let curve = ParetoExplorer::sweep_performance(base, &bounds).unwrap();
-        let (warm, cold, pivots, _) = curve.solver_effort();
-        assert_eq!(cold, 1, "only the first point pays a cold solve");
-        assert_eq!(warm, bounds.len() - 1);
-        assert!(pivots > 0);
+        let effort = curve.solver_effort();
+        assert_eq!(
+            effort.cold_starts, 1,
+            "only the first point pays a cold solve"
+        );
+        assert_eq!(effort.warm_starts, bounds.len() - 1);
+        assert!(effort.pivots > 0);
+        // The default engine factors sparsely and updates in place, and
+        // every report carries the optimal basis's signature.
+        assert!(effort.refactorizations > 0);
+        for point in curve.points() {
+            let report = point.report.as_ref().expect("session sweeps report");
+            assert_ne!(report.basis_signature, 0, "bound {}", point.bound);
+        }
         for (i, point) in curve.points().iter().enumerate() {
             let report = point.report.as_ref().expect("session sweeps always report");
             assert_eq!(report.warm_start, i > 0, "point {i}");

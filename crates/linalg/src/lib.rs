@@ -12,6 +12,10 @@
 //! * [`sparse`] — [`CsrMatrix`]/[`CscMatrix`] compressed storage with a
 //!   [`TripletMatrix`] builder and sparse·dense kernels, feeding the
 //!   revised simplex method's sparse LP pipeline,
+//! * [`sparse_lu`] — [`SparseLu`], a sparse LU factorization with
+//!   Markowitz-ordered threshold pivoting, sparse triangular solves for
+//!   `Ax=b`/`Aᵀx=b`, fill-in tracking and Forrest–Tomlin
+//!   column-replacement updates — the revised simplex basis engine,
 //! * [`vector`] — small helpers (dot products, norms, `axpy`) on `&[f64]`.
 //!
 //! Everything is implemented from scratch on `f64`; there are no external
@@ -40,6 +44,7 @@ mod error;
 mod lu;
 mod matrix;
 pub mod sparse;
+pub mod sparse_lu;
 pub mod vector;
 
 pub use cholesky::Cholesky;
@@ -47,6 +52,7 @@ pub use error::LinalgError;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
 pub use sparse::{CscMatrix, CsrMatrix, TripletMatrix};
+pub use sparse_lu::SparseLu;
 
 /// Default absolute tolerance used by the factorizations to declare a pivot
 /// numerically zero.

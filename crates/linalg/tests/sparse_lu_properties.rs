@@ -1,0 +1,145 @@
+//! Property-based tests of the sparse Markowitz LU against the dense
+//! factorization: on any (sparse, nonsingular) matrix the two must solve
+//! `Ax = b` and `Aᵀx = b` to the same answer, agree on singularity, and a
+//! Forrest–Tomlin update chain must stay equivalent to refactorizing from
+//! scratch.
+
+use dpm_linalg::{vector, LuDecomposition, Matrix, SparseLu};
+use proptest::prelude::*;
+
+/// A random sparse, diagonally dominant matrix: a dominant diagonal plus
+/// `extras` off-diagonal entries per row — the shape of a simplex basis
+/// drawn from an occupation LP (a few nonzeros per column).
+fn sparse_dominant(n: usize, extras: usize) -> impl Strategy<Value = Matrix> {
+    let cells = proptest::collection::vec((-100i32..=100, 0usize..n), n * extras);
+    let diag = proptest::collection::vec(1i32..=100, n);
+    (cells, diag).prop_map(move |(cells, diag)| {
+        let mut m = Matrix::zeros(n, n);
+        for (k, &(v, j)) in cells.iter().enumerate() {
+            let i = k / extras;
+            if i != j {
+                m[(i, j)] = v as f64 / 60.0;
+            }
+        }
+        for (i, &d) in diag.iter().enumerate() {
+            let row_sum: f64 = m.row(i).iter().map(|v| v.abs()).sum();
+            m[(i, i)] = row_sum + 1.0 + d as f64 / 50.0;
+        }
+        m
+    })
+}
+
+fn rhs(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100i32..=100, n)
+        .prop_map(|v| v.into_iter().map(|x| x as f64 / 10.0).collect())
+}
+
+/// Sparse columns of a dense matrix, the `SparseLu` input format.
+fn columns_of(dense: &Matrix) -> Vec<Vec<(usize, f64)>> {
+    (0..dense.cols())
+        .map(|j| {
+            (0..dense.rows())
+                .filter(|&i| dense[(i, j)] != 0.0)
+                .map(|i| (i, dense[(i, j)]))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn factor_solve_round_trips(a in sparse_dominant(9, 3), b in rhs(9)) {
+        let lu = SparseLu::from_columns(9, &columns_of(&a)).expect("dominant");
+        let x = lu.solve(&b).expect("dims");
+        let back = a.matvec(&x).expect("dims");
+        prop_assert!(vector::max_abs_diff(&back, &b) < 1e-9);
+    }
+
+    #[test]
+    fn solves_agree_with_dense_lu(a in sparse_dominant(8, 3), b in rhs(8)) {
+        let sparse = SparseLu::from_columns(8, &columns_of(&a)).expect("dominant");
+        let dense = LuDecomposition::new(&a).expect("dominant");
+        let xs = sparse.solve(&b).expect("dims");
+        let xd = dense.solve(&b).expect("dims");
+        prop_assert!(
+            vector::max_abs_diff(&xs, &xd) < 1e-10,
+            "sparse and dense LU solves diverged"
+        );
+    }
+
+    #[test]
+    fn transposed_solves_agree_with_dense_lu(a in sparse_dominant(8, 3), b in rhs(8)) {
+        let sparse = SparseLu::from_columns(8, &columns_of(&a)).expect("dominant");
+        let dense = LuDecomposition::new(&a).expect("dominant");
+        let xs = sparse.solve_transposed(&b).expect("dims");
+        let xd = dense.solve_transposed(&b).expect("dims");
+        prop_assert!(
+            vector::max_abs_diff(&xs, &xd) < 1e-10,
+            "sparse and dense transposed solves diverged"
+        );
+    }
+
+    #[test]
+    fn singular_detection_agrees_with_dense_lu(
+        a in sparse_dominant(6, 2),
+        dup in 0usize..6,
+        scale in 1i32..5,
+    ) {
+        // Overwrite one column with a multiple of another: exactly
+        // singular, and both factorizations must say so.
+        let mut m = a;
+        let src = (dup + 1) % 6;
+        for i in 0..6 {
+            m[(i, dup)] = scale as f64 * m[(i, src)];
+        }
+        prop_assert!(SparseLu::from_columns(6, &columns_of(&m)).is_err());
+        prop_assert!(LuDecomposition::new(&m).is_err());
+    }
+
+    #[test]
+    fn forrest_tomlin_chain_matches_refactorization(
+        a in sparse_dominant(8, 3),
+        replacements in proptest::collection::vec((0usize..8, -50i32..=50), 1..10),
+        b in rhs(8),
+    ) {
+        let mut current = a;
+        let mut lu = SparseLu::from_columns(8, &columns_of(&current)).expect("dominant");
+        for (step, &(slot, v)) in replacements.iter().enumerate() {
+            // New column: dominant diagonal entry plus two off-diagonals —
+            // keeps the matrix comfortably nonsingular along the chain.
+            let mut col = [0.0; 8];
+            col[slot] = 10.0 + (v as f64).abs();
+            col[(slot + 2) % 8] = v as f64 / 25.0;
+            col[(slot + 5) % 8] = -(v as f64) / 40.0;
+            for (i, &cv) in col.iter().enumerate() {
+                current[(i, slot)] = cv;
+            }
+            let sparse_col: Vec<(usize, f64)> = col
+                .iter()
+                .enumerate()
+                .filter(|&(_, &cv)| cv != 0.0)
+                .map(|(i, &cv)| (i, cv))
+                .collect();
+            lu.replace_column(slot, &sparse_col).expect("update stays nonsingular");
+            prop_assert_eq!(lu.updates(), step + 1);
+
+            let fresh = SparseLu::from_columns(8, &columns_of(&current)).expect("nonsingular");
+            let xu = lu.solve(&b).expect("dims");
+            let xf = fresh.solve(&b).expect("dims");
+            prop_assert!(
+                vector::max_abs_diff(&xu, &xf) < 1e-8,
+                "step {}: FTRAN through updated factors diverged from refactorization",
+                step
+            );
+            let tu = lu.solve_transposed(&b).expect("dims");
+            let tf = fresh.solve_transposed(&b).expect("dims");
+            prop_assert!(
+                vector::max_abs_diff(&tu, &tf) < 1e-8,
+                "step {}: BTRAN through updated factors diverged from refactorization",
+                step
+            );
+        }
+    }
+}

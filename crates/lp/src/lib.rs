@@ -8,11 +8,13 @@
 //! independent solvers:
 //!
 //! * [`RevisedSimplex`] — a revised simplex method over sparse compressed
-//!   columns, with the basis maintained as an LU factorization plus a
-//!   product-form eta file and periodic refactorization. This is the
-//!   **default engine** of the policy optimizer: occupation-measure LPs
-//!   are >95% sparse and the revised method's per-pivot cost scales with
-//!   the nonzero count, not the full tableau.
+//!   columns, with the basis maintained as a **sparse Markowitz LU**
+//!   factorization repaired in place by **Forrest–Tomlin updates** (a
+//!   product-form eta file and the legacy dense-LU path stay selectable
+//!   via [`BasisUpdate`]). This is the **default engine** of the policy
+//!   optimizer: occupation-measure LPs are >95% sparse and both the
+//!   per-pivot cost *and* the factorization cost scale with the nonzero
+//!   count, not with `m³`.
 //! * [`Simplex`] — a two-phase primal simplex method on a dense tableau,
 //!   with Dantzig pricing and automatic fallback to Bland's rule for
 //!   anti-cycling. It detects infeasibility and unboundedness exactly,
@@ -46,15 +48,19 @@
 //!
 //! | situation | engine | why |
 //! |---|---|---|
-//! | occupation-measure LPs (LP2–LP4), large models | [`RevisedSimplex`] | balance rows have O(1) nonzeros per state; per-pivot work is `O(m² + nnz)` vs the tableau's `O(m·n)`, several times faster at a few hundred states and widening with scale |
+//! | occupation-measure LPs (LP2–LP4), large models | [`RevisedSimplex`] | balance rows have O(1) nonzeros per state; the sparse Markowitz-LU basis with Forrest–Tomlin updates makes pivots *and* (re)factorizations scale with nonzeros — ~6× faster than its own dense-LU mode at 208 states, and solving 1000+-state instances the dense path cannot touch |
 //! | small/dense problems, exact vertex + basis diagnostics | [`Simplex`] | simplest exact method; the dense tableau is competitive below ~100 variables and is the reference the other engines are checked against |
 //! | very degenerate or ill-conditioned instances | [`InteriorPoint`] | follows the central path instead of vertex-hopping, so degeneracy costs nothing; regularized normal equations tolerate bad conditioning |
 //! | don't know / don't care | [`RevisedSimplex`] | the default of `dpm_core::SolverKind`; the occupation-LP layer (`dpm_mdp::OccupationLp`) additionally rescues numerical failures by retrying with another engine — callers using this crate directly get no such net |
-//! | re-solving one model under a sweep of bounds | a [`SolveSession`] on [`RevisedSimplex`] | parametric right-hand-side changes re-solve by **dual simplex from the previous optimal basis** — typically a handful of pivots instead of a full two-phase cold solve |
+//! | re-solving one model under a sweep of bounds | a [`SolveSession`] on [`RevisedSimplex`] | parametric right-hand-side changes re-solve by **dual simplex from the previous optimal basis** — typically a handful of pivots instead of a full two-phase cold solve, on sparse factors that are reused (and FT-updated) across the whole sweep |
+//! | suspecting the basis engine / measuring it | [`RevisedSimplex`] with [`BasisUpdate::Eta`] or [`BasisUpdate::DenseEta`] | same pivot algebra through a product-form eta file (sparse LU snapshot) or the legacy dense LU — cross-checked against Forrest–Tomlin in the property suites, and the baseline the benches compare against |
 //!
 //! All engines accept the same [`LinearProgram`] and return the same
 //! [`LpSolution`], so switching is a one-line change (or a
-//! `Box<dyn LpSolver>` picked at run time).
+//! `Box<dyn LpSolver>` picked at run time). Factorization effort is
+//! observable per solve: [`SolveReport`] carries `refactorizations`,
+//! `basis_updates`, `fill_in_nnz` and a `basis_signature` downstream
+//! layers use to memoize work keyed on the optimal basis.
 //!
 //! # Solve sessions and warm starts
 //!
@@ -108,7 +114,7 @@ pub use error::LpError;
 pub use interior_point::InteriorPoint;
 pub use presolve::{presolve, PresolveReport};
 pub use problem::{ConstraintOp, LinearProgram, SparseStandardForm, StandardForm};
-pub use revised_simplex::RevisedSimplex;
+pub use revised_simplex::{BasisUpdate, RevisedSimplex};
 pub use session::{InfeasibilityCertificate, SolveReport, SolveSession};
 pub use simplex::{PivotRule, Simplex};
 pub use solution::LpSolution;

@@ -3,14 +3,31 @@
 //! Interior-point codes are routinely fronted by a presolver that removes
 //! redundancies before factorization; the paper highlights this
 //! ("Interior point algorithms, augmented with presolvers, can efficiently
-//! solve very large LP instances"). The transformations implemented here
-//! are the ones that actually fire on occupation-measure LPs:
+//! solve very large LP instances"). [`presolve`] is an **opt-in,
+//! caller-side pass**: no engine runs it implicitly (the occupation-LP
+//! emitters produce no structurally empty or zero-range rows, and the
+//! session layer's stable row handles must not shift). Apply it to a
+//! [`LinearProgram`] *before* handing the program to a solver — every
+//! row/variable it eliminates is one the standard-form conversion, and
+//! therefore the basis factorization, never sees:
 //!
 //! * **empty rows** — `0 ≤ b` rows are dropped (or declared infeasible),
-//! * **fixed-by-bounds columns** — a variable appearing in no constraint is
-//!   fixed to 0 when its cost is non-negative (and proves unboundedness
-//!   when its cost is negative),
+//! * **zero-range variables** — a singleton row that pins a variable to
+//!   the single feasible value `0` (`a·xⱼ ≤ 0` with `a > 0`, `a·xⱼ = 0`,
+//!   `a·xⱼ ≥ 0` with `a < 0`; remember `x ≥ 0`) fixes the variable:
+//!   its entries are substituted out of every other row and the defining
+//!   row is dropped. Fixing cascades — substitution can empty rows or
+//!   expose new singletons — so the pass runs to a fixpoint,
+//! * **redundant singleton rows** — a singleton row every `x ≥ 0` point
+//!   satisfies (`a·xⱼ ≥ b` with `a > 0 ≥ b`, ...) is dropped,
+//! * **fixed-by-bounds columns** — a variable appearing in no constraint
+//!   is fixed to 0 when its cost is non-negative (and proves
+//!   unboundedness when its cost is negative),
 //! * **row scaling** — equilibrates constraint rows to unit ∞-norm.
+//!
+//! Variable indices are never remapped: fixed variables keep their slot
+//! (with value 0 in any solution), so solutions of the presolved program
+//! align with the original — regression-tested in this module.
 
 use crate::problem::ConstraintOp;
 use crate::{LinearProgram, LpError};
@@ -18,8 +35,13 @@ use crate::{LinearProgram, LpError};
 /// Summary of what [`presolve`] did to a program.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PresolveReport {
-    /// Constraints removed because they had no nonzero coefficients.
-    pub empty_rows_removed: usize,
+    /// Constraints removed: structurally empty rows, singleton rows
+    /// consumed by a variable fixing, and redundant singleton bounds.
+    pub rows_removed: usize,
+    /// Variables fixed to zero because a (possibly cascaded) singleton
+    /// row admits no other value — their entries were substituted out of
+    /// every remaining row.
+    pub variables_fixed_to_zero: usize,
     /// Variables fixed to zero because they appear in no constraint and
     /// have non-negative cost.
     pub columns_fixed: usize,
@@ -29,13 +51,16 @@ pub struct PresolveReport {
 
 /// Simplifies a program in place.
 ///
-/// The returned report says what changed. Fixed columns keep their index
-/// (so solutions remain aligned); they are fixed by adding the explicit
-/// equality `xⱼ = 0`, which both solvers eliminate cheaply.
+/// The returned report says what changed. Fixed variables keep their
+/// index (so solutions remain aligned): a variable pinned to zero whose
+/// cost would otherwise pull it away from zero keeps an explicit
+/// `xⱼ = 0` row; one whose cost already drives it to zero needs no row at
+/// all — the constraint set shrinks, which is the point.
 ///
 /// # Errors
 ///
-/// * [`LpError::Infeasible`] if an empty row demands a nonzero value.
+/// * [`LpError::Infeasible`] if an empty or singleton row demands an
+///   impossible value.
 /// * [`LpError::Unbounded`] if an unconstrained column has negative cost
 ///   (positive for maximization).
 pub fn presolve(lp: &mut LinearProgram) -> Result<PresolveReport, LpError> {
@@ -43,73 +68,136 @@ pub fn presolve(lp: &mut LinearProgram) -> Result<PresolveReport, LpError> {
     let n = lp.num_vars();
     let mut report = PresolveReport::default();
 
-    // Pass 1: collect constraints sparsely, dropping empty rows.
+    // Working copy of the rows; `None` marks a dropped row.
     type SparseRow = Vec<(usize, f64)>;
-    let mut kept: Vec<(SparseRow, ConstraintOp, f64)> = Vec::new();
-    let mut column_used = vec![false; n];
-    for i in 0..lp.num_constraints() {
-        let (entries, op, rhs) = lp.constraint_entries(i);
-        let max_coeff = entries.iter().fold(0.0_f64, |m, &(_, v)| m.max(v.abs()));
-        if max_coeff == 0.0 {
-            let violated = match op {
-                ConstraintOp::Le => rhs < 0.0,
-                ConstraintOp::Ge => rhs > 0.0,
-                ConstraintOp::Eq => rhs != 0.0,
+    let mut rows: Vec<Option<(SparseRow, ConstraintOp, f64)>> = (0..lp.num_constraints())
+        .map(|i| {
+            let (entries, op, rhs) = lp.constraint_entries(i);
+            Some((entries.to_vec(), op, rhs))
+        })
+        .collect();
+    let mut fixed = vec![false; n];
+
+    // Fixpoint: empty-row elimination, zero-range fixing and the
+    // substitution it triggers feed each other until nothing fires.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..rows.len() {
+            let Some((entries, op, rhs)) = rows[i].as_ref() else {
+                continue;
             };
-            if violated {
-                return Err(LpError::Infeasible);
+            let (op, rhs) = (*op, *rhs);
+            match entries.len() {
+                0 => {
+                    let violated = match op {
+                        ConstraintOp::Le => rhs < 0.0,
+                        ConstraintOp::Ge => rhs > 0.0,
+                        ConstraintOp::Eq => rhs != 0.0,
+                    };
+                    if violated {
+                        return Err(LpError::Infeasible);
+                    }
+                    rows[i] = None;
+                    report.rows_removed += 1;
+                    changed = true;
+                }
+                1 => {
+                    let (j, a) = entries[0];
+                    // With x ≥ 0, a singleton row either pins xⱼ to 0,
+                    // is redundant, is an ordinary (kept) bound, or is
+                    // outright infeasible. `bound = rhs / a` with the
+                    // relation direction flipped when a < 0.
+                    let bound = rhs / a;
+                    let op_oriented = match (op, a > 0.0) {
+                        (ConstraintOp::Eq, _) => ConstraintOp::Eq,
+                        (ConstraintOp::Le, true) | (ConstraintOp::Ge, false) => ConstraintOp::Le,
+                        _ => ConstraintOp::Ge,
+                    };
+                    let fixes = match op_oriented {
+                        ConstraintOp::Eq if bound == 0.0 => true,
+                        ConstraintOp::Eq if bound < 0.0 => return Err(LpError::Infeasible),
+                        ConstraintOp::Le if bound == 0.0 => true,
+                        ConstraintOp::Le if bound < 0.0 => return Err(LpError::Infeasible),
+                        ConstraintOp::Ge if bound <= 0.0 => {
+                            // Every x ≥ 0 satisfies xⱼ ≥ bound: drop.
+                            rows[i] = None;
+                            report.rows_removed += 1;
+                            changed = true;
+                            continue;
+                        }
+                        _ => false,
+                    };
+                    if fixes && !fixed[j] {
+                        fixed[j] = true;
+                        report.variables_fixed_to_zero += 1;
+                        rows[i] = None;
+                        report.rows_removed += 1;
+                        // Substitute xⱼ = 0 out of every remaining row.
+                        for row in rows.iter_mut().flatten() {
+                            row.0.retain(|&(k, _)| k != j);
+                        }
+                        changed = true;
+                    } else if fixes {
+                        // Already fixed elsewhere; the row is redundant.
+                        rows[i] = None;
+                        report.rows_removed += 1;
+                        changed = true;
+                    }
+                }
+                _ => {}
             }
-            report.empty_rows_removed += 1;
-            continue;
         }
+    }
+
+    // Free columns: variables no remaining constraint mentions.
+    let mut column_used = vec![false; n];
+    for (entries, _, _) in rows.iter().flatten() {
         for &(j, _) in entries {
             column_used[j] = true;
         }
-        // Row scaling to unit infinity norm.
-        let (entries, rhs) = if max_coeff != 1.0 {
-            report.rows_scaled += 1;
-            (
-                entries
-                    .iter()
-                    .map(|&(j, v)| (j, v / max_coeff))
-                    .collect::<Vec<_>>(),
-                rhs / max_coeff,
-            )
-        } else {
-            (entries.to_vec(), rhs)
-        };
-        kept.push((entries, op, rhs));
     }
-
-    // Pass 2: unconstrained columns.
     let sign = if lp.is_maximize() { -1.0 } else { 1.0 };
-    let mut fix_rows: Vec<usize> = Vec::new();
-    for (j, used) in column_used.iter().enumerate() {
-        if !used {
-            let cost = sign * lp.objective_coefficients()[j];
-            if cost < 0.0 {
-                return Err(LpError::Unbounded);
+    let mut pin_rows: Vec<usize> = Vec::new();
+    for j in 0..n {
+        if column_used[j] {
+            continue;
+        }
+        let cost = sign * lp.objective_coefficients()[j];
+        if fixed[j] {
+            // Forced to zero by a constraint we consumed: the objective
+            // must not be allowed to move it. A positive cost pins it for
+            // free; otherwise keep one explicit equality.
+            if cost <= 0.0 {
+                pin_rows.push(j);
             }
-            if cost > 0.0 {
-                // Harmless to leave free when cost is exactly 0; fixing
-                // only when the objective would otherwise pull it up.
-                report.columns_fixed += 1;
-                fix_rows.push(j);
-            }
+        } else if cost < 0.0 {
+            return Err(LpError::Unbounded);
+        } else if cost > 0.0 {
+            // Minimization drives it to zero without any row.
+            report.columns_fixed += 1;
         }
     }
 
-    // Rebuild the program.
+    // Rebuild the program, scaling kept rows to unit ∞-norm.
     let objective = lp.objective_coefficients().to_vec();
     let mut rebuilt = if lp.is_maximize() {
         LinearProgram::maximize(&objective)
     } else {
         LinearProgram::minimize(&objective)
     };
-    for (entries, op, rhs) in kept {
-        rebuilt.add_sparse_constraint(&entries, op, rhs)?;
+    for (entries, op, rhs) in rows.into_iter().flatten() {
+        let max_coeff = entries.iter().fold(0.0_f64, |m, &(_, v)| m.max(v.abs()));
+        if max_coeff != 1.0 && max_coeff > 0.0 {
+            report.rows_scaled += 1;
+            let scaled: Vec<(usize, f64)> =
+                entries.iter().map(|&(j, v)| (j, v / max_coeff)).collect();
+            rebuilt.add_sparse_constraint(&scaled, op, rhs / max_coeff)?;
+        } else {
+            rebuilt.add_sparse_constraint(&entries, op, rhs)?;
+        }
     }
-    for j in fix_rows {
+    for j in pin_rows {
         rebuilt.add_sparse_constraint(&[(j, 1.0)], ConstraintOp::Eq, 0.0)?;
     }
     *lp = rebuilt;
@@ -119,7 +207,7 @@ pub fn presolve(lp: &mut LinearProgram) -> Result<PresolveReport, LpError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{LpSolver, Simplex};
+    use crate::{LpSolver, RevisedSimplex, Simplex};
 
     #[test]
     fn removes_empty_rows() {
@@ -127,7 +215,7 @@ mod tests {
         lp.add_constraint(&[0.0], ConstraintOp::Le, 5.0).unwrap();
         lp.add_constraint(&[1.0], ConstraintOp::Ge, 1.0).unwrap();
         let report = presolve(&mut lp).unwrap();
-        assert_eq!(report.empty_rows_removed, 1);
+        assert_eq!(report.rows_removed, 1);
         assert_eq!(lp.num_constraints(), 1);
     }
 
@@ -153,9 +241,11 @@ mod tests {
         lp.add_constraint(&[1.0, 0.0], ConstraintOp::Ge, 1.0)
             .unwrap();
         let report = presolve(&mut lp).unwrap();
-        // x1 appears nowhere but has positive cost: it is *minimized* to 0
-        // anyway, so fixing is cosmetic — but only fires for positive cost.
+        // x1 appears nowhere but has positive cost: minimization drives
+        // it to 0 with no pin row at all — the basis stays one row
+        // smaller than the pre-fixpoint presolver left it.
         assert_eq!(report.columns_fixed, 1);
+        assert_eq!(lp.num_constraints(), 1);
         let s = Simplex::new().solve(&lp).unwrap();
         assert!((s.objective() - 1.0).abs() < 1e-9);
         assert!(s.x()[1].abs() < 1e-9);
@@ -175,5 +265,127 @@ mod tests {
         assert!(report.rows_scaled >= 2);
         let after = Simplex::new().solve(&lp).unwrap().objective();
         assert!((before - after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_range_variable_is_fixed_and_substituted() {
+        // x2 ≤ 0 with x ≥ 0 pins x2 = 0; its entries must vanish from
+        // the other rows and the defining row must be gone.
+        let mut lp = LinearProgram::minimize(&[1.0, 2.0, -3.0]);
+        lp.add_constraint(&[1.0, 1.0, 5.0], ConstraintOp::Ge, 2.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 0.0, 1.0], ConstraintOp::Le, 0.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 1.0, -2.0], ConstraintOp::Le, 7.0)
+            .unwrap();
+        let report = presolve(&mut lp).unwrap();
+        assert_eq!(report.variables_fixed_to_zero, 1);
+        // Two surviving rows plus the pin row for x2 (negative cost: the
+        // objective would otherwise pull it off zero).
+        assert_eq!(lp.num_constraints(), 3);
+        let mut x2_rows = 0;
+        for i in 0..lp.num_constraints() {
+            let (entries, op, rhs) = lp.constraint_entries(i);
+            if entries.iter().any(|&(j, _)| j == 2) {
+                x2_rows += 1;
+                assert_eq!(entries, &[(2, 1.0)], "row {i} is not the pin");
+                assert_eq!(op, ConstraintOp::Eq);
+                assert_eq!(rhs, 0.0);
+            }
+        }
+        assert_eq!(x2_rows, 1, "x2 appears only in its pin row");
+        // The solution must still have x2 = 0 and the same optimum as
+        // the original program.
+        let s = Simplex::new().solve(&lp).unwrap();
+        assert!((s.objective() - 2.0).abs() < 1e-9);
+        assert!(s.x()[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_range_fixing_cascades() {
+        // Fixing x0 (= 0 by the equality) empties the second row down to
+        // a singleton that then fixes x1 too.
+        let mut lp = LinearProgram::minimize(&[1.0, 1.0, 1.0]);
+        lp.add_constraint(&[1.0, 0.0, 0.0], ConstraintOp::Eq, 0.0)
+            .unwrap();
+        lp.add_constraint(&[3.0, 2.0, 0.0], ConstraintOp::Le, 0.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 0.0, 1.0], ConstraintOp::Ge, 1.0)
+            .unwrap();
+        let report = presolve(&mut lp).unwrap();
+        assert_eq!(report.variables_fixed_to_zero, 2);
+        assert_eq!(lp.num_constraints(), 1);
+        let s = Simplex::new().solve(&lp).unwrap();
+        assert!((s.objective() - 1.0).abs() < 1e-9);
+        assert_eq!(&s.x()[..2], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn redundant_singleton_bounds_are_dropped() {
+        // x0 ≥ −1 and −2·x1 ≤ 4 hold for every x ≥ 0.
+        let mut lp = LinearProgram::minimize(&[1.0, 1.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Ge, -1.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, -2.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Ge, 3.0)
+            .unwrap();
+        let report = presolve(&mut lp).unwrap();
+        assert_eq!(report.rows_removed, 2);
+        assert_eq!(lp.num_constraints(), 1);
+        let s = Simplex::new().solve(&lp).unwrap();
+        assert!((s.objective() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_singleton_is_detected() {
+        let mut lp = LinearProgram::minimize(&[1.0]);
+        lp.add_constraint(&[1.0], ConstraintOp::Le, -2.0).unwrap();
+        assert_eq!(presolve(&mut lp).unwrap_err(), LpError::Infeasible);
+        let mut lp = LinearProgram::minimize(&[1.0]);
+        lp.add_constraint(&[2.0], ConstraintOp::Eq, -1.0).unwrap();
+        assert_eq!(presolve(&mut lp).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn presolved_solutions_match_unpresolved() {
+        // Regression for the fixpoint pass: a program exercising every
+        // transformation must keep its optimum and its per-variable
+        // solution across presolve, on both simplex engines.
+        let build = || {
+            let mut lp = LinearProgram::minimize(&[2.0, -1.0, 4.0, 0.5]);
+            lp.add_constraint(&[0.0, 0.0, 0.0, 0.0], ConstraintOp::Le, 1.0)
+                .unwrap(); // empty
+            lp.add_constraint(&[0.0, 0.0, 3.0, 0.0], ConstraintOp::Le, 0.0)
+                .unwrap(); // fixes x2
+            lp.add_constraint(&[1.0, 2.0, -1.0, 0.0], ConstraintOp::Le, 8.0)
+                .unwrap();
+            lp.add_constraint(&[1.0, 1.0, 1.0, 0.0], ConstraintOp::Ge, 2.0)
+                .unwrap();
+            lp.add_constraint(&[0.0, 200.0, 0.0, 100.0], ConstraintOp::Le, 600.0)
+                .unwrap(); // scaled
+            lp
+        };
+        let reference = Simplex::new().solve(&build()).unwrap();
+        let mut presolved = build();
+        let report = presolve(&mut presolved).unwrap();
+        assert_eq!(report.variables_fixed_to_zero, 1);
+        assert!(report.rows_removed >= 2);
+        for solver in [
+            Box::new(Simplex::new()) as Box<dyn LpSolver>,
+            Box::new(RevisedSimplex::new()),
+        ] {
+            let solved = solver.solve(&presolved).unwrap();
+            assert!(
+                (solved.objective() - reference.objective()).abs() < 1e-7,
+                "{}: {} vs {}",
+                solver.name(),
+                solved.objective(),
+                reference.objective()
+            );
+            for (j, (a, b)) in solved.x().iter().zip(reference.x()).enumerate() {
+                assert!((a - b).abs() < 1e-7, "{}: x{j} {a} vs {b}", solver.name());
+            }
+        }
     }
 }

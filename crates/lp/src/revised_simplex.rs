@@ -12,33 +12,58 @@
 //!
 //! # Basis maintenance and refactorization cadence
 //!
-//! The basis inverse is represented as an LU factorization of a snapshot
-//! basis `B₀` composed with a **product-form eta file**: after a pivot
-//! that replaces basis slot `p` with entering column `q`, the update
-//! `B ← B·E` is recorded as the eta vector `d = B⁻¹ a_q` (already
-//! computed by the ratio test) instead of refactorizing. FTRAN applies
-//! the eta inverses after the LU solve; BTRAN applies their transposes
-//! before it. Each eta costs `O(m)` to apply, so the eta file is capped:
-//! every [`RevisedSimplex::refactor_interval`] pivots (default 64) the
-//! basis is refactorized from the original sparse columns, which also
-//! flushes accumulated roundoff — the same role iterative refinement
-//! plays in the dense engine, but amortized across the solve. A Forrest–
-//! Tomlin update would keep the factors themselves sparse between
-//! refactorizations; the product-form eta file is the simpler scheme with
-//! the same asymptotics at this problem scale.
+//! The basis is held as a **sparse LU factorization**
+//! ([`dpm_linalg::SparseLu`]: Markowitz-ordered threshold pivoting,
+//! sparse triangular solves) built straight from the standard form's
+//! compressed columns — factorization work scales with the basis's
+//! nonzeros, not with `m³`. After a pivot that replaces basis slot `p`
+//! with entering column `q`, the factors are repaired in place by a
+//! **Forrest–Tomlin update** ([`BasisUpdate::ForrestTomlin`], the
+//! default): the spike column `L⁻¹a_q` lands in `U`, the spiked row is
+//! cycled last and re-eliminated by a short row transformation. The
+//! factors stay sparse between refactorizations, where a product-form
+//! eta file would accumulate a dense `m`-vector per pivot.
+//!
+//! The classic eta file is retained as [`BasisUpdate::Eta`] (sparse LU
+//! snapshot + product-form etas) and the pre-sparse dense path as
+//! [`BasisUpdate::DenseEta`] (dense LU + etas) — both cross-checked
+//! against Forrest–Tomlin in the test suites, the latter kept as the
+//! benchmark baseline the sparse engine is measured against. Whatever
+//! the update scheme, every [`RevisedSimplex::refactor_interval`] pivots
+//! (default 64) the basis is refactorized from the original sparse
+//! columns, flushing accumulated roundoff and update fill.
 //!
 //! Pricing is Dantzig (most negative reduced cost) with an automatic
 //! fallback to Bland's rule when the objective stalls, mirroring the
 //! dense engine's anti-cycling protection.
 
-use dpm_linalg::{LuDecomposition, Matrix};
+use dpm_linalg::{LuDecomposition, Matrix, SparseLu};
 
 use crate::session::{InfeasibilityCertificate, SolveReport};
 use crate::simplex::PivotRule;
 use crate::{LinearProgram, LpError, LpSolution, LpSolver, SolveSession};
 
-/// Revised simplex method with an LU-factorized basis and product-form
-/// eta updates, operating on sparse compressed columns.
+/// How the revised simplex maintains its basis factorization between
+/// refactorizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BasisUpdate {
+    /// Sparse LU ([`dpm_linalg::SparseLu`]) with **Forrest–Tomlin
+    /// updates** of the factors on every pivot — the default: both the
+    /// factorization and the per-pivot update scale with nonzeros.
+    #[default]
+    ForrestTomlin,
+    /// Sparse LU snapshot plus a **product-form eta file**: pivots append
+    /// a dense `m`-vector eta instead of updating the factors. Simpler,
+    /// same refactorization path; kept as a cross-checked fallback.
+    Eta,
+    /// **Dense** LU snapshot plus the eta file — the pre-sparse engine
+    /// (`O(m³)` refactorization, `O(m²)` solves). Kept selectable as the
+    /// baseline the sparse basis engines are benchmarked against.
+    DenseEta,
+}
+
+/// Revised simplex method with a sparse LU-factorized basis and
+/// Forrest–Tomlin updates, operating on sparse compressed columns.
 ///
 /// Drop-in replacement for the dense tableau [`Simplex`](crate::Simplex)
 /// behind the [`LpSolver`] trait; it reaches the same optima (the test
@@ -67,6 +92,7 @@ pub struct RevisedSimplex {
     max_iterations: usize,
     tolerance: f64,
     refactor_interval: usize,
+    basis_update: BasisUpdate,
 }
 
 impl Default for RevisedSimplex {
@@ -77,13 +103,15 @@ impl Default for RevisedSimplex {
 
 impl RevisedSimplex {
     /// Creates a solver with default settings (Dantzig pricing with Bland
-    /// fallback, tolerance `1e-9`, refactorization every 64 pivots).
+    /// fallback, tolerance `1e-9`, sparse LU with Forrest–Tomlin updates,
+    /// refactorization every 64 pivots).
     pub fn new() -> Self {
         RevisedSimplex {
             pivot_rule: PivotRule::default(),
             max_iterations: 50_000,
             tolerance: 1e-9,
             refactor_interval: 64,
+            basis_update: BasisUpdate::default(),
         }
     }
 
@@ -105,10 +133,17 @@ impl RevisedSimplex {
         self
     }
 
-    /// Sets how many eta updates accumulate before the basis is
-    /// refactorized from scratch (see the module docs). Clamped to ≥ 1.
+    /// Sets how many in-place basis updates (Forrest–Tomlin or eta)
+    /// accumulate before the basis is refactorized from scratch (see the
+    /// module docs). Clamped to ≥ 1.
     pub fn refactor_interval(mut self, pivots: usize) -> Self {
         self.refactor_interval = pivots.max(1);
+        self
+    }
+
+    /// Selects the basis-maintenance scheme (see [`BasisUpdate`]).
+    pub fn basis_update(mut self, update: BasisUpdate) -> Self {
+        self.basis_update = update;
         self
     }
 }
@@ -119,7 +154,12 @@ impl RevisedSimplex {
     /// basis for warm re-solves. [`LpSolver::solve`] discards the core.
     fn solve_to_core(&self, lp: &LinearProgram) -> Result<(LpSolution, Core), LpError> {
         lp.validate()?;
-        let mut core = Core::build(lp, self.tolerance, self.refactor_interval)?;
+        let mut core = Core::build(
+            lp,
+            self.tolerance,
+            self.refactor_interval,
+            self.basis_update,
+        )?;
         let mut iterations = 0;
 
         if core.num_artificial > 0 {
@@ -172,6 +212,46 @@ struct Eta {
     d: Vec<f64>,
 }
 
+/// The basis factorization behind FTRAN/BTRAN: sparse Markowitz LU (the
+/// [`BasisUpdate::ForrestTomlin`] and [`BasisUpdate::Eta`] schemes) or
+/// the legacy dense LU ([`BasisUpdate::DenseEta`]).
+#[derive(Debug)]
+enum Factors {
+    Sparse(Box<SparseLu>),
+    Dense(Box<LuDecomposition>),
+}
+
+impl Factors {
+    fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LpError> {
+        let solved = match self {
+            Factors::Sparse(lu) => lu.solve(b),
+            Factors::Dense(lu) => lu.solve(b),
+        };
+        solved.map_err(|e| LpError::Numerical {
+            reason: e.to_string(),
+        })
+    }
+
+    fn solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>, LpError> {
+        let solved = match self {
+            Factors::Sparse(lu) => lu.solve_transposed(b),
+            Factors::Dense(lu) => lu.solve_transposed(b),
+        };
+        solved.map_err(|e| LpError::Numerical {
+            reason: e.to_string(),
+        })
+    }
+
+    /// Fill-in of the current factors (0 for the dense path, which has no
+    /// sparsity to lose).
+    fn fill_in(&self) -> usize {
+        match self {
+            Factors::Sparse(lu) => lu.fill_in(),
+            Factors::Dense(_) => 0,
+        }
+    }
+}
+
 /// Solver state over the (row-sign-normalized) sparse standard form.
 #[derive(Debug)]
 struct Core {
@@ -198,20 +278,39 @@ struct Core {
     is_basic: Vec<bool>,
     /// Current basic-variable values `x_B` (aligned with `basis`).
     x_b: Vec<f64>,
-    /// LU of the snapshot basis `B₀`.
-    lu: LuDecomposition,
-    /// Product-form updates applied since the last refactorization.
+    /// Factorization of the snapshot basis `B₀` (kept current by
+    /// Forrest–Tomlin updates, or composed with `etas`).
+    factors: Factors,
+    /// Product-form updates applied since the last refactorization
+    /// (empty under [`BasisUpdate::ForrestTomlin`]).
     etas: Vec<Eta>,
+    /// The configured basis-maintenance scheme.
+    update_kind: BasisUpdate,
+    /// In-place updates (Forrest–Tomlin or eta) absorbed since the last
+    /// refactorization; capped at `refactor_interval`.
+    updates_since_refactor: usize,
     tol: f64,
     refactor_interval: usize,
     /// Lifetime pivot count (primal + dual), for [`SolveReport`]s.
     pivots: usize,
     /// Lifetime refactorization count, for [`SolveReport`]s.
     refactorizations: usize,
+    /// Lifetime in-place basis-update count, for [`SolveReport`]s.
+    basis_updates: usize,
+    /// Largest factor fill-in observed since [`Self::reset_peak_fill`] —
+    /// updated after every refactorization *and* every Forrest–Tomlin
+    /// update, so update-chain fill is visible even though extraction
+    /// ends on freshly refactorized factors.
+    peak_fill: usize,
 }
 
 impl Core {
-    fn build(lp: &LinearProgram, tol: f64, refactor_interval: usize) -> Result<Self, LpError> {
+    fn build(
+        lp: &LinearProgram,
+        tol: f64,
+        refactor_interval: usize,
+        update_kind: BasisUpdate,
+    ) -> Result<Self, LpError> {
         let sf = lp.to_sparse_standard_form()?;
         let m = sf.b.len();
         let n = sf.c.len();
@@ -272,55 +371,153 @@ impl Core {
             basis,
             is_basic,
             x_b: vec![0.0; m],
-            // 1×1 placeholder (never solved against); the `refactor`
+            // 0×0 placeholder (never solved against); the `refactor`
             // call below installs the real initial-basis factorization.
-            lu: LuDecomposition::new(&Matrix::identity(1)).map_err(|e| LpError::Numerical {
-                reason: e.to_string(),
-            })?,
+            factors: Factors::Sparse(Box::new(
+                SparseLu::from_columns::<Vec<(usize, f64)>>(0, &[]).map_err(|e| {
+                    LpError::Numerical {
+                        reason: e.to_string(),
+                    }
+                })?,
+            )),
             etas: Vec::new(),
+            update_kind,
+            updates_since_refactor: 0,
             tol,
             refactor_interval,
             pivots: 0,
             refactorizations: 0,
+            basis_updates: 0,
+            peak_fill: 0,
         };
         core.refactor()?;
         Ok(core)
     }
 
-    /// Rebuilds the LU factorization of the current basis from the
-    /// pristine sparse columns, clears the eta file, and re-solves the
-    /// basic values.
+    /// Rebuilds the factorization of the current basis from the pristine
+    /// sparse columns, clears the eta file, and re-solves the basic
+    /// values. Sparse schemes factorize the compressed columns directly
+    /// (Markowitz LU); only [`BasisUpdate::DenseEta`] materializes the
+    /// dense basis matrix.
     fn refactor(&mut self) -> Result<(), LpError> {
         self.refactorizations += 1;
+        self.etas.clear();
+        self.updates_since_refactor = 0;
         if self.m == 0 {
-            self.etas.clear();
             self.x_b.clear();
             return Ok(());
         }
-        let mut basis_matrix = Matrix::zeros(self.m, self.m);
-        for (slot, &j) in self.basis.iter().enumerate() {
-            for &(i, v) in &self.cols[j] {
-                basis_matrix[(i, slot)] = v;
+        self.factors = match self.update_kind {
+            BasisUpdate::DenseEta => {
+                let mut basis_matrix = Matrix::zeros(self.m, self.m);
+                for (slot, &j) in self.basis.iter().enumerate() {
+                    for &(i, v) in &self.cols[j] {
+                        basis_matrix[(i, slot)] = v;
+                    }
+                }
+                Factors::Dense(Box::new(LuDecomposition::new(&basis_matrix).map_err(
+                    |e| LpError::Numerical {
+                        reason: format!("singular simplex basis: {e}"),
+                    },
+                )?))
             }
-        }
-        self.lu = LuDecomposition::new(&basis_matrix).map_err(|e| LpError::Numerical {
-            reason: format!("singular simplex basis: {e}"),
-        })?;
-        self.etas.clear();
-        self.x_b = self.lu.solve(&self.b).map_err(|e| LpError::Numerical {
-            reason: e.to_string(),
-        })?;
+            BasisUpdate::ForrestTomlin | BasisUpdate::Eta => {
+                let cols: Vec<&[(usize, f64)]> = self
+                    .basis
+                    .iter()
+                    .map(|&j| self.cols[j].as_slice())
+                    .collect();
+                Factors::Sparse(Box::new(SparseLu::from_columns(self.m, &cols).map_err(
+                    |e| LpError::Numerical {
+                        reason: format!("singular simplex basis: {e}"),
+                    },
+                )?))
+            }
+        };
+        self.peak_fill = self.peak_fill.max(self.factors.fill_in());
+        self.x_b = self.factors.solve(&self.b)?;
         Ok(())
     }
 
-    /// FTRAN: returns `B⁻¹ v` through the snapshot LU and the eta file.
+    /// `true` right after a refactorization: the factors carry no
+    /// in-place updates whose roundoff could explain a degenerate pivot.
+    fn is_fresh(&self) -> bool {
+        self.updates_since_refactor == 0
+    }
+
+    /// Absorbs a completed pivot (slot `p` now holds column `q`, ratio
+    /// direction `d = B⁻¹a_q`) into the factorization: Forrest–Tomlin
+    /// update, eta record, or a full refactorization when the update
+    /// budget is exhausted or the update itself goes singular.
+    fn absorb_pivot(&mut self, p: usize, q: usize, d: Vec<f64>) -> Result<(), LpError> {
+        self.pivots += 1;
+        if self.updates_since_refactor + 1 >= self.refactor_interval {
+            return self.refactor();
+        }
+        match self.update_kind {
+            BasisUpdate::ForrestTomlin => {
+                let Factors::Sparse(lu) = &mut self.factors else {
+                    unreachable!("Forrest–Tomlin always runs on sparse factors");
+                };
+                match lu.replace_column(p, &self.cols[q]) {
+                    Ok(()) => {
+                        self.basis_updates += 1;
+                        self.updates_since_refactor += 1;
+                        self.peak_fill = self.peak_fill.max(lu.fill_in());
+                        Ok(())
+                    }
+                    // A vanishing update diagonal: the repaired factors
+                    // would be singular — rebuild from scratch instead.
+                    Err(_) => self.refactor(),
+                }
+            }
+            BasisUpdate::Eta | BasisUpdate::DenseEta => {
+                self.etas.push(Eta { slot: p, d });
+                self.basis_updates += 1;
+                self.updates_since_refactor += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Largest factor fill-in observed since the last
+    /// [`Self::reset_peak_fill`] (see [`SolveReport::fill_in_nnz`]).
+    fn peak_fill(&self) -> usize {
+        self.peak_fill
+    }
+
+    /// Restarts the peak-fill gauge at the current factors' fill —
+    /// called at the start of a warm re-solve so the report reflects
+    /// *this* solve's factorization behavior, not a previous solve's
+    /// high-water mark.
+    fn reset_peak_fill(&mut self) {
+        self.peak_fill = self.factors.fill_in();
+    }
+
+    /// Order-independent hash of the current basic column set — the
+    /// memoization key downstream layers use to skip re-extracting a
+    /// solution whose basis did not change. Never 0 (0 means "no
+    /// signature" in [`SolveReport`]).
+    fn basis_signature(&self) -> u64 {
+        fn splitmix64(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+        let acc = self
+            .basis
+            .iter()
+            .fold(0u64, |acc, &j| acc.wrapping_add(splitmix64(j as u64 + 1)));
+        acc.max(1)
+    }
+
+    /// FTRAN: returns `B⁻¹ v` through the factors and the eta file.
     fn ftran(&self, v: &[f64]) -> Result<Vec<f64>, LpError> {
         if self.m == 0 {
             return Ok(Vec::new());
         }
-        let mut y = self.lu.solve(v).map_err(|e| LpError::Numerical {
-            reason: e.to_string(),
-        })?;
+        let mut y = self.factors.solve(v)?;
         for eta in &self.etas {
             let yp = y[eta.slot] / eta.d[eta.slot];
             for (i, (yi, &di)) in y.iter_mut().zip(&eta.d).enumerate() {
@@ -334,7 +531,7 @@ impl Core {
     }
 
     /// BTRAN: returns the `y` solving `Bᵀ y = c` (eta transposes first, in
-    /// reverse order, then the snapshot LU).
+    /// reverse order, then the factorization).
     fn btran(&self, c: &[f64]) -> Result<Vec<f64>, LpError> {
         if self.m == 0 {
             return Ok(Vec::new());
@@ -349,11 +546,7 @@ impl Core {
             }
             y[eta.slot] = s / eta.d[eta.slot];
         }
-        self.lu
-            .solve_transposed(&y)
-            .map_err(|e| LpError::Numerical {
-                reason: e.to_string(),
-            })
+        self.factors.solve_transposed(&y)
     }
 
     /// Cost of column `j` under `phase` (phase 1: artificials cost 1).
@@ -520,13 +713,13 @@ impl Core {
             // Minimum pivot magnitude: accepting pivots near the pricing
             // tolerance drives the basis toward singularity (the LU
             // refactorization would eventually fail). First suspicion
-            // falls on eta-file roundoff — refactorize and retry with a
+            // falls on update roundoff — refactorize and retry with a
             // fresh direction; if the pivot is *still* degenerate, the
             // column is genuinely near-dependent on the basis and is
             // banned for now.
             const PIVOT_MIN: f64 = 1e-7;
             if d[p].abs() < PIVOT_MIN {
-                if !self.etas.is_empty() {
+                if !self.is_fresh() {
                     self.refactor()?;
                     d = self.ftran(&aq)?;
                     match self.choose_leaving(phase, &d, use_bland) {
@@ -544,8 +737,9 @@ impl Core {
                 }
             }
 
-            // Apply the pivot: update basic values, basis bookkeeping, and
-            // record the eta (or refactorize when the file is full).
+            // Apply the pivot: update basic values, basis bookkeeping,
+            // and repair the factorization (Forrest–Tomlin update, eta
+            // record, or refactorization when the budget is spent).
             for (xi, &di) in self.x_b.iter_mut().zip(&d) {
                 *xi -= di * ratio;
             }
@@ -554,12 +748,7 @@ impl Core {
             self.is_basic[out] = false;
             self.is_basic[q] = true;
             self.basis[p] = q;
-            self.pivots += 1;
-            if self.etas.len() + 1 >= self.refactor_interval {
-                self.refactor()?;
-            } else {
-                self.etas.push(Eta { slot: p, d });
-            }
+            self.absorb_pivot(p, q, d)?;
             if banned_any {
                 banned.fill(false);
                 banned_any = false;
@@ -763,8 +952,8 @@ impl Core {
             }
             let d = self.ftran(&aq)?;
             if d[p].abs() < PIVOT_MIN {
-                if !self.etas.is_empty() {
-                    // Suspect eta-file roundoff first: refactorize (which
+                if !self.is_fresh() {
+                    // Suspect update roundoff first: refactorize (which
                     // also re-solves x_B from b) and re-enter the loop.
                     self.refactor()?;
                     continue;
@@ -782,13 +971,8 @@ impl Core {
             self.is_basic[out] = false;
             self.is_basic[q] = true;
             self.basis[p] = q;
-            self.pivots += 1;
             pivots_done += 1;
-            if self.etas.len() + 1 >= self.refactor_interval {
-                self.refactor()?;
-            } else {
-                self.etas.push(Eta { slot: p, d });
-            }
+            self.absorb_pivot(p, q, d)?;
         }
         Err(LpError::IterationLimit { limit: max_iter })
     }
@@ -827,6 +1011,8 @@ impl RevisedSession {
         report.warm_start = true;
         let pivots_before = core.pivots;
         let refactors_before = core.refactorizations;
+        let updates_before = core.basis_updates;
+        core.reset_peak_fill();
         let result = (|| {
             if self.rhs_dirty {
                 core.recompute_basics()?;
@@ -845,6 +1031,9 @@ impl RevisedSession {
         })();
         report.iterations = core.pivots - pivots_before;
         report.refactorizations = core.refactorizations - refactors_before;
+        report.basis_updates = core.basis_updates - updates_before;
+        report.fill_in_nnz = core.peak_fill();
+        report.basis_signature = core.basis_signature();
         result
     }
 
@@ -856,6 +1045,9 @@ impl RevisedSession {
             Ok((solution, core)) => {
                 report.iterations = core.pivots;
                 report.refactorizations = core.refactorizations;
+                report.basis_updates = core.basis_updates;
+                report.fill_in_nnz = core.peak_fill();
+                report.basis_signature = core.basis_signature();
                 self.core = Some(core);
                 self.warm = true;
                 self.rhs_dirty = false;
@@ -1253,6 +1445,55 @@ mod tests {
         let (_, warm_report) = session.solve().unwrap();
         assert!(warm_report.warm_start);
         assert!(warm_report.refactorizations >= 1); // extraction refactor
+    }
+
+    #[test]
+    fn reports_carry_factorization_counters_and_signature() {
+        let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)
+            .unwrap();
+        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)
+            .unwrap();
+        let mut session = RevisedSimplex::new().start(&lp).unwrap();
+        let (_, first) = session.solve().unwrap();
+        assert!(first.iterations > 0);
+        assert!(
+            first.basis_updates > 0,
+            "a multi-pivot solve under the default interval absorbs updates in place"
+        );
+        assert_ne!(first.basis_signature, 0);
+        // An untouched model re-solves at the same basis: same signature,
+        // zero further pivots.
+        let (_, again) = session.solve().unwrap();
+        assert_eq!(again.basis_signature, first.basis_signature);
+        assert_eq!(again.iterations, 0);
+        assert_eq!(again.basis_updates, 0);
+        // A different optimum means a different basic set.
+        session.set_objective(&[5.0, 3.0]).unwrap();
+        let (_, moved) = session.solve().unwrap();
+        assert_ne!(moved.basis_signature, first.basis_signature);
+    }
+
+    #[test]
+    fn eta_and_dense_modes_match_forrest_tomlin() {
+        let mut lp = LinearProgram::minimize(&[2.0, 3.0, 1.0]);
+        lp.add_constraint(&[1.0, 1.0, 0.0], ConstraintOp::Ge, 4.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 1.0, 2.0], ConstraintOp::Ge, 3.0)
+            .unwrap();
+        let reference = RevisedSimplex::new().solve(&lp).unwrap();
+        for update in [BasisUpdate::Eta, BasisUpdate::DenseEta] {
+            let s = RevisedSimplex::new()
+                .basis_update(update)
+                .solve(&lp)
+                .unwrap();
+            assert!(
+                (s.objective() - reference.objective()).abs() < 1e-9,
+                "{update:?}"
+            );
+        }
     }
 
     #[test]

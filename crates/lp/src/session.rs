@@ -62,6 +62,24 @@ pub struct SolveReport {
     /// Basis refactorizations performed (0 for engines without a
     /// factorized basis).
     pub refactorizations: usize,
+    /// In-place basis updates absorbed between refactorizations —
+    /// Forrest–Tomlin factor repairs or product-form eta records for
+    /// [`RevisedSimplex`](crate::RevisedSimplex), 0 for engines without a
+    /// factorized basis.
+    pub basis_updates: usize,
+    /// **Peak** fill-in of the basis factorization during this solve:
+    /// the most nonzeros the factors held beyond the basis matrix's own,
+    /// measured after every refactorization and every in-place factor
+    /// update. A gauge, not a total (0 for engines without a sparse
+    /// factorization).
+    pub fill_in_nnz: usize,
+    /// Order-independent hash of the optimal basic column set, or 0 when
+    /// the engine does not expose a basis. Two solves of the same loaded
+    /// program that report the same nonzero signature ended at the same
+    /// basis — downstream layers use this to memoize work derived from
+    /// the solution (e.g. policy extraction) across duplicate sweep
+    /// points.
+    pub basis_signature: u64,
     /// Set when the solve returned [`LpError::Infeasible`]: what kind of
     /// certificate backed the verdict. `None` on success.
     pub infeasibility: Option<InfeasibilityCertificate>,
@@ -75,6 +93,9 @@ impl SolveReport {
             warm_start: false,
             iterations: 0,
             refactorizations: 0,
+            basis_updates: 0,
+            fill_in_nnz: 0,
+            basis_signature: 0,
             infeasibility: None,
         }
     }

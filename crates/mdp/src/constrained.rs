@@ -202,6 +202,8 @@ impl ConstrainedMdp {
             last: session.last_report().clone(),
             session,
             solver_name: solver.name(),
+            cached: None,
+            extractions: 0,
         })
     }
 
@@ -254,6 +256,21 @@ pub struct ConstrainedSession {
     /// including the cross-engine rescue, whose report the inner
     /// session never sees.
     last: SolveReport,
+    /// Memoized policy extraction: when a re-solve reports the same
+    /// basis signature under the same bounds, the previous solution is
+    /// reused instead of re-running equation (16).
+    cached: Option<ExtractionCache>,
+    /// How many times equation (16) extraction actually ran.
+    extractions: usize,
+}
+
+/// The memoized product of one policy extraction, keyed by the basis
+/// signature and bounds it was produced under.
+#[derive(Debug)]
+struct ExtractionCache {
+    signature: u64,
+    bounds: Vec<f64>,
+    solution: ConstrainedSolution,
 }
 
 impl ConstrainedSession {
@@ -309,6 +326,13 @@ impl ConstrainedSession {
     /// the solution together with the engine's [`SolveReport`] (warm vs
     /// cold, pivots, refactorizations).
     ///
+    /// Policy extraction (equation (16)) is **memoized on the engine's
+    /// basis signature**: when a re-solve ends at the same basis under
+    /// the same bounds — duplicate sweep points, or a bound moved within
+    /// the region where it stays inactive *and* back — the previous
+    /// solution is returned without re-running the extraction pipeline
+    /// (see [`Self::extraction_count`]).
+    ///
     /// # Errors
     ///
     /// * [`MdpError::Infeasible`] when the current bounds admit no policy
@@ -338,9 +362,35 @@ impl ConstrainedSession {
             }
         };
         self.last = report.clone();
+        // Memoization: an identical basis under identical bounds (the
+        // balance rows never move through this API) pins the whole
+        // solution — skip the guard + extraction + equation (16).
+        if report.basis_signature != 0 {
+            if let Some(cache) = &self.cached {
+                if cache.signature == report.basis_signature && cache.bounds == self.bounds {
+                    return Ok((cache.solution.clone(), report));
+                }
+            }
+        }
         let lp_solution = guard_violations(&self.lp, lp_solution)?;
         let occ = OccupationLp::new(self.problem.mdp(), &self.initial)?.extract(&lp_solution);
-        Ok((self.problem.assemble(occ, &self.bounds), report))
+        let solution = self.problem.assemble(occ, &self.bounds);
+        self.extractions += 1;
+        if report.basis_signature != 0 {
+            self.cached = Some(ExtractionCache {
+                signature: report.basis_signature,
+                bounds: self.bounds.clone(),
+                solution: solution.clone(),
+            });
+        }
+        Ok((solution, report))
+    }
+
+    /// How many times policy extraction (equation (16) plus the
+    /// constraint-value accounting) actually ran — re-solves that hit the
+    /// basis-signature memo return the cached solution and do not count.
+    pub fn extraction_count(&self) -> usize {
+        self.extractions
     }
 
     /// Report of the most recent solve attempt (successful or not),
@@ -638,6 +688,54 @@ mod tests {
         let (recovered, _) = session.solve().unwrap();
         assert!((recovered.objective() - ok.objective()).abs() < 1e-6);
         assert_eq!(session.bound(0), 15.0);
+    }
+
+    #[test]
+    fn duplicate_bounds_memoize_extraction() {
+        // Re-solving at an unchanged (or re-set-to-identical) bound ends
+        // at the same basis, so equation (16) must run exactly once for
+        // the repeated points — the ROADMAP memoization item.
+        let discount = 0.95;
+        let mut session = ConstrainedMdp::new(mini_dpm(discount))
+            .with_constraint(CostConstraint::per_slice(
+                "sleep fraction",
+                penalty_matrix(),
+                0.4,
+                discount,
+            ))
+            .into_session(&[1.0, 0.0], &dpm_lp::RevisedSimplex::new())
+            .unwrap();
+        let (first, report) = session.solve().unwrap();
+        assert_ne!(report.basis_signature, 0, "revised simplex signs its basis");
+        assert_eq!(session.extraction_count(), 1);
+        // Same model, solved again: memo hit.
+        let (again, _) = session.solve().unwrap();
+        assert_eq!(
+            session.extraction_count(),
+            1,
+            "unchanged model re-extracted"
+        );
+        assert_eq!(first.objective(), again.objective());
+        // Bound re-set to the same value: still a memo hit.
+        session.set_bound_per_slice(0, 0.4).unwrap();
+        let (dup, _) = session.solve().unwrap();
+        assert_eq!(
+            session.extraction_count(),
+            1,
+            "duplicate bound re-extracted"
+        );
+        assert_eq!(first.objective(), dup.objective());
+        assert_eq!(
+            first.policy().decision(0),
+            dup.policy().decision(0),
+            "memoized policy must be the extracted one"
+        );
+        // A genuinely different bound must re-extract.
+        session.set_bound_per_slice(0, 0.2).unwrap();
+        let (tighter, _) = session.solve().unwrap();
+        assert_eq!(session.extraction_count(), 2);
+        assert!(tighter.objective() > first.objective());
+        assert!((tighter.bounds[0] - session.bound(0)).abs() < 1e-12);
     }
 
     #[test]

@@ -143,7 +143,9 @@ impl Config {
     /// `scaled(12, 7)` the composed system has
     /// `13 SP × 2 SR × 8 SQ = 208` states and 13 commands — 2704
     /// state–action variables, the benchmark instance for the sparse LP
-    /// pipeline.
+    /// pipeline; `scaled(24, 20)` reaches
+    /// `25 SP × 2 SR × 21 SQ = 1050` states and 26 250 variables, the
+    /// sparse-basis-factorization acceptance scale.
     ///
     /// # Panics
     ///

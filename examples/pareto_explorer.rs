@@ -44,10 +44,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     // The whole sweep ran through one solve session: every point after
     // the first re-solved warm from the previous optimal basis.
-    let (warm, cold, pivots, refactorizations) = curve.solver_effort();
+    let effort = curve.solver_effort();
     eprintln!(
-        "solver effort: {warm} warm + {cold} cold starts, \
-         {pivots} pivots, {refactorizations} refactorizations",
+        "solver effort: {} warm + {} cold starts, {} pivots \
+         ({} absorbed in place), {} refactorizations (peak fill {})",
+        effort.warm_starts,
+        effort.cold_starts,
+        effort.pivots,
+        effort.basis_updates,
+        effort.refactorizations,
+        effort.peak_fill_in_nnz,
     );
     Ok(())
 }

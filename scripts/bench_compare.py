@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Warn-only bench comparison tables for CI.
+"""Bench comparison tables for CI.
 
 Reads the criterion-shim records (``BENCH_<name>.json``: ``{"name",
 "mean_ns", "iterations", ...optional counters...}``) from the current
@@ -8,17 +8,26 @@ prints two tables:
 
 1. **warm vs cold** — pairs of ``<group>/warm/<case>`` and
    ``<group>/cold/<case>`` records from the current run, with the
-   speedup and any solver counters (``pivots``, ``refactorizations``).
+   speedup and any solver counters (``pivots``, ``refactorizations``,
+   ``basis_updates``, ``fill_in_nnz``, ...).
 2. **PR over PR** — every current record against its previous-run
    counterpart, with the ratio.
 
-This script never fails the build: it exits 0 whatever it finds (and is
-additionally wrapped in ``continue-on-error`` in the workflow). It is a
-trend surface, not a gate.
+By default the script never fails the build: it exits 0 whatever it
+finds (and is additionally wrapped in ``continue-on-error`` in the
+workflow) — a trend surface, not a gate.
 
-Usage: bench_compare.py <current-dir> [previous-dir]
+``--fail-over <pct>`` turns the PR-over-PR table into a threshold gate:
+exit 1 when any record's mean regressed by more than ``<pct>`` percent
+against the previous run (records without a previous counterpart never
+fail). CI currently invokes the script *without* the flag — warn-only —
+but the mode is there for branches that want to hard-gate solver
+regressions locally or in a stricter pipeline.
+
+Usage: bench_compare.py [--fail-over <pct>] <current-dir> [previous-dir]
 """
 
+import argparse
 import json
 import pathlib
 import sys
@@ -69,36 +78,74 @@ def warm_vs_cold_table(current):
         )
 
 
-def pr_over_pr_table(current, previous):
+def pr_over_pr_table(current, previous, fail_over_pct):
+    """Prints the comparison; returns the names that regressed beyond the
+    threshold (always empty when no threshold is set)."""
     print("== PR over PR ==")
+    if fail_over_pct is not None:
+        print(f"  (threshold mode: fail over +{fail_over_pct:g}%)")
     if not previous:
         print("  (no previous-run artifacts; skipping)")
-        return
+        return []
+    regressed = []
     for name, record in sorted(current.items()):
         prev = previous.get(name)
         if prev is None or not prev.get("mean_ns"):
             print(f"  {name:<55} {fmt_ms(record['mean_ns']):>12}  (new)")
             continue
         ratio = record["mean_ns"] / prev["mean_ns"]
-        marker = "" if 0.8 <= ratio <= 1.25 else "  <-- changed"
+        over_threshold = (
+            fail_over_pct is not None and ratio > 1.0 + fail_over_pct / 100.0
+        )
+        if over_threshold:
+            regressed.append(name)
+            marker = f"  <-- REGRESSED over +{fail_over_pct:g}%"
+        elif not 0.8 <= ratio <= 1.25:
+            marker = "  <-- changed"
+        else:
+            marker = ""
         print(
             f"  {name:<55} {fmt_ms(record['mean_ns']):>12}  "
             f"prev {fmt_ms(prev['mean_ns']):>12}  x{ratio:5.2f}{marker}"
         )
+    return regressed
 
 
 def main(argv):
-    if len(argv) < 2:
-        print(__doc__)
-        return 0
-    current = load_records(pathlib.Path(argv[1]))
-    previous = load_records(pathlib.Path(argv[2]) if len(argv) > 2 else None)
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--fail-over",
+        type=float,
+        metavar="PCT",
+        default=None,
+        help="exit 1 when any record's mean regressed by more than PCT%% "
+        "against the previous run (default: warn-only)",
+    )
+    parser.add_argument("current", help="directory holding this run's BENCH_*.json")
+    parser.add_argument(
+        "previous",
+        nargs="?",
+        default=None,
+        help="directory holding the previous run's records (optional)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    current = load_records(pathlib.Path(args.current))
+    previous = load_records(pathlib.Path(args.previous) if args.previous else None)
     if not current:
-        print(f"no bench records under {argv[1]}; nothing to compare")
+        print(f"no bench records under {args.current}; nothing to compare")
         return 0
     warm_vs_cold_table(current)
     print()
-    pr_over_pr_table(current, previous)
+    regressed = pr_over_pr_table(current, previous, args.fail_over)
+    if regressed:
+        print()
+        print(f"FAIL: {len(regressed)} record(s) regressed beyond the threshold:")
+        for name in regressed:
+            print(f"  - {name}")
+        return 1
     return 0
 
 

@@ -185,9 +185,9 @@ fn duplicate_bounds_sweep_is_stable() {
         );
     }
     assert!(curve.is_convex(1e-6));
-    let (warm, cold, _, _) = curve.solver_effort();
-    assert_eq!(cold, 1);
-    assert_eq!(warm, bounds.len() - 1);
+    let effort = curve.solver_effort();
+    assert_eq!(effort.cold_starts, 1);
+    assert_eq!(effort.warm_starts, bounds.len() - 1);
 }
 
 #[test]
