@@ -1,0 +1,202 @@
+//! The online-adaptation acceptance benchmark: static LP-optimal vs
+//! adaptive vs timeout/eager on the drifting regime-switching workload,
+//! plus the cost of the adaptation loop itself — per-epoch **warm
+//! reloads** of the standing occupation-LP session against per-epoch
+//! **cold rebuilds** of the same sequence of fitted models.
+//!
+//! Records (all under `target/bench/`):
+//!
+//! * `adaptive_runtime` — the headline: one full adaptive simulation
+//!   over the drifting trace, with the policy comparison (simulated
+//!   average power per policy), the warm/cold reload counters and the
+//!   warm-over-cold re-solve speedup attached as JSON counters;
+//! * `adaptive_runtime/warm/epoch_resolves` /
+//!   `adaptive_runtime/cold/epoch_resolves` — the recorded epoch models
+//!   replayed through one warm session vs fresh cold solves
+//!   (`scripts/bench_compare.py` pairs these into its warm-vs-cold
+//!   table).
+//!
+//! Before anything is timed, the run is gated on the acceptance
+//! criteria: the adaptive controller must beat the static policy's
+//! power under the drifting workload, every per-epoch solve must
+//! respect the performance bound under its fitted model, and every
+//! same-shape model swap must reload warm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpm_core::{PolicyOptimizer, PolicySolution, SystemModel};
+use dpm_policies::{EagerPolicy, TimeoutPolicy};
+use dpm_runtime::{AdaptiveConfig, AdaptiveController};
+use dpm_sim::{PowerManager, SimConfig, SimStats, Simulator, StochasticPolicyManager};
+use dpm_systems::drifting;
+use dpm_trace::{KMemoryTracker, WindowKind};
+
+const SLICES: usize = 150_000;
+const SEED: u64 = 7;
+const SIM_SEED: u64 = 41;
+
+fn scenario_config() -> AdaptiveConfig {
+    AdaptiveConfig::new()
+        .epoch_slices(drifting::EPOCH_SLICES)
+        .window(WindowKind::Sliding(2 * drifting::EPOCH_SLICES as usize))
+        .memory(drifting::MEMORY)
+        .smoothing(drifting::SMOOTHING)
+        .horizon(drifting::HORIZON)
+        .max_performance_penalty(drifting::QUEUE_BOUND)
+        .max_request_loss_rate(drifting::LOSS_BOUND)
+}
+
+fn optimizer(system: &SystemModel) -> PolicyOptimizer<'_> {
+    PolicyOptimizer::new(system)
+        .horizon(drifting::HORIZON)
+        .max_performance_penalty(drifting::QUEUE_BOUND)
+        .max_request_loss_rate(drifting::LOSS_BOUND)
+}
+
+fn simulate(system: &SystemModel, manager: &mut dyn PowerManager, trace: &[u32]) -> SimStats {
+    Simulator::new(
+        system,
+        SimConfig::new(trace.len() as u64)
+            .seed(SIM_SEED)
+            .restart_probability(1.0 / drifting::HORIZON),
+    )
+    .run_trace(
+        manager,
+        trace,
+        &mut KMemoryTracker::new(drifting::MEMORY).tracker(),
+    )
+    .expect("simulates")
+}
+
+fn static_solution(system: &SystemModel) -> PolicySolution {
+    optimizer(system)
+        .solve()
+        .expect("blended model is feasible")
+}
+
+use dpm_bench::time_median_ns as time_median;
+
+fn bench_adaptive_runtime(c: &mut Criterion) {
+    let trace = drifting::workload(SLICES, SEED);
+    let system = drifting::blended_system(SEED).expect("blended system composes");
+    let static_policy = static_solution(&system);
+
+    // One reference adaptive run: the acceptance gate, and the source of
+    // the epoch-model sequence the re-solve benches replay.
+    let mut adaptive = AdaptiveController::new(&system, scenario_config()).expect("constructs");
+    let adaptive_stats = simulate(&system, &mut adaptive, &trace);
+    let mut static_manager = StochasticPolicyManager::new(static_policy.policy().clone());
+    let static_stats = simulate(&system, &mut static_manager, &trace);
+    let mut eager = EagerPolicy::new(&system, 0, 1);
+    let eager_stats = simulate(&system, &mut eager, &trace);
+    let mut timeout = TimeoutPolicy::new(&system, 0, 1, 20);
+    let timeout_stats = simulate(&system, &mut timeout, &trace);
+
+    // Acceptance gate (mirrors tests/adaptive_runtime.rs): beat static
+    // on power, respect the bound per epoch, reload warm throughout.
+    assert!(
+        adaptive_stats.average_power() < static_stats.average_power(),
+        "adaptive {} vs static {}",
+        adaptive_stats.average_power(),
+        static_stats.average_power()
+    );
+    assert_eq!(adaptive.cold_reloads(), 0, "cold reload crept in");
+    for epoch in adaptive.epochs() {
+        assert!(!epoch.infeasible, "epoch {} infeasible", epoch.epoch);
+        let perf = epoch.performance_per_slice.expect("solved");
+        assert!(
+            perf <= drifting::QUEUE_BOUND + 1e-6,
+            "epoch {}: predicted queue {perf}",
+            epoch.epoch
+        );
+    }
+    let epoch_models: Vec<_> = adaptive
+        .epochs()
+        .iter()
+        .map(|e| e.requester.clone())
+        .collect();
+    let warm_pivots = adaptive.epoch_pivots();
+    let warm_count = adaptive.warm_reloads();
+
+    // The same epoch-model sequence, re-solved two ways.
+    let warm_resolves = || {
+        let mut prepared = optimizer(&system).prepare().expect("prepares");
+        prepared.solve().expect("feasible");
+        let mut pivots = 0usize;
+        for sr in &epoch_models {
+            let sys = drifting::system_for(sr.clone()).expect("composes");
+            prepared.update_model(sys.chain()).expect("reloads");
+            let solution = prepared.solve().expect("feasible");
+            pivots += solution.solve_report().iterations;
+        }
+        pivots
+    };
+    let cold_resolves = || {
+        let mut pivots = 0usize;
+        for sr in &epoch_models {
+            let sys = drifting::system_for(sr.clone()).expect("composes");
+            let solution = optimizer(&sys).solve().expect("feasible");
+            pivots += solution.constrained().occupation().iterations();
+        }
+        pivots
+    };
+    let cold_pivots = cold_resolves();
+    assert!(
+        warm_pivots * 3 < cold_pivots,
+        "warm pivots {warm_pivots} are not \u{226a} cold pivots {cold_pivots}"
+    );
+
+    let mut group = c.benchmark_group("adaptive_runtime");
+    group.sample_size(10);
+    group.bench_function("warm/epoch_resolves", |b| {
+        b.iter(warm_resolves);
+        b.counter("epochs", epoch_models.len() as f64);
+        b.counter("pivots", warm_resolves() as f64);
+    });
+    group.bench_function("cold/epoch_resolves", |b| {
+        b.iter(cold_resolves);
+        b.counter("epochs", epoch_models.len() as f64);
+        b.counter("pivots", cold_pivots as f64);
+    });
+    group.finish();
+
+    // Headline record: one full adaptive run over the drifting trace,
+    // with the policy comparison and loop-cost counters.
+    let warm_ns = time_median(warm_resolves);
+    let cold_ns = time_median(cold_resolves);
+    println!(
+        "adaptive_runtime: static {:.3} W, adaptive {:.3} W, timeout {:.3} W, eager {:.3} W; \
+         {} epochs, {} warm reloads, {} warm pivots vs {} cold, \
+         resolve speedup {:.2}x",
+        static_stats.average_power(),
+        adaptive_stats.average_power(),
+        timeout_stats.average_power(),
+        eager_stats.average_power(),
+        epoch_models.len(),
+        warm_count,
+        warm_pivots,
+        cold_pivots,
+        cold_ns / warm_ns,
+    );
+    c.bench_function("adaptive_runtime", |b| {
+        b.iter(|| {
+            let mut controller =
+                AdaptiveController::new(&system, scenario_config()).expect("constructs");
+            simulate(&system, &mut controller, &trace)
+        });
+        b.counter("static_power_mw", 1e3 * static_stats.average_power());
+        b.counter("adaptive_power_mw", 1e3 * adaptive_stats.average_power());
+        b.counter("timeout_power_mw", 1e3 * timeout_stats.average_power());
+        b.counter("eager_power_mw", 1e3 * eager_stats.average_power());
+        b.counter("adaptive_queue_m", 1e3 * adaptive_stats.average_queue());
+        b.counter("static_queue_m", 1e3 * static_stats.average_queue());
+        b.counter("epochs", epoch_models.len() as f64);
+        b.counter("warm_reloads", warm_count as f64);
+        b.counter("cold_reloads", adaptive.cold_reloads() as f64);
+        b.counter("warm_pivots", warm_pivots as f64);
+        b.counter("cold_rebuild_pivots", cold_pivots as f64);
+        b.counter("cold_over_warm_resolve_x", cold_ns / warm_ns);
+    });
+}
+
+criterion_group!(benches, bench_adaptive_runtime);
+criterion_main!(benches);

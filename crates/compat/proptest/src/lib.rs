@@ -238,7 +238,7 @@ pub mod collection {
     use super::Strategy;
     use std::ops::{Range, RangeInclusive};
 
-    /// A length specification for [`vec`]: a fixed `usize` or a range.
+    /// A length specification for [`vec()`]: a fixed `usize` or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -274,7 +274,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -1,7 +1,7 @@
 use std::sync::Arc;
 
 use dpm_linalg::Matrix;
-use dpm_lp::{InteriorPoint, LpSolver, RevisedSimplex, Simplex, SolveReport};
+use dpm_lp::{InteriorPoint, LpSolver, ReloadKind, RevisedSimplex, Simplex, SolveReport};
 use dpm_mdp::{
     ConstrainedMdp, ConstrainedSession, ConstrainedSolution, CostConstraint, DiscountedMdp,
     RandomizedPolicy,
@@ -339,6 +339,8 @@ impl<'a> PolicyOptimizer<'a> {
             discount,
             goal: self.goal,
             costs,
+            chain_dependent_costs: self.max_loss.is_some()
+                && self.loss_metric == CostMetric::ExpectedRequestLoss,
         })
     }
 
@@ -399,6 +401,11 @@ pub struct PreparedOptimization {
     discount: f64,
     goal: OptimizationGoal,
     costs: Arc<CostBundle>,
+    /// `true` when a bounded cost matrix was *derived from the chain*
+    /// (the exact expected-loss metric): such a problem cannot be
+    /// retargeted to a new chain through [`Self::update_model`], because
+    /// the stale matrix would certify the old workload's loss numbers.
+    chain_dependent_costs: bool,
 }
 
 impl PreparedOptimization {
@@ -470,6 +477,49 @@ impl PreparedOptimization {
             })?;
         self.session.set_bound_per_slice(k, bound_per_slice)?;
         self.solve()
+    }
+
+    /// Swaps in a re-estimated transition structure of the same
+    /// dimensions — the per-epoch "model drift" mutation of an online
+    /// adaptation loop — rebuilding the loaded occupation LP in place
+    /// through the session's
+    /// [`reload`](dpm_lp::SolveSession::reload) path. Bounds (including
+    /// any retargeted since preparation), cost matrices, discount and
+    /// initial distribution carry over.
+    ///
+    /// On the default [`SolverKind::RevisedSimplex`] engine a
+    /// same-support chain keeps the emitted program's sparsity pattern,
+    /// so the swap is **warm** ([`ReloadKind::Warm`]): the next
+    /// [`Self::solve`] repairs feasibility from the retained optimal
+    /// basis in a handful of pivots instead of a cold two-phase solve.
+    ///
+    /// The cost matrices must be **chain-independent** for the swap to
+    /// be meaningful: power, queue occupancy, the request-loss
+    /// *indicator* and custom matrices keyed on the composite state all
+    /// are; the exact expected-loss metric
+    /// ([`PolicyOptimizer::use_expected_loss`]) is derived from the
+    /// chain and is rejected here.
+    ///
+    /// # Errors
+    ///
+    /// * [`DpmError::BadConfiguration`] when the preparation bounded the
+    ///   chain-derived expected-loss metric (see above).
+    /// * Shape mismatches (the chain must match the prepared problem's
+    ///   `(states, commands)`).
+    /// * Propagated LP build/reload failures.
+    pub fn update_model(
+        &mut self,
+        chain: &dpm_markov::ControlledMarkovChain,
+    ) -> Result<ReloadKind, DpmError> {
+        if self.chain_dependent_costs {
+            return Err(DpmError::BadConfiguration {
+                reason: "the prepared problem bounds the exact expected-loss metric, whose \
+                         cost matrix is derived from the chain; it cannot be hot-swapped to \
+                         a new chain (use the request-loss indicator metric, or re-prepare)"
+                    .to_string(),
+            });
+        }
+        Ok(self.session.update_model(chain)?)
     }
 
     /// Report of the most recent solve attempt, successful or not —
@@ -742,6 +792,86 @@ mod tests {
             .solve()
             .unwrap();
         assert!((default.power_per_slice() - dense.power_per_slice()).abs() < 1e-6);
+    }
+
+    fn example_system_with_workload(p_idle_to_busy: f64, p_busy_to_busy: f64) -> SystemModel {
+        let mut b = ServiceProvider::builder();
+        let on = b.add_state("on");
+        let off = b.add_state("off");
+        let s_on = b.add_command("s_on");
+        let s_off = b.add_command("s_off");
+        b.transition(off, on, s_on, 0.1).unwrap();
+        b.transition(on, off, s_off, 0.8).unwrap();
+        b.service_rate(on, s_on, 0.8).unwrap();
+        b.power(on, s_on, 3.0).unwrap();
+        b.power(on, s_off, 4.0).unwrap();
+        b.power(off, s_on, 4.0).unwrap();
+        let sp = b.build().unwrap();
+        let sr = ServiceRequester::two_state(p_idle_to_busy, p_busy_to_busy).unwrap();
+        SystemModel::compose(sp, sr, ServiceQueue::with_capacity(1)).unwrap()
+    }
+
+    #[test]
+    fn prepared_update_model_tracks_cold_solves_warm() {
+        let system = example_system();
+        let mut prepared = PolicyOptimizer::new(&system)
+            .horizon(10_000.0)
+            .max_performance_penalty(0.5)
+            .prepare()
+            .unwrap();
+        prepared.solve().unwrap();
+        // Drift the workload (same support: probabilities stay interior),
+        // hot-swap the re-composed chain, and re-solve warm.
+        for (i, (p01, p11)) in [(0.08, 0.8), (0.03, 0.9), (0.06, 0.84)]
+            .into_iter()
+            .enumerate()
+        {
+            let drifted = example_system_with_workload(p01, p11);
+            let kind = prepared.update_model(drifted.chain()).unwrap();
+            assert_eq!(kind, ReloadKind::Warm, "epoch {i}");
+            let warm = prepared.solve().unwrap();
+            assert!(warm.solve_report().warm_start, "epoch {i}");
+            let cold = PolicyOptimizer::new(&drifted)
+                .horizon(10_000.0)
+                .max_performance_penalty(0.5)
+                .solver(SolverKind::Simplex)
+                .solve()
+                .unwrap();
+            assert!(
+                (warm.power_per_slice() - cold.power_per_slice()).abs() < 1e-6,
+                "epoch {i}: warm {} vs cold {}",
+                warm.power_per_slice(),
+                cold.power_per_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn update_model_rejects_chain_derived_cost_matrices() {
+        // The exact expected-loss metric is computed from the chain at
+        // prepare time; hot-swapping a different chain under it would
+        // silently enforce the old workload's loss numbers.
+        let system = example_system();
+        let mut prepared = PolicyOptimizer::new(&system)
+            .horizon(10_000.0)
+            .use_expected_loss()
+            .max_request_loss_rate(0.2)
+            .prepare()
+            .unwrap();
+        prepared.solve().unwrap();
+        let drifted = example_system_with_workload(0.08, 0.8);
+        let err = prepared.update_model(drifted.chain()).unwrap_err();
+        assert!(matches!(err, DpmError::BadConfiguration { .. }));
+        // Without the loss bound the metric never enters the problem and
+        // the swap is fine.
+        let mut prepared = PolicyOptimizer::new(&system)
+            .horizon(10_000.0)
+            .use_expected_loss()
+            .max_performance_penalty(0.5)
+            .prepare()
+            .unwrap();
+        prepared.solve().unwrap();
+        assert!(prepared.update_model(drifted.chain()).is_ok());
     }
 
     #[test]

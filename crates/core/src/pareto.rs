@@ -156,7 +156,7 @@ impl std::fmt::Display for ParetoCurve {
 /// range of bounds, producing a [`ParetoCurve`].
 ///
 /// The named sweeps ([`Self::sweep`], [`Self::sweep_performance`], ...)
-/// run through **one** [`PreparedOptimization`]: the system is composed
+/// run through **one** [`PreparedOptimization`](crate::PreparedOptimization): the system is composed
 /// and the occupation LP emitted once, and every point after the first is
 /// a warm-started parametric re-solve on the default engine — one rhs
 /// write plus (typically) a handful of dual simplex pivots, instead of a

@@ -23,7 +23,7 @@
 //!   cross-check for the sparse path.
 //! * [`InteriorPoint`] — a Mehrotra predictor–corrector primal–dual
 //!   interior-point method solving the same standard-form problems via
-//!   Cholesky-factored normal equations, in the spirit of PCx [27].
+//!   Cholesky-factored normal equations, in the spirit of PCx \[27\].
 //!
 //! All three implement the [`LpSolver`] trait and are cross-checked
 //! against each other in the test suites. Problems are described with the
@@ -53,6 +53,7 @@
 //! | very degenerate or ill-conditioned instances | [`InteriorPoint`] | follows the central path instead of vertex-hopping, so degeneracy costs nothing; regularized normal equations tolerate bad conditioning |
 //! | don't know / don't care | [`RevisedSimplex`] | the default of `dpm_core::SolverKind`; the occupation-LP layer (`dpm_mdp::OccupationLp`) additionally rescues numerical failures by retrying with another engine — callers using this crate directly get no such net |
 //! | re-solving one model under a sweep of bounds | a [`SolveSession`] on [`RevisedSimplex`] | parametric right-hand-side changes re-solve by **dual simplex from the previous optimal basis** — typically a handful of pivots instead of a full two-phase cold solve, on sparse factors that are reused (and FT-updated) across the whole sweep |
+//! | re-solving as the *model itself* drifts (coefficients, not just bounds) | [`SolveSession::reload`] on [`RevisedSimplex`] | a shape-identical program reloads warm ([`ReloadKind::Warm`]): the retained basis is refactorized on the new coefficients and feasibility is repaired in a handful of pivots; a shape change degrades to a correct cold rebuild ([`ReloadKind::Cold`]) |
 //! | suspecting the basis engine / measuring it | [`RevisedSimplex`] with [`BasisUpdate::Eta`] or [`BasisUpdate::DenseEta`] | same pivot algebra through a product-form eta file (sparse LU snapshot) or the legacy dense LU — cross-checked against Forrest–Tomlin in the property suites, and the baseline the benches compare against |
 //!
 //! All engines accept the same [`LinearProgram`] and return the same
@@ -86,6 +87,20 @@
 //!   refactorization counts, and the [`InfeasibilityCertificate`] kind
 //!   when a solve ends infeasible (also kept in
 //!   [`SolveSession::last_report`]).
+//! * [`SolveSession::reload`] replaces the **whole loaded program** —
+//!   every coefficient, not just one rhs or the objective. The contract:
+//!   a **shape-identical** program (same variables and orientation, same
+//!   per-row operators and sparsity pattern) reloads
+//!   [`ReloadKind::Warm`] on [`RevisedSimplex`] — the optimal basis is
+//!   kept, the new coefficients are refactorized through the existing
+//!   sparse-LU path, and the next solve repairs primal/dual feasibility
+//!   (phase-2 / dual simplex, cold fallback on numerical trouble);
+//!   anything else — a grown constraint set, a changed pattern, a
+//!   non-warm engine — reloads [`ReloadKind::Cold`]. This is the
+//!   primitive behind per-epoch *model drift*: an online adaptation loop
+//!   re-estimates its workload model, re-emits the occupation LP (same
+//!   shape, drifted balance coefficients) and hot-swaps it into the
+//!   running session at warm-start cost.
 //!
 //! ## Migration notes (pre-session `LpSolver`)
 //!
@@ -115,7 +130,7 @@ pub use interior_point::InteriorPoint;
 pub use presolve::{presolve, PresolveReport};
 pub use problem::{ConstraintOp, LinearProgram, SparseStandardForm, StandardForm};
 pub use revised_simplex::{BasisUpdate, RevisedSimplex};
-pub use session::{InfeasibilityCertificate, SolveReport, SolveSession};
+pub use session::{InfeasibilityCertificate, ReloadKind, SolveReport, SolveSession};
 pub use simplex::{PivotRule, Simplex};
 pub use solution::LpSolution;
 

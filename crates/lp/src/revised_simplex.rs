@@ -39,7 +39,7 @@
 
 use dpm_linalg::{LuDecomposition, Matrix, SparseLu};
 
-use crate::session::{InfeasibilityCertificate, SolveReport};
+use crate::session::{same_shape, InfeasibilityCertificate, ReloadKind, SolveReport};
 use crate::simplex::PivotRule;
 use crate::{LinearProgram, LpError, LpSolution, LpSolver, SolveSession};
 
@@ -185,6 +185,7 @@ impl LpSolver for RevisedSimplex {
             warm: false,
             rhs_dirty: false,
             obj_dirty: false,
+            reload_pending: false,
             report: SolveReport::new("revised-simplex"),
         }))
     }
@@ -825,6 +826,71 @@ impl Core {
         Ok(LpSolution::new(x, objective, iterations, Some(dual)))
     }
 
+    /// Wholesale coefficient reload for a **shape-identical** program
+    /// (see [`crate::session::same_shape`]): rebuilds the structural
+    /// columns, costs and rhs from `lp`'s sparse standard form under the
+    /// core's *fixed* row normalization, keeps the artificial columns and
+    /// the current basis untouched, and refactorizes the retained basis
+    /// from the new columns. The caller is responsible for repairing
+    /// primal/dual feasibility afterwards ([`Self::dual_simplex`] /
+    /// [`Self::optimize`]).
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Numerical`] when the retained basis is singular under
+    /// the new coefficients — the session falls back to a cold rebuild.
+    fn reload_coefficients(&mut self, lp: &LinearProgram) -> Result<(), LpError> {
+        let sf = lp.to_sparse_standard_form()?;
+        debug_assert_eq!(sf.b.len(), self.m);
+        debug_assert_eq!(sf.c.len(), self.num_structural);
+        for (slot, (&bi, &flip)) in sf.b.iter().zip(&self.flip).enumerate() {
+            self.b[slot] = flip * bi;
+        }
+        self.cost = sf.c;
+        for (j, col) in self.cols.iter_mut().take(self.num_structural).enumerate() {
+            let (rows, vals) = sf.a.col(j);
+            col.clear();
+            col.extend(rows.iter().zip(vals).map(|(&i, &v)| (i, self.flip[i] * v)));
+        }
+        // Artificial columns are unit vectors in the normalized frame and
+        // stay as built; the basis keeps its column set.
+        self.refactor()
+    }
+
+    /// `true` when the current basic values are primal feasible: ordinary
+    /// basics nonnegative, basic artificials (equality placeholders) at
+    /// zero — the precondition for resuming with primal phase-2 pivots.
+    fn is_primal_feasible(&self) -> bool {
+        const FEAS_TOL: f64 = 1e-8;
+        self.basis.iter().zip(&self.x_b).all(|(&j, &v)| {
+            if j >= self.num_structural {
+                v.abs() <= FEAS_TOL
+            } else {
+                v >= -FEAS_TOL
+            }
+        })
+    }
+
+    /// `true` when every nonbasic structural column prices nonnegative
+    /// under the phase-2 costs — the precondition for the dual simplex.
+    fn is_dual_feasible(&self) -> Result<bool, LpError> {
+        let y = self.btran(&self.basic_costs(Phase::Two))?;
+        let slack = self.tol.max(1e-7);
+        for j in 0..self.num_structural {
+            if self.is_basic[j] {
+                continue;
+            }
+            let mut rc = self.phase_cost(Phase::Two, j);
+            for &(i, v) in &self.cols[j] {
+                rc -= y[i] * v;
+            }
+            if rc < -slack {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
     /// Parametric rhs update: row `row` of the original program now has
     /// right-hand side `rhs`. The row's normalization sign is fixed, so
     /// the stored `b` entry may turn negative — exactly what the dual
@@ -986,6 +1052,12 @@ impl Core {
 ///   [`Core::dual_simplex`] restores primal feasibility in-place.
 /// * **objective change** → the basis is still primal feasible; primal
 ///   phase-2 pivots re-optimize from it.
+/// * **whole-model reload** ([`SolveSession::reload`]) of a
+///   shape-identical program → the basis is kept, the new coefficients
+///   are refactorized through the retained sparse-LU path, and the next
+///   solve repairs whichever feasibility the drift broke (primal phase-2
+///   when the basic values survived, dual simplex + phase-2 when only
+///   dual feasibility did, cold fallback when neither).
 /// * **both at once**, a failed warm attempt, or the very first solve →
 ///   a cold two-phase solve (the session then becomes warm again).
 #[derive(Debug)]
@@ -1000,7 +1072,38 @@ struct RevisedSession {
     warm: bool,
     rhs_dirty: bool,
     obj_dirty: bool,
+    /// A shape-identical [`SolveSession::reload`] refreshed the core's
+    /// coefficients; the next solve must run the reload-repair path
+    /// instead of assuming the retained basis is still optimal.
+    reload_pending: bool,
     report: SolveReport,
+}
+
+/// Effort counters of a core at the start of a warm attempt, so the
+/// report can carry this solve's deltas rather than lifetime totals.
+struct EffortMark {
+    pivots: usize,
+    refactorizations: usize,
+    basis_updates: usize,
+}
+
+impl EffortMark {
+    fn take(core: &mut Core) -> Self {
+        core.reset_peak_fill();
+        EffortMark {
+            pivots: core.pivots,
+            refactorizations: core.refactorizations,
+            basis_updates: core.basis_updates,
+        }
+    }
+
+    fn stamp(&self, core: &Core, report: &mut SolveReport) {
+        report.iterations = core.pivots - self.pivots;
+        report.refactorizations = core.refactorizations - self.refactorizations;
+        report.basis_updates = core.basis_updates - self.basis_updates;
+        report.fill_in_nnz = core.peak_fill();
+        report.basis_signature = core.basis_signature();
+    }
 }
 
 impl RevisedSession {
@@ -1009,10 +1112,7 @@ impl RevisedSession {
     fn try_warm(&mut self, report: &mut SolveReport) -> Result<LpSolution, LpError> {
         let core = self.core.as_mut().expect("warm implies a retained core");
         report.warm_start = true;
-        let pivots_before = core.pivots;
-        let refactors_before = core.refactorizations;
-        let updates_before = core.basis_updates;
-        core.reset_peak_fill();
+        let mark = EffortMark::take(core);
         let result = (|| {
             if self.rhs_dirty {
                 core.recompute_basics()?;
@@ -1027,19 +1127,69 @@ impl RevisedSession {
                 self.config.pivot_rule,
                 self.config.max_iterations,
             )?;
-            core.extract_solution(&self.lp, core.pivots - pivots_before)
+            core.extract_solution(&self.lp, core.pivots - mark.pivots)
         })();
-        report.iterations = core.pivots - pivots_before;
-        report.refactorizations = core.refactorizations - refactors_before;
-        report.basis_updates = core.basis_updates - updates_before;
-        report.fill_in_nnz = core.peak_fill();
-        report.basis_signature = core.basis_signature();
+        mark.stamp(core, report);
+        result
+    }
+
+    /// Feasibility-repair solve after a shape-identical
+    /// [`SolveSession::reload`]: the core already carries the new
+    /// coefficients and a refactorized retained basis, but the drift may
+    /// have broken primal feasibility (basic values moved), dual
+    /// feasibility (reduced costs moved), or both. Repairs whichever
+    /// side survived; when neither did, errors out so the caller falls
+    /// back to a cold solve.
+    fn try_warm_reload(&mut self, report: &mut SolveReport) -> Result<LpSolution, LpError> {
+        let core = self
+            .core
+            .as_mut()
+            .expect("reload_pending implies a retained core");
+        report.warm_start = true;
+        let mark = EffortMark::take(core);
+        let result = (|| {
+            core.recompute_basics()?;
+            if !core.is_primal_feasible() {
+                // The basic values drifted out of feasibility: dual
+                // simplex repairs them from the retained basis. Its
+                // ratio test clamps tolerance-level dual infeasibility,
+                // so mild pricing drift is absorbed too — but then its
+                // `Infeasible` verdict is only an exact dual-ray
+                // certificate when the basis was verifiably dual
+                // feasible going in; otherwise degrade to the cold
+                // path, which re-derives the exact verdict.
+                let dual_ok = core.is_dual_feasible()?;
+                match core.dual_simplex(self.config.max_iterations) {
+                    Ok(_) => {}
+                    Err(LpError::Infeasible) if dual_ok => return Err(LpError::Infeasible),
+                    Err(LpError::Infeasible) => {
+                        return Err(LpError::Numerical {
+                            reason: "dual repair of a dual-infeasible reloaded basis stalled"
+                                .to_string(),
+                        })
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // Phase-2 primal pivots restore optimality (and with it dual
+            // feasibility) from the now primal-feasible basis; at an
+            // already-optimal basis this prices once and pivots zero
+            // times.
+            core.optimize(
+                Phase::Two,
+                self.config.pivot_rule,
+                self.config.max_iterations,
+            )?;
+            core.extract_solution(&self.lp, core.pivots - mark.pivots)
+        })();
+        mark.stamp(core, report);
         result
     }
 
     fn solve_cold(&mut self, report: &mut SolveReport) -> Result<LpSolution, LpError> {
         self.core = None;
         self.warm = false;
+        self.reload_pending = false;
         report.warm_start = false;
         match self.config.solve_to_core(&self.lp) {
             Ok((solution, core)) => {
@@ -1084,11 +1234,67 @@ impl SolveSession for RevisedSession {
         Ok(())
     }
 
+    fn reload(&mut self, lp: &LinearProgram) -> Result<ReloadKind, LpError> {
+        lp.validate()?;
+        let warmable = self.warm && self.core.is_some() && same_shape(&self.lp, lp);
+        self.lp = lp.clone();
+        self.rhs_dirty = false;
+        self.obj_dirty = false;
+        if !warmable {
+            self.core = None;
+            self.warm = false;
+            self.reload_pending = false;
+            return Ok(ReloadKind::Cold);
+        }
+        match self
+            .core
+            .as_mut()
+            .expect("warmable implies a retained core")
+            .reload_coefficients(&self.lp)
+        {
+            Ok(()) => {
+                self.reload_pending = true;
+                Ok(ReloadKind::Warm)
+            }
+            Err(_) => {
+                // The retained basis is singular under the new
+                // coefficients: degrade to a cold restart, not an error.
+                self.core = None;
+                self.warm = false;
+                self.reload_pending = false;
+                Ok(ReloadKind::Cold)
+            }
+        }
+    }
+
     fn solve(&mut self) -> Result<(LpSolution, SolveReport), LpError> {
         let mut report = SolveReport::new("revised-simplex");
-        // Simultaneous rhs + objective changes invalidate both primal and
-        // dual feasibility of the retained basis: go straight to cold.
-        if self.warm && !(self.rhs_dirty && self.obj_dirty) {
+        // A pending shape-identical reload runs the feasibility-repair
+        // path from the retained basis; numerical trouble falls through
+        // to the cold rebuild below.
+        if self.reload_pending {
+            match self.try_warm_reload(&mut report) {
+                Ok(solution) => {
+                    self.reload_pending = false;
+                    self.report = report.clone();
+                    return Ok((solution, report));
+                }
+                Err(e @ (LpError::Infeasible | LpError::Unbounded)) => {
+                    // Exact verdicts (the dual simplex only ran from a
+                    // verified dual-feasible basis). The session stays in
+                    // the reload-repair regime: a later bound relaxation
+                    // through `set_rhs` lands on the same repair path.
+                    if e == LpError::Infeasible {
+                        report.infeasibility = Some(InfeasibilityCertificate::DualRay);
+                    }
+                    self.report = report;
+                    return Err(e);
+                }
+                Err(_) => {
+                    self.reload_pending = false;
+                }
+            }
+        } else if self.warm && !(self.rhs_dirty && self.obj_dirty) {
             match self.try_warm(&mut report) {
                 Ok(solution) => {
                     self.rhs_dirty = false;
@@ -1493,6 +1699,170 @@ mod tests {
                 (s.objective() - reference.objective()).abs() < 1e-9,
                 "{update:?}"
             );
+        }
+    }
+
+    #[test]
+    fn reload_same_shape_is_warm_and_matches_cold() {
+        let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)
+            .unwrap();
+        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)
+            .unwrap();
+        let mut session = RevisedSimplex::new().start(&lp).unwrap();
+        session.solve().unwrap();
+        // Drift every coefficient (same pattern), rhs and objective.
+        let mut drifted = LinearProgram::maximize(&[2.5, 5.5]);
+        drifted
+            .add_constraint(&[1.2, 0.0], ConstraintOp::Le, 4.5)
+            .unwrap();
+        drifted
+            .add_constraint(&[0.0, 1.8], ConstraintOp::Le, 11.0)
+            .unwrap();
+        drifted
+            .add_constraint(&[2.9, 2.2], ConstraintOp::Le, 17.0)
+            .unwrap();
+        assert_eq!(session.reload(&drifted).unwrap(), ReloadKind::Warm);
+        let (warm, report) = session.solve().unwrap();
+        assert!(report.warm_start);
+        let cold = solve(&drifted).unwrap();
+        assert!(
+            (warm.objective() - cold.objective()).abs() < 1e-9,
+            "warm {} vs cold {}",
+            warm.objective(),
+            cold.objective()
+        );
+        assert!(drifted.max_violation(warm.x()) < 1e-9);
+        // And the session keeps working parametrically afterwards.
+        session.set_rhs(0, 2.0).unwrap();
+        let (next, report) = session.solve().unwrap();
+        assert!(report.warm_start);
+        drifted.set_rhs(0, 2.0).unwrap();
+        let reference = solve(&drifted).unwrap();
+        assert!((next.objective() - reference.objective()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reload_shape_change_goes_cold() {
+        let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        let mut session = RevisedSimplex::new().start(&lp).unwrap();
+        session.solve().unwrap();
+        // Extra constraint: different shape, cold rebuild.
+        let mut grown = lp.clone();
+        grown
+            .add_constraint(&[1.0, 1.0], ConstraintOp::Le, 6.0)
+            .unwrap();
+        assert_eq!(session.reload(&grown).unwrap(), ReloadKind::Cold);
+        let (solution, report) = session.solve().unwrap();
+        assert!(!report.warm_start);
+        let cold = solve(&grown).unwrap();
+        assert!((solution.objective() - cold.objective()).abs() < 1e-9);
+        // After the cold solve the session is warm again and a further
+        // same-shape reload is warm.
+        let mut drifted = grown.clone();
+        drifted.set_rhs(1, 5.0).unwrap();
+        assert_eq!(session.reload(&drifted).unwrap(), ReloadKind::Warm);
+        let (again, report) = session.solve().unwrap();
+        assert!(report.warm_start);
+        let reference = solve(&drifted).unwrap();
+        assert!((again.objective() - reference.objective()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reload_before_first_solve_is_cold() {
+        let mut lp = LinearProgram::minimize(&[1.0, 2.0]);
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Ge, 4.0)
+            .unwrap();
+        let mut session = RevisedSimplex::new().start(&lp).unwrap();
+        let mut other = lp.clone();
+        other.set_rhs(0, 6.0).unwrap();
+        assert_eq!(session.reload(&other).unwrap(), ReloadKind::Cold);
+        let (solution, report) = session.solve().unwrap();
+        assert!(!report.warm_start);
+        assert!((solution.objective() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reload_into_infeasible_and_back() {
+        let mut lp = LinearProgram::minimize(&[2.0, 3.0]);
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Ge, 4.0)
+            .unwrap();
+        lp.add_constraint(&[1.0, 1.0], ConstraintOp::Le, 10.0)
+            .unwrap();
+        let mut session = RevisedSimplex::new().start(&lp).unwrap();
+        session.solve().unwrap();
+        let mut impossible = lp.clone();
+        impossible.set_rhs(1, 2.0).unwrap();
+        assert_eq!(session.reload(&impossible).unwrap(), ReloadKind::Warm);
+        assert_eq!(session.solve().unwrap_err(), LpError::Infeasible);
+        assert_eq!(
+            session.last_report().infeasibility,
+            Some(InfeasibilityCertificate::DualRay)
+        );
+        // Reload back out of the infeasible region.
+        assert_eq!(session.reload(&lp).unwrap(), ReloadKind::Warm);
+        let (recovered, _) = session.solve().unwrap();
+        assert!((recovered.objective() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_battery_reload_matches_cold_resolve() {
+        // Random same-pattern coefficient drifts: warm reload must track
+        // independent cold solves on feasible instances.
+        let mut seed = 0xA076_1D64_78BD_642Fu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 2000) as f64 / 1000.0 - 1.0
+        };
+        for trial in 0..20 {
+            let n = 3 + trial % 4;
+            let m = 2 + trial % 3;
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            let c: Vec<f64> = (0..n).map(|_| next()).collect();
+            let mut lp = LinearProgram::minimize(&c);
+            for _ in 0..m {
+                // Strictly nonzero entries so drifts keep the pattern.
+                let row: Vec<f64> = (0..n).map(|_| next() + 2.0).collect();
+                let rhs: f64 = row.iter().sum::<f64>() + 0.5;
+                lp.add_constraint(&row, ConstraintOp::Le, rhs).unwrap();
+                rows.push(row);
+            }
+            let mut session = RevisedSimplex::new().start(&lp).unwrap();
+            session.solve().unwrap();
+            for step in 0..3 {
+                let drift_c: Vec<f64> = c.iter().map(|&v| v + 0.1 * next()).collect();
+                let mut drifted = LinearProgram::minimize(&drift_c);
+                for row in &rows {
+                    let drow: Vec<f64> = row.iter().map(|&v| v + 0.2 * next()).collect();
+                    let rhs: f64 = drow.iter().sum::<f64>() * 0.5 + 1.0;
+                    drifted
+                        .add_constraint(&drow, ConstraintOp::Le, rhs)
+                        .unwrap();
+                }
+                assert_eq!(
+                    session.reload(&drifted).unwrap(),
+                    ReloadKind::Warm,
+                    "trial {trial} step {step}"
+                );
+                let (warm, _) = session.solve().unwrap();
+                let cold = solve(&drifted).unwrap();
+                assert!(
+                    (warm.objective() - cold.objective()).abs() < 1e-7,
+                    "trial {trial} step {step}: warm {} vs cold {}",
+                    warm.objective(),
+                    cold.objective()
+                );
+                assert!(
+                    drifted.max_violation(warm.x()) < 1e-7,
+                    "trial {trial} step {step}"
+                );
+            }
         }
     }
 

@@ -44,6 +44,44 @@ impl std::fmt::Display for InfeasibilityCertificate {
     }
 }
 
+/// How a [`SolveSession::reload`] call re-provisioned the session — the
+/// contract the online-adaptation loop builds on.
+///
+/// * [`Warm`](ReloadKind::Warm): the new program has the **same shape**
+///   as the loaded one (variable count, orientation, per-row relational
+///   operators and sparsity pattern), so a warm-capable engine kept its
+///   optimal basis, refactorized the *new* coefficients through the
+///   retained factorization path, and will repair primal/dual feasibility
+///   on the next [`solve`](SolveSession::solve) (dual simplex / warm
+///   phase 2). This is what makes per-epoch model drift — changed
+///   balance-row *coefficients*, not just right-hand sides — warm instead
+///   of cold.
+/// * [`Cold`](ReloadKind::Cold): the shape differs (or the engine has no
+///   warm machinery), so the session dropped any retained state and the
+///   next solve runs cold from scratch.
+///
+/// `ReloadKind` reports the *intent* at reload time; the next solve's
+/// [`SolveReport::warm_start`] reports what actually happened (a warm
+/// reload can still fall back to cold on numerical trouble).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReloadKind {
+    /// Same-shape reload: the optimal basis was retained and the next
+    /// solve repairs feasibility from it.
+    Warm,
+    /// The session starts over; the next solve is a cold solve of the new
+    /// program.
+    Cold,
+}
+
+impl std::fmt::Display for ReloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadKind::Warm => write!(f, "warm"),
+            ReloadKind::Cold => write!(f, "cold"),
+        }
+    }
+}
+
 /// How a [`SolveSession::solve`] call reached its answer.
 ///
 /// Returned alongside every session solution and retained (including for
@@ -152,6 +190,32 @@ pub trait SolveSession: std::fmt::Debug {
     /// * [`LpError::NonFiniteInput`] when any coefficient is NaN/∞.
     fn set_objective(&mut self, c: &[f64]) -> Result<(), LpError>;
 
+    /// Replaces the loaded program wholesale — coefficients, objective,
+    /// right-hand sides, everything — keeping warm-start state when the
+    /// new program is **shape-identical** to the loaded one (same
+    /// variable count and orientation, same constraint count, same
+    /// relational operator *and* sparsity pattern per row).
+    ///
+    /// This is the parametric mutation one level up from
+    /// [`set_rhs`](Self::set_rhs)/[`set_objective`](Self::set_objective):
+    /// where those move a single number, `reload` re-provisions the whole
+    /// model — the re-estimated occupation LP of an online adaptation
+    /// epoch, say — without re-running [`LpSolver::start`]. Warm-capable
+    /// engines ([`RevisedSimplex`](crate::RevisedSimplex)) keep their
+    /// optimal basis across a shape-identical reload, refactorize the new
+    /// coefficients through the retained sparse-LU path, and repair
+    /// primal/dual feasibility on the next [`solve`](Self::solve);
+    /// engines without warm machinery simply swap the program. The
+    /// returned [`ReloadKind`] says which happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinearProgram::validate`] failures; the previously
+    /// loaded program stays in place when validation fails. Numerical
+    /// trouble while re-provisioning a warm engine is **not** an error —
+    /// the session degrades to [`ReloadKind::Cold`].
+    fn reload(&mut self, lp: &LinearProgram) -> Result<ReloadKind, LpError>;
+
     /// Solves the currently loaded model, warm-starting when possible.
     ///
     /// # Errors
@@ -169,6 +233,27 @@ pub trait SolveSession: std::fmt::Debug {
 
     /// Name of the engine backing the session.
     fn engine_name(&self) -> &'static str;
+}
+
+/// `true` when `next` has the same standard-form shape as `loaded`:
+/// identical variable count and orientation, identical constraint count,
+/// and per row an identical relational operator and sparsity pattern
+/// (entry indices; the coefficient *values* are free to differ). Under
+/// these conditions the standard forms share their slack layout and
+/// compressed-column structure, so a retained basis remains structurally
+/// valid — the precondition for [`ReloadKind::Warm`].
+pub(crate) fn same_shape(loaded: &crate::LinearProgram, next: &crate::LinearProgram) -> bool {
+    if loaded.num_vars() != next.num_vars()
+        || loaded.is_maximize() != next.is_maximize()
+        || loaded.num_constraints() != next.num_constraints()
+    {
+        return false;
+    }
+    (0..loaded.num_constraints()).all(|i| {
+        let (a, op_a, _) = loaded.constraint_entries(i);
+        let (b, op_b, _) = next.constraint_entries(i);
+        op_a == op_b && a.len() == b.len() && a.iter().zip(b).all(|(&(j, _), &(k, _))| j == k)
+    })
 }
 
 /// A correct-but-stateless session for engines without warm-start support:
@@ -211,6 +296,12 @@ impl<S: LpSolver + Clone> SolveSession for ColdSession<S> {
     fn set_objective(&mut self, c: &[f64]) -> Result<(), LpError> {
         self.lp.set_objective(c)?;
         Ok(())
+    }
+
+    fn reload(&mut self, lp: &LinearProgram) -> Result<ReloadKind, LpError> {
+        lp.validate()?;
+        self.lp = lp.clone();
+        Ok(ReloadKind::Cold)
     }
 
     fn solve(&mut self) -> Result<(LpSolution, SolveReport), LpError> {
@@ -304,6 +395,64 @@ mod tests {
         let (solution, report) = session.solve().unwrap();
         assert!((solution.objective() - 0.5).abs() < 1e-9);
         assert_eq!(report.infeasibility, None);
+    }
+
+    #[test]
+    fn cold_session_reload_swaps_the_program() {
+        let mut session = Simplex::new().start(&furniture()).unwrap();
+        session.solve().unwrap();
+        let mut other = LinearProgram::maximize(&[1.0, 4.0]);
+        other
+            .add_constraint(&[1.0, 1.0], ConstraintOp::Le, 3.0)
+            .unwrap();
+        assert_eq!(session.reload(&other).unwrap(), ReloadKind::Cold);
+        let (solution, report) = session.solve().unwrap();
+        assert!(!report.warm_start);
+        assert!((solution.objective() - 12.0).abs() < 1e-9);
+        // An invalid program is rejected and the loaded one survives.
+        assert_eq!(
+            session.reload(&LinearProgram::minimize(&[])).unwrap_err(),
+            LpError::EmptyProblem
+        );
+        let (again, _) = session.solve().unwrap();
+        assert!((again.objective() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_shape_compares_structure_not_values() {
+        let a = furniture();
+        // Same pattern, different coefficients/rhs/objective: same shape.
+        let mut b = LinearProgram::maximize(&[1.0, 1.0]);
+        b.add_constraint(&[2.0, 0.0], ConstraintOp::Le, 1.0)
+            .unwrap();
+        b.add_constraint(&[0.0, 5.0], ConstraintOp::Le, 2.0)
+            .unwrap();
+        b.add_constraint(&[1.0, 9.0], ConstraintOp::Le, 3.0)
+            .unwrap();
+        assert!(same_shape(&a, &b));
+        // A changed relational operator breaks the shape.
+        let mut c = b.clone();
+        c.add_constraint(&[1.0, 0.0], ConstraintOp::Ge, 0.0)
+            .unwrap();
+        assert!(!same_shape(&a, &c));
+        // A changed sparsity pattern breaks the shape.
+        let mut d = LinearProgram::maximize(&[1.0, 1.0]);
+        d.add_constraint(&[2.0, 1.0], ConstraintOp::Le, 1.0)
+            .unwrap();
+        d.add_constraint(&[0.0, 5.0], ConstraintOp::Le, 2.0)
+            .unwrap();
+        d.add_constraint(&[1.0, 9.0], ConstraintOp::Le, 3.0)
+            .unwrap();
+        assert!(!same_shape(&a, &d));
+        // Orientation matters.
+        let mut e = LinearProgram::minimize(&[1.0, 1.0]);
+        e.add_constraint(&[2.0, 0.0], ConstraintOp::Le, 1.0)
+            .unwrap();
+        e.add_constraint(&[0.0, 5.0], ConstraintOp::Le, 2.0)
+            .unwrap();
+        e.add_constraint(&[1.0, 9.0], ConstraintOp::Le, 3.0)
+            .unwrap();
+        assert!(!same_shape(&a, &e));
     }
 
     #[test]

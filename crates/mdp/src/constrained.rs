@@ -1,5 +1,6 @@
 use dpm_linalg::Matrix;
-use dpm_lp::{LinearProgram, LpError, LpSolver, SolveReport, SolveSession};
+use dpm_lp::{LinearProgram, LpError, LpSolver, ReloadKind, SolveReport, SolveSession};
+use dpm_markov::ControlledMarkovChain;
 
 use crate::mdp::validate_distribution;
 use crate::occupation::{guard_violations, rescue_engine};
@@ -320,6 +321,59 @@ impl ConstrainedSession {
     pub fn set_bound_per_slice(&mut self, k: usize, bound_per_slice: f64) -> Result<(), MdpError> {
         let discount = self.problem.mdp.discount();
         self.set_bound(k, bound_per_slice / (1.0 - discount))
+    }
+
+    /// Swaps in a re-estimated transition structure of the same
+    /// dimensions and rebuilds the occupation LP **in place** through
+    /// [`SolveSession::reload`] — the per-epoch mutation of an online
+    /// adaptation loop. The cost matrices, bounds (including any
+    /// retargeted through [`Self::set_bound`]), discount and initial
+    /// distribution all carry over; row handles
+    /// ([`ConstrainedMdp::constraint_row`]) stay valid because the
+    /// emitted program has the same layout.
+    ///
+    /// Because only balance-row *coefficients* move (the sparsity
+    /// pattern of a chain whose support does not change is stable), a
+    /// warm-capable engine keeps its optimal basis across the swap and
+    /// the next [`Self::solve`] repairs feasibility in a handful of
+    /// pivots — [`ReloadKind::Warm`]. A support change (transitions
+    /// appearing or vanishing) alters the pattern and degrades to a
+    /// correct cold rebuild ([`ReloadKind::Cold`]).
+    ///
+    /// The equation-(16) extraction memo is invalidated: a basis
+    /// signature only identifies a solution *within* one model version.
+    ///
+    /// # Errors
+    ///
+    /// * [`MdpError::CostShapeMismatch`] when the chain's dimensions
+    ///   differ from the loaded problem's.
+    /// * Propagated LP build/reload failures — the session keeps the
+    ///   previous model intact on any failure (the swap is staged and
+    ///   only committed after the reload succeeds).
+    pub fn update_model(&mut self, chain: &ControlledMarkovChain) -> Result<ReloadKind, MdpError> {
+        // Stage the swap on a copy so a failure anywhere leaves the
+        // session fully consistent (mdp, mirror LP and loaded program
+        // all still describe the old model).
+        let mut mdp = self.problem.mdp.clone();
+        mdp.replace_chain(chain.clone())?;
+        let lp = {
+            let occupation = OccupationLp::new(&mdp, &self.initial)?;
+            let bounds: Vec<(&Matrix, f64)> = self
+                .problem
+                .constraints
+                .iter()
+                .zip(&self.bounds)
+                .map(|(c, &bound)| (&c.cost, bound))
+                .collect();
+            occupation.build(&bounds)?
+        };
+        let kind = self.session.reload(&lp)?;
+        self.problem.mdp = mdp;
+        self.lp = lp;
+        // Basis signatures do not span model versions: the same basic
+        // set now encodes different frequencies.
+        self.cached = None;
+        Ok(kind)
     }
 
     /// Re-solves the loaded problem under the current bounds, returning
@@ -736,6 +790,102 @@ mod tests {
         assert_eq!(session.extraction_count(), 2);
         assert!(tighter.objective() > first.objective());
         assert!((tighter.bounds[0] - session.bound(0)).abs() < 1e-12);
+    }
+
+    /// A same-support variant of [`mini_dpm`]'s chain with drifted
+    /// probabilities — what a per-epoch re-estimate looks like.
+    fn drifted_chain(wake_stay: f64, sleep_leave: f64) -> ControlledMarkovChain {
+        let wake =
+            StochasticMatrix::from_rows(&[&[1.0, 0.0], &[wake_stay, 1.0 - wake_stay]]).unwrap();
+        let sleep =
+            StochasticMatrix::from_rows(&[&[1.0 - sleep_leave, sleep_leave], &[0.0, 1.0]]).unwrap();
+        ControlledMarkovChain::new(vec![wake, sleep]).unwrap()
+    }
+
+    #[test]
+    fn update_model_reloads_warm_and_matches_cold() {
+        let discount = 0.95;
+        let mut session = ConstrainedMdp::new(mini_dpm(discount))
+            .with_constraint(CostConstraint::per_slice(
+                "sleep fraction",
+                penalty_matrix(),
+                0.4,
+                discount,
+            ))
+            .into_session(&[1.0, 0.0], &dpm_lp::RevisedSimplex::new())
+            .unwrap();
+        session.solve().unwrap();
+        for (i, (wake_stay, sleep_leave)) in [(0.45, 0.75), (0.55, 0.82), (0.5, 0.8)]
+            .into_iter()
+            .enumerate()
+        {
+            let chain = drifted_chain(wake_stay, sleep_leave);
+            let kind = session.update_model(&chain).unwrap();
+            assert_eq!(kind, ReloadKind::Warm, "epoch {i}");
+            let (warm, report) = session.solve().unwrap();
+            assert!(report.warm_start, "epoch {i}");
+            // Independent cold reference on a freshly built problem.
+            let power = Matrix::from_rows(&[&[2.0, 2.5], &[2.5, 0.0]]).unwrap();
+            let mdp = DiscountedMdp::new(chain, power, discount).unwrap();
+            let cold = ConstrainedMdp::new(mdp)
+                .with_constraint(CostConstraint::per_slice(
+                    "sleep fraction",
+                    penalty_matrix(),
+                    0.4,
+                    discount,
+                ))
+                .solve(&[1.0, 0.0], &dpm_lp::Simplex::new())
+                .unwrap();
+            assert!(
+                (warm.objective() - cold.objective()).abs() < 1e-6,
+                "epoch {i}: warm {} vs cold {}",
+                warm.objective(),
+                cold.objective()
+            );
+        }
+    }
+
+    #[test]
+    fn update_model_keeps_retargeted_bounds_and_memo_coherent() {
+        let discount = 0.95;
+        let mut session = ConstrainedMdp::new(mini_dpm(discount))
+            .with_constraint(CostConstraint::per_slice(
+                "sleep fraction",
+                penalty_matrix(),
+                0.8,
+                discount,
+            ))
+            .into_session(&[1.0, 0.0], &dpm_lp::RevisedSimplex::new())
+            .unwrap();
+        session.set_bound_per_slice(0, 0.3).unwrap();
+        let (before, _) = session.solve().unwrap();
+        assert_eq!(session.extraction_count(), 1);
+        let chain = drifted_chain(0.35, 0.65);
+        session.update_model(&chain).unwrap();
+        // The retargeted (not the construction-time) bound is in force.
+        let (after, _) = session.solve().unwrap();
+        assert!(after.constraint_value_per_slice(0) <= 0.3 + 1e-6);
+        // Even if the optimal basis happens to coincide across model
+        // versions, the memo must have been dropped: extraction ran again.
+        assert_eq!(session.extraction_count(), 2);
+        // Values differ because the model differs.
+        assert!((before.objective() - after.objective()).abs() > 1e-9);
+    }
+
+    #[test]
+    fn update_model_rejects_wrong_dimensions() {
+        let discount = 0.9;
+        let mut session = ConstrainedMdp::new(mini_dpm(discount))
+            .into_session(&[1.0, 0.0], &dpm_lp::RevisedSimplex::new())
+            .unwrap();
+        // 2 actions expected, 1 provided.
+        let chain = ControlledMarkovChain::new(vec![StochasticMatrix::identity(2)]).unwrap();
+        assert!(matches!(
+            session.update_model(&chain).unwrap_err(),
+            MdpError::CostShapeMismatch { .. }
+        ));
+        // The session still solves after the rejected update.
+        assert!(session.solve().is_ok());
     }
 
     #[test]

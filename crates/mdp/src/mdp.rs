@@ -52,6 +52,29 @@ impl DiscountedMdp {
         })
     }
 
+    /// Replaces the transition structure with a re-estimated chain of the
+    /// **same dimensions**, keeping costs and discount — the model-drift
+    /// mutation behind
+    /// [`ConstrainedSession::update_model`](crate::ConstrainedSession::update_model):
+    /// an online estimator refits the workload chain each epoch while the
+    /// cost structure (power, penalties) is a property of the hardware
+    /// and stays put.
+    ///
+    /// # Errors
+    ///
+    /// [`MdpError::CostShapeMismatch`] when the new chain's
+    /// `(states, actions)` differ from the existing cost matrix's — the
+    /// state space of a loaded problem is fixed.
+    pub fn replace_chain(&mut self, chain: ControlledMarkovChain) -> Result<(), MdpError> {
+        let expected = (self.chain.num_states(), self.chain.num_actions());
+        let found = (chain.num_states(), chain.num_actions());
+        if found != expected {
+            return Err(MdpError::CostShapeMismatch { found, expected });
+        }
+        self.chain = chain;
+        Ok(())
+    }
+
     /// Number of states.
     pub fn num_states(&self) -> usize {
         self.chain.num_states()

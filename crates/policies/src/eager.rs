@@ -88,12 +88,7 @@ mod tests {
         let mut rng = rand::rngs::mock::StepRng::new(0, 1);
         for i in 0..system.num_states() {
             let s = system.state_of(i);
-            let obs = Observation {
-                state: s,
-                state_index: i,
-                slice: 0,
-                idle_slices: 0,
-            };
+            let obs = Observation::new(s, i, 0, 0);
             let cmd = policy.decide(&obs, &mut rng);
             let idle = s.sr == 0 && s.queue == 0;
             assert_eq!(

@@ -4,7 +4,7 @@
 //! * [`EagerPolicy`] — the "eager" / greedy policy of the introduction and
 //!   Fig. 8(b)'s upward triangles: shut down (to a chosen sleep command)
 //!   the moment the system goes idle; wake the moment work appears.
-//! * [`TimeoutPolicy`] — the classical disk spin-down heuristic ([12],
+//! * [`TimeoutPolicy`] — the classical disk spin-down heuristic (\[12\],
 //!   Fig. 8(b)'s downward triangles, the dashed curves of Figs. 9(b)/10):
 //!   shut down after the idle clock exceeds a threshold; wake on work.
 //! * [`RandomizedTimeoutPolicy`] — Fig. 8(b)'s boxes: "the timeout value

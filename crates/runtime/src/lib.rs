@@ -1,0 +1,571 @@
+//! Closed-loop adaptive power management: **estimate → re-solve →
+//! hot-swap**, every epoch, at warm-start cost.
+//!
+//! The paper computes its optimal randomized policy **offline** from a
+//! stationary SR/SP model and concedes (Section VII) that the result
+//! degrades when the workload drifts. This crate closes the loop at run
+//! time without abandoning the paper's LP-optimal core:
+//!
+//! 1. a streaming [`WindowedEstimator`]
+//!    re-fits the k-memory SR model of Section V over a sliding or
+//!    exponential-decay window of the live arrival stream;
+//! 2. every epoch the re-fitted chain is recomposed and **hot-swapped**
+//!    into the standing occupation-LP session
+//!    ([`PreparedOptimization::update_model`]), which keeps its optimal
+//!    basis across the swap — a same-support refit preserves the LP's
+//!    sparsity pattern, so the re-solve is a *warm*
+//!    [`ReloadKind::Warm`] feasibility repair of a handful of pivots,
+//!    not a cold two-phase solve;
+//! 3. the re-solved randomized policy (equation (16)) replaces the
+//!    running one between two slices.
+//!
+//! The whole loop lives behind the ordinary
+//! [`PowerManager`] trait, so an
+//! [`AdaptiveController`] runs on the **unmodified**
+//! [`Simulator`](dpm_sim::Simulator "Simulator") next to the eager/timeout baselines
+//! and the static LP-optimal policy it is measured against.
+//!
+//! # Example
+//!
+//! ```
+//! use dpm_runtime::{AdaptiveConfig, AdaptiveController};
+//! use dpm_sim::{SimConfig, Simulator};
+//! use dpm_systems::drifting;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The blended system: a stationary fit of a drifting workload.
+//! let system = drifting::blended_system(7)?;
+//! let config = AdaptiveConfig::new()
+//!     .epoch_slices(2_000)
+//!     .memory(drifting::MEMORY)
+//!     .smoothing(drifting::SMOOTHING)
+//!     .horizon(100_000.0)
+//!     .max_performance_penalty(0.5);
+//! let mut controller = AdaptiveController::new(&system, config)?;
+//! let trace = drifting::workload(10_000, 7);
+//! let mut tracker = dpm_trace::KMemoryTracker::new(drifting::MEMORY).tracker();
+//! let stats = Simulator::new(&system, SimConfig::new(10_000))
+//!     .run_trace(&mut controller, &trace, &mut tracker)?;
+//! assert!(stats.average_power() > 0.0);
+//! assert!(!controller.epochs().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use dpm_core::{
+    DpmError, PolicyOptimizer, PreparedOptimization, ServiceProvider, ServiceQueue,
+    ServiceRequester, SolverKind, SystemModel,
+};
+use dpm_lp::{ReloadKind, SolveReport};
+use dpm_mdp::RandomizedPolicy;
+use dpm_sim::{Observation, PowerManager};
+use dpm_trace::{SrExtractor, WindowKind, WindowedEstimator};
+use rand::Rng;
+
+/// Configuration of an [`AdaptiveController`] (builder style).
+///
+/// Defaults: 2 000-slice epochs, memory k = 2 with Laplace smoothing
+/// 0.5 (strictly positive smoothing keeps the fitted chain's support —
+/// and with it the occupation LP's sparsity pattern — stable, which is
+/// what keeps the per-epoch reloads warm), a sliding window of 4 epochs,
+/// a 100 000-slice horizon, no constraints, the
+/// [`SolverKind::RevisedSimplex`] engine, re-solve on any drift
+/// (`min_divergence = 0`), and command 0 as the serve-at-all-costs
+/// fallback for infeasible epochs.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    epoch_slices: u64,
+    memory: u32,
+    smoothing: f64,
+    window: Option<WindowKind>,
+    discount: f64,
+    max_performance_penalty: Option<f64>,
+    max_request_loss_rate: Option<f64>,
+    solver: SolverKind,
+    min_divergence: f64,
+    wake_command: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdaptiveConfig {
+    /// The default configuration (see the type-level docs).
+    pub fn new() -> Self {
+        AdaptiveConfig {
+            epoch_slices: 2_000,
+            memory: 2,
+            smoothing: 0.5,
+            window: None,
+            discount: 1.0 - 1.0 / 100_000.0,
+            max_performance_penalty: None,
+            max_request_loss_rate: None,
+            solver: SolverKind::default(),
+            min_divergence: 0.0,
+            wake_command: 0,
+        }
+    }
+
+    /// Slices between re-estimate/re-solve points. Clamped to ≥ 1.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn epoch_slices(mut self, slices: u64) -> Self {
+        self.epoch_slices = slices.max(1);
+        self
+    }
+
+    /// Memory `k` of the estimated SR model (`2^k` states); must match
+    /// the simulated system's SR state count.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn memory(mut self, k: u32) -> Self {
+        self.memory = k;
+        self
+    }
+
+    /// Laplace smoothing of every fit. Keep strictly positive: zero
+    /// smoothing lets unobserved transitions drop out of the fitted
+    /// chain's support, which changes the occupation LP's sparsity
+    /// pattern and degrades the per-epoch reloads to cold.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn smoothing(mut self, alpha: f64) -> Self {
+        self.smoothing = alpha.max(0.0);
+        self
+    }
+
+    /// The estimator's window (default: sliding over 4 epochs).
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn window(mut self, window: WindowKind) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Discount factor `α ∈ (0, 1)` of the per-epoch problems.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn discount(mut self, alpha: f64) -> Self {
+        self.discount = alpha;
+        self
+    }
+
+    /// Expected session length in slices; the discount becomes
+    /// `1 − 1/horizon`.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn horizon(mut self, slices: f64) -> Self {
+        self.discount = 1.0 - 1.0 / slices;
+        self
+    }
+
+    /// Bounds the per-slice performance penalty (average queue backlog)
+    /// of every per-epoch solve.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn max_performance_penalty(mut self, bound: f64) -> Self {
+        self.max_performance_penalty = Some(bound);
+        self
+    }
+
+    /// Bounds the per-slice request-loss rate of every per-epoch solve.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn max_request_loss_rate(mut self, bound: f64) -> Self {
+        self.max_request_loss_rate = Some(bound);
+        self
+    }
+
+    /// The LP engine behind the standing session.
+    /// [`SolverKind::RevisedSimplex`] (the default) is the only engine
+    /// with warm reloads; the others re-solve cold each epoch (correct,
+    /// just slower) and serve as cross-checks.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn solver(mut self, kind: SolverKind) -> Self {
+        self.solver = kind;
+        self
+    }
+
+    /// Drift gate: when the estimator's divergence between consecutive
+    /// fits stays *below* this threshold, the epoch keeps the current
+    /// policy and skips the re-solve entirely. 0 (the default) re-solves
+    /// every epoch.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn min_divergence(mut self, threshold: f64) -> Self {
+        self.min_divergence = threshold.max(0.0);
+        self
+    }
+
+    /// The command issued unconditionally while an epoch's constraints
+    /// are infeasible under the fitted model — serve-at-all-costs until
+    /// a later epoch becomes feasible again.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn infeasible_fallback_command(mut self, command: usize) -> Self {
+        self.wake_command = command;
+        self
+    }
+
+    fn effective_window(&self) -> WindowKind {
+        self.window.unwrap_or(WindowKind::Sliding(
+            (4 * self.epoch_slices as usize).max(self.memory as usize + 1),
+        ))
+    }
+}
+
+/// What one epoch of the adaptation loop did — the runtime's flight
+/// recorder, and the raw material of the `adaptive_runtime` benchmark's
+/// warm-vs-cold counters.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct EpochRecord {
+    /// 0-based epoch index.
+    pub epoch: u64,
+    /// Slice at which the epoch boundary fired.
+    pub slice: u64,
+    /// The estimator's divergence gauge at fit time (`None` on the first
+    /// fit).
+    pub divergence: Option<f64>,
+    /// The SR model fitted for this epoch — kept so offline analyses
+    /// (and the warm≡cold agreement tests) can reproduce the epoch's
+    /// problem exactly.
+    pub requester: ServiceRequester,
+    /// `false` when the drift gate kept the previous policy without
+    /// re-solving.
+    pub refreshed: bool,
+    /// How the standing session took the model swap (`None` when the
+    /// epoch was skipped or the swap failed before the reload).
+    pub reload: Option<ReloadKind>,
+    /// The re-solve's report (`None` when skipped or failed earlier).
+    pub report: Option<SolveReport>,
+    /// `true` when the constraints were infeasible under the fitted
+    /// model and the fallback command took over.
+    pub infeasible: bool,
+    /// Non-infeasibility failure of the swap/solve, if any (the
+    /// controller keeps the previous policy and carries on).
+    pub error: Option<String>,
+    /// Model-predicted power per slice of the swapped-in policy.
+    pub power_per_slice: Option<f64>,
+    /// Model-predicted performance penalty per slice of the swapped-in
+    /// policy.
+    pub performance_per_slice: Option<f64>,
+}
+
+/// The policy currently driving decisions.
+#[derive(Debug, Clone)]
+enum ActivePolicy {
+    /// A solved randomized policy table.
+    Table(RandomizedPolicy),
+    /// Serve-at-all-costs fallback while the fitted problem is
+    /// infeasible.
+    Fallback,
+}
+
+/// A closed-loop adaptive power manager: owns the streaming estimator,
+/// the standing constrained-LP session and the currently active
+/// randomized policy, and re-estimates/re-solves/hot-swaps at every
+/// epoch boundary — all behind the ordinary
+/// [`PowerManager`] trait, so it runs on the
+/// unmodified [`Simulator`](dpm_sim::Simulator "Simulator").
+///
+/// Construction solves the configured problem once on the given system
+/// (the "static" model — typically a blended offline fit) so the
+/// controller starts from the same policy a non-adaptive deployment
+/// would ship with; adaptation then takes over from the first epoch.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    config: AdaptiveConfig,
+    provider: ServiceProvider,
+    queue: ServiceQueue,
+    /// `issuing[s]`: does SR state `s` issue requests? How the arrival
+    /// bit is read back off the observed composite state (the arrivals
+    /// of a slice are encoded in the *destination* SR state, matching
+    /// the composer's convention).
+    issuing: Vec<bool>,
+    estimator: WindowedEstimator,
+    prepared: PreparedOptimization,
+    policy: ActivePolicy,
+    initial_policy: RandomizedPolicy,
+    epochs: Vec<EpochRecord>,
+    next_refresh: u64,
+    label: String,
+}
+
+impl AdaptiveController {
+    /// Builds the controller around `system` — the composed model whose
+    /// SR occupies the same `2^k` state space the estimator will refit
+    /// (its chain is also the initial model the first policy is solved
+    /// from).
+    ///
+    /// # Errors
+    ///
+    /// * [`DpmError::BadConfiguration`] when the system's SR state count
+    ///   is not `2^memory` (the policy table is indexed by the observed
+    ///   composite state, so the state spaces must align), when the
+    ///   infeasible-fallback command is out of range for the system, or
+    ///   for an invalid estimator/optimizer configuration.
+    /// * [`DpmError::Infeasible`] when the constraints admit no policy
+    ///   under the initial model.
+    /// * Propagated estimation/LP failures.
+    pub fn new(system: &SystemModel, config: AdaptiveConfig) -> Result<Self, DpmError> {
+        let expected = 1usize.checked_shl(config.memory).unwrap_or(0);
+        if config.memory == 0 || system.requester().num_states() != expected {
+            return Err(DpmError::BadConfiguration {
+                reason: format!(
+                    "adaptive controller with memory {} needs a {expected}-state SR, \
+                     the system has {}",
+                    config.memory,
+                    system.requester().num_states()
+                ),
+            });
+        }
+        if config.wake_command >= system.num_commands() {
+            return Err(DpmError::BadConfiguration {
+                reason: format!(
+                    "infeasible-fallback command {} is out of range for a system with {} \
+                     commands",
+                    config.wake_command,
+                    system.num_commands()
+                ),
+            });
+        }
+        let extractor = SrExtractor::try_new(config.memory)?.with_smoothing(config.smoothing);
+        let estimator = WindowedEstimator::new(extractor, config.effective_window())?;
+
+        let mut optimizer = PolicyOptimizer::new(system)
+            .discount(config.discount)
+            .solver(config.solver);
+        if let Some(bound) = config.max_performance_penalty {
+            optimizer = optimizer.max_performance_penalty(bound);
+        }
+        if let Some(bound) = config.max_request_loss_rate {
+            optimizer = optimizer.max_request_loss_rate(bound);
+        }
+        let mut prepared = optimizer.prepare()?;
+        let initial = prepared.solve()?;
+        let initial_policy = initial.policy().clone();
+
+        let issuing = (0..system.requester().num_states())
+            .map(|s| system.requester().requests(s) > 0)
+            .collect();
+        let label = format!(
+            "adaptive(k={}, epoch={})",
+            config.memory, config.epoch_slices
+        );
+        Ok(AdaptiveController {
+            next_refresh: config.epoch_slices,
+            config,
+            provider: system.provider().clone(),
+            queue: *system.queue(),
+            issuing,
+            estimator,
+            prepared,
+            policy: ActivePolicy::Table(initial_policy.clone()),
+            initial_policy,
+            epochs: Vec::new(),
+            label,
+        })
+    }
+
+    /// Overrides the display name.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// The per-epoch flight records of the current run (cleared by
+    /// [`PowerManager::reset`], i.e. at the start of every simulation).
+    pub fn epochs(&self) -> &[EpochRecord] {
+        &self.epochs
+    }
+
+    /// Epochs whose model swap reloaded warm — the acceptance counter:
+    /// on same-support refits with the default engine this should be
+    /// *all* refreshed epochs.
+    pub fn warm_reloads(&self) -> usize {
+        self.epochs
+            .iter()
+            .filter(|e| e.reload == Some(ReloadKind::Warm))
+            .count()
+    }
+
+    /// Epochs whose model swap fell back to a cold rebuild.
+    pub fn cold_reloads(&self) -> usize {
+        self.epochs
+            .iter()
+            .filter(|e| e.reload == Some(ReloadKind::Cold))
+            .count()
+    }
+
+    /// Epochs the drift gate skipped (kept the policy, no solve).
+    pub fn skipped_epochs(&self) -> usize {
+        self.epochs.iter().filter(|e| !e.refreshed).count()
+    }
+
+    /// Total simplex pivots spent by the per-epoch re-solves.
+    pub fn epoch_pivots(&self) -> usize {
+        self.epochs
+            .iter()
+            .filter_map(|e| e.report.as_ref())
+            .map(|r| r.iterations)
+            .sum()
+    }
+
+    /// The currently active policy table (`None` while the infeasible
+    /// fallback is driving).
+    pub fn current_policy(&self) -> Option<&RandomizedPolicy> {
+        match &self.policy {
+            ActivePolicy::Table(p) => Some(p),
+            ActivePolicy::Fallback => None,
+        }
+    }
+
+    /// Hardens a solved policy for **closed-loop** deployment: states the
+    /// fitted model deems (essentially) unreachable keep no meaningful
+    /// action in the occupation measure, and the LP extraction's
+    /// min-immediate-cost tie-break puts the cheapest command there —
+    /// usually "sleep", which in a power-managed system is an **absorbing
+    /// trap**: when reality drifts off the model's support (a regime
+    /// switch mid-epoch, say) the system can land in `(off, busy, queue
+    /// full)`-style states whose prescribed action keeps it there until
+    /// the next epoch. Off-measure states get the serve-at-all-costs
+    /// command instead, so excursions outside the model's support drain
+    /// back into it. On-measure states keep the LP's exact randomization.
+    fn off_measure_guard(
+        &self,
+        solution: &dpm_core::PolicySolution,
+    ) -> Result<RandomizedPolicy, DpmError> {
+        let occupation = solution.constrained().occupation();
+        let frequencies = occupation.state_frequencies();
+        let floor = occupation.total_visits() * 1e-9;
+        let policy = solution.policy();
+        let commands = policy.decision(0).len();
+        let rows: Vec<Vec<f64>> = frequencies
+            .iter()
+            .enumerate()
+            .map(|(s, &freq)| {
+                if freq > floor {
+                    policy.decision(s).to_vec()
+                } else {
+                    let mut row = vec![0.0; commands];
+                    row[self.config.wake_command] = 1.0;
+                    row
+                }
+            })
+            .collect();
+        Ok(RandomizedPolicy::new(rows)?)
+    }
+
+    /// One epoch boundary: fit, gate on drift, recompose, hot-swap.
+    fn refresh(&mut self, slice: u64) {
+        let fitted = match self.estimator.fit() {
+            Ok(sr) => sr,
+            // Unreachable given the `is_ready` guard at the call site;
+            // keep the previous policy if it ever happens.
+            Err(_) => return,
+        };
+        let divergence = self.estimator.divergence();
+        let mut record = EpochRecord {
+            epoch: self.epochs.len() as u64,
+            slice,
+            divergence,
+            requester: fitted.clone(),
+            refreshed: false,
+            reload: None,
+            report: None,
+            infeasible: false,
+            error: None,
+            power_per_slice: None,
+            performance_per_slice: None,
+        };
+        // Drift gate: skip the solve when the model barely moved — unless
+        // the fallback is driving (then any feasible model is an upgrade)
+        // or this is the first fit (no divergence to gate on).
+        let drifted = divergence.is_none_or(|d| d >= self.config.min_divergence);
+        let must = matches!(self.policy, ActivePolicy::Fallback);
+        if drifted || must {
+            record.refreshed = true;
+            if let Err(e) = self.hot_swap(fitted, &mut record) {
+                record.error = Some(e.to_string());
+            }
+        }
+        self.epochs.push(record);
+    }
+
+    /// Recomposes the system around the fitted SR and swaps it into the
+    /// standing session; on success the re-solved policy replaces the
+    /// active one, on infeasibility the fallback command takes over.
+    fn hot_swap(
+        &mut self,
+        fitted: ServiceRequester,
+        record: &mut EpochRecord,
+    ) -> Result<(), DpmError> {
+        let system = SystemModel::compose(self.provider.clone(), fitted, self.queue)?;
+        record.reload = Some(self.prepared.update_model(system.chain())?);
+        match self.prepared.solve() {
+            Ok(solution) => {
+                record.report = Some(solution.solve_report().clone());
+                record.power_per_slice = Some(solution.power_per_slice());
+                record.performance_per_slice = Some(solution.performance_per_slice());
+                self.policy = ActivePolicy::Table(self.off_measure_guard(&solution)?);
+                Ok(())
+            }
+            Err(DpmError::Infeasible) => {
+                record.infeasible = true;
+                record.report = Some(self.prepared.last_report().clone());
+                self.policy = ActivePolicy::Fallback;
+                Ok(())
+            }
+            // Numerical trouble: keep the previous policy, stay alive.
+            Err(e) => {
+                record.report = Some(self.prepared.last_report().clone());
+                Err(e)
+            }
+        }
+    }
+}
+
+impl PowerManager for AdaptiveController {
+    fn decide(&mut self, observation: &Observation, rng: &mut dyn rand::RngCore) -> usize {
+        // The arrivals of the previous slice are encoded in the observed
+        // (destination) SR state; slice 0 shows the initial state, which
+        // nobody arrived in.
+        if observation.slice > 0 {
+            self.estimator
+                .observe(u32::from(self.issuing[observation.state.sr]));
+        }
+        if observation.slice >= self.next_refresh && self.estimator.is_ready() {
+            self.refresh(observation.slice);
+            self.next_refresh = observation.slice + self.config.epoch_slices;
+        }
+        match &self.policy {
+            ActivePolicy::Fallback => self.config.wake_command,
+            ActivePolicy::Table(policy) => {
+                let decision = policy.decision(observation.state_index);
+                let draw: f64 = rng.gen();
+                let mut acc = 0.0;
+                for (command, &p) in decision.iter().enumerate() {
+                    acc += p;
+                    if draw < acc {
+                        return command;
+                    }
+                }
+                decision.len() - 1 // numerical slack: land on the last command
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.estimator.reset();
+        self.policy = ActivePolicy::Table(self.initial_policy.clone());
+        self.epochs.clear();
+        self.next_refresh = self.config.epoch_slices;
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}

@@ -5,7 +5,13 @@ use rand::Rng;
 /// What a power manager sees at the beginning of a slice — the
 /// "observation of system history" of Definition 3.4, condensed to what
 /// the implemented policy classes need.
+///
+/// The struct is `#[non_exhaustive]`: the simulator may grow the
+/// observation (an epoch index for adaptive runtimes, say) without
+/// breaking downstream policies. Construct one with
+/// [`Observation::new`]; fields stay directly readable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub struct Observation {
     /// The composite system state.
     pub state: SystemState,
@@ -16,6 +22,20 @@ pub struct Observation {
     /// Slices elapsed since the last slice with a request arrival or a
     /// non-empty queue — the idle clock that timeout policies watch.
     pub idle_slices: u64,
+}
+
+impl Observation {
+    /// Builds an observation — the constructor policies and tests use
+    /// now that the struct is `#[non_exhaustive]` (out-of-crate struct
+    /// literals no longer compile, so added fields cannot break callers).
+    pub fn new(state: SystemState, state_index: usize, slice: u64, idle_slices: u64) -> Self {
+        Observation {
+            state,
+            state_index,
+            slice,
+            idle_slices,
+        }
+    }
 }
 
 /// A power-management policy as an online decision procedure: each slice
@@ -115,16 +135,16 @@ mod tests {
     use rand::SeedableRng;
 
     fn obs(state_index: usize) -> Observation {
-        Observation {
-            state: SystemState {
+        Observation::new(
+            SystemState {
                 sp: 0,
                 sr: 0,
                 queue: 0,
             },
             state_index,
-            slice: 0,
-            idle_slices: 0,
-        }
+            0,
+            0,
+        )
     }
 
     #[test]

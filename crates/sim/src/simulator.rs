@@ -154,12 +154,7 @@ impl<'a> Simulator<'a> {
             let state_index = system
                 .state_index(state)
                 .expect("state stays in range by construction");
-            let observation = Observation {
-                state,
-                state_index,
-                slice,
-                idle_slices,
-            };
+            let observation = Observation::new(state, state_index, slice, idle_slices);
             let command = manager.decide(&observation, &mut rng);
             if command >= sp.num_commands() {
                 return Err(DpmError::UnknownIndex {

@@ -89,7 +89,7 @@ pub fn service_provider() -> Result<ServiceProvider, DpmError> {
     b.build()
 }
 
-/// Default workload standing in for the monitored CPU trace of [28]:
+/// Default workload standing in for the monitored CPU trace of \[28\]:
 /// interactive bursts (mean 2 s of activity) separated by idle stretches
 /// (mean 10 s) at Δt = 20 ms.
 ///

@@ -1,0 +1,209 @@
+//! A **nonstationary** workload scenario for the online-adaptation
+//! experiments: the toy provider of Sections III–IV driven by a
+//! regime-switching request stream.
+//!
+//! Section VII of the paper concedes that its optimal policies assume a
+//! *stationary* SR model and degrade when "the arrival of service
+//! requests is poorly modeled by a Markov process" — precisely the
+//! situation this scenario manufactures. The workload alternates between
+//! two piecewise-stationary regimes:
+//!
+//! * **light** ([`LIGHT`]): ~80-slice idle gaps, short bursts (~3%
+//!   load) — sleeping through the gaps is a big win (the wake costs 10
+//!   slices at 4 W);
+//! * **heavy** ([`HEAVY`]): ~3-slice gaps, long bursts (~67% load
+//!   against σ = 0.8) — sleeping into a gap buys almost nothing and
+//!   pays the full wake every time; the right policy stays on.
+//!
+//! Crucially the two regimes differ in their **idle-gap statistics**,
+//! which a k-memory observation cannot distinguish: the same observed
+//! idle state means "gap of ~80" in one regime and "gap of ~3" in the
+//! other. A blended stationary fit averages them into a ~12-slice gap
+//! estimate — right at the wake break-even, so the static policy hedges
+//! (and mostly stays on, wasting the whole light regime), while a
+//! per-epoch refit is decisively right in both regimes.
+//!
+//! A policy optimized against the **blended** full-trace fit — the
+//! paper's offline methodology applied naively to the whole stream — is
+//! mismatched in both regimes. The adaptive runtime
+//! (`dpm_runtime::AdaptiveController`) re-fits a windowed k-memory model
+//! each epoch and hot-swaps the re-solved policy; this module provides
+//! the system, the workload and the blended baseline fit it is evaluated
+//! against.
+
+use dpm_core::{DpmError, ServiceProvider, ServiceQueue, ServiceRequester, SystemModel};
+use dpm_trace::generators::{Regime, RegimeSwitchingGenerator};
+use dpm_trace::SrExtractor;
+
+use crate::toy;
+
+/// Memory of the k-memory SR models used throughout the scenario: 2 SR
+/// states (idle/busy), so the composed system has 2 SP × 2 SR × 3 SQ =
+/// 12 states. k = 1 is the interesting memory here: the *same* observed
+/// idle state implies a ~80-slice gap in the light regime and a
+/// ~3-slice gap in the heavy one, so no single stationary fit can issue
+/// the right command in both — the gap statistics live outside the
+/// observable state, which is exactly what the per-epoch refit recovers.
+pub const MEMORY: u32 = 1;
+
+/// Laplace smoothing of every fit in the scenario. Strictly positive so
+/// each history state keeps both successors — the fitted chain's
+/// **support never changes**, which keeps the occupation LP's sparsity
+/// pattern stable across refits and the per-epoch reloads warm.
+pub const SMOOTHING: f64 = 0.5;
+
+/// The light regime `(P(idle→busy), P(busy→busy))`: ~3% load.
+pub const LIGHT: (f64, f64) = (0.012, 0.55);
+
+/// The heavy regime `(P(idle→busy), P(busy→busy))`: ~67% load against
+/// the provider's σ = 0.8 service rate — heavily loaded, but with a
+/// per-regime queue floor (≈ 0.44) that stays *feasible* under the
+/// scenario's queue bound, so every epoch of an adaptive run re-solves
+/// instead of falling back.
+pub const HEAVY: (f64, f64) = (0.3, 0.85);
+
+/// Slices each regime lasts before switching.
+pub const REGIME_SLICES: usize = 25_000;
+
+/// Queue capacity of the scenario (3 queue states): enough headroom that
+/// the heavy regime admits meaningful loss bounds, small enough that the
+/// per-epoch LPs stay tiny (12 composite states).
+pub const QUEUE_CAPACITY: usize = 2;
+
+/// The scenario's per-slice average-queue bound. Feasible in both
+/// regimes (the heavy regime's queue floor is ≈ 0.79).
+pub const QUEUE_BOUND: f64 = 0.9;
+
+/// The scenario's per-slice request-loss bound. Feasible in both
+/// regimes (the heavy regime's loss floor is ≈ 0.26).
+pub const LOSS_BOUND: f64 = 0.3;
+
+/// The optimization horizon (expected session length, slices) of every
+/// solve in the scenario, and the mean session length simulations should
+/// use (`SimConfig::restart_probability(1.0 / HORIZON)`): randomized
+/// constrained optima are generally **not ergodic**, so only
+/// session-restarted averages sample the discounted measure the LP
+/// optimizes (see `tests/restart_sampling.rs` in `dpm-sim`).
+pub const HORIZON: f64 = 2_000.0;
+
+/// The adaptation epoch the scenario's experiments use — matched to
+/// [`HORIZON`], so each re-solve optimizes for sessions of the scale it
+/// will actually govern.
+pub const EPOCH_SLICES: u64 = 2_000;
+
+/// The regime schedule: light, then heavy, cycled.
+pub fn regimes() -> Vec<Regime> {
+    vec![
+        Regime::new(LIGHT.0, LIGHT.1, REGIME_SLICES),
+        Regime::new(HEAVY.0, HEAVY.1, REGIME_SLICES),
+    ]
+}
+
+/// The drifting arrival trace: `slices` slices of the cycled
+/// [`regimes`] schedule, deterministic given `seed`.
+pub fn workload(slices: usize, seed: u64) -> Vec<u32> {
+    RegimeSwitchingGenerator::new(regimes())
+        .seed(seed)
+        .generate(slices)
+}
+
+/// The provider under management: the toy two-state SP of Example 3.1
+/// (3 W serving, 4 W switching, 0 W off, σ = 0.8, 10-slice wake).
+///
+/// # Errors
+///
+/// Never fails in practice; propagates builder validation.
+pub fn service_provider() -> Result<ServiceProvider, DpmError> {
+    toy::service_provider()
+}
+
+/// The scenario's k-memory extractor ([`MEMORY`], [`SMOOTHING`]).
+pub fn extractor() -> SrExtractor {
+    SrExtractor::new(MEMORY).with_smoothing(SMOOTHING)
+}
+
+/// Composes the scenario system around an arbitrary (2^[`MEMORY`])-state
+/// requester — how both the blended baseline and each per-epoch refit
+/// become a full [`SystemModel`].
+///
+/// # Errors
+///
+/// Propagates composition failures (e.g. a requester whose state count
+/// is not 2^[`MEMORY`]).
+pub fn system_for(sr: ServiceRequester) -> Result<SystemModel, DpmError> {
+    SystemModel::compose(
+        service_provider()?,
+        sr,
+        ServiceQueue::with_capacity(QUEUE_CAPACITY),
+    )
+}
+
+/// The **blended** system: SR fitted offline to one full regime cycle of
+/// the drifting workload — the paper's stationary methodology applied to
+/// a stream that is not. This is the static-optimal baseline's model and
+/// the adaptive controller's starting point.
+///
+/// # Errors
+///
+/// Propagates fit/composition failures.
+pub fn blended_system(seed: u64) -> Result<SystemModel, DpmError> {
+    let cycle = 2 * REGIME_SLICES;
+    let stream = workload(cycle, seed);
+    system_for(extractor().extract(&stream)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_trace::TraceStats;
+
+    #[test]
+    fn regimes_have_the_advertised_loads() {
+        let stream = workload(2 * REGIME_SLICES, 3);
+        let light = TraceStats::from_stream(&stream[..REGIME_SLICES]);
+        let heavy = TraceStats::from_stream(&stream[REGIME_SLICES..]);
+        assert!(light.load() < 0.06, "light load {}", light.load());
+        assert!(
+            (0.6..0.95).contains(&heavy.load()),
+            "heavy load {}",
+            heavy.load()
+        );
+    }
+
+    #[test]
+    fn blended_system_composes_with_k_memory_shape() {
+        let system = blended_system(3).unwrap();
+        assert_eq!(system.requester().num_states(), 1 << MEMORY);
+        assert_eq!(
+            system.num_states(),
+            2 * (1 << MEMORY) * (QUEUE_CAPACITY + 1)
+        );
+        // The blend sits between the regimes.
+        let rate = system.requester().request_rate().unwrap();
+        assert!((0.1..0.7).contains(&rate), "blended rate {rate}");
+    }
+
+    #[test]
+    fn smoothed_fits_share_their_support() {
+        // Per-epoch refits must keep the transition support (and with it
+        // the occupation LP's sparsity pattern) stable — the warm-reload
+        // precondition. Check two disjoint windows with very different
+        // statistics.
+        let stream = workload(2 * REGIME_SLICES, 11);
+        let light = extractor().extract(&stream[..REGIME_SLICES]).unwrap();
+        let heavy = extractor().extract(&stream[REGIME_SLICES..]).unwrap();
+        let (pl, ph) = (
+            light.chain().transition_matrix(),
+            heavy.chain().transition_matrix(),
+        );
+        for s in 0..1 << MEMORY {
+            for t in 0..1 << MEMORY {
+                assert_eq!(
+                    pl.prob(s, t) > 0.0,
+                    ph.prob(s, t) > 0.0,
+                    "support differs at ({s},{t})"
+                );
+            }
+        }
+    }
+}

@@ -13,7 +13,10 @@
 //!   states with 100 ms transitions at a 20 ms time resolution, no queue;
 //! * [`appendix_b`] — the baseline system of the sensitivity study in
 //!   Appendix B, with its configurable families of sleep states, workload
-//!   burstiness and queue capacities (Figs. 12–14).
+//!   burstiness and queue capacities (Figs. 12–14);
+//! * [`drifting`] — a **nonstationary** regime-switching workload around
+//!   the toy provider, built to break the stationarity assumption
+//!   (Section VII) and exercise the online-adaptation runtime.
 //!
 //! Every module documents which numbers come straight from the paper and
 //! which had to be reconstructed (the paper's figures did not survive into
@@ -37,5 +40,6 @@
 pub mod appendix_b;
 pub mod cpu;
 pub mod disk;
+pub mod drifting;
 pub mod toy;
 pub mod web_server;

@@ -1,7 +1,7 @@
 //! Synthetic workload generators.
 //!
 //! These replace the paper's unavailable measured traces (Auspex file
-//! system, Internet Traffic Archive, CPU monitor of [28]) with generators
+//! system, Internet Traffic Archive, CPU monitor of \[28\]) with generators
 //! whose statistics are controlled — see the substitution table in
 //! `DESIGN.md`. All generators are deterministic given their seed.
 
@@ -164,6 +164,118 @@ impl HeavyTailTraceGenerator {
     }
 }
 
+/// One regime of a [`RegimeSwitchingGenerator`]: a bursty two-state
+/// source held for a fixed number of slices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Regime {
+    /// `P(idle → busy)` of the regime's source.
+    pub p_idle_to_busy: f64,
+    /// `P(busy → busy)` (the burstiness) of the regime's source.
+    pub p_busy_to_busy: f64,
+    /// How many slices the regime lasts before the next takes over.
+    pub duration: usize,
+}
+
+impl Regime {
+    /// A regime lasting `duration` slices with the given source
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either probability is outside `[0, 1]` or the
+    /// duration is zero.
+    pub fn new(p_idle_to_busy: f64, p_busy_to_busy: f64, duration: usize) -> Self {
+        assert!((0.0..=1.0).contains(&p_idle_to_busy), "bad p_idle_to_busy");
+        assert!((0.0..=1.0).contains(&p_busy_to_busy), "bad p_busy_to_busy");
+        assert!(duration > 0, "regime duration must be positive");
+        Regime {
+            p_idle_to_busy,
+            p_busy_to_busy,
+            duration,
+        }
+    }
+}
+
+/// Piecewise-stationary arrivals: a schedule of bursty [`Regime`]s cycled
+/// for as long as the trace runs — the **drifting workload** of the
+/// online-adaptation experiments. Unlike [`concatenate`] (a one-shot
+/// splice of pre-generated parts), the schedule repeats, so arbitrarily
+/// long traces keep switching regimes and a policy tuned to any single
+/// regime — or to the blended average — stays mismatched somewhere.
+///
+/// The busy/idle state carries over regime boundaries (the workload
+/// *drifts*; it does not restart), and the whole trace is deterministic
+/// given the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegimeSwitchingGenerator {
+    regimes: Vec<Regime>,
+    seed: u64,
+}
+
+impl RegimeSwitchingGenerator {
+    /// A generator cycling through `regimes` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `regimes` is empty.
+    pub fn new(regimes: Vec<Regime>) -> Self {
+        assert!(!regimes.is_empty(), "need at least one regime");
+        RegimeSwitchingGenerator { regimes, seed: 0 }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured schedule.
+    pub fn regimes(&self) -> &[Regime] {
+        &self.regimes
+    }
+
+    /// Slices of one full pass through the schedule.
+    pub fn cycle_length(&self) -> usize {
+        self.regimes.iter().map(|r| r.duration).sum()
+    }
+
+    /// Index of the regime in force at `slice`.
+    pub fn regime_at(&self, slice: usize) -> usize {
+        let mut offset = slice % self.cycle_length();
+        for (i, regime) in self.regimes.iter().enumerate() {
+            if offset < regime.duration {
+                return i;
+            }
+            offset -= regime.duration;
+        }
+        unreachable!("offset bounded by the cycle length")
+    }
+
+    /// Generates `slices` arrival counts.
+    pub fn generate(&self, slices: usize) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut busy = false;
+        let mut out = Vec::with_capacity(slices);
+        'outer: loop {
+            for regime in &self.regimes {
+                for _ in 0..regime.duration {
+                    if out.len() >= slices {
+                        break 'outer;
+                    }
+                    let p = if busy {
+                        regime.p_busy_to_busy
+                    } else {
+                        regime.p_idle_to_busy
+                    };
+                    busy = rng.gen::<f64>() < p;
+                    out.push(u32::from(busy));
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Concatenates regime traces into one non-stationary workload — the
 /// construction of Example 7.1 ("merging two real-world traces with
 /// completely different statistics": an alternating editing workload
@@ -235,6 +347,36 @@ mod tests {
         let stats = TraceStats::from_stream(&stream);
         let cv = stats.idle_length_std() / stats.mean_idle_length();
         assert!(cv > 1.2, "coefficient of variation {cv}");
+    }
+
+    #[test]
+    fn regime_switching_cycles_with_distinct_statistics() {
+        let generator = RegimeSwitchingGenerator::new(vec![
+            Regime::new(0.02, 0.6, 20_000), // light
+            Regime::new(0.5, 0.95, 20_000), // heavy
+        ])
+        .seed(9);
+        assert_eq!(generator.cycle_length(), 40_000);
+        assert_eq!(generator.regime_at(0), 0);
+        assert_eq!(generator.regime_at(20_000), 1);
+        assert_eq!(generator.regime_at(40_000), 0); // cycles
+        let stream = generator.generate(80_000);
+        assert_eq!(stream.len(), 80_000);
+        let light = TraceStats::from_stream(&stream[..20_000]);
+        let heavy = TraceStats::from_stream(&stream[20_000..40_000]);
+        assert!(light.load() < 0.15, "light load {}", light.load());
+        assert!(heavy.load() > 0.7, "heavy load {}", heavy.load());
+        // Second cycle repeats the pattern.
+        let light2 = TraceStats::from_stream(&stream[40_000..60_000]);
+        assert!(light2.load() < 0.15, "second-cycle light {}", light2.load());
+        // Deterministic by seed.
+        assert_eq!(stream, generator.generate(80_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one regime")]
+    fn empty_regime_schedule_panics() {
+        RegimeSwitchingGenerator::new(vec![]);
     }
 
     #[test]

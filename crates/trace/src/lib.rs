@@ -13,6 +13,10 @@
 //!   conditional transition probabilities counted from the stream;
 //! * [`KMemoryTracker`] — the matching online state tracker for
 //!   trace-driven simulation;
+//! * [`WindowedEstimator`] — the **streaming** counterpart of the
+//!   extractor for the online-adaptation loop: sliding or
+//!   exponential-decay windows over a live bit stream, with a divergence
+//!   gauge between consecutive fits for drift detection;
 //! * [`generators`] — synthetic workloads: Markov-modulated bursts
 //!   (matching the burst statistics the paper quotes), Bernoulli/Poisson
 //!   arrivals, heavy-tailed (non-geometric) idle periods, and the
@@ -44,7 +48,9 @@ pub mod generators;
 mod record;
 mod sr_extractor;
 mod stats;
+mod windowed;
 
 pub use record::Trace;
 pub use sr_extractor::{KMemoryTracker, SrExtractor};
 pub use stats::TraceStats;
+pub use windowed::{WindowKind, WindowedEstimator};

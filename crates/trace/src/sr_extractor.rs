@@ -32,15 +32,33 @@ impl SrExtractor {
     ///
     /// Panics for `k = 0` or `k > 16` (65 536 states is already far past
     /// what the LP can digest; the paper's Fig. 13(b) stops at small k).
+    /// Code that receives the memory at run time — the online estimation
+    /// paths — should use the fallible [`Self::try_new`] instead; the
+    /// panicking constructor stays for examples and compile-time-known
+    /// configurations.
     pub fn new(memory: u32) -> Self {
-        assert!(
-            (1..=16).contains(&memory),
-            "memory must be in 1..=16, got {memory}"
-        );
-        SrExtractor {
+        Self::try_new(memory).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: an extractor with memory `k` and no
+    /// smoothing, rejecting out-of-range memories instead of panicking —
+    /// the entry point the adaptive runtime and the
+    /// [`WindowedEstimator`](crate::WindowedEstimator) use for
+    /// run-time-supplied configurations.
+    ///
+    /// # Errors
+    ///
+    /// [`DpmError::BadConfiguration`] for `k = 0` or `k > 16`.
+    pub fn try_new(memory: u32) -> Result<Self, DpmError> {
+        if !(1..=16).contains(&memory) {
+            return Err(DpmError::BadConfiguration {
+                reason: format!("SR extractor memory must be in 1..=16, got {memory}"),
+            });
+        }
+        Ok(SrExtractor {
             memory,
             smoothing: 0.0,
-        }
+        })
     }
 
     /// Adds Laplace smoothing: every transition count starts at `alpha`
@@ -79,7 +97,7 @@ impl SrExtractor {
         }
         let n = self.num_states();
         let mask = n - 1;
-        let mut counts = vec![vec![self.smoothing; 2]; n];
+        let mut counts = vec![[0.0f64; 2]; n];
 
         // Seed the history with the first k bits, then count transitions.
         let mut state = 0usize;
@@ -91,13 +109,44 @@ impl SrExtractor {
             counts[state][bit] += 1.0;
             state = ((state << 1) | bit) & mask;
         }
+        self.extract_from_counts(&counts)
+    }
 
+    /// Builds the model straight from per-state transition counts:
+    /// `counts[s] = [count of s → (shift-in 0), count of s → (shift-in
+    /// 1)]`. This is how streaming estimators — sliding or
+    /// exponential-decay windows that maintain (possibly fractional)
+    /// counts online — reuse the extractor's model construction without
+    /// materializing a stream (see
+    /// [`WindowedEstimator`](crate::WindowedEstimator)). The configured
+    /// smoothing is added on top of the given counts; histories with zero
+    /// total count keep the inert self-loop.
+    ///
+    /// # Errors
+    ///
+    /// [`DpmError::IncompleteModel`] when `counts` does not have one
+    /// entry per model state, or contains a negative/non-finite count.
+    pub fn extract_from_counts(&self, counts: &[[f64; 2]]) -> Result<ServiceRequester, DpmError> {
+        let k = self.memory as usize;
+        let n = self.num_states();
+        let mask = n - 1;
+        if counts.len() != n {
+            return Err(DpmError::IncompleteModel {
+                reason: format!("{} count rows for a {n}-state model", counts.len()),
+            });
+        }
+        if counts.iter().flatten().any(|&c| !c.is_finite() || c < 0.0) {
+            return Err(DpmError::IncompleteModel {
+                reason: "transition counts must be finite and nonnegative".to_string(),
+            });
+        }
         let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
-        for s in 0..n {
+        for (s, pair) in counts.iter().enumerate() {
             let mut row = vec![0.0; n];
-            let total = counts[s][0] + counts[s][1];
+            let smoothed = [pair[0] + self.smoothing, pair[1] + self.smoothing];
+            let total = smoothed[0] + smoothed[1];
             if total > 0.0 {
-                for (bit, &count) in counts[s].iter().enumerate() {
+                for (bit, &count) in smoothed.iter().enumerate() {
                     let next = ((s << 1) | bit) & mask;
                     row[next] += count / total;
                 }
@@ -132,13 +181,24 @@ impl KMemoryTracker {
     ///
     /// # Panics
     ///
-    /// Panics for `memory = 0` or `memory > 16`.
+    /// Panics for `memory = 0` or `memory > 16`; run-time-supplied
+    /// memories should go through [`Self::try_new`].
     pub fn new(memory: u32) -> Self {
-        assert!(
-            (1..=16).contains(&memory),
-            "memory must be in 1..=16, got {memory}"
-        );
-        KMemoryTracker { memory, state: 0 }
+        Self::try_new(memory).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor, mirroring [`SrExtractor::try_new`].
+    ///
+    /// # Errors
+    ///
+    /// [`DpmError::BadConfiguration`] for `memory = 0` or `memory > 16`.
+    pub fn try_new(memory: u32) -> Result<Self, DpmError> {
+        if !(1..=16).contains(&memory) {
+            return Err(DpmError::BadConfiguration {
+                reason: format!("k-memory tracker memory must be in 1..=16, got {memory}"),
+            });
+        }
+        Ok(KMemoryTracker { memory, state: 0 })
     }
 
     /// Feeds one slice's arrival count; returns the new state.
@@ -241,6 +301,62 @@ mod tests {
     #[should_panic(expected = "memory must be in 1..=16")]
     fn zero_memory_panics() {
         SrExtractor::new(0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_memory_without_panicking() {
+        assert!(matches!(
+            SrExtractor::try_new(0),
+            Err(DpmError::BadConfiguration { .. })
+        ));
+        assert!(matches!(
+            SrExtractor::try_new(17),
+            Err(DpmError::BadConfiguration { .. })
+        ));
+        assert_eq!(SrExtractor::try_new(3).unwrap().memory(), 3);
+        assert!(KMemoryTracker::try_new(0).is_err());
+        assert_eq!(KMemoryTracker::try_new(2).unwrap().state(), 0);
+    }
+
+    #[test]
+    fn counts_path_matches_stream_path() {
+        // Fitting from a stream and from the stream's own transition
+        // counts must produce identical models.
+        let stream: Vec<u32> = (0..500).map(|i| u32::from(i % 7 < 3)).collect();
+        let extractor = SrExtractor::new(2).with_smoothing(0.5);
+        let from_stream = extractor.extract(&stream).unwrap();
+        let mut counts = vec![[0.0f64; 2]; 4];
+        let mut state = 0usize;
+        for &c in &stream[..2] {
+            state = ((state << 1) | usize::from(c > 0)) & 3;
+        }
+        for &c in &stream[2..] {
+            let bit = usize::from(c > 0);
+            counts[state][bit] += 1.0;
+            state = ((state << 1) | bit) & 3;
+        }
+        let from_counts = extractor.extract_from_counts(&counts).unwrap();
+        for s in 0..4 {
+            for t in 0..4 {
+                assert_eq!(
+                    from_stream.chain().transition_matrix().prob(s, t),
+                    from_counts.chain().transition_matrix().prob(s, t),
+                    "({s},{t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counts_path_validates_input() {
+        let extractor = SrExtractor::new(1);
+        assert!(extractor.extract_from_counts(&[[1.0, 2.0]]).is_err()); // 1 row for 2 states
+        assert!(extractor
+            .extract_from_counts(&[[1.0, -2.0], [0.0, 0.0]])
+            .is_err());
+        assert!(extractor
+            .extract_from_counts(&[[f64::NAN, 0.0], [0.0, 0.0]])
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! Streaming workload estimation for the online-adaptation loop.
+//!
+//! The paper fits its SR model **offline**, once, from a recorded trace
+//! (Section V) — and Section VII concedes that real workloads are not
+//! stationary. [`WindowedEstimator`] closes that gap on the estimation
+//! side: it wraps the same k-memory [`SrExtractor`] around an **online
+//! bit stream**, maintaining transition counts over a bounded-memory
+//! window so the fitted model tracks the *recent* workload instead of the
+//! whole history, and it measures the **drift** between consecutive fits
+//! so a controller can decide when a re-optimization is worth the solve.
+//!
+//! Two window shapes, both O(1) per observed slice:
+//!
+//! * **sliding** ([`WindowKind::Sliding`]): the last `n` slices count
+//!   fully, older slices not at all — a ring buffer of bits whose
+//!   expiring transition is decremented as a new one is counted;
+//! * **exponential decay** ([`WindowKind::Exponential`]): every past
+//!   transition keeps a weight `decay^age` — implemented with a growing
+//!   per-observation weight and periodic renormalization, so no decay
+//!   sweep over the count table is ever needed.
+
+use dpm_core::{DpmError, ServiceRequester};
+
+use crate::SrExtractor;
+
+/// How a [`WindowedEstimator`] forgets the past.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowKind {
+    /// Count transitions over the most recent `n` slices only (`n ≥ k+1`
+    /// is enforced at construction so at least one transition fits).
+    Sliding(usize),
+    /// Weight a transition observed `t` slices ago by `decay^t`, with
+    /// `decay ∈ (0, 1)`. The effective window length is `1/(1 − decay)`.
+    Exponential(f64),
+}
+
+/// A streaming k-memory workload estimator with drift detection: feed it
+/// the per-slice arrival counts the simulator (or the real system)
+/// observes, [`fit`](WindowedEstimator::fit) a [`ServiceRequester`]
+/// whenever a fresh model is wanted, and read the
+/// [`divergence`](WindowedEstimator::divergence) between the last two
+/// fits to decide whether the drift justifies a re-optimization.
+///
+/// # Example
+///
+/// ```
+/// use dpm_trace::{SrExtractor, WindowKind, WindowedEstimator};
+///
+/// # fn main() -> Result<(), dpm_core::DpmError> {
+/// let extractor = SrExtractor::try_new(1)?.with_smoothing(0.5);
+/// let mut estimator = WindowedEstimator::new(extractor, WindowKind::Sliding(64))?;
+/// // A bursty phase...
+/// for i in 0..64 {
+///     estimator.observe(u32::from(i % 2 == 0));
+/// }
+/// let busy = estimator.fit()?;
+/// assert!(busy.request_rate()? > 0.3);
+/// // ...then a long idle phase: the window forgets the bursts.
+/// for _ in 0..64 {
+///     estimator.observe(0);
+/// }
+/// let idle = estimator.fit()?;
+/// assert!(idle.request_rate()? < busy.request_rate()?);
+/// // The regime change shows up as divergence between the two fits.
+/// assert!(estimator.divergence().unwrap() > 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedEstimator {
+    extractor: SrExtractor,
+    kind: WindowKind,
+    /// Transition counts `counts[s] = [weight of s→0-shift, s→1-shift]`,
+    /// maintained incrementally under the window discipline.
+    counts: Vec<[f64; 2]>,
+    /// Current k-bit history (the state transitions are counted *from*).
+    state: usize,
+    /// Bits observed so far (seeding the history consumes the first k).
+    observed: u64,
+    /// Sliding mode: the windowed bits, newest last.
+    ring: std::collections::VecDeque<bool>,
+    /// Exponential mode: weight of the *next* observation; past
+    /// observations keep their recorded weight, so a count recorded `t`
+    /// steps ago is worth `decay^t` relative to the newest.
+    weight: f64,
+    /// Transition matrix of the most recent fit, flattened row-major.
+    last_fit: Option<Vec<f64>>,
+    /// Max-abs transition-probability change between the two most recent
+    /// fits.
+    divergence: Option<f64>,
+}
+
+impl WindowedEstimator {
+    /// Wraps `extractor` in a streaming window.
+    ///
+    /// # Errors
+    ///
+    /// [`DpmError::BadConfiguration`] for a sliding window shorter than
+    /// `k + 1` slices (no transition would ever be counted) or an
+    /// exponential decay outside `(0, 1)`.
+    pub fn new(extractor: SrExtractor, kind: WindowKind) -> Result<Self, DpmError> {
+        match kind {
+            WindowKind::Sliding(n) => {
+                let need = extractor.memory() as usize + 1;
+                if n < need {
+                    return Err(DpmError::BadConfiguration {
+                        reason: format!(
+                            "sliding window of {n} slices cannot hold a transition of a \
+                             {}-memory model (need at least {need})",
+                            extractor.memory()
+                        ),
+                    });
+                }
+            }
+            WindowKind::Exponential(decay) => {
+                if !(decay > 0.0 && decay < 1.0 && decay.is_finite()) {
+                    return Err(DpmError::BadConfiguration {
+                        reason: format!("exponential decay {decay} not in (0, 1)"),
+                    });
+                }
+            }
+        }
+        let states = extractor.num_states();
+        Ok(WindowedEstimator {
+            extractor,
+            kind,
+            counts: vec![[0.0; 2]; states],
+            state: 0,
+            observed: 0,
+            ring: std::collections::VecDeque::new(),
+            weight: 1.0,
+            last_fit: None,
+            divergence: None,
+        })
+    }
+
+    /// The wrapped extractor (memory, smoothing).
+    pub fn extractor(&self) -> &SrExtractor {
+        &self.extractor
+    }
+
+    /// The window discipline.
+    pub fn window(&self) -> WindowKind {
+        self.kind
+    }
+
+    /// Slices observed since construction (or the last [`Self::reset`]).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// `true` once at least one transition has been counted, i.e. a
+    /// [`Self::fit`] call would succeed.
+    pub fn is_ready(&self) -> bool {
+        self.observed > u64::from(self.extractor.memory())
+    }
+
+    /// Feeds one slice's arrival count (binarized, matching
+    /// [`SrExtractor::extract`]): updates the windowed transition counts
+    /// and advances the k-bit history in O(1).
+    pub fn observe(&mut self, arrivals: u32) {
+        let bit = arrivals > 0;
+        let k = self.extractor.memory() as usize;
+        let mask = self.extractor.num_states() - 1;
+        self.observed += 1;
+        if self.observed <= k as u64 {
+            // Still seeding the history: no transition to count yet.
+            self.state = ((self.state << 1) | usize::from(bit)) & mask;
+            if let WindowKind::Sliding(_) = self.kind {
+                self.ring.push_back(bit);
+            }
+            return;
+        }
+        match self.kind {
+            WindowKind::Sliding(n) => {
+                self.counts[self.state][usize::from(bit)] += 1.0;
+                self.ring.push_back(bit);
+                if self.ring.len() > n {
+                    // The oldest transition (from the history ending at
+                    // position k-1 of the ring, shifting in bit k) falls
+                    // out of the window: un-count it.
+                    let mut old_state = 0usize;
+                    for &b in self.ring.iter().take(k) {
+                        old_state = ((old_state << 1) | usize::from(b)) & mask;
+                    }
+                    let old_bit = *self.ring.get(k).expect("ring longer than k");
+                    self.counts[old_state][usize::from(old_bit)] -= 1.0;
+                    self.counts[old_state][usize::from(old_bit)] =
+                        self.counts[old_state][usize::from(old_bit)].max(0.0);
+                    self.ring.pop_front();
+                }
+            }
+            WindowKind::Exponential(decay) => {
+                // Newest observations weigh more; dividing at fit time by
+                // the current weight recovers `decay^age` semantics
+                // without sweeping the table every slice.
+                self.weight /= decay;
+                self.counts[self.state][usize::from(bit)] += self.weight;
+                if self.weight > 1e100 {
+                    for pair in &mut self.counts {
+                        pair[0] /= self.weight;
+                        pair[1] /= self.weight;
+                    }
+                    self.weight = 1.0;
+                }
+            }
+        }
+        self.state = ((self.state << 1) | usize::from(bit)) & mask;
+    }
+
+    /// Fits the k-memory model to the current window and updates the
+    /// [`Self::divergence`] gauge against the previous fit.
+    ///
+    /// # Errors
+    ///
+    /// [`DpmError::IncompleteModel`] when no transition has been observed
+    /// yet (see [`Self::is_ready`]).
+    pub fn fit(&mut self) -> Result<ServiceRequester, DpmError> {
+        if !self.is_ready() {
+            return Err(DpmError::IncompleteModel {
+                reason: format!(
+                    "{} observed slices cannot fit a {}-memory model",
+                    self.observed,
+                    self.extractor.memory()
+                ),
+            });
+        }
+        let fitted = match self.kind {
+            WindowKind::Sliding(_) => self.extractor.extract_from_counts(&self.counts)?,
+            WindowKind::Exponential(_) => {
+                // Normalize so the newest observation counts 1 — the
+                // scale cancels in the row normalization but keeps the
+                // smoothing constant meaningful.
+                let scaled: Vec<[f64; 2]> = self
+                    .counts
+                    .iter()
+                    .map(|pair| [pair[0] / self.weight, pair[1] / self.weight])
+                    .collect();
+                self.extractor.extract_from_counts(&scaled)?
+            }
+        };
+        let n = self.extractor.num_states();
+        let mut flat = Vec::with_capacity(n * n);
+        let p = fitted.chain().transition_matrix();
+        for s in 0..n {
+            for t in 0..n {
+                flat.push(p.prob(s, t));
+            }
+        }
+        self.divergence = self.last_fit.as_ref().map(|prev| {
+            prev.iter()
+                .zip(&flat)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max)
+        });
+        self.last_fit = Some(flat);
+        Ok(fitted)
+    }
+
+    /// Max-abs transition-probability change between the two most recent
+    /// [`Self::fit`] calls — the drift gauge a controller thresholds to
+    /// decide whether the model moved enough to justify a re-solve.
+    /// `None` until two fits have happened.
+    pub fn divergence(&self) -> Option<f64> {
+        self.divergence
+    }
+
+    /// `true` when the drift between the last two fits exceeds
+    /// `threshold` (`false` until two fits exist).
+    pub fn has_drifted(&self, threshold: f64) -> bool {
+        self.divergence.is_some_and(|d| d > threshold)
+    }
+
+    /// Forgets everything: counts, history, fit memory. The estimator is
+    /// back in its freshly constructed state.
+    pub fn reset(&mut self) {
+        for pair in &mut self.counts {
+            *pair = [0.0; 2];
+        }
+        self.state = 0;
+        self.observed = 0;
+        self.ring.clear();
+        self.weight = 1.0;
+        self.last_fit = None;
+        self.divergence = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(estimator: &mut WindowedEstimator, bits: impl IntoIterator<Item = u32>) {
+        for b in bits {
+            estimator.observe(b);
+        }
+    }
+
+    #[test]
+    fn sliding_window_matches_offline_fit_on_the_window() {
+        // After W observations of a stream, the sliding estimator's fit
+        // must equal the offline extractor applied to the last W slices
+        // (including the k seeding bits).
+        let stream: Vec<u32> = (0..200).map(|i| u32::from(i % 5 < 2)).collect();
+        let extractor = SrExtractor::new(2).with_smoothing(0.1);
+        let mut estimator = WindowedEstimator::new(extractor, WindowKind::Sliding(40)).unwrap();
+        feed(&mut estimator, stream.iter().copied());
+        let online = estimator.fit().unwrap();
+        let offline = extractor.extract(&stream[stream.len() - 40..]).unwrap();
+        let (po, pf) = (
+            online.chain().transition_matrix(),
+            offline.chain().transition_matrix(),
+        );
+        for s in 0..4 {
+            for t in 0..4 {
+                assert!(
+                    (po.prob(s, t) - pf.prob(s, t)).abs() < 1e-12,
+                    "({s},{t}): online {} vs offline {}",
+                    po.prob(s, t),
+                    pf.prob(s, t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_window_forgets_the_old_regime() {
+        let extractor = SrExtractor::new(1).with_smoothing(0.5);
+        let mut estimator = WindowedEstimator::new(extractor, WindowKind::Sliding(50)).unwrap();
+        feed(&mut estimator, std::iter::repeat_n(1u32, 200));
+        let busy = estimator.fit().unwrap().request_rate().unwrap();
+        assert!(busy > 0.9, "busy rate {busy}");
+        feed(&mut estimator, std::iter::repeat_n(0u32, 200));
+        let idle = estimator.fit().unwrap().request_rate().unwrap();
+        assert!(idle < 0.1, "idle rate {idle}");
+        assert!(estimator.has_drifted(0.3));
+    }
+
+    #[test]
+    fn exponential_window_tracks_the_recent_regime() {
+        let extractor = SrExtractor::new(1).with_smoothing(0.5);
+        let mut estimator =
+            WindowedEstimator::new(extractor, WindowKind::Exponential(0.98)).unwrap();
+        feed(&mut estimator, std::iter::repeat_n(1u32, 300));
+        let busy = estimator.fit().unwrap().request_rate().unwrap();
+        feed(&mut estimator, std::iter::repeat_n(0u32, 300));
+        let idle = estimator.fit().unwrap().request_rate().unwrap();
+        assert!(busy > 0.9 && idle < 0.1, "busy {busy} idle {idle}");
+        assert!(estimator.divergence().unwrap() > 0.3);
+    }
+
+    #[test]
+    fn exponential_renormalization_is_transparent() {
+        // Force many renormalizations with a fast decay and check the
+        // fitted probabilities stay sane.
+        let extractor = SrExtractor::new(1).with_smoothing(0.1);
+        let mut a = WindowedEstimator::new(extractor, WindowKind::Exponential(0.5)).unwrap();
+        // 0.5^-1 per step: weight doubles, renormalizes every ~333 steps.
+        let stream: Vec<u32> = (0..2000).map(|i| (i % 2) as u32).collect();
+        feed(&mut a, stream.iter().copied());
+        let p = a.fit().unwrap();
+        // Alternating stream: P(0→1) and P(1→0) both near 1.
+        let t = p.chain().transition_matrix();
+        assert!(t.prob(0, 1) > 0.8, "P(0->1) = {}", t.prob(0, 1));
+        assert!(t.prob(1, 0) > 0.8, "P(1->0) = {}", t.prob(1, 0));
+    }
+
+    #[test]
+    fn stationary_stream_has_small_divergence() {
+        let extractor = SrExtractor::new(1).with_smoothing(1.0);
+        let mut estimator = WindowedEstimator::new(extractor, WindowKind::Sliding(500)).unwrap();
+        let stream: Vec<u32> = (0..3000).map(|i| u32::from(i % 4 == 0)).collect();
+        let mut worst: f64 = 0.0;
+        for (i, &c) in stream.iter().enumerate() {
+            estimator.observe(c);
+            if i > 600 && i % 200 == 0 {
+                estimator.fit().unwrap();
+                if let Some(d) = estimator.divergence() {
+                    worst = worst.max(d);
+                }
+            }
+        }
+        assert!(worst < 0.05, "stationary divergence {worst}");
+        assert!(!estimator.has_drifted(0.05));
+    }
+
+    #[test]
+    fn not_ready_until_a_transition_exists() {
+        let mut estimator =
+            WindowedEstimator::new(SrExtractor::new(3), WindowKind::Sliding(10)).unwrap();
+        feed(&mut estimator, [1, 0, 1]);
+        assert!(!estimator.is_ready());
+        assert!(estimator.fit().is_err());
+        estimator.observe(1);
+        assert!(estimator.is_ready());
+        assert!(estimator.fit().is_ok());
+        assert_eq!(estimator.divergence(), None);
+    }
+
+    #[test]
+    fn reset_restores_the_initial_state() {
+        let mut estimator =
+            WindowedEstimator::new(SrExtractor::new(1), WindowKind::Sliding(10)).unwrap();
+        feed(&mut estimator, [1, 1, 0, 1]);
+        estimator.fit().unwrap();
+        estimator.reset();
+        assert_eq!(estimator.observed(), 0);
+        assert!(!estimator.is_ready());
+        assert_eq!(estimator.divergence(), None);
+    }
+
+    #[test]
+    fn bad_configurations_are_rejected() {
+        assert!(WindowedEstimator::new(SrExtractor::new(3), WindowKind::Sliding(3)).is_err());
+        assert!(WindowedEstimator::new(SrExtractor::new(1), WindowKind::Exponential(1.0)).is_err());
+        assert!(WindowedEstimator::new(SrExtractor::new(1), WindowKind::Exponential(0.0)).is_err());
+        assert!(
+            WindowedEstimator::new(SrExtractor::new(1), WindowKind::Exponential(f64::NAN)).is_err()
+        );
+    }
+}

@@ -78,6 +78,36 @@ def warm_vs_cold_table(current):
         )
 
 
+def adaptive_table(current):
+    """Surfaces the `adaptive_runtime` headline record: the drifting-
+    workload policy comparison and the warm-reload accounting of the
+    closed adaptation loop."""
+    record = current.get("adaptive_runtime")
+    if record is None:
+        return
+    print("== online adaptation (adaptive_runtime) ==")
+    powers = [
+        ("static LP-optimal", "static_power_mw"),
+        ("adaptive", "adaptive_power_mw"),
+        ("timeout(20)", "timeout_power_mw"),
+        ("eager", "eager_power_mw"),
+    ]
+    for label, key in powers:
+        if key in record:
+            print(f"  {label:<20} {record[key] / 1e3:7.3f} W")
+    epochs = record.get("epochs")
+    warm = record.get("warm_reloads", float("nan"))
+    cold = record.get("cold_reloads", float("nan"))
+    if epochs is not None:
+        print(
+            f"  reloads: {warm:g} warm / {cold:g} cold over {epochs:g} epochs; "
+            f"pivots {record.get('warm_pivots', float('nan')):g} warm vs "
+            f"{record.get('cold_rebuild_pivots', float('nan')):g} cold-rebuild "
+            f"(resolve speedup {record.get('cold_over_warm_resolve_x', float('nan')):.2f}x)"
+        )
+    print()
+
+
 def pr_over_pr_table(current, previous, fail_over_pct):
     """Prints the comparison; returns the names that regressed beyond the
     threshold (always empty when no threshold is set)."""
@@ -139,6 +169,7 @@ def main(argv):
         return 0
     warm_vs_cold_table(current)
     print()
+    adaptive_table(current)
     regressed = pr_over_pr_table(current, previous, args.fail_over)
     if regressed:
         print()

@@ -19,7 +19,10 @@
 //! * [`sim`] — a slotted-time stochastic simulator (model- and trace-driven),
 //! * [`trace`] — workload traces, the k-memory SR extractor, generators,
 //! * [`policies`] — heuristic baselines (eager, timeout, randomized),
-//! * [`systems`] — the paper's case studies (disk, web server, CPU, toy).
+//! * [`systems`] — the paper's case studies (disk, web server, CPU, toy)
+//!   plus the nonstationary `drifting` scenario,
+//! * [`runtime`] — the closed-loop **online adaptation** runtime
+//!   (estimate → warm re-solve → hot-swap).
 //!
 //! # Building and testing
 //!
@@ -59,6 +62,68 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Online adaptation
+//!
+//! The paper's policies are computed offline from a *stationary* model;
+//! Section VII concedes that real workloads drift. The [`runtime`] crate
+//! closes the loop without giving up the LP-optimal core: an
+//! [`AdaptiveController`](runtime::AdaptiveController) owns a streaming
+//! [`WindowedEstimator`](trace::WindowedEstimator) (sliding or
+//! exponential-decay k-memory fits with drift detection), a standing
+//! occupation-LP session, and the currently active randomized policy.
+//! Every epoch it re-fits the workload model, **hot-swaps** the
+//! recomposed chain into the session
+//! ([`PreparedOptimization::update_model`](core::PreparedOptimization::update_model)
+//! → [`SolveSession::reload`](lp::SolveSession::reload)), and replaces
+//! the running policy with the re-solved one. Because a same-support
+//! refit keeps the LP's sparsity pattern, the swap is **warm**
+//! ([`ReloadKind::Warm`](lp::ReloadKind)): the revised simplex keeps its
+//! optimal basis, refactorizes the new coefficients, and repairs
+//! feasibility in a handful of pivots instead of a cold two-phase solve.
+//! The controller is an ordinary [`PowerManager`](sim::PowerManager), so
+//! it runs on the unmodified [`Simulator`](sim::Simulator) next to the
+//! static and heuristic baselines; on the regime-switching workload of
+//! [`systems::drifting`] it beats the static LP-optimal policy's power
+//! while every per-epoch solve respects the performance constraint (see
+//! `tests/adaptive_runtime.rs` and the `adaptive_runtime` benchmark).
+//!
+//! ```no_run
+//! use dpm::runtime::{AdaptiveConfig, AdaptiveController};
+//! use dpm::sim::{SimConfig, Simulator};
+//! use dpm::systems::drifting;
+//! use dpm::trace::KMemoryTracker;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = drifting::blended_system(7)?;
+//! let mut controller = AdaptiveController::new(
+//!     &system,
+//!     AdaptiveConfig::new()
+//!         .epoch_slices(drifting::EPOCH_SLICES)
+//!         .memory(drifting::MEMORY)
+//!         .horizon(drifting::HORIZON)
+//!         .max_performance_penalty(drifting::QUEUE_BOUND)
+//!         .max_request_loss_rate(drifting::LOSS_BOUND),
+//! )?;
+//! let trace = drifting::workload(100_000, 7);
+//! let stats = Simulator::new(
+//!     &system,
+//!     SimConfig::new(100_000).restart_probability(1.0 / drifting::HORIZON),
+//! )
+//! .run_trace(
+//!     &mut controller,
+//!     &trace,
+//!     &mut KMemoryTracker::new(drifting::MEMORY).tracker(),
+//! )?;
+//! println!(
+//!     "adaptive: {:.3} W over {} epochs ({} warm reloads)",
+//!     stats.average_power(),
+//!     controller.epochs().len(),
+//!     controller.warm_reloads(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
 
 pub use dpm_core as core;
 pub use dpm_linalg as linalg;
@@ -66,6 +131,7 @@ pub use dpm_lp as lp;
 pub use dpm_markov as markov;
 pub use dpm_mdp as mdp;
 pub use dpm_policies as policies;
+pub use dpm_runtime as runtime;
 pub use dpm_sim as sim;
 pub use dpm_systems as systems;
 pub use dpm_trace as trace;

@@ -84,12 +84,7 @@ fn disk_optimal_dominates_heuristics_at_matched_performance() {
     let m = system.num_commands();
     let mut eager = EagerPolicy::new(&system, 0, 1);
     let mut rng = rand::rngs::mock::StepRng::new(0, 1);
-    let observe = |i: usize| Observation {
-        state: system.state_of(i),
-        state_index: i,
-        slice: 0,
-        idle_slices: 0,
-    };
+    let observe = |i: usize| Observation::new(system.state_of(i), i, 0, 0);
     let decisions: Vec<Vec<f64>> = (0..n)
         .map(|i| {
             let mut row = vec![0.0; m];
