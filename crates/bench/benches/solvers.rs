@@ -7,7 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpm_core::{CostMetric, OptimizationGoal, PolicyOptimizer, SolverKind};
 use dpm_lp::{
-    BasisUpdate, ConstraintOp, InteriorPoint, LinearProgram, LpSolver, RevisedSimplex, Simplex,
+    BasisUpdate, ConstraintOp, InteriorPoint, LinearProgram, LpSolver, PricingRule, RevisedSimplex,
+    Simplex,
 };
 use dpm_mdp::{DiscountedMdp, OccupationLp};
 use dpm_systems::{appendix_b, disk, toy};
@@ -151,8 +152,16 @@ fn scaled_occupation_lp(sleeps: usize, queue_capacity: usize) -> (usize, LinearP
 
 use dpm_bench::time_median_ns as time_median;
 
+/// Full-size instances (the 4018-state `scaled(48, 40)` class) only run
+/// when explicitly requested: CI's per-PR smoke keeps to the 208- and
+/// 1050-state sizes, the release-gated job exports this variable.
+fn full_sizes() -> bool {
+    std::env::var_os("DPM_BENCH_FULL").is_some()
+}
+
 /// Records one revised-simplex solve of `lp` under `update`, attaching
-/// the factorization counters from a session solve to the JSON record.
+/// the factorization and pricing counters from a session solve to the
+/// JSON record.
 fn bench_revised(
     group: &mut criterion::BenchmarkGroup<'_>,
     name: &str,
@@ -176,7 +185,95 @@ fn bench_revised(
         b.counter("refactorizations", report.refactorizations as f64);
         b.counter("basis_updates", report.basis_updates as f64);
         b.counter("fill_in_nnz", report.fill_in_nnz as f64);
+        b.counter("pricing_candidates", report.pricing_candidates as f64);
+        b.counter("devex_resets", report.devex_resets as f64);
     });
+}
+
+/// Records one cold solve of `lp` under an explicit pricing rule with the
+/// pivot/pricing-effort counters attached.
+fn bench_priced(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    rule: PricingRule,
+    states: usize,
+    lp: &LinearProgram,
+) {
+    group.bench_with_input(BenchmarkId::new(format!("{rule}"), states), lp, |b, lp| {
+        b.iter(|| {
+            RevisedSimplex::new()
+                .with_pricing(rule)
+                .solve(lp)
+                .expect("instance solves under every pricing rule")
+        });
+        let mut session = RevisedSimplex::new()
+            .with_pricing(rule)
+            .start(lp)
+            .expect("valid program");
+        let (_, report) = session.solve().expect("feasible instance");
+        b.counter("pivots", report.iterations as f64);
+        b.counter("pricing_candidates", report.pricing_candidates as f64);
+        b.counter("devex_resets", report.devex_resets as f64);
+        b.counter("refactorizations", report.refactorizations as f64);
+    });
+}
+
+fn bench_pricing_rules(c: &mut Criterion) {
+    // The tentpole claim of the devex/partial-pricing work: Dantzig's
+    // full-scan pricing (one sparse dot per nonbasic column per pivot)
+    // dominates cold-solve time on the occupation LPs, so devex over a
+    // bounded candidate list wins by a growing factor as the state space
+    // scales. Each record carries pivot and pricing-effort counters, so
+    // `scripts/bench_compare.py` can show scan-work alongside wall time.
+    let mut group = c.benchmark_group("pricing_rules");
+    group.sample_size(10);
+
+    for &(sleeps, queue) in &[(12usize, 7usize), (24, 20)] {
+        let (states, lp) = scaled_occupation_lp(sleeps, queue);
+        for rule in [PricingRule::Devex, PricingRule::Dantzig] {
+            bench_priced(&mut group, rule, states, &lp);
+        }
+    }
+
+    // The ≥2× acceptance ratio at the 1050-state instance, recorded as a
+    // counter so PR-over-PR tables track it.
+    let (states, lp) = scaled_occupation_lp(24, 20);
+    let devex_over_dantzig = time_median(|| {
+        RevisedSimplex::new()
+            .with_pricing(PricingRule::Dantzig)
+            .solve(&lp)
+            .expect("dantzig solves")
+    }) / time_median(|| {
+        RevisedSimplex::new()
+            .with_pricing(PricingRule::Devex)
+            .solve(&lp)
+            .expect("devex solves")
+    });
+    println!(
+        "pricing_rules: devex speedup over dantzig at {states} states: {devex_over_dantzig:.2}x"
+    );
+    group.bench_with_input(BenchmarkId::new("devex-speedup", states), &lp, |b, lp| {
+        b.iter(|| {
+            RevisedSimplex::new()
+                .with_pricing(PricingRule::Devex)
+                .solve(lp)
+                .expect("devex solves")
+        });
+        b.counter("devex_over_dantzig_x", devex_over_dantzig);
+    });
+
+    // The scaled(48, 40) class: 49 SP × 2 SR × 41 SQ = 4018 states and
+    // 196 882 state–action variables. Until devex pricing landed this
+    // size did not finish inside any reasonable bench budget (Dantzig
+    // alone scans ~10⁹ columns); it now cold-solves in seconds, but only
+    // the release-gated full run times it.
+    if full_sizes() {
+        let (states, lp) = scaled_occupation_lp(48, 40);
+        assert!(states >= 4000, "full-size instance shrank to {states}");
+        for rule in [PricingRule::Devex, PricingRule::Dantzig] {
+            bench_priced(&mut group, rule, states, &lp);
+        }
+    }
+    group.finish();
 }
 
 fn bench_sparse_occupation(c: &mut Criterion) {
@@ -199,10 +296,10 @@ fn bench_sparse_occupation(c: &mut Criterion) {
     // variables with >99% sparse balance rows. Three records: the sparse
     // Markowitz-LU engine with Forrest–Tomlin updates (the default,
     // `revised-simplex`), the same pivots through the PR-3 dense-LU + eta
-    // basis path (`revised-simplex-dense-lu`), and the dense tableau's
-    // DNF record (it does not terminate within hundreds of thousands of
-    // pivots, so its record is the time to burn an explicit 10 000-pivot
-    // budget *without* solving — a hard lower bound, labeled as such).
+    // basis path (`revised-simplex-dense-lu`), and the dense tableau
+    // (`simplex`), which used to DNF here with >3×10⁵ degenerate pivots
+    // and now solves in a few hundred thanks to steepest-edge pricing and
+    // the largest-pivot ratio-test tie-break.
     let (states, lp) = scaled_occupation_lp(12, 7);
     bench_revised(
         &mut group,
@@ -239,16 +336,17 @@ fn bench_sparse_occupation(c: &mut Criterion) {
             b.counter("sparse_over_dense_lu_x", sparse_over_dense);
         },
     );
-    group.bench_with_input(
-        BenchmarkId::new("simplex-dnf-10k-pivot-budget", states),
-        &lp,
-        |b, lp| {
-            b.iter(|| {
-                // IterationLimit is the expected outcome being measured.
-                let _ = Simplex::new().max_iterations(10_000).solve(lp);
-            })
-        },
-    );
+    group.bench_with_input(BenchmarkId::new("simplex", states), &lp, |b, lp| {
+        b.iter(|| {
+            let s = Simplex::new()
+                .solve(lp)
+                .expect("dense tableau now solves 208 states");
+            assert!(
+                lp.max_violation(s.x()) < 1e-7,
+                "dense solution must be feasible"
+            );
+        })
+    });
 
     // The ≥1000-state scale-up the sparse factorization unlocks:
     // scaled(24, 20) composes 25 SP × 2 SR × 21 SQ = 1050 states and 25
@@ -283,6 +381,19 @@ fn bench_sparse_occupation(c: &mut Criterion) {
             })
         },
     );
+
+    // The scaled(48, 40)-class instance (4018 states, 196 882 variables)
+    // that devex pricing unlocked; full runs only, see `full_sizes`.
+    if full_sizes() {
+        let (states, lp) = scaled_occupation_lp(48, 40);
+        bench_revised(
+            &mut group,
+            "revised-simplex",
+            states,
+            &lp,
+            BasisUpdate::ForrestTomlin,
+        );
+    }
     group.finish();
 }
 
@@ -292,6 +403,7 @@ criterion_group!(
     bench_disk_policy_optimization,
     bench_toy_policy_optimization,
     bench_state_space_scaling,
+    bench_pricing_rules,
     bench_sparse_occupation
 );
 criterion_main!(benches);

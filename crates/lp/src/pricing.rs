@@ -1,0 +1,148 @@
+//! Pricing rules for the revised simplex: how the entering column is
+//! chosen on each primal pivot.
+//!
+//! Dantzig pricing computes one sparse dot product per nonbasic column
+//! per pivot — on the occupation-measure LPs (tens of thousands of
+//! columns over a few thousand rows) that full scan, not the basis
+//! factorization, dominates solve time. [`PricingRule::Devex`] replaces
+//! it with **devex pricing over a cyclically-scanned candidate list**:
+//! reference-framework weights approximate steepest-edge column norms at
+//! one extra BTRAN per pivot, and each pricing pass touches only a small
+//! candidate slice of the columns, rebuilding the list from a cyclic
+//! cursor when it runs dry. Optimality is still certified exactly — the
+//! rebuild scan must wrap the full column range and find nothing — so
+//! every rule reaches the same optima (the property suites cross-check
+//! them).
+
+/// How the revised simplex prices entering columns
+/// ([`RevisedSimplex::with_pricing`](crate::RevisedSimplex::with_pricing)).
+///
+/// All rules find the same optima; they differ in how much pricing work
+/// each pivot costs and how many pivots the solve needs:
+///
+/// * [`Devex`](PricingRule::Devex) (default) — reference-framework
+///   weights over a bounded candidate list; the fastest on large sparse
+///   programs, where Dantzig's full scan dominates solve time.
+/// * [`Dantzig`](PricingRule::Dantzig) — most negative reduced cost over
+///   a full scan; the classic rule, kept selectable for cross-checks and
+///   for small programs where scan cost is irrelevant.
+/// * [`Bland`](PricingRule::Bland) — smallest-index improving column;
+///   guaranteed termination, used as the automatic anti-cycling fallback
+///   of the other two when the objective stalls.
+///
+/// ```
+/// use dpm_lp::{ConstraintOp, LinearProgram, LpSolver, PricingRule, RevisedSimplex};
+///
+/// # fn main() -> Result<(), dpm_lp::LpError> {
+/// let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+/// lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)?;
+/// lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)?;
+/// lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)?;
+/// // Devex is the default; every rule reaches the same optimum.
+/// for rule in [PricingRule::Devex, PricingRule::Dantzig, PricingRule::Bland] {
+///     let s = RevisedSimplex::new().with_pricing(rule).solve(&lp)?;
+///     assert!((s.objective() - 36.0).abs() < 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PricingRule {
+    /// Devex pricing (Harris' reference framework) over a cyclic
+    /// candidate list — the default.
+    #[default]
+    Devex,
+    /// Dantzig pricing: most negative reduced cost, full scan, with
+    /// automatic Bland fallback on objective stall.
+    Dantzig,
+    /// Bland's rule: smallest-index improving column, full scan.
+    /// Terminates on any program, including cycling-prone ones.
+    Bland,
+}
+
+impl std::fmt::Display for PricingRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PricingRule::Devex => write!(f, "devex"),
+            PricingRule::Dantzig => write!(f, "dantzig"),
+            PricingRule::Bland => write!(f, "bland"),
+        }
+    }
+}
+
+/// Weights above this trigger a reference-framework reset: the devex
+/// approximation has drifted too far from the steepest-edge norms it
+/// tracks to rank columns meaningfully (counted in
+/// [`SolveReport::devex_resets`](crate::SolveReport::devex_resets)).
+pub(crate) const DEVEX_WEIGHT_LIMIT: f64 = 1e7;
+
+/// Per-`optimize()` devex pricing state: reference-framework weights, the
+/// current candidate list and the cyclic rebuild cursor.
+///
+/// Built fresh for every primal pivot loop — a phase switch, a
+/// dual-simplex repair, or a session `reload` therefore starts from a
+/// clean reference framework (weights 1), which is exactly the
+/// invalidation the rule requires after the basis changed under it.
+#[derive(Debug)]
+pub(crate) struct Devex {
+    /// Reference-framework weight per structural column (≥ 1).
+    pub(crate) weights: Vec<f64>,
+    /// Columns that priced negative on a recent pass; pruned as they go
+    /// basic, get banned, or stop improving.
+    pub(crate) candidates: Vec<usize>,
+    /// Where the next candidate-list rebuild resumes its cyclic scan.
+    pub(crate) cursor: usize,
+    /// Upper bound on the candidate list length (≈ √n, clamped).
+    pub(crate) target: usize,
+}
+
+impl Devex {
+    pub(crate) fn new(num_structural: usize) -> Self {
+        let target = ((num_structural as f64).sqrt().ceil() as usize).clamp(8, 512);
+        Devex {
+            weights: vec![1.0; num_structural],
+            candidates: Vec::with_capacity(target),
+            cursor: 0,
+            target,
+        }
+    }
+
+    /// Starts a new reference framework: all weights back to 1. The
+    /// candidate list and cursor survive — their scores are recomputed on
+    /// the next pricing pass anyway.
+    pub(crate) fn reset(&mut self) {
+        self.weights.fill(1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_devex() {
+        assert_eq!(PricingRule::default(), PricingRule::Devex);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PricingRule::Devex.to_string(), "devex");
+        assert_eq!(PricingRule::Dantzig.to_string(), "dantzig");
+        assert_eq!(PricingRule::Bland.to_string(), "bland");
+    }
+
+    #[test]
+    fn candidate_target_scales_with_sqrt_and_clamps() {
+        assert_eq!(Devex::new(4).target, 8); // clamped up
+        assert_eq!(Devex::new(10_000).target, 100);
+        assert_eq!(Devex::new(1_000_000).target, 512); // clamped down
+    }
+
+    #[test]
+    fn reset_restores_unit_weights() {
+        let mut dx = Devex::new(3);
+        dx.weights[1] = 5e9;
+        dx.reset();
+        assert_eq!(dx.weights, vec![1.0; 3]);
+    }
+}

@@ -30,18 +30,29 @@
 //! against Forrest–Tomlin in the test suites, the latter kept as the
 //! benchmark baseline the sparse engine is measured against. Whatever
 //! the update scheme, every [`RevisedSimplex::refactor_interval`] pivots
-//! (default 64) the basis is refactorized from the original sparse
+//! (default 128) the basis is refactorized from the original sparse
 //! columns, flushing accumulated roundoff and update fill.
 //!
-//! Pricing is Dantzig (most negative reduced cost) with an automatic
-//! fallback to Bland's rule when the objective stalls, mirroring the
-//! dense engine's anti-cycling protection.
+//! # Pricing
+//!
+//! The default pricing is **devex over a cyclic candidate list**
+//! ([`PricingRule::Devex`]): reference-framework weights approximate
+//! steepest-edge column norms (one extra BTRAN per pivot, reset when the
+//! weights drift), and each pricing pass touches a bounded candidate
+//! slice of the nonbasic columns instead of scanning them all — on the
+//! large occupation LPs the full Dantzig scan, not the factorization, is
+//! what dominates solve time. Dantzig and Bland stay selectable through
+//! [`RevisedSimplex::with_pricing`] for cross-checks; every rule falls
+//! back to Bland's rule automatically when the objective stalls,
+//! mirroring the dense engine's anti-cycling protection. See
+//! `docs/SOLVERS.md` for when each rule wins.
 
 use dpm_linalg::{LuDecomposition, Matrix, SparseLu};
 
+use crate::pricing::{Devex, DEVEX_WEIGHT_LIMIT};
 use crate::session::{same_shape, InfeasibilityCertificate, ReloadKind, SolveReport};
 use crate::simplex::PivotRule;
-use crate::{LinearProgram, LpError, LpSolution, LpSolver, SolveSession};
+use crate::{LinearProgram, LpError, LpSolution, LpSolver, PricingRule, SolveSession};
 
 /// How the revised simplex maintains its basis factorization between
 /// refactorizations.
@@ -88,7 +99,7 @@ pub enum BasisUpdate {
 /// ```
 #[derive(Debug, Clone)]
 pub struct RevisedSimplex {
-    pivot_rule: PivotRule,
+    pricing: PricingRule,
     max_iterations: usize,
     tolerance: f64,
     refactor_interval: usize,
@@ -102,22 +113,56 @@ impl Default for RevisedSimplex {
 }
 
 impl RevisedSimplex {
-    /// Creates a solver with default settings (Dantzig pricing with Bland
-    /// fallback, tolerance `1e-9`, sparse LU with Forrest–Tomlin updates,
-    /// refactorization every 64 pivots).
+    /// Creates a solver with default settings (devex pricing over a
+    /// candidate list with Bland fallback, tolerance `1e-9`, sparse LU
+    /// with Forrest–Tomlin updates, refactorization every 128 pivots).
     pub fn new() -> Self {
         RevisedSimplex {
-            pivot_rule: PivotRule::default(),
+            pricing: PricingRule::default(),
             max_iterations: 50_000,
             tolerance: 1e-9,
-            refactor_interval: 64,
+            refactor_interval: 128,
             basis_update: BasisUpdate::default(),
         }
     }
 
-    /// Sets the pivot rule.
+    /// Selects the pricing rule for the primal pivot loops (see
+    /// [`PricingRule`] for when each wins). The default is
+    /// [`PricingRule::Devex`].
+    ///
+    /// ```
+    /// use dpm_lp::{ConstraintOp, LinearProgram, LpSolver, PricingRule, RevisedSimplex};
+    ///
+    /// # fn main() -> Result<(), dpm_lp::LpError> {
+    /// let mut lp = LinearProgram::minimize(&[-1.0, -2.0]);
+    /// lp.add_constraint(&[1.0, 1.0], ConstraintOp::Le, 4.0)?;
+    /// lp.add_sparse_constraint(&[(1, 1.0)], ConstraintOp::Le, 2.0)?;
+    /// // Cross-check the default devex answer against Dantzig pricing.
+    /// let devex = RevisedSimplex::new().solve(&lp)?;
+    /// let dantzig = RevisedSimplex::new()
+    ///     .with_pricing(PricingRule::Dantzig)
+    ///     .solve(&lp)?;
+    /// assert!((devex.objective() - dantzig.objective()).abs() < 1e-9);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn with_pricing(mut self, rule: PricingRule) -> Self {
+        self.pricing = rule;
+        self
+    }
+
+    /// Sets the pivot rule in the dense engine's vocabulary, mapped onto
+    /// the equivalent [`PricingRule`]
+    /// ([`DantzigWithBlandFallback`](PivotRule::DantzigWithBlandFallback)
+    /// → [`PricingRule::Dantzig`], which keeps the automatic Bland
+    /// fallback). Kept so code written against the pre-devex engine
+    /// compiles unchanged; new code should use [`Self::with_pricing`].
     pub fn pivot_rule(mut self, rule: PivotRule) -> Self {
-        self.pivot_rule = rule;
+        self.pricing = match rule {
+            PivotRule::SteepestEdge => PricingRule::Devex,
+            PivotRule::DantzigWithBlandFallback => PricingRule::Dantzig,
+            PivotRule::Bland => PricingRule::Bland,
+        };
         self
     }
 
@@ -163,12 +208,12 @@ impl RevisedSimplex {
         let mut iterations = 0;
 
         if core.num_artificial > 0 {
-            iterations += core.optimize(Phase::One, self.pivot_rule, self.max_iterations)?;
+            iterations += core.optimize(Phase::One, self.pricing, self.max_iterations)?;
             if core.phase1_objective() > self.tolerance.max(1e-7) {
                 return Err(LpError::Infeasible);
             }
         }
-        iterations += core.optimize(Phase::Two, self.pivot_rule, self.max_iterations)?;
+        iterations += core.optimize(Phase::Two, self.pricing, self.max_iterations)?;
 
         let solution = core.extract_solution(lp, iterations)?;
         Ok((solution, core))
@@ -298,6 +343,13 @@ struct Core {
     refactorizations: usize,
     /// Lifetime in-place basis-update count, for [`SolveReport`]s.
     basis_updates: usize,
+    /// Lifetime count of reduced-cost evaluations — primal pricing
+    /// passes, candidate-list rebuilds, dual ratio tests — for
+    /// [`SolveReport::pricing_candidates`].
+    priced_columns: usize,
+    /// Lifetime devex reference-framework resets, for
+    /// [`SolveReport::devex_resets`].
+    devex_resets: usize,
     /// Largest factor fill-in observed since [`Self::reset_peak_fill`] —
     /// updated after every refactorization *and* every Forrest–Tomlin
     /// update, so update-chain fill is visible even though extraction
@@ -389,6 +441,8 @@ impl Core {
             pivots: 0,
             refactorizations: 0,
             basis_updates: 0,
+            priced_columns: 0,
+            devex_resets: 0,
             peak_fill: 0,
         };
         core.refactor()?;
@@ -642,14 +696,139 @@ impl Core {
         leaving.map(|p| (p, best_ratio))
     }
 
+    /// Reduced cost of column `j` against the duals `y` under `phase`.
+    #[inline]
+    fn reduced_cost(&self, phase: Phase, y: &[f64], j: usize) -> f64 {
+        let mut rc = self.phase_cost(phase, j);
+        for &(i, v) in &self.cols[j] {
+            rc -= y[i] * v;
+        }
+        rc
+    }
+
+    /// Full-scan pricing (Dantzig, or Bland when `bland` is set): the
+    /// entering column plus how many columns were priced.
+    fn price_full(
+        &self,
+        phase: Phase,
+        y: &[f64],
+        banned: &[bool],
+        bland: bool,
+    ) -> (Option<usize>, usize) {
+        let mut scanned = 0usize;
+        let mut entering: Option<usize> = None;
+        let mut best = -self.tol;
+        for (j, &is_banned) in banned.iter().enumerate() {
+            if self.is_basic[j] || is_banned {
+                continue;
+            }
+            scanned += 1;
+            let rc = self.reduced_cost(phase, y, j);
+            if bland {
+                if rc < -self.tol {
+                    entering = Some(j);
+                    break;
+                }
+            } else if rc < best {
+                best = rc;
+                entering = Some(j);
+            }
+        }
+        (entering, scanned)
+    }
+
+    /// Devex pricing over the candidate list — classic major/minor
+    /// partial pricing. **Minor** passes re-price only the surviving
+    /// candidates and pick the best devex score `rc²/w`; when the list
+    /// runs dry a **major** pass rebuilds it, scanning every nonbasic
+    /// column cyclically from the cursor and keeping the `target` best
+    /// scores. A `None` return therefore means a full scan found no
+    /// negative reduced cost — the same exact optimality certificate the
+    /// full-scan rules give. The scan cost of a major pass is amortized
+    /// over the many pivots its candidate list feeds.
+    fn price_devex(
+        &self,
+        phase: Phase,
+        y: &[f64],
+        banned: &[bool],
+        dx: &mut Devex,
+    ) -> (Option<usize>, usize) {
+        let mut scanned = 0usize;
+        let mut best: Option<(usize, f64)> = None;
+        // Minor pass: the current candidate list, pruning columns that
+        // went basic, got banned, or no longer price negative.
+        let mut k = 0;
+        while k < dx.candidates.len() {
+            let j = dx.candidates[k];
+            if self.is_basic[j] || banned[j] {
+                dx.candidates.swap_remove(k);
+                continue;
+            }
+            scanned += 1;
+            let rc = self.reduced_cost(phase, y, j);
+            if rc < -self.tol {
+                let score = rc * rc / dx.weights[j];
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((j, score));
+                }
+                k += 1;
+            } else {
+                dx.candidates.swap_remove(k);
+            }
+        }
+        if best.is_some() {
+            return (best.map(|(j, _)| j), scanned);
+        }
+        // Major pass: full cyclic scan, keeping the `target` best devex
+        // scores. Selecting the best-scoring columns (not the first
+        // improving ones) is what keeps the pivot count at full-pricing
+        // quality; the cursor start only rotates tie-breaking.
+        let n = self.num_structural;
+        let mut pool: Vec<(usize, f64)> = Vec::new();
+        for _ in 0..n {
+            let j = dx.cursor;
+            dx.cursor = (dx.cursor + 1) % n;
+            if self.is_basic[j] || banned[j] {
+                continue;
+            }
+            scanned += 1;
+            let rc = self.reduced_cost(phase, y, j);
+            if rc < -self.tol {
+                pool.push((j, rc * rc / dx.weights[j]));
+            }
+        }
+        if pool.len() > dx.target {
+            pool.select_nth_unstable_by(dx.target - 1, |a, b| b.1.total_cmp(&a.1));
+            pool.truncate(dx.target);
+        }
+        dx.candidates.clear();
+        for &(j, score) in &pool {
+            dx.candidates.push(j);
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((j, score));
+            }
+        }
+        (best.map(|(j, _)| j), scanned)
+    }
+
     /// The main pivot loop for one phase. Returns the pivot count.
+    ///
+    /// Devex state lives only inside this call: weights start at 1 (a
+    /// fresh reference framework) and die with the loop, so phase
+    /// switches, dual-simplex repairs and session reloads — all of which
+    /// move the basis between `optimize` calls — can never price against
+    /// stale weights.
     fn optimize(
         &mut self,
         phase: Phase,
-        rule: PivotRule,
+        pricing: PricingRule,
         max_iter: usize,
     ) -> Result<usize, LpError> {
-        let mut use_bland = rule == PivotRule::Bland;
+        let mut use_bland = pricing == PricingRule::Bland;
+        let mut devex = match pricing {
+            PricingRule::Devex => Some(Devex::new(self.num_structural)),
+            PricingRule::Dantzig | PricingRule::Bland => None,
+        };
         let stall_limit = 4 * (self.m + self.num_structural).max(64);
         let mut stall = 0usize;
         let mut last_obj = f64::INFINITY;
@@ -660,29 +839,27 @@ impl Core {
         let mut banned_any = false;
         let mut refreshed_for_bans = false;
 
+        // Duals y = B⁻ᵀ c_B. The full-scan rules recompute them from
+        // scratch every pivot; devex updates them incrementally from the
+        // ρ vector its weight update needs anyway (y' = y + (rc_q/α)·ρ,
+        // exact for any basis-maintenance scheme), re-deriving from
+        // scratch on every refactorization to flush accumulated roundoff.
+        // Net triangular solves per devex pivot: one BTRAN + one FTRAN —
+        // the same as Dantzig, on a fraction of the pricing work.
+        let mut y = self.btran(&self.basic_costs(phase))?;
+        let mut y_stale = false;
+
         for iter in 0..max_iter {
-            // Pricing: y = B⁻ᵀ c_B, then one sparse dot per candidate.
-            let y = self.btran(&self.basic_costs(phase))?;
-            let mut entering: Option<usize> = None;
-            let mut best = -self.tol;
-            for (j, &is_banned) in banned.iter().enumerate() {
-                if self.is_basic[j] || is_banned {
-                    continue;
-                }
-                let mut rc = self.phase_cost(phase, j);
-                for &(i, v) in &self.cols[j] {
-                    rc -= y[i] * v;
-                }
-                if use_bland {
-                    if rc < -self.tol {
-                        entering = Some(j);
-                        break;
-                    }
-                } else if rc < best {
-                    best = rc;
-                    entering = Some(j);
-                }
+            if y_stale || devex.is_none() {
+                y = self.btran(&self.basic_costs(phase))?;
+                y_stale = false;
             }
+            let (entering, scanned) = match (&mut devex, use_bland) {
+                (_, true) => self.price_full(phase, &y, &banned, true),
+                (Some(dx), false) => self.price_devex(phase, &y, &banned, dx),
+                (None, false) => self.price_full(phase, &y, &banned, false),
+            };
+            self.priced_columns += scanned;
             let Some(q) = entering else {
                 if !banned_any {
                     return Ok(iter);
@@ -698,6 +875,7 @@ impl Core {
                 banned.fill(false);
                 banned_any = false;
                 refreshed_for_bans = true;
+                y_stale = true;
                 continue;
             };
 
@@ -722,6 +900,7 @@ impl Core {
             if d[p].abs() < PIVOT_MIN {
                 if !self.is_fresh() {
                     self.refactor()?;
+                    y_stale = true;
                     d = self.ftran(&aq)?;
                     match self.choose_leaving(phase, &d, use_bland) {
                         None => return Err(LpError::Unbounded),
@@ -737,6 +916,52 @@ impl Core {
                     continue;
                 }
             }
+            let out = self.basis[p];
+
+            // Devex reference-framework update, against the *pre-pivot*
+            // factors: ρ = B⁻ᵀe_p gives the pivot-row entries α_j = ρ·a_j
+            // for exactly the candidate columns — the only weights the
+            // partial-pricing scheme maintains — plus the leaving column.
+            // With α = d[p]: w_j ← max(w_j, (α_j/α)²·w_q), w_out ←
+            // max(1, w_q/α²).
+            if let Some(dx) = devex.as_mut() {
+                let mut e_p = vec![0.0; self.m];
+                e_p[p] = 1.0;
+                let rho = self.btran(&e_p)?;
+                let alpha2 = d[p] * d[p];
+                let wq = dx.weights[q].max(1.0);
+                let mut drifted = false;
+                for &j in &dx.candidates {
+                    if j == q {
+                        continue;
+                    }
+                    let mut aj = 0.0;
+                    for &(i, v) in &self.cols[j] {
+                        aj += rho[i] * v;
+                    }
+                    let candidate = wq * (aj * aj) / alpha2;
+                    if candidate > dx.weights[j] {
+                        dx.weights[j] = candidate;
+                        drifted |= candidate > DEVEX_WEIGHT_LIMIT;
+                    }
+                }
+                // A leaving artificial gets no weight: it never re-enters
+                // (and carries no slot in the structural weight vector).
+                if out < self.num_structural {
+                    dx.weights[out] = (wq / alpha2).max(1.0);
+                    drifted |= dx.weights[out] > DEVEX_WEIGHT_LIMIT;
+                }
+                if drifted {
+                    dx.reset();
+                    self.devex_resets += 1;
+                }
+                // Incremental dual update along ρ (see above): y stays
+                // exact across the pivot without a second BTRAN.
+                let theta = self.reduced_cost(phase, &y, q) / d[p];
+                for (yi, &ri) in y.iter_mut().zip(&rho) {
+                    *yi += theta * ri;
+                }
+            }
 
             // Apply the pivot: update basic values, basis bookkeeping,
             // and repair the factorization (Forrest–Tomlin update, eta
@@ -745,11 +970,16 @@ impl Core {
                 *xi -= di * ratio;
             }
             self.x_b[p] = ratio;
-            let out = self.basis[p];
             self.is_basic[out] = false;
             self.is_basic[q] = true;
             self.basis[p] = q;
             self.absorb_pivot(p, q, d)?;
+            if self.is_fresh() {
+                // The pivot was absorbed by a refactorization (update
+                // budget spent, or a singular in-place update): flush the
+                // incremental duals' roundoff along with the factors'.
+                y_stale = true;
+            }
             if banned_any {
                 banned.fill(false);
                 banned_any = false;
@@ -873,18 +1103,15 @@ impl Core {
 
     /// `true` when every nonbasic structural column prices nonnegative
     /// under the phase-2 costs — the precondition for the dual simplex.
-    fn is_dual_feasible(&self) -> Result<bool, LpError> {
+    fn is_dual_feasible(&mut self) -> Result<bool, LpError> {
         let y = self.btran(&self.basic_costs(Phase::Two))?;
         let slack = self.tol.max(1e-7);
         for j in 0..self.num_structural {
             if self.is_basic[j] {
                 continue;
             }
-            let mut rc = self.phase_cost(Phase::Two, j);
-            for &(i, v) in &self.cols[j] {
-                rc -= y[i] * v;
-            }
-            if rc < -slack {
+            self.priced_columns += 1;
+            if self.reduced_cost(Phase::Two, &y, j) < -slack {
                 return Ok(false);
             }
         }
@@ -979,6 +1206,7 @@ impl Core {
                 if self.is_basic[j] {
                     continue;
                 }
+                self.priced_columns += 1;
                 let mut alpha = 0.0;
                 let mut rc = self.phase_cost(Phase::Two, j);
                 for &(i, v) in &self.cols[j] {
@@ -1085,6 +1313,8 @@ struct EffortMark {
     pivots: usize,
     refactorizations: usize,
     basis_updates: usize,
+    priced_columns: usize,
+    devex_resets: usize,
 }
 
 impl EffortMark {
@@ -1094,6 +1324,8 @@ impl EffortMark {
             pivots: core.pivots,
             refactorizations: core.refactorizations,
             basis_updates: core.basis_updates,
+            priced_columns: core.priced_columns,
+            devex_resets: core.devex_resets,
         }
     }
 
@@ -1101,6 +1333,8 @@ impl EffortMark {
         report.iterations = core.pivots - self.pivots;
         report.refactorizations = core.refactorizations - self.refactorizations;
         report.basis_updates = core.basis_updates - self.basis_updates;
+        report.pricing_candidates = core.priced_columns - self.priced_columns;
+        report.devex_resets = core.devex_resets - self.devex_resets;
         report.fill_in_nnz = core.peak_fill();
         report.basis_signature = core.basis_signature();
     }
@@ -1122,11 +1356,7 @@ impl RevisedSession {
             // tolerance-level dual infeasibility the dual loop left; at
             // an already-optimal basis this prices once and pivots zero
             // times.
-            core.optimize(
-                Phase::Two,
-                self.config.pivot_rule,
-                self.config.max_iterations,
-            )?;
+            core.optimize(Phase::Two, self.config.pricing, self.config.max_iterations)?;
             core.extract_solution(&self.lp, core.pivots - mark.pivots)
         })();
         mark.stamp(core, report);
@@ -1175,11 +1405,7 @@ impl RevisedSession {
             // feasibility) from the now primal-feasible basis; at an
             // already-optimal basis this prices once and pivots zero
             // times.
-            core.optimize(
-                Phase::Two,
-                self.config.pivot_rule,
-                self.config.max_iterations,
-            )?;
+            core.optimize(Phase::Two, self.config.pricing, self.config.max_iterations)?;
             core.extract_solution(&self.lp, core.pivots - mark.pivots)
         })();
         mark.stamp(core, report);
@@ -1196,6 +1422,8 @@ impl RevisedSession {
                 report.iterations = core.pivots;
                 report.refactorizations = core.refactorizations;
                 report.basis_updates = core.basis_updates;
+                report.pricing_candidates = core.priced_columns;
+                report.devex_resets = core.devex_resets;
                 report.fill_in_nnz = core.peak_fill();
                 report.basis_signature = core.basis_signature();
                 self.core = Some(core);

@@ -87,7 +87,38 @@ impl std::fmt::Display for ReloadKind {
 /// Returned alongside every session solution and retained (including for
 /// *failed* solves) in [`SolveSession::last_report`], so sweep drivers can
 /// record per-point solver effort — the warm-vs-cold accounting the
-/// `pareto_sweep` benchmark tracks.
+/// `pareto_sweep` benchmark tracks. Counters are **per solve**: each call
+/// reports its own deltas, never lifetime session totals (see
+/// `docs/SOLVERS.md` for the full field semantics).
+///
+/// The pricing counters expose what the entering-column rule paid for the
+/// answer — partial pricing shows up as far fewer
+/// [`pricing_candidates`](Self::pricing_candidates) per pivot than a
+/// full-scan rule would need:
+///
+/// ```
+/// use dpm_lp::{ConstraintOp, LinearProgram, LpSolver, RevisedSimplex};
+///
+/// # fn main() -> Result<(), dpm_lp::LpError> {
+/// let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+/// lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)?;
+/// lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)?;
+/// lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)?;
+/// let mut session = RevisedSimplex::new().start(&lp)?;
+/// let (_, report) = session.solve()?;
+/// // Devex (the default) priced some columns to find its pivots ...
+/// assert!(report.pricing_candidates > 0);
+/// // ... and this tiny well-scaled program never drifted the weights.
+/// assert_eq!(report.devex_resets, 0);
+///
+/// // An already-optimal warm re-solve prices once and pivots zero times.
+/// let (_, warm) = session.solve()?;
+/// assert!(warm.warm_start);
+/// assert_eq!(warm.iterations, 0);
+/// assert!(warm.pricing_candidates > 0);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveReport {
     /// Engine that produced the answer (`"revised-simplex"`, ...).
@@ -111,6 +142,20 @@ pub struct SolveReport {
     /// update. A gauge, not a total (0 for engines without a sparse
     /// factorization).
     pub fill_in_nnz: usize,
+    /// Columns *priced* during this solve — reduced-cost evaluations
+    /// across primal pricing passes, devex candidate-list rebuilds and
+    /// dual-simplex ratio tests (0 for engines without pricing). The
+    /// work-per-pivot gauge of the pricing rules: full-scan rules pay
+    /// roughly `nonbasic columns × pivots`, devex partial pricing a small
+    /// fraction of that.
+    pub pricing_candidates: usize,
+    /// How many times devex pricing reset its reference framework because
+    /// the weights drifted past the trust limit. Always 0 under
+    /// [`PricingRule::Dantzig`](crate::PricingRule::Dantzig) /
+    /// [`PricingRule::Bland`](crate::PricingRule::Bland) and for engines
+    /// without pricing; occasional resets under devex are normal on
+    /// ill-scaled programs, not a failure.
+    pub devex_resets: usize,
     /// Order-independent hash of the optimal basic column set, or 0 when
     /// the engine does not expose a basis. Two solves of the same loaded
     /// program that report the same nonzero signature ended at the same
@@ -132,6 +177,8 @@ impl SolveReport {
             iterations: 0,
             refactorizations: 0,
             basis_updates: 0,
+            pricing_candidates: 0,
+            devex_resets: 0,
             fill_in_nnz: 0,
             basis_signature: 0,
             infeasibility: None,

@@ -4,13 +4,18 @@ use crate::problem::ConstraintOp;
 use crate::session::{ColdSession, InfeasibilityCertificate};
 use crate::{LinearProgram, LpError, LpSolution, LpSolver, SolveSession};
 
-/// Pivot-column selection rule for the simplex method.
+/// Pivot-column selection rule for the dense-tableau simplex method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PivotRule {
-    /// Choose the most negative reduced cost (fast in practice), falling
-    /// back to Bland's rule automatically when the iteration count
-    /// suggests cycling. This is the default.
+    /// Choose the column maximizing `rc²/(1 + ‖B⁻¹aⱼ‖²)` — exact
+    /// steepest-edge scoring, read straight off the tableau columns. On
+    /// the heavily degenerate occupation-measure LPs this cuts pivot
+    /// counts by orders of magnitude versus Dantzig, which is why it is
+    /// the default. Falls back to Bland's rule on a prolonged stall.
     #[default]
+    SteepestEdge,
+    /// Choose the most negative reduced cost, falling back to Bland's
+    /// rule automatically when the iteration count suggests cycling.
     DantzigWithBlandFallback,
     /// Always use Bland's rule (smallest index with negative reduced
     /// cost). Guaranteed to terminate, but slower.
@@ -21,9 +26,30 @@ pub enum PivotRule {
 ///
 /// Phase 1 minimizes the sum of artificial variables to find a basic
 /// feasible solution (detecting infeasibility exactly); phase 2 optimizes
-/// the real objective (detecting unboundedness exactly). Degeneracy — which
-/// the occupation-measure LPs of the policy optimizer exhibit routinely —
-/// is handled by the Bland fallback.
+/// the real objective (detecting unboundedness exactly). Degeneracy —
+/// which the occupation-measure LPs of the policy optimizer exhibit
+/// routinely, and which used to send this engine into 10⁵-pivot crawls
+/// past ~50 composed states — is handled by four cooperating mechanisms:
+///
+/// * **Steepest-edge pricing** ([`PivotRule::SteepestEdge`], the
+///   default): scores are exact because the tableau body *is* `B⁻¹A`,
+///   and the rule cuts pivot counts on degenerate LPs by orders of
+///   magnitude versus Dantzig.
+/// * **Largest-pivot ratio-test tie-break**: among the (routinely huge)
+///   families of tied degenerate rows, the leaving row with the largest
+///   pivot element is chosen, so the basis never absorbs a
+///   near-tolerance pivot that would make it numerically singular.
+/// * **Periodic exact refresh**: every so many pivots the tableau is
+///   recomputed from the pristine constraint data and current basis —
+///   the dense analogue of the revised simplex's refactorization — so
+///   Gauss–Jordan roundoff cannot compound into phantom feasibility.
+/// * **Cost perturbation** (on by default, [`Simplex::perturbation`]):
+///   both phases run against costs jittered by a tiny deterministic
+///   per-column amount to break reduced-cost ties; exact-cost cleanup
+///   passes then remove the perturbation before the solution is read
+///   off, so toggling it never changes the reported optimum. The phase-1
+///   feasibility verdict is likewise measured on the exact artificial
+///   values, and the Bland stall fallback still guarantees termination.
 ///
 /// # Example
 ///
@@ -48,6 +74,7 @@ pub struct Simplex {
     pivot_rule: PivotRule,
     max_iterations: usize,
     tolerance: f64,
+    perturb: bool,
 }
 
 impl Default for Simplex {
@@ -57,19 +84,30 @@ impl Default for Simplex {
 }
 
 impl Simplex {
-    /// Creates a solver with default settings (Dantzig pricing with Bland
-    /// fallback, tolerance `1e-9`, generous iteration limit).
+    /// Creates a solver with default settings (steepest-edge pricing with
+    /// Bland fallback, cost perturbation on, tolerance `1e-9`, generous
+    /// iteration limit).
     pub fn new() -> Self {
         Simplex {
             pivot_rule: PivotRule::default(),
             max_iterations: 50_000,
             tolerance: 1e-9,
+            perturb: true,
         }
     }
 
     /// Sets the pivot rule.
     pub fn pivot_rule(mut self, rule: PivotRule) -> Self {
         self.pivot_rule = rule;
+        self
+    }
+
+    /// Enables or disables the anti-degeneracy cost perturbation (on by
+    /// default; see the type-level docs). The perturbation is removed by
+    /// an exact-cost cleanup pass, so toggling this changes the pivot
+    /// trajectory, never the reported solution.
+    pub fn perturbation(mut self, on: bool) -> Self {
+        self.perturb = on;
         self
     }
 
@@ -102,6 +140,9 @@ impl LpSolver for Simplex {
     fn solve(&self, lp: &LinearProgram) -> Result<LpSolution, LpError> {
         lp.validate()?;
         let mut t = Tableau::build(lp, self.tolerance)?;
+        if self.perturb {
+            t.perturb_costs();
+        }
         let mut iterations = 0;
 
         if t.needs_phase1() {
@@ -111,7 +152,31 @@ impl LpSolver for Simplex {
             }
             t.drop_artificials()?;
         }
-        iterations += t.optimize_phase2(self.pivot_rule, self.max_iterations)?;
+        match t.optimize_phase2(self.pivot_rule, self.max_iterations) {
+            Ok(n) => iterations += n,
+            // A perturbed ray is only trusted if the exact costs confirm
+            // it: positive jitter cannot create a descent ray that the
+            // pristine objective lacks, so a perturbed `Unbounded` with a
+            // bounded original is numerical noise — fall through and let
+            // the exact cleanup pass deliver the verdict.
+            Err(LpError::Unbounded) if self.perturb => {}
+            Err(e) => return Err(e),
+        }
+        // Cleanup passes: `optimize_phase2` rebuilds the objective row
+        // from the stored costs and the current basis, so re-running it
+        // (a) strips the cost perturbation and (b) surfaces improving
+        // columns that accumulated tableau roundoff had hidden. Iterate
+        // until a rebuilt row certifies optimality (almost always one
+        // extra pass; bounded to keep the worst case finite).
+        t.restore_costs();
+        for _ in 0..4 {
+            t.refresh_from_basis();
+            let extra = t.optimize_phase2(self.pivot_rule, self.max_iterations)?;
+            iterations += extra;
+            if extra == 0 {
+                break;
+            }
+        }
 
         // Long pivot sequences on ill-conditioned bases (the occupation
         // LPs have condition ~ horizon) accumulate roundoff in the dense
@@ -144,8 +209,13 @@ struct Tableau {
     /// Number of artificial columns (0 after `drop_artificials`).
     num_artificial: usize,
     /// Phase-2 objective coefficients for all structural columns
-    /// (minimization orientation).
+    /// (minimization orientation). Jittered in place by `perturb_costs`;
+    /// the pristine values move to `pristine_cost` until `restore_costs`.
     cost: Vec<f64>,
+    /// Phase-1 cost of each artificial column (1.0, or 1.0 + jitter).
+    phase1_cost: Vec<f64>,
+    /// Original `cost` while a perturbation is active.
+    pristine_cost: Option<Vec<f64>>,
     /// Number of constraint rows.
     m: usize,
     tol: f64,
@@ -246,6 +316,8 @@ impl Tableau {
             num_structural: n,
             num_artificial,
             cost: sf.c,
+            phase1_cost: vec![1.0; num_artificial],
+            pristine_cost: None,
             m,
             tol,
             row_flipped,
@@ -260,6 +332,41 @@ impl Tableau {
         self.num_artificial > 0
     }
 
+    /// Deterministic per-column jitter in `[0.5, 1.5)` (splitmix64 of the
+    /// column index), so perturbed runs are exactly reproducible.
+    fn jitter(j: usize) -> f64 {
+        let mut z = (j as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        0.5 + (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Jitters the phase-1 and phase-2 costs by ~1e-7 of their scale to
+    /// break reduced-cost ties on degenerate vertices. Minimization
+    /// orientation is preserved: all jitters are positive, so the
+    /// perturbed phase-1 objective is still zero exactly when the LP is
+    /// feasible.
+    fn perturb_costs(&mut self) {
+        for (k, w) in self.phase1_cost.iter_mut().enumerate() {
+            *w = 1.0 + 1e-7 * Self::jitter(k);
+        }
+        let scale = self.cost.iter().fold(1.0f64, |a, c| a.max(c.abs()));
+        let pristine = self.cost.clone();
+        for (j, c) in self.cost.iter_mut().enumerate() {
+            *c += 1e-7 * scale * Self::jitter(j);
+        }
+        self.pristine_cost = Some(pristine);
+    }
+
+    /// Undoes `perturb_costs`; callers then re-run `optimize_phase2` to
+    /// certify optimality against the exact costs.
+    fn restore_costs(&mut self) {
+        if let Some(pristine) = self.pristine_cost.take() {
+            self.cost = pristine;
+        }
+    }
+
     fn total_cols(&self) -> usize {
         self.num_structural + self.num_artificial
     }
@@ -267,27 +374,40 @@ impl Tableau {
     /// Sets the objective row to the phase-1 objective (sum of artificials)
     /// expressed in terms of the current basis, then optimizes.
     fn optimize_phase1(&mut self, rule: PivotRule, max_iter: usize) -> Result<usize, LpError> {
+        self.rebuild_phase1_obj_row();
+        self.run(rule, max_iter, self.total_cols(), true)
+    }
+
+    /// Writes the phase-1 objective row — reduced costs of the artificial
+    /// cost vector (`phase1_cost[k]` on artificial `k`, 0 elsewhere) with
+    /// respect to the current basis.
+    fn rebuild_phase1_obj_row(&mut self) {
         let total = self.total_cols();
         let obj_row = self.m;
-        // Phase-1 cost: 1 on artificials, 0 elsewhere. Reduced costs start
-        // as -(sum of artificial rows).
         for j in 0..=total {
             let mut v = 0.0;
             for i in 0..self.m {
-                if self.basis[i] >= self.num_structural {
-                    v -= self.data[i][j];
+                let bi = self.basis[i];
+                if bi >= self.num_structural {
+                    v -= self.phase1_cost[bi - self.num_structural] * self.data[i][j];
                 }
             }
             self.data[obj_row][j] = v;
         }
-        for j in self.num_structural..total {
-            self.data[obj_row][j] += 1.0;
+        for (k, j) in (self.num_structural..total).enumerate() {
+            self.data[obj_row][j] += self.phase1_cost[k];
         }
-        self.run(rule, max_iter, total)
     }
 
+    /// Exact sum of the artificial variables' values — the feasibility
+    /// verdict. Read off the basic rows rather than the objective cell so
+    /// a phase-1 cost perturbation cannot tilt it.
     fn phase1_objective(&self) -> f64 {
-        -self.data[self.m][self.total_cols()]
+        let rhs_col = self.total_cols();
+        (0..self.m)
+            .filter(|&i| self.basis[i] >= self.num_structural)
+            .map(|i| self.data[i][rhs_col])
+            .sum()
     }
 
     /// Removes artificial columns after a successful phase 1. Artificials
@@ -330,11 +450,17 @@ impl Tableau {
 
     /// Sets the phase-2 objective row from the stored costs and optimizes.
     fn optimize_phase2(&mut self, rule: PivotRule, max_iter: usize) -> Result<usize, LpError> {
-        let n = self.num_structural;
         debug_assert_eq!(self.num_artificial, 0);
+        self.rebuild_phase2_obj_row();
+        self.run(rule, max_iter, self.num_structural, false)
+    }
+
+    /// Writes the phase-2 objective row: reduced costs `c_j − c_B B⁻¹ A_j`
+    /// for every column, and `−c_B·x_B` in the rhs position (the tableau
+    /// stores −objective there).
+    fn rebuild_phase2_obj_row(&mut self) {
+        let n = self.num_structural;
         let obj_row = self.m;
-        // Reduced costs c_j − c_B B⁻¹ A_j for every column, and −c_B·x_B in
-        // the rhs position (the tableau stores −objective there).
         for j in 0..=n {
             let cj = if j < n { self.cost[j] } else { 0.0 };
             let mut v = cj;
@@ -346,11 +472,16 @@ impl Tableau {
             }
             self.data[obj_row][j] = v;
         }
-        self.run(rule, max_iter, n)
     }
 
     /// Core simplex loop over the first `num_cols` columns.
-    fn run(&mut self, rule: PivotRule, max_iter: usize, num_cols: usize) -> Result<usize, LpError> {
+    fn run(
+        &mut self,
+        rule: PivotRule,
+        max_iter: usize,
+        num_cols: usize,
+        phase1: bool,
+    ) -> Result<usize, LpError> {
         let obj_row = self.m;
         let rhs_col = self.total_cols();
         let mut use_bland = rule == PivotRule::Bland;
@@ -360,8 +491,33 @@ impl Tableau {
         // The tableau stores −objective in the rhs cell of the objective
         // row, so progress (for minimization) shows as an *increase*.
         let mut last_obj = f64::NEG_INFINITY;
+        // Gauss–Jordan roundoff compounds across pivots — long degenerate
+        // stretches on ill-conditioned bases can drift the rhs column far
+        // enough that ratio tests pick wrong rows and the "feasible" basis
+        // quietly stops being one. Rebuild the tableau exactly from the
+        // pristine data every so many pivots, like the revised simplex
+        // refactorizes its LU.
+        const REFRESH_INTERVAL: usize = 128;
 
         for iter in 0..max_iter {
+            if iter > 0 && iter % REFRESH_INTERVAL == 0 && self.refresh_from_basis() {
+                // Exact arithmetic would give a non-negative rhs; clamp
+                // the roundoff-scale negatives the refresh surfaces.
+                for i in 0..self.m {
+                    if self.data[i][rhs_col] < 0.0 {
+                        self.data[i][rhs_col] = 0.0;
+                    }
+                }
+                if phase1 {
+                    self.rebuild_phase1_obj_row();
+                } else {
+                    self.rebuild_phase2_obj_row();
+                }
+                // Rebase stall detection on the refreshed (exact) value —
+                // resetting it outright would let a cycling run dodge the
+                // Bland fallback forever.
+                last_obj = last_obj.max(self.data[obj_row][rhs_col]);
+            }
             // Pricing: pick the entering column.
             let mut entering = None;
             if use_bland {
@@ -369,6 +525,29 @@ impl Tableau {
                     if self.data[obj_row][j] < -self.tol {
                         entering = Some(j);
                         break;
+                    }
+                }
+            } else if rule == PivotRule::SteepestEdge {
+                // Score improving columns by rc²/(1 + ‖B⁻¹aⱼ‖²). The
+                // tableau body *is* B⁻¹A, so the norms are exact; the
+                // row-major accumulation keeps the scan cache-friendly.
+                let improving: Vec<usize> = (0..num_cols)
+                    .filter(|&j| self.data[obj_row][j] < -self.tol)
+                    .collect();
+                let mut norm2 = vec![1.0f64; improving.len()];
+                for row in self.data[..self.m].iter() {
+                    for (n2, &j) in norm2.iter_mut().zip(&improving) {
+                        let v = row[j];
+                        *n2 += v * v;
+                    }
+                }
+                let mut best = f64::NEG_INFINITY;
+                for (&j, &n2) in improving.iter().zip(&norm2) {
+                    let rc = self.data[obj_row][j];
+                    let score = rc * rc / n2;
+                    if score > best {
+                        best = score;
+                        entering = Some(j);
                     }
                 }
             } else {
@@ -385,31 +564,41 @@ impl Tableau {
                 return Ok(iter);
             };
 
-            // Ratio test: pick the leaving row. Ties are broken by the
-            // smallest basis index (lexicographic Bland tie-break), which
-            // combined with Bland pricing guarantees termination.
+            // Ratio test: pick the leaving row. Under Bland's rule ties
+            // go to the smallest basis index, which combined with Bland
+            // pricing guarantees termination. Otherwise ties — and on
+            // these degenerate LPs most pivots are whole families of tied
+            // zero-ratio rows — go to the largest pivot element: pivoting
+            // on a near-tolerance entry manufactures a numerically
+            // singular basis in one step, which is exactly how the dense
+            // tableau used to drift infeasible.
             let mut leaving: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
+            let mut best_pivot = 0.0f64;
             for i in 0..self.m {
                 let aij = self.data[i][col];
                 if aij > self.tol {
                     let ratio = self.data[i][rhs_col] / aij;
-                    match leaving {
-                        None => {
-                            leaving = Some(i);
-                            best_ratio = ratio;
-                        }
+                    let better = match leaving {
+                        None => true,
                         Some(l) => {
                             if ratio < best_ratio - self.tol {
-                                leaving = Some(i);
-                                best_ratio = ratio;
-                            } else if (ratio - best_ratio).abs() <= self.tol
-                                && self.basis[i] < self.basis[l]
-                            {
-                                leaving = Some(i);
-                                best_ratio = best_ratio.min(ratio);
+                                true
+                            } else if (ratio - best_ratio).abs() <= self.tol {
+                                if use_bland {
+                                    self.basis[i] < self.basis[l]
+                                } else {
+                                    aij > best_pivot
+                                }
+                            } else {
+                                false
                             }
                         }
+                    };
+                    if better {
+                        leaving = Some(i);
+                        best_ratio = best_ratio.min(ratio);
+                        best_pivot = aij;
                     }
                 }
             }
@@ -467,6 +656,56 @@ impl Tableau {
             target_row[col] = 0.0;
         }
         self.basis[row] = col;
+    }
+
+    /// Recomputes the tableau body and right-hand side exactly from the
+    /// pristine constraint data and the current basis — the dense
+    /// analogue of a refactorization. After a long pivot sequence the
+    /// Gauss–Jordan updates have accumulated enough roundoff to misprice
+    /// columns; a refresh restores `data = [B⁻¹A | B⁻¹b]` to working
+    /// precision so the certifying pass judges exact reduced costs.
+    /// Leaves the tableau untouched (and returns `false`) when the basis
+    /// matrix is singular, which only happens on redundant-row bases.
+    fn refresh_from_basis(&mut self) -> bool {
+        let m = self.m;
+        let mut basis_matrix = Matrix::zeros(m, m);
+        for (k, &col) in self.basis.iter().enumerate() {
+            for (r, row) in self.orig_rows.iter().enumerate() {
+                basis_matrix[(r, k)] = row.get(col).copied().unwrap_or(0.0);
+            }
+        }
+        let Ok(lu) = LuDecomposition::new(&basis_matrix) else {
+            return false;
+        };
+        let total = self.total_cols();
+        let rhs_col = total;
+        let mut col_buf = vec![0.0; m];
+        for j in 0..=total {
+            for (i, row) in self.orig_rows.iter().enumerate() {
+                col_buf[i] = if j == rhs_col {
+                    self.orig_b[i]
+                } else {
+                    row.get(j).copied().unwrap_or(0.0)
+                };
+            }
+            let Ok(solved) = lu.solve(&col_buf) else {
+                return false;
+            };
+            for (i, &v) in solved.iter().take(m).enumerate() {
+                self.data[i][j] = v;
+            }
+        }
+        // Basic columns are unit columns by definition; pin them exactly.
+        // (A dropped-artificial basis marker points past `total` and has
+        // no tableau column to pin.)
+        for (k, &col) in self.basis.iter().enumerate() {
+            if col < total {
+                for i in 0..m {
+                    self.data[i][col] = if i == k { 1.0 } else { 0.0 };
+                }
+            }
+        }
+        true
     }
 
     /// Re-solves `B x_B = b` for the final basis against the pristine

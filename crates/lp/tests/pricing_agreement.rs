@@ -1,0 +1,186 @@
+//! Pricing-rule property tests: devex pricing over a candidate list and
+//! Dantzig's full scan are two pricing strategies inside the *same*
+//! revised simplex, so on any feasible bounded LP they must reach the
+//! same optimum — cold, after an rhs retarget, and after a
+//! shape-identical reload. Also pins the devex reference-framework reset
+//! and the per-solve counter lifecycle across session re-solves.
+
+use dpm_lp::{
+    ConstraintOp, LinearProgram, LpError, LpSolver, PricingRule, ReloadKind, RevisedSimplex,
+};
+use proptest::prelude::*;
+
+/// Same feasible-bounded-by-construction generator as
+/// `solver_agreement.rs`: `b = A·e + margin` plus box rows.
+fn seeded_lp(n: usize, m: usize, seed: u64, sparsify: bool) -> LinearProgram {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % 2000) as f64 / 1000.0 - 1.0
+    };
+    let c: Vec<f64> = (0..n).map(|_| next()).collect();
+    let mut lp = LinearProgram::minimize(&c);
+    for _ in 0..m {
+        let row: Vec<f64> = (0..n)
+            .map(|_| {
+                let v = next();
+                if sparsify && next() > -0.5 {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        let rhs: f64 = row.iter().sum::<f64>() + 0.5;
+        lp.add_constraint(&row, ConstraintOp::Le, rhs).unwrap();
+    }
+    for j in 0..n {
+        lp.add_sparse_constraint(&[(j, 1.0)], ConstraintOp::Le, 10.0)
+            .unwrap();
+    }
+    lp
+}
+
+/// Solves `lp` under `rule` three ways — cold, warm after retargeting
+/// row 0's rhs to `retarget`, and warm after a shape-identical reload of
+/// `reloaded` — returning the three objectives.
+fn solve_three_ways(
+    lp: &LinearProgram,
+    reloaded: &LinearProgram,
+    retarget: f64,
+    rule: PricingRule,
+) -> Result<[f64; 3], LpError> {
+    let mut session = RevisedSimplex::new().with_pricing(rule).start(lp)?;
+    let (cold, _) = session.solve()?;
+    session.set_rhs(0, retarget)?;
+    let (warm, _) = session.solve()?;
+    let kind = session.reload(reloaded)?;
+    assert_eq!(kind, ReloadKind::Warm, "same shape must take the warm path");
+    let (re, _) = session.solve()?;
+    Ok([cold.objective(), warm.objective(), re.objective()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Devex and Dantzig agree (±1e-6) on the cold solve and on both
+    /// warm paths: an rhs retarget (dual-simplex repair) and a
+    /// shape-identical reload (fresh numbers, kept basis).
+    #[test]
+    fn devex_matches_dantzig_cold_and_warm(
+        n in 2usize..9,
+        m in 1usize..7,
+        seed in 0u64..10_000,
+        sparse in 0u64..2,
+    ) {
+        let sparsify = sparse == 1;
+        let lp = seeded_lp(n, m, seed, sparsify);
+        // A shape-identical sibling (same sparsity pattern — the
+        // generator is deterministic in (n, m, seed)) with a different
+        // rhs on the box rows, so the reload genuinely re-solves.
+        let mut reloaded = seeded_lp(n, m, seed, sparsify);
+        for row in m..m + n {
+            let (_, op, _) = reloaded.constraint_entries(row);
+            assert_eq!(op, ConstraintOp::Le);
+            reloaded.set_rhs(row, 8.0).unwrap();
+        }
+        // Loosening row 0 keeps the program feasible (x = e stays valid).
+        let (_, _, rhs0) = lp.constraint_entries(0);
+        let retarget = rhs0 + 0.25;
+
+        let devex = solve_three_ways(&lp, &reloaded, retarget, PricingRule::Devex)
+            .map_err(|e| TestCaseError::fail(format!("devex failed: {e}")))?;
+        let dantzig = solve_three_ways(&lp, &reloaded, retarget, PricingRule::Dantzig)
+            .map_err(|e| TestCaseError::fail(format!("dantzig failed: {e}")))?;
+        for (stage, (d, g)) in ["cold", "rhs-retarget", "reload"]
+            .iter()
+            .zip(devex.iter().zip(&dantzig))
+        {
+            let tol = 1e-6 * g.abs().max(1.0);
+            prop_assert!(
+                (d - g).abs() < tol,
+                "{stage}: devex {d} vs dantzig {g}"
+            );
+        }
+    }
+}
+
+/// The known weight-drift case: entering on a pivot element of 1e-3
+/// against a candidate with a 10× coefficient pushes that candidate's
+/// reference weight to ~(10/1e-3)² = 1e8, past the 1e7 drift limit, so
+/// the framework must reset — and still land on the Dantzig optimum.
+#[test]
+fn devex_weight_reset_triggers_on_ill_scaled_lp() {
+    let mut lp = LinearProgram::minimize(&[-100.0, -1.0]);
+    lp.add_constraint(&[0.001, 10.0], ConstraintOp::Le, 1.0)
+        .unwrap();
+    lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 2000.0)
+        .unwrap();
+
+    let mut session = RevisedSimplex::new()
+        .with_pricing(PricingRule::Devex)
+        .start(&lp)
+        .unwrap();
+    let (solution, report) = session.solve().unwrap();
+    assert!(
+        report.devex_resets >= 1,
+        "expected at least one reference-framework reset, got {}",
+        report.devex_resets
+    );
+    let reference = RevisedSimplex::new()
+        .with_pricing(PricingRule::Dantzig)
+        .solve(&lp)
+        .unwrap();
+    assert!(
+        (solution.objective() - reference.objective()).abs() < 1e-9,
+        "devex {} vs dantzig {} after reset",
+        solution.objective(),
+        reference.objective()
+    );
+}
+
+/// Counter lifecycle across session re-solves: every `solve()` reports
+/// per-solve deltas, not lifetime totals — including after a solve that
+/// failed infeasible and was repaired through the dual-simplex path.
+#[test]
+fn counters_reset_between_session_resolves() {
+    let mut lp = LinearProgram::minimize(&[1.0, 2.0]);
+    lp.add_constraint(&[1.0, 0.0], ConstraintOp::Ge, 1.0)
+        .unwrap();
+    lp.add_constraint(&[1.0, 1.0], ConstraintOp::Le, 5.0)
+        .unwrap();
+
+    let mut session = RevisedSimplex::new().start(&lp).unwrap();
+    let (_, first) = session.solve().unwrap();
+    assert!(first.iterations > 0, "cold solve must pivot");
+    assert!(first.pricing_candidates > 0, "cold solve must price");
+
+    // Make the program infeasible (x0 ≥ 7 collides with x0 ≤ 5): the
+    // solve fails, but the session must stay usable and keep accounting.
+    session.set_rhs(0, 7.0).unwrap();
+    assert!(matches!(session.solve(), Err(LpError::Infeasible)));
+
+    // Repair and re-solve through the dual-simplex warm path.
+    session.set_rhs(0, 2.0).unwrap();
+    let (_, repaired) = session.solve().unwrap();
+    assert!(
+        repaired.warm_start,
+        "repair after infeasibility should stay warm"
+    );
+
+    // An untouched re-solve performs no pivots and scans no columns
+    // beyond the dual-feasibility check — the report must show the
+    // delta for *this* solve, not the session's lifetime totals.
+    let (_, idle) = session.solve().unwrap();
+    assert_eq!(idle.iterations, 0, "idle re-solve must not pivot");
+    assert!(
+        idle.pricing_candidates <= first.pricing_candidates,
+        "idle re-solve reported {} priced columns, more than the cold solve's {} — \
+         lifetime totals are leaking into the per-solve report",
+        idle.pricing_candidates,
+        first.pricing_candidates
+    );
+    assert_eq!(idle.devex_resets, 0, "idle re-solve cannot reset weights");
+}

@@ -69,10 +69,13 @@ pub const SLEEP_STATES: [SleepState; 4] = [
 ];
 
 /// Names for generated sleep states, deepest-last ([`scaled_sleep_states`]).
-const SCALED_SLEEP_NAMES: [&str; 24] = [
+const SCALED_SLEEP_NAMES: [&str; 48] = [
     "sleep1", "sleep2", "sleep3", "sleep4", "sleep5", "sleep6", "sleep7", "sleep8", "sleep9",
     "sleep10", "sleep11", "sleep12", "sleep13", "sleep14", "sleep15", "sleep16", "sleep17",
-    "sleep18", "sleep19", "sleep20", "sleep21", "sleep22", "sleep23", "sleep24",
+    "sleep18", "sleep19", "sleep20", "sleep21", "sleep22", "sleep23", "sleep24", "sleep25",
+    "sleep26", "sleep27", "sleep28", "sleep29", "sleep30", "sleep31", "sleep32", "sleep33",
+    "sleep34", "sleep35", "sleep36", "sleep37", "sleep38", "sleep39", "sleep40", "sleep41",
+    "sleep42", "sleep43", "sleep44", "sleep45", "sleep46", "sleep47", "sleep48",
 ];
 
 /// Generates a scaled family of `count` sleep states interpolating the
@@ -86,7 +89,7 @@ const SCALED_SLEEP_NAMES: [&str; 24] = [
 ///
 /// # Panics
 ///
-/// Panics when `count` is 0 or exceeds the 24 prenamed states.
+/// Panics when `count` is 0 or exceeds the 48 prenamed states.
 pub fn scaled_sleep_states(count: usize) -> Vec<SleepState> {
     assert!(
         (1..=SCALED_SLEEP_NAMES.len()).contains(&count),

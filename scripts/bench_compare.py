@@ -4,13 +4,17 @@
 Reads the criterion-shim records (``BENCH_<name>.json``: ``{"name",
 "mean_ns", "iterations", ...optional counters...}``) from the current
 run and, when available, from a previous run's downloaded artifacts, and
-prints two tables:
+prints four tables:
 
 1. **warm vs cold** — pairs of ``<group>/warm/<case>`` and
    ``<group>/cold/<case>`` records from the current run, with the
    speedup and any solver counters (``pivots``, ``refactorizations``,
    ``basis_updates``, ``fill_in_nnz``, ...).
-2. **PR over PR** — every current record against its previous-run
+2. **online adaptation** — the ``adaptive_runtime`` headline record
+   (policy power comparison, warm/cold reload accounting).
+3. **pricing rules** — ``pricing_rules/<rule>/<states>`` records, devex
+   vs dantzig wall time with the pivot / pricing-scan counters.
+4. **PR over PR** — every current record against its previous-run
    counterpart, with the ratio.
 
 By default the script never fails the build: it exits 0 whatever it
@@ -108,6 +112,50 @@ def adaptive_table(current):
     print()
 
 
+def pricing_table(current):
+    """Surfaces the `pricing_rules` group: devex vs dantzig wall time per
+    state count, with the pivot / pricing-scan counters that explain the
+    gap (devex prices a bounded candidate list; dantzig scans every
+    nonbasic column per pivot)."""
+    prefix = "pricing_rules/"
+    sizes = {}
+    for name, record in current.items():
+        if not name.startswith(prefix):
+            continue
+        parts = name[len(prefix) :].split("/")
+        if len(parts) != 2:
+            continue
+        rule, size = parts
+        sizes.setdefault(size, {})[rule] = record
+    if not sizes:
+        return
+    print("== pricing rules (devex vs dantzig) ==")
+    for size in sorted(sizes, key=lambda s: (len(s), s)):
+        rules = sizes[size]
+        devex, dantzig = rules.get("devex"), rules.get("dantzig")
+        for label, record in sorted(rules.items()):
+            if record is None or label == "devex-speedup":
+                continue
+            print(
+                f"  {size + ' states':<12} {label:<10} "
+                f"{fmt_ms(record['mean_ns']):>12}  "
+                f"pivots {record.get('pivots', float('nan')):>8g}  "
+                f"priced {record.get('pricing_candidates', float('nan')):>12g}  "
+                f"resets {record.get('devex_resets', float('nan')):g}"
+            )
+        if devex and dantzig and devex.get("mean_ns"):
+            ratio = dantzig["mean_ns"] / devex["mean_ns"]
+            scans = (
+                dantzig.get("pricing_candidates", 0)
+                / max(devex.get("pricing_candidates", 1), 1)
+            )
+            print(
+                f"  {'':12} devex speedup {ratio:5.2f}x, "
+                f"pricing-scan reduction {scans:5.1f}x"
+            )
+    print()
+
+
 def pr_over_pr_table(current, previous, fail_over_pct):
     """Prints the comparison; returns the names that regressed beyond the
     threshold (always empty when no threshold is set)."""
@@ -170,6 +218,7 @@ def main(argv):
     warm_vs_cold_table(current)
     print()
     adaptive_table(current)
+    pricing_table(current)
     regressed = pr_over_pr_table(current, previous, args.fail_over)
     if regressed:
         print()
