@@ -1,0 +1,260 @@
+//! Fleet-scale adaptation benchmark: a heterogeneous fleet (disk, CPU
+//! and web-server classes) of 1000+ devices split across two workload
+//! regimes, driven through `dpm_runtime::FleetController`.
+//!
+//! Records (all under `target/bench/`):
+//!
+//! * `fleet/workers/{1,2,4,8}` — wall time of a full multi-epoch fleet
+//!   run per worker-pool size, with device-epochs-per-second throughput
+//!   counters (on a single-core host the sweep is flat by construction;
+//!   the records measure whatever parallelism the host offers);
+//! * `fleet/clustered_vs_per_device` — the solve-per-cluster payoff:
+//!   pivots and solves of one adaptation epoch under regime clustering
+//!   against the same epoch with clustering disabled (one solve per
+//!   device);
+//! * `fleet` — the headline record: fleet shape, cluster/solve/pivot
+//!   accounting and the worker-scaling ratio.
+//!
+//! Before anything is timed, the run is gated on the fleet's
+//! correctness criteria: reports bit-identical across worker counts,
+//! solver effort under clustering at most 10% of the per-device
+//! baseline, no cold reloads (every cluster session reuses its class's
+//! symbolic analysis), and the event gate holding stationary epochs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpm_bench::time_median_ns;
+use dpm_core::{ServiceRequester, SystemModel};
+use dpm_runtime::{AdaptiveConfig, FleetConfig, FleetController, FleetReport};
+use dpm_systems::{cpu, disk, web_server};
+use dpm_trace::WindowKind;
+
+/// Devices per class; three classes, so the fleet holds 1026 devices —
+/// past the 1024-device mark the scaling story is told at.
+const DEVICES_PER_CLASS: usize = 342;
+/// Arrival slices per adaptation epoch.
+const EPOCH_SLICES: usize = 600;
+/// Adaptation epochs per timed run.
+const EPOCHS: usize = 3;
+/// Worker-pool sizes swept.
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn fleet_config(workers: usize, cluster_divergence: f64) -> FleetConfig {
+    FleetConfig::new()
+        .adaptive(
+            AdaptiveConfig::new()
+                .memory(1)
+                .smoothing(0.5)
+                .horizon(2_000.0)
+                .window(WindowKind::Sliding(2 * EPOCH_SLICES)),
+        )
+        .workers(workers)
+        .cluster_divergence(cluster_divergence)
+        .resolve_divergence(0.02)
+}
+
+/// The three device classes, each a 2-state SR on a different provider.
+fn class_systems() -> Vec<SystemModel> {
+    let base = || ServiceRequester::two_state(0.1, 0.7).expect("valid base workload");
+    vec![
+        disk::system_with_workload(base()).expect("disk system"),
+        cpu::system_with_workload(base()).expect("cpu system"),
+        web_server::system_with_workload(base()).expect("web server system"),
+    ]
+}
+
+fn build_fleet(workers: usize, cluster_divergence: f64) -> FleetController {
+    let mut fleet = FleetController::new(fleet_config(workers, cluster_divergence));
+    for system in class_systems() {
+        fleet
+            .add_class(&system, DEVICES_PER_CLASS)
+            .expect("class is feasible");
+    }
+    fleet
+}
+
+/// Deterministic per-device arrival stream for one epoch. Even devices
+/// run a sparse regime (1-in-16 slices busy), odd devices a dense one
+/// (5-in-8); the device index phases the pattern without changing its
+/// statistics, so same-regime devices fit statistically identical
+/// models — the clustering premise.
+fn epoch_arrivals(devices: usize, epoch: usize) -> Vec<Vec<u32>> {
+    (0..devices)
+        .map(|d| {
+            let (density, period) = if d % 2 == 0 { (1, 16) } else { (5, 8) };
+            (0..EPOCH_SLICES)
+                .map(|i| u32::from((d + epoch * EPOCH_SLICES + i) % period < density))
+                .collect()
+        })
+        .collect()
+}
+
+fn run_epochs(fleet: &mut FleetController, traces: &[Vec<Vec<u32>>]) -> Vec<FleetReport> {
+    traces
+        .iter()
+        .map(|arrivals| fleet.run_epoch(arrivals).expect("epoch runs"))
+        .collect()
+}
+
+/// The solve-per-device baseline: fit the same fleet, then give every
+/// device its own warm fork of its class session and solve its own
+/// fitted model — what the epoch costs without regime clustering.
+/// Returns (solves, pivots).
+fn per_device_baseline(traces: &[Vec<Vec<u32>>]) -> (usize, usize) {
+    let mut fleet = build_fleet(1, 0.08);
+    run_epochs(&mut fleet, traces);
+    let systems = class_systems();
+    let mut solves = 0usize;
+    let mut pivots = 0usize;
+    for (class, system) in systems.iter().enumerate() {
+        let mut base = dpm_core::PolicyOptimizer::new(system)
+            .horizon(2_000.0)
+            .prepare()
+            .expect("prepares");
+        base.solve().expect("base model is feasible");
+        for d in class * DEVICES_PER_CLASS..(class + 1) * DEVICES_PER_CLASS {
+            let Some(fit) = fleet.device_fit(d) else {
+                continue;
+            };
+            let device_system =
+                SystemModel::compose(system.provider().clone(), fit.clone(), *system.queue())
+                    .expect("composes");
+            let mut session = base.fork().expect("forks");
+            session
+                .update_model(device_system.chain())
+                .expect("reloads");
+            let solution = session.solve().expect("feasible");
+            solves += 1;
+            pivots += solution.solve_report().iterations;
+        }
+    }
+    (solves, pivots)
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let devices = 3 * DEVICES_PER_CLASS;
+    let traces: Vec<Vec<Vec<u32>>> = (0..EPOCHS).map(|e| epoch_arrivals(devices, e)).collect();
+
+    // Correctness gate 1: bit-identical results for every worker count.
+    let reference = run_epochs(&mut build_fleet(1, 0.08), &traces);
+    for &workers in &WORKER_SWEEP[1..] {
+        let reports = run_epochs(&mut build_fleet(workers, 0.08), &traces);
+        assert_eq!(
+            reference, reports,
+            "fleet reports diverge at {workers} workers"
+        );
+    }
+
+    // Correctness gate 2: regime clustering collapses the solve count —
+    // pivots at most 10% of the solve-per-device baseline — and every
+    // cluster solve stays warm on the class's shared symbolic analysis.
+    let clustered = &reference[0];
+    assert!(
+        clustered.clusters <= 12,
+        "{} clusters for 6 class-regimes",
+        clustered.clusters
+    );
+    assert_eq!(clustered.cold_reloads, 0, "cold reload crept in");
+    assert!(
+        clustered.symbolic_reuses >= clustered.solves,
+        "cluster solves re-analyzed the basis"
+    );
+    let (baseline_solves, baseline_pivots) = per_device_baseline(&traces[..1]);
+    assert!(
+        baseline_solves >= devices * 9 / 10,
+        "per-device baseline solved only {baseline_solves} of {devices}"
+    );
+    assert!(
+        10 * clustered.pivots <= baseline_pivots,
+        "clustered pivots {} are not \u{2264} 10% of per-device pivots {baseline_pivots}",
+        clustered.pivots
+    );
+
+    // Correctness gate 3: the event gate holds stationary epochs.
+    let later_solves: usize = reference[1..].iter().map(|r| r.solves).sum();
+    assert!(
+        later_solves <= reference[0].solves,
+        "stationary epochs re-solved {later_solves} times"
+    );
+
+    // Timed sweep: full fleet run (construction + EPOCHS epochs) per
+    // worker-pool size.
+    let mut group = c.benchmark_group("fleet/workers");
+    group.sample_size(10);
+    let mut throughput = Vec::new();
+    for &workers in &WORKER_SWEEP {
+        let ns = time_median_ns(|| run_epochs(&mut build_fleet(workers, 0.08), &traces));
+        let dev_epochs_per_s = (devices * EPOCHS) as f64 / (ns / 1e9);
+        throughput.push((workers, dev_epochs_per_s));
+        group.bench_function(workers.to_string(), |b| {
+            b.iter(|| run_epochs(&mut build_fleet(workers, 0.08), &traces));
+            b.counter("devices", devices as f64);
+            b.counter("epochs", EPOCHS as f64);
+            b.counter("device_epochs_per_s", dev_epochs_per_s);
+        });
+    }
+    group.finish();
+
+    let w1 = throughput[0].1;
+    let w8 = throughput.last().expect("sweep is non-empty").1;
+    println!(
+        "fleet: {devices} devices / 3 classes, {} clusters, {} solves epoch 0 \
+         (baseline {}), pivots {} vs {} per-device; throughput {:.0} -> {:.0} \
+         device-epochs/s (1 -> 8 workers, {:.2}x on {} host cores)",
+        clustered.clusters,
+        clustered.solves,
+        baseline_solves,
+        clustered.pivots,
+        baseline_pivots,
+        w1,
+        w8,
+        w8 / w1,
+        std::thread::available_parallelism().map_or(1, usize::from),
+    );
+
+    c.bench_function("fleet/clustered_vs_per_device", |b| {
+        b.iter(|| run_epochs(&mut build_fleet(1, 0.08), &traces[..1]));
+        b.counter("clusters", clustered.clusters as f64);
+        b.counter("solves_clustered", clustered.solves as f64);
+        b.counter("solves_per_device", baseline_solves as f64);
+        b.counter("pivots_clustered", clustered.pivots as f64);
+        b.counter("pivots_per_device", baseline_pivots as f64);
+        b.counter(
+            "pivot_pct_of_baseline",
+            100.0 * clustered.pivots as f64 / (baseline_pivots as f64).max(1.0),
+        );
+    });
+
+    c.bench_function("fleet", |b| {
+        b.iter(|| run_epochs(&mut build_fleet(2, 0.08), &traces));
+        b.counter("devices", devices as f64);
+        b.counter("classes", 3.0);
+        b.counter("epochs", EPOCHS as f64);
+        b.counter("clusters", clustered.clusters as f64);
+        b.counter(
+            "solves_total",
+            reference.iter().map(|r| r.solves).sum::<usize>() as f64,
+        );
+        b.counter(
+            "pivots_total",
+            reference.iter().map(|r| r.pivots).sum::<usize>() as f64,
+        );
+        b.counter(
+            "symbolic_reuses",
+            reference.iter().map(|r| r.symbolic_reuses).sum::<usize>() as f64,
+        );
+        b.counter(
+            "evictions",
+            reference.iter().map(|r| r.evictions).sum::<usize>() as f64,
+        );
+        b.counter("throughput_w1_dev_epochs_per_s", w1);
+        b.counter("throughput_w8_dev_epochs_per_s", w8);
+        b.counter("speedup_8w_over_1w_x", w8 / w1);
+        b.counter(
+            "host_cores",
+            std::thread::available_parallelism().map_or(1, usize::from) as f64,
+        );
+    });
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -522,6 +522,31 @@ impl PreparedOptimization {
         Ok(self.session.update_model(chain)?)
     }
 
+    /// Clones this prepared optimization into an independent sibling —
+    /// same problem, bounds and warm basis, shared cost matrices (by
+    /// reference count) and, on the default
+    /// [`SolverKind::RevisedSimplex`] engine, a shared symbolic LU
+    /// analysis: the sibling's first same-shape
+    /// [`Self::update_model`]+[`Self::solve`] refactorizes along the
+    /// parent's pivot order instead of repeating the Markowitz search.
+    ///
+    /// This is how a fleet controller turns one prepared problem per LP
+    /// *shape* into one session per *cluster* without paying the LP
+    /// emission or the symbolic analysis again.
+    ///
+    /// # Errors
+    ///
+    /// Propagated engine failures from the underlying session fork.
+    pub fn fork(&self) -> Result<PreparedOptimization, DpmError> {
+        Ok(PreparedOptimization {
+            session: self.session.fork()?,
+            discount: self.discount,
+            goal: self.goal,
+            costs: Arc::clone(&self.costs),
+            chain_dependent_costs: self.chain_dependent_costs,
+        })
+    }
+
     /// Report of the most recent solve attempt, successful or not —
     /// how sweep drivers label infeasible points.
     pub fn last_report(&self) -> &SolveReport {
@@ -844,6 +869,44 @@ mod tests {
                 cold.power_per_slice()
             );
         }
+    }
+
+    #[test]
+    fn forked_preparation_reuses_symbolic_analysis_and_stays_independent() {
+        let system = example_system();
+        let mut prepared = PolicyOptimizer::new(&system)
+            .horizon(10_000.0)
+            .max_performance_penalty(0.5)
+            .prepare()
+            .unwrap();
+        let base = prepared.solve().unwrap();
+        // Fork per "cluster": each gets its own drifted workload.
+        let mut forks: Vec<PreparedOptimization> =
+            (0..3).map(|_| prepared.fork().unwrap()).collect();
+        let drifts = [(0.08, 0.8), (0.03, 0.9), (0.06, 0.84)];
+        for (fork, (p01, p11)) in forks.iter_mut().zip(drifts) {
+            let drifted = example_system_with_workload(p01, p11);
+            assert_eq!(
+                fork.update_model(drifted.chain()).unwrap(),
+                ReloadKind::Warm
+            );
+            let warm = fork.solve().unwrap();
+            assert!(warm.solve_report().warm_start);
+            assert!(
+                warm.solve_report().symbolic_reuse > 0,
+                "forked session should reuse the parent's symbolic analysis"
+            );
+            let cold = PolicyOptimizer::new(&drifted)
+                .horizon(10_000.0)
+                .max_performance_penalty(0.5)
+                .solver(SolverKind::Simplex)
+                .solve()
+                .unwrap();
+            assert!((warm.power_per_slice() - cold.power_per_slice()).abs() < 1e-6);
+        }
+        // The parent still solves its original model unchanged.
+        let again = prepared.solve().unwrap();
+        assert!((again.power_per_slice() - base.power_per_slice()).abs() < 1e-9);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use error::LinalgError;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
 pub use sparse::{CscMatrix, CsrMatrix, TripletMatrix};
-pub use sparse_lu::SparseLu;
+pub use sparse_lu::{SparseLu, SymbolicLu};
 
 /// Default absolute tolerance used by the factorizations to declare a pivot
 /// numerically zero.

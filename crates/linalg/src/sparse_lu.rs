@@ -29,7 +29,18 @@
 //!   dense `m`-vectors accumulate per pivot.
 //!
 //! Fill-in is tracked ([`SparseLu::fill_in`]) so callers can report how
-//! far the factors drifted from the input's sparsity.
+//! far the factors drifted from the input's sparsity. Update stability is
+//! tracked too: spike entries below a relative drop tolerance are
+//! discarded during updates, and [`SparseLu::update_growth`] exposes a
+//! Bartels–Golub-style growth gauge callers use to force an early
+//! refactorization before accumulated updates lose accuracy.
+//!
+//! The analysis itself is reusable: [`SparseLu::symbolic`] exposes the
+//! pivot sequence as an [`Arc`]-shared [`SymbolicLu`], and
+//! [`SparseLu::from_columns_with_symbolic`] refactorizes a
+//! shape-identical matrix along that fixed order in pure `O(nnz)`
+//! elimination work — no Markowitz search. A fleet of solver sessions
+//! whose bases share one sparsity pattern pays for one analysis.
 //!
 //! # Example
 //!
@@ -55,6 +66,8 @@
 //! # }
 //! ```
 
+use std::sync::Arc;
+
 use crate::{LinalgError, DEFAULT_PIVOT_TOLERANCE};
 
 /// Relative threshold for partial pivoting: an entry is an admissible
@@ -62,6 +75,20 @@ use crate::{LinalgError, DEFAULT_PIVOT_TOLERANCE};
 /// magnitude in its column. Larger values favor stability, smaller values
 /// favor sparsity; 0.1 is the textbook compromise (Duff–Erisman–Reid).
 const PIVOT_THRESHOLD: f64 = 0.1;
+
+/// Relaxed admissibility threshold for refactorization along a *fixed*
+/// symbolic order: the prescribed pivot only has to carry this fraction
+/// of its column's weight. Looser than [`PIVOT_THRESHOLD`] because a
+/// mild value drift must not invalidate a sound elimination order; a
+/// pivot that decays below this has genuinely degenerated and the caller
+/// falls back to a fresh Markowitz analysis.
+const REFACTOR_PIVOT_THRESHOLD: f64 = 0.01;
+
+/// Relative drop tolerance of Forrest–Tomlin updates: spike entries
+/// below this fraction of the spike's largest magnitude are discarded
+/// instead of installed. They would cost fill and solve work while
+/// carrying no significant weight; the growth gauge bounds the damage.
+const FT_DROP_TOLERANCE: f64 = 1e-12;
 
 /// How many lowest-count candidate columns the Markowitz search examines
 /// per pivot before settling (Suhl-style bounded search). Keeps pivot
@@ -77,6 +104,33 @@ struct RowEta {
     target: usize,
     /// `(pivot id j, multiplier mⱼ)` terms, in elimination order.
     terms: Vec<(usize, f64)>,
+}
+
+/// The symbolic half of a [`SparseLu`] factorization: the pivot sequence
+/// the Markowitz analysis chose — which original row and column are
+/// eliminated at each step, which fixes the elimination structure and
+/// the fill pattern it induces.
+///
+/// A shape-identical matrix (same dimension and sparsity pattern,
+/// drifted values) can be refactorized along this order with
+/// [`SparseLu::from_columns_with_symbolic`], skipping the Markowitz
+/// search entirely. The structure is handed out `Arc`-shared
+/// ([`SparseLu::symbolic`]) so thousands of solver sessions factoring
+/// the same LP shape pay for **one** analysis.
+#[derive(Debug)]
+pub struct SymbolicLu {
+    n: usize,
+    /// `row_of[k]` = original row eliminated at step `k`.
+    row_of: Vec<usize>,
+    /// `col_of[k]` = original column eliminated at step `k`.
+    col_of: Vec<usize>,
+}
+
+impl SymbolicLu {
+    /// Dimension of the analyzed matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
 }
 
 /// Sparse LU factorization `A = Pᵀ L U Qᵀ` of a square matrix given by
@@ -119,6 +173,13 @@ pub struct SparseLu {
     base_nnz: usize,
     /// Column replacements absorbed since factorization.
     updates: usize,
+    /// The pivot sequence, shared with every factorization derived from
+    /// the same symbolic analysis.
+    symbolic: Arc<SymbolicLu>,
+    /// Bartels–Golub-style growth gauge over the absorbed updates:
+    /// the largest update multiplier / spike-to-diagonal ratio seen.
+    /// Resets to 1 on (re)factorization.
+    growth: f64,
 }
 
 impl SparseLu {
@@ -138,66 +199,65 @@ impl SparseLu {
         n: usize,
         columns: &[C],
     ) -> Result<Self, LinalgError> {
-        if columns.len() != n {
-            return Err(LinalgError::DimensionMismatch {
-                found: (n, columns.len()),
-                expected: (n, n),
-            });
-        }
-
-        // Build row-major working storage plus column row-lists.
-        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-        for (j, col) in columns.iter().enumerate() {
-            for &(i, v) in col.as_ref() {
-                if i >= n {
-                    return Err(LinalgError::DimensionMismatch {
-                        found: (i, j),
-                        expected: (n, n),
-                    });
-                }
-                if !v.is_finite() {
-                    return Err(LinalgError::NonFiniteEntry { row: i, col: j });
-                }
-                if v == 0.0 {
-                    continue;
-                }
-                // Duplicates within one column arrive consecutively for
-                // the same row only if pushed back-to-back; handle the
-                // general case with a lookup (columns are short).
-                if let Some(slot) = rows[i].iter_mut().find(|(c, _)| *c == j) {
-                    slot.1 += v;
-                } else {
-                    rows[i].push((j, v));
-                }
-            }
-        }
-        let base_nnz = rows.iter().map(Vec::len).sum();
-        let mut col_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, row) in rows.iter().enumerate() {
-            for &(j, _) in row {
-                col_rows[j].push(i);
-            }
-        }
-
-        let mut state = Factorizer {
-            n,
-            rows,
-            col_rows,
-            row_active: vec![true; n],
-            col_active: vec![true; n],
-            l_cols: Vec::with_capacity(n),
-            u_rows_raw: Vec::with_capacity(n),
-            udiag: Vec::with_capacity(n),
-            row_of: Vec::with_capacity(n),
-            col_of: Vec::with_capacity(n),
-            scratch_val: vec![0.0; n],
-            scratch_mark: vec![false; n],
-        };
+        let (mut state, base_nnz) = Factorizer::build(n, columns)?;
         for step in 0..n {
             let (pr, pc) = state.choose_pivot(step)?;
             state.eliminate(pr, pc);
         }
         Ok(state.finish(base_nnz))
+    }
+
+    /// Refactorizes a **shape-identical** matrix along the fixed pivot
+    /// sequence of a previous analysis — the numeric half of the
+    /// symbolic/numeric split. No Markowitz search runs: each step
+    /// eliminates the prescribed `(row, column)` pair, so the cost is
+    /// pure `O(nnz)` elimination work and the returned factorization
+    /// shares `symbolic` (see [`Self::symbolic`]).
+    ///
+    /// Pivot admissibility is still checked, against the relaxed
+    /// fixed-order threshold: a prescribed pivot that lost too much of
+    /// its column's weight fails with
+    /// [`LinalgError::SingularMatrix`], and the caller should fall back
+    /// to a fresh [`Self::from_columns`] analysis.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] /
+    ///   [`LinalgError::NonFiniteEntry`] as in [`Self::from_columns`].
+    /// * [`LinalgError::SingularMatrix`] when a prescribed pivot is
+    ///   absent, inadmissibly small, or the matrix degenerated under
+    ///   this order.
+    pub fn from_columns_with_symbolic<C: AsRef<[(usize, f64)]>>(
+        symbolic: &Arc<SymbolicLu>,
+        columns: &[C],
+    ) -> Result<Self, LinalgError> {
+        let n = symbolic.n;
+        let (mut state, base_nnz) = Factorizer::build(n, columns)?;
+        for step in 0..n {
+            let (pr, pc) = (symbolic.row_of[step], symbolic.col_of[step]);
+            state.prepare_pivot(pr, pc, step)?;
+            state.eliminate(pr, pc);
+        }
+        let mut lu = state.finish(base_nnz);
+        lu.symbolic = Arc::clone(symbolic);
+        Ok(lu)
+    }
+
+    /// The `Arc`-shared symbolic analysis (pivot sequence) this
+    /// factorization follows — pass it to
+    /// [`Self::from_columns_with_symbolic`] to refactorize
+    /// shape-identical matrices without repeating the Markowitz search.
+    pub fn symbolic(&self) -> Arc<SymbolicLu> {
+        Arc::clone(&self.symbolic)
+    }
+
+    /// The update-stability gauge: the largest elimination multiplier /
+    /// spike-to-diagonal ratio absorbed since (re)factorization, `1.0`
+    /// right after factorizing. A large value means accumulated
+    /// Forrest–Tomlin updates are amplifying rounding error and the
+    /// caller should refactorize early.
+    pub fn update_growth(&self) -> f64 {
+        self.growth
     }
 
     /// Dimension of the factored matrix.
@@ -351,17 +411,23 @@ impl SparseLu {
 
         // Eliminate the row spike left to right; the multipliers become a
         // row transformation and the spike column's entries fold into the
-        // new diagonal.
+        // new diagonal. Entries below the relative drop tolerance are
+        // discarded — they cost fill and solve work while carrying no
+        // significant weight (the growth gauge bounds the damage).
+        let w_max = w.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let spike_max = spike.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         let mut diag = w[t];
         let mut terms: Vec<(usize, f64)> = Vec::new();
+        let mut multiplier_max = 0.0f64;
         for q in start..n.saturating_sub(1) {
             let j = self.order[q];
             let s = spike[j];
-            if s == 0.0 {
+            spike[j] = 0.0;
+            if s.abs() <= FT_DROP_TOLERANCE * spike_max {
                 continue;
             }
-            spike[j] = 0.0;
             let m = s / self.udiag[j];
+            multiplier_max = multiplier_max.max(m.abs());
             terms.push((j, m));
             for &(c, v) in &self.urows[j] {
                 spike[c] -= m * v;
@@ -372,10 +438,11 @@ impl SparseLu {
             return Err(LinalgError::SingularMatrix { pivot: t });
         }
 
-        // Install the spike as the new column t.
+        // Install the spike as the new column t, dropping entries that
+        // are negligible relative to the spike's largest.
         self.udiag[t] = diag;
         for (id, &wi) in w.iter().enumerate() {
-            if id != t && wi != 0.0 {
+            if id != t && wi.abs() > FT_DROP_TOLERANCE * w_max {
                 self.urows[id].push((t, wi));
                 self.ucols[t].push(id);
             }
@@ -383,6 +450,10 @@ impl SparseLu {
         if !terms.is_empty() {
             self.etas.push(RowEta { target: t, terms });
         }
+        self.growth = self
+            .growth
+            .max(multiplier_max)
+            .max(w_max / diag.abs().max(f64::MIN_POSITIVE));
         self.updates += 1;
         Ok(())
     }
@@ -460,6 +531,105 @@ struct Factorizer {
 }
 
 impl Factorizer {
+    /// Validates `columns`, builds the row-major working storage plus
+    /// column row-lists, and returns the ready elimination state together
+    /// with the input's nonzero count.
+    fn build<C: AsRef<[(usize, f64)]>>(
+        n: usize,
+        columns: &[C],
+    ) -> Result<(Self, usize), LinalgError> {
+        if columns.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                found: (n, columns.len()),
+                expected: (n, n),
+            });
+        }
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (j, col) in columns.iter().enumerate() {
+            for &(i, v) in col.as_ref() {
+                if i >= n {
+                    return Err(LinalgError::DimensionMismatch {
+                        found: (i, j),
+                        expected: (n, n),
+                    });
+                }
+                if !v.is_finite() {
+                    return Err(LinalgError::NonFiniteEntry { row: i, col: j });
+                }
+                if v == 0.0 {
+                    continue;
+                }
+                // Duplicates within one column arrive consecutively for
+                // the same row only if pushed back-to-back; handle the
+                // general case with a lookup (columns are short).
+                if let Some(slot) = rows[i].iter_mut().find(|(c, _)| *c == j) {
+                    slot.1 += v;
+                } else {
+                    rows[i].push((j, v));
+                }
+            }
+        }
+        let base_nnz = rows.iter().map(Vec::len).sum();
+        let mut col_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, row) in rows.iter().enumerate() {
+            for &(j, _) in row {
+                col_rows[j].push(i);
+            }
+        }
+        let state = Factorizer {
+            n,
+            rows,
+            col_rows,
+            row_active: vec![true; n],
+            col_active: vec![true; n],
+            l_cols: Vec::with_capacity(n),
+            u_rows_raw: Vec::with_capacity(n),
+            udiag: Vec::with_capacity(n),
+            row_of: Vec::with_capacity(n),
+            col_of: Vec::with_capacity(n),
+            scratch_val: vec![0.0; n],
+            scratch_mark: vec![false; n],
+        };
+        Ok((state, base_nnz))
+    }
+
+    /// Compacts the prescribed pivot's column and admits the prescribed
+    /// entry — the fixed-order counterpart of [`Self::choose_pivot`],
+    /// used when refactorizing along an existing symbolic analysis.
+    /// [`Self::eliminate`] requires the pivot column compacted, which
+    /// the Markowitz search does as a side effect and this does
+    /// explicitly.
+    fn prepare_pivot(&mut self, pr: usize, pc: usize, step: usize) -> Result<(), LinalgError> {
+        if pr >= self.n || pc >= self.n || !self.row_active[pr] || !self.col_active[pc] {
+            return Err(LinalgError::SingularMatrix { pivot: step });
+        }
+        let mut kept: Vec<usize> = Vec::with_capacity(self.col_rows[pc].len());
+        let mut col_max = 0.0f64;
+        let mut pivot_mag = 0.0f64;
+        for idx in 0..self.col_rows[pc].len() {
+            let i = self.col_rows[pc][idx];
+            if !self.row_active[i] {
+                continue;
+            }
+            let Some(&(_, v)) = self.rows[i].iter().find(|&&(c, _)| c == pc) else {
+                continue;
+            };
+            if kept.contains(&i) {
+                continue;
+            }
+            kept.push(i);
+            col_max = col_max.max(v.abs());
+            if i == pr {
+                pivot_mag = v.abs();
+            }
+        }
+        self.col_rows[pc] = kept;
+        if pivot_mag <= DEFAULT_PIVOT_TOLERANCE || pivot_mag < REFACTOR_PIVOT_THRESHOLD * col_max {
+            return Err(LinalgError::SingularMatrix { pivot: step });
+        }
+        Ok(())
+    }
+
     /// Picks the next pivot by bounded Markowitz search: examine the few
     /// lowest-count active columns, keep the threshold-admissible entry
     /// with the smallest `(r−1)·(c−1)` cost (largest magnitude on ties).
@@ -640,6 +810,11 @@ impl Factorizer {
                 ucols[c].push(r);
             }
         }
+        let symbolic = Arc::new(SymbolicLu {
+            n,
+            row_of: self.row_of.clone(),
+            col_of: self.col_of.clone(),
+        });
         SparseLu {
             n,
             l_cols: self.l_cols,
@@ -655,6 +830,8 @@ impl Factorizer {
             etas: Vec::new(),
             base_nnz,
             updates: 0,
+            symbolic,
+            growth: 1.0,
         }
     }
 }
@@ -864,5 +1041,174 @@ mod tests {
         let dense_col: Vec<(usize, f64)> = (0..10).map(|i| (i, 1.0 + i as f64 / 10.0)).collect();
         lu.replace_column(2, &dense_col).unwrap();
         assert!(lu.fill_in() > before, "a dense spike must add fill");
+    }
+
+    /// Drifts every nonzero of `a` by a seed-dependent relative factor,
+    /// keeping the sparsity pattern identical.
+    fn drift_values(a: &Matrix, seed: u64) -> Matrix {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut out = Matrix::zeros(a.rows(), a.cols());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                if a[(i, j)] != 0.0 {
+                    // Perturb by up to ±20%: same pattern, drifted values.
+                    out[(i, j)] = a[(i, j)] * (1.0 + ((next() % 400) as f64 - 200.0) / 1000.0);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn symbolic_refactorization_matches_fresh() {
+        // Property: for random sparse bases and shape-identical value
+        // drifts, refactorizing along the shared symbolic order is
+        // numerically identical (to 1e-10) to a fresh Markowitz
+        // factorization — FTRAN and BTRAN both.
+        for n in [6usize, 12, 20] {
+            for seed in 1..12u64 {
+                let a = sparse_random(n, seed);
+                let first = SparseLu::from_columns(n, &columns_of(&a)).unwrap();
+                let symbolic = first.symbolic();
+                let b: Vec<f64> = (0..n).map(|i| (i as f64) / 2.0 - 1.0).collect();
+                for drift_seed in [seed * 31 + 1, seed * 57 + 2] {
+                    let drifted = drift_values(&a, drift_seed);
+                    let cols = columns_of(&drifted);
+                    let reused = SparseLu::from_columns_with_symbolic(&symbolic, &cols).unwrap();
+                    assert!(
+                        Arc::ptr_eq(&reused.symbolic(), &symbolic),
+                        "n {n} seed {seed}: the analysis must be shared, not rebuilt"
+                    );
+                    let fresh = SparseLu::from_columns(n, &cols).unwrap();
+                    let (xr, xf) = (reused.solve(&b).unwrap(), fresh.solve(&b).unwrap());
+                    assert!(
+                        vector::max_abs_diff(&xr, &xf) < 1e-10,
+                        "n {n} seed {seed}/{drift_seed}: FTRAN reused vs fresh"
+                    );
+                    let (tr, tf) = (
+                        reused.solve_transposed(&b).unwrap(),
+                        fresh.solve_transposed(&b).unwrap(),
+                    );
+                    assert!(
+                        vector::max_abs_diff(&tr, &tf) < 1e-10,
+                        "n {n} seed {seed}/{drift_seed}: BTRAN reused vs fresh"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_refactorization_rejects_degenerate_pivot() {
+        let a = sparse_random(8, 5);
+        let first = SparseLu::from_columns(8, &columns_of(&a)).unwrap();
+        let symbolic = first.symbolic();
+        // Zero out the first prescribed pivot entry: the fixed order is
+        // no longer admissible and the caller must re-analyze.
+        let mut broken = a.clone();
+        let (pr, pc) = (symbolic.row_of[0], symbolic.col_of[0]);
+        broken[(pr, pc)] = 0.0;
+        assert!(matches!(
+            SparseLu::from_columns_with_symbolic(&symbolic, &columns_of(&broken)),
+            Err(LinalgError::SingularMatrix { .. })
+        ));
+        // A wholesale singular drift is caught too.
+        let zeros = Matrix::zeros(8, 8);
+        assert!(matches!(
+            SparseLu::from_columns_with_symbolic(&symbolic, &columns_of(&zeros)),
+            Err(LinalgError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn long_ft_chain_stays_accurate_with_drop_tolerance() {
+        // ROADMAP residual: a long Forrest–Tomlin chain on a denser basis
+        // must keep tracking the fresh factorization now that sub-
+        // tolerance spike entries are dropped.
+        let n = 12;
+        let mut a = sparse_random(n, 11);
+        let mut lu = SparseLu::from_columns(n, &columns_of(&a)).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| 0.3 + i as f64 / 4.0).collect();
+        for step in 0..50usize {
+            let slot = (step * 5 + 1) % n;
+            let mut col = vec![0.0; n];
+            col[slot] = 2.5 + (step % 7) as f64 / 3.0;
+            col[(slot + 2) % n] = -0.8 + (step % 5) as f64 / 9.0;
+            col[(slot + 7) % n] = 0.6 - (step % 3) as f64 / 8.0;
+            for (i, &v) in col.iter().enumerate() {
+                a[(i, slot)] = v;
+            }
+            let sparse_col: Vec<(usize, f64)> = col
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != 0.0)
+                .map(|(i, &v)| (i, v))
+                .collect();
+            lu.replace_column(slot, &sparse_col).unwrap();
+            let fresh = SparseLu::from_columns(n, &columns_of(&a)).unwrap();
+            assert!(
+                vector::max_abs_diff(&lu.solve(&b).unwrap(), &fresh.solve(&b).unwrap()) < 1e-8,
+                "step {step}: long FT chain diverged from fresh factors"
+            );
+        }
+        assert_eq!(lu.updates(), 50);
+        assert!(lu.update_growth().is_finite());
+    }
+
+    #[test]
+    fn update_growth_flags_ill_conditioned_updates() {
+        let a = sparse_random(6, 9);
+        let cols = columns_of(&a);
+        let mut lu = SparseLu::from_columns(6, &cols).unwrap();
+        assert_eq!(lu.update_growth(), 1.0, "fresh factors start at unity");
+        // A benign replacement keeps the gauge modest...
+        lu.replace_column(1, &[(1, 3.0), (3, 0.5)]).unwrap();
+        let benign = lu.update_growth();
+        assert!(benign < 1e3, "benign update must not spike the gauge");
+        // ...but a near-duplicate of another column (nearly dependent)
+        // produces a tiny diagonal and a huge spike-to-diagonal ratio.
+        let mut near_dup: Vec<(usize, f64)> = cols[0].clone();
+        near_dup[0].1 += 1e-9;
+        lu.replace_column(2, &near_dup).unwrap();
+        assert!(
+            lu.update_growth() > 1e6,
+            "near-singular update must trip the growth gauge (got {})",
+            lu.update_growth()
+        );
+        // The gauge is monotone and resets on refactorization.
+        assert!(lu.update_growth() >= benign);
+        let fresh = SparseLu::from_columns(6, &cols).unwrap();
+        assert_eq!(fresh.update_growth(), 1.0);
+    }
+
+    #[test]
+    fn drop_tolerance_discards_negligible_spike_entries() {
+        let a = sparse_random(10, 21);
+        let mut lu = SparseLu::from_columns(10, &columns_of(&a)).unwrap();
+        // A column whose tail entries are far below the drop tolerance
+        // relative to its head: the tiny ones must not be installed.
+        let mut with_dust: Vec<(usize, f64)> = vec![(2, 4.0), (5, -1.5)];
+        for i in [0usize, 1, 3, 7, 9] {
+            with_dust.push((i, 1e-40));
+        }
+        let mut clean = lu.clone();
+        lu.replace_column(2, &with_dust).unwrap();
+        clean.replace_column(2, &[(2, 4.0), (5, -1.5)]).unwrap();
+        assert_eq!(
+            lu.nnz_factors(),
+            clean.nnz_factors(),
+            "sub-tolerance dust must not add fill"
+        );
+        let b: Vec<f64> = (0..10).map(|i| 1.0 + i as f64 / 5.0).collect();
+        assert!(
+            vector::max_abs_diff(&lu.solve(&b).unwrap(), &clean.solve(&b).unwrap()) < 1e-12,
+            "dropping dust must not move the solution"
+        );
     }
 }

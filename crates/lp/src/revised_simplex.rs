@@ -47,7 +47,9 @@
 //! mirroring the dense engine's anti-cycling protection. See
 //! `docs/SOLVERS.md` for when each rule wins.
 
-use dpm_linalg::{LuDecomposition, Matrix, SparseLu};
+use std::sync::Arc;
+
+use dpm_linalg::{LuDecomposition, Matrix, SparseLu, SymbolicLu};
 
 use crate::pricing::{Devex, DEVEX_WEIGHT_LIMIT};
 use crate::session::{same_shape, InfeasibilityCertificate, ReloadKind, SolveReport};
@@ -231,6 +233,7 @@ impl LpSolver for RevisedSimplex {
             rhs_dirty: false,
             obj_dirty: false,
             reload_pending: false,
+            symbolic_reported: 0,
             report: SolveReport::new("revised-simplex"),
         }))
     }
@@ -252,7 +255,7 @@ enum Phase {
 
 /// One product-form basis update: replacing basis slot `slot` recorded the
 /// direction `d = B⁻¹ a_entering`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Eta {
     slot: usize,
     d: Vec<f64>,
@@ -261,7 +264,7 @@ struct Eta {
 /// The basis factorization behind FTRAN/BTRAN: sparse Markowitz LU (the
 /// [`BasisUpdate::ForrestTomlin`] and [`BasisUpdate::Eta`] schemes) or
 /// the legacy dense LU ([`BasisUpdate::DenseEta`]).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Factors {
     Sparse(Box<SparseLu>),
     Dense(Box<LuDecomposition>),
@@ -299,7 +302,7 @@ impl Factors {
 }
 
 /// Solver state over the (row-sign-normalized) sparse standard form.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Core {
     m: usize,
     /// Structural columns: originals then slacks. Artificials follow.
@@ -355,7 +358,25 @@ struct Core {
     /// update, so update-chain fill is visible even though extraction
     /// ends on freshly refactorized factors.
     peak_fill: usize,
+    /// The last fresh sparse factorization's symbolic analysis, keyed by
+    /// the exact basis (slot order included) it was computed for. A
+    /// refactorization of the *same* basis — the common case after a
+    /// warm reload, a session fork, or a growth-forced refresh — follows
+    /// the stored pivot order numerically instead of repeating the
+    /// Markowitz search. Shared across forked cores by `Arc`, so a fleet
+    /// of shape-identical sessions pays for one analysis.
+    shared_symbolic: Option<(Vec<usize>, Arc<SymbolicLu>)>,
+    /// Lifetime count of refactorizations that reused a stored symbolic
+    /// analysis, for [`SolveReport::symbolic_reuse`].
+    symbolic_reuses: usize,
 }
+
+/// A Forrest–Tomlin update whose growth gauge
+/// ([`SparseLu::update_growth`]) exceeds this bound forces an early
+/// refactorization: the factors are still nonsingular, but the spike
+/// elimination multiplied roundoff by enough that the drop tolerance can
+/// no longer be trusted (Bartels–Golub-style stability monitoring).
+const FT_GROWTH_LIMIT: f64 = 1e7;
 
 impl Core {
     fn build(
@@ -444,6 +465,8 @@ impl Core {
             priced_columns: 0,
             devex_resets: 0,
             peak_fill: 0,
+            shared_symbolic: None,
+            symbolic_reuses: 0,
         };
         core.refactor()?;
         Ok(core)
@@ -482,11 +505,35 @@ impl Core {
                     .iter()
                     .map(|&j| self.cols[j].as_slice())
                     .collect();
-                Factors::Sparse(Box::new(SparseLu::from_columns(self.m, &cols).map_err(
-                    |e| LpError::Numerical {
-                        reason: format!("singular simplex basis: {e}"),
-                    },
-                )?))
+                // When the stored symbolic analysis was computed for this
+                // exact basis, skip the Markowitz search and refactorize
+                // numerically along its pivot order. Any failure (a
+                // prescribed pivot went numerically unacceptable under
+                // the drifted coefficients) silently falls back to a
+                // fresh analysis.
+                let reused = self.shared_symbolic.as_ref().and_then(|(key, symbolic)| {
+                    if key == &self.basis {
+                        SparseLu::from_columns_with_symbolic(symbolic, &cols).ok()
+                    } else {
+                        None
+                    }
+                });
+                let lu = match reused {
+                    Some(lu) => {
+                        self.symbolic_reuses += 1;
+                        lu
+                    }
+                    None => {
+                        let lu = SparseLu::from_columns(self.m, &cols).map_err(|e| {
+                            LpError::Numerical {
+                                reason: format!("singular simplex basis: {e}"),
+                            }
+                        })?;
+                        self.shared_symbolic = Some((self.basis.clone(), lu.symbolic()));
+                        lu
+                    }
+                };
+                Factors::Sparse(Box::new(lu))
             }
         };
         self.peak_fill = self.peak_fill.max(self.factors.fill_in());
@@ -519,6 +566,12 @@ impl Core {
                         self.basis_updates += 1;
                         self.updates_since_refactor += 1;
                         self.peak_fill = self.peak_fill.max(lu.fill_in());
+                        // Residual-growth guard: an update that survived
+                        // but multiplied roundoff past the trust bound
+                        // forces an early refresh from pristine columns.
+                        if lu.update_growth() > FT_GROWTH_LIMIT {
+                            return self.refactor();
+                        }
                         Ok(())
                     }
                     // A vanishing update diagonal: the repaired factors
@@ -1304,6 +1357,12 @@ struct RevisedSession {
     /// coefficients; the next solve must run the reload-repair path
     /// instead of assuming the retained basis is still optimal.
     reload_pending: bool,
+    /// The core's [`Core::symbolic_reuses`] total already attributed to
+    /// previous reports. Symbolic reuses can happen *between* solves
+    /// (a [`SolveSession::reload`] refactorizes immediately), so the
+    /// per-solve delta is taken against this session-level baseline
+    /// rather than an [`EffortMark`].
+    symbolic_reported: usize,
     report: SolveReport,
 }
 
@@ -1412,6 +1471,16 @@ impl RevisedSession {
         result
     }
 
+    /// Folds the core's symbolic-reuse total into `report` as a delta
+    /// against the session-level baseline, then advances the baseline.
+    /// Counts reuses since the last report — including reload-time
+    /// refactorizations that ran between solves.
+    fn note_symbolic(&mut self, report: &mut SolveReport) {
+        let total = self.core.as_ref().map_or(0, |c| c.symbolic_reuses);
+        report.symbolic_reuse = total.saturating_sub(self.symbolic_reported);
+        self.symbolic_reported = total;
+    }
+
     fn solve_cold(&mut self, report: &mut SolveReport) -> Result<LpSolution, LpError> {
         self.core = None;
         self.warm = false;
@@ -1504,6 +1573,7 @@ impl SolveSession for RevisedSession {
             match self.try_warm_reload(&mut report) {
                 Ok(solution) => {
                     self.reload_pending = false;
+                    self.note_symbolic(&mut report);
                     self.report = report.clone();
                     return Ok((solution, report));
                 }
@@ -1515,6 +1585,7 @@ impl SolveSession for RevisedSession {
                     if e == LpError::Infeasible {
                         report.infeasibility = Some(InfeasibilityCertificate::DualRay);
                     }
+                    self.note_symbolic(&mut report);
                     self.report = report;
                     return Err(e);
                 }
@@ -1527,6 +1598,7 @@ impl SolveSession for RevisedSession {
                 Ok(solution) => {
                     self.rhs_dirty = false;
                     self.obj_dirty = false;
+                    self.note_symbolic(&mut report);
                     self.report = report.clone();
                     return Ok((solution, report));
                 }
@@ -1539,6 +1611,7 @@ impl SolveSession for RevisedSession {
                     if e == LpError::Infeasible {
                         report.infeasibility = Some(InfeasibilityCertificate::DualRay);
                     }
+                    self.note_symbolic(&mut report);
                     self.report = report;
                     return Err(e);
                 }
@@ -1548,8 +1621,28 @@ impl SolveSession for RevisedSession {
             }
         }
         let result = self.solve_cold(&mut report);
+        self.note_symbolic(&mut report);
         self.report = report.clone();
         result.map(|solution| (solution, report))
+    }
+
+    fn fork(&self) -> Result<Box<dyn SolveSession>, LpError> {
+        // The clone carries the core — basis, factors, *and* the
+        // `Arc`-shared symbolic analysis — so the sibling's next
+        // same-basis refactorization (e.g. a shape-identical reload)
+        // skips the Markowitz search. The reuse baseline starts at the
+        // core's current total: only reuses after the fork are reported.
+        Ok(Box::new(RevisedSession {
+            config: self.config.clone(),
+            lp: self.lp.clone(),
+            core: self.core.clone(),
+            warm: self.warm,
+            rhs_dirty: self.rhs_dirty,
+            obj_dirty: self.obj_dirty,
+            reload_pending: self.reload_pending,
+            symbolic_reported: self.core.as_ref().map_or(0, |c| c.symbolic_reuses),
+            report: self.report.clone(),
+        }))
     }
 
     fn last_report(&self) -> &SolveReport {
@@ -2092,6 +2185,82 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The textbook furniture LP plus a same-pattern drifted twin, for
+    /// the symbolic-reuse and fork tests below.
+    fn furniture_pair() -> (LinearProgram, LinearProgram) {
+        let mut lp = LinearProgram::maximize(&[3.0, 5.0]);
+        lp.add_constraint(&[1.0, 0.0], ConstraintOp::Le, 4.0)
+            .unwrap();
+        lp.add_constraint(&[0.0, 2.0], ConstraintOp::Le, 12.0)
+            .unwrap();
+        lp.add_constraint(&[3.0, 2.0], ConstraintOp::Le, 18.0)
+            .unwrap();
+        let mut drifted = LinearProgram::maximize(&[3.2, 4.8]);
+        drifted
+            .add_constraint(&[1.1, 0.0], ConstraintOp::Le, 4.2)
+            .unwrap();
+        drifted
+            .add_constraint(&[0.0, 2.1], ConstraintOp::Le, 11.5)
+            .unwrap();
+        drifted
+            .add_constraint(&[2.8, 2.2], ConstraintOp::Le, 17.5)
+            .unwrap();
+        (lp, drifted)
+    }
+
+    #[test]
+    fn warm_reload_reuses_symbolic_analysis() {
+        let (lp, drifted) = furniture_pair();
+        let mut session = RevisedSimplex::new().start(&lp).unwrap();
+        let (_, first) = session.solve().unwrap();
+        // The first solve analyzes every basis it factorizes fresh.
+        assert_eq!(first.symbolic_reuse, 0);
+        // A shape-identical reload refactorizes the *retained* basis —
+        // the exact basis the extraction-time analysis was stored for.
+        assert_eq!(session.reload(&drifted).unwrap(), ReloadKind::Warm);
+        let (warm, report) = session.solve().unwrap();
+        assert!(report.warm_start);
+        assert!(
+            report.symbolic_reuse > 0,
+            "reload-path refactorization should skip the Markowitz search"
+        );
+        let cold = solve(&drifted).unwrap();
+        assert!((warm.objective() - cold.objective()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forked_session_shares_symbolic_and_solves_independently() {
+        let (lp, drifted) = furniture_pair();
+        let mut session = RevisedSimplex::new().start(&lp).unwrap();
+        let (base, _) = session.solve().unwrap();
+        let mut fork = session.fork().unwrap();
+        // The fork re-solves its inherited model at zero pivots...
+        let (forked, report) = fork.solve().unwrap();
+        assert!(report.warm_start);
+        assert_eq!(report.iterations, 0);
+        assert!((forked.objective() - base.objective()).abs() < 1e-9);
+        // ...and a shape-identical reload reuses the parent's symbolic
+        // analysis through the shared `Arc`.
+        assert_eq!(fork.reload(&drifted).unwrap(), ReloadKind::Warm);
+        let (warm, report) = fork.solve().unwrap();
+        assert!(report.symbolic_reuse > 0, "fork should reuse symbolic");
+        let cold = solve(&drifted).unwrap();
+        assert!((warm.objective() - cold.objective()).abs() < 1e-9);
+        // The parent is untouched by the fork's mutations.
+        let (parent, _) = session.solve().unwrap();
+        assert!((parent.objective() - base.objective()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fork_before_first_solve_is_cold_but_correct() {
+        let (lp, _) = furniture_pair();
+        let session = RevisedSimplex::new().start(&lp).unwrap();
+        let mut fork = session.fork().unwrap();
+        let (solution, report) = fork.solve().unwrap();
+        assert!(!report.warm_start);
+        assert!((solution.objective() - 36.0).abs() < 1e-9);
     }
 
     #[test]

@@ -156,6 +156,15 @@ pub struct SolveReport {
     /// without pricing; occasional resets under devex are normal on
     /// ill-scaled programs, not a failure.
     pub devex_resets: usize,
+    /// Basis refactorizations during this solve (and the reload leading
+    /// into it) that **reused a shared symbolic analysis** — the fixed
+    /// Markowitz pivot order of an earlier shape-identical factorization
+    /// — instead of re-running the Markowitz search. Nonzero exactly when
+    /// the session skipped symbolic work: warm reloads refactorizing
+    /// drifted coefficients on an unchanged basis, and sessions created
+    /// by [`SolveSession::fork`] refactorizing their inherited basis.
+    /// Always 0 for engines without a sparse factorized basis.
+    pub symbolic_reuse: usize,
     /// Order-independent hash of the optimal basic column set, or 0 when
     /// the engine does not expose a basis. Two solves of the same loaded
     /// program that report the same nonzero signature ended at the same
@@ -180,6 +189,7 @@ impl SolveReport {
             pricing_candidates: 0,
             devex_resets: 0,
             fill_in_nnz: 0,
+            symbolic_reuse: 0,
             basis_signature: 0,
             infeasibility: None,
         }
@@ -217,7 +227,7 @@ impl SolveReport {
 /// # Ok(())
 /// # }
 /// ```
-pub trait SolveSession: std::fmt::Debug {
+pub trait SolveSession: std::fmt::Debug + Send {
     /// Replaces the right-hand side of constraint `row` (0-based, in the
     /// order constraints were added).
     ///
@@ -274,6 +284,26 @@ pub trait SolveSession: std::fmt::Debug {
     /// re-enter the feasible region.
     fn solve(&mut self) -> Result<(LpSolution, SolveReport), LpError>;
 
+    /// Clones the session into an independent sibling: same loaded
+    /// program (including every mutation applied so far) and the same
+    /// warm-start state, so the fork continues exactly where the parent
+    /// stands — the parent is not consumed and both sessions evolve
+    /// independently afterward.
+    ///
+    /// For [`RevisedSimplex`](crate::RevisedSimplex) the fork also
+    /// shares the parent basis's `Arc`'d **symbolic LU analysis**: the
+    /// fork's next refactorization of a shape-identical basis reuses the
+    /// parent's Markowitz pivot order in `O(nnz)` numeric work (counted
+    /// in [`SolveReport::symbolic_reuse`]). This is what makes
+    /// fleet-style fan-out cheap — load one session per LP shape, fork
+    /// it per cluster, and pay for one symbolic analysis total.
+    ///
+    /// # Errors
+    ///
+    /// Engine-specific failures while re-provisioning internal state;
+    /// the in-tree engines never fail here.
+    fn fork(&self) -> Result<Box<dyn SolveSession>, LpError>;
+
     /// Report of the most recent [`Self::solve`] call, successful or not.
     /// Before the first solve this is an all-zero cold report.
     fn last_report(&self) -> &SolveReport;
@@ -308,15 +338,15 @@ pub(crate) fn same_shape(loaded: &crate::LinearProgram, next: &crate::LinearProg
 /// fresh cold solve through the wrapped engine.
 ///
 /// [`solve`]: SolveSession::solve
-#[derive(Debug)]
-pub(crate) struct ColdSession<S: LpSolver + Clone> {
+#[derive(Debug, Clone)]
+pub(crate) struct ColdSession<S: LpSolver + Clone + Send + 'static> {
     engine: S,
     lp: LinearProgram,
     infeasibility_kind: InfeasibilityCertificate,
     report: SolveReport,
 }
 
-impl<S: LpSolver + Clone> ColdSession<S> {
+impl<S: LpSolver + Clone + Send + 'static> ColdSession<S> {
     /// Wraps `engine` around its own copy of `lp`. `infeasibility_kind`
     /// is the certificate this engine's `Infeasible` verdicts carry.
     pub(crate) fn new(
@@ -334,7 +364,7 @@ impl<S: LpSolver + Clone> ColdSession<S> {
     }
 }
 
-impl<S: LpSolver + Clone> SolveSession for ColdSession<S> {
+impl<S: LpSolver + Clone + Send + 'static> SolveSession for ColdSession<S> {
     fn set_rhs(&mut self, row: usize, rhs: f64) -> Result<(), LpError> {
         self.lp.set_rhs(row, rhs)?;
         Ok(())
@@ -367,6 +397,10 @@ impl<S: LpSolver + Clone> SolveSession for ColdSession<S> {
                 Err(e)
             }
         }
+    }
+
+    fn fork(&self) -> Result<Box<dyn SolveSession>, LpError> {
+        Ok(Box::new(self.clone()))
     }
 
     fn last_report(&self) -> &SolveReport {

@@ -92,7 +92,7 @@ impl CostConstraint {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ConstrainedMdp {
     mdp: DiscountedMdp,
     constraints: Vec<CostConstraint>,
@@ -275,6 +275,34 @@ struct ExtractionCache {
 }
 
 impl ConstrainedSession {
+    /// Clones this session into an independent sibling: same problem,
+    /// bounds and (for warm-capable engines) the same optimal basis —
+    /// forked through [`SolveSession::fork`], so a revised-simplex
+    /// sibling shares the `Arc`'d symbolic LU analysis and its first
+    /// same-shape refit skips the Markowitz search entirely. Mutations
+    /// ([`Self::set_bound`], [`Self::update_model`]) on either side
+    /// never affect the other. The extraction memo starts empty.
+    ///
+    /// This is the fleet primitive: build one session per LP *shape*,
+    /// fork it per cluster.
+    ///
+    /// # Errors
+    ///
+    /// Propagated engine failures from the inner session fork.
+    pub fn fork(&self) -> Result<ConstrainedSession, MdpError> {
+        Ok(ConstrainedSession {
+            problem: self.problem.clone(),
+            initial: self.initial.clone(),
+            lp: self.lp.clone(),
+            session: self.session.fork()?,
+            bounds: self.bounds.clone(),
+            solver_name: self.solver_name,
+            last: self.last.clone(),
+            cached: None,
+            extractions: 0,
+        })
+    }
+
     /// The wrapped constrained problem (cost matrices, names, the MDP).
     pub fn problem(&self) -> &ConstrainedMdp {
         &self.problem

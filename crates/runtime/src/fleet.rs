@@ -1,0 +1,920 @@
+//! Fleet-scale parallel adaptation: shard N per-device estimators across
+//! a fixed pool of scoped worker threads, cluster devices by
+//! fitted-model proximity, and **solve one LP per cluster** instead of
+//! one per device.
+//!
+//! The closed loop of the crate root adapts *one* device. A data center
+//! runs thousands of power-managed disks, CPUs and web servers at once,
+//! and the per-device loop does not scale two ways:
+//!
+//! * **estimation** is embarrassingly parallel but single-threaded —
+//!   [`FleetController::run_epoch`] shards the per-device feed+fit work
+//!   over a fixed pool of [`std::thread::scope`] workers (contiguous
+//!   device shards, results merged in device order, so the outcome is
+//!   **bit-identical for every worker count**);
+//! * **solving** one LP per device wastes pivots on devices whose fitted
+//!   models are statistically indistinguishable — the controller groups
+//!   devices whose fits sit within a max-abs transition-probability
+//!   threshold of each other (the same gauge as
+//!   [`WindowedEstimator::divergence`]) and solves **one LP per
+//!   cluster**, sharing the resulting randomized policy across the
+//!   members. A device whose fit drifts off its cluster's
+//!   representative is evicted and re-homed the same epoch.
+//!
+//! Every cluster session is a [`PreparedOptimization::fork`] of its
+//! device class's base session, so all clusters of a class share one
+//! symbolic LU analysis and re-solve **warm** — the per-cluster solve
+//! costs a handful of pivots, not a cold two-phase solve. Re-solves are
+//! **event-driven**: a cluster re-solves only when its representative
+//! model has moved at least the configured divergence since the last
+//! solve, and never again within the cooldown window.
+//!
+//! See `docs/FLEET.md` for the design notes and the `fleet` benchmark
+//! for throughput-vs-workers and solves-vs-devices measurements.
+//!
+//! # Example
+//!
+//! ```
+//! use dpm_runtime::{AdaptiveConfig, FleetConfig, FleetController};
+//! use dpm_systems::drifting;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = FleetConfig::new()
+//!     .adaptive(
+//!         AdaptiveConfig::new()
+//!             .memory(drifting::MEMORY)
+//!             .smoothing(drifting::SMOOTHING)
+//!             .horizon(drifting::HORIZON),
+//!     )
+//!     .workers(2);
+//! let mut fleet = FleetController::new(config);
+//! fleet.add_class(&drifting::blended_system(7)?, 4)?;
+//! // One epoch: 500 arrival slices per device, all devices alike.
+//! let trace = drifting::workload(500, 7);
+//! let report = fleet.run_epoch(&vec![trace; 4])?;
+//! assert_eq!(report.devices, 4);
+//! assert!(report.solves <= report.clusters);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Arc;
+
+use dpm_core::{
+    DpmError, PolicyOptimizer, PreparedOptimization, ServiceProvider, ServiceQueue,
+    ServiceRequester, SystemModel,
+};
+use dpm_lp::ReloadKind;
+use dpm_mdp::RandomizedPolicy;
+use dpm_trace::{SrExtractor, WindowedEstimator};
+
+use crate::AdaptiveConfig;
+
+/// Configuration of a [`FleetController`] (builder style).
+///
+/// Wraps an [`AdaptiveConfig`] for the per-device estimator and
+/// per-cluster LP knobs (memory, smoothing, window, discount, bounds,
+/// solver, `resolve_cooldown`, `blend_fits`) and adds the fleet-level
+/// ones. Defaults: 1 worker, cluster threshold 0.05, re-solve threshold
+/// 0.02.
+///
+/// Note the fleet is fed explicitly through
+/// [`FleetController::run_epoch`], so the adaptive config's
+/// `epoch_slices` only sizes the default estimator window; the epoch
+/// length is whatever the caller feeds per call.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    pub(crate) base: AdaptiveConfig,
+    pub(crate) workers: usize,
+    pub(crate) cluster_divergence: f64,
+    pub(crate) resolve_divergence: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FleetConfig {
+    /// The default configuration (see the type-level docs).
+    pub fn new() -> Self {
+        FleetConfig {
+            base: AdaptiveConfig::new(),
+            workers: 1,
+            cluster_divergence: 0.05,
+            resolve_divergence: 0.02,
+        }
+    }
+
+    /// The per-device estimator / per-cluster LP configuration.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn adaptive(mut self, base: AdaptiveConfig) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Worker threads the per-device feed+fit phase and the per-cluster
+    /// solve phase shard over. Clamped to ≥ 1. Results are bit-identical
+    /// for every value — the worker count only buys wall-clock time.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Cluster membership gate: a device belongs to a cluster while its
+    /// fitted model stays within this max-abs transition-probability
+    /// distance of the cluster representative; beyond it, the device is
+    /// evicted and re-homed. 0 clusters only bit-identical fits
+    /// (effectively solve-per-device).
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn cluster_divergence(mut self, threshold: f64) -> Self {
+        self.cluster_divergence = threshold.max(0.0);
+        self
+    }
+
+    /// Event gate: a cluster re-solves only when its representative has
+    /// moved at least this max-abs distance since the model it last
+    /// solved for (and its `resolve_cooldown` has expired). 0 re-solves
+    /// every epoch.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn resolve_divergence(mut self, threshold: f64) -> Self {
+        self.resolve_divergence = threshold.max(0.0);
+        self
+    }
+}
+
+/// What one [`FleetController::run_epoch`] call did, in the aggregate —
+/// the fleet's flight recorder. Deterministic for a given fleet and
+/// arrival set, whatever the worker count.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct FleetReport {
+    /// 0-based epoch index.
+    pub epoch: u64,
+    /// Devices in the fleet.
+    pub devices: usize,
+    /// Devices whose estimator produced a fit this epoch (the rest are
+    /// still warming up their windows).
+    pub fitted: usize,
+    /// Clusters alive at the end of the epoch.
+    pub clusters: usize,
+    /// Devices evicted from a cluster this epoch (drifted off the
+    /// representative; all were re-homed or founded a new cluster).
+    pub evictions: usize,
+    /// Clusters that re-solved this epoch.
+    pub solves: usize,
+    /// Clusters the event gate held (kept their policy, no solve).
+    pub skipped: usize,
+    /// Re-solves whose model swap reloaded warm.
+    pub warm_reloads: usize,
+    /// Re-solves that fell back to a cold rebuild.
+    pub cold_reloads: usize,
+    /// Simplex pivots spent by this epoch's re-solves.
+    pub pivots: usize,
+    /// Symbolic-LU analyses *reused* by this epoch's re-solves (forked
+    /// sessions share their class's analysis, so with warm reloads this
+    /// tracks the solve count while fresh analyses stay at one per
+    /// class).
+    pub symbolic_reuses: usize,
+    /// Clusters whose constraints were infeasible under their
+    /// representative model (kept the previous policy).
+    pub infeasible: usize,
+    /// Clusters whose re-solve failed for non-infeasibility reasons
+    /// (kept the previous policy).
+    pub errors: usize,
+    /// Mean model-predicted power per slice over the devices whose
+    /// cluster has solved at least once, in device order (`None` until
+    /// any cluster has solved).
+    pub mean_power: Option<f64>,
+}
+
+/// One managed device: its streaming estimator, its latest fit and its
+/// cluster assignment.
+#[derive(Debug)]
+struct Device {
+    class: usize,
+    estimator: WindowedEstimator,
+    /// Latest fitted SR model (sticky once fitted).
+    fit: Option<ServiceRequester>,
+    /// The fit's flattened transition matrix — the clustering gauge
+    /// works on this.
+    flat: Option<Vec<f64>>,
+    cluster: Option<usize>,
+    policy: Arc<RandomizedPolicy>,
+}
+
+/// A device class: one LP shape, one base session every cluster forks.
+#[derive(Debug)]
+struct DeviceClass {
+    provider: ServiceProvider,
+    queue: ServiceQueue,
+    base: PreparedOptimization,
+    base_policy: Arc<RandomizedPolicy>,
+}
+
+/// The outcome of one cluster's re-solve attempt (per-epoch scratch).
+#[derive(Debug, Clone)]
+struct SolveOutcome {
+    reload: Option<ReloadKind>,
+    pivots: usize,
+    symbolic_reuse: usize,
+    infeasible: bool,
+    error: Option<String>,
+}
+
+/// A group of devices sharing one fitted regime, one LP session and one
+/// policy.
+#[derive(Debug)]
+struct Cluster {
+    class: usize,
+    /// Member device indices, ascending — `members[0]` is the
+    /// representative device.
+    members: Vec<usize>,
+    /// The representative's flattened transition matrix.
+    representative: Vec<f64>,
+    /// The representative's fitted model (what a re-solve solves for).
+    rep_model: ServiceRequester,
+    session: PreparedOptimization,
+    /// The flattened model of the last successful solve.
+    last_solved: Option<Vec<f64>>,
+    policy: Arc<RandomizedPolicy>,
+    /// Model-predicted power per slice of the last successful solve.
+    power: Option<f64>,
+    /// Epochs since the last successful solve.
+    since_solve: u64,
+    needs_solve: bool,
+    outcome: Option<SolveOutcome>,
+}
+
+/// Max-abs distance between two flattened transition matrices — the
+/// same gauge as [`WindowedEstimator::divergence`], applied across
+/// devices instead of across time.
+fn gauge(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Row-major flattening of a requester's transition matrix.
+fn flatten(sr: &ServiceRequester) -> Vec<f64> {
+    let n = sr.num_states();
+    let p = sr.chain().transition_matrix();
+    let mut flat = Vec::with_capacity(n * n);
+    for s in 0..n {
+        flat.extend_from_slice(p.row(s));
+    }
+    flat
+}
+
+/// Shards `N` adaptive controllers across a fixed worker pool and solves
+/// one LP per cluster of statistically close devices (see the
+/// [module docs](self)).
+///
+/// Build with [`FleetController::new`], populate with
+/// [`FleetController::add_class`], then drive with
+/// [`FleetController::run_epoch`] — one call per adaptation epoch,
+/// feeding each device its arrival slice.
+#[derive(Debug)]
+pub struct FleetController {
+    config: FleetConfig,
+    classes: Vec<DeviceClass>,
+    devices: Vec<Device>,
+    clusters: Vec<Cluster>,
+    epoch: u64,
+    history: Vec<FleetReport>,
+}
+
+impl FleetController {
+    /// An empty fleet with the given configuration.
+    pub fn new(config: FleetConfig) -> Self {
+        FleetController {
+            config,
+            classes: Vec::new(),
+            devices: Vec::new(),
+            clusters: Vec::new(),
+            epoch: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// Adds a device class — `count` devices managed as instances of
+    /// `system` (same provider, queue and LP shape; each device gets its
+    /// own estimator seeded empty). Solves the class problem once on the
+    /// given model: that solution is every device's starting policy, and
+    /// its session is the base all of the class's cluster sessions
+    /// [fork](PreparedOptimization::fork) — one symbolic LU analysis per
+    /// class, however many clusters form. Returns the class index;
+    /// device indices `devices()-count..devices()` are the new members.
+    ///
+    /// # Errors
+    ///
+    /// The same validation as
+    /// [`AdaptiveController::new`](crate::AdaptiveController::new): the
+    /// system's SR state count must be `2^memory`, the configured
+    /// problem must be feasible on the given model, and estimator/LP
+    /// construction failures propagate.
+    pub fn add_class(&mut self, system: &SystemModel, count: usize) -> Result<usize, DpmError> {
+        let config = &self.config.base;
+        let expected = 1usize.checked_shl(config.memory).unwrap_or(0);
+        if config.memory == 0 || system.requester().num_states() != expected {
+            return Err(DpmError::BadConfiguration {
+                reason: format!(
+                    "fleet class with memory {} needs a {expected}-state SR, the system has {}",
+                    config.memory,
+                    system.requester().num_states()
+                ),
+            });
+        }
+        let mut optimizer = PolicyOptimizer::new(system)
+            .discount(config.discount)
+            .solver(config.solver);
+        if let Some(bound) = config.max_performance_penalty {
+            optimizer = optimizer.max_performance_penalty(bound);
+        }
+        if let Some(bound) = config.max_request_loss_rate {
+            optimizer = optimizer.max_request_loss_rate(bound);
+        }
+        let mut base = optimizer.prepare()?;
+        let base_policy = Arc::new(base.solve()?.policy().clone());
+
+        let class = self.classes.len();
+        for _ in 0..count {
+            let extractor = SrExtractor::try_new(config.memory)?.with_smoothing(config.smoothing);
+            let estimator = WindowedEstimator::new(extractor, config.effective_window())?;
+            let estimator = if config.blend_fits {
+                estimator.with_blending()
+            } else {
+                estimator
+            };
+            self.devices.push(Device {
+                class,
+                estimator,
+                fit: None,
+                flat: None,
+                cluster: None,
+                policy: Arc::clone(&base_policy),
+            });
+        }
+        self.classes.push(DeviceClass {
+            provider: system.provider().clone(),
+            queue: *system.queue(),
+            base,
+            base_policy,
+        });
+        Ok(class)
+    }
+
+    /// Devices in the fleet.
+    pub fn devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Clusters currently alive.
+    pub fn clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The policy currently assigned to device `index` (shared by every
+    /// member of its cluster).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn device_policy(&self, index: usize) -> &Arc<RandomizedPolicy> {
+        &self.devices[index].policy
+    }
+
+    /// The cluster device `index` currently belongs to (`None` while its
+    /// estimator is still warming up).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn device_cluster(&self, index: usize) -> Option<usize> {
+        self.devices[index].cluster
+    }
+
+    /// The latest fitted model of device `index` (`None` until its
+    /// estimator produced a fit) — what a solve-per-device deployment
+    /// would solve for; the `fleet` benchmark prices its baseline off
+    /// this.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn device_fit(&self, index: usize) -> Option<&ServiceRequester> {
+        self.devices[index].fit.as_ref()
+    }
+
+    /// Per-epoch reports of the fleet so far.
+    pub fn history(&self) -> &[FleetReport] {
+        &self.history
+    }
+
+    /// Total simplex pivots spent by per-cluster re-solves so far.
+    pub fn total_pivots(&self) -> usize {
+        self.history.iter().map(|r| r.pivots).sum()
+    }
+
+    /// Total per-cluster re-solves so far.
+    pub fn total_solves(&self) -> usize {
+        self.history.iter().map(|r| r.solves).sum()
+    }
+
+    /// One adaptation epoch over the whole fleet: feed each device its
+    /// arrival slice (`arrivals[d]` is device `d`'s stream of 0/1
+    /// request indicators), re-fit every ready estimator (sharded over
+    /// the worker pool), maintain the clusters (evict drifted devices,
+    /// re-home or found), re-solve the clusters whose representative
+    /// moved past the event gate (again sharded), and share each solved
+    /// policy across its cluster.
+    ///
+    /// The report — and every observable fleet state — is bit-identical
+    /// for any worker count: the parallel phases touch disjoint
+    /// per-device / per-cluster state, and every cross-device decision
+    /// (clustering, gating, merging) runs sequentially in index order.
+    ///
+    /// # Errors
+    ///
+    /// [`DpmError::BadConfiguration`] when `arrivals.len()` differs from
+    /// [`Self::devices`]. Per-cluster solve failures do *not* fail the
+    /// epoch: the cluster keeps its previous policy and the failure is
+    /// counted in [`FleetReport::infeasible`] / [`FleetReport::errors`].
+    pub fn run_epoch(&mut self, arrivals: &[Vec<u32>]) -> Result<FleetReport, DpmError> {
+        if arrivals.len() != self.devices.len() {
+            return Err(DpmError::BadConfiguration {
+                reason: format!(
+                    "fleet has {} devices but the epoch supplies {} arrival streams",
+                    self.devices.len(),
+                    arrivals.len()
+                ),
+            });
+        }
+        self.feed_and_fit(arrivals);
+        let evictions = self.maintain_clusters()?;
+        self.gate_solves();
+        self.solve_clusters();
+        let report = self.merge(evictions);
+        self.epoch += 1;
+        self.history.push(report.clone());
+        Ok(report)
+    }
+
+    /// Phase 1 — parallel, per-device: feed the epoch's arrivals and
+    /// re-fit every ready estimator. Contiguous shards, disjoint
+    /// mutable state, so the merge is trivially deterministic.
+    fn feed_and_fit(&mut self, arrivals: &[Vec<u32>]) {
+        let workers = self.config.workers;
+        let chunk = self.devices.len().div_ceil(workers).max(1);
+        std::thread::scope(|s| {
+            for (shard, bits) in self.devices.chunks_mut(chunk).zip(arrivals.chunks(chunk)) {
+                s.spawn(move || {
+                    for (device, stream) in shard.iter_mut().zip(bits) {
+                        for &b in stream {
+                            device.estimator.observe(b);
+                        }
+                        if device.estimator.is_ready() {
+                            if let Ok(sr) = device.estimator.fit() {
+                                device.flat = Some(flatten(&sr));
+                                device.fit = Some(sr);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Phase 2 — sequential, deterministic: evict members that drifted
+    /// off their representative, refresh representatives, re-home every
+    /// unassigned fitted device (first within-threshold cluster of its
+    /// class in cluster order, else found a new one). Returns the
+    /// eviction count.
+    fn maintain_clusters(&mut self) -> Result<usize, DpmError> {
+        let threshold = self.config.cluster_divergence;
+        // Evict: compare every member (except the representative itself)
+        // against its cluster's current representative.
+        let mut evictions = 0usize;
+        for d in 0..self.devices.len() {
+            let Some(c) = self.devices[d].cluster else {
+                continue;
+            };
+            let Some(flat) = self.devices[d].flat.as_ref() else {
+                continue;
+            };
+            if gauge(flat, &self.clusters[c].representative) > threshold {
+                self.clusters[c].members.retain(|&m| m != d);
+                self.devices[d].cluster = None;
+                evictions += 1;
+            }
+        }
+        // Drop emptied clusters and remap the survivors' indices.
+        let mut remap = vec![usize::MAX; self.clusters.len()];
+        let mut kept = 0usize;
+        for (c, cluster) in self.clusters.iter().enumerate() {
+            if !cluster.members.is_empty() {
+                remap[c] = kept;
+                kept += 1;
+            }
+        }
+        self.clusters.retain(|cl| !cl.members.is_empty());
+        for device in &mut self.devices {
+            device.cluster = device.cluster.map(|c| remap[c]);
+        }
+        // Refresh representatives: the lowest-indexed member speaks for
+        // the cluster from here on.
+        for cluster in &mut self.clusters {
+            let rep = cluster.members[0];
+            if let (Some(flat), Some(fit)) = (
+                self.devices[rep].flat.as_ref(),
+                self.devices[rep].fit.as_ref(),
+            ) {
+                cluster.representative = flat.clone();
+                cluster.rep_model = fit.clone();
+            }
+        }
+        // Re-home in device order; join the first fitting cluster in
+        // cluster order, else found a new one from a fork of the class
+        // base session.
+        for d in 0..self.devices.len() {
+            if self.devices[d].cluster.is_some() {
+                continue;
+            }
+            let Some(flat) = self.devices[d].flat.clone() else {
+                continue;
+            };
+            let class = self.devices[d].class;
+            let home = self
+                .clusters
+                .iter()
+                .position(|cl| cl.class == class && gauge(&flat, &cl.representative) <= threshold);
+            match home {
+                Some(c) => {
+                    self.clusters[c].members.push(d);
+                    self.clusters[c].members.sort_unstable();
+                    self.devices[d].cluster = Some(c);
+                }
+                None => {
+                    let session = self.classes[class].base.fork()?;
+                    self.devices[d].cluster = Some(self.clusters.len());
+                    self.clusters.push(Cluster {
+                        class,
+                        members: vec![d],
+                        representative: flat,
+                        rep_model: self.devices[d]
+                            .fit
+                            .clone()
+                            .expect("flat and fit are set together"),
+                        session,
+                        last_solved: None,
+                        policy: Arc::clone(&self.classes[class].base_policy),
+                        power: None,
+                        since_solve: 0,
+                        needs_solve: false,
+                        outcome: None,
+                    });
+                }
+            }
+        }
+        Ok(evictions)
+    }
+
+    /// Phase 3 — sequential: the event gate. A cluster re-solves when it
+    /// never has, or when its representative moved at least
+    /// `resolve_divergence` since the last solved model *and* the
+    /// cooldown expired.
+    fn gate_solves(&mut self) {
+        let threshold = self.config.resolve_divergence;
+        let cooldown = self.config.base.resolve_cooldown;
+        for cluster in &mut self.clusters {
+            cluster.outcome = None;
+            cluster.needs_solve = match cluster.last_solved.as_ref() {
+                None => true,
+                Some(solved) => {
+                    let moved = gauge(&cluster.representative, solved) >= threshold;
+                    let cooled = cluster.since_solve >= cooldown;
+                    cluster.since_solve = cluster.since_solve.saturating_add(1);
+                    moved && cooled
+                }
+            };
+        }
+    }
+
+    /// Phase 4 — parallel, per-cluster: re-solve every gated cluster on
+    /// its own forked session. Failures stay local to the cluster.
+    fn solve_clusters(&mut self) {
+        let workers = self.config.workers;
+        let chunk = self.clusters.len().div_ceil(workers).max(1);
+        // Workers only need each class's provider and queue to recompose
+        // (the class's base *session* is not `Sync` and stays put).
+        let recompose: Vec<(&ServiceProvider, ServiceQueue)> = self
+            .classes
+            .iter()
+            .map(|class| (&class.provider, class.queue))
+            .collect();
+        let recompose = recompose.as_slice();
+        std::thread::scope(|s| {
+            for shard in self.clusters.chunks_mut(chunk) {
+                s.spawn(move || {
+                    for cluster in shard.iter_mut().filter(|c| c.needs_solve) {
+                        let (provider, queue) = recompose[cluster.class];
+                        cluster.outcome = Some(cluster.resolve(provider, queue));
+                    }
+                });
+            }
+        });
+    }
+
+    /// Phase 5 — sequential, in device/cluster order: fold the epoch
+    /// into a report and share each cluster's policy with its members.
+    fn merge(&mut self, evictions: usize) -> FleetReport {
+        let mut report = FleetReport {
+            epoch: self.epoch,
+            devices: self.devices.len(),
+            fitted: self.devices.iter().filter(|d| d.fit.is_some()).count(),
+            clusters: self.clusters.len(),
+            evictions,
+            solves: 0,
+            skipped: 0,
+            warm_reloads: 0,
+            cold_reloads: 0,
+            pivots: 0,
+            symbolic_reuses: 0,
+            infeasible: 0,
+            errors: 0,
+            mean_power: None,
+        };
+        for cluster in &self.clusters {
+            match cluster.outcome.as_ref() {
+                None => report.skipped += 1,
+                Some(outcome) => {
+                    report.solves += 1;
+                    report.pivots += outcome.pivots;
+                    report.symbolic_reuses += outcome.symbolic_reuse;
+                    match outcome.reload {
+                        Some(ReloadKind::Warm) => report.warm_reloads += 1,
+                        Some(ReloadKind::Cold) => report.cold_reloads += 1,
+                        None => {}
+                    }
+                    if outcome.infeasible {
+                        report.infeasible += 1;
+                    }
+                    if outcome.error.is_some() {
+                        report.errors += 1;
+                    }
+                }
+            }
+        }
+        let mut power_sum = 0.0;
+        let mut powered = 0usize;
+        for device in &mut self.devices {
+            if let Some(c) = device.cluster {
+                device.policy = Arc::clone(&self.clusters[c].policy);
+                if let Some(power) = self.clusters[c].power {
+                    power_sum += power;
+                    powered += 1;
+                }
+            }
+        }
+        if powered > 0 {
+            report.mean_power = Some(power_sum / powered as f64);
+        }
+        report
+    }
+}
+
+impl Cluster {
+    /// Recomposes the class system around the representative model,
+    /// swaps it into the cluster's forked session and re-solves. On
+    /// success the cluster's shared policy is replaced; on any failure
+    /// the previous policy stands.
+    fn resolve(&mut self, provider: &ServiceProvider, queue: ServiceQueue) -> SolveOutcome {
+        let mut outcome = SolveOutcome {
+            reload: None,
+            pivots: 0,
+            symbolic_reuse: 0,
+            infeasible: false,
+            error: None,
+        };
+        let system = match SystemModel::compose(provider.clone(), self.rep_model.clone(), queue) {
+            Ok(system) => system,
+            Err(e) => {
+                outcome.error = Some(e.to_string());
+                return outcome;
+            }
+        };
+        match self.session.update_model(system.chain()) {
+            Ok(kind) => outcome.reload = Some(kind),
+            Err(e) => {
+                outcome.error = Some(e.to_string());
+                return outcome;
+            }
+        }
+        match self.session.solve() {
+            Ok(solution) => {
+                let report = solution.solve_report();
+                outcome.pivots = report.iterations;
+                outcome.symbolic_reuse = report.symbolic_reuse;
+                self.policy = Arc::new(solution.policy().clone());
+                self.power = Some(solution.power_per_slice());
+                self.last_solved = Some(self.representative.clone());
+                self.since_solve = 0;
+            }
+            Err(DpmError::Infeasible) => {
+                let report = self.session.last_report();
+                outcome.pivots = report.iterations;
+                outcome.symbolic_reuse = report.symbolic_reuse;
+                outcome.infeasible = true;
+            }
+            Err(e) => {
+                let report = self.session.last_report();
+                outcome.pivots = report.iterations;
+                outcome.symbolic_reuse = report.symbolic_reuse;
+                outcome.error = Some(e.to_string());
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_trace::WindowKind;
+
+    const MEMORY: u32 = 1;
+
+    fn config(workers: usize) -> FleetConfig {
+        FleetConfig::new()
+            .adaptive(
+                AdaptiveConfig::new()
+                    .memory(MEMORY)
+                    .smoothing(0.5)
+                    .horizon(2_000.0)
+                    .window(WindowKind::Sliding(400)),
+            )
+            .workers(workers)
+            .cluster_divergence(0.1)
+            .resolve_divergence(0.05)
+    }
+
+    fn drifting_system(p01: f64, p11: f64) -> SystemModel {
+        dpm_systems::drifting::system_for(
+            ServiceRequester::two_state(p01, p11).expect("valid two-state SR"),
+        )
+        .expect("composes")
+    }
+
+    /// Deterministic per-device periodic arrival pattern; `density` out
+    /// of `period` slices carry a request.
+    fn pattern(len: usize, offset: usize, density: usize, period: usize) -> Vec<u32> {
+        (0..len)
+            .map(|i| u32::from((i + offset) % period < density))
+            .collect()
+    }
+
+    /// A fleet over two classes with per-device traces of two regimes.
+    fn run_fleet(workers: usize, epochs: usize) -> (FleetController, Vec<FleetReport>) {
+        let mut fleet = FleetController::new(config(workers));
+        fleet
+            .add_class(&drifting_system(0.1, 0.6), 8)
+            .expect("class 0");
+        fleet
+            .add_class(&dpm_systems::toy::example_system().expect("toy system"), 4)
+            .expect("class 1");
+        let mut reports = Vec::new();
+        for _ in 0..epochs {
+            let arrivals: Vec<Vec<u32>> = (0..fleet.devices())
+                .map(|d| {
+                    // Half of each class runs a sparse regime, half a
+                    // dense one; offsets decorrelate the phases without
+                    // changing the fitted statistics much.
+                    if d % 2 == 0 {
+                        pattern(500, d, 1, 8)
+                    } else {
+                        pattern(500, d, 5, 8)
+                    }
+                })
+                .collect();
+            reports.push(fleet.run_epoch(&arrivals).expect("epoch runs"));
+        }
+        (fleet, reports)
+    }
+
+    #[test]
+    fn fleet_results_are_identical_for_worker_counts_1_2_8() {
+        let (fleet1, reports1) = run_fleet(1, 3);
+        for workers in [2, 8] {
+            let (fleet_n, reports_n) = run_fleet(workers, 3);
+            assert_eq!(reports1, reports_n, "reports differ at {workers} workers");
+            for d in 0..fleet1.devices() {
+                assert_eq!(
+                    fleet1.device_cluster(d),
+                    fleet_n.device_cluster(d),
+                    "device {d} cluster differs at {workers} workers"
+                );
+                assert_eq!(
+                    **fleet1.device_policy(d),
+                    **fleet_n.device_policy(d),
+                    "device {d} policy differs at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn statistically_close_devices_share_one_solve_and_one_policy() {
+        let mut fleet = FleetController::new(config(2));
+        fleet
+            .add_class(&drifting_system(0.1, 0.6), 6)
+            .expect("class");
+        let arrivals: Vec<Vec<u32>> = (0..6).map(|d| pattern(500, d, 2, 8)).collect();
+        let report = fleet.run_epoch(&arrivals).expect("epoch");
+        assert_eq!(report.fitted, 6);
+        assert_eq!(report.clusters, 1, "alike devices should share a cluster");
+        assert_eq!(report.solves, 1, "one cluster, one solve");
+        for d in 1..6 {
+            assert!(
+                Arc::ptr_eq(fleet.device_policy(0), fleet.device_policy(d)),
+                "device {d} should share device 0's policy allocation"
+            );
+        }
+    }
+
+    #[test]
+    fn forked_cluster_sessions_reuse_the_class_symbolic_analysis() {
+        let mut fleet = FleetController::new(config(2));
+        fleet
+            .add_class(&drifting_system(0.1, 0.6), 6)
+            .expect("class");
+        // Three distinct regimes → three clusters, three solves, every
+        // one on a fork of the same base session.
+        let arrivals: Vec<Vec<u32>> = (0..6)
+            .map(|d| pattern(500, 0, 1 + 3 * (d % 3), 9))
+            .collect();
+        let report = fleet.run_epoch(&arrivals).expect("epoch");
+        assert_eq!(report.clusters, 3);
+        assert_eq!(report.solves, 3);
+        // Every warm solve reuses the class analysis at least once (the
+        // reload-time refactor; the end-of-solve refactor at a retained
+        // basis can add another) — the point is that no cluster pays for
+        // a fresh symbolic analysis.
+        assert!(
+            report.symbolic_reuses >= report.solves,
+            "{} reuses for {} solves",
+            report.symbolic_reuses,
+            report.solves
+        );
+        assert_eq!(report.cold_reloads, 0);
+    }
+
+    #[test]
+    fn drifted_device_is_evicted_and_rehomed() {
+        let mut fleet = FleetController::new(config(1));
+        fleet
+            .add_class(&drifting_system(0.1, 0.6), 4)
+            .expect("class");
+        let alike: Vec<Vec<u32>> = (0..4).map(|d| pattern(500, d, 2, 8)).collect();
+        let first = fleet.run_epoch(&alike).expect("epoch 0");
+        assert_eq!(first.clusters, 1);
+        // Device 3 switches regime hard; its window flushes over two
+        // epochs and its fit leaves the cluster.
+        let mut drifted = alike;
+        drifted[3] = pattern(500, 0, 7, 8);
+        let mut last = fleet.run_epoch(&drifted).expect("epoch 1");
+        if last.evictions == 0 {
+            last = fleet.run_epoch(&drifted).expect("epoch 2");
+        }
+        assert_eq!(last.evictions, 1, "device 3 should be evicted");
+        assert_eq!(last.clusters, 2, "device 3 should found its own cluster");
+        assert_ne!(fleet.device_cluster(3), fleet.device_cluster(0));
+    }
+
+    #[test]
+    fn event_gate_skips_stationary_epochs_and_cooldown_holds() {
+        let mut fleet = FleetController::new(config(1));
+        fleet
+            .add_class(&drifting_system(0.1, 0.6), 3)
+            .expect("class");
+        let arrivals: Vec<Vec<u32>> = (0..3).map(|_| pattern(500, 0, 2, 8)).collect();
+        let first = fleet.run_epoch(&arrivals).expect("epoch 0");
+        assert_eq!(first.solves, 1, "first epoch always solves");
+        let second = fleet.run_epoch(&arrivals).expect("epoch 1");
+        assert_eq!(second.solves, 0, "stationary stream should not re-solve");
+        assert_eq!(second.skipped, second.clusters);
+        assert_eq!(fleet.total_solves(), 1);
+    }
+
+    #[test]
+    fn mismatched_arrival_count_is_rejected() {
+        let mut fleet = FleetController::new(config(1));
+        fleet
+            .add_class(&drifting_system(0.1, 0.6), 2)
+            .expect("class");
+        let err = fleet.run_epoch(&[vec![0, 1]]).expect_err("must reject");
+        assert!(matches!(err, DpmError::BadConfiguration { .. }));
+    }
+}

@@ -25,6 +25,11 @@
 //! [`Simulator`](dpm_sim::Simulator "Simulator") next to the eager/timeout baselines
 //! and the static LP-optimal policy it is measured against.
 //!
+//! For managing **many** devices at once — sharded estimation across a
+//! fixed worker pool, one LP solve per *cluster* of statistically close
+//! devices, event-driven re-solves — see the [`fleet`] module and
+//! `docs/FLEET.md`.
+//!
 //! # Example
 //!
 //! ```
@@ -55,6 +60,10 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod fleet;
+
+pub use fleet::{FleetConfig, FleetController, FleetReport};
+
 use dpm_core::{
     DpmError, PolicyOptimizer, PreparedOptimization, ServiceProvider, ServiceQueue,
     ServiceRequester, SolverKind, SystemModel,
@@ -73,20 +82,22 @@ use rand::Rng;
 /// what keeps the per-epoch reloads warm), a sliding window of 4 epochs,
 /// a 100 000-slice horizon, no constraints, the
 /// [`SolverKind::RevisedSimplex`] engine, re-solve on any drift
-/// (`min_divergence = 0`), and command 0 as the serve-at-all-costs
-/// fallback for infeasible epochs.
+/// (`min_divergence = 0`), no re-solve cooldown, no fit blending, and
+/// command 0 as the serve-at-all-costs fallback for infeasible epochs.
 #[derive(Debug, Clone)]
 pub struct AdaptiveConfig {
-    epoch_slices: u64,
-    memory: u32,
-    smoothing: f64,
-    window: Option<WindowKind>,
-    discount: f64,
-    max_performance_penalty: Option<f64>,
-    max_request_loss_rate: Option<f64>,
-    solver: SolverKind,
-    min_divergence: f64,
-    wake_command: usize,
+    pub(crate) epoch_slices: u64,
+    pub(crate) memory: u32,
+    pub(crate) smoothing: f64,
+    pub(crate) window: Option<WindowKind>,
+    pub(crate) discount: f64,
+    pub(crate) max_performance_penalty: Option<f64>,
+    pub(crate) max_request_loss_rate: Option<f64>,
+    pub(crate) solver: SolverKind,
+    pub(crate) min_divergence: f64,
+    pub(crate) resolve_cooldown: u64,
+    pub(crate) blend_fits: bool,
+    pub(crate) wake_command: usize,
 }
 
 impl Default for AdaptiveConfig {
@@ -108,6 +119,8 @@ impl AdaptiveConfig {
             max_request_loss_rate: None,
             solver: SolverKind::default(),
             min_divergence: 0.0,
+            resolve_cooldown: 0,
+            blend_fits: false,
             wake_command: 0,
         }
     }
@@ -191,6 +204,34 @@ impl AdaptiveConfig {
     #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
     pub fn min_divergence(mut self, threshold: f64) -> Self {
         self.min_divergence = threshold.max(0.0);
+        self
+    }
+
+    /// Event-driven damping of the re-solve cadence: after a re-solve,
+    /// the next `epochs` epoch boundaries keep the current policy even
+    /// when the drift gate fires (fits still happen every epoch, so the
+    /// estimator and its divergence gauge stay live). Together with
+    /// [`Self::min_divergence`] this turns the fixed-epoch refit into an
+    /// event-driven one: re-solve on threshold crossing, then hold for
+    /// the cooldown. 0 (the default) disables the hold. The
+    /// infeasible-fallback escape hatch bypasses the cooldown — any
+    /// feasible model is an upgrade over serve-at-all-costs.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn resolve_cooldown(mut self, epochs: u64) -> Self {
+        self.resolve_cooldown = epochs;
+        self
+    }
+
+    /// Confidence-weighted blending of consecutive fits: the estimator
+    /// carries the previous blended fit as a pseudo-count prior weighted
+    /// by effective sample count (see
+    /// [`WindowedEstimator::with_blending`]), so a sparsely observed
+    /// epoch moves the deployed model less than a data-rich one. Off by
+    /// default — blending trades regime-switch response time for
+    /// stability under thin windows.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn blend_fits(mut self) -> Self {
+        self.blend_fits = true;
         self
     }
 
@@ -285,6 +326,8 @@ pub struct AdaptiveController {
     initial_policy: RandomizedPolicy,
     epochs: Vec<EpochRecord>,
     next_refresh: u64,
+    /// Epoch boundaries left before the re-solve cooldown expires.
+    cooldown_left: u64,
     label: String,
 }
 
@@ -328,6 +371,11 @@ impl AdaptiveController {
         }
         let extractor = SrExtractor::try_new(config.memory)?.with_smoothing(config.smoothing);
         let estimator = WindowedEstimator::new(extractor, config.effective_window())?;
+        let estimator = if config.blend_fits {
+            estimator.with_blending()
+        } else {
+            estimator
+        };
 
         let mut optimizer = PolicyOptimizer::new(system)
             .discount(config.discount)
@@ -360,6 +408,7 @@ impl AdaptiveController {
             policy: ActivePolicy::Table(initial_policy.clone()),
             initial_policy,
             epochs: Vec::new(),
+            cooldown_left: 0,
             label,
         })
     }
@@ -483,11 +532,16 @@ impl AdaptiveController {
         };
         // Drift gate: skip the solve when the model barely moved — unless
         // the fallback is driving (then any feasible model is an upgrade)
-        // or this is the first fit (no divergence to gate on).
+        // or this is the first fit (no divergence to gate on). The
+        // cooldown holds the policy for a few epochs after each re-solve
+        // (the fallback escape hatch bypasses it).
         let drifted = divergence.is_none_or(|d| d >= self.config.min_divergence);
+        let cooled = self.cooldown_left == 0;
+        self.cooldown_left = self.cooldown_left.saturating_sub(1);
         let must = matches!(self.policy, ActivePolicy::Fallback);
-        if drifted || must {
+        if (drifted && cooled) || must {
             record.refreshed = true;
+            self.cooldown_left = self.config.resolve_cooldown;
             if let Err(e) = self.hot_swap(fitted, &mut record) {
                 record.error = Some(e.to_string());
             }
@@ -563,6 +617,7 @@ impl PowerManager for AdaptiveController {
         self.policy = ActivePolicy::Table(self.initial_policy.clone());
         self.epochs.clear();
         self.next_refresh = self.config.epoch_slices;
+        self.cooldown_left = 0;
     }
 
     fn name(&self) -> String {

@@ -88,6 +88,13 @@ pub struct WindowedEstimator {
     /// Max-abs transition-probability change between the two most recent
     /// fits.
     divergence: Option<f64>,
+    /// Confidence-weighted blending of consecutive fits (see
+    /// [`Self::with_blending`]).
+    blending: bool,
+    /// The previous blended count table, rescaled so its total mass never
+    /// exceeds one window's worth — the pseudo-count prior the next
+    /// blended fit pools with.
+    blend_prior: Option<Vec<[f64; 2]>>,
 }
 
 impl WindowedEstimator {
@@ -131,7 +138,38 @@ impl WindowedEstimator {
             weight: 1.0,
             last_fit: None,
             divergence: None,
+            blending: false,
+            blend_prior: None,
         })
+    }
+
+    /// Enables **confidence-weighted blending** of consecutive fits
+    /// (builder style; off by default, which keeps the historical
+    /// hard-swap behavior).
+    ///
+    /// With blending on, each [`Self::fit`] pools the window's counts
+    /// with the previous blended fit carried as a pseudo-count prior:
+    /// per state, the new window and the prior contribute in proportion
+    /// to their **effective sample counts**, so a sparsely observed new
+    /// window nudges the deployed model instead of replacing it, while a
+    /// full window of fresh evidence dominates. The prior's total mass
+    /// is capped at one window's worth, so an old regime still washes
+    /// out geometrically (≈ halving per fit at steady state) rather
+    /// than lingering forever.
+    ///
+    /// The [`Self::divergence`] gauge then measures movement of the
+    /// *blended* (deployed) model — exactly what an event-driven
+    /// controller should threshold.
+    #[must_use = "builder methods return the configured estimator; dropping it discards the configuration"]
+    pub fn with_blending(mut self) -> Self {
+        self.blending = true;
+        self
+    }
+
+    /// `true` when consecutive fits are confidence-blended (see
+    /// [`Self::with_blending`]).
+    pub fn blending(&self) -> bool {
+        self.blending
     }
 
     /// The wrapped extractor (memory, smoothing).
@@ -225,20 +263,41 @@ impl WindowedEstimator {
                 ),
             });
         }
-        let fitted = match self.kind {
-            WindowKind::Sliding(_) => self.extractor.extract_from_counts(&self.counts)?,
+        let current: Vec<[f64; 2]> = match self.kind {
+            WindowKind::Sliding(_) => self.counts.clone(),
             WindowKind::Exponential(_) => {
                 // Normalize so the newest observation counts 1 — the
                 // scale cancels in the row normalization but keeps the
                 // smoothing constant meaningful.
-                let scaled: Vec<[f64; 2]> = self
-                    .counts
+                self.counts
                     .iter()
                     .map(|pair| [pair[0] / self.weight, pair[1] / self.weight])
-                    .collect();
-                self.extractor.extract_from_counts(&scaled)?
+                    .collect()
             }
         };
+        // Confidence-weighted blend: pool the window with the carried
+        // prior — per state, each side weighs in by its effective sample
+        // count — then cap the carried mass at one window's worth so old
+        // regimes decay geometrically across fits.
+        let table: Vec<[f64; 2]> = match (&self.blend_prior, self.blending) {
+            (Some(prior), true) => current
+                .iter()
+                .zip(prior)
+                .map(|(c, p)| [c[0] + p[0], c[1] + p[1]])
+                .collect(),
+            _ => current.clone(),
+        };
+        let fitted = self.extractor.extract_from_counts(&table)?;
+        if self.blending {
+            let n_new: f64 = current.iter().flatten().sum();
+            let n_blend: f64 = table.iter().flatten().sum();
+            let scale = if n_blend > n_new && n_blend > 0.0 {
+                n_new / n_blend
+            } else {
+                1.0
+            };
+            self.blend_prior = Some(table.iter().map(|p| [p[0] * scale, p[1] * scale]).collect());
+        }
         let n = self.extractor.num_states();
         let mut flat = Vec::with_capacity(n * n);
         let p = fitted.chain().transition_matrix();
@@ -283,6 +342,7 @@ impl WindowedEstimator {
         self.weight = 1.0;
         self.last_fit = None;
         self.divergence = None;
+        self.blend_prior = None;
     }
 }
 
@@ -382,6 +442,78 @@ mod tests {
         }
         assert!(worst < 0.05, "stationary divergence {worst}");
         assert!(!estimator.has_drifted(0.05));
+    }
+
+    #[test]
+    fn blending_softens_the_regime_swap() {
+        // Hard-swap estimator vs blended twin on the same busy→idle flip:
+        // the blended fit must land strictly between the old busy model
+        // and the fresh idle fit, and converge to idle after more fits.
+        let extractor = SrExtractor::new(1).with_smoothing(0.5);
+        let mut hard = WindowedEstimator::new(extractor, WindowKind::Sliding(50)).unwrap();
+        let mut soft = WindowedEstimator::new(extractor, WindowKind::Sliding(50))
+            .unwrap()
+            .with_blending();
+        assert!(soft.blending() && !hard.blending());
+        // Mixed-density regimes so both histories stay visited: busy =
+        // 80% ones, idle = 20% ones.
+        let busy_stream = |i: usize| u32::from(i % 5 != 0);
+        let idle_stream = |i: usize| u32::from(i % 5 == 0);
+        for est in [&mut hard, &mut soft] {
+            feed(est, (0..100).map(busy_stream));
+        }
+        let busy_hard = hard.fit().unwrap().request_rate().unwrap();
+        let busy_soft = soft.fit().unwrap().request_rate().unwrap();
+        // First fit: nothing to blend with, both see the same window.
+        assert!((busy_hard - busy_soft).abs() < 1e-12);
+        for est in [&mut hard, &mut soft] {
+            feed(est, (0..100).map(idle_stream));
+        }
+        let idle_hard = hard.fit().unwrap().request_rate().unwrap();
+        let idle_soft = soft.fit().unwrap().request_rate().unwrap();
+        assert!(idle_hard < 0.3, "hard swap follows the window: {idle_hard}");
+        assert!(
+            idle_soft > idle_hard + 0.05 && idle_soft < busy_hard - 0.05,
+            "blend should sit between regimes: {idle_soft} (hard {idle_hard}, busy {busy_hard})"
+        );
+        // The blended divergence is the deployed model's movement —
+        // strictly smaller than the hard swap's jump.
+        assert!(soft.divergence().unwrap() < hard.divergence().unwrap());
+        // More idle windows: the prior washes out geometrically.
+        let mut rate = idle_soft;
+        for round in 1..=6 {
+            feed(&mut soft, (0..100).map(idle_stream));
+            rate = soft.fit().unwrap().request_rate().unwrap();
+            let _ = round;
+        }
+        assert!(
+            (rate - idle_hard).abs() < 0.05,
+            "blend converges to the new regime: {rate} vs {idle_hard}"
+        );
+    }
+
+    #[test]
+    fn blending_weighs_by_effective_sample_count() {
+        // A full busy window followed by a *short* idle refill after
+        // reset-like conditions: the sparse new evidence must move the
+        // blend less than a full window would.
+        let extractor = SrExtractor::new(1).with_smoothing(0.5);
+        let mut soft = WindowedEstimator::new(extractor, WindowKind::Sliding(200))
+            .unwrap()
+            .with_blending();
+        feed(&mut soft, std::iter::repeat_n(1u32, 200));
+        let busy = soft.fit().unwrap().request_rate().unwrap();
+        // Only 20 idle slices trickle in before the next fit: the window
+        // still holds 180 busy slices, and the prior holds a full busy
+        // window — the blend barely moves.
+        feed(&mut soft, std::iter::repeat_n(0u32, 20));
+        let barely = soft.fit().unwrap().request_rate().unwrap();
+        assert!(busy - barely < 0.15, "busy {busy} vs {barely}");
+        // Reset wipes the prior along with the counts.
+        soft.reset();
+        feed(&mut soft, std::iter::repeat_n(0u32, 200));
+        let idle = soft.fit().unwrap().request_rate().unwrap();
+        assert!(idle < 0.1, "post-reset fit is unblended: {idle}");
     }
 
     #[test]

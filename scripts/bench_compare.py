@@ -4,7 +4,7 @@
 Reads the criterion-shim records (``BENCH_<name>.json``: ``{"name",
 "mean_ns", "iterations", ...optional counters...}``) from the current
 run and, when available, from a previous run's downloaded artifacts, and
-prints four tables:
+prints five tables:
 
 1. **warm vs cold** — pairs of ``<group>/warm/<case>`` and
    ``<group>/cold/<case>`` records from the current run, with the
@@ -12,9 +12,12 @@ prints four tables:
    ``basis_updates``, ``fill_in_nnz``, ...).
 2. **online adaptation** — the ``adaptive_runtime`` headline record
    (policy power comparison, warm/cold reload accounting).
-3. **pricing rules** — ``pricing_rules/<rule>/<states>`` records, devex
+3. **fleet scaling** — the ``fleet/workers/<n>`` sweep (wall time and
+   throughput per worker-pool size) plus the ``fleet`` headline and the
+   solve-per-cluster vs per-device payoff counters.
+4. **pricing rules** — ``pricing_rules/<rule>/<states>`` records, devex
    vs dantzig wall time with the pivot / pricing-scan counters.
-4. **PR over PR** — every current record against its previous-run
+5. **PR over PR** — every current record against its previous-run
    counterpart, with the ratio.
 
 By default the script never fails the build: it exits 0 whatever it
@@ -108,6 +111,55 @@ def adaptive_table(current):
             f"pivots {record.get('warm_pivots', float('nan')):g} warm vs "
             f"{record.get('cold_rebuild_pivots', float('nan')):g} cold-rebuild "
             f"(resolve speedup {record.get('cold_over_warm_resolve_x', float('nan')):.2f}x)"
+        )
+    print()
+
+
+def fleet_table(current):
+    """Surfaces the `fleet` group: worker-pool scaling of the sharded
+    fleet controller and the solve-per-cluster payoff against the
+    per-device baseline."""
+    sweep = []
+    for name, record in current.items():
+        prefix = "fleet/workers/"
+        if name.startswith(prefix):
+            try:
+                sweep.append((int(name[len(prefix) :]), record))
+            except ValueError:
+                continue
+    headline = current.get("fleet")
+    payoff = current.get("fleet/clustered_vs_per_device")
+    if not sweep and headline is None and payoff is None:
+        return
+    print("== fleet scaling (sharded controllers) ==")
+    base = None
+    for workers, record in sorted(sweep):
+        if base is None:
+            base = record["mean_ns"]
+        ratio = base / record["mean_ns"] if record["mean_ns"] else float("nan")
+        print(
+            f"  {workers:>2} workers  {fmt_ms(record['mean_ns']):>12}  "
+            f"speedup {ratio:5.2f}x  "
+            f"{record.get('device_epochs_per_s', float('nan')):>10.0f} device-epochs/s"
+        )
+    if headline is not None:
+        print(
+            f"  fleet: {headline.get('devices', float('nan')):g} devices / "
+            f"{headline.get('classes', float('nan')):g} classes, "
+            f"{headline.get('clusters', float('nan')):g} clusters, "
+            f"{headline.get('solves_total', float('nan')):g} solves "
+            f"({headline.get('pivots_total', float('nan')):g} pivots, "
+            f"{headline.get('symbolic_reuses', float('nan')):g} symbolic reuses); "
+            f"8w over 1w {headline.get('speedup_8w_over_1w_x', float('nan')):.2f}x "
+            f"on {headline.get('host_cores', float('nan')):g} cores"
+        )
+    if payoff is not None:
+        print(
+            f"  solve-per-cluster: {payoff.get('solves_clustered', float('nan')):g} solves / "
+            f"{payoff.get('pivots_clustered', float('nan')):g} pivots vs "
+            f"{payoff.get('solves_per_device', float('nan')):g} / "
+            f"{payoff.get('pivots_per_device', float('nan')):g} per-device "
+            f"({payoff.get('pivot_pct_of_baseline', float('nan')):.1f}% of baseline pivots)"
         )
     print()
 
@@ -218,6 +270,7 @@ def main(argv):
     warm_vs_cold_table(current)
     print()
     adaptive_table(current)
+    fleet_table(current)
     pricing_table(current)
     regressed = pr_over_pr_table(current, previous, args.fail_over)
     if regressed:
