@@ -1,0 +1,250 @@
+//! Fleet **service** benchmark: the long-running lifecycle on the
+//! correlated rack scenario — churn throughput, the incremental
+//! gauge's quiet-epoch payoff, and checkpoint/restore cost.
+//!
+//! Records (all under `target/bench/`):
+//!
+//! * `fleet_service/churn` — wall time of a churn wave (add + remove a
+//!   batch of devices against a live, clustered fleet) with
+//!   devices-churned-per-second throughput;
+//! * `fleet_service/quiet_epoch/{gated,ungated}` — wall time of a calm
+//!   adaptation epoch with the incremental gauge on vs off, with the
+//!   measured skip ratio;
+//! * `fleet_service/checkpoint` and `fleet_service/restore` — snapshot
+//!   latency both ways, with the snapshot size and the restore's
+//!   replayed-solve accounting;
+//! * `fleet_service` — the headline: scenario shape, calm-phase skip
+//!   ratio, churn/checkpoint costs.
+//!
+//! Before anything is timed, the run is gated on the service's
+//! correctness criteria: calm epochs skip ≥ 90% of gauge
+//! recomputations, churn triggers no cold reload, and a
+//! checkpoint→restore round trip continues with a bit-identical
+//! next-epoch report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpm_bench::time_median_ns;
+use dpm_runtime::service::ClassId;
+use dpm_runtime::{AdaptiveConfig, DeviceId, FleetConfig, FleetReport, FleetService};
+use dpm_systems::racks::{self, RackSchedule};
+use dpm_trace::WindowKind;
+
+/// Devices added and removed per timed churn wave.
+const CHURN_BATCH: usize = 64;
+/// Epochs run to reach the calm steady state before timing.
+const WARMUP_EPOCHS: usize = 3;
+
+fn config(quiet_gate: bool) -> FleetConfig {
+    let config = FleetConfig::new()
+        .adaptive(
+            AdaptiveConfig::new()
+                .memory(racks::MEMORY)
+                .smoothing(racks::SMOOTHING)
+                .horizon(2_000.0)
+                .window(WindowKind::Sliding(2 * racks::EPOCH_SLICES)),
+        )
+        .cluster_divergence(0.1)
+        .resolve_divergence(0.05);
+    if quiet_gate {
+        config.quiet_divergence(0.0)
+    } else {
+        config
+    }
+}
+
+/// A warmed-up service: the full rack fleet, clustered and past the
+/// estimator warmup, sitting in a calm phase.
+fn warm_service(quiet_gate: bool, schedule: &RackSchedule) -> (FleetService, ClassId) {
+    let mut service = FleetService::new(config(quiet_gate));
+    let class = service
+        .register_class(&racks::system().expect("system composes"))
+        .expect("class registers");
+    for _ in 0..schedule.devices() {
+        service.add_device(class).expect("device adds");
+    }
+    for epoch in 0..WARMUP_EPOCHS {
+        run_epoch(&mut service, schedule, epoch);
+    }
+    (service, class)
+}
+
+fn run_epoch(service: &mut FleetService, schedule: &RackSchedule, epoch: usize) -> FleetReport {
+    let ids: Vec<DeviceId> = service.device_ids().to_vec();
+    let pairs: Vec<(DeviceId, Vec<u32>)> = schedule
+        .epoch_arrivals(epoch)
+        .into_iter()
+        .zip(ids)
+        .map(|(stream, id)| (id, stream))
+        .collect();
+    service.run_epoch(&pairs).expect("epoch runs")
+}
+
+/// One churn wave: add [`CHURN_BATCH`] devices, run a calm epoch with
+/// the newcomers on the calm pattern, remove them again. Returns the
+/// epoch's report.
+fn churn_wave(
+    service: &mut FleetService,
+    class: ClassId,
+    schedule: &RackSchedule,
+    epoch: usize,
+) -> FleetReport {
+    let joined: Vec<DeviceId> = (0..CHURN_BATCH)
+        .map(|_| service.add_device(class).expect("device adds"))
+        .collect();
+    let calm: Vec<u32> = (0..racks::EPOCH_SLICES)
+        .map(|i| u32::from(i % racks::CALM.1 < racks::CALM.0))
+        .collect();
+    let ids: Vec<DeviceId> = service.device_ids().to_vec();
+    let pairs: Vec<(DeviceId, Vec<u32>)> = schedule
+        .epoch_arrivals(epoch)
+        .into_iter()
+        .chain(std::iter::repeat_with(|| calm.clone()))
+        .zip(ids)
+        .map(|(stream, id)| (id, stream))
+        .collect();
+    let report = service.run_epoch(&pairs).expect("churn epoch runs");
+    for id in joined {
+        service.remove_device(id).expect("device removes");
+    }
+    report
+}
+
+fn bench_fleet_service(c: &mut Criterion) {
+    let schedule = RackSchedule::new();
+    let devices = schedule.devices();
+
+    // Correctness gate 1: calm epochs skip >= 90% of gauge work.
+    let (mut gated_service, gated_class) = warm_service(true, &schedule);
+    let calm_report = run_epoch(&mut gated_service, &schedule, WARMUP_EPOCHS);
+    let gauge_total = calm_report.gauge_skips + calm_report.gauge_refits;
+    assert!(
+        calm_report.gauge_skips * 10 >= gauge_total * 9,
+        "calm epoch skipped only {} of {gauge_total} gauges",
+        calm_report.gauge_skips
+    );
+    let skip_ratio = calm_report.gauge_skips as f64 / gauge_total.max(1) as f64;
+
+    // Correctness gate 2: churn never reloads cold or storms solves.
+    let churn_report = churn_wave(
+        &mut gated_service,
+        gated_class,
+        &schedule,
+        WARMUP_EPOCHS + 1,
+    );
+    assert_eq!(churn_report.cold_reloads, 0, "churn reloaded cold");
+    assert!(
+        churn_report.solves <= churn_report.clusters,
+        "churn solved {} times for {} clusters",
+        churn_report.solves,
+        churn_report.clusters
+    );
+
+    // Correctness gate 3: checkpoint -> restore -> bit-identical epoch.
+    let mut snapshot = Vec::new();
+    gated_service
+        .checkpoint(&mut snapshot)
+        .expect("checkpoints");
+    let mut restored = FleetService::new(config(true));
+    restored
+        .register_class(&racks::system().expect("system composes"))
+        .expect("class registers");
+    let restore_report = restored
+        .restore(&mut snapshot.as_slice())
+        .expect("restores");
+    assert_eq!(restore_report.cold_reloads, 0, "restore reloaded cold");
+    let next = WARMUP_EPOCHS + 2;
+    assert_eq!(
+        run_epoch(&mut gated_service, &schedule, next),
+        run_epoch(&mut restored, &schedule, next),
+        "restored service diverged from the uninterrupted run"
+    );
+    let snapshot_bytes = snapshot.len();
+
+    // Timed: churn waves against a live fleet.
+    let (mut churn_service, churn_class) = warm_service(true, &schedule);
+    let churn_ns =
+        time_median_ns(|| churn_wave(&mut churn_service, churn_class, &schedule, WARMUP_EPOCHS));
+    let churned_per_s = (2 * CHURN_BATCH) as f64 / (churn_ns / 1e9);
+    c.bench_function("fleet_service/churn", |b| {
+        b.iter(|| churn_wave(&mut churn_service, churn_class, &schedule, WARMUP_EPOCHS));
+        b.counter("batch_adds", CHURN_BATCH as f64);
+        b.counter("batch_removes", CHURN_BATCH as f64);
+        b.counter("devices_churned_per_s", churned_per_s);
+        b.counter("resident_devices", devices as f64);
+    });
+
+    // Timed: one calm epoch, incremental gauge on vs off.
+    let mut group = c.benchmark_group("fleet_service/quiet_epoch");
+    group.sample_size(10);
+    let gated_ns = time_median_ns(|| run_epoch(&mut gated_service, &schedule, next + 1));
+    group.bench_function("gated", |b| {
+        b.iter(|| run_epoch(&mut gated_service, &schedule, next + 1));
+        b.counter("skip_ratio", skip_ratio);
+        b.counter("devices", devices as f64);
+    });
+    let (mut ungated_service, _) = warm_service(false, &schedule);
+    let ungated_ns = time_median_ns(|| run_epoch(&mut ungated_service, &schedule, WARMUP_EPOCHS));
+    group.bench_function("ungated", |b| {
+        b.iter(|| run_epoch(&mut ungated_service, &schedule, WARMUP_EPOCHS));
+        b.counter("skip_ratio", 0.0);
+        b.counter("devices", devices as f64);
+    });
+    group.finish();
+
+    // Timed: snapshot both ways.
+    let checkpoint_ns = time_median_ns(|| {
+        let mut bytes = Vec::with_capacity(snapshot_bytes);
+        gated_service.checkpoint(&mut bytes).expect("checkpoints");
+        bytes
+    });
+    c.bench_function("fleet_service/checkpoint", |b| {
+        b.iter(|| {
+            let mut bytes = Vec::with_capacity(snapshot_bytes);
+            gated_service.checkpoint(&mut bytes).expect("checkpoints");
+            bytes
+        });
+        b.counter("snapshot_bytes", snapshot_bytes as f64);
+        b.counter("devices", devices as f64);
+    });
+    let mut current = Vec::new();
+    gated_service.checkpoint(&mut current).expect("checkpoints");
+    let restore_ns =
+        time_median_ns(|| restored.restore(&mut current.as_slice()).expect("restores"));
+    c.bench_function("fleet_service/restore", |b| {
+        b.iter(|| restored.restore(&mut current.as_slice()).expect("restores"));
+        b.counter("snapshot_bytes", current.len() as f64);
+        b.counter("replayed_solves", restore_report.replayed_solves as f64);
+        b.counter("replay_pivots", restore_report.pivots as f64);
+    });
+
+    println!(
+        "fleet_service: {devices} devices / {} racks, calm skip ratio {:.3}, \
+         churn {:.0} devices/s, snapshot {snapshot_bytes} B \
+         ({:.2} ms out, {:.2} ms back)",
+        schedule.racks(),
+        skip_ratio,
+        churned_per_s,
+        checkpoint_ns / 1e6,
+        restore_ns / 1e6,
+    );
+
+    c.bench_function("fleet_service", |b| {
+        b.iter(|| run_epoch(&mut gated_service, &schedule, next + 1));
+        b.counter("devices", devices as f64);
+        b.counter("racks", schedule.racks() as f64);
+        b.counter("calm_skip_ratio", skip_ratio);
+        b.counter("churn_devices_per_s", churned_per_s);
+        b.counter("snapshot_bytes", snapshot_bytes as f64);
+        b.counter("checkpoint_ms", checkpoint_ns / 1e6);
+        b.counter("restore_ms", restore_ns / 1e6);
+        b.counter("gated_epoch_ms", gated_ns / 1e6);
+        b.counter("ungated_epoch_ms", ungated_ns / 1e6);
+        b.counter(
+            "host_cores",
+            std::thread::available_parallelism().map_or(1, usize::from) as f64,
+        );
+    });
+}
+
+criterion_group!(benches, bench_fleet_service);
+criterion_main!(benches);

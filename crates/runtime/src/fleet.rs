@@ -88,6 +88,7 @@ pub struct FleetConfig {
     pub(crate) workers: usize,
     pub(crate) cluster_divergence: f64,
     pub(crate) resolve_divergence: f64,
+    pub(crate) quiet_divergence: Option<f64>,
 }
 
 impl Default for FleetConfig {
@@ -104,6 +105,7 @@ impl FleetConfig {
             workers: 1,
             cluster_divergence: 0.05,
             resolve_divergence: 0.02,
+            quiet_divergence: None,
         }
     }
 
@@ -143,6 +145,22 @@ impl FleetConfig {
         self.resolve_divergence = threshold.max(0.0);
         self
     }
+
+    /// Incremental-gauge gate: when set, a device whose windowed counts
+    /// moved at most this much since its last fit (max-abs smoothed
+    /// row-probability distance, [`WindowedEstimator::count_drift`])
+    /// skips the epoch's fit/gauge recomputation — its previous fit,
+    /// flattened gauge and cluster assignment stand unchanged, so quiet
+    /// epochs become ~free. The skip/refit split is reported in
+    /// [`FleetReport::gauge_skips`] / [`FleetReport::gauge_refits`].
+    /// `0.0` skips only devices whose window counts are bit-identical
+    /// to the last fit's. Unset (the default) disables the gate: every
+    /// ready estimator refits every epoch.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn quiet_divergence(mut self, threshold: f64) -> Self {
+        self.quiet_divergence = Some(threshold.max(0.0));
+        self
+    }
 }
 
 /// What one [`FleetController::run_epoch`] call did, in the aggregate —
@@ -158,6 +176,15 @@ pub struct FleetReport {
     /// Devices whose estimator produced a fit this epoch (the rest are
     /// still warming up their windows).
     pub fitted: usize,
+    /// Devices that recomputed their fit and divergence gauge this epoch
+    /// — ready estimators whose counts moved past
+    /// [`FleetConfig::quiet_divergence`], or every ready estimator when
+    /// the quiet gate is disabled.
+    pub gauge_refits: usize,
+    /// Devices the incremental gauge let skip fit/gauge recomputation
+    /// this epoch (windowed counts within `quiet_divergence` of their
+    /// last fit; their previous fit and cluster assignment stand).
+    pub gauge_skips: usize,
     /// Clusters alive at the end of the epoch.
     pub clusters: usize,
     /// Devices evicted from a cluster this epoch (drifted off the
@@ -190,33 +217,47 @@ pub struct FleetReport {
     pub mean_power: Option<f64>,
 }
 
+/// Phase-1 per-device scratch: whether the epoch recomputed the
+/// device's fit and gauge or the incremental gauge let it skip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FitOutcome {
+    /// Estimator not ready (window still warming up), or the fit failed.
+    None,
+    /// Fit and flattened gauge recomputed.
+    Refit,
+    /// Windowed counts within the quiet gate of the last fit — skipped.
+    Skipped,
+}
+
 /// One managed device: its streaming estimator, its latest fit and its
 /// cluster assignment.
 #[derive(Debug)]
-struct Device {
-    class: usize,
-    estimator: WindowedEstimator,
+pub(crate) struct Device {
+    pub(crate) class: usize,
+    pub(crate) estimator: WindowedEstimator,
     /// Latest fitted SR model (sticky once fitted).
-    fit: Option<ServiceRequester>,
+    pub(crate) fit: Option<ServiceRequester>,
     /// The fit's flattened transition matrix — the clustering gauge
     /// works on this.
-    flat: Option<Vec<f64>>,
-    cluster: Option<usize>,
-    policy: Arc<RandomizedPolicy>,
+    pub(crate) flat: Option<Vec<f64>>,
+    pub(crate) cluster: Option<usize>,
+    pub(crate) policy: Arc<RandomizedPolicy>,
+    /// Per-epoch scratch: what phase 1 did to this device's gauge.
+    pub(crate) fit_outcome: FitOutcome,
 }
 
 /// A device class: one LP shape, one base session every cluster forks.
 #[derive(Debug)]
-struct DeviceClass {
-    provider: ServiceProvider,
-    queue: ServiceQueue,
-    base: PreparedOptimization,
-    base_policy: Arc<RandomizedPolicy>,
+pub(crate) struct DeviceClass {
+    pub(crate) provider: ServiceProvider,
+    pub(crate) queue: ServiceQueue,
+    pub(crate) base: PreparedOptimization,
+    pub(crate) base_policy: Arc<RandomizedPolicy>,
 }
 
 /// The outcome of one cluster's re-solve attempt (per-epoch scratch).
 #[derive(Debug, Clone)]
-struct SolveOutcome {
+pub(crate) struct SolveOutcome {
     reload: Option<ReloadKind>,
     pivots: usize,
     symbolic_reuse: usize,
@@ -227,31 +268,31 @@ struct SolveOutcome {
 /// A group of devices sharing one fitted regime, one LP session and one
 /// policy.
 #[derive(Debug)]
-struct Cluster {
-    class: usize,
+pub(crate) struct Cluster {
+    pub(crate) class: usize,
     /// Member device indices, ascending — `members[0]` is the
     /// representative device.
-    members: Vec<usize>,
+    pub(crate) members: Vec<usize>,
     /// The representative's flattened transition matrix.
-    representative: Vec<f64>,
+    pub(crate) representative: Vec<f64>,
     /// The representative's fitted model (what a re-solve solves for).
-    rep_model: ServiceRequester,
-    session: PreparedOptimization,
+    pub(crate) rep_model: ServiceRequester,
+    pub(crate) session: PreparedOptimization,
     /// The flattened model of the last successful solve.
-    last_solved: Option<Vec<f64>>,
-    policy: Arc<RandomizedPolicy>,
+    pub(crate) last_solved: Option<Vec<f64>>,
+    pub(crate) policy: Arc<RandomizedPolicy>,
     /// Model-predicted power per slice of the last successful solve.
-    power: Option<f64>,
+    pub(crate) power: Option<f64>,
     /// Epochs since the last successful solve.
-    since_solve: u64,
-    needs_solve: bool,
-    outcome: Option<SolveOutcome>,
+    pub(crate) since_solve: u64,
+    pub(crate) needs_solve: bool,
+    pub(crate) outcome: Option<SolveOutcome>,
 }
 
 /// Max-abs distance between two flattened transition matrices — the
 /// same gauge as [`WindowedEstimator::divergence`], applied across
 /// devices instead of across time.
-fn gauge(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn gauge(a: &[f64], b: &[f64]) -> f64 {
     a.iter()
         .zip(b)
         .map(|(x, y)| (x - y).abs())
@@ -259,7 +300,7 @@ fn gauge(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Row-major flattening of a requester's transition matrix.
-fn flatten(sr: &ServiceRequester) -> Vec<f64> {
+pub(crate) fn flatten(sr: &ServiceRequester) -> Vec<f64> {
     let n = sr.num_states();
     let p = sr.chain().transition_matrix();
     let mut flat = Vec::with_capacity(n * n);
@@ -279,12 +320,12 @@ fn flatten(sr: &ServiceRequester) -> Vec<f64> {
 /// feeding each device its arrival slice.
 #[derive(Debug)]
 pub struct FleetController {
-    config: FleetConfig,
-    classes: Vec<DeviceClass>,
-    devices: Vec<Device>,
-    clusters: Vec<Cluster>,
-    epoch: u64,
-    history: Vec<FleetReport>,
+    pub(crate) config: FleetConfig,
+    pub(crate) classes: Vec<DeviceClass>,
+    pub(crate) devices: Vec<Device>,
+    pub(crate) clusters: Vec<Cluster>,
+    pub(crate) epoch: u64,
+    pub(crate) history: Vec<FleetReport>,
 }
 
 impl FleetController {
@@ -341,30 +382,111 @@ impl FleetController {
         let base_policy = Arc::new(base.solve()?.policy().clone());
 
         let class = self.classes.len();
-        for _ in 0..count {
-            let extractor = SrExtractor::try_new(config.memory)?.with_smoothing(config.smoothing);
-            let estimator = WindowedEstimator::new(extractor, config.effective_window())?;
-            let estimator = if config.blend_fits {
-                estimator.with_blending()
-            } else {
-                estimator
-            };
-            self.devices.push(Device {
-                class,
-                estimator,
-                fit: None,
-                flat: None,
-                cluster: None,
-                policy: Arc::clone(&base_policy),
-            });
-        }
         self.classes.push(DeviceClass {
             provider: system.provider().clone(),
             queue: *system.queue(),
             base,
             base_policy,
         });
+        for _ in 0..count {
+            self.add_device(class)?;
+        }
         Ok(class)
+    }
+
+    /// Adds one device to an existing class at runtime — churn, not
+    /// construction. The class's prepared base session and symbolic LU
+    /// analysis are reused as-is; nothing in the fleet is re-prepared
+    /// and no LP is solved. The device starts on the class's base
+    /// policy with an empty estimator and joins (or founds) a cluster
+    /// once its window fills and fits. Returns the device's index
+    /// (`devices() - 1`).
+    ///
+    /// # Errors
+    ///
+    /// [`DpmError::BadConfiguration`] when `class` is out of range;
+    /// estimator construction failures propagate.
+    pub fn add_device(&mut self, class: usize) -> Result<usize, DpmError> {
+        let Some(device_class) = self.classes.get(class) else {
+            return Err(DpmError::BadConfiguration {
+                reason: format!(
+                    "fleet has {} classes, device requested class {class}",
+                    self.classes.len()
+                ),
+            });
+        };
+        let estimator = Self::build_estimator(&self.config.base)?;
+        self.devices.push(Device {
+            class,
+            estimator,
+            fit: None,
+            flat: None,
+            cluster: None,
+            policy: Arc::clone(&device_class.base_policy),
+            fit_outcome: FitOutcome::None,
+        });
+        Ok(self.devices.len() - 1)
+    }
+
+    /// Removes device `index` from the fleet at runtime. The device is
+    /// evicted from its cluster; a cluster left empty is garbage
+    /// collected (its forked session dropped — the class base session
+    /// and symbolic analysis are untouched, so no re-prepare ever
+    /// happens). Devices above `index` shift down by one, exactly like
+    /// [`Vec::remove`]; cluster membership follows the shift. A cluster
+    /// whose representative device was removed keeps serving its
+    /// current policy and is re-represented by its new lowest-indexed
+    /// member at the next epoch's maintenance.
+    ///
+    /// # Errors
+    ///
+    /// [`DpmError::BadConfiguration`] when `index` is out of range.
+    pub fn remove_device(&mut self, index: usize) -> Result<(), DpmError> {
+        if index >= self.devices.len() {
+            return Err(DpmError::BadConfiguration {
+                reason: format!(
+                    "fleet has {} devices, none at index {index}",
+                    self.devices.len()
+                ),
+            });
+        }
+        if let Some(c) = self.devices[index].cluster {
+            self.clusters[c].members.retain(|&m| m != index);
+        }
+        // GC emptied clusters and remap the survivors' indices.
+        let mut remap = vec![usize::MAX; self.clusters.len()];
+        let mut kept = 0usize;
+        for (c, cluster) in self.clusters.iter().enumerate() {
+            if !cluster.members.is_empty() {
+                remap[c] = kept;
+                kept += 1;
+            }
+        }
+        self.clusters.retain(|cl| !cl.members.is_empty());
+        self.devices.remove(index);
+        for device in &mut self.devices {
+            device.cluster = device.cluster.map(|c| remap[c]);
+        }
+        // Device indices above the removed one shift down.
+        for cluster in &mut self.clusters {
+            for m in &mut cluster.members {
+                if *m > index {
+                    *m -= 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// An empty per-device estimator per the adaptive configuration.
+    pub(crate) fn build_estimator(config: &AdaptiveConfig) -> Result<WindowedEstimator, DpmError> {
+        let extractor = SrExtractor::try_new(config.memory)?.with_smoothing(config.smoothing);
+        let estimator = WindowedEstimator::new(extractor, config.effective_window())?;
+        Ok(if config.blend_fits {
+            estimator.with_blending()
+        } else {
+            estimator
+        })
     }
 
     /// Devices in the fleet.
@@ -468,6 +590,7 @@ impl FleetController {
     /// mutable state, so the merge is trivially deterministic.
     fn feed_and_fit(&mut self, arrivals: &[Vec<u32>]) {
         let workers = self.config.workers;
+        let quiet = self.config.quiet_divergence;
         let chunk = self.devices.len().div_ceil(workers).max(1);
         std::thread::scope(|s| {
             for (shard, bits) in self.devices.chunks_mut(chunk).zip(arrivals.chunks(chunk)) {
@@ -476,11 +599,29 @@ impl FleetController {
                         for &b in stream {
                             device.estimator.observe(b);
                         }
-                        if device.estimator.is_ready() {
-                            if let Ok(sr) = device.estimator.fit() {
-                                device.flat = Some(flatten(&sr));
-                                device.fit = Some(sr);
+                        device.fit_outcome = FitOutcome::None;
+                        if !device.estimator.is_ready() {
+                            continue;
+                        }
+                        // The incremental gauge: a fitted device whose
+                        // windowed counts stayed within the quiet gate
+                        // of its last fit keeps fit, flattened gauge
+                        // and cluster untouched — no refit, no gauge
+                        // recomputation downstream.
+                        if device.fit.is_some() {
+                            if let (Some(gate), Some(drift)) =
+                                (quiet, device.estimator.count_drift())
+                            {
+                                if drift <= gate {
+                                    device.fit_outcome = FitOutcome::Skipped;
+                                    continue;
+                                }
                             }
+                        }
+                        if let Ok(sr) = device.estimator.fit() {
+                            device.flat = Some(flatten(&sr));
+                            device.fit = Some(sr);
+                            device.fit_outcome = FitOutcome::Refit;
                         }
                     }
                 });
@@ -635,6 +776,8 @@ impl FleetController {
             epoch: self.epoch,
             devices: self.devices.len(),
             fitted: self.devices.iter().filter(|d| d.fit.is_some()).count(),
+            gauge_refits: 0,
+            gauge_skips: 0,
             clusters: self.clusters.len(),
             evictions,
             solves: 0,
@@ -671,6 +814,11 @@ impl FleetController {
         let mut power_sum = 0.0;
         let mut powered = 0usize;
         for device in &mut self.devices {
+            match device.fit_outcome {
+                FitOutcome::Refit => report.gauge_refits += 1,
+                FitOutcome::Skipped => report.gauge_skips += 1,
+                FitOutcome::None => {}
+            }
             if let Some(c) = device.cluster {
                 device.policy = Arc::clone(&self.clusters[c].policy);
                 if let Some(power) = self.clusters[c].power {
@@ -906,6 +1054,59 @@ mod tests {
         assert_eq!(second.solves, 0, "stationary stream should not re-solve");
         assert_eq!(second.skipped, second.clusters);
         assert_eq!(fleet.total_solves(), 1);
+    }
+
+    #[test]
+    fn quiet_gate_skips_devices_whose_counts_did_not_move() {
+        let mut fleet = FleetController::new(config(1).quiet_divergence(0.0));
+        fleet
+            .add_class(&drifting_system(0.1, 0.6), 4)
+            .expect("class");
+        // The pattern period (8) divides the epoch length and the
+        // 400-slice window, so after the first fit every further calm
+        // epoch refills the window with bit-identical counts.
+        let arrivals: Vec<Vec<u32>> = (0..4).map(|d| pattern(400, d, 2, 8)).collect();
+        let first = fleet.run_epoch(&arrivals).expect("epoch 0");
+        assert_eq!(first.gauge_refits, 4, "first fit is never skipped");
+        assert_eq!(first.gauge_skips, 0);
+        let second = fleet.run_epoch(&arrivals).expect("epoch 1");
+        assert_eq!(second.gauge_skips, 4, "calm epoch should skip all gauges");
+        assert_eq!(second.gauge_refits, 0);
+        // A regime flip wakes the gauge back up.
+        let surged: Vec<Vec<u32>> = (0..4).map(|d| pattern(400, d, 7, 8)).collect();
+        let third = fleet.run_epoch(&surged).expect("epoch 2");
+        assert_eq!(third.gauge_refits, 4, "surge must refit every device");
+    }
+
+    #[test]
+    fn churned_devices_come_and_go_without_any_re_prepare() {
+        let mut fleet = FleetController::new(config(1));
+        let class = fleet
+            .add_class(&drifting_system(0.1, 0.6), 2)
+            .expect("class");
+        let arrivals: Vec<Vec<u32>> = (0..2).map(|d| pattern(500, d, 2, 8)).collect();
+        fleet.run_epoch(&arrivals).expect("epoch 0");
+        assert_eq!(fleet.clusters(), 1);
+        let d = fleet.add_device(class).expect("adds");
+        assert_eq!((d, fleet.devices()), (2, 3));
+        assert!(
+            fleet.device_cluster(d).is_none(),
+            "new device is unclustered until its window fills"
+        );
+        assert!(fleet.add_device(9).is_err(), "unknown class is rejected");
+        // Remove the cluster representative: the cluster survives and
+        // the surviving member's index shifts down.
+        fleet.remove_device(0).expect("removes");
+        assert_eq!(fleet.devices(), 2);
+        assert_eq!(fleet.device_cluster(0), Some(0));
+        // Removing the last member garbage-collects the cluster.
+        fleet.remove_device(0).expect("removes");
+        assert_eq!(fleet.clusters(), 0);
+        assert!(fleet.device_cluster(0).is_none());
+        assert!(fleet.remove_device(1).is_err(), "out of range is rejected");
+        // The remaining (freshly added) device still runs epochs.
+        let report = fleet.run_epoch(&[pattern(500, 0, 2, 8)]).expect("epoch 1");
+        assert_eq!((report.devices, report.clusters), (1, 1));
     }
 
     #[test]

@@ -61,8 +61,10 @@
 #![deny(missing_debug_implementations)]
 
 pub mod fleet;
+pub mod service;
 
 pub use fleet::{FleetConfig, FleetController, FleetReport};
+pub use service::{ClassId, DeviceId, FleetService, RestoreReport, SnapshotError};
 
 use dpm_core::{
     DpmError, PolicyOptimizer, PreparedOptimization, ServiceProvider, ServiceQueue,

@@ -1,0 +1,816 @@
+//! The versioned binary snapshot behind [`FleetService::checkpoint`] /
+//! [`FleetService::restore`] — serde-free, in-house writer/reader.
+//!
+//! # Format (version 1)
+//!
+//! All integers little-endian; `f64` as IEEE-754 bit patterns
+//! ([`f64::to_bits`]), so a round trip is **bit-identical**. Layout:
+//!
+//! ```text
+//! magic   b"DPMFLEET"                      8 bytes
+//! version u32                              currently 1
+//! section*                                 tag u32, payload-len u64, payload
+//! end     tag 0, len 0
+//! ```
+//!
+//! Sections (each at most once; unknown tags are skipped so later
+//! versions can append):
+//!
+//! | tag | name     | payload                                          |
+//! |-----|----------|--------------------------------------------------|
+//! | 1   | META     | epoch, next device id, per-class LP fingerprints |
+//! | 2   | POLICIES | deduplicated randomized-policy table             |
+//! | 3   | DEVICES  | per device: id, class, cluster, policy index, fitted SR, full estimator state |
+//! | 4   | CLUSTERS | per cluster: class, members, representative, last-solved model, policy index, power, cooldown |
+//!
+//! Policies are written once each and referenced by table index, so the
+//! `Arc` sharing between a cluster and its member devices survives the
+//! round trip. LP sessions are **not** serialized: restore rehydrates
+//! each cluster by forking its class's base session and replaying one
+//! warm solve of the last-solved model (clusters that never solved just
+//! fork). The per-epoch report history is not part of the snapshot.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use dpm_core::{DpmError, ServiceRequester, SystemModel};
+use dpm_lp::ReloadKind;
+use dpm_markov::StochasticMatrix;
+use dpm_mdp::RandomizedPolicy;
+use dpm_trace::EstimatorState;
+
+use crate::fleet::{flatten, Cluster, Device, FitOutcome, FleetController};
+use crate::service::{DeviceId, FleetService};
+
+/// Magic bytes opening every snapshot.
+const MAGIC: &[u8; 8] = b"DPMFLEET";
+/// The format version this build writes and reads.
+const VERSION: u32 = 1;
+
+const TAG_END: u32 = 0;
+const TAG_META: u32 = 1;
+const TAG_POLICIES: u32 = 2;
+const TAG_DEVICES: u32 = 3;
+const TAG_CLUSTERS: u32 = 4;
+
+/// Sentinel for "no cluster" in a device record.
+const NO_CLUSTER: u64 = u64::MAX;
+
+/// Why a checkpoint or restore failed.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying reader/writer failed.
+    Io(std::io::Error),
+    /// The snapshot is malformed, truncated or of an unsupported
+    /// version.
+    Format {
+        /// What was wrong with the byte stream.
+        reason: String,
+    },
+    /// The snapshot does not belong to this service (class count or
+    /// LP shape differs, or internal references are inconsistent).
+    Mismatch {
+        /// What did not line up.
+        reason: String,
+    },
+    /// Rebuilding a model/estimator or replaying a session solve
+    /// failed.
+    Dpm(DpmError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            SnapshotError::Format { reason } => write!(f, "malformed snapshot: {reason}"),
+            SnapshotError::Mismatch { reason } => {
+                write!(f, "snapshot does not match this service: {reason}")
+            }
+            SnapshotError::Dpm(e) => write!(f, "snapshot state rebuild failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Dpm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<DpmError> for SnapshotError {
+    fn from(e: DpmError) -> Self {
+        SnapshotError::Dpm(e)
+    }
+}
+
+fn format_err(reason: impl Into<String>) -> SnapshotError {
+    SnapshotError::Format {
+        reason: reason.into(),
+    }
+}
+
+fn mismatch_err(reason: impl Into<String>) -> SnapshotError {
+    SnapshotError::Mismatch {
+        reason: reason.into(),
+    }
+}
+
+/// What [`FleetService::restore`] rebuilt and what the session
+/// rehydration cost — the proof there was no cold-solve storm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RestoreReport {
+    /// Devices rebuilt from the snapshot.
+    pub devices: usize,
+    /// Clusters rebuilt from the snapshot.
+    pub clusters: usize,
+    /// Warm solves replayed to rehydrate previously-solved cluster
+    /// sessions (at most one per cluster; never-solved clusters cost
+    /// only a fork).
+    pub replayed_solves: usize,
+    /// Replayed model swaps that reloaded warm.
+    pub warm_reloads: usize,
+    /// Replayed model swaps that fell back to a cold rebuild.
+    pub cold_reloads: usize,
+    /// Simplex pivots spent by the replayed solves.
+    pub pivots: usize,
+}
+
+// ---------------------------------------------------------------------
+// Little-endian writer helpers.
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(u8::from(v));
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) {
+    put_u64(buf, vs.len() as u64);
+    for &v in vs {
+        put_f64(buf, v);
+    }
+}
+
+fn put_opt_f64s(buf: &mut Vec<u8>, vs: Option<&Vec<f64>>) {
+    match vs {
+        Some(vs) => {
+            put_bool(buf, true);
+            put_f64s(buf, vs);
+        }
+        None => put_bool(buf, false),
+    }
+}
+
+fn put_pairs(buf: &mut Vec<u8>, vs: &[[f64; 2]]) {
+    put_u64(buf, vs.len() as u64);
+    for pair in vs {
+        put_f64(buf, pair[0]);
+        put_f64(buf, pair[1]);
+    }
+}
+
+fn put_opt_pairs(buf: &mut Vec<u8>, vs: Option<&Vec<[f64; 2]>>) {
+    match vs {
+        Some(vs) => {
+            put_bool(buf, true);
+            put_pairs(buf, vs);
+        }
+        None => put_bool(buf, false),
+    }
+}
+
+/// A fitted SR model: states, per-state requests and names, row-major
+/// transition probabilities.
+fn put_sr(buf: &mut Vec<u8>, sr: &ServiceRequester) {
+    let n = sr.num_states();
+    put_u64(buf, n as u64);
+    for s in 0..n {
+        put_u32(buf, sr.requests(s));
+        put_str(buf, sr.state_name(s));
+    }
+    let p = sr.chain().transition_matrix();
+    for s in 0..n {
+        for t in 0..n {
+            put_f64(buf, p.prob(s, t));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Little-endian reader: a cursor over one section's payload.
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| format_err(format!("truncated while reading {what}")))?;
+        let bytes = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, SnapshotError> {
+        let bytes = self.take(4, what)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, SnapshotError> {
+        let bytes = self.take(8, what)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn bool(&mut self, what: &str) -> Result<bool, SnapshotError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(format_err(format!("{what}: invalid flag byte {b}"))),
+        }
+    }
+
+    /// A length field that must fit in memory as a `usize` and leave
+    /// enough payload for `item_bytes`-sized items.
+    fn len(&mut self, what: &str, item_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = usize::try_from(self.u64(what)?)
+            .map_err(|_| format_err(format!("{what}: length overflows usize")))?;
+        if n.checked_mul(item_bytes.max(1))
+            .is_none_or(|total| total > self.buf.len() - self.pos)
+        {
+            return Err(format_err(format!("{what}: length {n} exceeds payload")));
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, SnapshotError> {
+        let n = self.len(what, 1)?;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| format_err(format!("{what}: invalid UTF-8")))
+    }
+
+    fn f64s(&mut self, what: &str) -> Result<Vec<f64>, SnapshotError> {
+        let n = self.len(what, 8)?;
+        (0..n).map(|_| self.f64(what)).collect()
+    }
+
+    fn opt_f64s(&mut self, what: &str) -> Result<Option<Vec<f64>>, SnapshotError> {
+        Ok(if self.bool(what)? {
+            Some(self.f64s(what)?)
+        } else {
+            None
+        })
+    }
+
+    fn pairs(&mut self, what: &str) -> Result<Vec<[f64; 2]>, SnapshotError> {
+        let n = self.len(what, 16)?;
+        (0..n)
+            .map(|_| Ok([self.f64(what)?, self.f64(what)?]))
+            .collect()
+    }
+
+    fn opt_pairs(&mut self, what: &str) -> Result<Option<Vec<[f64; 2]>>, SnapshotError> {
+        Ok(if self.bool(what)? {
+            Some(self.pairs(what)?)
+        } else {
+            None
+        })
+    }
+
+    fn sr(&mut self, what: &str) -> Result<ServiceRequester, SnapshotError> {
+        let n = self.len(what, 4)?;
+        let mut requests = Vec::with_capacity(n);
+        let mut names = Vec::with_capacity(n);
+        for _ in 0..n {
+            requests.push(self.u32(what)?);
+            names.push(self.string(what)?);
+        }
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(n);
+            for _ in 0..n {
+                row.push(self.f64(what)?);
+            }
+            rows.push(row);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let matrix = StochasticMatrix::from_rows(&refs).map_err(DpmError::from)?;
+        Ok(ServiceRequester::with_names(matrix, requests, names)?)
+    }
+
+    fn finish(&self, what: &str) -> Result<(), SnapshotError> {
+        if self.pos != self.buf.len() {
+            return Err(format_err(format!(
+                "{what}: {} trailing bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writing.
+
+/// Interns `policy` in the dedup table, returning its index.
+fn intern(
+    table: &mut Vec<Arc<RandomizedPolicy>>,
+    by_ptr: &mut BTreeMap<usize, u64>,
+    policy: &Arc<RandomizedPolicy>,
+) -> u64 {
+    let key = Arc::as_ptr(policy) as usize;
+    *by_ptr.entry(key).or_insert_with(|| {
+        table.push(Arc::clone(policy));
+        (table.len() - 1) as u64
+    })
+}
+
+pub(crate) fn write_snapshot(
+    service: &FleetService,
+    writer: &mut impl Write,
+) -> Result<(), SnapshotError> {
+    let ctl = &service.controller;
+
+    // Policy table, deduplicated by allocation so sharing survives.
+    let mut table: Vec<Arc<RandomizedPolicy>> = Vec::new();
+    let mut by_ptr: BTreeMap<usize, u64> = BTreeMap::new();
+    let device_policy: Vec<u64> = ctl
+        .devices
+        .iter()
+        .map(|d| intern(&mut table, &mut by_ptr, &d.policy))
+        .collect();
+    let cluster_policy: Vec<u64> = ctl
+        .clusters
+        .iter()
+        .map(|c| intern(&mut table, &mut by_ptr, &c.policy))
+        .collect();
+
+    let mut meta = Vec::new();
+    put_u64(&mut meta, ctl.epoch);
+    put_u64(&mut meta, service.next_id);
+    put_u64(&mut meta, ctl.classes.len() as u64);
+    for class in &ctl.classes {
+        put_u64(&mut meta, class.base_policy.num_states() as u64);
+        put_u64(&mut meta, class.base_policy.num_actions() as u64);
+    }
+
+    let mut policies = Vec::new();
+    put_u64(&mut policies, table.len() as u64);
+    for policy in &table {
+        put_u64(&mut policies, policy.num_states() as u64);
+        put_u64(&mut policies, policy.num_actions() as u64);
+        for row in policy.decisions() {
+            for &p in row {
+                put_f64(&mut policies, p);
+            }
+        }
+    }
+
+    let mut devices = Vec::new();
+    put_u64(&mut devices, ctl.devices.len() as u64);
+    for (i, device) in ctl.devices.iter().enumerate() {
+        put_u64(&mut devices, service.ids[i].0);
+        put_u64(&mut devices, device.class as u64);
+        put_u64(
+            &mut devices,
+            device.cluster.map_or(NO_CLUSTER, |c| c as u64),
+        );
+        put_u64(&mut devices, device_policy[i]);
+        match device.fit.as_ref() {
+            Some(fit) => {
+                put_bool(&mut devices, true);
+                put_sr(&mut devices, fit);
+            }
+            None => put_bool(&mut devices, false),
+        }
+        let state = device.estimator.export_state();
+        put_pairs(&mut devices, &state.counts);
+        put_u64(&mut devices, state.state as u64);
+        put_u64(&mut devices, state.observed);
+        put_u64(&mut devices, state.ring.len() as u64);
+        for &bit in &state.ring {
+            put_bool(&mut devices, bit);
+        }
+        put_f64(&mut devices, state.weight);
+        put_opt_f64s(&mut devices, state.last_fit.as_ref());
+        match state.divergence {
+            Some(d) => {
+                put_bool(&mut devices, true);
+                put_f64(&mut devices, d);
+            }
+            None => put_bool(&mut devices, false),
+        }
+        put_opt_pairs(&mut devices, state.blend_prior.as_ref());
+        put_opt_pairs(&mut devices, state.counts_at_fit.as_ref());
+    }
+
+    let mut clusters = Vec::new();
+    put_u64(&mut clusters, ctl.clusters.len() as u64);
+    for (c, cluster) in ctl.clusters.iter().enumerate() {
+        put_u64(&mut clusters, cluster.class as u64);
+        put_u64(&mut clusters, cluster.members.len() as u64);
+        for &m in &cluster.members {
+            put_u64(&mut clusters, m as u64);
+        }
+        put_f64s(&mut clusters, &cluster.representative);
+        put_sr(&mut clusters, &cluster.rep_model);
+        put_opt_f64s(&mut clusters, cluster.last_solved.as_ref());
+        put_u64(&mut clusters, cluster_policy[c]);
+        match cluster.power {
+            Some(p) => {
+                put_bool(&mut clusters, true);
+                put_f64(&mut clusters, p);
+            }
+            None => put_bool(&mut clusters, false),
+        }
+        put_u64(&mut clusters, cluster.since_solve);
+    }
+
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    for (tag, payload) in [
+        (TAG_META, &meta),
+        (TAG_POLICIES, &policies),
+        (TAG_DEVICES, &devices),
+        (TAG_CLUSTERS, &clusters),
+    ] {
+        writer.write_all(&tag.to_le_bytes())?;
+        writer.write_all(&(payload.len() as u64).to_le_bytes())?;
+        writer.write_all(payload)?;
+    }
+    writer.write_all(&TAG_END.to_le_bytes())?;
+    writer.write_all(&0u64.to_le_bytes())?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Reading.
+
+/// Rebuilds an SR from a flattened transition matrix, taking requests
+/// and state names from a same-shaped template (the class shape never
+/// changes, so the representative model is a faithful template for the
+/// last-solved one).
+fn sr_from_flat(
+    flat: &[f64],
+    template: &ServiceRequester,
+) -> Result<ServiceRequester, SnapshotError> {
+    let n = template.num_states();
+    if flat.len() != n * n {
+        return Err(format_err(format!(
+            "last-solved model has {} entries for {n} states",
+            flat.len()
+        )));
+    }
+    let rows: Vec<&[f64]> = flat.chunks(n).collect();
+    let matrix = StochasticMatrix::from_rows(&rows).map_err(DpmError::from)?;
+    let requests = (0..n).map(|s| template.requests(s)).collect();
+    let names = (0..n).map(|s| template.state_name(s).to_string()).collect();
+    Ok(ServiceRequester::with_names(matrix, requests, names)?)
+}
+
+fn read_u32_from(reader: &mut impl Read) -> Result<u32, SnapshotError> {
+    let mut bytes = [0u8; 4];
+    reader.read_exact(&mut bytes)?;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+fn read_u64_from(reader: &mut impl Read) -> Result<u64, SnapshotError> {
+    let mut bytes = [0u8; 8];
+    reader.read_exact(&mut bytes)?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+pub(crate) fn read_snapshot(
+    service: &mut FleetService,
+    reader: &mut impl Read,
+) -> Result<RestoreReport, SnapshotError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(format_err("bad magic (not a fleet snapshot)"));
+    }
+    let version = read_u32_from(reader)?;
+    if version != VERSION {
+        return Err(format_err(format!(
+            "unsupported snapshot version {version} (this build reads {VERSION})"
+        )));
+    }
+    let mut sections: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+    loop {
+        let tag = read_u32_from(reader)?;
+        let len = usize::try_from(read_u64_from(reader)?)
+            .map_err(|_| format_err("section length overflows usize"))?;
+        if tag == TAG_END {
+            if len != 0 {
+                return Err(format_err("end marker carries a payload"));
+            }
+            break;
+        }
+        let mut payload = vec![0u8; len];
+        reader.read_exact(&mut payload)?;
+        if sections.insert(tag, payload).is_some() {
+            return Err(format_err(format!("duplicate section tag {tag}")));
+        }
+    }
+    let section = |tag: u32, name: &str| -> Result<Vec<u8>, SnapshotError> {
+        sections
+            .get(&tag)
+            .cloned()
+            .ok_or_else(|| format_err(format!("missing {name} section")))
+    };
+
+    // META: epoch, id bookkeeping, class fingerprints.
+    let meta = section(TAG_META, "META")?;
+    let mut cur = Cursor::new(&meta);
+    let epoch = cur.u64("epoch")?;
+    let next_id = cur.u64("next id")?;
+    let nclasses = cur.len("class count", 16)?;
+    let ctl = &service.controller;
+    if nclasses != ctl.classes.len() {
+        return Err(mismatch_err(format!(
+            "snapshot has {nclasses} classes, this service has {}",
+            ctl.classes.len()
+        )));
+    }
+    for (c, class) in ctl.classes.iter().enumerate() {
+        let states = cur.u64("class fingerprint")?;
+        let actions = cur.u64("class fingerprint")?;
+        if states != class.base_policy.num_states() as u64
+            || actions != class.base_policy.num_actions() as u64
+        {
+            return Err(mismatch_err(format!(
+                "class {c} LP shape differs ({states}x{actions} in the snapshot, {}x{} here)",
+                class.base_policy.num_states(),
+                class.base_policy.num_actions()
+            )));
+        }
+    }
+    cur.finish("META")?;
+
+    // POLICIES: the deduplicated table.
+    let policies = section(TAG_POLICIES, "POLICIES")?;
+    let mut cur = Cursor::new(&policies);
+    let npolicies = cur.len("policy count", 16)?;
+    let mut table = Vec::with_capacity(npolicies);
+    for _ in 0..npolicies {
+        let states = cur.len("policy states", 8)?;
+        let actions = cur.len("policy actions", 8)?;
+        let mut rows = Vec::with_capacity(states);
+        for _ in 0..states {
+            let mut row = Vec::with_capacity(actions);
+            for _ in 0..actions {
+                row.push(cur.f64("policy probability")?);
+            }
+            rows.push(row);
+        }
+        let policy = RandomizedPolicy::new(rows).map_err(DpmError::from)?;
+        table.push(Arc::new(policy));
+    }
+    cur.finish("POLICIES")?;
+
+    // DEVICES: estimators, fits, cluster assignments, ids.
+    let devices_bytes = section(TAG_DEVICES, "DEVICES")?;
+    let mut cur = Cursor::new(&devices_bytes);
+    let ndevices = cur.len("device count", 1)?;
+    let mut devices = Vec::with_capacity(ndevices);
+    let mut ids = Vec::with_capacity(ndevices);
+    let mut index = BTreeMap::new();
+    for d in 0..ndevices {
+        let id = cur.u64("device id")?;
+        if id >= next_id {
+            return Err(format_err(format!(
+                "device id {id} not below the next-id watermark {next_id}"
+            )));
+        }
+        if index.insert(id, d).is_some() {
+            return Err(format_err(format!("duplicate device id {id}")));
+        }
+        ids.push(DeviceId(id));
+        let class = usize::try_from(cur.u64("device class")?)
+            .ok()
+            .filter(|&c| c < ctl.classes.len())
+            .ok_or_else(|| mismatch_err(format!("device {d} references an unknown class")))?;
+        let cluster_raw = cur.u64("device cluster")?;
+        let cluster = if cluster_raw == NO_CLUSTER {
+            None
+        } else {
+            Some(
+                usize::try_from(cluster_raw)
+                    .map_err(|_| format_err(format!("device {d} cluster index overflows usize")))?,
+            )
+        };
+        let policy = usize::try_from(cur.u64("device policy")?)
+            .ok()
+            .and_then(|p| table.get(p))
+            .ok_or_else(|| format_err(format!("device {d} references an unknown policy")))?;
+        let fit = if cur.bool("device fit flag")? {
+            Some(cur.sr("device fit")?)
+        } else {
+            None
+        };
+        let counts = cur.pairs("estimator counts")?;
+        let state = usize::try_from(cur.u64("estimator state")?)
+            .map_err(|_| format_err("estimator state overflows usize"))?;
+        let observed = cur.u64("estimator observed")?;
+        let ring_len = cur.len("estimator ring", 1)?;
+        let mut ring = Vec::with_capacity(ring_len);
+        for _ in 0..ring_len {
+            ring.push(cur.bool("estimator ring bit")?);
+        }
+        let weight = cur.f64("estimator weight")?;
+        let last_fit = cur.opt_f64s("estimator last fit")?;
+        let divergence = if cur.bool("estimator divergence flag")? {
+            Some(cur.f64("estimator divergence")?)
+        } else {
+            None
+        };
+        let blend_prior = cur.opt_pairs("estimator blend prior")?;
+        let counts_at_fit = cur.opt_pairs("estimator counts at fit")?;
+        let mut estimator = FleetController::build_estimator(&ctl.config.base)?;
+        estimator.import_state(EstimatorState {
+            counts,
+            state,
+            observed,
+            ring,
+            weight,
+            last_fit,
+            divergence,
+            blend_prior,
+            counts_at_fit,
+        })?;
+        let flat = fit.as_ref().map(flatten);
+        devices.push(Device {
+            class,
+            estimator,
+            fit,
+            flat,
+            cluster,
+            policy: Arc::clone(policy),
+            fit_outcome: FitOutcome::None,
+        });
+    }
+    cur.finish("DEVICES")?;
+
+    // CLUSTERS: membership and models; sessions rehydrate by forking
+    // the class base and replaying one warm solve of the last-solved
+    // model.
+    let clusters_bytes = section(TAG_CLUSTERS, "CLUSTERS")?;
+    let mut cur = Cursor::new(&clusters_bytes);
+    let nclusters = cur.len("cluster count", 1)?;
+    let mut clusters = Vec::with_capacity(nclusters);
+    let mut report = RestoreReport {
+        devices: ndevices,
+        clusters: nclusters,
+        replayed_solves: 0,
+        warm_reloads: 0,
+        cold_reloads: 0,
+        pivots: 0,
+    };
+    for c in 0..nclusters {
+        let class = usize::try_from(cur.u64("cluster class")?)
+            .ok()
+            .filter(|&k| k < ctl.classes.len())
+            .ok_or_else(|| mismatch_err(format!("cluster {c} references an unknown class")))?;
+        let nmembers = cur.len("cluster members", 8)?;
+        if nmembers == 0 {
+            return Err(format_err(format!("cluster {c} has no members")));
+        }
+        let mut members = Vec::with_capacity(nmembers);
+        for _ in 0..nmembers {
+            let m = usize::try_from(cur.u64("cluster member")?)
+                .ok()
+                .filter(|&m| m < ndevices)
+                .ok_or_else(|| format_err(format!("cluster {c} lists an out-of-range member")))?;
+            members.push(m);
+        }
+        let representative = cur.f64s("cluster representative")?;
+        let rep_model = cur.sr("cluster representative model")?;
+        let last_solved = cur.opt_f64s("cluster last-solved model")?;
+        let policy = usize::try_from(cur.u64("cluster policy")?)
+            .ok()
+            .and_then(|p| table.get(p))
+            .ok_or_else(|| format_err(format!("cluster {c} references an unknown policy")))?;
+        let power = if cur.bool("cluster power flag")? {
+            Some(cur.f64("cluster power")?)
+        } else {
+            None
+        };
+        let since_solve = cur.u64("cluster cooldown")?;
+
+        let device_class = &ctl.classes[class];
+        let mut session = device_class.base.fork()?;
+        if let Some(solved) = last_solved.as_ref() {
+            let sr = sr_from_flat(solved, &rep_model)?;
+            let system =
+                SystemModel::compose(device_class.provider.clone(), sr, device_class.queue)?;
+            match session.update_model(system.chain())? {
+                ReloadKind::Warm => report.warm_reloads += 1,
+                ReloadKind::Cold => report.cold_reloads += 1,
+            }
+            let solution = session.solve()?;
+            report.replayed_solves += 1;
+            report.pivots += solution.solve_report().iterations;
+        }
+        clusters.push(Cluster {
+            class,
+            members,
+            representative,
+            rep_model,
+            session,
+            last_solved,
+            policy: Arc::clone(policy),
+            power,
+            since_solve,
+            needs_solve: false,
+            outcome: None,
+        });
+    }
+    cur.finish("CLUSTERS")?;
+
+    // Cross-check membership against device assignments.
+    for (c, cluster) in clusters.iter().enumerate() {
+        for &m in &cluster.members {
+            if devices[m].cluster != Some(c) {
+                return Err(mismatch_err(format!(
+                    "cluster {c} lists device {m}, which is assigned elsewhere"
+                )));
+            }
+            if devices[m].class != cluster.class {
+                return Err(mismatch_err(format!(
+                    "cluster {c} and its member {m} disagree on the class"
+                )));
+            }
+        }
+    }
+    let assigned: usize = devices.iter().filter(|d| d.cluster.is_some()).count();
+    let membered: usize = clusters.iter().map(|cl| cl.members.len()).sum();
+    if assigned != membered {
+        return Err(mismatch_err(format!(
+            "{assigned} devices claim a cluster but clusters list {membered} members"
+        )));
+    }
+    for device in &devices {
+        if let Some(c) = device.cluster {
+            if c >= clusters.len() {
+                return Err(mismatch_err(format!(
+                    "a device references cluster {c}, only {} exist",
+                    clusters.len()
+                )));
+            }
+        }
+    }
+
+    // Commit — everything validated, swap the state in.
+    let ctl = &mut service.controller;
+    ctl.devices = devices;
+    ctl.clusters = clusters;
+    ctl.epoch = epoch;
+    ctl.history = Vec::new();
+    service.ids = ids;
+    service.index = index;
+    service.next_id = next_id;
+    Ok(report)
+}

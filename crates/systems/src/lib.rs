@@ -16,7 +16,10 @@
 //!   burstiness and queue capacities (Figs. 12–14);
 //! * [`drifting`] — a **nonstationary** regime-switching workload around
 //!   the toy provider, built to break the stationarity assumption
-//!   (Section VII) and exercise the online-adaptation runtime.
+//!   (Section VII) and exercise the online-adaptation runtime;
+//! * [`racks`] — the **correlated** regime-switch scenario: whole racks
+//!   of devices shift workload simultaneously, stressing the fleet
+//!   service's eviction/re-homing and its incremental divergence gauge.
 //!
 //! Every module documents which numbers come straight from the paper and
 //! which had to be reconstructed (the paper's figures did not survive into
@@ -41,5 +44,6 @@ pub mod appendix_b;
 pub mod cpu;
 pub mod disk;
 pub mod drifting;
+pub mod racks;
 pub mod toy;
 pub mod web_server;

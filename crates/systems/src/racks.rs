@@ -1,0 +1,260 @@
+//! A **correlated** regime-switch scenario: whole racks of devices shift
+//! workload simultaneously — the fleet-service stress test.
+//!
+//! The [`drifting`] scenario breaks stationarity for
+//! *one* device. A data center breaks it in a harder way: workload
+//! shifts are **correlated across devices** — a batch job lands on a
+//! rack, a cache tier fails over, a tenant migrates — so a whole rack's
+//! devices leave their cluster at once, stressing the fleet
+//! controller's eviction/re-homing machinery far beyond what i.i.d.
+//! per-device drift can, while every *other* rack sits perfectly still
+//! (the incremental gauge's best case).
+//!
+//! The schedule is deliberately deterministic and periodic:
+//!
+//! * Epochs come in **blocks** of [`CALM_EPOCHS`]. In block 0 every
+//!   rack runs the [`CALM`] pattern; in block `k ≥ 1` exactly one rack
+//!   — `(k − 1) % racks` — runs the [`SURGE`] pattern while the rest
+//!   stay calm. Each block boundary is thus a correlated shift hitting
+//!   one rack's devices simultaneously.
+//! * Both patterns' periods divide [`EPOCH_SLICES`], so within a
+//!   regime a device's windowed transition counts are **bit-identical
+//!   epoch over epoch**. On calm (non-shift) epochs the count-drift
+//!   gauge reads exactly zero and a quiet-gated fleet
+//!   ([`FleetConfig::quiet_divergence`] at `0.0`) deterministically
+//!   skips every untouched device's gauge recomputation — the ≥ 90%
+//!   skip ratio the fleet-service acceptance test demands is by
+//!   construction, not by luck.
+//!
+//! [`FleetConfig::quiet_divergence`]: https://docs.rs/dpm-runtime
+//!
+//! Compose the system with [`system`], drive epochs with
+//! [`RackSchedule::epoch_arrivals`], and detect correlated shifts with
+//! [`RackSchedule::is_shift_epoch`].
+
+use dpm_core::{DpmError, ServiceRequester, SystemModel};
+
+use crate::drifting;
+
+/// Racks in the default schedule.
+pub const RACKS: usize = 4;
+
+/// Devices per rack in the default schedule (32 devices total).
+pub const DEVICES_PER_RACK: usize = 8;
+
+/// Arrival slices per adaptation epoch. Both regime periods divide
+/// this, so per-regime windowed counts repeat exactly epoch over epoch.
+pub const EPOCH_SLICES: usize = 400;
+
+/// Epochs per schedule block: one correlated rack shift per block
+/// boundary, [`CALM_EPOCHS`]` − 1` guaranteed-quiet epochs in between.
+pub const CALM_EPOCHS: usize = 4;
+
+/// Memory of the scenario's k-memory SR models (2 states).
+pub const MEMORY: u32 = drifting::MEMORY;
+
+/// Laplace smoothing of every fit (keeps transition support stable, so
+/// per-cluster reloads stay warm).
+pub const SMOOTHING: f64 = drifting::SMOOTHING;
+
+/// The calm pattern `(density, period)`: 1 busy slice in 16 (~6% load).
+pub const CALM: (usize, usize) = (1, 16);
+
+/// The surge pattern `(density, period)`: 5 busy slices in 8 (~63%
+/// load) — far enough from [`CALM`] that a surged device's fit always
+/// leaves its calm cluster.
+pub const SURGE: (usize, usize) = (5, 8);
+
+/// The deterministic rack-correlated shift schedule (see the
+/// [module docs](self)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RackSchedule {
+    racks: usize,
+    devices_per_rack: usize,
+    calm_epochs: usize,
+}
+
+impl Default for RackSchedule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RackSchedule {
+    /// The default schedule: [`RACKS`] × [`DEVICES_PER_RACK`] devices,
+    /// blocks of [`CALM_EPOCHS`].
+    pub fn new() -> Self {
+        RackSchedule {
+            racks: RACKS,
+            devices_per_rack: DEVICES_PER_RACK,
+            calm_epochs: CALM_EPOCHS,
+        }
+    }
+
+    /// A custom schedule shape.
+    ///
+    /// # Errors
+    ///
+    /// [`DpmError::BadConfiguration`] when any dimension is zero.
+    pub fn custom(
+        racks: usize,
+        devices_per_rack: usize,
+        calm_epochs: usize,
+    ) -> Result<Self, DpmError> {
+        if racks == 0 || devices_per_rack == 0 || calm_epochs == 0 {
+            return Err(DpmError::BadConfiguration {
+                reason: format!(
+                    "rack schedule needs nonzero dimensions, got {racks} racks x \
+                     {devices_per_rack} devices, blocks of {calm_epochs}"
+                ),
+            });
+        }
+        Ok(RackSchedule {
+            racks,
+            devices_per_rack,
+            calm_epochs,
+        })
+    }
+
+    /// Racks in the schedule.
+    pub fn racks(&self) -> usize {
+        self.racks
+    }
+
+    /// Devices in the whole schedule.
+    pub fn devices(&self) -> usize {
+        self.racks * self.devices_per_rack
+    }
+
+    /// The rack device `device` sits in (devices are laid out rack by
+    /// rack).
+    pub fn rack_of(&self, device: usize) -> usize {
+        device / self.devices_per_rack
+    }
+
+    /// The rack running the surge pattern during `epoch` (`None` in
+    /// block 0, when every rack is calm).
+    pub fn surged_rack(&self, epoch: usize) -> Option<usize> {
+        let block = epoch / self.calm_epochs;
+        block.checked_sub(1).map(|k| k % self.racks)
+    }
+
+    /// Whether `epoch` opens a block whose surged rack differs from the
+    /// previous epoch's — i.e. a correlated shift lands this epoch.
+    pub fn is_shift_epoch(&self, epoch: usize) -> bool {
+        epoch > 0 && self.surged_rack(epoch) != self.surged_rack(epoch - 1)
+    }
+
+    /// The `(density, period)` pattern device `device` runs during
+    /// `epoch`.
+    pub fn regime(&self, device: usize, epoch: usize) -> (usize, usize) {
+        if self.surged_rack(epoch) == Some(self.rack_of(device)) {
+            SURGE
+        } else {
+            CALM
+        }
+    }
+
+    /// The deterministic arrival streams of one epoch, one
+    /// [`EPOCH_SLICES`]-slice stream per device. The device index
+    /// phases its pattern (decorrelating exact slice positions without
+    /// changing the statistics), and because each pattern's period
+    /// divides the epoch length, a device's stream is identical every
+    /// epoch its regime holds.
+    pub fn epoch_arrivals(&self, epoch: usize) -> Vec<Vec<u32>> {
+        (0..self.devices())
+            .map(|d| {
+                let (density, period) = self.regime(d, epoch);
+                (0..EPOCH_SLICES)
+                    .map(|i| u32::from((d + i) % period < density))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// The scenario system: the toy provider with a two-state base
+/// workload between the calm and surge loads — every rack device is an
+/// instance of this one class.
+///
+/// # Errors
+///
+/// Propagates composition failures (never fails in practice).
+pub fn system() -> Result<SystemModel, DpmError> {
+    system_for(ServiceRequester::two_state(0.1, 0.6)?)
+}
+
+/// Composes the scenario system around an arbitrary
+/// (2^[`MEMORY`])-state requester — same provider and queue as the
+/// [`drifting`] scenario, so results are comparable.
+///
+/// # Errors
+///
+/// Propagates composition failures.
+pub fn system_for(sr: ServiceRequester) -> Result<SystemModel, DpmError> {
+    drifting::system_for(sr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_shifts_one_whole_rack_per_block() {
+        let schedule = RackSchedule::new();
+        assert_eq!(schedule.devices(), RACKS * DEVICES_PER_RACK);
+        assert_eq!(schedule.surged_rack(0), None, "block 0 is all-calm");
+        for epoch in 0..CALM_EPOCHS {
+            assert_eq!(schedule.surged_rack(epoch), None);
+        }
+        // Block k surges rack (k-1) % RACKS, cycling.
+        for k in 1..=2 * RACKS {
+            let epoch = k * CALM_EPOCHS;
+            assert_eq!(schedule.surged_rack(epoch), Some((k - 1) % RACKS));
+            assert!(schedule.is_shift_epoch(epoch), "block boundary shifts");
+            assert!(!schedule.is_shift_epoch(epoch + 1), "mid-block is calm");
+        }
+        // A shift flips exactly one rack's devices.
+        let before = schedule.epoch_arrivals(CALM_EPOCHS - 1);
+        let after = schedule.epoch_arrivals(CALM_EPOCHS);
+        let changed: Vec<usize> = (0..schedule.devices())
+            .filter(|&d| before[d] != after[d])
+            .collect();
+        assert_eq!(changed.len(), DEVICES_PER_RACK);
+        assert!(changed.iter().all(|&d| schedule.rack_of(d) == 0));
+    }
+
+    #[test]
+    fn streams_repeat_exactly_on_calm_epochs() {
+        let schedule = RackSchedule::new();
+        for epoch in [1, 2, CALM_EPOCHS + 1, 3 * CALM_EPOCHS + 2] {
+            assert!(!schedule.is_shift_epoch(epoch));
+            assert_eq!(
+                schedule.epoch_arrivals(epoch),
+                schedule.epoch_arrivals(epoch - 1),
+                "non-shift epoch {epoch} must replay the previous streams"
+            );
+        }
+    }
+
+    #[test]
+    fn calm_and_surge_loads_are_far_apart() {
+        let schedule = RackSchedule::new();
+        let arrivals = schedule.epoch_arrivals(CALM_EPOCHS);
+        let load = |stream: &[u32]| stream.iter().sum::<u32>() as f64 / stream.len() as f64;
+        // Rack 0 is surged, rack 1 is calm.
+        let surged = load(&arrivals[0]);
+        let calm = load(&arrivals[DEVICES_PER_RACK]);
+        assert!(surged > 0.5, "surge load {surged}");
+        assert!(calm < 0.1, "calm load {calm}");
+    }
+
+    #[test]
+    fn periods_divide_the_epoch_and_the_system_composes() {
+        assert_eq!(EPOCH_SLICES % CALM.1, 0);
+        assert_eq!(EPOCH_SLICES % SURGE.1, 0);
+        let system = system().unwrap();
+        assert_eq!(system.requester().num_states(), 1 << MEMORY);
+        assert!(RackSchedule::custom(0, 1, 1).is_err());
+    }
+}

@@ -53,4 +53,4 @@ mod windowed;
 pub use record::Trace;
 pub use sr_extractor::{KMemoryTracker, SrExtractor};
 pub use stats::TraceStats;
-pub use windowed::{WindowKind, WindowedEstimator};
+pub use windowed::{EstimatorState, WindowKind, WindowedEstimator};

@@ -73,6 +73,11 @@ impl SrExtractor {
         self.memory
     }
 
+    /// The configured Laplace smoothing (0 when none was set).
+    pub fn smoothing(&self) -> f64 {
+        self.smoothing
+    }
+
     /// Number of states of the fitted model.
     pub fn num_states(&self) -> usize {
         1usize << self.memory

@@ -95,6 +95,44 @@ pub struct WindowedEstimator {
     /// exceeds one window's worth — the pseudo-count prior the next
     /// blended fit pools with.
     blend_prior: Option<Vec<[f64; 2]>>,
+    /// The (normalized) window counts at the most recent fit — what
+    /// [`Self::count_drift`] measures movement against.
+    counts_at_fit: Option<Vec<[f64; 2]>>,
+}
+
+/// The complete streaming state of a [`WindowedEstimator`], detached from
+/// its configuration — what a checkpoint must persist so a restored
+/// estimator continues **bit-identically** (counts, k-bit history, window
+/// contents, fit memory and drift gauge all round-trip exactly; `f64`s
+/// should be serialized by bit pattern, not by decimal formatting).
+///
+/// Produced by [`WindowedEstimator::export_state`], consumed by
+/// [`WindowedEstimator::import_state`]. The configuration itself
+/// (extractor memory/smoothing, window kind, blending) is *not* part of
+/// the state: the importing estimator must be constructed with the same
+/// configuration, and `import_state` validates the shapes against it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorState {
+    /// Windowed transition counts, `counts[s] = [s→shift-in-0, s→shift-in-1]`.
+    pub counts: Vec<[f64; 2]>,
+    /// Current k-bit history state.
+    pub state: usize,
+    /// Slices observed since construction/reset.
+    pub observed: u64,
+    /// Sliding-window ring contents, oldest first (empty for exponential
+    /// windows).
+    pub ring: Vec<bool>,
+    /// Exponential-mode weight of the next observation (1 for sliding
+    /// windows).
+    pub weight: f64,
+    /// Flattened transition matrix of the most recent fit, if any.
+    pub last_fit: Option<Vec<f64>>,
+    /// Drift gauge between the two most recent fits, if any.
+    pub divergence: Option<f64>,
+    /// Carried pseudo-count prior of blending mode, if any.
+    pub blend_prior: Option<Vec<[f64; 2]>>,
+    /// Normalized window counts at the most recent fit, if any.
+    pub counts_at_fit: Option<Vec<[f64; 2]>>,
 }
 
 impl WindowedEstimator {
@@ -140,6 +178,7 @@ impl WindowedEstimator {
             divergence: None,
             blending: false,
             blend_prior: None,
+            counts_at_fit: None,
         })
     }
 
@@ -279,6 +318,7 @@ impl WindowedEstimator {
         // prior — per state, each side weighs in by its effective sample
         // count — then cap the carried mass at one window's worth so old
         // regimes decay geometrically across fits.
+        self.counts_at_fit = Some(current.clone());
         let table: Vec<[f64; 2]> = match (&self.blend_prior, self.blending) {
             (Some(prior), true) => current
                 .iter()
@@ -330,6 +370,148 @@ impl WindowedEstimator {
         self.divergence.is_some_and(|d| d > threshold)
     }
 
+    /// Max-abs movement of the windowed per-state transition
+    /// probabilities since the most recent [`Self::fit`], computed
+    /// **straight off the count table** — no model is built, nothing is
+    /// allocated. `None` until a fit exists.
+    ///
+    /// This is the cheap dirty gauge behind incremental re-fit schemes
+    /// (the fleet service's quiet gate): for an unblended estimator it
+    /// equals exactly the max-abs divergence a fresh fit would report
+    /// against the last one, because every row of the fitted `2^k × 2^k`
+    /// chain carries the same two smoothed probabilities the counts
+    /// determine. With blending enabled it upper-bounds the deployed
+    /// (blended) model's movement — the blend moves strictly less than
+    /// the raw window — so skipping below a threshold stays conservative.
+    pub fn count_drift(&self) -> Option<f64> {
+        let at_fit = self.counts_at_fit.as_ref()?;
+        let alpha = self.extractor.smoothing();
+        // `counts_at_fit` is stored normalized; normalize the live table
+        // the same way (exponential windows carry a running weight).
+        let scale = match self.kind {
+            WindowKind::Sliding(_) => 1.0,
+            WindowKind::Exponential(_) => self.weight,
+        };
+        let mut worst = 0.0f64;
+        for (now, then) in self.counts.iter().zip(at_fit) {
+            let (n0, n1) = (now[0] / scale, now[1] / scale);
+            let now_total = n0 + n1 + 2.0 * alpha;
+            let then_total = then[0] + then[1] + 2.0 * alpha;
+            let drift = match (now_total > 0.0, then_total > 0.0) {
+                (true, true) => ((n1 + alpha) / now_total - (then[1] + alpha) / then_total).abs(),
+                // Both histories unvisited: the inert self-loop on each
+                // side, no movement.
+                (false, false) => 0.0,
+                // A history appeared or vanished from the window: the
+                // fitted row flips between data and the self-loop —
+                // maximal movement.
+                _ => 1.0,
+            };
+            worst = worst.max(drift);
+        }
+        Some(worst)
+    }
+
+    /// Exports the complete streaming state for checkpointing — see
+    /// [`EstimatorState`]. The configuration (extractor, window,
+    /// blending) is not included; pair the state with an identically
+    /// configured estimator on import.
+    pub fn export_state(&self) -> EstimatorState {
+        EstimatorState {
+            counts: self.counts.clone(),
+            state: self.state,
+            observed: self.observed,
+            ring: self.ring.iter().copied().collect(),
+            weight: self.weight,
+            last_fit: self.last_fit.clone(),
+            divergence: self.divergence,
+            blend_prior: self.blend_prior.clone(),
+            counts_at_fit: self.counts_at_fit.clone(),
+        }
+    }
+
+    /// Replaces the streaming state with an exported one — the restore
+    /// half of checkpointing. The estimator continues bit-identically
+    /// from where the exported one stood.
+    ///
+    /// # Errors
+    ///
+    /// [`DpmError::BadConfiguration`] when the state's shapes do not
+    /// match this estimator's configuration: wrong count-table or
+    /// fit-matrix size, a k-bit history out of range, a ring longer than
+    /// a sliding window (or any ring on an exponential one), or a
+    /// non-finite/non-positive weight.
+    pub fn import_state(&mut self, state: EstimatorState) -> Result<(), DpmError> {
+        let n = self.extractor.num_states();
+        let mismatch = |reason: String| DpmError::BadConfiguration { reason };
+        if state.counts.len() != n {
+            return Err(mismatch(format!(
+                "estimator state has {} count rows for a {n}-state model",
+                state.counts.len()
+            )));
+        }
+        if state.state >= n {
+            return Err(mismatch(format!(
+                "estimator state history {} out of range for {n} states",
+                state.state
+            )));
+        }
+        match self.kind {
+            WindowKind::Sliding(limit) => {
+                if state.ring.len() > limit {
+                    return Err(mismatch(format!(
+                        "estimator state ring of {} bits exceeds the {limit}-slice window",
+                        state.ring.len()
+                    )));
+                }
+            }
+            WindowKind::Exponential(_) => {
+                if !state.ring.is_empty() {
+                    return Err(mismatch(
+                        "estimator state carries a ring but the window is exponential".to_string(),
+                    ));
+                }
+                if !(state.weight.is_finite() && state.weight > 0.0) {
+                    return Err(mismatch(format!(
+                        "estimator state weight {} is not a positive finite value",
+                        state.weight
+                    )));
+                }
+            }
+        }
+        for (label, table) in [
+            ("blend prior", &state.blend_prior),
+            ("counts at fit", &state.counts_at_fit),
+        ] {
+            if let Some(table) = table {
+                if table.len() != n {
+                    return Err(mismatch(format!(
+                        "estimator state {label} has {} rows for a {n}-state model",
+                        table.len()
+                    )));
+                }
+            }
+        }
+        if let Some(fit) = &state.last_fit {
+            if fit.len() != n * n {
+                return Err(mismatch(format!(
+                    "estimator state fit of {} entries for a {n}x{n} chain",
+                    fit.len()
+                )));
+            }
+        }
+        self.counts = state.counts;
+        self.state = state.state;
+        self.observed = state.observed;
+        self.ring = state.ring.into_iter().collect();
+        self.weight = state.weight;
+        self.last_fit = state.last_fit;
+        self.divergence = state.divergence;
+        self.blend_prior = state.blend_prior;
+        self.counts_at_fit = state.counts_at_fit;
+        Ok(())
+    }
+
     /// Forgets everything: counts, history, fit memory. The estimator is
     /// back in its freshly constructed state.
     pub fn reset(&mut self) {
@@ -343,6 +525,7 @@ impl WindowedEstimator {
         self.last_fit = None;
         self.divergence = None;
         self.blend_prior = None;
+        self.counts_at_fit = None;
     }
 }
 
@@ -539,6 +722,103 @@ mod tests {
         assert_eq!(estimator.observed(), 0);
         assert!(!estimator.is_ready());
         assert_eq!(estimator.divergence(), None);
+    }
+
+    #[test]
+    fn count_drift_tracks_movement_since_the_last_fit() {
+        let extractor = SrExtractor::new(1).with_smoothing(0.5);
+        let mut estimator = WindowedEstimator::new(extractor, WindowKind::Sliding(64)).unwrap();
+        assert_eq!(estimator.count_drift(), None, "no fit yet");
+        feed(&mut estimator, (0..64).map(|i| u32::from(i % 4 == 0)));
+        estimator.fit().unwrap();
+        assert_eq!(estimator.count_drift(), Some(0.0), "nothing moved yet");
+        // A periodic stream whose period divides the window: after one
+        // more full period the window counts are identical again.
+        feed(&mut estimator, (0..4).map(|i| u32::from(i % 4 == 0)));
+        assert_eq!(
+            estimator.count_drift(),
+            Some(0.0),
+            "periodic refill leaves counts unchanged"
+        );
+        // A regime flip moves the counts a lot.
+        feed(&mut estimator, std::iter::repeat_n(1u32, 64));
+        assert!(estimator.count_drift().unwrap() > 0.3);
+        // For an unblended estimator the count gauge must equal the
+        // divergence a real fit reports.
+        let drift = estimator.count_drift().unwrap();
+        estimator.fit().unwrap();
+        let divergence = estimator.divergence().unwrap();
+        assert!(
+            (drift - divergence).abs() < 1e-12,
+            "count drift {drift} vs fit divergence {divergence}"
+        );
+    }
+
+    #[test]
+    fn exported_state_round_trips_bit_identically() {
+        let extractor = SrExtractor::new(2).with_smoothing(0.5);
+        let build = || {
+            WindowedEstimator::new(extractor, WindowKind::Sliding(40))
+                .unwrap()
+                .with_blending()
+        };
+        let mut original = build();
+        feed(&mut original, (0..100).map(|i| u32::from(i % 3 == 0)));
+        original.fit().unwrap();
+        feed(&mut original, (0..25).map(|i| u32::from(i % 2 == 0)));
+        original.fit().unwrap();
+        feed(&mut original, [1, 1, 0]);
+
+        let mut restored = build();
+        restored.import_state(original.export_state()).unwrap();
+        assert_eq!(restored.observed(), original.observed());
+        assert_eq!(restored.divergence(), original.divergence());
+        assert_eq!(restored.count_drift(), original.count_drift());
+        // Continue both with the same stream: fits stay bit-identical.
+        for est in [&mut original, &mut restored] {
+            feed(est, (0..30).map(|i| u32::from(i % 5 < 2)));
+        }
+        let (a, b) = (original.fit().unwrap(), restored.fit().unwrap());
+        let (pa, pb) = (a.chain().transition_matrix(), b.chain().transition_matrix());
+        for s in 0..4 {
+            for t in 0..4 {
+                assert!(
+                    pa.prob(s, t).to_bits() == pb.prob(s, t).to_bits(),
+                    "({s},{t}) differs after restore"
+                );
+            }
+        }
+        assert_eq!(original.divergence(), restored.divergence());
+    }
+
+    #[test]
+    fn import_rejects_mismatched_state_shapes() {
+        let mut estimator =
+            WindowedEstimator::new(SrExtractor::new(1), WindowKind::Sliding(8)).unwrap();
+        let good = estimator.export_state();
+        let mut bad = good.clone();
+        bad.counts = vec![[0.0; 2]; 4];
+        assert!(estimator.import_state(bad).is_err(), "wrong count rows");
+        let mut bad = good.clone();
+        bad.state = 9;
+        assert!(estimator.import_state(bad).is_err(), "history out of range");
+        let mut bad = good.clone();
+        bad.ring = vec![true; 9];
+        assert!(estimator.import_state(bad).is_err(), "ring too long");
+        let mut bad = good.clone();
+        bad.last_fit = Some(vec![0.5; 3]);
+        assert!(estimator.import_state(bad).is_err(), "fit wrong size");
+        let mut exponential =
+            WindowedEstimator::new(SrExtractor::new(1), WindowKind::Exponential(0.9)).unwrap();
+        let mut bad = good.clone();
+        bad.ring = vec![true];
+        assert!(
+            exponential.import_state(bad).is_err(),
+            "ring on an exponential window"
+        );
+        let mut bad = good;
+        bad.weight = f64::NAN;
+        assert!(exponential.import_state(bad).is_err(), "bad weight");
     }
 
     #[test]

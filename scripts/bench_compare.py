@@ -4,7 +4,7 @@
 Reads the criterion-shim records (``BENCH_<name>.json``: ``{"name",
 "mean_ns", "iterations", ...optional counters...}``) from the current
 run and, when available, from a previous run's downloaded artifacts, and
-prints five tables:
+prints six tables:
 
 1. **warm vs cold** — pairs of ``<group>/warm/<case>`` and
    ``<group>/cold/<case>`` records from the current run, with the
@@ -14,11 +14,20 @@ prints five tables:
    (policy power comparison, warm/cold reload accounting).
 3. **fleet scaling** — the ``fleet/workers/<n>`` sweep (wall time and
    throughput per worker-pool size) plus the ``fleet`` headline and the
-   solve-per-cluster vs per-device payoff counters.
-4. **pricing rules** — ``pricing_rules/<rule>/<states>`` records, devex
+   solve-per-cluster vs per-device payoff counters. When the headline
+   reports a single-core host the table is annotated up front: the
+   sweep is flat by construction there, not a regression.
+4. **fleet service** — the ``fleet_service`` group: churn throughput,
+   the incremental gauge's gated vs ungated calm-epoch cost, and
+   checkpoint/restore latency with the snapshot size.
+5. **pricing rules** — ``pricing_rules/<rule>/<states>`` records, devex
    vs dantzig wall time with the pivot / pricing-scan counters.
-5. **PR over PR** — every current record against its previous-run
+6. **PR over PR** — every current record against its previous-run
    counterpart, with the ratio.
+
+Partial records (present on disk but missing ``mean_ns``, e.g. from a
+bench run that died mid-write) are skipped with a warning rather than
+aborting the whole report with a ``KeyError``.
 
 By default the script never fails the build: it exits 0 whatever it
 finds (and is additionally wrapped in ``continue-on-error`` in the
@@ -57,6 +66,18 @@ def fmt_ms(ns):
     return f"{ns / 1e6:.3f} ms"
 
 
+def mean_of(record, name=None):
+    """The record's ``mean_ns``, or ``None`` (with a warning) when the
+    record is partial — e.g. a bench run that died mid-write. Tables
+    skip such records instead of raising ``KeyError``."""
+    mean = record.get("mean_ns") if isinstance(record, dict) else None
+    if not isinstance(mean, (int, float)):
+        label = name or (record.get("name") if isinstance(record, dict) else None)
+        print(f"  (warning: record {label!r} has no mean_ns; skipping)")
+        return None
+    return mean
+
+
 def counters(record):
     skip = {"name", "mean_ns", "iterations"}
     extras = {k: v for k, v in record.items() if k not in skip}
@@ -77,10 +98,13 @@ def warm_vs_cold_table(current):
         print("  (no warm/cold record pairs found)")
         return
     for name, warm, cold in pairs:
-        ratio = cold["mean_ns"] / warm["mean_ns"] if warm["mean_ns"] else float("nan")
+        warm_ns, cold_ns = mean_of(warm, name), mean_of(cold)
+        if warm_ns is None or cold_ns is None:
+            continue
+        ratio = cold_ns / warm_ns if warm_ns else float("nan")
         print(
-            f"  {name:<45} warm {fmt_ms(warm['mean_ns']):>12}  "
-            f"cold {fmt_ms(cold['mean_ns']):>12}  speedup {ratio:5.2f}x"
+            f"  {name:<45} warm {fmt_ms(warm_ns):>12}  "
+            f"cold {fmt_ms(cold_ns):>12}  speedup {ratio:5.2f}x"
             f"{counters(warm)}"
         )
 
@@ -132,13 +156,22 @@ def fleet_table(current):
     if not sweep and headline is None and payoff is None:
         return
     print("== fleet scaling (sharded controllers) ==")
+    host_cores = (headline or {}).get("host_cores")
+    if host_cores == 1:
+        print(
+            "  NOTE: sweep ran on a single-core host — the worker-pool "
+            "scaling below is flat by construction, not a regression"
+        )
     base = None
     for workers, record in sorted(sweep):
+        mean = mean_of(record, f"fleet/workers/{workers}")
+        if mean is None:
+            continue
         if base is None:
-            base = record["mean_ns"]
-        ratio = base / record["mean_ns"] if record["mean_ns"] else float("nan")
+            base = mean
+        ratio = base / mean if mean else float("nan")
         print(
-            f"  {workers:>2} workers  {fmt_ms(record['mean_ns']):>12}  "
+            f"  {workers:>2} workers  {fmt_ms(mean):>12}  "
             f"speedup {ratio:5.2f}x  "
             f"{record.get('device_epochs_per_s', float('nan')):>10.0f} device-epochs/s"
         )
@@ -160,6 +193,42 @@ def fleet_table(current):
             f"{payoff.get('solves_per_device', float('nan')):g} / "
             f"{payoff.get('pivots_per_device', float('nan')):g} per-device "
             f"({payoff.get('pivot_pct_of_baseline', float('nan')):.1f}% of baseline pivots)"
+        )
+    print()
+
+
+def fleet_service_table(current):
+    """Surfaces the `fleet_service` group: churn throughput, the
+    incremental gauge's quiet-epoch payoff (gated vs ungated calm
+    epoch), and checkpoint/restore cost."""
+    headline = current.get("fleet_service")
+    rows = [
+        ("churn wave", "fleet_service/churn"),
+        ("quiet epoch (gated)", "fleet_service/quiet_epoch/gated"),
+        ("quiet epoch (ungated)", "fleet_service/quiet_epoch/ungated"),
+        ("checkpoint", "fleet_service/checkpoint"),
+        ("restore", "fleet_service/restore"),
+    ]
+    if headline is None and not any(name in current for _, name in rows):
+        return
+    print("== fleet service (churn / incremental gauge / checkpoint) ==")
+    for label, name in rows:
+        record = current.get(name)
+        if record is None:
+            continue
+        mean = mean_of(record, name)
+        if mean is None:
+            continue
+        print(f"  {label:<22} {fmt_ms(mean):>12}{counters(record)}")
+    if headline is not None:
+        print(
+            f"  fleet_service: {headline.get('devices', float('nan')):g} devices / "
+            f"{headline.get('racks', float('nan')):g} racks, "
+            f"calm skip ratio {headline.get('calm_skip_ratio', float('nan')):.3f}, "
+            f"churn {headline.get('churn_devices_per_s', float('nan')):.0f} devices/s, "
+            f"snapshot {headline.get('snapshot_bytes', float('nan')):g} B "
+            f"({headline.get('checkpoint_ms', float('nan')):.2f} ms out, "
+            f"{headline.get('restore_ms', float('nan')):.2f} ms back)"
         )
     print()
 
@@ -188,9 +257,12 @@ def pricing_table(current):
         for label, record in sorted(rules.items()):
             if record is None or label == "devex-speedup":
                 continue
+            mean = mean_of(record, f"{prefix}{label}/{size}")
+            if mean is None:
+                continue
             print(
                 f"  {size + ' states':<12} {label:<10} "
-                f"{fmt_ms(record['mean_ns']):>12}  "
+                f"{fmt_ms(mean):>12}  "
                 f"pivots {record.get('pivots', float('nan')):>8g}  "
                 f"priced {record.get('pricing_candidates', float('nan')):>12g}  "
                 f"resets {record.get('devex_resets', float('nan')):g}"
@@ -219,11 +291,14 @@ def pr_over_pr_table(current, previous, fail_over_pct):
         return []
     regressed = []
     for name, record in sorted(current.items()):
-        prev = previous.get(name)
-        if prev is None or not prev.get("mean_ns"):
-            print(f"  {name:<55} {fmt_ms(record['mean_ns']):>12}  (new)")
+        mean = mean_of(record, name)
+        if mean is None:
             continue
-        ratio = record["mean_ns"] / prev["mean_ns"]
+        prev = previous.get(name)
+        if prev is None or not mean_of(prev, f"{name} (previous)"):
+            print(f"  {name:<55} {fmt_ms(mean):>12}  (new)")
+            continue
+        ratio = mean / prev["mean_ns"]
         over_threshold = (
             fail_over_pct is not None and ratio > 1.0 + fail_over_pct / 100.0
         )
@@ -235,7 +310,7 @@ def pr_over_pr_table(current, previous, fail_over_pct):
         else:
             marker = ""
         print(
-            f"  {name:<55} {fmt_ms(record['mean_ns']):>12}  "
+            f"  {name:<55} {fmt_ms(mean):>12}  "
             f"prev {fmt_ms(prev['mean_ns']):>12}  x{ratio:5.2f}{marker}"
         )
     return regressed
@@ -271,6 +346,7 @@ def main(argv):
     print()
     adaptive_table(current)
     fleet_table(current)
+    fleet_service_table(current)
     pricing_table(current)
     regressed = pr_over_pr_table(current, previous, args.fail_over)
     if regressed:

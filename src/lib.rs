@@ -124,6 +124,16 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Fleet scale is one layer up: a
+//! [`FleetController`](runtime::FleetController) runs the same loop over
+//! many devices (sharded estimation, one LP solve per model cluster on
+//! forked sessions), and [`FleetService`](runtime::FleetService) keeps
+//! that fleet alive as a long-running service — device churn behind
+//! stable [`DeviceId`](runtime::DeviceId)s, quiet-epoch gauge skipping
+//! ([`FleetConfig::quiet_divergence`](runtime::FleetConfig::quiet_divergence)),
+//! and a bit-exact binary checkpoint/restore. See `docs/FLEET.md` and
+//! the correlated rack-shift scenario in [`systems::racks`].
 
 pub use dpm_core as core;
 pub use dpm_linalg as linalg;
