@@ -1,0 +1,226 @@
+//! Fault-campaign benchmark: the scripted [`hostile`] scenario driven
+//! end to end — corrupted telemetry, armed solver faults, quarantine,
+//! readmission — with the recovery properties asserted before anything
+//! is timed.
+//!
+//! Records (all under `target/bench/`):
+//!
+//! * `fault_campaign/hostile` — wall time of the full campaign
+//!   (warmup, fault window, recovery) with the containment counters:
+//!   quarantines, readmissions, recovery epochs, and the
+//!   escalation-ladder rung histogram;
+//! * `fault_campaign/clean` — wall time of the identical schedule with
+//!   no corruption and no faults, the control run;
+//! * `fault_campaign` — the headline: campaign shape, recovery time,
+//!   and the hostile/clean epoch-cost ratio.
+//!
+//! Before anything is timed, the run is gated on the campaign's
+//! correctness criteria: no epoch errors out, every victim is
+//! quarantined and readmitted, the ladder engages (holds with backoff)
+//! without a cold-reload storm, the fleet ends 100% healthy, and every
+//! device's final policy is **bit-identical** to the never-faulted
+//! control run's.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpm_bench::time_median_ns;
+use dpm_lp::fault::{self, FaultGuard, FaultPlan};
+use dpm_runtime::{AdaptiveConfig, DeviceHealth, DeviceId, FleetConfig, FleetReport, FleetService};
+use dpm_systems::drifting;
+use dpm_systems::hostile::{self, HostileSchedule};
+use dpm_trace::WindowKind;
+
+fn config() -> FleetConfig {
+    FleetConfig::new()
+        .adaptive(
+            AdaptiveConfig::new()
+                .memory(hostile::MEMORY)
+                .smoothing(hostile::SMOOTHING)
+                .horizon(2_000.0)
+                // The constraint bounds make warm repairs pivot, which
+                // is what gives the windowed budget faults events to
+                // exhaust.
+                .max_performance_penalty(drifting::QUEUE_BOUND)
+                .max_request_loss_rate(drifting::LOSS_BOUND)
+                .window(WindowKind::Sliding(hostile::EPOCH_SLICES)),
+        )
+        .cluster_divergence(0.1)
+        .resolve_divergence(0.05)
+}
+
+fn fleet(schedule: &HostileSchedule) -> FleetService {
+    let mut service = FleetService::new(config());
+    let class = service
+        .register_class(&hostile::system().expect("system composes"))
+        .expect("class registers");
+    for _ in 0..schedule.devices() {
+        service.add_device(class).expect("device adds");
+    }
+    service
+}
+
+fn run_epoch(
+    service: &mut FleetService,
+    schedule: &HostileSchedule,
+    epoch: usize,
+    hostile_run: bool,
+) -> FleetReport {
+    let ids: Vec<DeviceId> = service.device_ids().to_vec();
+    let telemetry: Vec<(DeviceId, Vec<f64>)> = schedule
+        .epoch_telemetry(epoch, hostile_run)
+        .into_iter()
+        .zip(ids)
+        .map(|(stream, id)| (id, stream))
+        .collect();
+    service
+        .run_epoch_telemetry(&telemetry)
+        .expect("campaign epoch runs")
+}
+
+/// Drives one full campaign. With `hostile_run`, victim telemetry is
+/// corrupted and the scenario's deterministic budget-fault plan is
+/// armed for exactly the fault window; without it the same schedule
+/// plays back clean.
+fn run_campaign(schedule: &HostileSchedule, hostile_run: bool) -> (FleetService, Vec<FleetReport>) {
+    let mut service = fleet(schedule);
+    let mut reports = Vec::with_capacity(schedule.total_epochs());
+    let window = schedule.fault_window();
+    let mut guard: Option<FaultGuard> = None;
+    for epoch in 0..schedule.total_epochs() {
+        if hostile_run && epoch == window.start {
+            guard = Some(fault::install(
+                FaultPlan::new(hostile::FAULT_SEED).exhaust_budgets(hostile::EXHAUST_RATE),
+            ));
+        }
+        if epoch == window.end {
+            guard = None;
+        }
+        reports.push(run_epoch(&mut service, schedule, epoch, hostile_run));
+    }
+    drop(guard);
+    (service, reports)
+}
+
+/// Epochs from the window closing until the fleet first reports every
+/// device healthy again.
+fn recovery_epochs(schedule: &HostileSchedule, reports: &[FleetReport]) -> usize {
+    let end = schedule.fault_window().end;
+    reports[end..]
+        .iter()
+        .position(|r| r.healthy == r.devices)
+        .map_or(usize::MAX, |i| i + 1)
+}
+
+fn bench_fault_campaign(c: &mut Criterion) {
+    let schedule = HostileSchedule::new();
+    let devices = schedule.devices();
+    let victims = hostile::DEVICES_PER_RACK;
+
+    let (clean_service, clean_reports) = run_campaign(&schedule, false);
+    let (hostile_service, hostile_reports) = run_campaign(&schedule, true);
+    let sum = |reports: &[FleetReport], f: fn(&FleetReport) -> usize| -> usize {
+        reports.iter().map(f).sum()
+    };
+
+    // Correctness gate 1: the control run never sees containment.
+    assert_eq!(
+        sum(&clean_reports, |r| r.quarantines),
+        0,
+        "clean quarantined"
+    );
+    assert_eq!(sum(&clean_reports, |r| r.holds), 0, "clean run held");
+    assert_eq!(sum(&clean_reports, |r| r.errors), 0, "clean run errored");
+
+    // Correctness gate 2: the campaign quarantines and readmits every
+    // victim, and the ladder engages without a cold-reload storm.
+    assert_eq!(sum(&hostile_reports, |r| r.quarantines), victims);
+    assert_eq!(sum(&hostile_reports, |r| r.readmissions), victims);
+    let rung_retry = sum(&hostile_reports, |r| r.warm_retries);
+    let rung_refactor = sum(&hostile_reports, |r| r.forced_refactors);
+    let rung_cold = sum(&hostile_reports, |r| r.cold_rebuilds);
+    let rung_hold = sum(&hostile_reports, |r| r.holds);
+    assert!(rung_hold >= 1, "the ladder never reached a held epoch");
+    assert!(
+        rung_cold <= 2 * schedule.total_epochs(),
+        "cold-rebuild storm: {rung_cold} cold rebuilds"
+    );
+
+    // Correctness gate 3: the fleet ends 100% healthy, promptly.
+    let last = hostile_reports.last().expect("campaign ran");
+    assert_eq!(last.healthy, devices, "fleet did not end healthy");
+    assert_eq!(last.quarantined, 0, "devices still quarantined");
+    assert_eq!(last.degraded, 0, "devices still degraded");
+    let recovery = recovery_epochs(&schedule, &hostile_reports);
+    assert!(
+        recovery <= hostile::RECOVERY_EPOCHS,
+        "recovery took {recovery} epochs"
+    );
+    for id in hostile_service.device_ids() {
+        assert_eq!(hostile_service.health_of(*id), Some(DeviceHealth::Healthy));
+    }
+
+    // Correctness gate 4: the campaign's final policies are
+    // bit-identical to the never-faulted control run's.
+    for id in clean_service.device_ids() {
+        let clean_policy = clean_service.policy(*id).expect("clean policy");
+        let hostile_policy = hostile_service.policy(*id).expect("hostile policy");
+        let identical = clean_policy
+            .decisions()
+            .iter()
+            .zip(hostile_policy.decisions())
+            .all(|(a, b)| {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            });
+        assert!(identical, "device {id} diverged from the control run");
+    }
+
+    // Timed: the full hostile campaign and its clean control.
+    let mut group = c.benchmark_group("fault_campaign");
+    group.sample_size(10);
+    let hostile_ns = time_median_ns(|| run_campaign(&schedule, true));
+    group.bench_function("hostile", |b| {
+        b.iter(|| run_campaign(&schedule, true));
+        b.counter("recovery_epochs", recovery as f64);
+        b.counter("quarantines", victims as f64);
+        b.counter("readmissions", victims as f64);
+        b.counter("rung_warm_retries", rung_retry as f64);
+        b.counter("rung_forced_refactors", rung_refactor as f64);
+        b.counter("rung_cold_rebuilds", rung_cold as f64);
+        b.counter("rung_holds", rung_hold as f64);
+        b.counter("strikes", sum(&hostile_reports, |r| r.strikes) as f64);
+    });
+    let clean_ns = time_median_ns(|| run_campaign(&schedule, false));
+    group.bench_function("clean", |b| {
+        b.iter(|| run_campaign(&schedule, false));
+        b.counter("solves", sum(&clean_reports, |r| r.solves) as f64);
+        b.counter("pivots", sum(&clean_reports, |r| r.pivots) as f64);
+    });
+    group.finish();
+
+    println!(
+        "fault_campaign: {devices} devices, {} epochs ({} faulted), \
+         {victims} quarantined + readmitted, recovery in {recovery} epochs, \
+         ladder retry/refactor/cold/hold = {rung_retry}/{rung_refactor}/{rung_cold}/{rung_hold}, \
+         hostile {:.1} ms vs clean {:.1} ms",
+        schedule.total_epochs(),
+        schedule.fault_window().len(),
+        hostile_ns / 1e6,
+        clean_ns / 1e6,
+    );
+
+    c.bench_function("fault_campaign", |b| {
+        b.iter(|| run_campaign(&schedule, true));
+        b.counter("devices", devices as f64);
+        b.counter("epochs", schedule.total_epochs() as f64);
+        b.counter("fault_epochs", schedule.fault_window().len() as f64);
+        b.counter("recovery_epochs", recovery as f64);
+        b.counter("quarantines", victims as f64);
+        b.counter("readmissions", victims as f64);
+        b.counter("rung_holds", rung_hold as f64);
+        b.counter("hostile_ms", hostile_ns / 1e6);
+        b.counter("clean_ms", clean_ns / 1e6);
+        b.counter("hostile_over_clean", hostile_ns / clean_ns.max(1.0));
+    });
+}
+
+criterion_group!(benches, bench_fault_campaign);
+criterion_main!(benches);

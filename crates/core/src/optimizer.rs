@@ -553,6 +553,22 @@ impl PreparedOptimization {
         self.session.last_report()
     }
 
+    /// Caps the work of every subsequent solve with a
+    /// [`SolveBudget`](dpm_lp::SolveBudget), passed through to the
+    /// loaded LP session (see `ConstrainedSession::set_budget` in
+    /// `dpm-mdp`): exhaustion surfaces as a recoverable
+    /// `BudgetExhausted` error and the retained basis resumes on retry.
+    pub fn set_budget(&mut self, budget: dpm_lp::SolveBudget) {
+        self.session.set_budget(budget);
+    }
+
+    /// Asks the loaded engine to refactorize its retained basis from
+    /// pristine data before the next solve — the recovery rung between
+    /// a plain retry and a full re-preparation.
+    pub fn force_refactor(&mut self) {
+        self.session.force_refactor();
+    }
+
     /// The discount factor the problem was prepared with.
     pub fn discount(&self) -> f64 {
         self.discount

@@ -38,6 +38,16 @@ pub enum LinalgError {
         /// Column of the offending entry.
         col: usize,
     },
+    /// A factorization update was refused because it would push the
+    /// accumulated update-growth gauge past the caller's stability limit
+    /// ([`crate::SparseLu::set_growth_limit`]). The factors are left
+    /// inconsistent; refactorize from the original columns.
+    UpdateRefused {
+        /// The growth the refused update would have reached.
+        growth: f64,
+        /// The configured limit it exceeded.
+        limit: f64,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -66,6 +76,12 @@ impl fmt::Display for LinalgError {
             LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
             LinalgError::NonFiniteEntry { row, col } => {
                 write!(f, "non-finite entry at ({row}, {col})")
+            }
+            LinalgError::UpdateRefused { growth, limit } => {
+                write!(
+                    f,
+                    "factor update refused: growth {growth:.3e} exceeds the stability limit {limit:.3e}"
+                )
             }
         }
     }

@@ -180,6 +180,10 @@ pub struct SparseLu {
     /// the largest update multiplier / spike-to-diagonal ratio seen.
     /// Resets to 1 on (re)factorization.
     growth: f64,
+    /// Stability ceiling for [`Self::replace_column`]: an update that
+    /// would push `growth` past this refuses with
+    /// [`LinalgError::UpdateRefused`]. Unlimited by default.
+    growth_limit: f64,
 }
 
 impl SparseLu {
@@ -258,6 +262,21 @@ impl SparseLu {
     /// caller should refactorize early.
     pub fn update_growth(&self) -> f64 {
         self.growth
+    }
+
+    /// Installs a stability ceiling on the update-growth gauge:
+    /// a [`Self::replace_column`] call that would push
+    /// [`Self::update_growth`] past `limit` is **refused** with
+    /// [`LinalgError::UpdateRefused`] instead of silently absorbing an
+    /// update whose roundoff amplification can no longer be trusted.
+    /// Like every update error, a refusal leaves the factors
+    /// inconsistent — the caller's refactorization fallback handles it.
+    ///
+    /// The default is `f64::INFINITY` (never refuse); the limit survives
+    /// updates but not refactorization (a rebuilt factorization starts
+    /// unlimited again).
+    pub fn set_growth_limit(&mut self, limit: f64) {
+        self.growth_limit = limit;
     }
 
     /// Dimension of the factored matrix.
@@ -356,6 +375,9 @@ impl SparseLu {
     /// * [`LinalgError::NonFiniteEntry`] on NaN/∞ values.
     /// * [`LinalgError::SingularMatrix`] when the updated matrix is
     ///   singular to working precision (the new diagonal vanishes).
+    /// * [`LinalgError::UpdateRefused`] when the update survived but
+    ///   pushed the growth gauge past a configured
+    ///   [`Self::set_growth_limit`].
     ///
     /// **On error the factorization is left inconsistent** and must be
     /// rebuilt with [`Self::from_columns`] — exactly what a simplex
@@ -455,6 +477,12 @@ impl SparseLu {
             .max(multiplier_max)
             .max(w_max / diag.abs().max(f64::MIN_POSITIVE));
         self.updates += 1;
+        if self.growth > self.growth_limit {
+            return Err(LinalgError::UpdateRefused {
+                growth: self.growth,
+                limit: self.growth_limit,
+            });
+        }
         Ok(())
     }
 
@@ -832,6 +860,7 @@ impl Factorizer {
             updates: 0,
             symbolic,
             growth: 1.0,
+            growth_limit: f64::INFINITY,
         }
     }
 }
@@ -1185,6 +1214,31 @@ mod tests {
         assert!(lu.update_growth() >= benign);
         let fresh = SparseLu::from_columns(6, &cols).unwrap();
         assert_eq!(fresh.update_growth(), 1.0);
+    }
+
+    #[test]
+    fn growth_limit_refuses_destabilizing_updates() {
+        let a = sparse_random(6, 9);
+        let cols = columns_of(&a);
+        let mut lu = SparseLu::from_columns(6, &cols).unwrap();
+        lu.set_growth_limit(1e6);
+        // A benign replacement stays under the ceiling.
+        lu.replace_column(1, &[(1, 3.0), (3, 0.5)]).unwrap();
+        // A near-duplicate column drives the gauge past the limit: the
+        // update must be refused with the structured error, not absorbed.
+        let mut near_dup: Vec<(usize, f64)> = cols[0].clone();
+        near_dup[0].1 += 1e-9;
+        match lu.replace_column(2, &near_dup) {
+            Err(LinalgError::UpdateRefused { growth, limit }) => {
+                assert!(growth > limit);
+                assert_eq!(limit, 1e6);
+            }
+            other => panic!("expected UpdateRefused, got {other:?}"),
+        }
+        // Without a limit the same update is absorbed (legacy behavior).
+        let mut unlimited = SparseLu::from_columns(6, &cols).unwrap();
+        unlimited.replace_column(1, &[(1, 3.0), (3, 0.5)]).unwrap();
+        unlimited.replace_column(2, &near_dup).unwrap();
     }
 
     #[test]

@@ -34,6 +34,16 @@ pub enum LpError {
     EmptyProblem,
     /// A coefficient, bound or objective entry was NaN or infinite.
     NonFiniteInput,
+    /// The caller's [`SolveBudget`](crate::SolveBudget) was spent before the
+    /// solve converged. Unlike [`LpError::IterationLimit`] this is a planned,
+    /// recoverable stop: the session stays usable and the caller decides
+    /// whether to retry with a larger budget or hold its last-good answer.
+    BudgetExhausted {
+        /// Pivots performed in the failed solve.
+        pivots: usize,
+        /// Refactorizations performed in the failed solve.
+        refactorizations: usize,
+    },
 }
 
 impl fmt::Display for LpError {
@@ -51,6 +61,13 @@ impl fmt::Display for LpError {
             ),
             LpError::EmptyProblem => write!(f, "linear program has no variables"),
             LpError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
+            LpError::BudgetExhausted {
+                pivots,
+                refactorizations,
+            } => write!(
+                f,
+                "solve budget exhausted after {pivots} pivots and {refactorizations} refactorizations"
+            ),
         }
     }
 }

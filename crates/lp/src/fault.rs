@@ -1,0 +1,257 @@
+//! Deterministic fault injection for solver robustness tests and benches.
+//!
+//! A [`FaultPlan`] describes, as seeded probabilities, which internal solver
+//! events should be forced to fail: Forrest–Tomlin update refusals, singular
+//! refactorizations, and premature budget exhaustion. Installing a plan with
+//! [`install`] arms a process-global hook that [`RevisedSimplex`] sessions
+//! consult once per solve; dropping the returned [`FaultGuard`] disarms it.
+//!
+//! The hook is designed to cost nothing when disarmed: the solver performs a
+//! single relaxed atomic load per solve, and only when a plan is installed
+//! does it take the registry lock and clone the [`Arc`]. Production code never
+//! installs a plan, so the hot path stays branch-predictable.
+//!
+//! Decisions are pure functions of `(seed, solve ordinal, event kind, event
+//! ordinal)` via a splitmix64 mix, so a campaign replays bit-identically for a
+//! given seed regardless of timing. Because the registry is process-global,
+//! tests that install plans must run serialized (the repo keeps them in a
+//! dedicated `--test fault_injection` binary run with `RUST_TEST_THREADS=1`).
+//!
+//! [`RevisedSimplex`]: crate::RevisedSimplex
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A seeded plan of solver faults to inject.
+///
+/// Rates are probabilities in `[0, 1]` evaluated independently per event from
+/// the plan's seed; `0.0` disables a fault class, `1.0` forces it at every
+/// opportunity. This is a test/bench-only API: installing a plan perturbs
+/// every [`RevisedSimplex`](crate::RevisedSimplex) solve in the process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-event hash; equal seeds replay identical faults.
+    pub seed: u64,
+    /// Probability that a Forrest–Tomlin basis update is refused, forcing an
+    /// immediate refactorization (models update-growth refusals).
+    pub refuse_update_rate: f64,
+    /// Probability that a refactorization is reported singular, forcing the
+    /// session's escalation path (models a numerically collapsed basis).
+    pub poison_refactor_rate: f64,
+    /// Probability that a pivot reports the solve budget as spent even though
+    /// real work remains (models budget exhaustion at chosen pivot counts).
+    pub exhaust_budget_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and all fault rates at zero.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            refuse_update_rate: 0.0,
+            poison_refactor_rate: 0.0,
+            exhaust_budget_rate: 0.0,
+        }
+    }
+
+    /// Sets the Forrest–Tomlin update-refusal rate.
+    pub fn refuse_updates(mut self, rate: f64) -> Self {
+        self.refuse_update_rate = rate;
+        self
+    }
+
+    /// Sets the singular-refactorization rate.
+    pub fn poison_refactors(mut self, rate: f64) -> Self {
+        self.poison_refactor_rate = rate;
+        self
+    }
+
+    /// Sets the premature budget-exhaustion rate.
+    pub fn exhaust_budgets(mut self, rate: f64) -> Self {
+        self.exhaust_budget_rate = rate;
+        self
+    }
+}
+
+/// Event-kind discriminants mixed into the per-event hash so the three fault
+/// classes draw independent streams from one seed.
+const KIND_REFUSE_UPDATE: u64 = 1;
+const KIND_POISON_REFACTOR: u64 = 2;
+const KIND_EXHAUST_BUDGET: u64 = 3;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static SOLVES: AtomicU64 = AtomicU64::new(0);
+static PLAN: Mutex<Option<Arc<FaultPlan>>> = Mutex::new(None);
+
+/// Installs `plan` process-wide and returns a guard that disarms it on drop.
+///
+/// Installing resets the global solve counter so campaigns replay identically
+/// regardless of what ran before. Only one plan is active at a time; a nested
+/// install replaces the previous plan until its own guard drops.
+pub fn install(plan: FaultPlan) -> FaultGuard {
+    *PLAN.lock().unwrap() = Some(Arc::new(plan));
+    SOLVES.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Release);
+    FaultGuard { _private: () }
+}
+
+/// Disarms the installed [`FaultPlan`] when dropped.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately disarms the fault plan"]
+pub struct FaultGuard {
+    _private: (),
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::Release);
+        *PLAN.lock().unwrap() = None;
+    }
+}
+
+/// A fault plan armed for one specific solve.
+///
+/// The solver obtains one of these at solve entry (burning a solve ordinal)
+/// and queries it at each fault opportunity; decisions depend only on the
+/// plan's seed, the solve ordinal, and the per-event ordinal.
+#[derive(Debug, Clone)]
+pub(crate) struct ArmedFaults {
+    plan: Arc<FaultPlan>,
+    solve: u64,
+}
+
+impl ArmedFaults {
+    /// Should the `pivot`-th basis update of this solve be refused?
+    pub(crate) fn refuse_update(&self, pivot: u64) -> bool {
+        self.hit(KIND_REFUSE_UPDATE, pivot, self.plan.refuse_update_rate)
+    }
+
+    /// Should the `ordinal`-th refactorization of this solve report singular?
+    pub(crate) fn poison_refactor(&self, ordinal: u64) -> bool {
+        self.hit(
+            KIND_POISON_REFACTOR,
+            ordinal,
+            self.plan.poison_refactor_rate,
+        )
+    }
+
+    /// Should the `pivot`-th pivot of this solve report budget exhaustion?
+    pub(crate) fn exhaust_budget(&self, pivot: u64) -> bool {
+        self.hit(KIND_EXHAUST_BUDGET, pivot, self.plan.exhaust_budget_rate)
+    }
+
+    fn hit(&self, kind: u64, ordinal: u64, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let mut h = splitmix64(self.plan.seed);
+        for word in [self.solve, kind, ordinal] {
+            h = splitmix64(h ^ word);
+        }
+        // Top 53 bits → uniform double in [0, 1).
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < rate
+    }
+}
+
+/// Arms the installed plan for the solve that is about to start, if any.
+///
+/// Costs one relaxed atomic load when no plan is installed.
+pub(crate) fn arm() -> Option<ArmedFaults> {
+    if !ARMED.load(Ordering::Acquire) {
+        return None;
+    }
+    let plan = PLAN.lock().unwrap().clone()?;
+    let solve = SOLVES.fetch_add(1, Ordering::Relaxed);
+    Some(ArmedFaults { plan, solve })
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests exercise the pure decision logic only; they never arm the
+    // global registry, so they are safe under the parallel test runner.
+
+    fn armed(plan: FaultPlan, solve: u64) -> ArmedFaults {
+        ArmedFaults {
+            plan: Arc::new(plan),
+            solve,
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let a = armed(FaultPlan::new(7).refuse_updates(0.3), 2);
+        let b = armed(FaultPlan::new(7).refuse_updates(0.3), 2);
+        for pivot in 0..256 {
+            assert_eq!(a.refuse_update(pivot), b.refuse_update(pivot));
+        }
+    }
+
+    #[test]
+    fn different_seeds_and_solves_decorrelate() {
+        let base = armed(FaultPlan::new(7).refuse_updates(0.5), 0);
+        let other_seed = armed(FaultPlan::new(8).refuse_updates(0.5), 0);
+        let other_solve = armed(FaultPlan::new(7).refuse_updates(0.5), 1);
+        let mut differs_seed = false;
+        let mut differs_solve = false;
+        for pivot in 0..256 {
+            differs_seed |= base.refuse_update(pivot) != other_seed.refuse_update(pivot);
+            differs_solve |= base.refuse_update(pivot) != other_solve.refuse_update(pivot);
+        }
+        assert!(differs_seed && differs_solve);
+    }
+
+    #[test]
+    fn rate_extremes_are_exact() {
+        let never = armed(FaultPlan::new(1), 0);
+        let always = armed(
+            FaultPlan::new(1)
+                .refuse_updates(1.0)
+                .poison_refactors(1.0)
+                .exhaust_budgets(1.0),
+            0,
+        );
+        for ordinal in 0..64 {
+            assert!(!never.refuse_update(ordinal));
+            assert!(!never.poison_refactor(ordinal));
+            assert!(!never.exhaust_budget(ordinal));
+            assert!(always.refuse_update(ordinal));
+            assert!(always.poison_refactor(ordinal));
+            assert!(always.exhaust_budget(ordinal));
+        }
+    }
+
+    #[test]
+    fn rates_land_near_their_target() {
+        let plan = armed(FaultPlan::new(42).exhaust_budgets(0.25), 3);
+        let hits = (0..4096).filter(|&p| plan.exhaust_budget(p)).count();
+        let frac = hits as f64 / 4096.0;
+        assert!((frac - 0.25).abs() < 0.05, "observed rate {frac}");
+    }
+
+    #[test]
+    fn fault_classes_draw_independent_streams() {
+        let plan = armed(
+            FaultPlan::new(9).refuse_updates(0.5).poison_refactors(0.5),
+            0,
+        );
+        let mut differs = false;
+        for ordinal in 0..128 {
+            differs |= plan.refuse_update(ordinal) != plan.poison_refactor(ordinal);
+        }
+        assert!(differs);
+    }
+}

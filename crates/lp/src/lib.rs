@@ -127,6 +127,7 @@
 #![deny(missing_debug_implementations)]
 
 mod error;
+pub mod fault;
 mod interior_point;
 mod presolve;
 mod pricing;
@@ -142,7 +143,9 @@ pub use presolve::{presolve, PresolveReport};
 pub use pricing::PricingRule;
 pub use problem::{ConstraintOp, LinearProgram, SparseStandardForm, StandardForm};
 pub use revised_simplex::{BasisUpdate, RevisedSimplex};
-pub use session::{InfeasibilityCertificate, ReloadKind, SolveReport, SolveSession};
+pub use session::{
+    InfeasibilityCertificate, ReloadKind, SolveBudget, SolveReport, SolveSession, Termination,
+};
 pub use simplex::{PivotRule, Simplex};
 pub use solution::LpSolution;
 

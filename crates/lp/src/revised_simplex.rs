@@ -51,8 +51,11 @@ use std::sync::Arc;
 
 use dpm_linalg::{LuDecomposition, Matrix, SparseLu, SymbolicLu};
 
+use crate::fault::{self, ArmedFaults};
 use crate::pricing::{Devex, DEVEX_WEIGHT_LIMIT};
-use crate::session::{same_shape, InfeasibilityCertificate, ReloadKind, SolveReport};
+use crate::session::{
+    same_shape, InfeasibilityCertificate, ReloadKind, SolveBudget, SolveReport, Termination,
+};
 use crate::simplex::PivotRule;
 use crate::{LinearProgram, LpError, LpSolution, LpSolver, PricingRule, SolveSession};
 
@@ -106,6 +109,7 @@ pub struct RevisedSimplex {
     tolerance: f64,
     refactor_interval: usize,
     basis_update: BasisUpdate,
+    budget: SolveBudget,
 }
 
 impl Default for RevisedSimplex {
@@ -125,6 +129,7 @@ impl RevisedSimplex {
             tolerance: 1e-9,
             refactor_interval: 128,
             basis_update: BasisUpdate::default(),
+            budget: SolveBudget::UNLIMITED,
         }
     }
 
@@ -193,6 +198,17 @@ impl RevisedSimplex {
         self.basis_update = update;
         self
     }
+
+    /// Caps the work of every solve with a [`SolveBudget`] (see
+    /// [`SolveSession::set_budget`] for the per-session override). A
+    /// budget covers one whole [`SolveSession::solve`] call — a warm
+    /// attempt that degrades to a cold rebuild draws from the same
+    /// allowance — and exhaustion surfaces as
+    /// [`LpError::BudgetExhausted`] with the session left usable.
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
+        self
+    }
 }
 
 impl RevisedSimplex {
@@ -200,6 +216,19 @@ impl RevisedSimplex {
     /// returning the final [`Core`] so sessions can keep its factorized
     /// basis for warm re-solves. [`LpSolver::solve`] discards the core.
     fn solve_to_core(&self, lp: &LinearProgram) -> Result<(LpSolution, Core), LpError> {
+        self.solve_to_core_with(lp, self.budget, fault::arm())
+    }
+
+    /// [`Self::solve_to_core`] with an explicit budget and an
+    /// already-armed fault plan — the entry sessions use for their cold
+    /// fallback so the warm attempt's spending (and its fault-injection
+    /// solve ordinal) carries over instead of starting a fresh solve.
+    fn solve_to_core_with(
+        &self,
+        lp: &LinearProgram,
+        budget: SolveBudget,
+        faults: Option<ArmedFaults>,
+    ) -> Result<(LpSolution, Core), LpError> {
         lp.validate()?;
         let mut core = Core::build(
             lp,
@@ -207,6 +236,7 @@ impl RevisedSimplex {
             self.refactor_interval,
             self.basis_update,
         )?;
+        core.arm(budget, faults);
         let mut iterations = 0;
 
         if core.num_artificial > 0 {
@@ -218,6 +248,7 @@ impl RevisedSimplex {
         iterations += core.optimize(Phase::Two, self.pricing, self.max_iterations)?;
 
         let solution = core.extract_solution(lp, iterations)?;
+        core.disarm();
         Ok((solution, core))
     }
 }
@@ -234,6 +265,8 @@ impl LpSolver for RevisedSimplex {
             obj_dirty: false,
             reload_pending: false,
             symbolic_reported: 0,
+            budget: self.budget,
+            refactor_requested: false,
             report: SolveReport::new("revised-simplex"),
         }))
     }
@@ -369,6 +402,18 @@ struct Core {
     /// Lifetime count of refactorizations that reused a stored symbolic
     /// analysis, for [`SolveReport::symbolic_reuse`].
     symbolic_reuses: usize,
+    /// The budget armed for the solve in flight ([`Self::arm`]); spending
+    /// is measured against the `base_*` baselines below. UNLIMITED
+    /// between solves, so build/reload refactorizations never trip it.
+    budget: SolveBudget,
+    /// [`Self::pivots`] at the last [`Self::arm`].
+    base_pivots: usize,
+    /// [`Self::refactorizations`] at the last [`Self::arm`].
+    base_refactors: usize,
+    /// Fault plan armed for the solve in flight (`None` in production;
+    /// see [`crate::fault`]). Cleared by [`Self::disarm`] so between-solve
+    /// refactorizations — reloads, forced refreshes — run clean.
+    faults: Option<ArmedFaults>,
 }
 
 /// A Forrest–Tomlin update whose growth gauge
@@ -467,9 +512,60 @@ impl Core {
             peak_fill: 0,
             shared_symbolic: None,
             symbolic_reuses: 0,
+            budget: SolveBudget::UNLIMITED,
+            base_pivots: 0,
+            base_refactors: 0,
+            faults: None,
         };
         core.refactor()?;
         Ok(core)
+    }
+
+    /// Arms a solve attempt: spending restarts from the current lifetime
+    /// counters, capped by `budget`, with `faults` consulted at each
+    /// injection point until [`Self::disarm`].
+    fn arm(&mut self, budget: SolveBudget, faults: Option<ArmedFaults>) {
+        self.budget = budget;
+        self.faults = faults;
+        self.base_pivots = self.pivots;
+        self.base_refactors = self.refactorizations;
+    }
+
+    /// Ends the armed solve attempt: unlimited budget, no faults.
+    fn disarm(&mut self) {
+        self.budget = SolveBudget::UNLIMITED;
+        self.faults = None;
+    }
+
+    /// Pivots and refactorizations spent since the last [`Self::arm`].
+    fn spent(&self) -> (usize, usize) {
+        (
+            self.pivots - self.base_pivots,
+            self.refactorizations - self.base_refactors,
+        )
+    }
+
+    /// Errors with [`LpError::BudgetExhausted`] when the armed budget is
+    /// spent — or when the armed fault plan says to pretend it is.
+    fn check_budget(&self) -> Result<(), LpError> {
+        let (pivots, refactorizations) = self.spent();
+        let forced = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.exhaust_budget(pivots as u64));
+        if forced
+            || self.budget.max_pivots.is_some_and(|limit| pivots > limit)
+            || self
+                .budget
+                .max_refactorizations
+                .is_some_and(|limit| refactorizations > limit)
+        {
+            return Err(LpError::BudgetExhausted {
+                pivots,
+                refactorizations,
+            });
+        }
+        Ok(())
     }
 
     /// Rebuilds the factorization of the current basis from the pristine
@@ -478,6 +574,18 @@ impl Core {
     /// (Markowitz LU); only [`BasisUpdate::DenseEta`] materializes the
     /// dense basis matrix.
     fn refactor(&mut self) -> Result<(), LpError> {
+        // Fault injection: a poisoned refactorization reports the basis
+        // singular before touching the factors, modelling a numerically
+        // collapsed basis (see `crate::fault`). No-op in production.
+        if let Some(faults) = &self.faults {
+            let ordinal = (self.refactorizations - self.base_refactors) as u64;
+            if faults.poison_refactor(ordinal) {
+                self.refactorizations += 1;
+                return Err(LpError::Numerical {
+                    reason: "injected fault: refactorization reported singular".to_string(),
+                });
+            }
+        }
         self.refactorizations += 1;
         self.etas.clear();
         self.updates_since_refactor = 0;
@@ -518,7 +626,7 @@ impl Core {
                         None
                     }
                 });
-                let lu = match reused {
+                let mut lu = match reused {
                     Some(lu) => {
                         self.symbolic_reuses += 1;
                         lu
@@ -533,6 +641,12 @@ impl Core {
                         lu
                     }
                 };
+                // Forrest–Tomlin updates self-limit through the factors'
+                // own growth gauge: an update that would blow past the
+                // trust bound is refused by the factorization itself
+                // (`LinalgError::UpdateRefused`) and `absorb_pivot`
+                // refactorizes instead.
+                lu.set_growth_limit(FT_GROWTH_LIMIT);
                 Factors::Sparse(Box::new(lu))
             }
         };
@@ -550,14 +664,30 @@ impl Core {
     /// Absorbs a completed pivot (slot `p` now holds column `q`, ratio
     /// direction `d = B⁻¹a_q`) into the factorization: Forrest–Tomlin
     /// update, eta record, or a full refactorization when the update
-    /// budget is exhausted or the update itself goes singular.
+    /// budget is exhausted, the update is refused on growth, or the
+    /// update itself goes singular. Ends with the armed [`SolveBudget`]
+    /// check, so budget exhaustion surfaces at pivot granularity.
     fn absorb_pivot(&mut self, p: usize, q: usize, d: Vec<f64>) -> Result<(), LpError> {
         self.pivots += 1;
         if self.updates_since_refactor + 1 >= self.refactor_interval {
-            return self.refactor();
+            self.refactor()?;
+            return self.check_budget();
         }
         match self.update_kind {
             BasisUpdate::ForrestTomlin => {
+                // Fault injection: refuse this update as if its growth
+                // gauge had tripped, exercising the refactorization path.
+                let refused = match &self.faults {
+                    Some(faults) => {
+                        let (spent_pivots, _) = self.spent();
+                        faults.refuse_update(spent_pivots as u64)
+                    }
+                    None => false,
+                };
+                if refused {
+                    self.refactor()?;
+                    return self.check_budget();
+                }
                 let Factors::Sparse(lu) = &mut self.factors else {
                     unreachable!("Forrest–Tomlin always runs on sparse factors");
                 };
@@ -566,26 +696,23 @@ impl Core {
                         self.basis_updates += 1;
                         self.updates_since_refactor += 1;
                         self.peak_fill = self.peak_fill.max(lu.fill_in());
-                        // Residual-growth guard: an update that survived
-                        // but multiplied roundoff past the trust bound
-                        // forces an early refresh from pristine columns.
-                        if lu.update_growth() > FT_GROWTH_LIMIT {
-                            return self.refactor();
-                        }
-                        Ok(())
                     }
-                    // A vanishing update diagonal: the repaired factors
-                    // would be singular — rebuild from scratch instead.
-                    Err(_) => self.refactor(),
+                    // The factors refused the update — growth past the
+                    // trust bound (`LinalgError::UpdateRefused`, the limit
+                    // installed by `refactor`) or a vanishing update
+                    // diagonal that would leave them singular. Either way
+                    // the repaired factors cannot be used: rebuild from
+                    // pristine columns instead.
+                    Err(_) => self.refactor()?,
                 }
             }
             BasisUpdate::Eta | BasisUpdate::DenseEta => {
                 self.etas.push(Eta { slot: p, d });
                 self.basis_updates += 1;
                 self.updates_since_refactor += 1;
-                Ok(())
             }
         }
+        self.check_budget()
     }
 
     /// Largest factor fill-in observed since the last
@@ -1363,6 +1490,12 @@ struct RevisedSession {
     /// per-solve delta is taken against this session-level baseline
     /// rather than an [`EffortMark`].
     symbolic_reported: usize,
+    /// Per-solve work cap ([`SolveSession::set_budget`]); covers a whole
+    /// [`SolveSession::solve`] call including the cold fallback.
+    budget: SolveBudget,
+    /// [`SolveSession::force_refactor`] was called: the next solve
+    /// refreshes the retained factors from pristine columns first.
+    refactor_requested: bool,
     report: SolveReport,
 }
 
@@ -1401,10 +1534,17 @@ impl EffortMark {
 
 impl RevisedSession {
     /// Warm re-solve on the retained core. Any error other than
-    /// `Infeasible`/`Unbounded` makes the caller fall back to cold.
-    fn try_warm(&mut self, report: &mut SolveReport) -> Result<LpSolution, LpError> {
+    /// `Infeasible`/`Unbounded`/`BudgetExhausted` makes the caller fall
+    /// back to cold.
+    fn try_warm(
+        &mut self,
+        report: &mut SolveReport,
+        budget: SolveBudget,
+        faults: Option<ArmedFaults>,
+    ) -> Result<LpSolution, LpError> {
         let core = self.core.as_mut().expect("warm implies a retained core");
         report.warm_start = true;
+        core.arm(budget, faults);
         let mark = EffortMark::take(core);
         let result = (|| {
             if self.rhs_dirty {
@@ -1418,6 +1558,7 @@ impl RevisedSession {
             core.optimize(Phase::Two, self.config.pricing, self.config.max_iterations)?;
             core.extract_solution(&self.lp, core.pivots - mark.pivots)
         })();
+        core.disarm();
         mark.stamp(core, report);
         result
     }
@@ -1429,12 +1570,18 @@ impl RevisedSession {
     /// feasibility (reduced costs moved), or both. Repairs whichever
     /// side survived; when neither did, errors out so the caller falls
     /// back to a cold solve.
-    fn try_warm_reload(&mut self, report: &mut SolveReport) -> Result<LpSolution, LpError> {
+    fn try_warm_reload(
+        &mut self,
+        report: &mut SolveReport,
+        budget: SolveBudget,
+        faults: Option<ArmedFaults>,
+    ) -> Result<LpSolution, LpError> {
         let core = self
             .core
             .as_mut()
             .expect("reload_pending implies a retained core");
         report.warm_start = true;
+        core.arm(budget, faults);
         let mark = EffortMark::take(core);
         let result = (|| {
             core.recompute_basics()?;
@@ -1467,6 +1614,7 @@ impl RevisedSession {
             core.optimize(Phase::Two, self.config.pricing, self.config.max_iterations)?;
             core.extract_solution(&self.lp, core.pivots - mark.pivots)
         })();
+        core.disarm();
         mark.stamp(core, report);
         result
     }
@@ -1481,12 +1629,17 @@ impl RevisedSession {
         self.symbolic_reported = total;
     }
 
-    fn solve_cold(&mut self, report: &mut SolveReport) -> Result<LpSolution, LpError> {
+    fn solve_cold(
+        &mut self,
+        report: &mut SolveReport,
+        budget: SolveBudget,
+        faults: Option<ArmedFaults>,
+    ) -> Result<LpSolution, LpError> {
         self.core = None;
         self.warm = false;
         self.reload_pending = false;
         report.warm_start = false;
-        match self.config.solve_to_core(&self.lp) {
+        match self.config.solve_to_core_with(&self.lp, budget, faults) {
             Ok((solution, core)) => {
                 report.iterations = core.pivots;
                 report.refactorizations = core.refactorizations;
@@ -1566,11 +1719,34 @@ impl SolveSession for RevisedSession {
 
     fn solve(&mut self) -> Result<(LpSolution, SolveReport), LpError> {
         let mut report = SolveReport::new("revised-simplex");
+        // One fault-injection solve ordinal and one budget per `solve`
+        // call: a warm attempt that degrades to the cold rebuild below
+        // carries both over instead of starting fresh.
+        let faults = fault::arm();
+        let budget = self.budget;
+        // Pivots/refactorizations a failed warm attempt spent, deducted
+        // from the cold fallback's allowance (and folded back into any
+        // `BudgetExhausted` it reports).
+        let mut spent_pivots = 0usize;
+        let mut spent_refactors = 0usize;
+        // A requested refactorization (`force_refactor`) refreshes the
+        // retained factors from pristine columns before any warm work; a
+        // failure degrades to the cold rebuild.
+        if self.refactor_requested {
+            self.refactor_requested = false;
+            if let Some(core) = &mut self.core {
+                if core.refactor().is_err() {
+                    self.core = None;
+                    self.warm = false;
+                    self.reload_pending = false;
+                }
+            }
+        }
         // A pending shape-identical reload runs the feasibility-repair
         // path from the retained basis; numerical trouble falls through
         // to the cold rebuild below.
         if self.reload_pending {
-            match self.try_warm_reload(&mut report) {
+            match self.try_warm_reload(&mut report, budget, faults.clone()) {
                 Ok(solution) => {
                     self.reload_pending = false;
                     self.note_symbolic(&mut report);
@@ -1585,16 +1761,29 @@ impl SolveSession for RevisedSession {
                     if e == LpError::Infeasible {
                         report.infeasibility = Some(InfeasibilityCertificate::DualRay);
                     }
+                    report.termination = Termination::of_error(&e);
+                    self.note_symbolic(&mut report);
+                    self.report = report;
+                    return Err(e);
+                }
+                Err(e @ LpError::BudgetExhausted { .. }) => {
+                    // The budget covers the whole solve: nothing is left
+                    // for a cold rebuild. The retained basis is mid-
+                    // repair, so the next solve runs the same path with
+                    // whatever budget the caller grants then.
+                    report.termination = Termination::of_error(&e);
                     self.note_symbolic(&mut report);
                     self.report = report;
                     return Err(e);
                 }
                 Err(_) => {
                     self.reload_pending = false;
+                    spent_pivots = report.iterations;
+                    spent_refactors = report.refactorizations;
                 }
             }
         } else if self.warm && !(self.rhs_dirty && self.obj_dirty) {
-            match self.try_warm(&mut report) {
+            match self.try_warm(&mut report, budget, faults.clone()) {
                 Ok(solution) => {
                     self.rhs_dirty = false;
                     self.obj_dirty = false;
@@ -1611,16 +1800,52 @@ impl SolveSession for RevisedSession {
                     if e == LpError::Infeasible {
                         report.infeasibility = Some(InfeasibilityCertificate::DualRay);
                     }
+                    report.termination = Termination::of_error(&e);
+                    self.note_symbolic(&mut report);
+                    self.report = report;
+                    return Err(e);
+                }
+                Err(e @ LpError::BudgetExhausted { .. }) => {
+                    // Budget spent on the warm attempt: no cold fallback.
+                    // The session stays warm — the retained basis is a
+                    // legitimate restart point for a re-budgeted solve.
+                    report.termination = Termination::of_error(&e);
                     self.note_symbolic(&mut report);
                     self.report = report;
                     return Err(e);
                 }
                 Err(_) => {
-                    // Numerical trouble on the warm path: retry cold.
+                    // Numerical trouble on the warm path: retry cold on
+                    // the remaining budget.
+                    spent_pivots = report.iterations;
+                    spent_refactors = report.refactorizations;
                 }
             }
         }
-        let result = self.solve_cold(&mut report);
+        let remaining = SolveBudget {
+            max_pivots: budget
+                .max_pivots
+                .map(|limit| limit.saturating_sub(spent_pivots)),
+            max_refactorizations: budget
+                .max_refactorizations
+                .map(|limit| limit.saturating_sub(spent_refactors)),
+        };
+        let result = self
+            .solve_cold(&mut report, remaining, faults)
+            .map_err(|e| match e {
+                // Report whole-solve spending, warm attempt included.
+                LpError::BudgetExhausted {
+                    pivots,
+                    refactorizations,
+                } => LpError::BudgetExhausted {
+                    pivots: pivots + spent_pivots,
+                    refactorizations: refactorizations + spent_refactors,
+                },
+                other => other,
+            });
+        if let Err(e) = &result {
+            report.termination = Termination::of_error(e);
+        }
         self.note_symbolic(&mut report);
         self.report = report.clone();
         result.map(|solution| (solution, report))
@@ -1641,12 +1866,22 @@ impl SolveSession for RevisedSession {
             obj_dirty: self.obj_dirty,
             reload_pending: self.reload_pending,
             symbolic_reported: self.core.as_ref().map_or(0, |c| c.symbolic_reuses),
+            budget: self.budget,
+            refactor_requested: self.refactor_requested,
             report: self.report.clone(),
         }))
     }
 
     fn last_report(&self) -> &SolveReport {
         &self.report
+    }
+
+    fn set_budget(&mut self, budget: SolveBudget) {
+        self.budget = budget;
+    }
+
+    fn force_refactor(&mut self) {
+        self.refactor_requested = true;
     }
 
     fn engine_name(&self) -> &'static str {
@@ -2261,6 +2496,53 @@ mod tests {
         let (solution, report) = fork.solve().unwrap();
         assert!(!report.warm_start);
         assert!((solution.objective() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_recoverable() {
+        let (lp, _) = furniture_pair();
+        let mut session = RevisedSimplex::new().start(&lp).unwrap();
+        session.set_budget(SolveBudget::pivots(0));
+        let err = session.solve().unwrap_err();
+        assert!(matches!(err, LpError::BudgetExhausted { .. }), "{err:?}");
+        assert_eq!(
+            session.last_report().termination,
+            Termination::BudgetExhausted
+        );
+        // The session survives: lifting the budget solves to optimality.
+        session.set_budget(SolveBudget::UNLIMITED);
+        let (solution, report) = session.solve().unwrap();
+        assert_eq!(report.termination, Termination::Optimal);
+        assert!((solution.objective() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_pivot_resolve_succeeds_under_zero_budget() {
+        // Re-solving an untouched model needs no pivots, so even an empty
+        // budget must succeed: exhaustion is about work, not about calls.
+        let (lp, _) = furniture_pair();
+        let mut session = RevisedSimplex::new().start(&lp).unwrap();
+        let (first, _) = session.solve().unwrap();
+        session.set_budget(SolveBudget::pivots(0));
+        let (again, report) = session.solve().unwrap();
+        assert!(report.warm_start);
+        assert_eq!(report.iterations, 0);
+        assert_eq!(report.termination, Termination::Optimal);
+        assert!((again.objective() - first.objective()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refactorization_budget_trips_under_tiny_interval() {
+        let (lp, _) = furniture_pair();
+        let err = RevisedSimplex::new()
+            .refactor_interval(1)
+            .with_budget(SolveBudget {
+                max_pivots: None,
+                max_refactorizations: Some(0),
+            })
+            .solve(&lp)
+            .unwrap_err();
+        assert!(matches!(err, LpError::BudgetExhausted { .. }), "{err:?}");
     }
 
     #[test]

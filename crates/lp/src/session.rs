@@ -44,6 +44,105 @@ impl std::fmt::Display for InfeasibilityCertificate {
     }
 }
 
+/// Why a [`SolveSession::solve`] call stopped — the structured
+/// termination reason retained on [`SolveReport`] for successful *and*
+/// failed solves, so supervising layers (retry ladders, fleet
+/// controllers) can branch on what happened without parsing error
+/// strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Termination {
+    /// The solve reached a proven optimum. The default of a fresh report.
+    #[default]
+    Optimal,
+    /// A [`SolveBudget`] ran out mid-solve ([`LpError::BudgetExhausted`]):
+    /// the model may well be solvable, the session just was not allowed
+    /// to spend more effort on it this call.
+    BudgetExhausted,
+    /// The solve failed algorithmically — a singular basis, an iteration
+    /// limit, non-finite intermediate values. Retrying (after a forced
+    /// refactorization or a cold rebuild) may succeed.
+    NumericalTrouble,
+    /// The loaded model is infeasible ([`LpError::Infeasible`]); the
+    /// certificate kind is in [`SolveReport::infeasibility`]. Retrying
+    /// the identical model cannot help.
+    Infeasible,
+    /// The objective is unbounded on the feasible region
+    /// ([`LpError::Unbounded`]) — like infeasibility, a property of the
+    /// model, not of the solve.
+    Unbounded,
+}
+
+impl Termination {
+    /// The termination reason a failed solve's error maps to.
+    pub(crate) fn of_error(e: &LpError) -> Termination {
+        match e {
+            LpError::Infeasible => Termination::Infeasible,
+            LpError::Unbounded => Termination::Unbounded,
+            LpError::BudgetExhausted { .. } => Termination::BudgetExhausted,
+            _ => Termination::NumericalTrouble,
+        }
+    }
+}
+
+impl std::fmt::Display for Termination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Termination::Optimal => write!(f, "optimal"),
+            Termination::BudgetExhausted => write!(f, "budget exhausted"),
+            Termination::NumericalTrouble => write!(f, "numerical trouble"),
+            Termination::Infeasible => write!(f, "infeasible"),
+            Termination::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// A per-solve effort ceiling: how many pivots and refactorizations one
+/// [`SolveSession::solve`] call may spend before it stops with
+/// [`LpError::BudgetExhausted`] (termination reason
+/// [`Termination::BudgetExhausted`]).
+///
+/// The budget covers the **whole call**, including any internal warm →
+/// cold fallback: a warm attempt that burns the pivot budget does not
+/// buy the cold retry a fresh allowance. A solve that needs no further
+/// pivots (the retained basis is already optimal) succeeds even at a
+/// zero budget. `None` fields are unlimited; [`SolveBudget::UNLIMITED`]
+/// (the default) never interferes.
+///
+/// This is the fault-containment primitive of the adaptive runtime: a
+/// numerically wedged LP cannot stall an epoch — the solve stops at the
+/// budget and the supervising retry ladder decides what to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SolveBudget {
+    /// Maximum simplex pivots per solve call (primal and dual combined),
+    /// or `None` for unlimited.
+    pub max_pivots: Option<usize>,
+    /// Maximum basis refactorizations per solve call, or `None` for
+    /// unlimited.
+    pub max_refactorizations: Option<usize>,
+}
+
+impl SolveBudget {
+    /// No limits — the default; budget checks cost nothing.
+    pub const UNLIMITED: SolveBudget = SolveBudget {
+        max_pivots: None,
+        max_refactorizations: None,
+    };
+
+    /// A budget bounding pivots only.
+    pub fn pivots(max: usize) -> Self {
+        SolveBudget {
+            max_pivots: Some(max),
+            max_refactorizations: None,
+        }
+    }
+
+    /// `true` when neither dimension is bounded.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_pivots.is_none() && self.max_refactorizations.is_none()
+    }
+}
+
 /// How a [`SolveSession::reload`] call re-provisioned the session — the
 /// contract the online-adaptation loop builds on.
 ///
@@ -175,6 +274,12 @@ pub struct SolveReport {
     /// Set when the solve returned [`LpError::Infeasible`]: what kind of
     /// certificate backed the verdict. `None` on success.
     pub infeasibility: Option<InfeasibilityCertificate>,
+    /// Why the solve stopped — [`Termination::Optimal`] on success, the
+    /// matching structured reason on failure. Retained (like the rest of
+    /// the report) through [`SolveSession::last_report`], so supervisors
+    /// can branch on budget exhaustion vs numerical trouble vs a genuine
+    /// infeasibility verdict.
+    pub termination: Termination,
 }
 
 impl SolveReport {
@@ -192,6 +297,7 @@ impl SolveReport {
             symbolic_reuse: 0,
             basis_signature: 0,
             infeasibility: None,
+            termination: Termination::Optimal,
         }
     }
 }
@@ -310,6 +416,24 @@ pub trait SolveSession: std::fmt::Debug + Send {
 
     /// Name of the engine backing the session.
     fn engine_name(&self) -> &'static str;
+
+    /// Installs a per-call effort ceiling on every subsequent
+    /// [`Self::solve`] (see [`SolveBudget`]). Engines without budget
+    /// machinery ignore it — the default implementation is a no-op, so
+    /// a budget is a *bound*, never a guarantee of enforcement; the
+    /// warm-capable [`RevisedSimplex`](crate::RevisedSimplex) sessions
+    /// enforce it exactly.
+    fn set_budget(&mut self, budget: SolveBudget) {
+        let _ = budget;
+    }
+
+    /// Requests that the next [`Self::solve`] refactorize the basis from
+    /// pristine columns before pivoting, flushing accumulated update
+    /// roundoff — the "forced refactorization" rung of a numerical-
+    /// recovery ladder. A no-op for engines without a factorized basis
+    /// (the default implementation), and harmless when the factors are
+    /// already fresh.
+    fn force_refactor(&mut self) {}
 }
 
 /// `true` when `next` has the same standard-form shape as `loaded`:
@@ -393,6 +517,7 @@ impl<S: LpSolver + Clone + Send + 'static> SolveSession for ColdSession<S> {
                 if e == LpError::Infeasible {
                     report.infeasibility = Some(self.infeasibility_kind);
                 }
+                report.termination = Termination::of_error(&e);
                 self.report = report;
                 Err(e)
             }
@@ -471,11 +596,13 @@ mod tests {
             session.last_report().infeasibility,
             Some(InfeasibilityCertificate::Phase1PositiveOptimum)
         );
+        assert_eq!(session.last_report().termination, Termination::Infeasible);
         // The session survives: relaxing the bound makes it feasible.
         session.set_rhs(1, 0.5).unwrap();
         let (solution, report) = session.solve().unwrap();
         assert!((solution.objective() - 0.5).abs() < 1e-9);
         assert_eq!(report.infeasibility, None);
+        assert_eq!(report.termination, Termination::Optimal);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 use dpm_linalg::Matrix;
-use dpm_lp::{LinearProgram, LpError, LpSolver, ReloadKind, SolveReport, SolveSession};
+use dpm_lp::{
+    LinearProgram, LpError, LpSolver, ReloadKind, SolveBudget, SolveReport, SolveSession,
+};
 use dpm_markov::ControlledMarkovChain;
 
 use crate::mdp::validate_distribution;
@@ -427,6 +429,14 @@ impl ConstrainedSession {
                 self.last = self.session.last_report().clone();
                 return Err(e.into());
             }
+            Err(e @ LpError::BudgetExhausted { .. }) => {
+                // A budget ([`Self::set_budget`]) is the caller's own
+                // work cap: rescuing with an unbudgeted cross-engine
+                // cold solve would defeat it. The session keeps its
+                // partial basis, so a re-budgeted retry resumes there.
+                self.last = self.session.last_report().clone();
+                return Err(e.into());
+            }
             Err(_) => {
                 // Same cross-engine rescue as the one-shot path; the
                 // rescue runs a cold session on the mirror LP so its
@@ -482,6 +492,25 @@ impl ConstrainedSession {
     /// here.
     pub fn last_report(&self) -> &SolveReport {
         &self.last
+    }
+
+    /// Caps the work of every subsequent [`Self::solve`] with a
+    /// [`SolveBudget`], passed through to the loaded engine session.
+    /// Exhaustion surfaces as [`LpError::BudgetExhausted`] *without*
+    /// engaging the cross-engine rescue — the budget is the caller's
+    /// policy, and the session keeps its partial basis so a re-budgeted
+    /// retry resumes instead of restarting. Engines without budget
+    /// support ignore the call (see [`SolveSession::set_budget`]).
+    pub fn set_budget(&mut self, budget: SolveBudget) {
+        self.session.set_budget(budget);
+    }
+
+    /// Asks the loaded engine to refactorize its retained basis from
+    /// pristine data before the next solve — the escalation-ladder rung
+    /// between a plain warm retry and a full cold rebuild. No-op on
+    /// engines without retained factors.
+    pub fn force_refactor(&mut self) {
+        self.session.force_refactor();
     }
 }
 

@@ -89,6 +89,8 @@ pub struct FleetConfig {
     pub(crate) cluster_divergence: f64,
     pub(crate) resolve_divergence: f64,
     pub(crate) quiet_divergence: Option<f64>,
+    pub(crate) quarantine_strikes: u32,
+    pub(crate) probation_epochs: u64,
 }
 
 impl Default for FleetConfig {
@@ -106,6 +108,8 @@ impl FleetConfig {
             cluster_divergence: 0.05,
             resolve_divergence: 0.02,
             quiet_divergence: None,
+            quarantine_strikes: 3,
+            probation_epochs: 3,
         }
     }
 
@@ -161,6 +165,41 @@ impl FleetConfig {
         self.quiet_divergence = Some(threshold.max(0.0));
         self
     }
+
+    /// Strikes (invalid observations, ladder holds of the device's
+    /// cluster) before a device is quarantined. Clamped to ≥ 1. A
+    /// device's strikes are cleared by a successful solve of its
+    /// cluster, so only *persistent* trouble accumulates.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn quarantine_strikes(mut self, strikes: u32) -> Self {
+        self.quarantine_strikes = strikes.max(1);
+        self
+    }
+
+    /// Epochs a quarantined device sits out — excluded from estimation
+    /// and clustering, held on its last-good policy — before it is
+    /// re-admitted as healthy. Clamped to ≥ 1.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn probation_epochs(mut self, epochs: u64) -> Self {
+        self.probation_epochs = epochs.max(1);
+        self
+    }
+}
+
+/// The containment state of a managed device (see `docs/FLEET.md`,
+/// "Failure modes & recovery").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceHealth {
+    /// Behaving normally: telemetry screens clean and its cluster
+    /// solves.
+    #[default]
+    Healthy,
+    /// Carrying strikes but still fully managed; a successful solve of
+    /// its cluster heals it back to [`DeviceHealth::Healthy`].
+    Degraded,
+    /// Excluded from estimation and clustering, held on its last-good
+    /// policy until the probation window expires.
+    Quarantined,
 }
 
 /// What one [`FleetController::run_epoch`] call did, in the aggregate —
@@ -215,6 +254,30 @@ pub struct FleetReport {
     /// cluster has solved at least once, in device order (`None` until
     /// any cluster has solved).
     pub mean_power: Option<f64>,
+    /// Devices [`DeviceHealth::Healthy`] at the end of the epoch.
+    pub healthy: usize,
+    /// Devices [`DeviceHealth::Degraded`] at the end of the epoch.
+    pub degraded: usize,
+    /// Devices [`DeviceHealth::Quarantined`] at the end of the epoch.
+    pub quarantined: usize,
+    /// Strikes recorded this epoch (invalid observations reported by
+    /// the service layer, plus one per ladder hold against the failing
+    /// cluster's representative).
+    pub strikes: usize,
+    /// Devices that crossed into quarantine this epoch.
+    pub quarantines: usize,
+    /// Devices re-admitted from quarantine this epoch.
+    pub readmissions: usize,
+    /// Escalation-ladder rung 1: warm retries on the untouched session.
+    pub warm_retries: usize,
+    /// Escalation-ladder rung 2: solves after a forced refactorization.
+    pub forced_refactors: usize,
+    /// Escalation-ladder rung 3: cold rebuilds on a fresh fork of the
+    /// class base session.
+    pub cold_rebuilds: usize,
+    /// Escalation-ladder rung 4: clusters that exhausted the ladder and
+    /// held their last-good policy (exponential backoff arms).
+    pub holds: usize,
 }
 
 /// Phase-1 per-device scratch: whether the epoch recomputed the
@@ -244,6 +307,15 @@ pub(crate) struct Device {
     pub(crate) policy: Arc<RandomizedPolicy>,
     /// Per-epoch scratch: what phase 1 did to this device's gauge.
     pub(crate) fit_outcome: FitOutcome,
+    pub(crate) health: DeviceHealth,
+    /// Accumulated strikes; cleared by a successful cluster solve and
+    /// on re-admission.
+    pub(crate) strikes: u32,
+    /// Probation epochs left while quarantined.
+    pub(crate) probation_left: u64,
+    /// Per-epoch scratch: a strike was reported against this device
+    /// (invalid telemetry, or its cluster's ladder ended in a hold).
+    pub(crate) strike_pending: bool,
 }
 
 /// A device class: one LP shape, one base session every cluster forks.
@@ -255,7 +327,8 @@ pub(crate) struct DeviceClass {
     pub(crate) base_policy: Arc<RandomizedPolicy>,
 }
 
-/// The outcome of one cluster's re-solve attempt (per-epoch scratch).
+/// The outcome of one cluster's re-solve attempt (per-epoch scratch),
+/// including how far up the escalation ladder it had to climb.
 #[derive(Debug, Clone)]
 pub(crate) struct SolveOutcome {
     reload: Option<ReloadKind>,
@@ -263,6 +336,18 @@ pub(crate) struct SolveOutcome {
     symbolic_reuse: usize,
     infeasible: bool,
     error: Option<String>,
+    /// Rung 1: warm retries taken on the untouched session.
+    warm_retries: usize,
+    /// Rung 2: a forced refactorization preceded the last warm attempt.
+    forced_refactor: bool,
+    /// Rung 3 requested: the warm ladder failed; the sequential
+    /// cold-rebuild pass owns this cluster.
+    needs_cold: bool,
+    /// Rung 3 taken: a fresh fork of the class base solved the epoch.
+    cold_rebuilt: bool,
+    /// Rung 4: nothing solved — the last-good policy holds and the
+    /// cluster backs off exponentially.
+    held: bool,
 }
 
 /// A group of devices sharing one fitted regime, one LP session and one
@@ -287,6 +372,11 @@ pub(crate) struct Cluster {
     pub(crate) since_solve: u64,
     pub(crate) needs_solve: bool,
     pub(crate) outcome: Option<SolveOutcome>,
+    /// Consecutive epochs the escalation ladder ended in a hold.
+    pub(crate) consecutive_holds: u32,
+    /// Epochs left before a held cluster may try to solve again
+    /// (exponential in [`Cluster::consecutive_holds`]).
+    pub(crate) backoff_left: u64,
 }
 
 /// Max-abs distance between two flattened transition matrices — the
@@ -379,6 +469,7 @@ impl FleetController {
             optimizer = optimizer.max_request_loss_rate(bound);
         }
         let mut base = optimizer.prepare()?;
+        base.set_budget(config.solve_budget);
         let base_policy = Arc::new(base.solve()?.policy().clone());
 
         let class = self.classes.len();
@@ -424,6 +515,10 @@ impl FleetController {
             cluster: None,
             policy: Arc::clone(&device_class.base_policy),
             fit_outcome: FitOutcome::None,
+            health: DeviceHealth::Healthy,
+            strikes: 0,
+            probation_left: 0,
+            strike_pending: false,
         });
         Ok(self.devices.len() - 1)
     }
@@ -531,6 +626,23 @@ impl FleetController {
         self.devices[index].fit.as_ref()
     }
 
+    /// The containment state of device `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn device_health(&self, index: usize) -> DeviceHealth {
+        self.devices[index].health
+    }
+
+    /// Records a strike against device `index` (e.g. the service layer
+    /// rejected its raw telemetry). The strike is folded into the
+    /// health-state machine at the end of the next
+    /// [`Self::run_epoch`].
+    pub(crate) fn strike(&mut self, index: usize) {
+        self.devices[index].strike_pending = true;
+    }
+
     /// Per-epoch reports of the fleet so far.
     pub fn history(&self) -> &[FleetReport] {
         &self.history
@@ -579,7 +691,9 @@ impl FleetController {
         let evictions = self.maintain_clusters()?;
         self.gate_solves();
         self.solve_clusters();
-        let report = self.merge(evictions);
+        self.rebuild_cold();
+        let mut report = self.merge(evictions);
+        self.update_health(&mut report);
         self.epoch += 1;
         self.history.push(report.clone());
         Ok(report)
@@ -596,10 +710,16 @@ impl FleetController {
             for (shard, bits) in self.devices.chunks_mut(chunk).zip(arrivals.chunks(chunk)) {
                 s.spawn(move || {
                     for (device, stream) in shard.iter_mut().zip(bits) {
+                        device.fit_outcome = FitOutcome::None;
+                        // Quarantined devices neither feed nor fit: a
+                        // device suspected of emitting garbage must not
+                        // influence any model until re-admitted.
+                        if device.health == DeviceHealth::Quarantined {
+                            continue;
+                        }
                         for &b in stream {
                             device.estimator.observe(b);
                         }
-                        device.fit_outcome = FitOutcome::None;
                         if !device.estimator.is_ready() {
                             continue;
                         }
@@ -681,7 +801,9 @@ impl FleetController {
         // cluster order, else found a new one from a fork of the class
         // base session.
         for d in 0..self.devices.len() {
-            if self.devices[d].cluster.is_some() {
+            if self.devices[d].cluster.is_some()
+                || self.devices[d].health == DeviceHealth::Quarantined
+            {
                 continue;
             }
             let Some(flat) = self.devices[d].flat.clone() else {
@@ -699,7 +821,8 @@ impl FleetController {
                     self.devices[d].cluster = Some(c);
                 }
                 None => {
-                    let session = self.classes[class].base.fork()?;
+                    let mut session = self.classes[class].base.fork()?;
+                    session.set_budget(self.config.base.solve_budget);
                     self.devices[d].cluster = Some(self.clusters.len());
                     self.clusters.push(Cluster {
                         class,
@@ -716,6 +839,8 @@ impl FleetController {
                         since_solve: 0,
                         needs_solve: false,
                         outcome: None,
+                        consecutive_holds: 0,
+                        backoff_left: 0,
                     });
                 }
             }
@@ -726,13 +851,17 @@ impl FleetController {
     /// Phase 3 — sequential: the event gate. A cluster re-solves when it
     /// never has, or when its representative moved at least
     /// `resolve_divergence` since the last solved model *and* the
-    /// cooldown expired.
+    /// cooldown expired. A cluster the ladder held backs off
+    /// exponentially: it sits out `2^min(consecutive_holds, 6)` epochs
+    /// before the gate may fire again.
     fn gate_solves(&mut self) {
         let threshold = self.config.resolve_divergence;
         let cooldown = self.config.base.resolve_cooldown;
         for cluster in &mut self.clusters {
             cluster.outcome = None;
-            cluster.needs_solve = match cluster.last_solved.as_ref() {
+            let backing_off = cluster.backoff_left > 0;
+            cluster.backoff_left = cluster.backoff_left.saturating_sub(1);
+            let due = match cluster.last_solved.as_ref() {
                 None => true,
                 Some(solved) => {
                     let moved = gauge(&cluster.representative, solved) >= threshold;
@@ -741,6 +870,7 @@ impl FleetController {
                     moved && cooled
                 }
             };
+            cluster.needs_solve = due && !backing_off && !cluster.members.is_empty();
         }
     }
 
@@ -769,6 +899,64 @@ impl FleetController {
         });
     }
 
+    /// Phase 4b — sequential: rung 3 of the escalation ladder. Every
+    /// cluster whose warm ladder failed gets one cold rebuild — a fresh
+    /// fork of its class base session, re-swapped and re-solved. (The
+    /// class base session is not `Sync`, so forking cannot happen in
+    /// the parallel phase.) A cluster that fails even cold takes rung
+    /// 4: it holds its last-good policy and arms the exponential
+    /// backoff.
+    fn rebuild_cold(&mut self) {
+        let budget = self.config.base.solve_budget;
+        for c in 0..self.clusters.len() {
+            if !self.clusters[c]
+                .outcome
+                .as_ref()
+                .is_some_and(|o| o.needs_cold)
+            {
+                continue;
+            }
+            let class = self.clusters[c].class;
+            let rebuilt = self.classes[class].base.fork().and_then(|mut session| {
+                session.set_budget(budget);
+                let system = SystemModel::compose(
+                    self.classes[class].provider.clone(),
+                    self.clusters[c].rep_model.clone(),
+                    self.classes[class].queue,
+                )?;
+                session.update_model(system.chain())?;
+                let solution = session.solve()?;
+                Ok((session, solution))
+            });
+            let cluster = &mut self.clusters[c];
+            let outcome = cluster
+                .outcome
+                .as_mut()
+                .expect("needs_cold implies an outcome");
+            match rebuilt {
+                Ok((session, solution)) => {
+                    let report = solution.solve_report();
+                    outcome.pivots += report.iterations;
+                    outcome.symbolic_reuse += report.symbolic_reuse;
+                    outcome.cold_rebuilt = true;
+                    outcome.error = None;
+                    cluster.session = session;
+                    cluster.adopt(&solution);
+                }
+                Err(DpmError::Infeasible) => {
+                    outcome.infeasible = true;
+                    outcome.error = None;
+                }
+                Err(e) => {
+                    outcome.error = Some(e.to_string());
+                    outcome.held = true;
+                    cluster.consecutive_holds = cluster.consecutive_holds.saturating_add(1);
+                    cluster.backoff_left = 1u64 << cluster.consecutive_holds.min(6);
+                }
+            }
+        }
+    }
+
     /// Phase 5 — sequential, in device/cluster order: fold the epoch
     /// into a report and share each cluster's policy with its members.
     fn merge(&mut self, evictions: usize) -> FleetReport {
@@ -789,6 +977,16 @@ impl FleetController {
             infeasible: 0,
             errors: 0,
             mean_power: None,
+            healthy: 0,
+            degraded: 0,
+            quarantined: 0,
+            strikes: 0,
+            quarantines: 0,
+            readmissions: 0,
+            warm_retries: 0,
+            forced_refactors: 0,
+            cold_rebuilds: 0,
+            holds: 0,
         };
         for cluster in &self.clusters {
             match cluster.outcome.as_ref() {
@@ -807,6 +1005,16 @@ impl FleetController {
                     }
                     if outcome.error.is_some() {
                         report.errors += 1;
+                    }
+                    report.warm_retries += outcome.warm_retries;
+                    if outcome.forced_refactor {
+                        report.forced_refactors += 1;
+                    }
+                    if outcome.cold_rebuilt {
+                        report.cold_rebuilds += 1;
+                    }
+                    if outcome.held {
+                        report.holds += 1;
                     }
                 }
             }
@@ -832,13 +1040,96 @@ impl FleetController {
         }
         report
     }
+
+    /// Phase 6 — sequential: the health-state machine. Ladder holds
+    /// strike the failing cluster's representative (its model is what
+    /// kept failing); successful solves clear their members' records;
+    /// devices at the strike limit are quarantined onto their last-good
+    /// policy; probation windows tick down and expire into re-admission.
+    fn update_health(&mut self, report: &mut FleetReport) {
+        let limit = self.config.quarantine_strikes.max(1);
+        let probation = self.config.probation_epochs.max(1);
+        let mut cleared = Vec::new();
+        for cluster in &self.clusters {
+            let Some(outcome) = cluster.outcome.as_ref() else {
+                continue;
+            };
+            if outcome.held {
+                if let Some(&rep) = cluster.members.first() {
+                    self.devices[rep].strike_pending = true;
+                }
+            } else if outcome.error.is_none() && !outcome.infeasible {
+                cleared.extend_from_slice(&cluster.members);
+            }
+        }
+        for d in cleared {
+            let device = &mut self.devices[d];
+            if !device.strike_pending && device.health == DeviceHealth::Degraded {
+                device.strikes = 0;
+                device.health = DeviceHealth::Healthy;
+            }
+        }
+        let mut quarantined_now = Vec::new();
+        for (d, device) in self.devices.iter_mut().enumerate() {
+            if device.health == DeviceHealth::Quarantined {
+                device.strike_pending = false;
+                device.probation_left = device.probation_left.saturating_sub(1);
+                if device.probation_left == 0 {
+                    device.health = DeviceHealth::Healthy;
+                    device.strikes = 0;
+                    report.readmissions += 1;
+                }
+            } else if std::mem::take(&mut device.strike_pending) {
+                report.strikes += 1;
+                device.strikes = device.strikes.saturating_add(1);
+                if device.strikes >= limit {
+                    device.health = DeviceHealth::Quarantined;
+                    device.probation_left = probation;
+                    report.quarantines += 1;
+                    if let Some(c) = device.cluster.take() {
+                        quarantined_now.push((d, c));
+                    }
+                } else {
+                    device.health = DeviceHealth::Degraded;
+                }
+            }
+        }
+        // Evict the newly quarantined from their clusters; a cluster
+        // left empty is garbage-collected by the next epoch's
+        // maintenance and never strikes or solves meanwhile.
+        for (d, c) in quarantined_now {
+            self.clusters[c].members.retain(|&m| m != d);
+        }
+        for device in &self.devices {
+            match device.health {
+                DeviceHealth::Healthy => report.healthy += 1,
+                DeviceHealth::Degraded => report.degraded += 1,
+                DeviceHealth::Quarantined => report.quarantined += 1,
+            }
+        }
+    }
 }
 
 impl Cluster {
+    /// Records a successful solve: adopt the policy, clear the hold
+    /// backoff, restart the event-gate cooldown.
+    fn adopt(&mut self, solution: &dpm_core::PolicySolution) {
+        self.policy = Arc::new(solution.policy().clone());
+        self.power = Some(solution.power_per_slice());
+        self.last_solved = Some(self.representative.clone());
+        self.since_solve = 0;
+        self.consecutive_holds = 0;
+        self.backoff_left = 0;
+    }
+
     /// Recomposes the class system around the representative model,
-    /// swaps it into the cluster's forked session and re-solves. On
-    /// success the cluster's shared policy is replaced; on any failure
-    /// the previous policy stands.
+    /// swaps it into the cluster's forked session and re-solves,
+    /// climbing the warm rungs of the escalation ladder on failure:
+    /// plain solve → warm retry → forced refactorization. A cluster
+    /// that exhausts the warm rungs is handed to the sequential
+    /// cold-rebuild pass via [`SolveOutcome::needs_cold`]. On success
+    /// the cluster's shared policy is replaced; on any failure the
+    /// previous policy stands.
     fn resolve(&mut self, provider: &ServiceProvider, queue: ServiceQueue) -> SolveOutcome {
         let mut outcome = SolveOutcome {
             reload: None,
@@ -846,6 +1137,11 @@ impl Cluster {
             symbolic_reuse: 0,
             infeasible: false,
             error: None,
+            warm_retries: 0,
+            forced_refactor: false,
+            needs_cold: false,
+            cold_rebuilt: false,
+            held: false,
         };
         let system = match SystemModel::compose(provider.clone(), self.rep_model.clone(), queue) {
             Ok(system) => system,
@@ -861,29 +1157,45 @@ impl Cluster {
                 return outcome;
             }
         }
-        match self.session.solve() {
-            Ok(solution) => {
-                let report = solution.solve_report();
-                outcome.pivots = report.iterations;
-                outcome.symbolic_reuse = report.symbolic_reuse;
-                self.policy = Arc::new(solution.policy().clone());
-                self.power = Some(solution.power_per_slice());
-                self.last_solved = Some(self.representative.clone());
-                self.since_solve = 0;
+        for attempt in 0..3 {
+            if attempt == 2 {
+                // Rung 2: a budget-exhausted or numerically troubled
+                // basis may be beyond warm repair — rebuild the factors
+                // from scratch before the last warm attempt.
+                outcome.forced_refactor = true;
+                self.session.force_refactor();
             }
-            Err(DpmError::Infeasible) => {
-                let report = self.session.last_report();
-                outcome.pivots = report.iterations;
-                outcome.symbolic_reuse = report.symbolic_reuse;
-                outcome.infeasible = true;
-            }
-            Err(e) => {
-                let report = self.session.last_report();
-                outcome.pivots = report.iterations;
-                outcome.symbolic_reuse = report.symbolic_reuse;
-                outcome.error = Some(e.to_string());
+            match self.session.solve() {
+                Ok(solution) => {
+                    let report = solution.solve_report();
+                    outcome.pivots += report.iterations;
+                    outcome.symbolic_reuse += report.symbolic_reuse;
+                    // A recovered solve is a clean solve: earlier rungs'
+                    // errors are part of the journey, not the verdict.
+                    outcome.error = None;
+                    self.adopt(&solution);
+                    return outcome;
+                }
+                Err(DpmError::Infeasible) => {
+                    let report = self.session.last_report();
+                    outcome.pivots += report.iterations;
+                    outcome.symbolic_reuse += report.symbolic_reuse;
+                    outcome.infeasible = true;
+                    outcome.error = None;
+                    return outcome;
+                }
+                Err(e) => {
+                    let report = self.session.last_report();
+                    outcome.pivots += report.iterations;
+                    outcome.symbolic_reuse += report.symbolic_reuse;
+                    outcome.error = Some(e.to_string());
+                    if attempt == 0 {
+                        outcome.warm_retries += 1;
+                    }
+                }
             }
         }
+        outcome.needs_cold = true;
         outcome
     }
 }

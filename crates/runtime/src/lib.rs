@@ -63,14 +63,14 @@
 pub mod fleet;
 pub mod service;
 
-pub use fleet::{FleetConfig, FleetController, FleetReport};
+pub use fleet::{DeviceHealth, FleetConfig, FleetController, FleetReport};
 pub use service::{ClassId, DeviceId, FleetService, RestoreReport, SnapshotError};
 
 use dpm_core::{
     DpmError, PolicyOptimizer, PreparedOptimization, ServiceProvider, ServiceQueue,
     ServiceRequester, SolverKind, SystemModel,
 };
-use dpm_lp::{ReloadKind, SolveReport};
+use dpm_lp::{ReloadKind, SolveBudget, SolveReport};
 use dpm_mdp::RandomizedPolicy;
 use dpm_sim::{Observation, PowerManager};
 use dpm_trace::{SrExtractor, WindowKind, WindowedEstimator};
@@ -100,6 +100,7 @@ pub struct AdaptiveConfig {
     pub(crate) resolve_cooldown: u64,
     pub(crate) blend_fits: bool,
     pub(crate) wake_command: usize,
+    pub(crate) solve_budget: SolveBudget,
 }
 
 impl Default for AdaptiveConfig {
@@ -124,6 +125,7 @@ impl AdaptiveConfig {
             resolve_cooldown: 0,
             blend_fits: false,
             wake_command: 0,
+            solve_budget: SolveBudget::UNLIMITED,
         }
     }
 
@@ -237,6 +239,21 @@ impl AdaptiveConfig {
         self
     }
 
+    /// Caps the work of every solve on the standing session (pivots
+    /// and/or refactorizations, see [`SolveBudget`]). An exhausted
+    /// budget is a planned, recoverable stop: the epoch climbs the
+    /// escalation ladder (warm retry resumes from the partial basis,
+    /// then forced refactorization, then a cold rebuild) and in the
+    /// worst case holds the last-good policy under exponential backoff.
+    /// Unlimited by default. The construction-time solve runs under the
+    /// same budget, so a budget too small for one cold solve fails
+    /// construction.
+    #[must_use = "builder methods return the configured value; dropping it discards the configuration"]
+    pub fn solve_budget(mut self, budget: SolveBudget) -> Self {
+        self.solve_budget = budget;
+        self
+    }
+
     /// The command issued unconditionally while an epoch's constraints
     /// are infeasible under the fitted model — serve-at-all-costs until
     /// a later epoch becomes feasible again.
@@ -251,6 +268,28 @@ impl AdaptiveConfig {
             (4 * self.epoch_slices as usize).max(self.memory as usize + 1),
         ))
     }
+}
+
+/// The highest rung of the failure-escalation ladder an epoch's
+/// re-solve climbed before it produced an answer (or gave up). Rungs
+/// are tried in order; each is strictly more expensive and strictly
+/// more likely to recover than the one before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderRung {
+    /// The first warm attempt solved — the everyday path.
+    Direct,
+    /// The retry on the untouched session solved (a budget-exhausted
+    /// solve resumes from its partial basis, so a retry finishes work
+    /// the first attempt started).
+    WarmRetry,
+    /// The solve after a forced basis refactorization solved.
+    ForcedRefactor,
+    /// A cold re-prepare of the whole problem solved; the standing
+    /// session was replaced.
+    ColdRebuild,
+    /// Nothing solved: the last-good policy holds and the re-solve
+    /// cadence backs off exponentially.
+    Hold,
 }
 
 /// What one epoch of the adaptation loop did — the runtime's flight
@@ -284,6 +323,9 @@ pub struct EpochRecord {
     /// Non-infeasibility failure of the swap/solve, if any (the
     /// controller keeps the previous policy and carries on).
     pub error: Option<String>,
+    /// The highest escalation-ladder rung this epoch's re-solve climbed
+    /// (`None` when the epoch was skipped or failed before any solve).
+    pub rung: Option<LadderRung>,
     /// Model-predicted power per slice of the swapped-in policy.
     pub power_per_slice: Option<f64>,
     /// Model-predicted performance penalty per slice of the swapped-in
@@ -330,6 +372,9 @@ pub struct AdaptiveController {
     next_refresh: u64,
     /// Epoch boundaries left before the re-solve cooldown expires.
     cooldown_left: u64,
+    /// Consecutive epochs the escalation ladder ended in a hold — the
+    /// exponent of the backoff.
+    consecutive_holds: u32,
     label: String,
 }
 
@@ -389,6 +434,7 @@ impl AdaptiveController {
             optimizer = optimizer.max_request_loss_rate(bound);
         }
         let mut prepared = optimizer.prepare()?;
+        prepared.set_budget(config.solve_budget);
         let initial = prepared.solve()?;
         let initial_policy = initial.policy().clone();
 
@@ -411,6 +457,7 @@ impl AdaptiveController {
             initial_policy,
             epochs: Vec::new(),
             cooldown_left: 0,
+            consecutive_holds: 0,
             label,
         })
     }
@@ -454,6 +501,14 @@ impl AdaptiveController {
     /// Epochs the drift gate skipped (kept the policy, no solve).
     pub fn skipped_epochs(&self) -> usize {
         self.epochs.iter().filter(|e| !e.refreshed).count()
+    }
+
+    /// Epochs whose escalation ladder ended in a last-good-policy hold.
+    pub fn held_epochs(&self) -> usize {
+        self.epochs
+            .iter()
+            .filter(|e| e.rung == Some(LadderRung::Hold))
+            .count()
     }
 
     /// Total simplex pivots spent by the per-epoch re-solves.
@@ -529,6 +584,7 @@ impl AdaptiveController {
             report: None,
             infeasible: false,
             error: None,
+            rung: None,
             power_per_slice: None,
             performance_per_slice: None,
         };
@@ -551,9 +607,46 @@ impl AdaptiveController {
         self.epochs.push(record);
     }
 
+    /// Adopts a solved epoch into the record and the active policy.
+    fn adopt(
+        &mut self,
+        solution: &dpm_core::PolicySolution,
+        rung: LadderRung,
+        record: &mut EpochRecord,
+    ) -> Result<(), DpmError> {
+        record.rung = Some(rung);
+        record.report = Some(solution.solve_report().clone());
+        record.power_per_slice = Some(solution.power_per_slice());
+        record.performance_per_slice = Some(solution.performance_per_slice());
+        self.policy = ActivePolicy::Table(self.off_measure_guard(solution)?);
+        self.consecutive_holds = 0;
+        Ok(())
+    }
+
+    /// A fresh prepared session for `system` under the configured
+    /// bounds and budget — rung 3 of the escalation ladder.
+    fn reprepare(&self, system: &SystemModel) -> Result<PreparedOptimization, DpmError> {
+        let config = &self.config;
+        let mut optimizer = PolicyOptimizer::new(system)
+            .discount(config.discount)
+            .solver(config.solver);
+        if let Some(bound) = config.max_performance_penalty {
+            optimizer = optimizer.max_performance_penalty(bound);
+        }
+        if let Some(bound) = config.max_request_loss_rate {
+            optimizer = optimizer.max_request_loss_rate(bound);
+        }
+        let mut prepared = optimizer.prepare()?;
+        prepared.set_budget(config.solve_budget);
+        Ok(prepared)
+    }
+
     /// Recomposes the system around the fitted SR and swaps it into the
     /// standing session; on success the re-solved policy replaces the
     /// active one, on infeasibility the fallback command takes over.
+    /// Solve failures climb the escalation ladder: warm retry → forced
+    /// refactorization → cold rebuild of the whole session → hold the
+    /// last-good policy with exponential cooldown backoff.
     fn hot_swap(
         &mut self,
         fitted: ServiceRequester,
@@ -561,23 +654,57 @@ impl AdaptiveController {
     ) -> Result<(), DpmError> {
         let system = SystemModel::compose(self.provider.clone(), fitted, self.queue)?;
         record.reload = Some(self.prepared.update_model(system.chain())?);
-        match self.prepared.solve() {
-            Ok(solution) => {
-                record.report = Some(solution.solve_report().clone());
-                record.power_per_slice = Some(solution.power_per_slice());
-                record.performance_per_slice = Some(solution.performance_per_slice());
-                self.policy = ActivePolicy::Table(self.off_measure_guard(&solution)?);
-                Ok(())
+        let warm_rungs = [
+            LadderRung::Direct,
+            LadderRung::WarmRetry,
+            LadderRung::ForcedRefactor,
+        ];
+        for rung in warm_rungs {
+            if rung == LadderRung::ForcedRefactor {
+                self.prepared.force_refactor();
+            }
+            match self.prepared.solve() {
+                Ok(solution) => return self.adopt(&solution, rung, record),
+                Err(DpmError::Infeasible) => {
+                    record.rung = Some(rung);
+                    record.infeasible = true;
+                    record.report = Some(self.prepared.last_report().clone());
+                    self.policy = ActivePolicy::Fallback;
+                    self.consecutive_holds = 0;
+                    return Ok(());
+                }
+                Err(_) => record.report = Some(self.prepared.last_report().clone()),
+            }
+        }
+        // Rung 3: rebuild the whole prepared session from scratch. The
+        // old session (and its poisoned/exhausted basis) is replaced
+        // only if the rebuild itself succeeds.
+        let cold = self.reprepare(&system).and_then(|mut prepared| {
+            let solved = prepared.solve();
+            solved.map(|solution| (prepared, solution))
+        });
+        match cold {
+            Ok((prepared, solution)) => {
+                self.prepared = prepared;
+                self.adopt(&solution, LadderRung::ColdRebuild, record)
             }
             Err(DpmError::Infeasible) => {
+                record.rung = Some(LadderRung::ColdRebuild);
                 record.infeasible = true;
-                record.report = Some(self.prepared.last_report().clone());
                 self.policy = ActivePolicy::Fallback;
+                self.consecutive_holds = 0;
                 Ok(())
             }
-            // Numerical trouble: keep the previous policy, stay alive.
+            // Rung 4: hold the last-good policy; back off exponentially
+            // so a persistently failing problem is not hammered every
+            // epoch (capped at 64 epochs).
             Err(e) => {
-                record.report = Some(self.prepared.last_report().clone());
+                record.rung = Some(LadderRung::Hold);
+                self.consecutive_holds = self.consecutive_holds.saturating_add(1);
+                self.cooldown_left = self
+                    .config
+                    .resolve_cooldown
+                    .max(1u64 << self.consecutive_holds.min(6));
                 Err(e)
             }
         }
@@ -620,6 +747,7 @@ impl PowerManager for AdaptiveController {
         self.epochs.clear();
         self.next_refresh = self.config.epoch_slices;
         self.cooldown_left = 0;
+        self.consecutive_holds = 0;
     }
 
     fn name(&self) -> String {

@@ -81,7 +81,7 @@ use std::sync::Arc;
 use dpm_core::{DpmError, ServiceRequester, SystemModel};
 use dpm_mdp::RandomizedPolicy;
 
-use crate::fleet::{FleetConfig, FleetController, FleetReport};
+use crate::fleet::{DeviceHealth, FleetConfig, FleetController, FleetReport};
 
 pub use snapshot::{RestoreReport, SnapshotError};
 
@@ -237,6 +237,51 @@ impl FleetService {
             dense[idx] = stream.clone();
         }
         self.controller.run_epoch(&dense)
+    }
+
+    /// One adaptation epoch fed with **raw telemetry** instead of
+    /// pre-validated 0/1 streams: each device's stream of per-slice
+    /// arrival counts as `f64`s, exactly as a collector would report
+    /// them. Every stream is screened at the ingest boundary
+    /// ([`dpm_trace::screen_arrivals`]); a device whose stream fails
+    /// screening (NaN, ±∞, negative or non-integral counts) takes a
+    /// strike on the health-state machine and idles this epoch — its
+    /// poisoned data never reaches an estimator window. Devices with
+    /// clean streams run the ordinary [`Self::run_epoch`].
+    ///
+    /// # Errors
+    ///
+    /// [`DpmError::BadConfiguration`] for an unknown/retired id or a
+    /// duplicate entry; a *rejected stream* is not an error — rejection
+    /// is the containment working.
+    pub fn run_epoch_telemetry(
+        &mut self,
+        telemetry: &[(DeviceId, Vec<f64>)],
+    ) -> Result<FleetReport, DpmError> {
+        let mut clean = Vec::with_capacity(telemetry.len());
+        let mut rejected = Vec::new();
+        for (id, raw) in telemetry {
+            let Some(&idx) = self.index.get(&id.0) else {
+                return Err(DpmError::BadConfiguration {
+                    reason: format!("epoch telemetry addresses {id}, which is unknown or removed"),
+                });
+            };
+            match dpm_trace::screen_arrivals(raw) {
+                Ok(bits) => clean.push((*id, bits)),
+                Err(_) => rejected.push(idx),
+            }
+        }
+        for idx in rejected {
+            self.controller.strike(idx);
+        }
+        self.run_epoch(&clean)
+    }
+
+    /// The containment state of `id` (`None` for an unknown or retired
+    /// id).
+    pub fn health_of(&self, id: DeviceId) -> Option<DeviceHealth> {
+        let &idx = self.index.get(&id.0)?;
+        Some(self.controller.device_health(idx))
     }
 
     /// Devices currently in the fleet.

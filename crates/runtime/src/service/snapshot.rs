@@ -1,27 +1,37 @@
 //! The versioned binary snapshot behind [`FleetService::checkpoint`] /
 //! [`FleetService::restore`] — serde-free, in-house writer/reader.
 //!
-//! # Format (version 1)
+//! # Format (version 2)
 //!
 //! All integers little-endian; `f64` as IEEE-754 bit patterns
 //! ([`f64::to_bits`]), so a round trip is **bit-identical**. Layout:
 //!
 //! ```text
 //! magic   b"DPMFLEET"                      8 bytes
-//! version u32                              currently 1
-//! section*                                 tag u32, payload-len u64, payload
-//! end     tag 0, len 0
+//! version u32                              currently 2
+//! section*                                 tag u32, payload-len u64, payload, crc32 u32
+//! end     tag 0, len 0, crc32 u32
 //! ```
 //!
-//! Sections (each at most once; unknown tags are skipped so later
-//! versions can append):
+//! Each section frame (tag + length + payload) is closed by its CRC-32
+//! (IEEE 802.3 polynomial) over the whole frame, so any bit flip —
+//! payload, tag or length — surfaces as
+//! [`SnapshotError::ChecksumMismatch`] instead of being decoded into
+//! plausible-looking state, and a truncated stream surfaces as
+//! [`SnapshotError::Truncated`]. Version-1 snapshots (no CRCs, no
+//! health fields) remain readable; a snapshot with a version newer
+//! than this build is rejected with
+//! [`SnapshotError::UnsupportedVersion`] rather than misparsed.
+//!
+//! Sections (each at most once; unknown tags are skipped — after CRC
+//! verification — so later versions can append):
 //!
 //! | tag | name     | payload                                          |
 //! |-----|----------|--------------------------------------------------|
 //! | 1   | META     | epoch, next device id, per-class LP fingerprints |
 //! | 2   | POLICIES | deduplicated randomized-policy table             |
-//! | 3   | DEVICES  | per device: id, class, cluster, policy index, fitted SR, full estimator state |
-//! | 4   | CLUSTERS | per cluster: class, members, representative, last-solved model, policy index, power, cooldown |
+//! | 3   | DEVICES  | per device: id, class, cluster, policy index, fitted SR, full estimator state; v2 adds health, strikes, probation |
+//! | 4   | CLUSTERS | per cluster: class, members, representative, last-solved model, policy index, power, cooldown; v2 adds hold/backoff counters |
 //!
 //! Policies are written once each and referenced by table index, so the
 //! `Arc` sharing between a cluster and its member devices survives the
@@ -40,13 +50,16 @@ use dpm_markov::StochasticMatrix;
 use dpm_mdp::RandomizedPolicy;
 use dpm_trace::EstimatorState;
 
-use crate::fleet::{flatten, Cluster, Device, FitOutcome, FleetController};
+use crate::fleet::{flatten, Cluster, Device, DeviceHealth, FitOutcome, FleetController};
 use crate::service::{DeviceId, FleetService};
 
 /// Magic bytes opening every snapshot.
 const MAGIC: &[u8; 8] = b"DPMFLEET";
-/// The format version this build writes and reads.
-const VERSION: u32 = 1;
+/// The newest format version: what this build writes, and the ceiling
+/// of what it reads.
+const VERSION: u32 = 2;
+/// The oldest version this build still reads (no CRCs, no health).
+const OLDEST_VERSION: u32 = 1;
 
 const TAG_END: u32 = 0;
 const TAG_META: u32 = 1;
@@ -62,11 +75,35 @@ const NO_CLUSTER: u64 = u64::MAX;
 pub enum SnapshotError {
     /// The underlying reader/writer failed.
     Io(std::io::Error),
-    /// The snapshot is malformed, truncated or of an unsupported
-    /// version.
+    /// The snapshot is structurally malformed (bad magic, inconsistent
+    /// framing, undecodable payload).
     Format {
         /// What was wrong with the byte stream.
         reason: String,
+    },
+    /// A section's CRC-32 does not match its frame: the snapshot was
+    /// corrupted in storage or transit (bit flips, partial overwrite).
+    ChecksumMismatch {
+        /// The corrupted section's tag.
+        tag: u32,
+        /// The CRC-32 recomputed over the frame as read.
+        expected: u32,
+        /// The CRC-32 stored in the snapshot.
+        found: u32,
+    },
+    /// The byte stream ended before the structure it promised — a
+    /// truncated file or interrupted download.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        what: String,
+    },
+    /// The snapshot was written by a newer build than this reader:
+    /// refusing to guess at an unknown layout.
+    UnsupportedVersion {
+        /// The version stamped in the snapshot.
+        found: u32,
+        /// The newest version this build reads.
+        newest: u32,
     },
     /// The snapshot does not belong to this service (class count or
     /// LP shape differs, or internal references are inconsistent).
@@ -84,6 +121,22 @@ impl std::fmt::Display for SnapshotError {
         match self {
             SnapshotError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
             SnapshotError::Format { reason } => write!(f, "malformed snapshot: {reason}"),
+            SnapshotError::ChecksumMismatch {
+                tag,
+                expected,
+                found,
+            } => write!(
+                f,
+                "snapshot section {tag} is corrupted: stored CRC-32 {found:#010x} \
+                 does not match recomputed {expected:#010x}"
+            ),
+            SnapshotError::Truncated { what } => {
+                write!(f, "snapshot truncated while reading {what}")
+            }
+            SnapshotError::UnsupportedVersion { found, newest } => write!(
+                f,
+                "snapshot version {found} is newer than this reader (newest supported: {newest})"
+            ),
             SnapshotError::Mismatch { reason } => {
                 write!(f, "snapshot does not match this service: {reason}")
             }
@@ -118,6 +171,41 @@ fn format_err(reason: impl Into<String>) -> SnapshotError {
     SnapshotError::Format {
         reason: reason.into(),
     }
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven and
+// dependency-free.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 of `bytes` (IEEE polynomial, init/xorout `!0`).
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
 }
 
 fn mismatch_err(reason: impl Into<String>) -> SnapshotError {
@@ -241,7 +329,9 @@ impl<'a> Cursor<'a> {
             .pos
             .checked_add(n)
             .filter(|&end| end <= self.buf.len())
-            .ok_or_else(|| format_err(format!("truncated while reading {what}")))?;
+            .ok_or_else(|| SnapshotError::Truncated {
+                what: what.to_string(),
+            })?;
         let bytes = &self.buf[self.pos..end];
         self.pos = end;
         Ok(bytes)
@@ -372,6 +462,16 @@ pub(crate) fn write_snapshot(
     service: &FleetService,
     writer: &mut impl Write,
 ) -> Result<(), SnapshotError> {
+    write_snapshot_versioned(service, writer, VERSION)
+}
+
+/// Version-parameterized writer: `1` reproduces the legacy CRC-free
+/// layout (kept for the backward-compat tests), `2` the current one.
+fn write_snapshot_versioned(
+    service: &FleetService,
+    writer: &mut impl Write,
+    version: u32,
+) -> Result<(), SnapshotError> {
     let ctl = &service.controller;
 
     // Policy table, deduplicated by allocation so sharing survives.
@@ -445,6 +545,15 @@ pub(crate) fn write_snapshot(
         }
         put_opt_pairs(&mut devices, state.blend_prior.as_ref());
         put_opt_pairs(&mut devices, state.counts_at_fit.as_ref());
+        if version >= 2 {
+            devices.push(match device.health {
+                DeviceHealth::Healthy => 0,
+                DeviceHealth::Degraded => 1,
+                DeviceHealth::Quarantined => 2,
+            });
+            put_u32(&mut devices, device.strikes);
+            put_u64(&mut devices, device.probation_left);
+        }
     }
 
     let mut clusters = Vec::new();
@@ -467,22 +576,31 @@ pub(crate) fn write_snapshot(
             None => put_bool(&mut clusters, false),
         }
         put_u64(&mut clusters, cluster.since_solve);
+        if version >= 2 {
+            put_u32(&mut clusters, cluster.consecutive_holds);
+            put_u64(&mut clusters, cluster.backoff_left);
+        }
     }
 
     writer.write_all(MAGIC)?;
-    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&version.to_le_bytes())?;
+    let empty = Vec::new();
     for (tag, payload) in [
         (TAG_META, &meta),
         (TAG_POLICIES, &policies),
         (TAG_DEVICES, &devices),
         (TAG_CLUSTERS, &clusters),
+        (TAG_END, &empty),
     ] {
-        writer.write_all(&tag.to_le_bytes())?;
-        writer.write_all(&(payload.len() as u64).to_le_bytes())?;
-        writer.write_all(payload)?;
+        let mut frame = Vec::with_capacity(12 + payload.len());
+        frame.extend_from_slice(&tag.to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        frame.extend_from_slice(payload);
+        writer.write_all(&frame)?;
+        if version >= 2 {
+            writer.write_all(&crc32(&frame).to_le_bytes())?;
+        }
     }
-    writer.write_all(&TAG_END.to_le_bytes())?;
-    writer.write_all(&0u64.to_le_bytes())?;
     Ok(())
 }
 
@@ -511,60 +629,77 @@ fn sr_from_flat(
     Ok(ServiceRequester::with_names(matrix, requests, names)?)
 }
 
-fn read_u32_from(reader: &mut impl Read) -> Result<u32, SnapshotError> {
-    let mut bytes = [0u8; 4];
-    reader.read_exact(&mut bytes)?;
-    Ok(u32::from_le_bytes(bytes))
-}
-
-fn read_u64_from(reader: &mut impl Read) -> Result<u64, SnapshotError> {
-    let mut bytes = [0u8; 8];
-    reader.read_exact(&mut bytes)?;
-    Ok(u64::from_le_bytes(bytes))
-}
-
 pub(crate) fn read_snapshot(
     service: &mut FleetService,
     reader: &mut impl Read,
 ) -> Result<RestoreReport, SnapshotError> {
-    let mut magic = [0u8; 8];
-    reader.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    // Buffer the whole stream first: every length field is then checked
+    // against real bytes before any allocation, so a corrupted length
+    // can never trigger a huge allocation or an unbounded read.
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    let bytes = bytes.as_slice();
+    let mut top = Cursor::new(bytes);
+    let magic = top.take(8, "magic")?;
+    if magic != MAGIC {
         return Err(format_err("bad magic (not a fleet snapshot)"));
     }
-    let version = read_u32_from(reader)?;
-    if version != VERSION {
+    let version = top.u32("version")?;
+    if version > VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            newest: VERSION,
+        });
+    }
+    if version < OLDEST_VERSION {
         return Err(format_err(format!(
-            "unsupported snapshot version {version} (this build reads {VERSION})"
+            "snapshot version {version} predates the oldest supported ({OLDEST_VERSION})"
         )));
     }
-    let mut sections: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+    let mut sections: BTreeMap<u32, &[u8]> = BTreeMap::new();
     loop {
-        let tag = read_u32_from(reader)?;
-        let len = usize::try_from(read_u64_from(reader)?)
+        let frame_start = top.pos;
+        let tag = top.u32("section tag")?;
+        let len = usize::try_from(top.u64("section length")?)
             .map_err(|_| format_err("section length overflows usize"))?;
+        let payload = top.take(len, "section payload")?;
+        if version >= 2 {
+            let found = top.u32("section checksum")?;
+            let expected = crc32(&bytes[frame_start..frame_start + 12 + len]);
+            if found != expected {
+                return Err(SnapshotError::ChecksumMismatch {
+                    tag,
+                    expected,
+                    found,
+                });
+            }
+        }
         if tag == TAG_END {
             if len != 0 {
                 return Err(format_err("end marker carries a payload"));
             }
             break;
         }
-        let mut payload = vec![0u8; len];
-        reader.read_exact(&mut payload)?;
         if sections.insert(tag, payload).is_some() {
             return Err(format_err(format!("duplicate section tag {tag}")));
         }
     }
-    let section = |tag: u32, name: &str| -> Result<Vec<u8>, SnapshotError> {
+    if top.pos != bytes.len() {
+        return Err(format_err(format!(
+            "{} trailing bytes after the end marker",
+            bytes.len() - top.pos
+        )));
+    }
+    let section = |tag: u32, name: &str| -> Result<&[u8], SnapshotError> {
         sections
             .get(&tag)
-            .cloned()
+            .copied()
             .ok_or_else(|| format_err(format!("missing {name} section")))
     };
 
     // META: epoch, id bookkeeping, class fingerprints.
     let meta = section(TAG_META, "META")?;
-    let mut cur = Cursor::new(&meta);
+    let mut cur = Cursor::new(meta);
     let epoch = cur.u64("epoch")?;
     let next_id = cur.u64("next id")?;
     let nclasses = cur.len("class count", 16)?;
@@ -592,7 +727,7 @@ pub(crate) fn read_snapshot(
 
     // POLICIES: the deduplicated table.
     let policies = section(TAG_POLICIES, "POLICIES")?;
-    let mut cur = Cursor::new(&policies);
+    let mut cur = Cursor::new(policies);
     let npolicies = cur.len("policy count", 16)?;
     let mut table = Vec::with_capacity(npolicies);
     for _ in 0..npolicies {
@@ -613,7 +748,7 @@ pub(crate) fn read_snapshot(
 
     // DEVICES: estimators, fits, cluster assignments, ids.
     let devices_bytes = section(TAG_DEVICES, "DEVICES")?;
-    let mut cur = Cursor::new(&devices_bytes);
+    let mut cur = Cursor::new(devices_bytes);
     let ndevices = cur.len("device count", 1)?;
     let mut devices = Vec::with_capacity(ndevices);
     let mut ids = Vec::with_capacity(ndevices);
@@ -669,6 +804,25 @@ pub(crate) fn read_snapshot(
         };
         let blend_prior = cur.opt_pairs("estimator blend prior")?;
         let counts_at_fit = cur.opt_pairs("estimator counts at fit")?;
+        let (health, strikes, probation_left) = if version >= 2 {
+            let health = match cur.u8("device health")? {
+                0 => DeviceHealth::Healthy,
+                1 => DeviceHealth::Degraded,
+                2 => DeviceHealth::Quarantined,
+                b => {
+                    return Err(format_err(format!(
+                        "device {d} has unknown health byte {b}"
+                    )))
+                }
+            };
+            (
+                health,
+                cur.u32("device strikes")?,
+                cur.u64("device probation")?,
+            )
+        } else {
+            (DeviceHealth::Healthy, 0, 0)
+        };
         let mut estimator = FleetController::build_estimator(&ctl.config.base)?;
         estimator.import_state(EstimatorState {
             counts,
@@ -690,6 +844,10 @@ pub(crate) fn read_snapshot(
             cluster,
             policy: Arc::clone(policy),
             fit_outcome: FitOutcome::None,
+            health,
+            strikes,
+            probation_left,
+            strike_pending: false,
         });
     }
     cur.finish("DEVICES")?;
@@ -698,7 +856,7 @@ pub(crate) fn read_snapshot(
     // the class base and replaying one warm solve of the last-solved
     // model.
     let clusters_bytes = section(TAG_CLUSTERS, "CLUSTERS")?;
-    let mut cur = Cursor::new(&clusters_bytes);
+    let mut cur = Cursor::new(clusters_bytes);
     let nclusters = cur.len("cluster count", 1)?;
     let mut clusters = Vec::with_capacity(nclusters);
     let mut report = RestoreReport {
@@ -739,6 +897,11 @@ pub(crate) fn read_snapshot(
             None
         };
         let since_solve = cur.u64("cluster cooldown")?;
+        let (consecutive_holds, backoff_left) = if version >= 2 {
+            (cur.u32("cluster holds")?, cur.u64("cluster backoff")?)
+        } else {
+            (0, 0)
+        };
 
         let device_class = &ctl.classes[class];
         let mut session = device_class.base.fork()?;
@@ -766,6 +929,8 @@ pub(crate) fn read_snapshot(
             since_solve,
             needs_solve: false,
             outcome: None,
+            consecutive_holds,
+            backoff_left,
         });
     }
     cur.finish("CLUSTERS")?;
@@ -813,4 +978,96 @@ pub(crate) fn read_snapshot(
     service.index = index;
     service.next_id = next_id;
     Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdaptiveConfig, FleetConfig};
+    use dpm_trace::WindowKind;
+
+    /// A small service with one toy class and two devices — enough
+    /// state to exercise every snapshot section.
+    fn service() -> FleetService {
+        let config = FleetConfig::new().adaptive(
+            AdaptiveConfig::new()
+                .memory(1)
+                .smoothing(0.5)
+                .horizon(2_000.0)
+                .window(WindowKind::Sliding(64)),
+        );
+        let mut service = FleetService::new(config);
+        let class = service
+            .register_class(&dpm_systems::toy::example_system().expect("toy system"))
+            .expect("class registers");
+        for _ in 0..2 {
+            service.add_device(class).expect("device adds");
+        }
+        service
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn version_1_snapshots_remain_readable() {
+        let source = service();
+        let mut v1 = Vec::new();
+        write_snapshot_versioned(&source, &mut v1, 1).expect("v1 writes");
+        let mut target = service();
+        let report = read_snapshot(&mut target, &mut v1.as_slice()).expect("v1 restores");
+        assert_eq!(report.devices, 2);
+        for d in 0..2 {
+            assert_eq!(
+                target.controller.devices[d].health,
+                DeviceHealth::Healthy,
+                "v1 snapshots carry no health: devices default to Healthy"
+            );
+            assert_eq!(target.controller.devices[d].strikes, 0);
+        }
+    }
+
+    #[test]
+    fn newer_versions_are_rejected_not_misparsed() {
+        let source = service();
+        let mut snapshot = Vec::new();
+        write_snapshot(&source, &mut snapshot).expect("writes");
+        snapshot[8..12].copy_from_slice(&3u32.to_le_bytes());
+        let mut target = service();
+        let err = read_snapshot(&mut target, &mut snapshot.as_slice())
+            .expect_err("a version-3 snapshot must be refused");
+        assert!(
+            matches!(
+                err,
+                SnapshotError::UnsupportedVersion { found: 3, newest } if newest == VERSION
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn any_flipped_byte_is_a_checksum_mismatch() {
+        let source = service();
+        let mut snapshot = Vec::new();
+        write_snapshot(&source, &mut snapshot).expect("writes");
+        // Flip one byte in every region past the header: tag, length,
+        // payload and the stored CRC itself all must be caught.
+        for at in [12, 20, 40, snapshot.len() / 2, snapshot.len() - 1] {
+            let mut damaged = snapshot.clone();
+            damaged[at] ^= 0x40;
+            let mut target = service();
+            let err = read_snapshot(&mut target, &mut damaged.as_slice())
+                .expect_err("a flipped byte must be rejected");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::ChecksumMismatch { .. } | SnapshotError::Truncated { .. }
+                ),
+                "flip at {at}: {err}"
+            );
+        }
+    }
 }

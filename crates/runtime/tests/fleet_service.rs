@@ -350,7 +350,13 @@ fn restore_rejects_garbage_truncation_and_mismatched_services() {
             .restore(&mut &snapshot[..cut])
             .expect_err("truncated snapshot must be rejected");
         assert!(
-            matches!(err, SnapshotError::Io(_) | SnapshotError::Format { .. }),
+            matches!(
+                err,
+                SnapshotError::Io(_)
+                    | SnapshotError::Format { .. }
+                    | SnapshotError::Truncated { .. }
+                    | SnapshotError::ChecksumMismatch { .. }
+            ),
             "cut at {cut}: {err}"
         );
     }

@@ -19,7 +19,11 @@
 //!   (Section VII) and exercise the online-adaptation runtime;
 //! * [`racks`] — the **correlated** regime-switch scenario: whole racks
 //!   of devices shift workload simultaneously, stressing the fleet
-//!   service's eviction/re-homing and its incremental divergence gauge.
+//!   service's eviction/re-homing and its incremental divergence gauge;
+//! * [`hostile`] — the **fault-campaign** scenario: a scripted window of
+//!   corrupted telemetry and armed solver faults with a deterministic,
+//!   fully-recovered end state, exercising ingest screening, the
+//!   escalation ladder, quarantine and readmission.
 //!
 //! Every module documents which numbers come straight from the paper and
 //! which had to be reconstructed (the paper's figures did not survive into
@@ -44,6 +48,7 @@ pub mod appendix_b;
 pub mod cpu;
 pub mod disk;
 pub mod drifting;
+pub mod hostile;
 pub mod racks;
 pub mod toy;
 pub mod web_server;

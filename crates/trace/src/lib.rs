@@ -53,4 +53,6 @@ mod windowed;
 pub use record::Trace;
 pub use sr_extractor::{KMemoryTracker, SrExtractor};
 pub use stats::TraceStats;
-pub use windowed::{EstimatorState, WindowKind, WindowedEstimator};
+pub use windowed::{
+    screen_arrival, screen_arrivals, EstimatorState, WindowKind, WindowedEstimator,
+};

@@ -23,6 +23,58 @@ use dpm_core::{DpmError, ServiceRequester};
 
 use crate::SrExtractor;
 
+/// Screens one slice of raw telemetry as an arrival count.
+///
+/// Production telemetry arrives as floating point and is not trusted:
+/// the value must be finite, non-negative, integral (within `1e-6`) and
+/// within `u32` range before it may reach [`WindowedEstimator::observe`]
+/// — a NaN folded into the transition counts would silently poison every
+/// later fit into a NaN transition matrix.
+///
+/// # Errors
+///
+/// [`DpmError::BadConfiguration`] naming the offending value.
+pub fn screen_arrival(raw: f64) -> Result<u32, DpmError> {
+    let bad = |reason: String| DpmError::BadConfiguration { reason };
+    if !raw.is_finite() {
+        return Err(bad(format!("telemetry arrival count {raw} is not finite")));
+    }
+    let rounded = raw.round();
+    if (raw - rounded).abs() > 1e-6 {
+        return Err(bad(format!(
+            "telemetry arrival count {raw} is not an integral count"
+        )));
+    }
+    if rounded < 0.0 {
+        return Err(bad(format!("telemetry arrival count {raw} is negative")));
+    }
+    if rounded > f64::from(u32::MAX) {
+        return Err(bad(format!(
+            "telemetry arrival count {raw} exceeds the u32 range"
+        )));
+    }
+    Ok(rounded as u32)
+}
+
+/// Screens a whole epoch of raw telemetry ([`screen_arrival`] per
+/// slice), reporting the first offending slice.
+///
+/// # Errors
+///
+/// [`DpmError::BadConfiguration`] naming the offending slice index and
+/// value; no prefix of the epoch is returned on failure, so a corrupt
+/// stream is rejected whole instead of partially ingested.
+pub fn screen_arrivals(raw: &[f64]) -> Result<Vec<u32>, DpmError> {
+    raw.iter()
+        .enumerate()
+        .map(|(slice, &value)| {
+            screen_arrival(value).map_err(|e| DpmError::BadConfiguration {
+                reason: format!("slice {slice}: {e}"),
+            })
+        })
+        .collect()
+}
+
 /// How a [`WindowedEstimator`] forgets the past.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WindowKind {
@@ -285,6 +337,19 @@ impl WindowedEstimator {
         self.state = ((self.state << 1) | usize::from(bit)) & mask;
     }
 
+    /// Feeds one slice of **raw, untrusted** telemetry: validates it
+    /// with [`screen_arrival`] and only then counts it. The window is
+    /// untouched when validation fails, so one corrupt slice can never
+    /// poison the fitted kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`screen_arrival`] rejections.
+    pub fn observe_raw(&mut self, arrivals: f64) -> Result<(), DpmError> {
+        self.observe(screen_arrival(arrivals)?);
+        Ok(())
+    }
+
     /// Fits the k-memory model to the current window and updates the
     /// [`Self::divergence`] gauge against the previous fit.
     ///
@@ -480,6 +545,7 @@ impl WindowedEstimator {
             }
         }
         for (label, table) in [
+            ("counts", &Some(state.counts.clone())),
             ("blend prior", &state.blend_prior),
             ("counts at fit", &state.counts_at_fit),
         ] {
@@ -490,6 +556,19 @@ impl WindowedEstimator {
                         table.len()
                     )));
                 }
+                // A NaN or negative count smuggled in through a restore
+                // would poison every later fit (NaN transition matrix) —
+                // reject the state whole instead.
+                for (row, pair) in table.iter().enumerate() {
+                    for &value in pair {
+                        if !value.is_finite() || value < 0.0 {
+                            return Err(mismatch(format!(
+                                "estimator state {label} row {row} holds the invalid \
+                                 count {value}"
+                            )));
+                        }
+                    }
+                }
             }
         }
         if let Some(fit) = &state.last_fit {
@@ -497,6 +576,11 @@ impl WindowedEstimator {
                 return Err(mismatch(format!(
                     "estimator state fit of {} entries for a {n}x{n} chain",
                     fit.len()
+                )));
+            }
+            if let Some(&bad) = fit.iter().find(|v| !v.is_finite()) {
+                return Err(mismatch(format!(
+                    "estimator state fit holds the non-finite entry {bad}"
                 )));
             }
         }
@@ -819,6 +903,52 @@ mod tests {
         let mut bad = good;
         bad.weight = f64::NAN;
         assert!(exponential.import_state(bad).is_err(), "bad weight");
+    }
+
+    #[test]
+    fn poisoned_telemetry_cannot_reach_a_fit() {
+        // Regression guard for the ingest boundary: no sequence of
+        // hostile raw observations or tampered state may ever produce a
+        // transition matrix with a non-finite entry.
+        let mut estimator =
+            WindowedEstimator::new(SrExtractor::new(1), WindowKind::Sliding(16)).unwrap();
+        feed(&mut estimator, (0..40).map(|i| u32::from(i % 3 == 0)));
+        let clean = estimator.export_state();
+
+        for raw in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -1.0,
+            2.5,
+            f64::from(u32::MAX) * 2.0,
+        ] {
+            assert!(screen_arrival(raw).is_err(), "{raw} must be screened out");
+            assert!(estimator.observe_raw(raw).is_err());
+        }
+        assert!(screen_arrivals(&[1.0, 0.0, f64::NAN, 3.0]).is_err());
+        // Rejected observations must not have touched the window.
+        assert_eq!(estimator.export_state(), clean);
+
+        let mut bad = clean.clone();
+        bad.counts[0][1] = f64::NAN;
+        assert!(estimator.import_state(bad).is_err(), "NaN count");
+        let mut bad = clean.clone();
+        bad.counts[1][0] = -3.0;
+        assert!(estimator.import_state(bad).is_err(), "negative count");
+        let mut bad = clean.clone();
+        bad.last_fit = Some(vec![f64::NAN; 4]);
+        assert!(estimator.import_state(bad).is_err(), "NaN fit baseline");
+
+        // After every rejection the estimator still fits finitely.
+        estimator.observe_raw(1.0).unwrap();
+        let sr = estimator.fit().unwrap();
+        let p = sr.chain().transition_matrix();
+        for s in 0..2 {
+            for t in 0..2 {
+                assert!(p.prob(s, t).is_finite(), "({s},{t}) non-finite");
+            }
+        }
     }
 
     #[test]

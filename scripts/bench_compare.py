@@ -4,7 +4,7 @@
 Reads the criterion-shim records (``BENCH_<name>.json``: ``{"name",
 "mean_ns", "iterations", ...optional counters...}``) from the current
 run and, when available, from a previous run's downloaded artifacts, and
-prints six tables:
+prints seven tables:
 
 1. **warm vs cold** — pairs of ``<group>/warm/<case>`` and
    ``<group>/cold/<case>`` records from the current run, with the
@@ -20,9 +20,13 @@ prints six tables:
 4. **fleet service** — the ``fleet_service`` group: churn throughput,
    the incremental gauge's gated vs ungated calm-epoch cost, and
    checkpoint/restore latency with the snapshot size.
-5. **pricing rules** — ``pricing_rules/<rule>/<states>`` records, devex
+5. **fault campaign** — the ``fault_campaign`` group: hostile vs clean
+   campaign cost, recovery epochs, quarantine/readmission counts and
+   the escalation-ladder rung histogram. A previous-run baseline that
+   predates the campaign bench is warned about, never crashed on.
+6. **pricing rules** — ``pricing_rules/<rule>/<states>`` records, devex
    vs dantzig wall time with the pivot / pricing-scan counters.
-6. **PR over PR** — every current record against its previous-run
+7. **PR over PR** — every current record against its previous-run
    counterpart, with the ratio.
 
 Partial records (present on disk but missing ``mean_ns``, e.g. from a
@@ -233,6 +237,55 @@ def fleet_service_table(current):
     print()
 
 
+def fault_campaign_table(current, previous):
+    """Surfaces the `fault_campaign` group: the hostile vs clean
+    campaign cost, recovery time, quarantine/readmission counts and the
+    escalation-ladder rung histogram. A previous run without campaign
+    records (a baseline that predates the bench) is warned about, never
+    crashed on."""
+    headline = current.get("fault_campaign")
+    rows = [
+        ("hostile campaign", "fault_campaign/hostile"),
+        ("clean control", "fault_campaign/clean"),
+    ]
+    if headline is None and not any(name in current for _, name in rows):
+        return
+    print("== fault campaign (containment & recovery) ==")
+    for label, name in rows:
+        record = current.get(name)
+        if record is None:
+            print(f"  (warning: record {name!r} missing from this run)")
+            continue
+        mean = mean_of(record, name)
+        if mean is None:
+            continue
+        print(f"  {label:<22} {fmt_ms(mean):>12}{counters(record)}")
+    if headline is not None:
+        hostile = current.get("fault_campaign/hostile", {})
+        print(
+            f"  fault_campaign: {headline.get('devices', float('nan')):g} devices, "
+            f"{headline.get('epochs', float('nan')):g} epochs "
+            f"({headline.get('fault_epochs', float('nan')):g} faulted), "
+            f"{headline.get('quarantines', float('nan')):g} quarantined / "
+            f"{headline.get('readmissions', float('nan')):g} readmitted, "
+            f"recovery in {headline.get('recovery_epochs', float('nan')):g} epochs; "
+            f"ladder retry/refactor/cold/hold = "
+            f"{hostile.get('rung_warm_retries', float('nan')):g}/"
+            f"{hostile.get('rung_forced_refactors', float('nan')):g}/"
+            f"{hostile.get('rung_cold_rebuilds', float('nan')):g}/"
+            f"{hostile.get('rung_holds', float('nan')):g}; "
+            f"hostile-over-clean x{headline.get('hostile_over_clean', float('nan')):.2f}"
+        )
+    if previous and not any(
+        name in previous for name in ("fault_campaign", *(n for _, n in rows))
+    ):
+        print(
+            "  (warning: previous run has no fault_campaign records — "
+            "baseline predates the campaign bench; comparison skipped)"
+        )
+    print()
+
+
 def pricing_table(current):
     """Surfaces the `pricing_rules` group: devex vs dantzig wall time per
     state count, with the pivot / pricing-scan counters that explain the
@@ -347,6 +400,7 @@ def main(argv):
     adaptive_table(current)
     fleet_table(current)
     fleet_service_table(current)
+    fault_campaign_table(current, previous)
     pricing_table(current)
     regressed = pr_over_pr_table(current, previous, args.fail_over)
     if regressed:
