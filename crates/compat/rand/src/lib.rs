@@ -15,6 +15,8 @@
 //!
 //! [`rand`]: https://crates.io/crates/rand
 
+#![forbid(unsafe_code)]
+
 /// The core of a random number generator: a source of random bytes.
 ///
 /// Object-safe, exactly like `rand::RngCore`, so policies can take

@@ -1,0 +1,267 @@
+//! Diagnostic model and rendering: rustc-style text for humans, a
+//! stable JSON report for CI artifacts and trend tracking.
+
+use std::fmt::Write as _;
+
+/// How a finding is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the run (`error[...]`).
+    Deny,
+    /// Reported (`warning[...]`) but does not fail the run.
+    Warn,
+    /// Informational (`note[...]`); never fails the run. Used for the
+    /// ratchet-decrease nudge.
+    Note,
+    /// The rule is disabled for the scoped crates.
+    Allow,
+}
+
+impl Severity {
+    /// Config/report string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+            Severity::Note => "note",
+            Severity::Allow => "allow",
+        }
+    }
+
+    /// Parses the config string form.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "deny" => Some(Severity::Deny),
+            "warn" => Some(Severity::Warn),
+            "note" => Some(Severity::Note),
+            "allow" => Some(Severity::Allow),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+            Severity::Note | Severity::Allow => "note",
+        }
+    }
+}
+
+/// One rendered finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule id (`hash-collections`, `panic-ratchet`, …).
+    pub rule: String,
+    /// Effective severity after config.
+    pub severity: Severity,
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description, one line.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders in rustc style:
+    ///
+    /// ```text
+    /// error[hash-collections]: `HashMap` iterates in hash order …
+    ///   --> crates/runtime/src/fleet.rs:42:17
+    /// ```
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}]: {}\n  --> {}:{}:{}",
+            self.severity.label(),
+            self.rule,
+            self.message,
+            self.path,
+            self.line,
+            self.col
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-crate panic-hygiene counters (rule `panic-ratchet`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PanicCounts {
+    /// `.unwrap()` call sites.
+    pub unwrap: u64,
+    /// `.expect(..)` call sites.
+    pub expect: u64,
+    /// `panic!(..)` invocations.
+    pub panic: u64,
+    /// `unreachable!(..)` invocations.
+    pub unreachable: u64,
+    /// Bracket-index expressions (`x[i]` — each can panic on
+    /// out-of-bounds).
+    pub index: u64,
+}
+
+impl PanicCounts {
+    /// (category name, count) pairs in canonical order.
+    pub fn entries(&self) -> [(&'static str, u64); 5] {
+        [
+            ("unwrap", self.unwrap),
+            ("expect", self.expect),
+            ("panic", self.panic),
+            ("unreachable", self.unreachable),
+            ("index", self.index),
+        ]
+    }
+
+    /// Mutable access by canonical category name.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut u64> {
+        match name {
+            "unwrap" => Some(&mut self.unwrap),
+            "expect" => Some(&mut self.expect),
+            "panic" => Some(&mut self.panic),
+            "unreachable" => Some(&mut self.unreachable),
+            "index" => Some(&mut self.index),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes the whole run as a JSON report (version 1). Shape:
+///
+/// ```json
+/// {
+///   "version": 1,
+///   "errors": 0,
+///   "warnings": 0,
+///   "files_scanned": 123,
+///   "diagnostics": [{"rule": "...", "severity": "...", "path": "...",
+///                    "line": 1, "col": 1, "message": "..."}],
+///   "panic_counts": {"lp": {"unwrap": 1, "expect": 2, "panic": 0,
+///                            "unreachable": 0, "index": 9}}
+/// }
+/// ```
+pub fn json_report(
+    diagnostics: &[Diagnostic],
+    counts: &std::collections::BTreeMap<String, PanicCounts>,
+    files_scanned: usize,
+) -> String {
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+    let warnings = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warn)
+        .count();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"version\": 1,\n  \"errors\": {errors},\n  \"warnings\": {warnings},\n  \"files_scanned\": {files_scanned},\n  \"diagnostics\": ["
+    );
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+            json_escape(&d.rule),
+            d.severity.as_str(),
+            json_escape(&d.path),
+            d.line,
+            d.col,
+            json_escape(&d.message)
+        );
+    }
+    if diagnostics.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"panic_counts\": {");
+    for (i, (krate, c)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {{", json_escape(krate));
+        for (j, (name, v)) in c.entries().iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}\": {v}");
+        }
+        out.push('}');
+    }
+    if counts.is_empty() {
+        out.push_str("}\n}\n");
+    } else {
+        out.push_str("\n  }\n}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_rustc_shaped() {
+        let d = Diagnostic {
+            rule: "hash-collections".into(),
+            severity: Severity::Deny,
+            path: "crates/lp/src/lib.rs".into(),
+            line: 10,
+            col: 5,
+            message: "no".into(),
+        };
+        assert_eq!(
+            d.render(),
+            "error[hash-collections]: no\n  --> crates/lp/src/lib.rs:10:5"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let d = Diagnostic {
+            rule: "r".into(),
+            severity: Severity::Warn,
+            path: "a\"b".into(),
+            line: 1,
+            col: 2,
+            message: "line\nbreak".into(),
+        };
+        let mut counts = std::collections::BTreeMap::new();
+        counts.insert(
+            "lp".to_string(),
+            PanicCounts {
+                unwrap: 1,
+                ..PanicCounts::default()
+            },
+        );
+        let json = json_report(&[d], &counts, 3);
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("line\\nbreak"));
+        assert!(json.contains("\"errors\": 0"));
+        assert!(json.contains("\"warnings\": 1"));
+        assert!(json.contains("\"unwrap\": 1"));
+    }
+}

@@ -1,0 +1,310 @@
+//! `dpm-lint` — the workspace's determinism & panic-hygiene static
+//! analyzer.
+//!
+//! The repo's headline guarantees are *exactness* claims: policies are
+//! exact LP optima, fleet runs are bit-identical across worker counts,
+//! snapshots re-checkpoint byte-identically, fault recovery converges
+//! to the never-faulted control run. Tests defend those claims after
+//! the fact; this linter defends them *before* the fact, by refusing
+//! the constructs that historically break them:
+//!
+//! * hash-ordered collections in determinism-critical crates (D1,
+//!   `hash-collections`),
+//! * ambient nondeterminism — clocks, thread identity, environment
+//!   reads (D2, `ambient-nondeterminism`),
+//! * non-total float ordering (D3, `float-total-order`),
+//! * undocumented `unsafe` (D4, `unsafe-needs-safety`),
+//! * and a per-crate panic-hygiene **ratchet** (P1, `panic-ratchet`)
+//!   against the committed `lint-baseline.toml`.
+//!
+//! Everything is hand-rolled (lexer, TOML subset, JSON writer) so the
+//! tool has zero dependencies and runs offline. See `docs/LINTING.md`
+//! for the rule catalog, waiver etiquette and re-baselining workflow.
+//!
+//! # Library layout
+//!
+//! [`lexer`] tokenizes; [`rules`] turns one file's tokens into
+//! findings and panic counts; [`config`]/[`baseline`] read the two
+//! TOML files; [`walk`] finds the sources; [`Engine`] orchestrates a
+//! whole-workspace run and [`diagnostics`] renders it.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod config;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod toml;
+pub mod walk;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use baseline::Baseline;
+use config::LintConfig;
+use diagnostics::{Diagnostic, PanicCounts, Severity};
+use rules::RuleSet;
+
+/// Outcome of a whole-workspace run.
+#[derive(Debug, Default)]
+pub struct RunResult {
+    /// All diagnostics, in file order (ratchet diagnostics last).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-crate panic-hygiene counts (non-test code).
+    pub counts: BTreeMap<String, PanicCounts>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl RunResult {
+    /// Deny-severity diagnostics — the ones that fail the run.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Warn-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Whether the run is clean enough to exit 0.
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// The JSON report for this run.
+    pub fn to_json(&self) -> String {
+        diagnostics::json_report(&self.diagnostics, &self.counts, self.files_scanned)
+    }
+}
+
+/// A configured analyzer.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: LintConfig,
+}
+
+impl Engine {
+    /// Builds an engine from a configuration.
+    pub fn new(config: LintConfig) -> Self {
+        Engine { config }
+    }
+
+    /// Loads `lint.toml` from the workspace root if present, else uses
+    /// the built-in defaults (which mirror the committed file).
+    pub fn from_workspace(root: &Path) -> Result<Self, String> {
+        let path = root.join("lint.toml");
+        let config = if path.exists() {
+            let src = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            LintConfig::from_toml(&src)?
+        } else {
+            LintConfig::default()
+        };
+        Ok(Engine::new(config))
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LintConfig {
+        &self.config
+    }
+
+    /// Scans the workspace **without** the baseline comparison —
+    /// produces per-file diagnostics and the per-crate counts.
+    pub fn scan_workspace(&self, root: &Path) -> Result<RunResult, String> {
+        let files = walk::collect(root, &self.config.exclude_paths)?;
+        let mut result = RunResult::default();
+        for file in &files {
+            let src = fs::read_to_string(&file.abs_path)
+                .map_err(|e| format!("cannot read {}: {e}", file.abs_path.display()))?;
+            self.scan_source(
+                &file.rel_path,
+                &file.krate,
+                file.is_test_path,
+                &src,
+                &mut result,
+            );
+        }
+        result.files_scanned = files.len();
+        // Every P1-scoped crate appears in the counts, even at zero:
+        // the baseline then lists all crates explicitly and a first
+        // panic site in a clean crate is an unmistakable 0 -> 1 diff.
+        Ok(result)
+    }
+
+    /// Scans one in-memory source file into `result`. Exposed for the
+    /// fixture tests, which assemble synthetic workspaces.
+    pub fn scan_source(
+        &self,
+        rel_path: &str,
+        krate: &str,
+        is_test_path: bool,
+        src: &str,
+        result: &mut RunResult,
+    ) {
+        let applies = |id: &str| {
+            self.config
+                .rule(id)
+                .is_some_and(|r| r.applies_to_crate(krate) && (!is_test_path || r.include_tests))
+        };
+        let rule_set = RuleSet {
+            hash_collections: applies("hash-collections"),
+            ambient_nondeterminism: applies("ambient-nondeterminism"),
+            float_total_order: applies("float-total-order"),
+            unsafe_needs_safety: applies("unsafe-needs-safety"),
+            unsafe_in_tests: self
+                .config
+                .rule("unsafe-needs-safety")
+                .is_some_and(|r| r.include_tests),
+            panic_counts: applies("panic-ratchet") && !is_test_path,
+        };
+        let run_waiver_checks = rule_set.hash_collections
+            || rule_set.ambient_nondeterminism
+            || rule_set.float_total_order
+            || rule_set.unsafe_needs_safety
+            || rule_set.panic_counts;
+        if !run_waiver_checks {
+            return;
+        }
+        let lexed = lexer::lex(src);
+        let scan = rules::scan(&lexed, rule_set);
+        for finding in scan.findings {
+            // Waiver meta-findings are always errors; rule findings
+            // take the rule's configured severity.
+            let severity = match finding.rule {
+                "waiver-needs-reason" | "waiver-unknown-rule" => Severity::Deny,
+                id => self
+                    .config
+                    .rule(id)
+                    .map(|r| r.severity)
+                    .unwrap_or(Severity::Deny),
+            };
+            if severity == Severity::Allow {
+                continue;
+            }
+            result.diagnostics.push(Diagnostic {
+                rule: finding.rule.to_string(),
+                severity,
+                path: rel_path.to_string(),
+                line: finding.line,
+                col: finding.col,
+                message: finding.message,
+            });
+        }
+        if rule_set.panic_counts {
+            let slot = result.counts.entry(krate.to_string()).or_default();
+            slot.unwrap += scan.counts.unwrap;
+            slot.expect += scan.counts.expect;
+            slot.panic += scan.counts.panic;
+            slot.unreachable += scan.counts.unreachable;
+            slot.index += scan.counts.index;
+        }
+    }
+
+    /// Full check: scan, then ratchet against the baseline file (a
+    /// missing baseline file is an empty baseline — every crate held
+    /// to zero). Returns the result with ratchet diagnostics appended.
+    pub fn check_workspace(&self, root: &Path) -> Result<RunResult, String> {
+        let mut result = self.scan_workspace(root)?;
+        let baseline_path = root.join(&self.config.baseline_path);
+        let baseline = if baseline_path.exists() {
+            let src = fs::read_to_string(&baseline_path)
+                .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+            Baseline::from_toml(&src)?
+        } else {
+            Baseline::default()
+        };
+        let severity = self.effective_ratchet_severities();
+        if let Some(on_increase) = severity {
+            let mut ratchet = baseline.compare(
+                &result.counts,
+                &self.config.baseline_path,
+                self.config.on_decrease,
+            );
+            // Rule severity `warn` downgrades increases from deny.
+            if on_increase != Severity::Deny {
+                for d in &mut ratchet {
+                    if d.severity == Severity::Deny {
+                        d.severity = on_increase;
+                    }
+                }
+            }
+            result.diagnostics.extend(ratchet);
+        }
+        Ok(result)
+    }
+
+    /// Rewrites the baseline from a fresh scan; returns the result and
+    /// the serialized baseline text that was written.
+    pub fn write_baseline(&self, root: &Path) -> Result<(RunResult, String), String> {
+        let result = self.scan_workspace(root)?;
+        let text = Baseline::to_toml(&result.counts);
+        let path = root.join(&self.config.baseline_path);
+        fs::write(&path, &text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        Ok((result, text))
+    }
+
+    /// The ratchet's configured severity, `None` when `allow`ed off.
+    fn effective_ratchet_severities(&self) -> Option<Severity> {
+        let rule = self.config.rule("panic-ratchet")?;
+        if rule.severity == Severity::Allow {
+            None
+        } else {
+            Some(rule.severity)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_source_scopes_rules_by_crate() {
+        let engine = Engine::new(LintConfig::default());
+        let src = "use std::collections::HashMap;";
+        let mut in_scope = RunResult::default();
+        engine.scan_source("crates/lp/src/lib.rs", "lp", false, src, &mut in_scope);
+        assert_eq!(in_scope.errors(), 1);
+        let mut out_of_scope = RunResult::default();
+        engine.scan_source(
+            "crates/systems/src/lib.rs",
+            "systems",
+            false,
+            src,
+            &mut out_of_scope,
+        );
+        assert_eq!(out_of_scope.errors(), 0);
+    }
+
+    #[test]
+    fn test_paths_are_exempt_except_unsafe() {
+        let engine = Engine::new(LintConfig::default());
+        let mut result = RunResult::default();
+        engine.scan_source(
+            "crates/lp/tests/t.rs",
+            "lp",
+            true,
+            "use std::collections::HashMap; fn f() { x.unwrap(); }",
+            &mut result,
+        );
+        assert_eq!(result.errors(), 0);
+        assert!(result.counts.is_empty());
+        engine.scan_source(
+            "crates/lp/tests/t2.rs",
+            "lp",
+            true,
+            "fn f() { unsafe { g() } }",
+            &mut result,
+        );
+        assert_eq!(result.errors(), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! The `dpm-lint` command-line entry point.
+//!
+//! ```text
+//! dpm-lint [--check] [--root <dir>] [--json <path>] [--write-baseline] [--quiet]
+//! ```
+//!
+//! * `--check` (default): scan the workspace, ratchet against the
+//!   baseline, print rustc-style diagnostics; exit 1 on any error.
+//! * `--write-baseline`: re-ratchet — rewrite `lint-baseline.toml`
+//!   from the current counts (rule findings still gate: you cannot
+//!   baseline away a `HashMap`).
+//! * `--json <path>`: additionally write the machine-readable report
+//!   (CI uploads it as an artifact for trend tracking).
+//! * `--root <dir>`: workspace root (default: current directory).
+//! * `--quiet`: suppress the per-diagnostic output, keep the summary.
+//!
+//! Exit codes: 0 clean, 1 findings at `deny`, 2 usage/config/io error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dpm_lint::diagnostics::Severity;
+use dpm_lint::Engine;
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    write_baseline: bool,
+    quiet: bool,
+}
+
+const USAGE: &str =
+    "usage: dpm-lint [--check] [--root <dir>] [--json <path>] [--write-baseline] [--quiet]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: None,
+        write_baseline: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--write-baseline" => args.write_baseline = true,
+            "--quiet" => args.quiet = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--help" | "-h" => {
+                return Err(USAGE.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("dpm-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let engine = Engine::from_workspace(&args.root)?;
+    let result = if args.write_baseline {
+        let (result, _) = engine.write_baseline(&args.root)?;
+        println!(
+            "dpm-lint: baseline rewritten at {} ({} crates)",
+            engine.config().baseline_path,
+            result.counts.len()
+        );
+        result
+    } else {
+        engine.check_workspace(&args.root)?
+    };
+    if !args.quiet {
+        for d in &result.diagnostics {
+            println!("{}\n", d.render());
+        }
+    }
+    if let Some(json_path) = &args.json {
+        if let Some(parent) = json_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(json_path, result.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    }
+    let notes = result
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Note)
+        .count();
+    println!(
+        "dpm-lint: {} files scanned, {} errors, {} warnings, {} notes",
+        result.files_scanned,
+        result.errors(),
+        result.warnings(),
+        notes
+    );
+    Ok(result.is_clean())
+}

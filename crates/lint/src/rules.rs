@@ -1,0 +1,622 @@
+//! The rule pass: walks one lexed file and produces findings plus
+//! panic-hygiene counts.
+//!
+//! | id | class | what it catches |
+//! |----|-------|-----------------|
+//! | `hash-collections` | D1 | `HashMap`/`HashSet`/`RandomState`/`DefaultHasher`/`hash_map`/`hash_set` named anywhere in a determinism-critical crate — hash iteration order is seeded per process, so any walk over one can leak nondeterminism into snapshots, policy merges or diagnostics. |
+//! | `ambient-nondeterminism` | D2 | `Instant::now`, `SystemTime` (any use), `thread::current`, `env::var`/`vars`/`var_os`/`vars_os`, `option_env!` — wall clocks, thread identity and environment reads outside `bench`/`compat`/tests. |
+//! | `float-total-order` | D3 | `partial_cmp(..).unwrap()` / `.expect(..)` (panics on NaN; use `f64::total_cmp`) and `==`/`!=` against a float literal other than `0.0`/`1.0` (exact-representability sentinels used by sparsity and probability-mass checks). |
+//! | `unsafe-needs-safety` | D4 | an `unsafe` token with no `// SAFETY:` comment on the same line or within the three lines above. |
+//! | `panic-ratchet` | P1 | not a per-site finding: counts `.unwrap()`, `.expect(`, `panic!`, `unreachable!` and index expressions per crate; the baseline comparison happens in [`crate::baseline`]. |
+//!
+//! Waivers: `// dpm-lint: allow(<rule>) -- <reason>` on the finding's
+//! line or the line directly above silences that rule there. The
+//! reason is mandatory; a reasonless or unknown-rule waiver is itself
+//! a finding (`waiver-needs-reason` / `waiver-unknown-rule`) and does
+//! not silence anything.
+
+use crate::diagnostics::PanicCounts;
+use crate::lexer::{Comment, Lexed, Token, TokenKind};
+
+/// Every configurable rule id, in documentation order.
+pub const RULE_IDS: [&str; 5] = [
+    "hash-collections",
+    "ambient-nondeterminism",
+    "float-total-order",
+    "unsafe-needs-safety",
+    "panic-ratchet",
+];
+
+/// A rule hit before severity/waiver resolution.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id — one of [`RULE_IDS`] or a waiver meta-rule.
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule being waived.
+    pub rule: String,
+    /// Line the waiver comment starts on.
+    pub line: u32,
+    /// Whether a non-empty `-- reason` was given.
+    pub has_reason: bool,
+    /// Column of the comment.
+    pub col: u32,
+}
+
+/// Which rule families to run for this file (derived from config and
+/// crate scoping by the engine).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleSet {
+    /// D1 `hash-collections`.
+    pub hash_collections: bool,
+    /// D2 `ambient-nondeterminism`.
+    pub ambient_nondeterminism: bool,
+    /// D3 `float-total-order`.
+    pub float_total_order: bool,
+    /// D4 `unsafe-needs-safety` — pair with `unsafe_in_tests` to keep
+    /// scanning `#[cfg(test)]` regions.
+    pub unsafe_needs_safety: bool,
+    /// Whether D4 also applies inside test regions.
+    pub unsafe_in_tests: bool,
+    /// P1 counting.
+    pub panic_counts: bool,
+}
+
+/// Scan result for one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Rule hits (not yet severity-resolved or waiver-filtered —
+    /// except waivers for the regular rules, which are applied here).
+    pub findings: Vec<Finding>,
+    /// P1 counters for the non-test portion of the file.
+    pub counts: PanicCounts,
+}
+
+/// Keywords that can directly precede a `[` without forming an index
+/// expression (slice patterns, `for [a, b] in …`).
+const NON_INDEX_KEYWORDS: [&str; 12] = [
+    "let", "mut", "ref", "in", "return", "match", "if", "else", "move", "for", "while", "break",
+];
+
+/// Runs the configured rules over one lexed file.
+pub fn scan(lexed: &Lexed, rules: RuleSet) -> FileScan {
+    let tokens = &lexed.tokens;
+    let in_test = test_regions(tokens);
+    let (waivers, mut findings) = parse_waivers(&lexed.comments);
+    let mut counts = PanicCounts::default();
+
+    let waived = |rule: &str, line: u32| {
+        waivers
+            .iter()
+            .any(|w| w.has_reason && w.rule == rule && (w.line == line || w.line + 1 == line))
+    };
+    let push = |findings: &mut Vec<Finding>, rule: &'static str, tok: &Token, message: String| {
+        if !waived(rule, tok.line) {
+            findings.push(Finding {
+                rule,
+                line: tok.line,
+                col: tok.col,
+                message,
+            });
+        }
+    };
+
+    for (i, tok) in tokens.iter().enumerate() {
+        let test_here = in_test[i];
+        let ident = match tok.kind {
+            TokenKind::Ident => tok.text.as_str(),
+            _ => "",
+        };
+
+        // D1: naming a hash collection at all is the violation — its
+        // construction, its type position and its iteration all start
+        // from the name.
+        if rules.hash_collections && !test_here {
+            if let "HashMap" | "HashSet" | "RandomState" | "DefaultHasher" | "hash_map"
+            | "hash_set" = ident
+            {
+                push(
+                    &mut findings,
+                    "hash-collections",
+                    tok,
+                    format!(
+                        "`{ident}` in a determinism-critical crate: hash iteration order is \
+                         seeded per process; use `BTreeMap`/`BTreeSet` (or waive with \
+                         `// dpm-lint: allow(hash-collections) -- <why order cannot leak>`)"
+                    ),
+                );
+            }
+        }
+
+        // D2: ambient nondeterminism.
+        if rules.ambient_nondeterminism && !test_here {
+            let path2 = |a: &str, b: &str| {
+                ident == a
+                    && matches!(tokens.get(i + 1), Some(t) if t.text == "::")
+                    && matches!(tokens.get(i + 2), Some(t) if t.kind == TokenKind::Ident && t.text == b)
+            };
+            let env_read = ident == "env"
+                && matches!(tokens.get(i + 1), Some(t) if t.text == "::")
+                && matches!(tokens.get(i + 2), Some(t) if matches!(t.text.as_str(), "var" | "vars" | "var_os" | "vars_os"));
+            if path2("Instant", "now") {
+                push(
+                    &mut findings,
+                    "ambient-nondeterminism",
+                    tok,
+                    "`Instant::now` in library code: wall-clock reads make runs \
+                     irreproducible; take time as an input or move this to `bench`"
+                        .to_string(),
+                );
+            } else if ident == "SystemTime" {
+                push(
+                    &mut findings,
+                    "ambient-nondeterminism",
+                    tok,
+                    "`SystemTime` in library code: wall-clock reads make runs \
+                     irreproducible; take time as an input"
+                        .to_string(),
+                );
+            } else if path2("thread", "current") {
+                push(
+                    &mut findings,
+                    "ambient-nondeterminism",
+                    tok,
+                    "`thread::current` in library code: thread identity varies run to \
+                     run; results must not depend on which worker computed them"
+                        .to_string(),
+                );
+            } else if env_read || ident == "option_env" {
+                push(
+                    &mut findings,
+                    "ambient-nondeterminism",
+                    tok,
+                    "environment read in library code: env-dependent branching makes \
+                     results host-dependent; plumb configuration explicitly"
+                        .to_string(),
+                );
+            }
+        }
+
+        // D3: non-total float ordering.
+        if rules.float_total_order && !test_here {
+            if ident == "partial_cmp" {
+                if let Some(after) = skip_balanced_parens(tokens, i + 1) {
+                    let dot = matches!(tokens.get(after), Some(t) if t.text == ".");
+                    let method = tokens.get(after + 1).map(|t| t.text.as_str());
+                    if dot && matches!(method, Some("unwrap" | "expect")) {
+                        push(
+                            &mut findings,
+                            "float-total-order",
+                            tok,
+                            format!(
+                                "`partial_cmp(..).{}()` panics on NaN and orders \
+                                 nothing totally; use `f64::total_cmp`",
+                                method.unwrap_or("unwrap")
+                            ),
+                        );
+                    }
+                }
+            }
+            if tok.text == "==" || tok.text == "!=" {
+                let float_operand = |t: Option<&Token>| -> bool {
+                    match t {
+                        Some(Token {
+                            kind:
+                                TokenKind::Num {
+                                    is_float: true,
+                                    value,
+                                },
+                            ..
+                        }) => !matches!(value, Some(v) if *v == 0.0 || *v == 1.0),
+                        _ => false,
+                    }
+                };
+                // `x == 2.5`, `2.5 == x`, and `x == -2.5`.
+                let next = tokens.get(i + 1);
+                let next_is_neg_float =
+                    matches!(next, Some(t) if t.text == "-") && float_operand(tokens.get(i + 2));
+                if float_operand(i.checked_sub(1).and_then(|p| tokens.get(p)))
+                    || float_operand(next)
+                    || next_is_neg_float
+                {
+                    push(
+                        &mut findings,
+                        "float-total-order",
+                        tok,
+                        "exact float equality against a non-sentinel literal: rounding \
+                         makes this order-of-operations-dependent; compare within an \
+                         epsilon (`(a - b).abs() <= tol`) or against the exact \
+                         sentinels `0.0`/`1.0`"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
+        // D4: unsafe needs a SAFETY: comment.
+        if rules.unsafe_needs_safety && (rules.unsafe_in_tests || !test_here) && ident == "unsafe" {
+            let documented = lexed.comments.iter().any(|c| {
+                c.text.contains("SAFETY:") && c.end_line <= tok.line && c.end_line + 3 >= tok.line
+            });
+            if !documented {
+                push(
+                    &mut findings,
+                    "unsafe-needs-safety",
+                    tok,
+                    "`unsafe` without a `// SAFETY:` comment in the three lines above; \
+                     state the invariant that makes this sound"
+                        .to_string(),
+                );
+            }
+        }
+
+        // P1: panic-hygiene counting (never inside test regions).
+        if rules.panic_counts && !test_here {
+            let line_waived = waived("panic-ratchet", tok.line);
+            let prev_is_dot = i > 0 && tokens[i - 1].text == ".";
+            let next = tokens.get(i + 1).map(|t| t.text.as_str());
+            if !line_waived {
+                match ident {
+                    "unwrap" if prev_is_dot && next == Some("(") => counts.unwrap += 1,
+                    "expect" if prev_is_dot && next == Some("(") => counts.expect += 1,
+                    "panic" if next == Some("!") => counts.panic += 1,
+                    "unreachable" if next == Some("!") => counts.unreachable += 1,
+                    _ => {}
+                }
+                if tok.text == "[" && i > 0 {
+                    let prev = &tokens[i - 1];
+                    let indexes = match prev.kind {
+                        TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                        TokenKind::Punct => {
+                            prev.text == ")" || prev.text == "]" || prev.text == "?"
+                        }
+                        _ => false,
+                    };
+                    if indexes {
+                        counts.index += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    FileScan { findings, counts }
+}
+
+/// Parses waiver comments, returning valid waivers plus findings for
+/// malformed ones.
+fn parse_waivers(comments: &[Comment]) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let body = c
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_start();
+        let Some(rest) = body.strip_prefix("dpm-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            findings.push(Finding {
+                rule: "waiver-needs-reason",
+                line: c.line,
+                col: c.col,
+                message: "malformed waiver: expected `dpm-lint: allow(<rule>) -- <reason>`"
+                    .to_string(),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            findings.push(Finding {
+                rule: "waiver-needs-reason",
+                line: c.line,
+                col: c.col,
+                message: "malformed waiver: unclosed `allow(`".to_string(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !RULE_IDS.contains(&rule.as_str()) {
+            findings.push(Finding {
+                rule: "waiver-unknown-rule",
+                line: c.line,
+                col: c.col,
+                message: format!(
+                    "waiver names unknown rule `{rule}` (known: {})",
+                    RULE_IDS.join(", ")
+                ),
+            });
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let has_reason = after
+            .strip_prefix("--")
+            .is_some_and(|r| !r.trim().trim_end_matches("*/").trim().is_empty());
+        if !has_reason {
+            findings.push(Finding {
+                rule: "waiver-needs-reason",
+                line: c.line,
+                col: c.col,
+                message: format!(
+                    "waiver for `{rule}` is missing its reason: write \
+                     `// dpm-lint: allow({rule}) -- <why this is sound>`"
+                ),
+            });
+        }
+        waivers.push(Waiver {
+            rule,
+            line: c.line,
+            has_reason,
+            col: c.col,
+        });
+    }
+    (waivers, findings)
+}
+
+/// Skips a balanced `( … )` group starting at `start` (which must be
+/// the opening paren); returns the index just past the closing paren,
+/// or `None` if `start` is not `(` or the group never closes.
+fn skip_balanced_parens(tokens: &[Token], start: usize) -> Option<usize> {
+    if !matches!(tokens.get(start), Some(t) if t.text == "(") {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(start) {
+        if t.kind == TokenKind::Punct {
+            if t.text == "(" {
+                depth += 1;
+            } else if t.text == ")" {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Marks every token inside a `#[cfg(test)]`-guarded item (the brace
+/// block that follows the attribute). Nested items are covered by the
+/// brace match; `#[cfg(test)] mod tests;` out-of-line modules are not
+/// resolved (integration-test *paths* are handled by the walker).
+fn test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            let mut j = i + 7;
+            // Skip any further attributes (`#[allow(..)]` etc.).
+            while matches!(tokens.get(j), Some(t) if t.text == "#")
+                && matches!(tokens.get(j + 1), Some(t) if t.text == "[")
+            {
+                j = skip_balanced_brackets(tokens, j + 1).unwrap_or(j + 2);
+            }
+            // Scan to the item's body `{` (or a `;` for out-of-line
+            // mods / use items, which have no inline body).
+            while j < tokens.len() && tokens[j].text != "{" && tokens[j].text != ";" {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].text == "{" {
+                let mut depth = 0usize;
+                let mut k = j;
+                while k < tokens.len() {
+                    if tokens[k].kind == TokenKind::Punct {
+                        if tokens[k].text == "{" {
+                            depth += 1;
+                        } else if tokens[k].text == "}" {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+                let end = k.min(tokens.len().saturating_sub(1));
+                for flag in in_test.iter_mut().take(end + 1).skip(i) {
+                    *flag = true;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Whether tokens at `i` spell exactly `#[cfg(test)]`.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let text = |k: usize| tokens.get(i + k).map(|t| t.text.as_str());
+    text(0) == Some("#")
+        && text(1) == Some("[")
+        && text(2) == Some("cfg")
+        && text(3) == Some("(")
+        && text(4) == Some("test")
+        && text(5) == Some(")")
+        && text(6) == Some("]")
+}
+
+/// Skips a balanced `[ … ]` group starting at `start` (the opening
+/// bracket); returns the index just past the close.
+fn skip_balanced_brackets(tokens: &[Token], start: usize) -> Option<usize> {
+    if !matches!(tokens.get(start), Some(t) if t.text == "[") {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(start) {
+        if t.kind == TokenKind::Punct {
+            if t.text == "[" {
+                depth += 1;
+            } else if t.text == "]" {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn all_rules() -> RuleSet {
+        RuleSet {
+            hash_collections: true,
+            ambient_nondeterminism: true,
+            float_total_order: true,
+            unsafe_needs_safety: true,
+            unsafe_in_tests: true,
+            panic_counts: true,
+        }
+    }
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        scan(&lex(src), all_rules())
+            .findings
+            .iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn d1_fires_on_hashmap_and_respects_waivers() {
+        assert_eq!(
+            rules_of("use std::collections::HashMap;"),
+            ["hash-collections"]
+        );
+        assert_eq!(
+            rules_of(
+                "// dpm-lint: allow(hash-collections) -- keys re-sorted before emit\nuse std::collections::HashMap;"
+            ),
+            Vec::<&str>::new()
+        );
+        // A reasonless waiver silences nothing and is itself flagged.
+        assert_eq!(
+            rules_of("// dpm-lint: allow(hash-collections)\nuse std::collections::HashMap;"),
+            ["waiver-needs-reason", "hash-collections"]
+        );
+    }
+
+    #[test]
+    fn d2_fires_on_clocks_threads_env() {
+        assert_eq!(
+            rules_of("let t = Instant::now();"),
+            ["ambient-nondeterminism"]
+        );
+        assert_eq!(
+            rules_of("let t = SystemTime::now();"),
+            ["ambient-nondeterminism"]
+        );
+        assert_eq!(
+            rules_of("let id = thread::current().id();"),
+            // thread::current fires; `.id()` itself is fine.
+            ["ambient-nondeterminism"]
+        );
+        assert_eq!(
+            rules_of("let v = std::env::var(\"X\");"),
+            ["ambient-nondeterminism"]
+        );
+        assert_eq!(
+            rules_of("let v = option_env!(\"X\");"),
+            ["ambient-nondeterminism"]
+        );
+        assert_eq!(rules_of("let i = instant_like::now();"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn d3_fires_on_partial_cmp_unwrap_and_float_eq() {
+        assert_eq!(
+            rules_of("v.sort_by(|a, b| a.partial_cmp(b).unwrap());"),
+            ["float-total-order"]
+        );
+        assert_eq!(
+            rules_of("v.sort_by(|a, b| a.partial_cmp(b).expect(\"finite\"));"),
+            ["float-total-order"]
+        );
+        // total_cmp and un-unwrapped partial_cmp are fine.
+        assert_eq!(
+            rules_of("v.sort_by(|a, b| a.total_cmp(b));"),
+            Vec::<&str>::new()
+        );
+        assert_eq!(rules_of("let o = a.partial_cmp(&b);"), Vec::<&str>::new());
+        // Float equality: sentinels pass, everything else fails.
+        assert_eq!(rules_of("if x == 0.0 {}"), Vec::<&str>::new());
+        assert_eq!(rules_of("if x != 1.0 {}"), Vec::<&str>::new());
+        assert_eq!(rules_of("if x == 0.3 {}"), ["float-total-order"]);
+        assert_eq!(rules_of("if 2.5 == x {}"), ["float-total-order"]);
+        assert_eq!(rules_of("if x == -2.5 {}"), ["float-total-order"]);
+        assert_eq!(rules_of("if x == y {}"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn d4_requires_safety_comment_within_three_lines() {
+        assert_eq!(rules_of("unsafe { go() }"), ["unsafe-needs-safety"]);
+        assert_eq!(
+            rules_of("// SAFETY: the slice outlives the call\nunsafe { go() }"),
+            Vec::<&str>::new()
+        );
+        assert_eq!(
+            rules_of("// SAFETY: fine\n\n\n\n\nunsafe { go() }"),
+            ["unsafe-needs-safety"]
+        );
+    }
+
+    #[test]
+    fn p1_counts_non_test_sites_only() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"n\"); unreachable!(); v[0]; }\n\
+                   #[cfg(test)]\nmod tests { fn g() { z.unwrap(); w[1]; } }";
+        let scan = scan(&lex(src), all_rules());
+        assert_eq!(scan.counts.unwrap, 1);
+        assert_eq!(scan.counts.expect, 1);
+        assert_eq!(scan.counts.panic, 1);
+        assert_eq!(scan.counts.unreachable, 1);
+        assert_eq!(scan.counts.index, 1);
+    }
+
+    #[test]
+    fn p1_index_heuristic_skips_non_index_brackets() {
+        let src = "#[derive(Debug)] struct S { a: [f64; 3] }\nfn f(v: &[f64]) { let [x, y] = pair; let w = vec![0.0; 3]; }";
+        let scan = scan(&lex(src), all_rules());
+        assert_eq!(scan.counts.index, 0);
+    }
+
+    #[test]
+    fn p1_counts_chained_index_and_calls() {
+        let scan = scan(&lex("m.row(s)[j] = grid[i][j];"), all_rules());
+        assert_eq!(scan.counts.index, 3);
+    }
+
+    #[test]
+    fn unknown_rule_waiver_is_flagged() {
+        assert_eq!(
+            rules_of("// dpm-lint: allow(no-such) -- whatever"),
+            ["waiver-unknown-rule"]
+        );
+    }
+
+    #[test]
+    fn raw_string_bodies_never_count() {
+        let src = r###"const DOC: &str = r#"call .unwrap() and panic!("x") freely"#;"###;
+        let scan = scan(&lex(src), all_rules());
+        assert_eq!(scan.counts, PanicCounts::default());
+        assert!(scan.findings.is_empty());
+    }
+}

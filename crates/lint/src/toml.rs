@@ -1,0 +1,340 @@
+//! A deliberately tiny TOML-subset parser — just what `lint.toml` and
+//! `lint-baseline.toml` need, so the linter stays zero-dependency.
+//!
+//! Supported: `[table]` and `[dotted.table]` headers, `key = "string"`,
+//! `key = integer`, `key = true|false`, `key = ["a", "b"]` (strings
+//! only, single line), `#` comments, blank lines, bare or quoted keys.
+//! Anything else is a hard parse error — better to refuse config than
+//! to silently mis-scope a rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of strings.
+    StrArray(Vec<String>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string-array payload, if this is an array.
+    pub fn as_str_array(&self) -> Option<&[String]> {
+        match self {
+            Value::StrArray(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One `[header]` table: key → value, plus the 1-based line of the
+/// header (used to point ratchet diagnostics at the baseline entry).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Key/value pairs in the table.
+    pub entries: BTreeMap<String, Value>,
+    /// 1-based line of the `[header]` (0 for the implicit root table).
+    pub header_line: u32,
+}
+
+/// A parsed document: dotted header → table. Keys before any header
+/// land in the root table under the empty name.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    /// Table name (full dotted header) → table.
+    pub tables: BTreeMap<String, Table>,
+}
+
+impl Document {
+    /// Looks up a table by its full dotted header name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Table names that start with `prefix.`, in sorted order.
+    pub fn tables_under<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a Table)> {
+        let want = format!("{prefix}.");
+        self.tables
+            .iter()
+            .filter_map(move |(k, v)| k.strip_prefix(&want).map(|rest| (rest, v)))
+    }
+}
+
+/// Parse failure with its 1-based line.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line the error was detected on.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: u32, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a document from source text.
+pub fn parse(src: &str) -> Result<Document, ParseError> {
+    let mut doc = Document::default();
+    let mut current = String::new();
+    doc.tables.insert(String::new(), Table::default());
+    for (idx, raw_line) in src.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(err(lineno, "unclosed table header"));
+            };
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(err(lineno, "empty table header"));
+            }
+            current = name.to_string();
+            doc.tables.entry(current.clone()).or_insert_with(|| Table {
+                entries: BTreeMap::new(),
+                header_line: lineno,
+            });
+            continue;
+        }
+        let Some(eq) = find_unquoted(line, '=') else {
+            return Err(err(lineno, "expected `key = value`"));
+        };
+        let key = unquote_key(line[..eq].trim(), lineno)?;
+        let value = parse_value(line[eq + 1..].trim(), lineno)?;
+        let table = doc.tables.entry(current.clone()).or_default();
+        if table.entries.insert(key.clone(), value).is_some() {
+            return Err(err(lineno, format!("duplicate key `{key}`")));
+        }
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    match find_unquoted(line, '#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Byte index of `needle` outside any double-quoted string, if any.
+fn find_unquoted(line: &str, needle: char) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == needle {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn unquote_key(key: &str, lineno: u32) -> Result<String, ParseError> {
+    if let Some(inner) = key.strip_prefix('"') {
+        let Some(inner) = inner.strip_suffix('"') else {
+            return Err(err(lineno, "unclosed quoted key"));
+        };
+        return Ok(inner.to_string());
+    }
+    if key.is_empty() {
+        return Err(err(lineno, "empty key"));
+    }
+    let ok = key
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.');
+    if !ok {
+        return Err(err(
+            lineno,
+            format!("bare key `{key}` has invalid characters"),
+        ));
+    }
+    Ok(key.to_string())
+}
+
+fn parse_value(v: &str, lineno: u32) -> Result<Value, ParseError> {
+    if v == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if v == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = v.strip_prefix('"') {
+        let Some(inner) = inner.strip_suffix('"') else {
+            return Err(err(lineno, "unclosed string"));
+        };
+        return Ok(Value::Str(unescape(inner)));
+    }
+    if let Some(inner) = v.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err(err(lineno, "arrays must close on the same line"));
+        };
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(Value::StrArray(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for item in split_top_level(inner) {
+            let item = item.trim();
+            let Some(stripped) = item.strip_prefix('"').and_then(|s| s.strip_suffix('"')) else {
+                return Err(err(lineno, "arrays may only contain strings"));
+            };
+            items.push(unescape(stripped));
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Ok(n) = v.replace('_', "").parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    Err(err(lineno, format!("unsupported value `{v}`")))
+}
+
+/// Splits on commas that are outside quotes.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == ',' {
+            parts.push(&s[start..i]);
+            start = i + 1;
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_keys_and_arrays() {
+        let doc = parse(
+            "top = 1\n[rules.hash-collections]\nseverity = \"deny\" # trailing\ncrates = [\"lp\", \"core\"]\nenabled = true\n",
+        )
+        .expect("parses");
+        assert_eq!(
+            doc.table("").and_then(|t| t.entries["top"].as_int()),
+            Some(1)
+        );
+        let t = doc.table("rules.hash-collections").expect("table");
+        assert_eq!(t.entries["severity"].as_str(), Some("deny"));
+        assert_eq!(
+            t.entries["crates"].as_str_array(),
+            Some(&["lp".to_string(), "core".to_string()][..])
+        );
+        assert_eq!(t.entries["enabled"].as_bool(), Some(true));
+        assert_eq!(t.header_line, 2);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse("key = \"a # b\"\n").expect("parses");
+        assert_eq!(
+            doc.table("").and_then(|t| t.entries["key"].as_str()),
+            Some("a # b")
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_numbers() {
+        let e = parse("ok = 1\nnot a toml line\n").expect_err("must fail");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn tables_under_iterates_children() {
+        let doc = parse("[rules.a]\nx = 1\n[rules.b]\nx = 2\n[other]\n").expect("parses");
+        let names: Vec<&str> = doc.tables_under("rules").map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

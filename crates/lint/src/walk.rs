@@ -1,0 +1,142 @@
+//! Workspace file discovery: every `.rs` file under the root, in a
+//! deterministic (sorted) order, with crate attribution and test-path
+//! classification — no `cargo metadata`, no globbing crates, just the
+//! repo's fixed layout.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One discovered source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+    /// Owning crate: `crates/<name>/…` → `<name>`,
+    /// `crates/compat/<name>/…` → `compat-<name>`, root
+    /// `src`/`tests`/`examples` → the facade crate `dpm`.
+    pub krate: String,
+    /// Whether the *path* marks this as test/bench/example code (a
+    /// `tests`, `benches`, `examples` or `fixtures` component).
+    pub is_test_path: bool,
+}
+
+/// Directories never descended into, anywhere in the tree.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", ".github"];
+
+/// Path components that make a file "test code" for scoping purposes.
+const TEST_COMPONENTS: [&str; 4] = ["tests", "benches", "examples", "fixtures"];
+
+/// Collects every `.rs` file under `root`, excluding `excludes` (path
+/// prefixes relative to the root, `/`-separated). The result is sorted
+/// by relative path, so every downstream report is deterministic.
+pub fn collect(root: &Path, excludes: &[String]) -> Result<Vec<SourceFile>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = fs::read_dir(&dir)
+            .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| format!("cannot read entry in {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let rel = relative(root, &path);
+            if excludes
+                .iter()
+                .any(|ex| rel == *ex || rel.starts_with(&format!("{ex}/")))
+            {
+                continue;
+            }
+            let file_type = entry
+                .file_type()
+                .map_err(|e| format!("cannot stat {}: {e}", path.display()))?;
+            if file_type.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(SourceFile {
+                    krate: crate_of(&rel),
+                    is_test_path: is_test_path(&rel),
+                    rel_path: rel,
+                    abs_path: path,
+                });
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut out = String::new();
+    for (i, comp) in rel.components().enumerate() {
+        if i > 0 {
+            out.push('/');
+        }
+        out.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    out
+}
+
+/// Crate attribution from the repo's fixed layout.
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") => match (parts.next(), parts.next()) {
+            (Some("compat"), Some(sub)) if !sub.ends_with(".rs") => format!("compat-{sub}"),
+            (Some(name), _) => name.to_string(),
+            (None, _) => "dpm".to_string(),
+        },
+        _ => "dpm".to_string(),
+    }
+}
+
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/').any(|c| TEST_COMPONENTS.contains(&c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_attribution() {
+        assert_eq!(crate_of("crates/lp/src/lib.rs"), "lp");
+        assert_eq!(crate_of("crates/compat/rand/src/lib.rs"), "compat-rand");
+        assert_eq!(crate_of("src/lib.rs"), "dpm");
+        assert_eq!(crate_of("tests/smoke.rs"), "dpm");
+        assert_eq!(crate_of("examples/quickstart.rs"), "dpm");
+    }
+
+    #[test]
+    fn test_path_classification() {
+        assert!(is_test_path("crates/lp/tests/agreement.rs"));
+        assert!(is_test_path("crates/bench/benches/solvers.rs"));
+        assert!(is_test_path("examples/quickstart.rs"));
+        assert!(is_test_path("crates/lint/tests/fixtures/d1.rs"));
+        assert!(!is_test_path("crates/lp/src/lib.rs"));
+        assert!(!is_test_path("crates/bench/src/bin/table1.rs"));
+    }
+
+    #[test]
+    fn collect_is_sorted_and_excludes_prefixes() {
+        let dir = std::env::temp_dir().join(format!("dpm_lint_walk_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("crates/a/src")).expect("mkdir");
+        fs::create_dir_all(dir.join("crates/b/src")).expect("mkdir");
+        fs::create_dir_all(dir.join("target")).expect("mkdir");
+        fs::write(dir.join("crates/b/src/lib.rs"), "").expect("write");
+        fs::write(dir.join("crates/a/src/lib.rs"), "").expect("write");
+        fs::write(dir.join("target/junk.rs"), "").expect("write");
+        let files = collect(&dir, &["crates/b".to_string()]).expect("walk");
+        let rels: Vec<&str> = files.iter().map(|f| f.rel_path.as_str()).collect();
+        assert_eq!(rels, ["crates/a/src/lib.rs"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,39 @@
+//! Lexer torture fixture: everything in here that LOOKS like a
+//! violation is inside a literal or comment, so the scan of this file
+//! must report zero findings and zero panic counts.
+
+/* block comment with x.unwrap() and panic!("no") inside
+   /* nested block comment: Instant::now() and HashMap too */
+   still inside the outer comment: v[0].expect("nope")
+*/
+
+pub fn tricky() -> usize {
+    let raw = r#"calls x.unwrap() and y.expect("m") and panic!("boom")"#;
+    let raw_hashes = r##"a raw string with "# inside and HashMap::new()"##;
+    let quote_char = '"';
+    let escaped_quote = '\'';
+    let backslash = '\\';
+    let newline = '\n';
+    let string_with_escapes = "quote \" then // not a comment and \\";
+    let byte_str = b"Instant::now() in bytes";
+    let raw_byte = br#"SystemTime::now() in raw bytes"#;
+    // A line comment mentioning partial_cmp(x).unwrap() changes nothing.
+    let not_a_float_eq = raw.len() == raw_hashes.len();
+    let exact_zero_is_fine = 0.0 == f64::from(u8::from(quote_char == escaped_quote));
+    let range = 1..2; // `1..2` must not lex as a float
+    let sum = string_with_escapes.len()
+        + byte_str.len()
+        + raw_byte.len()
+        + usize::from(backslash == newline)
+        + usize::from(not_a_float_eq)
+        + usize::from(exact_zero_is_fine)
+        + range.end;
+    sum
+}
+
+fn lifetime_soup<'a>(x: &'a str) -> &'a str {
+    // 'a is a lifetime, 'a' would be a char; both must lex cleanly next
+    // to a char that is an open bracket: '['.
+    let _bracket = '[';
+    x
+}

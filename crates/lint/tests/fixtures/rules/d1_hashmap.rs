@@ -1,0 +1,26 @@
+//! D1 fixture: HashMap construction and iteration in what the tests
+//! present as a determinism-critical crate. Tilde markers name the
+//! finding(s) expected on their line.
+
+use std::collections::HashMap; //~ hash-collections
+
+pub fn merge(policies: &[(u64, f64)]) -> Vec<(u64, f64)> {
+    let mut by_id: HashMap<u64, f64> = HashMap::new(); //~ hash-collections //~ hash-collections
+    for (id, power) in policies {
+        by_id.insert(*id, *power);
+    }
+    // Iterating a hash map straight into an ordered artifact — exactly
+    // the bug class the rule exists for.
+    let mut out = Vec::new();
+    for (id, power) in by_id {
+        out.push((id, power));
+    }
+    out
+}
+
+// A waived use is fine — the mandatory reason is present:
+// dpm-lint: allow(hash-collections) -- drained through a BTreeMap before anything observes order
+pub type WaivedScratch = std::collections::HashSet<u64>;
+
+// Naming a hash type in a string is not a use:
+pub const NOT_A_USE: &str = "HashSet";

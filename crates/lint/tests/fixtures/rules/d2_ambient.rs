@@ -1,0 +1,43 @@
+//! D2 fixture: ambient nondeterminism — wall clocks, thread identity,
+//! environment reads.
+
+use std::time::{Instant, SystemTime}; //~ ambient-nondeterminism
+
+pub fn clocks() -> u128 {
+    let t0 = Instant::now(); //~ ambient-nondeterminism
+    let wall = SystemTime::now(); //~ ambient-nondeterminism
+    let _ = wall;
+    t0.elapsed().as_nanos()
+}
+
+pub fn thread_identity() -> std::thread::ThreadId {
+    std::thread::current().id() //~ ambient-nondeterminism
+}
+
+pub fn env_branching(default: usize) -> usize {
+    match std::env::var("DPM_WORKERS") { //~ ambient-nondeterminism
+        Ok(v) => v.parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+// An `Instant` that is merely *stored* is fine — only the ambient read
+// is flagged:
+pub struct Stamped {
+    pub at: Instant,
+}
+
+// A waived clock read (startup banner, never feeds results):
+pub fn waived_clock() -> u64 {
+    // dpm-lint: allow(ambient-nondeterminism) -- log banner only, value never reaches a policy
+    let now = std::time::SystemTime::now();
+    now.duration_since(std::time::UNIX_EPOCH).map_or(0, |d| d.as_secs())
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may time things freely.
+    pub fn timing_in_tests() -> std::time::Instant {
+        std::time::Instant::now()
+    }
+}

@@ -1,0 +1,46 @@
+//! D3 fixture: non-total float ordering — `partial_cmp(..).unwrap()` /
+//! `.expect(..)` chains and exact float equality against non-sentinel
+//! literals.
+
+pub fn sort_times(times: &mut [f64]) {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ float-total-order
+}
+
+pub fn sort_expect(times: &mut [f64]) {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite")); //~ float-total-order
+}
+
+pub fn sort_total(times: &mut [f64]) {
+    // The fix the diagnostic suggests:
+    times.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn propagated_option(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    // partial_cmp without the panicking chain is allowed — the caller
+    // handles NaN explicitly.
+    a.partial_cmp(&b)
+}
+
+pub fn float_eq(x: f64) -> bool {
+    let magic = x == 0.3; //~ float-total-order
+    let reversed = 2.5 != x; //~ float-total-order
+    let negative = x == -12.75; //~ float-total-order
+    magic || reversed || negative
+}
+
+pub fn sentinels(x: f64) -> bool {
+    // Exact comparisons against 0.0 / 1.0 are structural (sparsity,
+    // probability mass) and exempt:
+    x == 0.0 || x == 1.0 || x != 0.0 || x != 1.0
+}
+
+pub fn epsilon(a: f64, b: f64) -> bool {
+    // The fix the diagnostic suggests:
+    (a - b).abs() <= 1e-9
+}
+
+// Waived — bit-pattern comparison of a checkpoint sentinel:
+pub fn waived_eq(x: f64) -> bool {
+    // dpm-lint: allow(float-total-order) -- 0.5 is exactly representable and written by us
+    x == 0.5
+}

@@ -1,0 +1,28 @@
+//! D4 fixture: `unsafe` blocks with and without `// SAFETY:` comments.
+//! (The live workspace forbids `unsafe` outright via
+//! `#![forbid(unsafe_code)]`; this rule is the backstop for the day a
+//! crate ever opts back in.)
+
+pub fn undocumented(ptr: *const u8) -> u8 {
+    unsafe { *ptr } //~ unsafe-needs-safety
+}
+
+pub fn documented(slice: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees `slice` is non-empty; the index is
+    // bounds-checked one line above in release builds too.
+    unsafe { *slice.as_ptr() }
+}
+
+pub fn documented_block_comment(slice: &[u8]) -> u8 {
+    /* SAFETY: same contract as `documented`. */
+    unsafe { *slice.as_ptr() }
+}
+
+pub fn comment_too_far(ptr: *const u8) -> u8 {
+    // SAFETY: this comment is more than three lines up, so it does not
+    // count — the invariant must sit next to the block it justifies.
+
+    let _spacer = 0;
+
+    unsafe { *ptr } //~ unsafe-needs-safety
+}

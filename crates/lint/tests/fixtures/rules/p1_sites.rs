@@ -1,0 +1,43 @@
+//! P1 fixture: panic-hygiene counting. Expected non-test counts:
+//! unwrap = 2, expect = 1, panic = 1, unreachable = 1, index = 3.
+//! (One unwrap is waived and must NOT count; everything in the
+//! `#[cfg(test)]` module must not count either.)
+
+pub fn sites(v: &[f64], flag: bool) -> f64 {
+    let first = v.first().unwrap(); // counts: unwrap 1
+    let second = v.get(1).expect("needs two"); // counts: expect 1
+    let direct = v[2]; // counts: index 1
+    let chained = v[3] + v[4]; // counts: index 2 and 3
+    if !flag && v.len() > 9000 {
+        panic!("too big"); // counts: panic 1
+    }
+    if v.len() == usize::MAX {
+        unreachable!(); // counts: unreachable 1
+    }
+    let opt: Option<f64> = Some(*first);
+    let second_unwrap = opt.unwrap(); // counts: unwrap 2
+    // dpm-lint: allow(panic-ratchet) -- invariant: callers validated length above
+    let waived = v.last().unwrap();
+    // unwrap_or and friends are not panic sites:
+    let not_counted = opt.unwrap_or(0.0) + opt.unwrap_or_default();
+    first + second + direct + chained + second_unwrap + waived + not_counted
+}
+
+pub fn non_index_brackets(pair: (f64, f64)) -> [f64; 2] {
+    // Type positions, slice patterns, array literals, attributes and
+    // macros use `[` without indexing — none of these count.
+    let [a, b] = [pair.0, pair.1];
+    let _v = vec![0.0; 4];
+    [a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_panics_freely() {
+        let v = [1.0, 2.0];
+        assert_eq!(v.first().unwrap() + v[1], 3.0);
+        Option::<f64>::None.expect("boom");
+        panic!("fine in tests");
+    }
+}

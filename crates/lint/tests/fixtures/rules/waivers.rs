@@ -1,0 +1,26 @@
+//! Waiver-grammar fixture: the reason clause is mandatory, the rule
+//! name must exist, and a malformed waiver silences nothing.
+//! (A tilde marker expects a finding on its own line; the caret
+//! variant expects it on the line above.)
+
+// A reasonless waiver is flagged AND does not silence the finding:
+// dpm-lint: allow(hash-collections)
+//~^ waiver-needs-reason
+use std::collections::HashMap; //~ hash-collections
+
+// An empty reason after the dashes is still reasonless:
+// dpm-lint: allow(hash-collections) --
+//~^ waiver-needs-reason
+pub type Bad = HashMap<u64, u64>; //~ hash-collections
+
+// Unknown rule names are flagged so typos cannot silently waive:
+// dpm-lint: allow(hash-colections) -- typo in the rule id
+//~^ waiver-unknown-rule
+pub type Typo = HashMap<u64, u64>; //~ hash-collections
+
+// A proper waiver: rule exists, reason present.
+// dpm-lint: allow(hash-collections) -- scratch map, drained via sorted keys before emit
+pub type Good = HashMap<u64, u64>;
+
+// Waiver on the same line as the finding also works:
+pub type Inline = HashMap<u64, u64>; // dpm-lint: allow(hash-collections) -- same-line waiver, order never observed

@@ -1,0 +1,194 @@
+//! Fixture-driven rule tests.
+//!
+//! Each fixture under `tests/fixtures/` annotates its own expectations
+//! with rustc-UI-style markers: `//~ <rule>` expects a finding of that
+//! rule on the marker's line, `//~^ <rule>` on the line above. The
+//! harness scans the fixture as if it lived in a determinism-critical
+//! crate and diffs the findings against the markers, so the fixtures
+//! stay self-documenting and there are no hand-maintained line-number
+//! tables to rot.
+
+use dpm_lint::config::LintConfig;
+use dpm_lint::{Engine, RunResult};
+
+const TRICKY: &str = include_str!("fixtures/lexing/tricky.rs");
+const D1: &str = include_str!("fixtures/rules/d1_hashmap.rs");
+const D2: &str = include_str!("fixtures/rules/d2_ambient.rs");
+const D3: &str = include_str!("fixtures/rules/d3_float_order.rs");
+const D4: &str = include_str!("fixtures/rules/d4_unsafe.rs");
+const WAIVERS: &str = include_str!("fixtures/rules/waivers.rs");
+const P1: &str = include_str!("fixtures/rules/p1_sites.rs");
+
+/// Parses `//~ rule` / `//~^ rule` markers into (line, rule) pairs.
+fn expected_findings(src: &str) -> Vec<(u32, String)> {
+    let mut expected = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let mut rest = line;
+        while let Some(pos) = rest.find("//~") {
+            rest = &rest[pos + 3..];
+            let target = if let Some(after_caret) = rest.strip_prefix('^') {
+                rest = after_caret;
+                line_no - 1
+            } else {
+                line_no
+            };
+            let rule: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            assert!(!rule.is_empty(), "dangling //~ marker on line {line_no}");
+            expected.push((target, rule));
+        }
+    }
+    expected.sort();
+    expected
+}
+
+/// Scans `src` as non-test code in the `runtime` crate (determinism
+/// critical, so every rule is active under the default config).
+fn scan(src: &str) -> RunResult {
+    let engine = Engine::new(LintConfig::default());
+    let mut result = RunResult::default();
+    engine.scan_source(
+        "crates/runtime/src/fixture.rs",
+        "runtime",
+        false,
+        src,
+        &mut result,
+    );
+    result
+}
+
+/// Asserts that the findings of a scan match the fixture's own markers.
+fn check_markers(name: &str, src: &str) -> RunResult {
+    let result = scan(src);
+    let mut actual: Vec<(u32, String)> = result
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.rule.clone()))
+        .collect();
+    actual.sort();
+    assert_eq!(
+        actual,
+        expected_findings(src),
+        "findings for {name} diverge from its //~ markers; diagnostics:\n{}",
+        result
+            .diagnostics
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Every diagnostic must carry a renderable file:line:col location.
+    for d in &result.diagnostics {
+        assert_eq!(d.path, "crates/runtime/src/fixture.rs");
+        assert!(
+            d.line >= 1 && d.col >= 1,
+            "missing location in {}",
+            d.render()
+        );
+        assert!(d
+            .render()
+            .contains(&format!("{}:{}:{}", d.path, d.line, d.col)));
+    }
+    result
+}
+
+#[test]
+fn lexer_torture_file_is_silent() {
+    let result = check_markers("tricky.rs", TRICKY);
+    assert!(result.diagnostics.is_empty());
+    let counts = &result.counts["runtime"];
+    assert_eq!(
+        (
+            counts.unwrap,
+            counts.expect,
+            counts.panic,
+            counts.unreachable,
+            counts.index
+        ),
+        (0, 0, 0, 0, 0),
+        "literal/comment contents leaked into the panic counters"
+    );
+}
+
+#[test]
+fn d1_hash_collections_match_markers() {
+    check_markers("d1_hashmap.rs", D1);
+}
+
+#[test]
+fn d2_ambient_nondeterminism_matches_markers() {
+    check_markers("d2_ambient.rs", D2);
+}
+
+#[test]
+fn d3_float_total_order_matches_markers() {
+    check_markers("d3_float_order.rs", D3);
+}
+
+#[test]
+fn d4_unsafe_needs_safety_matches_markers() {
+    check_markers("d4_unsafe.rs", D4);
+}
+
+#[test]
+fn waiver_grammar_matches_markers() {
+    check_markers("waivers.rs", WAIVERS);
+}
+
+#[test]
+fn p1_counts_match_fixture_contract() {
+    let result = check_markers("p1_sites.rs", P1);
+    assert!(
+        result.diagnostics.is_empty(),
+        "P1 is a counter, not a per-site finding"
+    );
+    let counts = &result.counts["runtime"];
+    assert_eq!(
+        counts.unwrap, 2,
+        "waived + test-module unwraps must not count"
+    );
+    assert_eq!(counts.expect, 1);
+    assert_eq!(counts.panic, 1);
+    assert_eq!(counts.unreachable, 1);
+    assert_eq!(
+        counts.index, 3,
+        "patterns/array literals/vec! are not index expressions"
+    );
+}
+
+#[test]
+fn fixtures_are_exempt_outside_determinism_crates() {
+    // The same D1 fixture presented as the bench crate (tooling) must
+    // produce no hash-collection findings under the default scoping.
+    let engine = Engine::new(LintConfig::default());
+    let mut result = RunResult::default();
+    engine.scan_source(
+        "crates/bench/src/fixture.rs",
+        "bench",
+        false,
+        D1,
+        &mut result,
+    );
+    assert!(
+        !result
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "hash-collections"),
+        "D1 must be scoped to determinism-critical crates"
+    );
+}
+
+#[test]
+fn json_report_carries_fixture_findings() {
+    let result = scan(D3);
+    let json = result.to_json();
+    for d in &result.diagnostics {
+        assert!(json.contains(&format!("\"line\": {}", d.line)));
+    }
+    assert!(json.contains("\"rule\": \"float-total-order\""));
+    assert!(json.contains("\"crates/runtime/src/fixture.rs\""));
+}

@@ -1,0 +1,257 @@
+//! End-to-end tests over synthetic workspaces: seeded violations in
+//! each rule class must fail `check_workspace` with a `file:line:col`
+//! diagnostic, and the panic-hygiene ratchet must deny growth, note
+//! shrinkage (or deny it when configured), and go quiet after a
+//! deliberate re-baseline.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dpm_lint::diagnostics::Severity;
+use dpm_lint::Engine;
+
+/// A throwaway workspace under the system temp dir, removed on drop.
+struct TempWorkspace {
+    root: PathBuf,
+}
+
+impl TempWorkspace {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("dpm-lint-test-{}-{tag}", std::process::id()));
+        if root.exists() {
+            fs::remove_dir_all(&root).expect("clear stale temp workspace");
+        }
+        fs::create_dir_all(&root).expect("create temp workspace");
+        TempWorkspace { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("rel path has a parent"))
+            .expect("create parent dirs");
+        fs::write(path, content).expect("write workspace file");
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn engine_for(ws: &TempWorkspace) -> Engine {
+    Engine::from_workspace(&ws.root).expect("engine builds")
+}
+
+#[test]
+fn seeded_violations_fail_with_file_line_col() {
+    let ws = TempWorkspace::new("seeded");
+    // One seeded violation per rule class, each on line 1 of its file.
+    ws.write(
+        "crates/runtime/src/lib.rs",
+        "use std::collections::HashMap;\n",
+    );
+    ws.write(
+        "crates/lp/src/lib.rs",
+        "pub fn t() -> u128 { std::time::Instant::now().elapsed().as_nanos() }\n",
+    );
+    ws.write(
+        "crates/trace/src/lib.rs",
+        "pub fn s(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n",
+    );
+    ws.write(
+        "crates/core/src/lib.rs",
+        "pub fn r(p: *const u8) -> u8 { unsafe { *p } }\n",
+    );
+
+    let engine = engine_for(&ws);
+    // Lock the panic counts in first so the remaining errors are
+    // exactly the four rule findings, not ratchet noise.
+    engine.write_baseline(&ws.root).expect("baseline writes");
+    let result = engine.check_workspace(&ws.root).expect("check runs");
+
+    assert!(!result.is_clean());
+    assert_eq!(result.errors(), 4);
+    let expect_at = |rule: &str, path: &str| {
+        let d = result
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == rule)
+            .unwrap_or_else(|| panic!("no `{rule}` diagnostic"));
+        assert_eq!(d.severity, Severity::Deny);
+        assert_eq!(d.path, path);
+        assert_eq!(d.line, 1);
+        assert!(d.col >= 1);
+        // The rendered diagnostic carries the clickable location.
+        assert!(
+            d.render().contains(&format!("{path}:1:{}", d.col)),
+            "{}",
+            d.render()
+        );
+    };
+    expect_at("hash-collections", "crates/runtime/src/lib.rs");
+    expect_at("ambient-nondeterminism", "crates/lp/src/lib.rs");
+    expect_at("float-total-order", "crates/trace/src/lib.rs");
+    expect_at("unsafe-needs-safety", "crates/core/src/lib.rs");
+
+    // Repairing each site the way the diagnostics suggest goes clean.
+    ws.write(
+        "crates/runtime/src/lib.rs",
+        "use std::collections::BTreeMap;\npub type Cache = BTreeMap<u64, u64>;\n",
+    );
+    ws.write(
+        "crates/lp/src/lib.rs",
+        "pub fn t(now_ns: u128) -> u128 { now_ns }\n",
+    );
+    ws.write(
+        "crates/trace/src/lib.rs",
+        "pub fn s(v: &mut [f64]) { v.sort_by(|a, b| a.total_cmp(b)); }\n",
+    );
+    ws.write(
+        "crates/core/src/lib.rs",
+        "pub fn r(p: *const u8) -> u8 {\n    // SAFETY: callers pass a pointer into a live, non-empty buffer.\n    unsafe { *p }\n}\n",
+    );
+    engine.write_baseline(&ws.root).expect("re-baseline");
+    let result = engine.check_workspace(&ws.root).expect("check runs");
+    assert!(result.is_clean(), "repaired workspace should be clean");
+    assert_eq!(result.diagnostics.len(), 0);
+}
+
+#[test]
+fn ratchet_denies_growth_at_the_baseline_header() {
+    let ws = TempWorkspace::new("growth");
+    ws.write(
+        "crates/linalg/src/lib.rs",
+        "pub fn f(a: Option<f64>, b: Option<f64>) -> f64 { a.unwrap() + b.unwrap() }\n",
+    );
+    // A hand-authored baseline that grandfathers only ONE unwrap; the
+    // leading comments push the [linalg] header to line 3.
+    ws.write(
+        "lint-baseline.toml",
+        "# ratchet baseline\n\n[linalg]\nunwrap = 1\n",
+    );
+
+    let result = engine_for(&ws)
+        .check_workspace(&ws.root)
+        .expect("check runs");
+    assert!(!result.is_clean());
+    let d = result
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "panic-ratchet" && d.severity == Severity::Deny)
+        .expect("a ratchet deny");
+    assert!(
+        d.message.contains("unwrap count grew 1 -> 2"),
+        "{}",
+        d.message
+    );
+    // The diagnostic points at the [linalg] header inside the baseline
+    // file, so the location is actionable in an editor.
+    assert_eq!(d.path, "lint-baseline.toml");
+    assert_eq!((d.line, d.col), (3, 1));
+}
+
+#[test]
+fn crate_without_baseline_entry_is_held_to_zero() {
+    let ws = TempWorkspace::new("zero");
+    ws.write(
+        "crates/mdp/src/lib.rs",
+        "pub fn f(v: &[f64]) -> f64 { v[0] }\n",
+    );
+    // Baseline exists but has no [mdp] entry.
+    ws.write("lint-baseline.toml", "[lp]\nunwrap = 0\n");
+    let result = engine_for(&ws)
+        .check_workspace(&ws.root)
+        .expect("check runs");
+    assert!(!result.is_clean());
+    let d = result
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "panic-ratchet" && d.severity == Severity::Deny)
+        .expect("a ratchet deny");
+    assert!(
+        d.message.contains("index count grew 0 -> 1"),
+        "{}",
+        d.message
+    );
+    assert!(d.message.contains("held to zero"), "{}", d.message);
+}
+
+#[test]
+fn ratchet_shrink_notes_by_default_and_denies_when_configured() {
+    let src = "pub fn f(a: Option<f64>) -> f64 { a.unwrap() }\n";
+    let baseline = "[linalg]\nunwrap = 2\n";
+
+    let ws = TempWorkspace::new("shrink-note");
+    ws.write("crates/linalg/src/lib.rs", src);
+    ws.write("lint-baseline.toml", baseline);
+    let result = engine_for(&ws)
+        .check_workspace(&ws.root)
+        .expect("check runs");
+    assert!(result.is_clean(), "a shrink alone must not fail the build");
+    let d = result
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "panic-ratchet")
+        .expect("a shrink nudge");
+    assert_eq!(d.severity, Severity::Note);
+    assert!(
+        d.message.contains("unwrap count shrank 2 -> 1"),
+        "{}",
+        d.message
+    );
+
+    // `baseline.on-decrease = "deny"` turns the nudge into a failure.
+    let strict = TempWorkspace::new("shrink-deny");
+    strict.write("crates/linalg/src/lib.rs", src);
+    strict.write("lint-baseline.toml", baseline);
+    strict.write("lint.toml", "[baseline]\non-decrease = \"deny\"\n");
+    let result = engine_for(&strict)
+        .check_workspace(&strict.root)
+        .expect("check runs");
+    assert!(!result.is_clean());
+}
+
+#[test]
+fn write_baseline_round_trips_to_a_clean_check() {
+    let ws = TempWorkspace::new("roundtrip");
+    ws.write(
+        "crates/sim/src/lib.rs",
+        "pub fn f(v: &[f64]) -> f64 { v[0] + v[1] + v.last().copied().expect(\"nonempty\") }\n",
+    );
+    let engine = engine_for(&ws);
+    let (result, text) = engine.write_baseline(&ws.root).expect("baseline writes");
+    assert_eq!(result.counts["sim"].index, 2);
+    assert_eq!(result.counts["sim"].expect, 1);
+    assert!(text.contains("[sim]"));
+    // Serialization is deterministic: writing again produces identical
+    // bytes, so the committed file never churns.
+    let (_, text2) = engine.write_baseline(&ws.root).expect("baseline rewrites");
+    assert_eq!(text, text2);
+
+    let result = engine.check_workspace(&ws.root).expect("check runs");
+    assert!(result.is_clean());
+    assert!(
+        result.diagnostics.is_empty(),
+        "freshly ratcheted run is silent"
+    );
+}
+
+#[test]
+fn test_paths_do_not_feed_the_ratchet() {
+    let ws = TempWorkspace::new("testpaths");
+    ws.write("crates/lp/src/lib.rs", "pub fn f() {}\n");
+    ws.write(
+        "crates/lp/tests/integration.rs",
+        "fn g(v: &[f64]) -> f64 { v[0] + v.first().copied().unwrap() }\n",
+    );
+    let engine = engine_for(&ws);
+    let result = engine.check_workspace(&ws.root).expect("check runs");
+    assert!(result.is_clean());
+    let counts = &result.counts["lp"];
+    assert_eq!(
+        (counts.unwrap, counts.index),
+        (0, 0),
+        "tests/ dir is exempt from P1"
+    );
+}

@@ -1,0 +1,63 @@
+//! Self-check: `dpm-lint` must run clean on the live workspace with
+//! the committed `lint.toml` and `lint-baseline.toml`. This is the
+//! same invocation CI's lint job performs, so a violation introduced
+//! anywhere in the tree fails `cargo test` locally too — with the
+//! offending `file:line:col` in the assertion message.
+
+use std::path::Path;
+
+use dpm_lint::Engine;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels below the workspace root")
+}
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").exists() && root.join("lint.toml").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let engine = Engine::from_workspace(root).expect("committed lint.toml parses");
+    let result = engine.check_workspace(root).expect("workspace scans");
+    assert!(result.files_scanned > 50, "walker found the tree");
+    let rendered: Vec<String> = result
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == dpm_lint::diagnostics::Severity::Deny)
+        .map(|d| d.render())
+        .collect();
+    assert!(
+        result.is_clean(),
+        "dpm-lint found {} error(s) in the live workspace:\n{}",
+        result.errors(),
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn live_baseline_is_in_sync() {
+    // The committed baseline must neither under- nor over-state any
+    // crate: a stale entry or an unlocked improvement shows up as a
+    // non-empty diagnostic list even when `is_clean()` still holds.
+    let root = workspace_root();
+    let engine = Engine::from_workspace(root).expect("committed lint.toml parses");
+    let result = engine.check_workspace(root).expect("workspace scans");
+    let ratchet: Vec<String> = result
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "panic-ratchet")
+        .map(|d| format!("{}: {}", d.severity.as_str(), d.message))
+        .collect();
+    assert!(
+        ratchet.is_empty(),
+        "lint-baseline.toml is out of sync; re-run `cargo run -p dpm-lint -- --write-baseline`:\n{}",
+        ratchet.join("\n")
+    );
+}

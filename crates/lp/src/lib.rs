@@ -123,6 +123,7 @@
 //! or keep overriding `solve` for its hot path — the in-tree engines do
 //! both, so either entry point reaches the same code.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -368,11 +368,7 @@ impl OccupationSolution {
                 rows.push(row);
             } else {
                 let best = (0..m)
-                    .min_by(|&a, &b| {
-                        self.cost[(s, a)]
-                            .partial_cmp(&self.cost[(s, b)])
-                            .expect("finite costs")
-                    })
+                    .min_by(|&a, &b| self.cost[(s, a)].total_cmp(&self.cost[(s, b)]))
                     .expect("at least one action");
                 let mut row = vec![0.0; m];
                 row[best] = 1.0;

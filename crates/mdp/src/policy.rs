@@ -193,7 +193,7 @@ impl RandomizedPolicy {
                 .map(|row| {
                     row.iter()
                         .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("validated probabilities"))
+                        .max_by(|a, b| a.1.total_cmp(b.1))
                         .map(|(i, _)| i)
                         .expect("non-empty row")
                 })

@@ -1,0 +1,141 @@
+//! Regression: snapshot bytes must be **independent of insertion
+//! order** — the determinism contract `dpm-lint`'s `hash-collections`
+//! rule (D1) exists to protect.
+//!
+//! Every id-keyed structure inside [`FleetService`] is a `BTreeMap` (or
+//! an id-sorted vector), so the order in which per-epoch arrivals are
+//! *presented* must not leave a trace in the checkpoint. If anyone
+//! swaps one of those maps for a `HashMap` — whose iteration order is
+//! seeded per process — these tests fail before the linter even runs.
+//!
+//! Runs under the serialized fleet CI job like the other service tests.
+
+use dpm_runtime::{AdaptiveConfig, DeviceId, FleetConfig, FleetService};
+use dpm_systems::racks::{self, RackSchedule};
+use dpm_trace::WindowKind;
+
+fn config() -> FleetConfig {
+    FleetConfig::new()
+        .adaptive(
+            AdaptiveConfig::new()
+                .memory(racks::MEMORY)
+                .smoothing(racks::SMOOTHING)
+                .horizon(2_000.0)
+                .window(WindowKind::Sliding(2 * racks::EPOCH_SLICES)),
+        )
+        .cluster_divergence(0.1)
+        .resolve_divergence(0.05)
+}
+
+fn service_with(count: usize) -> FleetService {
+    let mut service = FleetService::new(config());
+    let class = service
+        .register_class(&racks::system().expect("system composes"))
+        .expect("class registers");
+    for _ in 0..count {
+        service.add_device(class).expect("device adds");
+    }
+    service
+}
+
+/// The schedule's epoch arrivals paired with the fleet's ids, then
+/// permuted: `rotate` shifts the pair order, `reverse` flips it. The
+/// *pairing* (which stream belongs to which id) never changes — only
+/// the order the pairs are handed to `run_epoch`.
+fn permuted_pairs(
+    schedule: &RackSchedule,
+    ids: &[DeviceId],
+    epoch: usize,
+    rotate: usize,
+    reverse: bool,
+) -> Vec<(DeviceId, Vec<u32>)> {
+    let mut pairs: Vec<(DeviceId, Vec<u32>)> = schedule
+        .epoch_arrivals(epoch)
+        .into_iter()
+        .zip(ids.iter())
+        .map(|(stream, &id)| (id, stream))
+        .collect();
+    if reverse {
+        pairs.reverse();
+    }
+    let n = pairs.len().max(1);
+    pairs.rotate_left(rotate % n);
+    pairs
+}
+
+fn checkpoint_bytes(service: &FleetService) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    service.checkpoint(&mut bytes).expect("checkpoints");
+    bytes
+}
+
+#[test]
+fn snapshot_bytes_are_independent_of_arrival_presentation_order() {
+    let schedule = RackSchedule::new();
+    let devices = schedule.devices();
+    let mut in_order = service_with(devices);
+    let mut scrambled = service_with(devices);
+    let epochs = 2 * racks::CALM_EPOCHS + 2;
+    for epoch in 0..epochs {
+        let ids_a = in_order.device_ids().to_vec();
+        let pairs_a = permuted_pairs(&schedule, &ids_a, epoch, 0, false);
+        in_order.run_epoch(&pairs_a).expect("epoch runs");
+
+        // Different presentation order every epoch: reversed on even
+        // epochs, rotated by a varying stride on odd ones.
+        let ids_b = scrambled.device_ids().to_vec();
+        let pairs_b = permuted_pairs(&schedule, &ids_b, epoch, epoch * 7 + 3, epoch % 2 == 0);
+        scrambled.run_epoch(&pairs_b).expect("epoch runs");
+    }
+    assert_eq!(
+        checkpoint_bytes(&in_order),
+        checkpoint_bytes(&scrambled),
+        "presentation order of per-epoch arrivals leaked into the snapshot bytes"
+    );
+}
+
+#[test]
+fn snapshot_bytes_are_independent_of_churn_interleaving() {
+    // Same end state reached through differently interleaved add/remove
+    // sequences: A adds four then removes the second; B adds two,
+    // removes the second, adds two more. Device ids are never reused,
+    // so both paths are steered to hold the *same* surviving id set.
+    let schedule = RackSchedule::new();
+    let mut a = FleetService::new(config());
+    let class_a = a
+        .register_class(&racks::system().expect("system composes"))
+        .expect("class registers");
+    let a_ids: Vec<DeviceId> = (0..4)
+        .map(|_| a.add_device(class_a).expect("adds"))
+        .collect();
+    a.remove_device(a_ids[1]).expect("removes");
+
+    let mut b = FleetService::new(config());
+    let class_b = b
+        .register_class(&racks::system().expect("system composes"))
+        .expect("class registers");
+    let b0 = b.add_device(class_b).expect("adds");
+    let b1 = b.add_device(class_b).expect("adds");
+    b.remove_device(b1).expect("removes");
+    let b2 = b.add_device(class_b).expect("adds");
+    let b3 = b.add_device(class_b).expect("adds");
+    assert_eq!(
+        (b0, b2, b3),
+        (a_ids[0], a_ids[2], a_ids[3]),
+        "id allocation must be order-deterministic for the byte comparison to be meaningful"
+    );
+
+    for epoch in 0..racks::CALM_EPOCHS {
+        let ids = a.device_ids().to_vec();
+        let pairs = permuted_pairs(&schedule, &ids, epoch, 0, false);
+        a.run_epoch(&pairs).expect("epoch runs");
+        let ids = b.device_ids().to_vec();
+        let pairs = permuted_pairs(&schedule, &ids, epoch, 1, true);
+        b.run_epoch(&pairs).expect("epoch runs");
+    }
+    assert_eq!(
+        checkpoint_bytes(&a),
+        checkpoint_bytes(&b),
+        "churn interleaving leaked into the snapshot bytes"
+    );
+}

@@ -20,7 +20,7 @@ impl Trace {
     /// are dropped).
     pub fn from_arrival_times(times: &[f64]) -> Self {
         let mut times: Vec<f64> = times.iter().copied().filter(|t| t.is_finite()).collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        times.sort_by(|a, b| a.total_cmp(b));
         Trace { times }
     }
 
@@ -70,7 +70,7 @@ impl Trace {
             "resolution must be positive, got {resolution}"
         );
         let mut times = self.times.clone();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        times.sort_by(|a, b| a.total_cmp(b));
         let Some(&last) = times.last() else {
             return Vec::new();
         };

@@ -135,6 +135,8 @@
 //! and a bit-exact binary checkpoint/restore. See `docs/FLEET.md` and
 //! the correlated rack-shift scenario in [`systems::racks`].
 
+#![forbid(unsafe_code)]
+
 pub use dpm_core as core;
 pub use dpm_linalg as linalg;
 pub use dpm_lp as lp;
